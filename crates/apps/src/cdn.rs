@@ -1,0 +1,216 @@
+//! CDN object-fetch measurements (Figure 10a).
+//!
+//! The addon fetches `jquery.min.js` (and the unminified `jquery.js`)
+//! from five CDNs plus jsDelivr. The mechanisms that shape the figure:
+//!
+//! * **edge placement** — Fastly peers at Starlink's PoPs, so its
+//!   effective RTT is the bare access RTT; other CDNs sit a fraction of
+//!   an RTT further;
+//! * **resolver-based mapping** — CDNs geolocate clients by their
+//!   resolver; Viasat's own resolver mis-maps subscribers to farther
+//!   edges (the reason Viasat's Fastly fetch is *slower* than
+//!   HughesNet's despite a lower access RTT);
+//! * **PEP splicing** — GEO proxies splice the handshake but cannot
+//!   remove the first-byte round trip;
+//! * **slow start** — each doubling of the congestion window beyond the
+//!   initial 10 segments costs one more round trip, which is why
+//!   minification (87 KB → 32 KB) saves whole RTTs;
+//! * **jsDelivr indirection** — picking the best CDN costs one extra
+//!   round trip, which erases the benefit exactly when RTTs are long.
+
+use crate::testers::Tester;
+use sno_types::{Millis, Operator, Rng};
+
+/// The measured CDNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cdn {
+    Cloudflare,
+    Google,
+    JsDelivr,
+    StackPath,
+    Fastly,
+}
+
+impl Cdn {
+    /// All five, in the paper's order.
+    pub const ALL: [Cdn; 5] =
+        [Cdn::Cloudflare, Cdn::Google, Cdn::JsDelivr, Cdn::StackPath, Cdn::Fastly];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cdn::Cloudflare => "Cloudflare",
+            Cdn::Google => "Google",
+            Cdn::JsDelivr => "jsDelivr",
+            Cdn::StackPath => "StackPath",
+            Cdn::Fastly => "Fastly",
+        }
+    }
+
+    /// Extra one-way-path cost to this CDN's edge in milliseconds, given
+    /// how well the operator's resolver maps clients. Starlink hands out
+    /// Cloudflare at the PoP, so mapping is near-perfect and the deltas
+    /// are terrestrial-scale; the GEO operators' own resolvers mis-place
+    /// subscribers, producing continent-scale detours (and Viasat's
+    /// resolver even breaks Fastly's mapping).
+    fn edge_extra_ms(self, op: Operator) -> f64 {
+        let geo_resolver = matches!(op, Operator::Hughes | Operator::Viasat);
+        let fastly_penalty =
+            if op == Operator::Viasat { 400.0 } else { 0.0 };
+        match self {
+            Cdn::Fastly | Cdn::JsDelivr => fastly_penalty,
+            Cdn::Google => if geo_resolver { 430.0 + fastly_penalty * 0.3 } else { 55.0 },
+            Cdn::Cloudflare => if geo_resolver { 480.0 + fastly_penalty * 0.3 } else { 100.0 },
+            Cdn::StackPath => if geo_resolver { 590.0 + fastly_penalty * 0.3 } else { 95.0 },
+        }
+    }
+
+    /// Object sizes differ per CDN (Cloudflare compresses hardest:
+    /// 28 KB minified / 71 KB regular vs 31–33 / 86–89 elsewhere).
+    pub fn object_bytes(self, minified: bool) -> u64 {
+        match (self, minified) {
+            (Cdn::Cloudflare, true) => 28_000,
+            (Cdn::Cloudflare, false) => 71_000,
+            (_, true) => 32_000,
+            (_, false) => 87_000,
+        }
+    }
+}
+
+/// One measured fetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdnFetch {
+    pub tester: sno_types::TesterId,
+    pub operator: Operator,
+    pub cdn: Cdn,
+    pub minified: bool,
+    pub time: Millis,
+}
+
+/// Initial congestion window in bytes (10 × 1460).
+const INIT_WINDOW_BYTES: f64 = 14_600.0;
+
+/// Fetch one jquery variant from one CDN.
+pub fn cdn_fetch(tester: &Tester, cdn: Cdn, minified: bool, rng: &mut Rng) -> CdnFetch {
+    let uses_pep = sno_registry::profile::profile_of(tester.operator).uses_pep;
+    let rtt = tester.access_rtt.0;
+    let edge_extra = cdn.edge_extra_ms(tester.operator);
+
+    let bytes = cdn.object_bytes(minified) as f64;
+    // Handshake: TLS1.3 costs one RTT; a PEP splices most of it.
+    let handshake = if uses_pep { 0.3 } else { 1.0 };
+    // Slow-start rounds beyond the initial window (PEP hubs prefetch).
+    let extra_rounds = if uses_pep {
+        0.0
+    } else {
+        (bytes / INIT_WINDOW_BYTES).log2().floor().max(0.0)
+    };
+    let plan = sno_registry::assets::service_plan_of(tester.operator);
+    let rate = (plan.down_lo + plan.down_hi) / 2.0;
+    let serialize = bytes * 8.0 / (rate * 1e6) * 1_000.0;
+    // jsDelivr's pick-the-best indirection costs one access RTT.
+    let indirection = if cdn == Cdn::JsDelivr { rtt } else { 0.0 };
+
+    let noise = rng.lognormal(0.0, 0.06).clamp(0.85, 1.3);
+    let time = ((handshake + 1.0 + extra_rounds) * rtt + edge_extra + serialize
+        + indirection)
+        * noise;
+    CdnFetch {
+        tester: tester.id,
+        operator: tester.operator,
+        cdn,
+        minified,
+        time: Millis(time),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testers::panel;
+    use sno_stats::median;
+
+    fn median_fetch(op: Operator, cdn: Cdn, minified: bool) -> f64 {
+        let mut rng = Rng::new(5);
+        let p = panel(5);
+        let v: Vec<f64> = p
+            .iter()
+            .filter(|t| t.operator == op)
+            .flat_map(|t| {
+                (0..4).map(|_| cdn_fetch(t, cdn, minified, &mut rng).time.0).collect::<Vec<_>>()
+            })
+            .collect();
+        median(&v).unwrap()
+    }
+
+    #[test]
+    fn fastly_wins_everywhere() {
+        for op in [Operator::Starlink, Operator::Hughes, Operator::Viasat] {
+            let fastly = median_fetch(op, Cdn::Fastly, true);
+            for cdn in [Cdn::Cloudflare, Cdn::Google, Cdn::StackPath, Cdn::JsDelivr] {
+                assert!(
+                    fastly < median_fetch(op, cdn, true),
+                    "{op}: Fastly must beat {}",
+                    cdn.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starlink_fastly_around_127ms() {
+        let t = median_fetch(Operator::Starlink, Cdn::Fastly, true);
+        assert!((95.0..190.0).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn geo_fastly_near_one_second() {
+        let hughes = median_fetch(Operator::Hughes, Cdn::Fastly, true);
+        let viasat = median_fetch(Operator::Viasat, Cdn::Fastly, true);
+        assert!((800.0..1_350.0).contains(&hughes), "hughes {hughes}");
+        assert!((850.0..1_400.0).contains(&viasat), "viasat {viasat}");
+        // Viasat is slower than HughesNet here despite the lower RTT.
+        assert!(viasat > hughes, "viasat {viasat} vs hughes {hughes}");
+    }
+
+    #[test]
+    fn jsdelivr_is_second_for_starlink_but_loses_on_geo() {
+        // Starlink: jsDelivr ≈ Fastly + one short RTT — second place.
+        let s_jsd = median_fetch(Operator::Starlink, Cdn::JsDelivr, true);
+        let s_fast = median_fetch(Operator::Starlink, Cdn::Fastly, true);
+        assert!((s_jsd - s_fast) < 70.0, "indirection {} ms", s_jsd - s_fast);
+        for cdn in [Cdn::Cloudflare, Cdn::Google, Cdn::StackPath] {
+            assert!(s_jsd < median_fetch(Operator::Starlink, cdn, true));
+        }
+        // HughesNet: the extra RTT makes jsDelivr slower than the other
+        // direct CDNs.
+        let h_jsd = median_fetch(Operator::Hughes, Cdn::JsDelivr, true);
+        for cdn in [Cdn::Cloudflare, Cdn::Google, Cdn::StackPath] {
+            assert!(
+                h_jsd > median_fetch(Operator::Hughes, cdn, true),
+                "jsDelivr should lose to {}",
+                cdn.name()
+            );
+        }
+    }
+
+    #[test]
+    fn minification_saves_round_trips() {
+        for op in [Operator::Starlink, Operator::Hughes, Operator::Viasat] {
+            let mini = median_fetch(op, Cdn::Fastly, true);
+            let full = median_fetch(op, Cdn::Fastly, false);
+            assert!(full > mini, "{op}: full {full} vs mini {mini}");
+        }
+        // For Starlink the gap is about one extra slow-start round trip.
+        let gap = median_fetch(Operator::Starlink, Cdn::Fastly, false)
+            - median_fetch(Operator::Starlink, Cdn::Fastly, true);
+        assert!((20.0..130.0).contains(&gap), "gap {gap}");
+    }
+
+    #[test]
+    fn geo_to_leo_ratio_is_large() {
+        let ratio = median_fetch(Operator::Hughes, Cdn::Fastly, true)
+            / median_fetch(Operator::Starlink, Cdn::Fastly, true);
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,106 @@
+//! DNS lookup-time measurements (Figure 10c).
+//!
+//! Starlink hands subscribers Cloudflare at the PoP (one short RTT away,
+//! but a cache miss recurses from there); HughesNet and Viasat run their
+//! own resolvers *behind* the satellite hop, so every lookup pays the
+//! full access RTT before resolution even starts. The paper further
+//! observes that HughesNet's resolver outperforms Viasat's.
+
+use crate::testers::Tester;
+use sno_netsim::dns::DnsResolver;
+use sno_types::{Millis, Operator, Rng};
+
+/// The resolver a tester's queries hit, parameterised per operator.
+pub fn resolver_for(tester: &Tester) -> DnsResolver {
+    match tester.operator {
+        // Cloudflare at the PoP: short first hop, well-warmed cache for
+        // popular names — but the measured names are unpopular with
+        // short TTLs, so misses dominate and recursion costs add up.
+        Operator::Starlink => DnsResolver {
+            rtt_to_resolver: tester.access_rtt,
+            cache_hit_prob: 0.45,
+            upstream_cost: Millis(90.0),
+            noise_ms: 8.0,
+        },
+        // HughesNet's resolver: behind the satellite, decent hit rate,
+        // fast upstream (Germantown sits next to the east-coast roots).
+        Operator::Hughes => DnsResolver {
+            rtt_to_resolver: tester.access_rtt,
+            cache_hit_prob: 0.55,
+            upstream_cost: Millis(120.0),
+            noise_ms: 15.0,
+        },
+        // Viasat's resolver: behind the satellite *and* slow to recurse.
+        Operator::Viasat => DnsResolver {
+            rtt_to_resolver: tester.access_rtt,
+            cache_hit_prob: 0.35,
+            upstream_cost: Millis(420.0),
+            noise_ms: 15.0,
+        },
+        _ => DnsResolver {
+            rtt_to_resolver: tester.access_rtt,
+            cache_hit_prob: 0.5,
+            upstream_cost: Millis(150.0),
+            noise_ms: 10.0,
+        },
+    }
+}
+
+/// Run `n` lookups of unpopular short-TTL names for one tester,
+/// filtering out sub-RTT artefacts exactly as the paper does.
+pub fn dns_lookups(tester: &Tester, n: usize, rng: &mut Rng) -> Vec<Millis> {
+    let resolver = resolver_for(tester);
+    (0..n)
+        .map(|_| resolver.lookup(rng))
+        .filter(|t| t.0 >= tester.access_rtt.0 * 0.9)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testers::panel;
+    use sno_stats::median;
+
+    fn median_lookup(op: Operator) -> f64 {
+        let mut rng = Rng::new(3);
+        let p = panel(3);
+        let v: Vec<f64> = p
+            .iter()
+            .filter(|t| t.operator == op)
+            .flat_map(|t| dns_lookups(t, 40, &mut rng))
+            .map(|m| m.0)
+            .collect();
+        median(&v).unwrap()
+    }
+
+    #[test]
+    fn lookup_medians_match_figure_10c() {
+        let starlink = median_lookup(Operator::Starlink);
+        let hughes = median_lookup(Operator::Hughes);
+        let viasat = median_lookup(Operator::Viasat);
+        // Paper: 130 / 755 / 985 ms.
+        assert!((80.0..220.0).contains(&starlink), "starlink {starlink}");
+        assert!((640.0..900.0).contains(&hughes), "hughes {hughes}");
+        assert!((850.0..1_200.0).contains(&viasat), "viasat {viasat}");
+    }
+
+    #[test]
+    fn hughes_dns_beats_viasat_despite_higher_rtt() {
+        // The paper's inference: Viasat's lower access RTT should win if
+        // resolvers were equal — it loses, so its resolver is slower.
+        let hughes = median_lookup(Operator::Hughes);
+        let viasat = median_lookup(Operator::Viasat);
+        assert!(hughes < viasat, "hughes {hughes} viasat {viasat}");
+    }
+
+    #[test]
+    fn no_lookup_beats_the_access_rtt() {
+        let mut rng = Rng::new(4);
+        for t in panel(4) {
+            for lookup in dns_lookups(&t, 50, &mut rng) {
+                assert!(lookup.0 >= t.access_rtt.0 * 0.9, "{t:?} {lookup}");
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Section 6: application performance as real subscribers experience it.
+//!
+//! The paper recruits 20 Prolific testers (Starlink, HughesNet, Viasat)
+//! and drives a browser addon through four weekly measurement runs. This
+//! crate models the addon's experiments on top of the transport and
+//! path substrates:
+//!
+//! * [`testers`] — the tester panel (operator, continent, access path);
+//! * [`mod@speedtest`] — the fast.com run: download / upload / latency
+//!   (Figure 9);
+//! * [`cdn`] — jquery fetches from five CDNs plus jsDelivr's
+//!   pick-the-best indirection (Figure 10a);
+//! * [`web`] — the Akamai H1 vs H2 demo-page load model (Figure 10b);
+//! * [`dnsperf`] — DNS lookup times under each operator's resolver
+//!   placement (Figure 10c);
+//! * [`video`] — a 60-second YouTube-style adaptive-bitrate session:
+//!   quality, buffer health, dropped frames, stalls (Figure 11).
+
+pub mod cdn;
+pub mod dnsperf;
+pub mod speedtest;
+pub mod testers;
+pub mod video;
+pub mod web;
+
+pub use cdn::{cdn_fetch, Cdn, CdnFetch};
+pub use dnsperf::{dns_lookups, resolver_for};
+pub use speedtest::{speedtest, SpeedtestRun};
+pub use testers::{panel, Tester};
+pub use video::{video_session, VideoSession};
+pub use web::{page_load, HttpVersion, PageLoad};

@@ -1,0 +1,181 @@
+//! The fast.com speed-test run (Figure 9).
+//!
+//! fast.com opens several parallel connections, so unlike single-flow
+//! NDT it saturates the subscriber plan; the measured download is the
+//! plan rate times a parallel-transfer efficiency. Latency is the RTT to
+//! the nearest fast.com server — which for Starlink is co-located with
+//! the PoP (the paper notices the measured values match the RIPE
+//! probe→PoP RTTs).
+
+use crate::testers::Tester;
+use sno_geo::world::Continent;
+use sno_registry::assets::service_plan_of;
+use sno_types::{Mbps, Millis, Operator, Rng};
+
+/// One fast.com run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedtestRun {
+    pub tester: sno_types::TesterId,
+    pub operator: Operator,
+    pub continent: Continent,
+    pub download: Mbps,
+    pub upload: Mbps,
+    pub latency: Millis,
+}
+
+/// Run one fast.com measurement for `tester`.
+pub fn speedtest(tester: &Tester, rng: &mut Rng) -> SpeedtestRun {
+    let plan = service_plan_of(tester.operator);
+    // Regional capacity differences: European Starlink cells are lightly
+    // loaded in the study window (median 150 Mbps vs ~80 in NA/Oceania).
+    let regional = match (tester.operator, tester.continent) {
+        (Operator::Starlink, Continent::Europe) => 1.55,
+        (Operator::Starlink, Continent::Oceania) => 0.95,
+        (Operator::Starlink, _) => 0.85,
+        _ => 1.0,
+    };
+    let efficiency = rng.range_f64(0.82, 0.98);
+    let down_mid = (plan.down_lo + plan.down_hi) / 2.0;
+    let download = Mbps(
+        (down_mid * regional * efficiency * rng.lognormal(0.0, 0.18)).clamp(
+            plan.down_lo * 0.3,
+            plan.down_hi * 1.6,
+        ),
+    );
+    let up_mid = (plan.up_lo + plan.up_hi) / 2.0;
+    let up_regional = match (tester.operator, tester.continent) {
+        (Operator::Starlink, Continent::Europe) => 1.6,
+        (Operator::Starlink, Continent::Oceania) => 1.0,
+        (Operator::Starlink, _) => 0.6,
+        _ => 1.0,
+    };
+    let upload = Mbps(
+        (up_mid * up_regional * efficiency * rng.lognormal(0.0, 0.15))
+            .clamp(plan.up_lo * 0.4, plan.up_hi * 1.4),
+    );
+    // Latency: access RTT plus a short hop to the co-located server; a
+    // flaky local setup adds a fat WiFi tail.
+    let wifi = if tester.flaky_wifi {
+        rng.range_f64(20.0, 110.0)
+    } else {
+        rng.range_f64(0.0, 4.0)
+    };
+    let latency = Millis(tester.access_rtt.0 + rng.range_f64(1.0, 6.0) + wifi);
+    SpeedtestRun {
+        tester: tester.id,
+        operator: tester.operator,
+        continent: tester.continent,
+        download,
+        upload,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testers::panel;
+
+    fn runs() -> Vec<SpeedtestRun> {
+        let mut rng = Rng::new(7);
+        let mut out = Vec::new();
+        for t in panel(7) {
+            for _ in 0..crate::testers::RUNS_PER_TESTER {
+                out.push(speedtest(&t, &mut rng));
+            }
+        }
+        out
+    }
+
+    fn median_download(op: Operator, cont: Option<Continent>) -> f64 {
+        let r = runs();
+        let v: Vec<f64> = r
+            .iter()
+            .filter(|x| x.operator == op && cont.is_none_or(|c| x.continent == c))
+            .map(|x| x.download.0)
+            .collect();
+        sno_stats::median(&v).unwrap()
+    }
+
+    #[test]
+    fn starlink_download_ladder_matches_figure9() {
+        let eu = median_download(Operator::Starlink, Some(Continent::Europe));
+        let na = median_download(Operator::Starlink, Some(Continent::NorthAmerica));
+        assert!((110.0..200.0).contains(&eu), "EU {eu}");
+        assert!((55.0..115.0).contains(&na), "NA {na}");
+        assert!(eu > 1.3 * na);
+    }
+
+    #[test]
+    fn geo_downloads_match_plans() {
+        let viasat = median_download(Operator::Viasat, None);
+        let hughes = median_download(Operator::Hughes, None);
+        assert!((10.0..42.0).contains(&viasat), "viasat {viasat}");
+        assert!(hughes <= 3.5, "hughes {hughes}");
+        assert!(viasat > 3.0 * hughes);
+    }
+
+    #[test]
+    fn hughesnet_never_reaches_advertised() {
+        let plan = sno_registry::assets::service_plan_of(Operator::Hughes);
+        for r in runs().iter().filter(|r| r.operator == Operator::Hughes) {
+            assert!(r.download.0 < plan.advertised_down / 2.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn latency_split_matches_figure9c() {
+        let r = runs();
+        let med = |op: Operator| {
+            let v: Vec<f64> = r
+                .iter()
+                .filter(|x| x.operator == op)
+                .map(|x| x.latency.0)
+                .collect();
+            sno_stats::median(&v).unwrap()
+        };
+        let starlink = med(Operator::Starlink);
+        let viasat = med(Operator::Viasat);
+        let hughes = med(Operator::Hughes);
+        assert!((30.0..60.0).contains(&starlink), "starlink {starlink}");
+        assert!((520.0..700.0).contains(&viasat), "viasat {viasat}");
+        assert!(hughes > viasat + 60.0, "hughes {hughes} viasat {viasat}");
+    }
+
+    #[test]
+    fn london_tester_shows_latency_outliers() {
+        let mut rng = Rng::new(11);
+        let p = panel(11);
+        let flaky = p.iter().find(|t| t.flaky_wifi).unwrap();
+        let clean = p
+            .iter()
+            .find(|t| !t.flaky_wifi && t.operator == Operator::Starlink)
+            .unwrap();
+        let worst_flaky = (0..30)
+            .map(|_| speedtest(flaky, &mut rng).latency.0)
+            .fold(0.0, f64::max);
+        let worst_clean = (0..30)
+            .map(|_| speedtest(clean, &mut rng).latency.0)
+            .fold(0.0, f64::max);
+        assert!(worst_flaky > 90.0, "flaky worst {worst_flaky}");
+        assert!(worst_flaky > worst_clean + 30.0);
+    }
+
+    #[test]
+    fn uploads_rank_eu_nz_na() {
+        let r = runs();
+        let med = |c: Continent| {
+            let v: Vec<f64> = r
+                .iter()
+                .filter(|x| x.operator == Operator::Starlink && x.continent == c)
+                .map(|x| x.upload.0)
+                .collect();
+            sno_stats::median(&v).unwrap()
+        };
+        let eu = med(Continent::Europe);
+        let nz = med(Continent::Oceania);
+        let na = med(Continent::NorthAmerica);
+        assert!(eu > nz, "eu {eu} nz {nz}");
+        assert!(nz > na, "nz {nz} na {na}");
+    }
+}

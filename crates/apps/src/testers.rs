@@ -1,0 +1,140 @@
+//! The recruited tester panel.
+//!
+//! Twenty testers: ten on Starlink (four in North America, five in
+//! Europe — Italy, UK, Netherlands, Czech Republic — and one in New
+//! Zealand), five on HughesNet and five on Viasat (all US). Each tester
+//! has a stable access path used by every experiment.
+
+use sno_geo::world::Continent;
+use sno_geo::GeoPoint;
+use sno_types::{Millis, Operator, Rng, TesterId};
+
+/// One recruited tester.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tester {
+    /// Identifier.
+    pub id: TesterId,
+    /// Operator subscription.
+    pub operator: Operator,
+    /// Continent, for Figure 9's grouping.
+    pub continent: Continent,
+    /// Location.
+    pub location: GeoPoint,
+    /// Access RTT to the operator's PoP/teleport, ms — the base every
+    /// application measurement rides on.
+    pub access_rtt: Millis,
+    /// Whether this tester has a known-bad local setup (the London
+    /// tester's flaky WiFi shows as latency outliers in Figure 9c).
+    pub flaky_wifi: bool,
+}
+
+/// Build the 20-tester panel (deterministic given `seed`, which only
+/// perturbs the access RTTs within realistic bounds).
+pub fn panel(seed: u64) -> Vec<Tester> {
+    let mut rng = Rng::new(seed).substream_named("testers");
+    let mut testers = Vec::new();
+    let mut id = 1u32;
+    let mut push = |op: Operator,
+                    cont: Continent,
+                    lat: f64,
+                    lon: f64,
+                    rtt: f64,
+                    flaky: bool,
+                    testers: &mut Vec<Tester>,
+                    rng: &mut Rng| {
+        testers.push(Tester {
+            id: TesterId(id),
+            operator: op,
+            continent: cont,
+            location: GeoPoint::new(lat, lon),
+            access_rtt: Millis(rtt * rng.lognormal(0.0, 0.08).clamp(0.85, 1.25)),
+            flaky_wifi: flaky,
+        });
+        id += 1;
+    };
+
+    use Continent::{Europe, NorthAmerica, Oceania};
+    use Operator::{Hughes, Starlink, Viasat};
+    // Starlink: North America.
+    push(Starlink, NorthAmerica, 45.0, -93.0, 35.0, false, &mut testers, &mut rng);
+    push(Starlink, NorthAmerica, 39.5, -105.0, 36.0, false, &mut testers, &mut rng);
+    push(Starlink, NorthAmerica, 33.0, -97.0, 37.0, false, &mut testers, &mut rng);
+    push(Starlink, NorthAmerica, 47.5, -122.0, 34.0, false, &mut testers, &mut rng);
+    // Starlink: Europe (the London tester has a bad WiFi setup).
+    push(Starlink, Europe, 45.46, 9.19, 38.0, false, &mut testers, &mut rng); // Italy
+    push(Starlink, Europe, 51.51, -0.13, 40.0, true, &mut testers, &mut rng); // UK
+    push(Starlink, Europe, 52.37, 4.90, 37.0, false, &mut testers, &mut rng); // NL
+    push(Starlink, Europe, 50.09, 14.42, 39.0, false, &mut testers, &mut rng); // CZ
+    push(Starlink, Europe, 48.86, 2.35, 38.0, false, &mut testers, &mut rng); // FR-ish
+    // Starlink: Oceania.
+    push(Starlink, Oceania, -36.85, 174.76, 49.0, false, &mut testers, &mut rng);
+    // HughesNet: US.
+    for (lat, lon) in [(38.0, -84.0), (35.0, -92.0), (44.0, -70.0), (31.0, -90.0), (41.0, -100.0)] {
+        push(Hughes, NorthAmerica, lat, lon, 720.0, false, &mut testers, &mut rng);
+    }
+    // Viasat: US.
+    for (lat, lon) in [(36.0, -115.0), (39.0, -77.0), (33.0, -112.0), (45.0, -69.0), (29.0, -98.0)] {
+        push(Viasat, NorthAmerica, lat, lon, 600.0, false, &mut testers, &mut rng);
+    }
+    testers
+}
+
+/// The weekly runs each tester performs (the paper collected four).
+pub const RUNS_PER_TESTER: u32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_testers_in_the_papers_split() {
+        let p = panel(1);
+        assert_eq!(p.len(), 20);
+        let count = |op| p.iter().filter(|t| t.operator == op).count();
+        assert_eq!(count(Operator::Starlink), 10);
+        assert_eq!(count(Operator::Hughes), 5);
+        assert_eq!(count(Operator::Viasat), 5);
+    }
+
+    #[test]
+    fn starlink_spans_three_continents() {
+        let p = panel(1);
+        let conts: std::collections::BTreeSet<_> = p
+            .iter()
+            .filter(|t| t.operator == Operator::Starlink)
+            .map(|t| t.continent)
+            .collect();
+        assert_eq!(conts.len(), 3);
+    }
+
+    #[test]
+    fn access_rtts_per_operator() {
+        let p = panel(2);
+        for t in &p {
+            match t.operator {
+                Operator::Starlink => {
+                    assert!((28.0..65.0).contains(&t.access_rtt.0), "{t:?}")
+                }
+                Operator::Hughes => {
+                    assert!((600.0..920.0).contains(&t.access_rtt.0), "{t:?}")
+                }
+                Operator::Viasat => {
+                    assert!((500.0..780.0).contains(&t.access_rtt.0), "{t:?}")
+                }
+                _ => panic!("unexpected operator"),
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_flaky_tester() {
+        let p = panel(3);
+        assert_eq!(p.iter().filter(|t| t.flaky_wifi).count(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(panel(9), panel(9));
+        assert_ne!(panel(9)[0].access_rtt, panel(10)[0].access_rtt);
+    }
+}

@@ -1,0 +1,242 @@
+//! A 60-second YouTube-style adaptive-bitrate session (Figure 11).
+//!
+//! The player measures throughput, picks the highest rung whose bitrate
+//! fits under ~80 % of it, and fills a buffer capped at 65 seconds.
+//! Starlink's bandwidth reaches 1080p–4K (sacrificing buffer headroom at
+//! the top rungs); HughesNet and Viasat hover around 360p. Dropped
+//! frames come from link interruptions (LEO handoffs) rather than
+//! quality; stalls are rare and happen when the buffer drains to zero.
+
+use crate::testers::Tester;
+use sno_types::{Mbps, Operator, Rng};
+
+/// One quality rung of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityRung {
+    pub name: &'static str,
+    pub width: u32,
+    pub height: u32,
+    /// Required stream bitrate, Mbps.
+    pub bitrate: f64,
+}
+
+impl QualityRung {
+    /// The paper's quality axis: megapixels.
+    pub fn megapixels(&self) -> f64 {
+        f64::from(self.width) * f64::from(self.height) / 1e6
+    }
+}
+
+/// The ladder (2160p max — the test video's ceiling).
+pub const LADDER: [QualityRung; 7] = [
+    QualityRung { name: "144p", width: 256, height: 144, bitrate: 0.2 },
+    QualityRung { name: "360p", width: 480, height: 360, bitrate: 0.6 },
+    QualityRung { name: "480p", width: 854, height: 480, bitrate: 1.2 },
+    QualityRung { name: "720p", width: 1280, height: 720, bitrate: 2.8 },
+    QualityRung { name: "1080p", width: 1920, height: 1080, bitrate: 5.5 },
+    QualityRung { name: "1440p", width: 2560, height: 1440, bitrate: 10.0 },
+    QualityRung { name: "2160p", width: 3840, height: 2160, bitrate: 17.0 },
+];
+
+/// One 60-second playback session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoSession {
+    pub tester: sno_types::TesterId,
+    pub operator: Operator,
+    /// Throughput the player measured.
+    pub download: Mbps,
+    /// Median quality over the session.
+    pub quality: QualityRung,
+    /// Median buffer health, seconds.
+    pub buffer_secs: f64,
+    /// Dropped frames, percent.
+    pub dropped_pct: f64,
+    /// Fraction of wall-clock time spent stalled.
+    pub stall_fraction: f64,
+}
+
+/// Playback duration, seconds.
+pub const PLAY_SECS: f64 = 60.0;
+/// Buffer cap, seconds.
+pub const BUFFER_CAP_SECS: f64 = 65.0;
+
+/// Play the test video for one tester.
+pub fn video_session(tester: &Tester, rng: &mut Rng) -> VideoSession {
+    let plan = sno_registry::assets::service_plan_of(tester.operator);
+    let mut bw = rng.range_f64(plan.down_lo, plan.down_hi)
+        * rng.lognormal(0.0, 0.12).clamp(0.7, 1.4);
+    // GEO operators classify and throttle streaming video to protect
+    // transponder capacity (both HughesNet and Viasat document video
+    // data-saver modes), so the player sees far less than a speed test.
+    if matches!(tester.operator, Operator::Hughes | Operator::Viasat) {
+        bw = bw.min(rng.range_f64(1.0, 3.6));
+    } else {
+        // Even on a fat pipe, a single googlevideo connection is paced;
+        // 1080p is routine, 4K takes a lucky cell (the paper: "1080p or
+        // higher is hard to achieve also for Starlink testers").
+        bw = bw.min(rng.range_f64(3.0, 24.0));
+    }
+    // Highest rung fitting under 80% of measured throughput.
+    let quality = LADDER
+        .iter()
+        .rev()
+        .find(|r| r.bitrate <= bw * 0.8)
+        .copied()
+        .unwrap_or(LADDER[0]);
+
+    // Buffer: fills at (bw/bitrate − 1) seconds of video per second of
+    // wall clock; top rungs leave little headroom, so the buffer settles
+    // lower (the Figure 11b effect).
+    // Over a 60 s session the buffer accumulates `headroom` seconds of
+    // video per wall-clock second, up to the cap.
+    let headroom = (bw / quality.bitrate - 1.0).max(0.0);
+    let buffer_secs = (headroom * PLAY_SECS).clamp(3.0, BUFFER_CAP_SECS)
+        * rng.range_f64(0.8, 1.0);
+
+    // Stalls: only when the link cannot even sustain the lowest rung, or
+    // on unlucky interruption bursts.
+    let sustains = bw * 0.8 >= LADDER[0].bitrate;
+    let stall_fraction = if !sustains {
+        rng.range_f64(0.05, 0.32)
+    } else if rng.chance(0.04) && buffer_secs < 20.0 {
+        rng.range_f64(0.05, 0.15)
+    } else {
+        0.0
+    };
+
+    // Dropped frames: interruption-driven. LEO handoffs drop bursts of
+    // frames independent of quality; full-resolution runs that fit the
+    // link drop none.
+    let dropped_pct = match tester.operator {
+        Operator::Starlink => {
+            if quality.megapixels() > 8.0 || rng.chance(0.35) {
+                0.0
+            } else {
+                rng.range_f64(0.1, 3.5)
+            }
+        }
+        _ => {
+            if stall_fraction > 0.0 {
+                rng.range_f64(1.0, 8.0)
+            } else {
+                rng.range_f64(0.0, 2.0)
+            }
+        }
+    };
+
+    VideoSession {
+        tester: tester.id,
+        operator: tester.operator,
+        download: Mbps(bw),
+        quality,
+        buffer_secs,
+        dropped_pct,
+        stall_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testers::panel;
+
+    fn sessions() -> Vec<VideoSession> {
+        let mut rng = Rng::new(21);
+        let mut out = Vec::new();
+        for t in panel(21) {
+            for _ in 0..crate::testers::RUNS_PER_TESTER {
+                out.push(video_session(&t, &mut rng));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn only_starlink_reaches_high_resolution() {
+        let s = sessions();
+        let starlink_best = s
+            .iter()
+            .filter(|x| x.operator == Operator::Starlink)
+            .map(|x| x.quality.megapixels())
+            .fold(0.0, f64::max);
+        assert!(starlink_best >= 2.0, "starlink best {starlink_best} MP");
+        for op in [Operator::Hughes, Operator::Viasat] {
+            let best = s
+                .iter()
+                .filter(|x| x.operator == op)
+                .map(|x| x.quality.megapixels())
+                .fold(0.0, f64::max);
+            assert!(best <= 1.1, "{op} best {best} MP");
+        }
+    }
+
+    #[test]
+    fn geo_operators_hover_near_half_a_megapixel() {
+        let s = sessions();
+        for op in [Operator::Hughes, Operator::Viasat] {
+            let mps: Vec<f64> = s
+                .iter()
+                .filter(|x| x.operator == op)
+                .map(|x| x.quality.megapixels())
+                .collect();
+            let med = sno_stats::median(&mps).unwrap();
+            assert!(med <= 0.6, "{op} median {med} MP");
+        }
+    }
+
+    #[test]
+    fn high_resolution_costs_buffer_health() {
+        let s = sessions();
+        let starlink: Vec<&VideoSession> = s
+            .iter()
+            .filter(|x| x.operator == Operator::Starlink)
+            .collect();
+        let high: Vec<f64> = starlink
+            .iter()
+            .filter(|x| x.quality.megapixels() >= 2.0)
+            .map(|x| x.buffer_secs)
+            .collect();
+        let low: Vec<f64> = starlink
+            .iter()
+            .filter(|x| x.quality.megapixels() < 2.0)
+            .map(|x| x.buffer_secs)
+            .collect();
+        if let (Some(h), Some(l)) = (sno_stats::median(&high), sno_stats::median(&low)) {
+            assert!(h < l, "high-res buffer {h} vs low-res {l}");
+        }
+        // Most runs keep a healthy 40–65 s buffer.
+        let healthy = s.iter().filter(|x| x.buffer_secs >= 40.0).count();
+        assert!(healthy * 2 > s.len(), "healthy {} of {}", healthy, s.len());
+    }
+
+    #[test]
+    fn full_resolution_runs_drop_no_frames() {
+        let s = sessions();
+        for x in &s {
+            if x.operator == Operator::Starlink && x.quality.megapixels() > 8.0 {
+                assert_eq!(x.dropped_pct, 0.0, "{x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stalls_are_rare_and_bounded() {
+        let s = sessions();
+        let stalled = s.iter().filter(|x| x.stall_fraction > 0.0).count();
+        assert!(stalled * 5 <= s.len(), "stalled {} of {}", stalled, s.len());
+        for x in &s {
+            assert!(x.stall_fraction <= 0.32);
+        }
+    }
+
+    #[test]
+    fn ladder_megapixels_are_monotone() {
+        for w in LADDER.windows(2) {
+            assert!(w[0].megapixels() < w[1].megapixels());
+            assert!(w[0].bitrate < w[1].bitrate);
+        }
+        // 1080p ≈ 2 MP, 2160p ≈ 8 MP — the paper's reference points.
+        assert!((LADDER[4].megapixels() - 2.07).abs() < 0.05);
+        assert!((LADDER[6].megapixels() - 8.29).abs() < 0.05);
+    }
+}

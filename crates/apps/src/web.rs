@@ -1,0 +1,165 @@
+//! The Akamai H1 vs H2 demo-page load model (Figure 10b).
+//!
+//! The demo page is hundreds of small images. Over HTTP/1.1 the browser
+//! opens six parallel connections and each object costs a request round
+//! trip on its connection, so the page load is dominated by
+//! `objects / 6` round trips. HTTP/2 multiplexes everything over one
+//! connection: a handful of round trips plus the bandwidth-limited
+//! transfer. That is why H2 on a GEO path lands near H1 on Starlink —
+//! the paper's headline observation.
+
+use crate::testers::Tester;
+use sno_types::{Millis, Operator, Rng};
+
+/// HTTP protocol version under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HttpVersion {
+    H1,
+    H2,
+}
+
+impl std::fmt::Display for HttpVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HttpVersion::H1 => "HTTP/1.1",
+            HttpVersion::H2 => "HTTP/2",
+        })
+    }
+}
+
+/// One measured page load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageLoad {
+    pub tester: sno_types::TesterId,
+    pub operator: Operator,
+    pub version: HttpVersion,
+    /// Page load time (onload), ms.
+    pub plt: Millis,
+    /// True when the addon's ~60 s timeout fired first.
+    pub timed_out: bool,
+}
+
+/// Objects on the demo page.
+pub const PAGE_OBJECTS: u32 = 360;
+/// Mean object size, bytes.
+pub const OBJECT_BYTES: f64 = 1_800.0;
+/// H1 parallel connections per origin.
+pub const H1_CONNECTIONS: f64 = 6.0;
+/// The addon's page-load timeout, ms.
+pub const LOAD_TIMEOUT_MS: f64 = 60_000.0;
+
+/// Load the demo page once.
+pub fn page_load(tester: &Tester, version: HttpVersion, rng: &mut Rng) -> PageLoad {
+    let uses_pep = sno_registry::profile::profile_of(tester.operator).uses_pep;
+    let rtt = tester.access_rtt.0 + rng.range_f64(2.0, 10.0);
+    let plan = sno_registry::assets::service_plan_of(tester.operator);
+    let rate = (plan.down_lo + plan.down_hi) / 2.0;
+    let total_bytes = f64::from(PAGE_OBJECTS) * OBJECT_BYTES;
+    let transfer = total_bytes * 8.0 / (rate * 1e6) * 1_000.0;
+
+    // Connection setup: DNS + TCP + TLS (PEPs splice part of it).
+    let setup_rtts = if uses_pep { 1.6 } else { 2.5 };
+    // Browser parse/layout/decode work, protocol-independent.
+    let render_ms = 700.0 + f64::from(PAGE_OBJECTS) * 2.0;
+    // Occasional weather fade / beam congestion stretches a whole run.
+    let weather = if rng.chance(0.08) { rng.range_f64(1.5, 2.3) } else { 1.0 };
+    let plt = match version {
+        HttpVersion::H1 => {
+            // Each connection serves its share of objects, one request
+            // round trip each; a PEP's hub-side prefetching pipelines
+            // part of that.
+            let rounds = (f64::from(PAGE_OBJECTS) / H1_CONNECTIONS).ceil();
+            let pipelining = if uses_pep { 0.45 } else { 1.0 };
+            setup_rtts * rtt + rounds * rtt * pipelining + transfer + render_ms
+        }
+        HttpVersion::H2 => {
+            // One multiplexed connection: a few window-growth round
+            // trips, then bandwidth-bound.
+            let growth_rounds = if uses_pep { 2.0 } else { 4.0 };
+            setup_rtts * rtt + growth_rounds * rtt + transfer + render_ms
+        }
+    } * rng.lognormal(0.0, 0.07).clamp(0.85, 1.3)
+        * weather;
+
+    PageLoad {
+        tester: tester.id,
+        operator: tester.operator,
+        version,
+        plt: Millis(plt.min(LOAD_TIMEOUT_MS + rng.range_f64(0.0, 4_000.0))),
+        timed_out: plt > LOAD_TIMEOUT_MS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testers::panel;
+    use sno_stats::median;
+
+    fn median_plt(op: Operator, v: HttpVersion) -> f64 {
+        let mut rng = Rng::new(13);
+        let p = panel(13);
+        let times: Vec<f64> = p
+            .iter()
+            .filter(|t| t.operator == op)
+            .flat_map(|t| {
+                (0..4).map(|_| page_load(t, v, &mut rng).plt.0).collect::<Vec<_>>()
+            })
+            .collect();
+        median(&times).unwrap()
+    }
+
+    #[test]
+    fn h2_always_beats_h1() {
+        for op in [Operator::Starlink, Operator::Hughes, Operator::Viasat] {
+            let h1 = median_plt(op, HttpVersion::H1);
+            let h2 = median_plt(op, HttpVersion::H2);
+            assert!(h2 < h1, "{op}: H2 {h2} vs H1 {h1}");
+        }
+    }
+
+    #[test]
+    fn h2_gap_is_transformative_on_geo_but_modest_on_leo() {
+        let leo_ratio = median_plt(Operator::Starlink, HttpVersion::H1)
+            / median_plt(Operator::Starlink, HttpVersion::H2);
+        let geo_ratio = median_plt(Operator::Hughes, HttpVersion::H1)
+            / median_plt(Operator::Hughes, HttpVersion::H2);
+        assert!(geo_ratio > 2.5, "geo ratio {geo_ratio}");
+        assert!(geo_ratio > leo_ratio, "geo {geo_ratio} vs leo {leo_ratio}");
+    }
+
+    #[test]
+    fn geo_h2_comparable_to_starlink_h1() {
+        // The paper's headline: H2 lets GEO users load the page about as
+        // fast as Starlink users on H1.
+        let geo_h2 = median_plt(Operator::Hughes, HttpVersion::H2);
+        let leo_h1 = median_plt(Operator::Starlink, HttpVersion::H1);
+        let ratio = geo_h2 / leo_h1;
+        assert!((0.4..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn viasat_beats_hughes_on_complex_pages() {
+        // The ~100 ms RTT advantage compounds over hundreds of objects.
+        let v = median_plt(Operator::Viasat, HttpVersion::H1);
+        let h = median_plt(Operator::Hughes, HttpVersion::H1);
+        assert!(v < h - 2_000.0, "viasat {v} vs hughes {h}");
+    }
+
+    #[test]
+    fn hughes_h1_can_hit_the_timeout() {
+        // One HughesNet tester hit the 60 s timeout in the paper; our
+        // worst-case H1 load must flirt with it.
+        let mut rng = Rng::new(17);
+        let p = panel(17);
+        let worst = p
+            .iter()
+            .filter(|t| t.operator == Operator::Hughes)
+            .flat_map(|t| {
+                (0..8).map(|_| page_load(t, HttpVersion::H1, &mut rng)).collect::<Vec<_>>()
+            })
+            .map(|l| l.plt.0)
+            .fold(0.0, f64::max);
+        assert!(worst > 45_000.0, "worst Hughes H1 load {worst}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Probe→PoP round-trip times from the CGNAT gateway hop.
+
+use sno_stats::FiveNumber;
+use sno_types::records::{CountryCode, TracerouteRecord};
+use sno_types::ProbeId;
+use std::collections::BTreeMap;
+
+/// Minimal probe metadata the analyses need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeInfo {
+    /// Probe identifier.
+    pub id: ProbeId,
+    /// Country of deployment.
+    pub country: CountryCode,
+    /// US state postal code, if in the US.
+    pub state: Option<&'static str>,
+}
+
+/// Look up a probe's metadata.
+fn info_of(probes: &[ProbeInfo], id: ProbeId) -> Option<&ProbeInfo> {
+    probes.iter().find(|p| p.id == id)
+}
+
+/// Figure 6a: probe→PoP RTT boxplots per country, *excluding* the US
+/// ("rest of the world"). Sorted by median ascending.
+pub fn pop_rtt_by_country(
+    traceroutes: &[TracerouteRecord],
+    probes: &[ProbeInfo],
+) -> Vec<(CountryCode, FiveNumber)> {
+    let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
+    for t in traceroutes {
+        let Some(info) = info_of(probes, t.probe) else { continue };
+        if info.country == CountryCode::new("US") {
+            continue;
+        }
+        if let Some(rtt) = t.cgnat_rtt() {
+            by_country.entry(info.country).or_default().push(rtt.0);
+        }
+    }
+    summarise(by_country)
+}
+
+/// Figure 8a: probe→PoP RTT boxplots per US state. Sorted by median
+/// ascending.
+pub fn pop_rtt_by_state(
+    traceroutes: &[TracerouteRecord],
+    probes: &[ProbeInfo],
+) -> Vec<(&'static str, FiveNumber)> {
+    let mut by_state: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for t in traceroutes {
+        let Some(info) = info_of(probes, t.probe) else { continue };
+        let Some(state) = info.state else { continue };
+        if let Some(rtt) = t.cgnat_rtt() {
+            by_state.entry(state).or_default().push(rtt.0);
+        }
+    }
+    summarise(by_state)
+}
+
+/// Per-probe RTT time series (timestamp-ordered), for the longitudinal
+/// analyses.
+pub fn pop_rtt_series(
+    traceroutes: &[TracerouteRecord],
+    probe: ProbeId,
+) -> Vec<(sno_types::Timestamp, f64)> {
+    let mut series: Vec<_> = traceroutes
+        .iter()
+        .filter(|t| t.probe == probe)
+        .filter_map(|t| t.cgnat_rtt().map(|r| (t.timestamp, r.0)))
+        .collect();
+    series.sort_by_key(|&(ts, _)| ts);
+    series
+}
+
+fn summarise<K: Ord>(map: BTreeMap<K, Vec<f64>>) -> Vec<(K, FiveNumber)> {
+    let mut out: Vec<(K, FiveNumber)> = map
+        .into_iter()
+        .filter_map(|(k, v)| FiveNumber::of(&v).map(|s| (k, s)))
+        .collect();
+    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use sno_synth::{AtlasGenerator, SynthConfig};
+    use std::sync::OnceLock;
+
+    pub(crate) fn corpus() -> &'static sno_synth::AtlasCorpus {
+        static CORPUS: OnceLock<sno_synth::AtlasCorpus> = OnceLock::new();
+        CORPUS.get_or_init(|| AtlasGenerator::new(SynthConfig::test_corpus()).generate())
+    }
+
+    pub(crate) fn probe_infos() -> Vec<ProbeInfo> {
+        corpus()
+            .probes
+            .iter()
+            .map(|p| ProbeInfo { id: p.id, country: p.country, state: p.state })
+            .collect()
+    }
+
+    fn median_of_country(code: &str) -> f64 {
+        let table = pop_rtt_by_country(&corpus().traceroutes, &probe_infos());
+        table
+            .iter()
+            .find(|(c, _)| *c == CountryCode::new(code))
+            .map(|(_, s)| s.median)
+            .unwrap_or_else(|| panic!("no {code} row"))
+    }
+
+    #[test]
+    fn nz_and_cl_are_fastest_rest_of_world() {
+        // Figure 6a: New Zealand and Chile ≈ 33 ms (NZ's full-window
+        // median is pulled up by its pre-Auckland Sydney days).
+        let nz = median_of_country("NZ");
+        let cl = median_of_country("CL");
+        assert!((28.0..50.0).contains(&nz), "NZ {nz}");
+        assert!((28.0..42.0).contains(&cl), "CL {cl}");
+        // Europe follows in the roughly-35-to-45 band.
+        for c in ["DE", "GB", "ES", "IT", "PL", "AT", "NL", "BE", "FR"] {
+            let m = median_of_country(c);
+            assert!((28.0..48.0).contains(&m), "{c} {m}");
+        }
+    }
+
+    #[test]
+    fn philippines_is_the_slowest_country() {
+        let table = pop_rtt_by_country(&corpus().traceroutes, &probe_infos());
+        let slowest = table.last().expect("non-empty").0;
+        assert_eq!(slowest, CountryCode::new("PH"));
+        let ph = median_of_country("PH");
+        assert!((60.0..110.0).contains(&ph), "PH {ph}");
+        // Roughly twice the typical European figure.
+        assert!(ph > 1.6 * median_of_country("DE"));
+    }
+
+    #[test]
+    fn us_excluded_from_rest_of_world() {
+        let table = pop_rtt_by_country(&corpus().traceroutes, &probe_infos());
+        assert!(table.iter().all(|(c, _)| *c != CountryCode::new("US")));
+        assert_eq!(table.len(), 14, "all 14 non-US countries present");
+    }
+
+    #[test]
+    fn alaska_dominates_the_states() {
+        let table = pop_rtt_by_state(&corpus().traceroutes, &probe_infos());
+        let (slowest, summary) = table.last().expect("non-empty");
+        assert_eq!(*slowest, "AK");
+        assert!((60.0..110.0).contains(&summary.median), "AK {}", summary.median);
+        // Mainland states sit around 40–60 ms.
+        for (state, s) in &table[..table.len() - 1] {
+            assert!(
+                (30.0..62.0).contains(&s.median),
+                "{state} median {}",
+                s.median
+            );
+        }
+    }
+
+    #[test]
+    fn series_is_time_ordered() {
+        let probes = probe_infos();
+        let first = probes.first().unwrap().id;
+        let series = pop_rtt_series(&corpus().traceroutes, first);
+        assert!(series.len() > 10);
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

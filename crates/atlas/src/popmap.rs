@@ -1,0 +1,125 @@
+//! PoP geolocation from SSLCert source addresses and reverse DNS.
+//!
+//! Every 12 hours a probe's SSLCert measurement exposes its public
+//! source address; reverse DNS of that address encodes the serving PoP
+//! (`customer.<code>.pop.starlinkisp.net`). Tracking these over time
+//! yields each probe's PoP link history — the green (active) and red
+//! (inactive) lines of Figure 7.
+
+use sno_geo::pops::{pop_from_reverse_dns, PopSite};
+use sno_types::records::SslCertRecord;
+use sno_types::{ProbeId, Timestamp};
+
+/// One probe→PoP association interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopLink {
+    /// The serving PoP.
+    pub pop: &'static PopSite,
+    /// First observation of this association.
+    pub first_seen: Timestamp,
+    /// Last observation.
+    pub last_seen: Timestamp,
+    /// Whether this is the probe's current (most recent) association.
+    pub active: bool,
+}
+
+/// Reconstruct one probe's PoP history from SSLCert observations.
+///
+/// `resolve` maps a public address to its reverse-DNS name (in
+/// production a PTR lookup; in the synthetic corpus
+/// `sno_synth::atlas::reverse_dns`). Consecutive observations of the
+/// same PoP are merged; the last interval is marked active.
+pub fn pop_history(
+    sslcerts: &[SslCertRecord],
+    probe: ProbeId,
+    resolve: impl Fn(sno_types::Ipv4) -> Option<String>,
+) -> Vec<PopLink> {
+    let mut obs: Vec<&SslCertRecord> =
+        sslcerts.iter().filter(|s| s.probe == probe).collect();
+    obs.sort_by_key(|s| s.timestamp);
+
+    let mut history: Vec<PopLink> = Vec::new();
+    for s in obs {
+        let Some(name) = resolve(s.src_addr) else { continue };
+        let Some(pop) = pop_from_reverse_dns(&name) else { continue };
+        match history.last_mut() {
+            Some(last) if last.pop.code == pop.code => last.last_seen = s.timestamp,
+            _ => history.push(PopLink {
+                pop,
+                first_seen: s.timestamp,
+                last_seen: s.timestamp,
+                active: false,
+            }),
+        }
+    }
+    if let Some(last) = history.last_mut() {
+        last.active = true;
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pop_rtt::tests::corpus;
+    use sno_types::records::CountryCode;
+
+    fn history_of(country: &str, idx: usize) -> (ProbeId, Vec<PopLink>) {
+        let c = corpus();
+        let probe = c
+            .probes
+            .iter()
+            .filter(|p| p.country == CountryCode::new(country))
+            .nth(idx)
+            .expect("probe exists");
+        let h = pop_history(&c.sslcerts, probe.id, sno_synth::atlas::reverse_dns);
+        (probe.id, h)
+    }
+
+    #[test]
+    fn nz_history_shows_sydney_then_auckland() {
+        let (_, h) = history_of("NZ", 0);
+        assert_eq!(h.len(), 2, "{h:?}");
+        assert_eq!(h[0].pop.code, "sydnaus1");
+        assert!(!h[0].active, "old link must be inactive");
+        assert_eq!(h[1].pop.code, "aklnnzl1");
+        assert!(h[1].active);
+        assert!(h[0].last_seen < h[1].first_seen);
+        // The switch happened around 2022-07-12.
+        let switch = h[1].first_seen.date();
+        assert_eq!((switch.year, switch.month), (2022, 7));
+    }
+
+    #[test]
+    fn nl_first_probe_moved_frankfurt_to_london() {
+        let (_, h) = history_of("NL", 0);
+        let codes: Vec<_> = h.iter().map(|l| l.pop.code).collect();
+        assert_eq!(codes, vec!["frntdeu1", "lndngbr1"]);
+    }
+
+    #[test]
+    fn nevada_probe_has_three_intervals() {
+        let c = corpus();
+        let nv = c.probes.iter().find(|p| p.state == Some("NV")).unwrap();
+        let h = pop_history(&c.sslcerts, nv.id, sno_synth::atlas::reverse_dns);
+        let codes: Vec<_> = h.iter().map(|l| l.pop.code).collect();
+        assert_eq!(codes, vec!["lsancax1", "dnvrcox1", "lsancax1"]);
+        assert!(h[2].active && !h[0].active && !h[1].active);
+    }
+
+    #[test]
+    fn stable_probes_have_one_active_link() {
+        let (_, h) = history_of("DE", 0);
+        assert_eq!(h.len(), 1);
+        assert!(h[0].active);
+        assert_eq!(h[0].pop.code, "frntdeu1");
+    }
+
+    #[test]
+    fn unresolvable_addresses_are_skipped() {
+        let c = corpus();
+        let probe = c.probes[0].id;
+        let h = pop_history(&c.sslcerts, probe, |_| None);
+        assert!(h.is_empty());
+    }
+}

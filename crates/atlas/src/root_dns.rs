@@ -1,0 +1,125 @@
+//! RTT and hop counts to the 13 root DNS letters.
+
+use crate::pop_rtt::ProbeInfo;
+use sno_stats::FiveNumber;
+use sno_types::records::{CountryCode, TracerouteRecord};
+use std::collections::BTreeMap;
+
+/// Figure 6b: end-to-end RTT to root servers per country (non-US),
+/// sorted by median ascending.
+pub fn root_rtt_by_country(
+    traceroutes: &[TracerouteRecord],
+    probes: &[ProbeInfo],
+) -> Vec<(CountryCode, FiveNumber)> {
+    let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
+    for t in traceroutes {
+        let Some(info) = probes.iter().find(|p| p.id == t.probe) else { continue };
+        if info.country == CountryCode::new("US") {
+            continue;
+        }
+        if let Some(rtt) = t.end_to_end_rtt() {
+            by_country.entry(info.country).or_default().push(rtt.0);
+        }
+    }
+    let mut out: Vec<(CountryCode, FiveNumber)> = by_country
+        .into_iter()
+        .filter_map(|(c, v)| FiveNumber::of(&v).map(|s| (c, s)))
+        .collect();
+    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out
+}
+
+/// Figure 6c: hop-count distributions per country (non-US), sorted by
+/// median ascending.
+pub fn hops_by_country(
+    traceroutes: &[TracerouteRecord],
+    probes: &[ProbeInfo],
+) -> Vec<(CountryCode, FiveNumber)> {
+    let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
+    for t in traceroutes {
+        let Some(info) = probes.iter().find(|p| p.id == t.probe) else { continue };
+        if info.country == CountryCode::new("US") {
+            continue;
+        }
+        if let Some(h) = t.hop_count() {
+            by_country.entry(info.country).or_default().push(h as f64);
+        }
+    }
+    let mut out: Vec<(CountryCode, FiveNumber)> = by_country
+        .into_iter()
+        .filter_map(|(c, v)| FiveNumber::of(&v).map(|s| (c, s)))
+        .collect();
+    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pop_rtt::tests::{corpus, probe_infos};
+
+    fn rtt_row(code: &str) -> FiveNumber {
+        root_rtt_by_country(&corpus().traceroutes, &probe_infos())
+            .into_iter()
+            .find(|(c, _)| *c == CountryCode::new(code))
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("no {code} row"))
+    }
+
+    #[test]
+    fn european_countries_reach_roots_fastest() {
+        // Figure 6b: Europe 40–49 ms median (Spain a touch higher).
+        for c in ["DE", "GB", "NL", "AT", "PL", "FR", "BE", "IT"] {
+            let m = rtt_row(c).median;
+            assert!((33.0..60.0).contains(&m), "{c} {m}");
+        }
+        let es = rtt_row("ES").median;
+        assert!((38.0..75.0).contains(&es), "ES {es}");
+    }
+
+    #[test]
+    fn chile_pays_extra_for_missing_letters() {
+        // Chile is fastest to its PoP but only 7 of 13 letters are local:
+        // the other half take long routes, pushing the median above the
+        // PoP RTT and widening the spread.
+        let cl = rtt_row("CL");
+        assert!(cl.median > 38.0, "CL median {}", cl.median);
+        assert!(cl.q3 > 80.0, "CL q3 {}", cl.q3);
+    }
+
+    #[test]
+    fn oceania_needs_long_routes_for_most_queries() {
+        let nz = rtt_row("NZ");
+        let au = rtt_row("AU");
+        assert!(nz.q3 > 80.0, "NZ q3 {}", nz.q3);
+        assert!(au.q3 > 80.0, "AU q3 {}", au.q3);
+    }
+
+    #[test]
+    fn philippines_trails_at_about_200ms() {
+        let table = root_rtt_by_country(&corpus().traceroutes, &probe_infos());
+        let (last, s) = table.last().unwrap();
+        assert_eq!(*last, CountryCode::new("PH"));
+        assert!((120.0..260.0).contains(&s.median), "PH {}", s.median);
+    }
+
+    #[test]
+    fn hop_counts_span_5_to_20() {
+        let table = hops_by_country(&corpus().traceroutes, &probe_infos());
+        let all_min = table
+            .iter()
+            .map(|(_, s)| s.min)
+            .fold(f64::INFINITY, f64::min);
+        let all_max = table.iter().map(|(_, s)| s.max).fold(0.0, f64::max);
+        assert!(all_min <= 6.0, "min hops {all_min}");
+        assert!(all_max >= 15.0, "max hops {all_max}");
+        // Chile shows the extremes: 5-hop local L-root, 15+-hop M-root.
+        let cl = table
+            .iter()
+            .find(|(c, _)| *c == CountryCode::new("CL"))
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert!(cl.min <= 6.0, "CL min {}", cl.min);
+        assert!(cl.max >= 14.0, "CL max {}", cl.max);
+    }
+}

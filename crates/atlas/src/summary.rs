@@ -1,0 +1,92 @@
+//! The Table 2 dataset summary.
+
+use crate::pop_rtt::ProbeInfo;
+use sno_types::records::{CountryCode, TracerouteRecord};
+use sno_types::Timestamp;
+use std::collections::BTreeMap;
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountrySummary {
+    pub country: CountryCode,
+    /// Probes deployed.
+    pub probes: usize,
+    /// Earliest measurement observed.
+    pub first_measurement: Timestamp,
+    /// Traceroute measurements collected.
+    pub traceroutes: u64,
+}
+
+/// Summarise the dataset per country (Table 2), sorted by country code.
+pub fn country_summary(
+    traceroutes: &[TracerouteRecord],
+    probes: &[ProbeInfo],
+) -> Vec<CountrySummary> {
+    let mut acc: BTreeMap<CountryCode, (std::collections::BTreeSet<u32>, Option<Timestamp>, u64)> =
+        BTreeMap::new();
+    for t in traceroutes {
+        let Some(info) = probes.iter().find(|p| p.id == t.probe) else { continue };
+        let entry = acc.entry(info.country).or_default();
+        entry.0.insert(t.probe.0);
+        entry.1 = Some(match entry.1 {
+            Some(first) if first <= t.timestamp => first,
+            _ => t.timestamp,
+        });
+        entry.2 += 1;
+    }
+    acc.into_iter()
+        .map(|(country, (ids, first, n))| CountrySummary {
+            country,
+            probes: ids.len(),
+            first_measurement: first.expect("entries only created with a timestamp"),
+            traceroutes: n,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pop_rtt::tests::{corpus, probe_infos};
+
+    #[test]
+    fn fifteen_countries_sixty_seven_probes() {
+        let rows = country_summary(&corpus().traceroutes, &probe_infos());
+        assert_eq!(rows.len(), 15);
+        let total: usize = rows.iter().map(|r| r.probes).sum();
+        assert_eq!(total, 67);
+    }
+
+    #[test]
+    fn us_has_most_probes_and_traceroutes() {
+        let rows = country_summary(&corpus().traceroutes, &probe_infos());
+        let us = rows
+            .iter()
+            .find(|r| r.country == CountryCode::new("US"))
+            .unwrap();
+        assert_eq!(us.probes, 33);
+        for r in &rows {
+            if r.country != CountryCode::new("US") {
+                assert!(us.traceroutes > r.traceroutes, "{}", r.country);
+            }
+        }
+    }
+
+    #[test]
+    fn start_dates_follow_table2() {
+        let rows = country_summary(&corpus().traceroutes, &probe_infos());
+        let first_of = |code: &str| {
+            rows.iter()
+                .find(|r| r.country == CountryCode::new(code))
+                .unwrap()
+                .first_measurement
+                .date()
+        };
+        // May-2022 cohort vs late joiners.
+        assert_eq!(first_of("US").year, 2022);
+        assert_eq!(first_of("US").month, 5);
+        assert_eq!(first_of("PH").year, 2023);
+        assert_eq!(first_of("PH").month, 3);
+        assert_eq!(first_of("FR").month, 11);
+    }
+}

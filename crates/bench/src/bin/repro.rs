@@ -1,0 +1,60 @@
+//! Regenerate the paper's tables and figures from the synthetic corpora.
+//!
+//! ```text
+//! repro                 # run everything
+//! repro table1 fig4c    # run selected experiments
+//! repro --list          # list experiment ids
+//! repro --scale 1e-2    # denser corpus (slower, smoother statistics)
+//! ```
+
+use sno_bench::{run_experiment, ReproContext, EXPERIMENTS};
+use sno_synth::SynthConfig;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, what, _) in EXPERIMENTS {
+            println!("{id:<10} {what}");
+        }
+        return;
+    }
+
+    let mut config = SynthConfig::default_corpus();
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        let value = args
+            .get(pos + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--scale needs a number, e.g. --scale 1e-2");
+                std::process::exit(2);
+            });
+        config.scale = value;
+        args.drain(pos..=pos + 1);
+    }
+
+    let ctx = ReproContext::with_config(config);
+    let selected: Vec<&str> = if args.is_empty() {
+        EXPERIMENTS.iter().map(|(id, ..)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in selected {
+        match run_experiment(&ctx, id) {
+            Some(output) => {
+                let what = EXPERIMENTS
+                    .iter()
+                    .find(|(eid, ..)| *eid == id)
+                    .map(|(_, w, _)| *w)
+                    .unwrap_or("");
+                println!("==== {id}: {what} ====");
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

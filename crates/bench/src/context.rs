@@ -1,0 +1,70 @@
+//! Shared, lazily-built corpora and pipeline state for the experiments.
+
+use sno_core::pipeline::{Pipeline, PipelineReport};
+use sno_synth::{AtlasCorpus, AtlasGenerator, MlabCorpus, MlabGenerator, SynthConfig};
+use std::sync::OnceLock;
+
+/// Everything the experiments share: the synthetic corpora and the
+/// identification pipeline's output, built once on first use.
+pub struct ReproContext {
+    config: SynthConfig,
+    mlab: OnceLock<MlabCorpus>,
+    report: OnceLock<PipelineReport>,
+    atlas: OnceLock<AtlasCorpus>,
+}
+
+impl ReproContext {
+    /// Context over the default corpus (seed `0x5A7E1117`, 1/1000 of the
+    /// paper's M-Lab volume).
+    pub fn new() -> ReproContext {
+        ReproContext::with_config(SynthConfig::default_corpus())
+    }
+
+    /// Context with an explicit configuration.
+    pub fn with_config(config: SynthConfig) -> ReproContext {
+        ReproContext {
+            config,
+            mlab: OnceLock::new(),
+            report: OnceLock::new(),
+            atlas: OnceLock::new(),
+        }
+    }
+
+    /// The generator configuration in use.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The NDT corpus (generated on first call).
+    pub fn mlab(&self) -> &MlabCorpus {
+        self.mlab
+            .get_or_init(|| MlabGenerator::new(self.config.clone()).generate())
+    }
+
+    /// The pipeline report over the NDT corpus.
+    pub fn report(&self) -> &PipelineReport {
+        self.report
+            .get_or_init(|| Pipeline::new().run(&self.mlab().records))
+    }
+
+    /// The RIPE Atlas corpus.
+    pub fn atlas(&self) -> &AtlasCorpus {
+        self.atlas
+            .get_or_init(|| AtlasGenerator::new(self.config.clone()).generate())
+    }
+
+    /// Probe metadata in the shape the atlas analyses take.
+    pub fn probe_infos(&self) -> Vec<sno_atlas::ProbeInfo> {
+        self.atlas()
+            .probes
+            .iter()
+            .map(|p| sno_atlas::ProbeInfo { id: p.id, country: p.country, state: p.state })
+            .collect()
+    }
+}
+
+impl Default for ReproContext {
+    fn default() -> Self {
+        ReproContext::new()
+    }
+}

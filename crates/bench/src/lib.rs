@@ -1,0 +1,9 @@
+//! The reproduction harness: one function per table/figure of the paper,
+//! each returning the rows/series as printable text. The `repro` binary
+//! drives these; the Criterion benches time the underlying computations.
+
+pub mod context;
+pub mod experiments;
+
+pub use context::ReproContext;
+pub use experiments::{run_experiment, EXPERIMENTS};

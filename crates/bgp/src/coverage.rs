@@ -1,0 +1,166 @@
+//! Country-level coverage inference and its validation.
+//!
+//! Inference: the countries where an SNO's ground infrastructure lives
+//! are approximated by the registry jurisdictions of its BGP peers.
+//! Validation (for the operators with public PoP maps): compare against
+//! ground truth and report country recall plus the fraction of
+//! city-level PoPs that fall inside discovered countries. The method
+//! systematically *underestimates* because continent-wide carriers
+//! (Arelion, Sparkle, EdgeUno) register in one country but peer in many
+//! — exactly the caveat the paper documents.
+
+use crate::graph::peering_view;
+use sno_geo::STARLINK_POPS;
+use sno_types::records::{BgpSnapshot, CountryCode};
+use sno_types::Operator;
+
+/// One site of ground-truth infrastructure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruthSite {
+    pub city: &'static str,
+    pub country: &'static str,
+}
+
+/// Publicly documented PoP/teleport sites per operator (the paper finds
+/// maps for Starlink, SES and Hellas-Sat only).
+pub fn ground_truth_sites(op: Operator) -> Vec<GroundTruthSite> {
+    match op {
+        Operator::Starlink => STARLINK_POPS
+            .iter()
+            .map(|p| GroundTruthSite { city: p.city, country: p.country_str })
+            .collect(),
+        Operator::Ses => vec![
+            GroundTruthSite { city: "Betzdorf", country: "LU" },
+            GroundTruthSite { city: "Gibraltar-ish Madrid", country: "ES" },
+            GroundTruthSite { city: "Ashburn", country: "US" },
+            GroundTruthSite { city: "Hawaii", country: "US" },
+            GroundTruthSite { city: "Singapore", country: "SG" },
+            GroundTruthSite { city: "Perth", country: "AU" },
+            GroundTruthSite { city: "Dubai", country: "AE" },
+            GroundTruthSite { city: "São Paulo", country: "BR" },
+            GroundTruthSite { city: "Athens", country: "GR" },
+        ],
+        Operator::HellasSat => vec![
+            GroundTruthSite { city: "Athens", country: "GR" },
+            GroundTruthSite { city: "Nicosia", country: "CY" },
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// The outcome of validating inferred coverage against ground truth.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    pub operator: Operator,
+    /// Countries inferred from peer jurisdictions.
+    pub inferred: Vec<CountryCode>,
+    /// Ground-truth countries.
+    pub truth_countries: Vec<CountryCode>,
+    /// Ground-truth countries that inference discovered.
+    pub discovered: Vec<CountryCode>,
+    /// Fraction of city-level sites inside discovered countries.
+    pub city_coverage: f64,
+}
+
+impl CoverageReport {
+    /// Country recall: discovered / truth.
+    pub fn country_recall(&self) -> f64 {
+        if self.truth_countries.is_empty() {
+            return 0.0;
+        }
+        self.discovered.len() as f64 / self.truth_countries.len() as f64
+    }
+}
+
+/// Infer and validate coverage for `op` against `snapshot`.
+pub fn coverage_report(snapshot: &BgpSnapshot, op: Operator) -> CoverageReport {
+    let view = peering_view(snapshot, op);
+    let inferred = view.peer_countries();
+    let sites = ground_truth_sites(op);
+    let mut truth_countries: Vec<CountryCode> =
+        sites.iter().map(|s| CountryCode::new(s.country)).collect();
+    truth_countries.sort();
+    truth_countries.dedup();
+    let discovered: Vec<CountryCode> = truth_countries
+        .iter()
+        .copied()
+        .filter(|c| inferred.contains(c))
+        .collect();
+    let covered_sites = sites
+        .iter()
+        .filter(|s| discovered.contains(&CountryCode::new(s.country)))
+        .count();
+    let city_coverage = if sites.is_empty() {
+        0.0
+    } else {
+        covered_sites as f64 / sites.len() as f64
+    };
+    CoverageReport { operator: op, inferred, truth_countries, discovered, city_coverage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_synth::bgp::snapshot_for;
+
+    #[test]
+    fn starlink_coverage_is_a_useful_underestimate() {
+        // Paper: 10 of 30 countries, 74 % of city-level PoPs. Our ground
+        // truth holds 11 countries over 18 sites; the peer-country
+        // heuristic must find a majority of sites while missing several
+        // countries (served via continent-wide carriers).
+        let report = coverage_report(&snapshot_for(2023), Operator::Starlink);
+        assert!(report.truth_countries.len() >= 10);
+        let recall = report.country_recall();
+        assert!(
+            (0.3..0.9).contains(&recall),
+            "country recall {recall} ({:?} of {:?})",
+            report.discovered,
+            report.truth_countries
+        );
+        assert!(
+            (0.55..0.95).contains(&report.city_coverage),
+            "city coverage {}",
+            report.city_coverage
+        );
+        // The misses are real: some PoP countries have no same-country
+        // peer.
+        assert!(report.discovered.len() < report.truth_countries.len());
+    }
+
+    #[test]
+    fn hellas_sat_fully_discovered() {
+        // Paper: 2 of 2 countries, 100 % of sites.
+        let report = coverage_report(&snapshot_for(2023), Operator::HellasSat);
+        assert_eq!(report.truth_countries.len(), 2);
+        assert_eq!(report.country_recall(), 1.0, "{report:?}");
+        assert_eq!(report.city_coverage, 1.0);
+    }
+
+    #[test]
+    fn ses_partially_discovered() {
+        // Paper: 7 of 22 countries, 57 % of city sites — a middling
+        // recall with real misses.
+        let report = coverage_report(&snapshot_for(2023), Operator::Ses);
+        let recall = report.country_recall();
+        assert!((0.2..0.8).contains(&recall), "recall {recall}");
+        assert!(report.city_coverage < 1.0);
+        assert!(report.city_coverage > 0.2, "{}", report.city_coverage);
+    }
+
+    #[test]
+    fn operators_without_public_maps_report_empty_truth() {
+        let report = coverage_report(&snapshot_for(2023), Operator::Kvh);
+        assert!(report.truth_countries.is_empty());
+        assert_eq!(report.country_recall(), 0.0);
+        assert!(!report.inferred.is_empty(), "inference still works");
+    }
+
+    #[test]
+    fn coverage_grows_with_the_network() {
+        let r21 = coverage_report(&snapshot_for(2021), Operator::Starlink);
+        let r23 = coverage_report(&snapshot_for(2023), Operator::Starlink);
+        assert!(r23.discovered.len() > r21.discovered.len());
+        assert!(r23.city_coverage >= r21.city_coverage);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-SNO peering views over a route-views snapshot.
+
+use sno_types::records::{BgpSnapshot, CountryCode};
+use sno_types::{Asn, Operator};
+
+/// The tier-1 club the paper checks SNOs against.
+pub const TIER1_ASNS: &[u32] = &[3356, 1299, 174, 6762, 2914, 3257, 3549, 7018, 3320];
+
+/// One peer of an SNO, annotated for the Figure 5 visualization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerView {
+    /// The peer AS.
+    pub asn: Asn,
+    /// Registered organisation name.
+    pub name: String,
+    /// Registry (RIR) country of the AS.
+    pub country: CountryCode,
+    /// Node degree in the snapshot — the "size" of the bubble.
+    pub degree: usize,
+    /// Heuristic: a peer much bigger than the SNO is its upstream
+    /// provider (Gao-style inference by relative size).
+    pub likely_upstream: bool,
+    /// Member of the tier-1 club?
+    pub tier1: bool,
+}
+
+/// An SNO's peering neighbourhood in one snapshot.
+#[derive(Debug, Clone)]
+pub struct PeeringView {
+    /// The operator.
+    pub operator: Operator,
+    /// Its customer-facing ASN.
+    pub asn: Asn,
+    /// The operator's own degree.
+    pub degree: usize,
+    /// Its peers.
+    pub peers: Vec<PeerView>,
+}
+
+impl PeeringView {
+    /// Does the operator reach any tier-1 directly?
+    pub fn has_tier1(&self) -> bool {
+        self.peers.iter().any(|p| p.tier1)
+    }
+
+    /// Distinct countries across the peers.
+    pub fn peer_countries(&self) -> Vec<CountryCode> {
+        let mut countries: Vec<_> = self.peers.iter().map(|p| p.country).collect();
+        countries.sort();
+        countries.dedup();
+        countries
+    }
+}
+
+/// Build the peering view of `op` in `snapshot`. The operator's primary
+/// (first Table-3) ASN is used, matching how route-views sees its
+/// customer announcements.
+pub fn peering_view(snapshot: &BgpSnapshot, op: Operator) -> PeeringView {
+    let asn = Asn(sno_registry::profile::profile_of(op).asns[0]);
+    let own_degree = snapshot.degree(asn);
+    let peers = snapshot
+        .peers(asn)
+        .into_iter()
+        .map(|peer| {
+            let degree = snapshot.degree(peer);
+            let info = snapshot.info_for(peer);
+            PeerView {
+                asn: peer,
+                name: info.map(|i| i.name.clone()).unwrap_or_else(|| peer.to_string()),
+                country: info
+                    .map(|i| i.country)
+                    .unwrap_or(CountryCode::new("ZZ")),
+                degree,
+                likely_upstream: degree > own_degree.saturating_mul(2),
+                tier1: TIER1_ASNS.contains(&peer.0),
+            }
+        })
+        .collect();
+    PeeringView { operator: op, asn, degree: own_degree, peers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_synth::bgp::snapshot_for;
+
+    #[test]
+    fn starlink_peers_are_global_and_upstream_heavy() {
+        let snap = snapshot_for(2023);
+        let view = peering_view(&snap, Operator::Starlink);
+        assert!(view.degree >= 15, "degree {}", view.degree);
+        assert!(view.has_tier1());
+        // Level3 is much bigger than Starlink → flagged upstream.
+        let level3 = view.peers.iter().find(|p| p.asn == Asn(3356)).unwrap();
+        assert!(level3.likely_upstream);
+        assert!(view.peer_countries().len() >= 8);
+    }
+
+    #[test]
+    fn oneweb_sees_only_us_providers() {
+        let snap = snapshot_for(2023);
+        let view = peering_view(&snap, Operator::Oneweb);
+        assert_eq!(view.peers.len(), 2);
+        assert_eq!(view.peer_countries(), vec![CountryCode::new("US")]);
+    }
+
+    #[test]
+    fn kacific_dwarfs_its_distributors() {
+        let snap = snapshot_for(2023);
+        let view = peering_view(&snap, Operator::Kacific);
+        let small = view
+            .peers
+            .iter()
+            .filter(|p| !p.likely_upstream && p.degree < view.degree)
+            .count();
+        assert!(small >= 4, "small distributors: {small}");
+    }
+
+    #[test]
+    fn hellas_and_ultisat_have_no_tier1() {
+        let snap = snapshot_for(2023);
+        assert!(!peering_view(&snap, Operator::HellasSat).has_tier1());
+        assert!(!peering_view(&snap, Operator::Ultisat).has_tier1());
+        assert!(peering_view(&snap, Operator::Viasat).has_tier1());
+    }
+
+    #[test]
+    fn ses_is_well_connected() {
+        let snap = snapshot_for(2023);
+        let view = peering_view(&snap, Operator::Ses);
+        let tier1s = view.peers.iter().filter(|p| p.tier1).count();
+        assert!(tier1s >= 3, "SES tier-1 count {tier1s}");
+    }
+}

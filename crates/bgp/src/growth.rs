@@ -1,0 +1,98 @@
+//! Snapshot-over-snapshot peering evolution (Figure 13).
+
+use crate::graph::peering_view;
+use sno_types::records::BgpSnapshot;
+use sno_types::{Asn, Date, Operator};
+
+/// One operator's peering state in one snapshot.
+#[derive(Debug, Clone)]
+pub struct GrowthPoint {
+    /// Snapshot date.
+    pub date: Date,
+    /// Peer count (node degree).
+    pub degree: usize,
+    /// Distinct peer countries.
+    pub countries: usize,
+    /// The peer ASNs (for set-difference narratives like Marlink's
+    /// tier-1 swap).
+    pub peers: Vec<Asn>,
+}
+
+/// Track one operator across snapshots, chronologically.
+pub fn growth_track(snapshots: &[BgpSnapshot], op: Operator) -> Vec<GrowthPoint> {
+    let mut points: Vec<GrowthPoint> = snapshots
+        .iter()
+        .map(|snap| {
+            let view = peering_view(snap, op);
+            let mut peers: Vec<Asn> = view.peers.iter().map(|p| p.asn).collect();
+            peers.sort();
+            GrowthPoint {
+                date: snap.date,
+                degree: view.degree,
+                countries: view.peer_countries().len(),
+                peers,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| (p.date.year, p.date.month, p.date.day));
+    points
+}
+
+/// Peers gained and lost between two growth points: `(gained, lost)`.
+pub fn peer_churn(before: &GrowthPoint, after: &GrowthPoint) -> (Vec<Asn>, Vec<Asn>) {
+    let gained = after
+        .peers
+        .iter()
+        .copied()
+        .filter(|p| !before.peers.contains(p))
+        .collect();
+    let lost = before
+        .peers
+        .iter()
+        .copied()
+        .filter(|p| !after.peers.contains(p))
+        .collect();
+    (gained, lost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_synth::bgp::snapshots;
+
+    #[test]
+    fn starlink_explodes_hughes_stagnates() {
+        let snaps = snapshots();
+        let starlink = growth_track(&snaps, Operator::Starlink);
+        assert!(starlink[0].degree < starlink[1].degree);
+        assert!(starlink[1].degree < starlink[2].degree);
+        assert!(starlink[2].countries >= 2 * starlink[0].countries);
+
+        let hughes = growth_track(&snaps, Operator::Hughes);
+        assert_eq!(hughes[0].peers, hughes[2].peers, "HughesNet unchanged");
+    }
+
+    #[test]
+    fn viasat_expands_beyond_the_us() {
+        let snaps = snapshots();
+        let viasat = growth_track(&snaps, Operator::Viasat);
+        assert!(viasat[2].countries > viasat[0].countries);
+    }
+
+    #[test]
+    fn marlink_swapped_level3_for_cogent() {
+        let snaps = snapshots();
+        let marlink = growth_track(&snaps, Operator::Marlink);
+        let (gained, lost) = peer_churn(&marlink[0], &marlink[2]);
+        assert!(gained.contains(&Asn(174)), "gained {gained:?}");
+        assert!(lost.contains(&Asn(3549)), "lost {lost:?}");
+    }
+
+    #[test]
+    fn points_are_chronological() {
+        let snaps = snapshots();
+        let track = growth_track(&snaps, Operator::Ses);
+        assert_eq!(track.len(), 3);
+        assert!(track[0].date < track[1].date && track[1].date < track[2].date);
+    }
+}

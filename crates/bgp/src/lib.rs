@@ -1,0 +1,26 @@
+//! BGP-peering-based characterization of SNO ground infrastructure
+//! (Section 4's "geographic connectivity characterization", Figures 5,
+//! 12, 13 and the coverage validation).
+//!
+//! The paper's intuition: no SNO is a tier-1, so each must peer upstream
+//! to reach the internet; where it peers approximates where its ground
+//! infrastructure lives. This crate implements:
+//!
+//! * [`graph`] — the per-SNO peering view: peers with their registry
+//!   country and node degree (the "size" proxy of Figure 5), upstream
+//!   detection by relative degree, and tier-1 reachability;
+//! * [`coverage`] — country-level coverage inference from peer
+//!   jurisdictions, validated against PoP ground truth exactly as the
+//!   paper does for Starlink / SES / Hellas-Sat (10 of 30, 7 of 22,
+//!   2 of 2 countries; 74 % / 57 % / 100 % of city-level PoPs);
+//! * [`growth`] — snapshot-over-snapshot evolution (Figure 13):
+//!   Starlink's explosive growth, HughesNet's stagnation, Marlink's
+//!   tier-1 swap.
+
+pub mod coverage;
+pub mod graph;
+pub mod growth;
+
+pub use coverage::{coverage_report, CoverageReport};
+pub use graph::{peering_view, PeerView, PeeringView};
+pub use growth::{growth_track, GrowthPoint};

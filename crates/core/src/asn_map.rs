@@ -1,0 +1,153 @@
+//! Stage 1–2: ASN→SNO mapping and manual curation.
+//!
+//! The paper starts from ASdb's "Satellite Communication" category (129
+//! ASes in the real dataset; our facade carries the subset relevant to
+//! the study plus distractors), notices that well-known operators like
+//! Starlink and Viasat are missing, and recovers them by searching
+//! Hurricane Electric's BGP toolkit by name. Visiting each candidate's
+//! website then rejects the operators that are not consumer/enterprise
+//! SNOs at all — in the paper more than half the candidates fall here.
+
+use sno_registry::sources::{asdb, hebgp, is_genuine_sno};
+use sno_registry::profile::operator_of_asn;
+use sno_types::{Asn, Operator};
+use std::collections::BTreeMap;
+
+/// Popular operator names the paper searched for in Hurricane Electric
+/// after noticing gaps in ASdb.
+pub const HE_SEARCH_TERMS: &[&str] = &[
+    "starlink",
+    "viasat",
+    "oneweb",
+    "hughes",
+    "intelsat",
+    "eutelsat",
+    "ses",
+];
+
+/// The outcome of the mapping stage.
+#[derive(Debug, Clone)]
+pub struct AsnMapping {
+    /// Candidate ASNs before manual curation (ASdb ∪ HE search).
+    pub candidates: Vec<Asn>,
+    /// ASNs rejected by the website visit, with the business that got
+    /// them rejected.
+    pub rejected: Vec<(Asn, &'static str)>,
+    /// The curated mapping: operator → its ASNs.
+    pub mapping: BTreeMap<Operator, Vec<Asn>>,
+}
+
+impl AsnMapping {
+    /// Total curated ASNs (the paper's 67).
+    pub fn asn_count(&self) -> usize {
+        self.mapping.values().map(Vec::len).sum()
+    }
+
+    /// Operators in the curated mapping (the paper's 41).
+    pub fn operator_count(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// The operator an ASN was mapped to.
+    pub fn operator_of(&self, asn: Asn) -> Option<Operator> {
+        self.mapping
+            .iter()
+            .find(|(_, asns)| asns.contains(&asn))
+            .map(|(&op, _)| op)
+    }
+}
+
+/// Run the mapping stage.
+pub fn map_asns() -> AsnMapping {
+    // Step 1a: everything ASdb files under Satellite Communication.
+    let mut candidates: Vec<Asn> = asdb::satellite_ases().iter().map(|e| e.asn).collect();
+
+    // Step 1b: recover operators ASdb missed via HE name search.
+    for term in HE_SEARCH_TERMS {
+        for asn in hebgp::search(term) {
+            if !candidates.contains(&asn) {
+                candidates.push(asn);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    // Step 2: manual curation — visit each website and reject
+    // non-SNOs.
+    let mut rejected = Vec::new();
+    let mut mapping: BTreeMap<Operator, Vec<Asn>> = BTreeMap::new();
+    for &asn in &candidates {
+        match is_genuine_sno(asn) {
+            Some(true) => {
+                let op = operator_of_asn(asn).expect("genuine SNO ASNs have operators");
+                mapping.entry(op).or_default().push(asn);
+            }
+            Some(false) => {
+                let d = sno_registry::sources::DISTRACTORS
+                    .iter()
+                    .find(|d| d.asn == asn.0)
+                    .expect("rejected candidates are distractors");
+                rejected.push((asn, d.actual_business));
+            }
+            None => rejected.push((asn, "unidentifiable")),
+        }
+    }
+    AsnMapping { candidates, rejected, mapping }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_papers_41_snos_and_67_asns() {
+        let m = map_asns();
+        assert_eq!(m.operator_count(), 41);
+        assert_eq!(m.asn_count(), 67);
+    }
+
+    #[test]
+    fn candidates_exceed_curated_set() {
+        let m = map_asns();
+        assert!(
+            m.candidates.len() > m.asn_count(),
+            "curation must reject something"
+        );
+        assert_eq!(m.candidates.len(), m.asn_count() + m.rejected.len());
+    }
+
+    #[test]
+    fn starlink_recovered_despite_asdb_gap() {
+        let m = map_asns();
+        let starlink = &m.mapping[&Operator::Starlink];
+        assert!(starlink.contains(&Asn(14593)));
+        assert!(starlink.contains(&Asn(27277)));
+        assert_eq!(m.mapping[&Operator::Viasat].len(), 10);
+    }
+
+    #[test]
+    fn distractors_rejected_with_reasons() {
+        let m = map_asns();
+        assert!(m
+            .rejected
+            .iter()
+            .any(|(_, why)| *why == "cable TV operator"));
+        assert!(m
+            .rejected
+            .iter()
+            .any(|(_, why)| *why == "teleport operator"));
+        // No rejected ASN appears in the mapping.
+        for (asn, _) in &m.rejected {
+            assert!(m.operator_of(*asn).is_none());
+        }
+    }
+
+    #[test]
+    fn reverse_lookup_consistent() {
+        let m = map_asns();
+        assert_eq!(m.operator_of(Asn(14593)), Some(Operator::Starlink));
+        assert_eq!(m.operator_of(Asn(60725)), Some(Operator::O3b));
+        assert_eq!(m.operator_of(Asn(398101)), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's primary contribution: identifying satellite network
+//! operator (SNO) measurements inside public datasets, and the
+//! orbit-level analyses built on the identified traffic.
+//!
+//! The pipeline follows Figure 1 of the paper stage by stage:
+//!
+//! 1. [`asn_map`] — build the ASN→SNO mapping from an ASdb-style
+//!    category search plus Hurricane-Electric-style name search, then
+//!    manually curate away the lookalikes (cable TV, teleports, fleet
+//!    tracking);
+//! 2. [`validate`] — check each ASN's latency KDE against the access
+//!    technology its operator sells; flag corporate/terrestrial ASNs
+//!    (Starlink AS27277), broken hybrids (SES AS201554) and ASNs mixing
+//!    regimes internally (TelAlaska AS10538);
+//! 3. [`prefix_filter`] — the strict per-`/24` filter (≥ 10 tests, all
+//!    latencies inside the MEO > 200 ms / GEO > 500 ms bands), and the
+//!    relaxed filter derived from it (per-operator minimum latency,
+//!    527 ms default);
+//! 4. [`pipeline`] — the end-to-end orchestration producing the SNO
+//!    catalog (Table 1) and per-record acceptance;
+//! 5. [`analysis`] — the bird's-eye analyses of Section 4: latency
+//!    distributions (Figure 3c), latency-over-time stability (4a),
+//!    jitter variation (4b) and retransmissions with/without PEPs (4c).
+
+pub mod accuracy;
+pub mod analysis;
+pub mod asn_map;
+pub mod pipeline;
+pub mod prefix_filter;
+pub mod validate;
+
+pub use accuracy::{attribution_accuracy, score, Confusion};
+pub use analysis::{
+    jitter_by_orbit, latency_by_operator, retransmissions, stability, OrbitGroup,
+};
+pub use asn_map::{map_asns, AsnMapping};
+pub use pipeline::{Pipeline, PipelineReport};
+pub use prefix_filter::{relaxed_thresholds, strict_filter, StrictOutcome};
+pub use validate::{validate_asns, AsnVerdict, LatencyBands};

@@ -1,0 +1,270 @@
+//! Stage 4: the end-to-end pipeline and the SNO catalog (Table 1).
+
+use crate::asn_map::{map_asns, AsnMapping};
+use crate::prefix_filter::{
+    relaxed_thresholds, strict_filter, StrictOutcome, MEO_FLOOR_MS,
+};
+use crate::validate::{validate_asns, AsnProfile, AsnVerdict, LatencyBands};
+use sno_types::records::NdtRecord;
+use sno_types::{AccessKind, Operator, OrbitClass};
+use std::collections::BTreeMap;
+
+/// The configured pipeline.
+///
+/// ```no_run
+/// use sno_core::pipeline::Pipeline;
+/// use sno_synth::{MlabGenerator, SynthConfig};
+/// let corpus = MlabGenerator::new(SynthConfig::default_corpus()).generate();
+/// let report = Pipeline::new().run(&corpus.records);
+/// assert_eq!(report.sno_count(), 18); // the paper's Table 1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    /// Latency bands for the KDE validation stage.
+    pub bands: LatencyBands,
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Stage 1–2 output.
+    pub mapping: AsnMapping,
+    /// Stage 3 output: per-ASN KDE profiles and verdicts.
+    pub profiles: Vec<AsnProfile>,
+    /// Stage 3b output.
+    pub strict: StrictOutcome,
+    /// Stage 3c: per-operator relaxed thresholds.
+    pub thresholds: BTreeMap<Operator, f64>,
+    /// Stage 3c: the default threshold for uncovered operators.
+    pub default_threshold: f64,
+    /// Per input record: the operator the record was attributed to, or
+    /// `None` if rejected. Indexes match the input slice.
+    pub accepted: Vec<Option<Operator>>,
+    /// Stage 4: the catalog — operators with accepted tests, by volume
+    /// descending (Table 1).
+    pub catalog: Vec<(Operator, u64)>,
+}
+
+impl PipelineReport {
+    /// Indices of the records attributed to `op`.
+    pub fn accepted_indices(&self, op: Operator) -> Vec<usize> {
+        self.accepted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == Some(op)).then_some(i))
+            .collect()
+    }
+
+    /// Number of operators in the catalog.
+    pub fn sno_count(&self) -> usize {
+        self.catalog.len()
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with the default latency bands.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Run all stages over an NDT corpus.
+    pub fn run(&self, records: &[NdtRecord]) -> PipelineReport {
+        // Stages 1–2: registry mapping + curation.
+        let mapping = map_asns();
+        // Stage 3: KDE validation.
+        let profiles = validate_asns(&mapping, records, self.bands);
+        let verdict_of: BTreeMap<_, _> =
+            profiles.iter().map(|p| (p.asn, p.verdict.clone())).collect();
+        // Stage 3b: strict prefix filter.
+        let strict = strict_filter(&mapping, &profiles, records);
+        // Stage 3c: relaxed thresholds.
+        let (thresholds, default_threshold) = relaxed_thresholds(&strict);
+
+        // Stage 4: per-record acceptance.
+        let mut accepted = Vec::with_capacity(records.len());
+        for rec in records {
+            accepted.push(self.accept(
+                rec,
+                &mapping,
+                &verdict_of,
+                &thresholds,
+                default_threshold,
+            ));
+        }
+
+        let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
+        for op in accepted.iter().flatten() {
+            *counts.entry(*op).or_default() += 1;
+        }
+        let mut catalog: Vec<(Operator, u64)> = counts.into_iter().collect();
+        catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        PipelineReport {
+            mapping,
+            profiles,
+            strict,
+            thresholds,
+            default_threshold,
+            accepted,
+            catalog,
+        }
+    }
+
+    /// Decide one record.
+    fn accept(
+        &self,
+        rec: &NdtRecord,
+        mapping: &AsnMapping,
+        verdicts: &BTreeMap<sno_types::Asn, AsnVerdict>,
+        thresholds: &BTreeMap<Operator, f64>,
+        default_threshold: f64,
+    ) -> Option<Operator> {
+        let op = mapping.operator_of(rec.asn)?;
+        // ASNs whose latency profile contradicts the technology are out
+        // wholesale (corporate networks, broken hybrids).
+        if matches!(verdicts.get(&rec.asn), Some(AsnVerdict::Outlier(_))) {
+            return None;
+        }
+        let access = sno_registry::sources::access_of(op);
+        match access {
+            // LEO operators are identified at ASN granularity; the KDE
+            // stage already removed the bad ASNs.
+            AccessKind::Satellite(OrbitClass::Leo) => Some(op),
+            // The MEO operator likewise, with the regime floor as a
+            // sanity cut.
+            AccessKind::Satellite(OrbitClass::Meo) => {
+                (rec.latency_p5.0 > MEO_FLOOR_MS).then_some(op)
+            }
+            // GEO and hybrid operators go through the relaxed filter.
+            _ => {
+                let threshold =
+                    thresholds.get(&op).copied().unwrap_or(default_threshold);
+                (rec.latency_p5.0 >= threshold).then_some(op)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_synth::mlab::SessionTruth;
+    use sno_synth::{MlabCorpus, MlabGenerator, SynthConfig};
+    use sno_types::{Asn, LinkKind};
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (MlabCorpus, Vec<SessionTruth>, PipelineReport) {
+        static FIXTURE: OnceLock<(MlabCorpus, Vec<SessionTruth>, PipelineReport)> =
+            OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let (corpus, truth) = MlabGenerator::new(SynthConfig::test_corpus())
+                .generate_with_truth();
+            let report = Pipeline::new().run(&corpus.records);
+            (corpus, truth, report)
+        })
+    }
+
+    #[test]
+    fn catalog_has_the_papers_18_snos() {
+        let (.., report) = fixture();
+        assert_eq!(report.sno_count(), 18, "catalog: {:?}", report.catalog);
+    }
+
+    #[test]
+    fn starlink_tops_the_catalog() {
+        let (.., report) = fixture();
+        assert_eq!(report.catalog[0].0, Operator::Starlink);
+        // The other volume-floored operators cluster behind it; O3b must
+        // stay in that leading pack with nearly all its records kept.
+        let o3b_rank = report
+            .catalog
+            .iter()
+            .position(|&(op, _)| op == Operator::O3b)
+            .unwrap();
+        assert!(o3b_rank <= 6, "O3b rank {o3b_rank}: {:?}", report.catalog);
+        let (_, o3b_count) = report.catalog[o3b_rank];
+        assert!(o3b_count > 250, "O3b kept only {o3b_count}");
+    }
+
+    #[test]
+    fn corporate_asn_records_all_rejected() {
+        let (corpus, _, report) = fixture();
+        for (rec, acc) in corpus.records.iter().zip(&report.accepted) {
+            if rec.asn == Asn(27277) {
+                assert_eq!(*acc, None, "corporate record accepted: {rec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn terrestrial_truth_records_mostly_rejected() {
+        let (corpus, truth, report) = fixture();
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for ((rec, t), acc) in corpus.records.iter().zip(truth).zip(&report.accepted) {
+            if t.kind == LinkKind::Terrestrial {
+                total += 1;
+                if acc.is_some() {
+                    wrong += 1;
+                    let _ = rec;
+                }
+            }
+        }
+        assert!(total > 50, "fixture should contain terrestrial lines");
+        let fpr = wrong as f64 / total as f64;
+        assert!(fpr < 0.05, "terrestrial false-accept rate {fpr}");
+    }
+
+    #[test]
+    fn satellite_truth_records_mostly_accepted() {
+        let (corpus, truth, report) = fixture();
+        let mut missed = 0usize;
+        let mut total = 0usize;
+        for ((rec, t), acc) in corpus.records.iter().zip(truth).zip(&report.accepted) {
+            if matches!(t.kind, LinkKind::Satellite(_)) && rec.asn != Asn(201554) {
+                total += 1;
+                if acc.is_none() {
+                    missed += 1;
+                }
+            }
+        }
+        let fnr = missed as f64 / total as f64;
+        assert!(fnr < 0.08, "satellite miss rate {fnr} over {total}");
+    }
+
+    #[test]
+    fn accepted_operator_matches_truth_operator() {
+        let (corpus, truth, report) = fixture();
+        for ((rec, t), acc) in corpus.records.iter().zip(truth).zip(&report.accepted) {
+            if let Some(op) = acc {
+                assert_eq!(*op, t.operator, "record {rec:?} misattributed");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_volumes_track_table1_ordering_at_the_top() {
+        let (.., report) = fixture();
+        let pos = |op: Operator| {
+            report
+                .catalog
+                .iter()
+                .position(|&(o, _)| o == op)
+                .unwrap_or(usize::MAX)
+        };
+        assert!(pos(Operator::Starlink) < pos(Operator::Viasat));
+        assert!(pos(Operator::O3b) < pos(Operator::Viasat));
+        assert!(pos(Operator::Viasat) < pos(Operator::Kacific));
+    }
+
+    #[test]
+    fn accepted_indices_helper() {
+        let (corpus, _, report) = fixture();
+        let idx = report.accepted_indices(Operator::Starlink);
+        assert!(!idx.is_empty());
+        for i in idx {
+            assert_eq!(report.accepted[i], Some(Operator::Starlink));
+            assert!(i < corpus.records.len());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Stage 3: KDE validation of ASN→SNO mappings.
+//!
+//! For every (operator, ASN) with enough speed tests, fit a Gaussian KDE
+//! to the per-session p5 latencies and compare the mass distribution to
+//! the latency regimes the operator's advertised access technology can
+//! produce. The checks reproduce Figure 2's findings:
+//!
+//! * AS27277 (Starlink) has a terrestrial profile → corporate outlier;
+//! * AS201554 (SES) lacks the expected MEO+GEO bimodality → outlier;
+//! * AS10538 (TelAlaska) mixes a GEO mode with a terrestrial mode inside
+//!   one ASN → cannot be resolved at ASN granularity, needs the prefix
+//!   stage.
+
+use crate::asn_map::AsnMapping;
+use sno_registry::sources::access_of;
+use sno_stats::Kde;
+use sno_types::records::NdtRecord;
+use sno_types::{AccessKind, Asn, Operator, OrbitClass};
+use std::collections::BTreeMap;
+
+/// Latency bands (ms) per regime, used to interrogate the KDE mass.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyBands {
+    /// Anything below this is terrestrial-like.
+    pub terrestrial_max: f64,
+    /// LEO regime.
+    pub leo: (f64, f64),
+    /// MEO regime.
+    pub meo: (f64, f64),
+    /// GEO regime.
+    pub geo: (f64, f64),
+}
+
+impl Default for LatencyBands {
+    fn default() -> Self {
+        LatencyBands {
+            terrestrial_max: 100.0,
+            leo: (35.0, 300.0),
+            meo: (150.0, 450.0),
+            geo: (450.0, 1_200.0),
+        }
+    }
+}
+
+impl LatencyBands {
+    /// The band for one orbit class.
+    pub fn band(&self, orbit: OrbitClass) -> (f64, f64) {
+        match orbit {
+            OrbitClass::Leo => self.leo,
+            OrbitClass::Meo => self.meo,
+            OrbitClass::Geo => self.geo,
+        }
+    }
+}
+
+/// The verdict on one ASN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsnVerdict {
+    /// Latency profile matches the operator's access technology.
+    Consistent,
+    /// Profile matches, but a minority mass sits in foreign regimes
+    /// (hybrid lines or outliers inside the ASN) — the prefix stage has
+    /// to sort it out. Carries the fraction of mass outside the
+    /// expected bands.
+    MixedWithinAsn(f64),
+    /// Profile is incompatible with the advertised technology (e.g. a
+    /// terrestrial corporate network); exclude the ASN.
+    Outlier(&'static str),
+    /// Too few tests to judge.
+    Insufficient,
+}
+
+/// KDE-profile summary for one (operator, ASN).
+#[derive(Debug, Clone)]
+pub struct AsnProfile {
+    pub operator: Operator,
+    pub asn: Asn,
+    /// Number of speed tests observed.
+    pub tests: usize,
+    /// Mass below `terrestrial_max`.
+    pub terrestrial_mass: f64,
+    /// Mass inside each expected band of the operator's access kind.
+    pub expected_mass: f64,
+    /// Number of KDE modes over the latency grid.
+    pub modes: usize,
+    /// The verdict.
+    pub verdict: AsnVerdict,
+}
+
+/// Minimum tests before a verdict is attempted.
+pub const MIN_TESTS_FOR_VERDICT: usize = 25;
+
+/// Validate every mapped ASN against the latency profile of its records.
+pub fn validate_asns(
+    mapping: &AsnMapping,
+    records: &[NdtRecord],
+    bands: LatencyBands,
+) -> Vec<AsnProfile> {
+    // Bucket latencies per ASN.
+    let mut by_asn: BTreeMap<Asn, Vec<f64>> = BTreeMap::new();
+    for rec in records {
+        by_asn.entry(rec.asn).or_default().push(rec.latency_p5.0);
+    }
+
+    let mut out = Vec::new();
+    for (&op, asns) in &mapping.mapping {
+        for &asn in asns {
+            let latencies = by_asn.get(&asn).map(Vec::as_slice).unwrap_or(&[]);
+            out.push(profile_one(op, asn, latencies, bands));
+        }
+    }
+    out
+}
+
+/// Validate one ASN's latency sample.
+pub fn profile_one(
+    operator: Operator,
+    asn: Asn,
+    latencies: &[f64],
+    bands: LatencyBands,
+) -> AsnProfile {
+    let tests = latencies.len();
+    if tests < MIN_TESTS_FOR_VERDICT {
+        return AsnProfile {
+            operator,
+            asn,
+            tests,
+            terrestrial_mass: 0.0,
+            expected_mass: 0.0,
+            modes: 0,
+            verdict: AsnVerdict::Insufficient,
+        };
+    }
+    let kde = Kde::fit(latencies).expect("non-empty sample");
+    let access = access_of(operator);
+    let terrestrial_mass = kde.mass_in(0.0, bands.terrestrial_max);
+    let expected_mass: f64 = access
+        .orbits()
+        .iter()
+        .map(|&orbit| {
+            let (lo, hi) = bands.band(orbit);
+            kde.mass_in(lo, hi)
+        })
+        .sum();
+    let modes = kde.modes_on_grid(0.0, 1_200.0, 400, 0.2);
+
+    let verdict = judge(access, terrestrial_mass, expected_mass, &kde, bands);
+    AsnProfile { operator, asn, tests, terrestrial_mass, expected_mass, modes, verdict }
+}
+
+fn judge(
+    access: AccessKind,
+    terrestrial_mass: f64,
+    expected_mass: f64,
+    kde: &Kde,
+    bands: LatencyBands,
+) -> AsnVerdict {
+    // A mapping whose traffic is mostly terrestrial is not satellite
+    // subscriber traffic at all. The terrestrial cut-off is the lower
+    // edge of the operator's lowest expected band (35 ms for LEO — a
+    // bent pipe plus uplink scheduling cannot go faster; 100 ms cap for
+    // everything else).
+    let lowest_lo = access
+        .orbits()
+        .iter()
+        .map(|&o| bands.band(o).0)
+        .fold(f64::INFINITY, f64::min);
+    let floor = bands.terrestrial_max.min(lowest_lo);
+    if kde.mass_in(0.0, floor) > 0.5 {
+        return AsnVerdict::Outlier("terrestrial latency profile");
+    }
+    let _ = terrestrial_mass;
+    // Hybrid MEO+GEO access must actually show both modes.
+    if access == AccessKind::MeoGeo {
+        let (mlo, mhi) = bands.meo;
+        let (glo, ghi) = bands.geo;
+        let meo_mass = kde.mass_in(mlo, mhi);
+        let geo_mass = kde.mass_in(glo, ghi);
+        if meo_mass < 0.10 || geo_mass < 0.10 {
+            return AsnVerdict::Outlier("expected bimodal MEO+GEO profile missing");
+        }
+    }
+    if expected_mass >= 0.9 {
+        AsnVerdict::Consistent
+    } else if expected_mass >= 0.5 {
+        AsnVerdict::MixedWithinAsn(1.0 - expected_mass)
+    } else {
+        AsnVerdict::Outlier("latency mass outside the advertised regime")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn_map::map_asns;
+    use sno_types::Rng;
+
+    fn bands() -> LatencyBands {
+        LatencyBands::default()
+    }
+
+    fn sample(mut f: impl FnMut(&mut Rng) -> f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn clean_leo_asn_is_consistent() {
+        let lat = sample(|r| r.normal_with(56.0, 8.0).max(25.0), 500, 1);
+        let p = profile_one(Operator::Starlink, Asn(14593), &lat, bands());
+        assert_eq!(p.verdict, AsnVerdict::Consistent);
+        assert!(p.expected_mass > 0.9);
+    }
+
+    #[test]
+    fn corporate_terrestrial_asn_is_outlier() {
+        let lat = sample(|r| r.normal_with(18.0, 5.0).max(3.0), 300, 2);
+        let p = profile_one(Operator::Starlink, Asn(27277), &lat, bands());
+        // A pile of sub-25 ms latencies has little mass in the LEO band.
+        assert!(matches!(p.verdict, AsnVerdict::Outlier(_)), "{:?}", p.verdict);
+    }
+
+    #[test]
+    fn geo_with_terrestrial_majority_is_outlier() {
+        let lat = sample(|r| r.normal_with(25.0, 6.0).max(5.0), 300, 3);
+        let p = profile_one(Operator::Ses, Asn(201554), &lat, bands());
+        assert_eq!(p.verdict, AsnVerdict::Outlier("terrestrial latency profile"));
+    }
+
+    #[test]
+    fn unimodal_hybrid_is_outlier() {
+        // SES advertises MEO+GEO but this ASN only shows GEO.
+        let lat = sample(|r| r.normal_with(650.0, 40.0), 300, 4);
+        let p = profile_one(Operator::Ses, Asn(201554), &lat, bands());
+        assert_eq!(
+            p.verdict,
+            AsnVerdict::Outlier("expected bimodal MEO+GEO profile missing")
+        );
+    }
+
+    #[test]
+    fn genuine_hybrid_is_consistent() {
+        let lat = sample(
+            |r| {
+                if r.chance(0.45) {
+                    r.normal_with(280.0, 30.0)
+                } else {
+                    r.normal_with(680.0, 50.0)
+                }
+            },
+            600,
+            5,
+        );
+        let p = profile_one(Operator::Ses, Asn(12684), &lat, bands());
+        assert_eq!(p.verdict, AsnVerdict::Consistent, "{p:?}");
+    }
+
+    #[test]
+    fn mixed_geo_and_terrestrial_flagged_as_mixed() {
+        // TelAlaska-style: 65% GEO, 35% wireline.
+        let lat = sample(
+            |r| {
+                if r.chance(0.35) {
+                    r.normal_with(30.0, 8.0).max(5.0)
+                } else {
+                    r.normal_with(680.0, 50.0)
+                }
+            },
+            600,
+            6,
+        );
+        let p = profile_one(Operator::Telalaska, Asn(10538), &lat, bands());
+        match p.verdict {
+            AsnVerdict::MixedWithinAsn(foreign) => {
+                assert!((0.2..0.5).contains(&foreign), "foreign {foreign}")
+            }
+            other => panic!("expected Mixed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_tests_is_insufficient() {
+        let lat = vec![600.0; 10];
+        let p = profile_one(Operator::Kacific, Asn(135409), &lat, bands());
+        assert_eq!(p.verdict, AsnVerdict::Insufficient);
+    }
+
+    #[test]
+    fn full_corpus_validation_flags_the_planted_anomalies() {
+        let corpus = sno_synth::MlabGenerator::new(sno_synth::SynthConfig::test_corpus())
+            .generate();
+        let mapping = map_asns();
+        let profiles = validate_asns(&mapping, &corpus.records, bands());
+        let verdict_of = |asn: u32| {
+            profiles
+                .iter()
+                .find(|p| p.asn == Asn(asn))
+                .map(|p| p.verdict.clone())
+                .unwrap()
+        };
+        // The subscriber ASNs hold up.
+        assert_eq!(verdict_of(14593), AsnVerdict::Consistent);
+        // The planted anomalies are caught.
+        assert!(matches!(verdict_of(27277), AsnVerdict::Outlier(_)));
+        assert!(matches!(verdict_of(201554), AsnVerdict::Outlier(_)));
+        // TelAlaska's single ASN is recognisably mixed.
+        assert!(matches!(
+            verdict_of(10538),
+            AsnVerdict::MixedWithinAsn(_) | AsnVerdict::Consistent
+        ));
+    }
+}

@@ -1,0 +1,19 @@
+//! Geography: geodesy plus the static gazetteer the analyses need.
+//!
+//! * [`point`] — latitude/longitude points and great-circle distance;
+//! * [`world`] — countries, continents, and the US states (with the
+//!   census-style regional grouping Figure 8a uses);
+//! * [`pops`] — the Starlink point-of-presence sites observable in
+//!   subscriber reverse DNS (`customer.<code>.pop.starlinkisp.net`);
+//! * [`roots`] — anycast instance sites of the 13 DNS root servers, the
+//!   targets of RIPE Atlas built-in traceroutes.
+
+pub mod point;
+pub mod pops;
+pub mod roots;
+pub mod world;
+
+pub use point::{haversine_km, GeoPoint, EARTH_RADIUS_KM};
+pub use pops::{pop_by_code, PopSite, STARLINK_POPS};
+pub use roots::{instances_of, RootInstance};
+pub use world::{continent_of, Continent, UsRegion, UsState};

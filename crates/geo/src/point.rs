@@ -1,0 +1,93 @@
+//! Latitude/longitude points and great-circle distance.
+
+use sno_types::Kilometers;
+
+/// Mean Earth radius, kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the Earth's surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct, validating ranges.
+    ///
+    /// # Panics
+    /// Panics if latitude is outside `[-90, 90]` or longitude outside
+    /// `[-180, 180]`.
+    pub fn new(lat: f64, lon: f64) -> GeoPoint {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other`.
+    pub fn distance_to(self, other: GeoPoint) -> Kilometers {
+        haversine_km(self, other)
+    }
+}
+
+/// Great-circle (haversine) distance between two points.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> Kilometers {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2)
+        + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    Kilometers(2.0 * EARTH_RADIUS_KM * h.sqrt().asin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(47.6, -122.3);
+        assert!(haversine_km(p, p).0 < 1e-9);
+    }
+
+    #[test]
+    fn known_city_pairs() {
+        // Manila ↔ Tokyo ≈ 2,997 km (the Philippines PoP detour).
+        let manila = GeoPoint::new(14.60, 120.98);
+        let tokyo = GeoPoint::new(35.68, 139.69);
+        let d = haversine_km(manila, tokyo).0;
+        assert!((d - 2_997.0).abs() < 60.0, "got {d}");
+
+        // Anchorage ↔ Seattle ≈ 2,330 km great-circle (the paper quotes
+        // 2,697 km surface path; great-circle is shorter).
+        let anchorage = GeoPoint::new(61.22, -149.90);
+        let seattle = GeoPoint::new(47.61, -122.33);
+        let d = haversine_km(anchorage, seattle).0;
+        assert!((d - 2_330.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = GeoPoint::new(51.5, -0.12);
+        let b = GeoPoint::new(-36.85, 174.76);
+        assert!((haversine_km(a, b).0 - haversine_km(b, a).0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = haversine_km(a, b).0;
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn invalid_latitude() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Starlink point-of-presence sites.
+//!
+//! Starlink encodes the serving PoP in subscriber reverse DNS as
+//! `customer.<code>.pop.starlinkisp.net` (the paper observes
+//! `customer.tkyojpn1.pop.starlinkisp.net` for the Manila probe). This
+//! module carries the PoP sites relevant to the RIPE Atlas probe set:
+//! code, city, country, and coordinates.
+
+use crate::point::GeoPoint;
+use sno_types::records::CountryCode;
+
+/// A Starlink PoP site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopSite {
+    /// The reverse-DNS code, e.g. `"tkyojpn1"`.
+    pub code: &'static str,
+    /// City name.
+    pub city: &'static str,
+    /// Country the PoP sits in.
+    pub country_str: &'static str,
+    /// Location.
+    pub point: GeoPoint,
+}
+
+impl PopSite {
+    /// The PoP's country code.
+    pub fn country(&self) -> CountryCode {
+        CountryCode::new(self.country_str)
+    }
+
+    /// The reverse-DNS name subscribers behind this PoP resolve to.
+    pub fn reverse_dns(&self) -> String {
+        format!("customer.{}.pop.starlinkisp.net", self.code)
+    }
+}
+
+/// The PoP sites used by the synthetic Atlas deployment. US codes follow
+/// the `citySTx1` convention, others `cityCCC1`; `tkyojpn1` is attested
+/// in the paper.
+pub const STARLINK_POPS: &[PopSite] = &[
+    // United States
+    PopSite { code: "sttlwax1", city: "Seattle", country_str: "US", point: GeoPoint { lat: 47.61, lon: -122.33 } },
+    PopSite { code: "lsancax1", city: "Los Angeles", country_str: "US", point: GeoPoint { lat: 34.05, lon: -118.24 } },
+    PopSite { code: "dnvrcox1", city: "Denver", country_str: "US", point: GeoPoint { lat: 39.74, lon: -104.99 } },
+    PopSite { code: "dllstxx1", city: "Dallas", country_str: "US", point: GeoPoint { lat: 32.78, lon: -96.80 } },
+    PopSite { code: "chcgilx1", city: "Chicago", country_str: "US", point: GeoPoint { lat: 41.88, lon: -87.63 } },
+    PopSite { code: "atlngax1", city: "Atlanta", country_str: "US", point: GeoPoint { lat: 33.75, lon: -84.39 } },
+    PopSite { code: "nycmnyx1", city: "New York", country_str: "US", point: GeoPoint { lat: 40.71, lon: -74.01 } },
+    PopSite { code: "ashbvax1", city: "Ashburn", country_str: "US", point: GeoPoint { lat: 39.04, lon: -77.49 } },
+    // Canada
+    PopSite { code: "trntcan1", city: "Toronto", country_str: "CA", point: GeoPoint { lat: 43.65, lon: -79.38 } },
+    // Europe
+    PopSite { code: "frntdeu1", city: "Frankfurt", country_str: "DE", point: GeoPoint { lat: 50.11, lon: 8.68 } },
+    PopSite { code: "lndngbr1", city: "London", country_str: "GB", point: GeoPoint { lat: 51.51, lon: -0.13 } },
+    PopSite { code: "mdrdesp1", city: "Madrid", country_str: "ES", point: GeoPoint { lat: 40.42, lon: -3.70 } },
+    PopSite { code: "milaita1", city: "Milan", country_str: "IT", point: GeoPoint { lat: 45.46, lon: 9.19 } },
+    PopSite { code: "wrswpol1", city: "Warsaw", country_str: "PL", point: GeoPoint { lat: 52.23, lon: 21.01 } },
+    // Oceania
+    PopSite { code: "sydnaus1", city: "Sydney", country_str: "AU", point: GeoPoint { lat: -33.87, lon: 151.21 } },
+    PopSite { code: "aklnnzl1", city: "Auckland", country_str: "NZ", point: GeoPoint { lat: -36.85, lon: 174.76 } },
+    // Asia
+    PopSite { code: "tkyojpn1", city: "Tokyo", country_str: "JP", point: GeoPoint { lat: 35.68, lon: 139.69 } },
+    // South America
+    PopSite { code: "sntgchl1", city: "Santiago", country_str: "CL", point: GeoPoint { lat: -33.45, lon: -70.67 } },
+];
+
+/// Look up a PoP by reverse-DNS code.
+pub fn pop_by_code(code: &str) -> Option<&'static PopSite> {
+    STARLINK_POPS.iter().find(|p| p.code == code)
+}
+
+/// Parse a subscriber reverse-DNS name into its PoP, if it matches the
+/// `customer.<code>.pop.starlinkisp.net` pattern and the code is known.
+pub fn pop_from_reverse_dns(name: &str) -> Option<&'static PopSite> {
+    let rest = name.strip_prefix("customer.")?;
+    let code = rest.strip_suffix(".pop.starlinkisp.net")?;
+    pop_by_code(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::haversine_km;
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<_> = STARLINK_POPS.iter().map(|p| p.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), STARLINK_POPS.len());
+    }
+
+    #[test]
+    fn tokyo_pop_attested_name() {
+        let tokyo = pop_by_code("tkyojpn1").unwrap();
+        assert_eq!(tokyo.reverse_dns(), "customer.tkyojpn1.pop.starlinkisp.net");
+        assert_eq!(tokyo.country(), CountryCode::new("JP"));
+    }
+
+    #[test]
+    fn reverse_dns_round_trip() {
+        for pop in STARLINK_POPS {
+            let parsed = pop_from_reverse_dns(&pop.reverse_dns()).unwrap();
+            assert_eq!(parsed.code, pop.code);
+        }
+    }
+
+    #[test]
+    fn reverse_dns_rejects_foreign_names() {
+        assert!(pop_from_reverse_dns("customer.nowhere1.pop.starlinkisp.net").is_none());
+        assert!(pop_from_reverse_dns("host.example.com").is_none());
+        assert!(pop_from_reverse_dns("customer.tkyojpn1.pop.example.net").is_none());
+    }
+
+    #[test]
+    fn seattle_to_anchorage_distance_plausible() {
+        // The Alaska probe connects to Seattle ~2,300 km away great-circle
+        // (paper: ~2,697 km network path).
+        let seattle = pop_by_code("sttlwax1").unwrap();
+        let anchorage = GeoPoint::new(61.22, -149.90);
+        let d = haversine_km(seattle.point, anchorage).0;
+        assert!((2_200.0..2_500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn sydney_auckland_both_present() {
+        // The NZ PoP-change event needs both endpoints.
+        assert!(pop_by_code("sydnaus1").is_some());
+        assert!(pop_by_code("aklnnzl1").is_some());
+        assert!(pop_by_code("frntdeu1").is_some());
+        assert!(pop_by_code("lndngbr1").is_some());
+        assert!(pop_by_code("lsancax1").is_some());
+        assert!(pop_by_code("dnvrcox1").is_some());
+    }
+}

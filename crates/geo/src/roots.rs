@@ -1,0 +1,206 @@
+//! Anycast instance sites of the 13 DNS root servers.
+//!
+//! RIPE Atlas built-in traceroutes target the root letters; which
+//! *instance* answers depends on where the probe's traffic enters the
+//! internet (for Starlink: at the PoP). The paper leans on instance
+//! geography twice: Chile hosts only 7 of the 13 letters locally (so
+//! ~half the Chilean queries take long routes, e.g. to the M root which
+//! has no South American presence), while Europe hosts nearly all of
+//! them. The deployment below reproduces those facts with a compact,
+//! plausible site list per letter.
+
+use crate::point::GeoPoint;
+use sno_types::records::{CountryCode, RootServer};
+
+/// One anycast instance of a root letter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootInstance {
+    /// The root letter.
+    pub root: RootServer,
+    /// Host city.
+    pub city: &'static str,
+    /// Country of the instance.
+    pub country_str: &'static str,
+    /// Location.
+    pub point: GeoPoint,
+}
+
+impl RootInstance {
+    /// The instance's country code.
+    pub fn country(&self) -> CountryCode {
+        CountryCode::new(self.country_str)
+    }
+}
+
+macro_rules! site {
+    ($root:ident, $city:literal, $cc:literal, $lat:literal, $lon:literal) => {
+        RootInstance {
+            root: RootServer::$root,
+            city: $city,
+            country_str: $cc,
+            point: GeoPoint { lat: $lat, lon: $lon },
+        }
+    };
+}
+
+/// Every root instance in the synthetic deployment.
+///
+/// Letters with Santiago instances: A, E, F, I, J, K, L (7 of 13, as the
+/// paper reports for Chile). G and H are US-only; M (WIDE) has no South
+/// American or Oceanian presence.
+pub const ROOT_INSTANCES: &[RootInstance] = &[
+    // A — widely deployed.
+    site!(A, "Ashburn", "US", 39.04, -77.49),
+    site!(A, "Frankfurt", "DE", 50.11, 8.68),
+    site!(A, "London", "GB", 51.51, -0.13),
+    site!(A, "Tokyo", "JP", 35.68, 139.69),
+    site!(A, "Santiago", "CL", -33.45, -70.67),
+    // B — few instances.
+    site!(B, "Los Angeles", "US", 34.05, -118.24),
+    site!(B, "Miami", "US", 25.76, -80.19),
+    site!(B, "Singapore", "SG", 1.35, 103.82),
+    // C — US + Europe.
+    site!(C, "New York", "US", 40.71, -74.01),
+    site!(C, "Chicago", "US", 41.88, -87.63),
+    site!(C, "Frankfurt", "DE", 50.11, 8.68),
+    site!(C, "Madrid", "ES", 40.42, -3.70),
+    site!(C, "Paris", "FR", 48.86, 2.35),
+    // D — US + Europe.
+    site!(D, "Ashburn", "US", 39.04, -77.49),
+    site!(D, "Denver", "US", 39.74, -104.99),
+    site!(D, "Amsterdam", "NL", 52.37, 4.90),
+    site!(D, "Vienna", "AT", 48.21, 16.37),
+    // E — broad.
+    site!(E, "San Francisco", "US", 37.77, -122.42),
+    site!(E, "Dallas", "US", 32.78, -96.80),
+    site!(E, "London", "GB", 51.51, -0.13),
+    site!(E, "Sydney", "AU", -33.87, 151.21),
+    site!(E, "Santiago", "CL", -33.45, -70.67),
+    // F — very broad (ISC).
+    site!(F, "San Francisco", "US", 37.77, -122.42),
+    site!(F, "Atlanta", "US", 33.75, -84.39),
+    site!(F, "Frankfurt", "DE", 50.11, 8.68),
+    site!(F, "Warsaw", "PL", 52.23, 21.01),
+    site!(F, "Tokyo", "JP", 35.68, 139.69),
+    site!(F, "Auckland", "NZ", -36.85, 174.76),
+    site!(F, "Sydney", "AU", -33.87, 151.21),
+    site!(F, "Santiago", "CL", -33.45, -70.67),
+    site!(F, "Toronto", "CA", 43.65, -79.38),
+    // G — US military, US only.
+    site!(G, "Columbus", "US", 39.96, -83.00),
+    site!(G, "San Diego", "US", 32.72, -117.16),
+    // H — US Army, US only.
+    site!(H, "Aberdeen", "US", 39.51, -76.16),
+    site!(H, "San Diego", "US", 32.72, -117.16),
+    // I — Netnod, broad.
+    site!(I, "Stockholm", "SE", 59.33, 18.07),
+    site!(I, "Frankfurt", "DE", 50.11, 8.68),
+    site!(I, "Chicago", "US", 41.88, -87.63),
+    site!(I, "Tokyo", "JP", 35.68, 139.69),
+    site!(I, "Sydney", "AU", -33.87, 151.21),
+    site!(I, "Santiago", "CL", -33.45, -70.67),
+    // J — Verisign, broad.
+    site!(J, "Ashburn", "US", 39.04, -77.49),
+    site!(J, "Seattle", "US", 47.61, -122.33),
+    site!(J, "London", "GB", 51.51, -0.13),
+    site!(J, "Tokyo", "JP", 35.68, 139.69),
+    site!(J, "Santiago", "CL", -33.45, -70.67),
+    // K — RIPE NCC, broad.
+    site!(K, "Amsterdam", "NL", 52.37, 4.90),
+    site!(K, "London", "GB", 51.51, -0.13),
+    site!(K, "Frankfurt", "DE", 50.11, 8.68),
+    site!(K, "Miami", "US", 25.76, -80.19),
+    site!(K, "Tokyo", "JP", 35.68, 139.69),
+    site!(K, "Auckland", "NZ", -36.85, 174.76),
+    site!(K, "Santiago", "CL", -33.45, -70.67),
+    // L — ICANN, very broad; the paper's Chilean probe reaches the
+    // L root in Santiago in 5 hops.
+    site!(L, "Los Angeles", "US", 34.05, -118.24),
+    site!(L, "Ashburn", "US", 39.04, -77.49),
+    site!(L, "London", "GB", 51.51, -0.13),
+    site!(L, "Singapore", "SG", 1.35, 103.82),
+    site!(L, "Sydney", "AU", -33.87, 151.21),
+    site!(L, "Santiago", "CL", -33.45, -70.67),
+    // M — WIDE: Asia + Europe + US West, no South America or Oceania.
+    site!(M, "Tokyo", "JP", 35.68, 139.69),
+    site!(M, "Paris", "FR", 48.86, 2.35),
+    site!(M, "San Francisco", "US", 37.77, -122.42),
+];
+
+/// All instances of one root letter.
+pub fn instances_of(root: RootServer) -> impl Iterator<Item = &'static RootInstance> {
+    ROOT_INSTANCES.iter().filter(move |i| i.root == root)
+}
+
+/// The instance of `root` closest to `from`, by great-circle distance.
+pub fn nearest_instance(root: RootServer, from: GeoPoint) -> &'static RootInstance {
+    instances_of(root)
+        .min_by(|a, b| {
+            let da = crate::point::haversine_km(from, a.point).0;
+            let db = crate::point::haversine_km(from, b.point).0;
+            da.partial_cmp(&db).expect("no NaN")
+        })
+        .expect("every root letter has at least one instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_letter_deployed() {
+        for root in RootServer::ALL {
+            assert!(instances_of(root).count() >= 1, "{root} has no instances");
+        }
+    }
+
+    #[test]
+    fn seven_letters_in_santiago() {
+        let in_scl = RootServer::ALL
+            .iter()
+            .filter(|&&r| instances_of(r).any(|i| i.city == "Santiago"))
+            .count();
+        assert_eq!(in_scl, 7, "paper: 7 of 13 roots present in Chile");
+    }
+
+    #[test]
+    fn m_root_absent_from_south_america_and_oceania() {
+        for i in instances_of(RootServer::M) {
+            assert!(
+                !matches!(i.country_str, "CL" | "BR" | "AR" | "PE" | "AU" | "NZ"),
+                "M root must not be in {}",
+                i.country_str
+            );
+        }
+    }
+
+    #[test]
+    fn g_and_h_are_us_only() {
+        for root in [RootServer::G, RootServer::H] {
+            for i in instances_of(root) {
+                assert_eq!(i.country_str, "US");
+            }
+        }
+    }
+
+    #[test]
+    fn europe_hosts_most_letters() {
+        let eu = ["DE", "GB", "NL", "FR", "ES", "SE", "AT", "PL"];
+        let in_eu = RootServer::ALL
+            .iter()
+            .filter(|&&r| instances_of(r).any(|i| eu.contains(&i.country_str)))
+            .count();
+        assert!(in_eu >= 10, "only {in_eu} letters in Europe");
+    }
+
+    #[test]
+    fn nearest_instance_prefers_local() {
+        let santiago = GeoPoint::new(-33.45, -70.67);
+        assert_eq!(nearest_instance(RootServer::L, santiago).city, "Santiago");
+        // M root from Santiago: nearest is US West, thousands of km away.
+        let m = nearest_instance(RootServer::M, santiago);
+        assert_eq!(m.city, "San Francisco");
+        let auckland = GeoPoint::new(-36.85, 174.76);
+        assert_eq!(nearest_instance(RootServer::K, auckland).city, "Auckland");
+    }
+}

@@ -1,0 +1,245 @@
+//! Countries, continents, and US states.
+
+use sno_types::records::CountryCode;
+use std::fmt;
+
+use crate::point::GeoPoint;
+
+/// Continents, for the per-continent groupings of Figures 6a and 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Continent {
+    NorthAmerica,
+    SouthAmerica,
+    Europe,
+    Asia,
+    Oceania,
+    Africa,
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Continent::NorthAmerica => "North America",
+            Continent::SouthAmerica => "South America",
+            Continent::Europe => "Europe",
+            Continent::Asia => "Asia",
+            Continent::Oceania => "Oceania",
+            Continent::Africa => "Africa",
+        })
+    }
+}
+
+/// Country → continent table covering every country that appears in the
+/// datasets (probe locations, PoP countries, BGP peer jurisdictions).
+const COUNTRY_CONTINENTS: &[(&str, Continent)] = &[
+    // RIPE Atlas probe countries (Table 2).
+    ("AT", Continent::Europe),
+    ("AU", Continent::Oceania),
+    ("BE", Continent::Europe),
+    ("CA", Continent::NorthAmerica),
+    ("CL", Continent::SouthAmerica),
+    ("DE", Continent::Europe),
+    ("ES", Continent::Europe),
+    ("FR", Continent::Europe),
+    ("GB", Continent::Europe),
+    ("IT", Continent::Europe),
+    ("NL", Continent::Europe),
+    ("NZ", Continent::Oceania),
+    ("PH", Continent::Asia),
+    ("PL", Continent::Europe),
+    ("US", Continent::NorthAmerica),
+    // Additional PoP / peering jurisdictions.
+    ("JP", Continent::Asia),
+    ("SG", Continent::Asia),
+    ("IN", Continent::Asia),
+    ("HK", Continent::Asia),
+    ("TH", Continent::Asia),
+    ("ID", Continent::Asia),
+    ("PG", Continent::Oceania),
+    ("FJ", Continent::Oceania),
+    ("MX", Continent::NorthAmerica),
+    ("DO", Continent::NorthAmerica),
+    ("PR", Continent::NorthAmerica),
+    ("BR", Continent::SouthAmerica),
+    ("PE", Continent::SouthAmerica),
+    ("CO", Continent::SouthAmerica),
+    ("AR", Continent::SouthAmerica),
+    ("GR", Continent::Europe),
+    ("CY", Continent::Europe),
+    ("NO", Continent::Europe),
+    ("SE", Continent::Europe),
+    ("CH", Continent::Europe),
+    ("IE", Continent::Europe),
+    ("PT", Continent::Europe),
+    ("CZ", Continent::Europe),
+    ("DK", Continent::Europe),
+    ("LU", Continent::Europe),
+    ("ZA", Continent::Africa),
+    ("NG", Continent::Africa),
+    ("KE", Continent::Africa),
+    ("EG", Continent::Africa),
+    ("AE", Continent::Asia),
+    ("SA", Continent::Asia),
+    ("IL", Continent::Asia),
+    ("TR", Continent::Asia),
+    ("KR", Continent::Asia),
+    ("MY", Continent::Asia),
+    ("VN", Continent::Asia),
+    ("TW", Continent::Asia),
+    ("RU", Continent::Europe),
+    ("UA", Continent::Europe),
+];
+
+/// The continent a country belongs to, if known to the gazetteer.
+pub fn continent_of(country: CountryCode) -> Option<Continent> {
+    COUNTRY_CONTINENTS
+        .iter()
+        .find(|&&(code, _)| CountryCode::new(code) == country)
+        .map(|&(_, cont)| cont)
+}
+
+/// The census-style regional grouping of Figure 8a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UsRegion {
+    Northeast,
+    Southeast,
+    Central,
+    EastNorthCentral,
+    South,
+    Southwest,
+    West,
+    Northwest,
+    Alaska,
+}
+
+impl UsRegion {
+    /// All regions in the paper's left-to-right plotting order.
+    pub const ALL: [UsRegion; 9] = [
+        UsRegion::Northeast,
+        UsRegion::Southeast,
+        UsRegion::Central,
+        UsRegion::EastNorthCentral,
+        UsRegion::South,
+        UsRegion::Southwest,
+        UsRegion::West,
+        UsRegion::Northwest,
+        UsRegion::Alaska,
+    ];
+}
+
+impl fmt::Display for UsRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UsRegion::Northeast => "Northeast",
+            UsRegion::Southeast => "Southeast",
+            UsRegion::Central => "Central",
+            UsRegion::EastNorthCentral => "East North Central",
+            UsRegion::South => "South",
+            UsRegion::Southwest => "Southwest",
+            UsRegion::West => "West",
+            UsRegion::Northwest => "Northwest",
+            UsRegion::Alaska => "Alaska",
+        })
+    }
+}
+
+/// A US state hosting RIPE Atlas probes, with a representative
+/// population-weighted coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsState {
+    /// Two-letter postal code.
+    pub code: &'static str,
+    /// Full name.
+    pub name: &'static str,
+    /// The Figure 8a regional grouping.
+    pub region: UsRegion,
+    /// Representative location.
+    pub point: GeoPoint,
+}
+
+/// The states that host probes in the synthetic Atlas deployment (a
+/// superset of those called out in the paper's Figure 8 narrative).
+pub const US_STATES: &[UsState] = &[
+    UsState { code: "NY", name: "New York", region: UsRegion::Northeast, point: GeoPoint { lat: 42.9, lon: -75.5 } },
+    UsState { code: "PA", name: "Pennsylvania", region: UsRegion::Northeast, point: GeoPoint { lat: 40.9, lon: -77.8 } },
+    UsState { code: "MA", name: "Massachusetts", region: UsRegion::Northeast, point: GeoPoint { lat: 42.3, lon: -71.8 } },
+    UsState { code: "VA", name: "Virginia", region: UsRegion::Southeast, point: GeoPoint { lat: 37.5, lon: -78.9 } },
+    UsState { code: "FL", name: "Florida", region: UsRegion::Southeast, point: GeoPoint { lat: 28.6, lon: -82.4 } },
+    UsState { code: "GA", name: "Georgia", region: UsRegion::Southeast, point: GeoPoint { lat: 32.6, lon: -83.4 } },
+    UsState { code: "MO", name: "Missouri", region: UsRegion::Central, point: GeoPoint { lat: 38.4, lon: -92.5 } },
+    UsState { code: "KS", name: "Kansas", region: UsRegion::Central, point: GeoPoint { lat: 38.5, lon: -98.4 } },
+    UsState { code: "MN", name: "Minnesota", region: UsRegion::Central, point: GeoPoint { lat: 46.3, lon: -94.3 } },
+    UsState { code: "IL", name: "Illinois", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 40.0, lon: -89.2 } },
+    UsState { code: "OH", name: "Ohio", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 40.3, lon: -82.8 } },
+    UsState { code: "MI", name: "Michigan", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 44.3, lon: -85.4 } },
+    UsState { code: "WI", name: "Wisconsin", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 44.6, lon: -89.9 } },
+    UsState { code: "TX", name: "Texas", region: UsRegion::South, point: GeoPoint { lat: 31.5, lon: -98.5 } },
+    UsState { code: "OK", name: "Oklahoma", region: UsRegion::South, point: GeoPoint { lat: 35.6, lon: -97.5 } },
+    UsState { code: "AZ", name: "Arizona", region: UsRegion::Southwest, point: GeoPoint { lat: 34.3, lon: -111.7 } },
+    UsState { code: "NM", name: "New Mexico", region: UsRegion::Southwest, point: GeoPoint { lat: 34.4, lon: -106.1 } },
+    UsState { code: "NV", name: "Nevada", region: UsRegion::Southwest, point: GeoPoint { lat: 39.3, lon: -116.6 } },
+    UsState { code: "CA", name: "California", region: UsRegion::West, point: GeoPoint { lat: 37.2, lon: -119.3 } },
+    UsState { code: "CO", name: "Colorado", region: UsRegion::West, point: GeoPoint { lat: 39.0, lon: -105.5 } },
+    UsState { code: "UT", name: "Utah", region: UsRegion::West, point: GeoPoint { lat: 39.3, lon: -111.7 } },
+    UsState { code: "OR", name: "Oregon", region: UsRegion::Northwest, point: GeoPoint { lat: 44.0, lon: -120.5 } },
+    UsState { code: "WA", name: "Washington", region: UsRegion::Northwest, point: GeoPoint { lat: 47.4, lon: -120.5 } },
+    UsState { code: "ID", name: "Idaho", region: UsRegion::Northwest, point: GeoPoint { lat: 44.4, lon: -114.6 } },
+    UsState { code: "MT", name: "Montana", region: UsRegion::Northwest, point: GeoPoint { lat: 47.0, lon: -109.6 } },
+    UsState { code: "AK", name: "Alaska", region: UsRegion::Alaska, point: GeoPoint { lat: 61.2, lon: -149.9 } },
+];
+
+/// Look up a US state by postal code.
+pub fn us_state(code: &str) -> Option<&'static UsState> {
+    US_STATES.iter().find(|s| s.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_countries_all_mapped() {
+        for code in ["AT", "AU", "BE", "CA", "CL", "DE", "ES", "FR", "GB", "IT", "NL", "NZ", "PH", "PL", "US"] {
+            assert!(
+                continent_of(CountryCode::new(code)).is_some(),
+                "unmapped probe country {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn continent_assignments_spot_checks() {
+        assert_eq!(continent_of(CountryCode::new("NZ")), Some(Continent::Oceania));
+        assert_eq!(continent_of(CountryCode::new("CL")), Some(Continent::SouthAmerica));
+        assert_eq!(continent_of(CountryCode::new("PH")), Some(Continent::Asia));
+        assert_eq!(continent_of(CountryCode::new("DE")), Some(Continent::Europe));
+        assert_eq!(continent_of(CountryCode::new("ZZ")), None);
+    }
+
+    #[test]
+    fn state_lookup_and_regions() {
+        assert_eq!(us_state("AK").unwrap().region, UsRegion::Alaska);
+        assert_eq!(us_state("OR").unwrap().region, UsRegion::Northwest);
+        assert_eq!(us_state("AZ").unwrap().region, UsRegion::Southwest);
+        assert_eq!(us_state("NY").unwrap().region, UsRegion::Northeast);
+        assert!(us_state("XX").is_none());
+    }
+
+    #[test]
+    fn state_codes_unique() {
+        let mut codes: Vec<_> = US_STATES.iter().map(|s| s.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), US_STATES.len());
+    }
+
+    #[test]
+    fn every_region_has_a_state() {
+        for region in UsRegion::ALL {
+            assert!(
+                US_STATES.iter().any(|s| s.region == region),
+                "no state in {region}"
+            );
+        }
+    }
+}

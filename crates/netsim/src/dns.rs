@@ -1,0 +1,93 @@
+//! DNS lookup-time model.
+//!
+//! Figure 10c compares DNS lookup times across SNOs. The dominant terms
+//! are (1) the RTT from the subscriber to the recursive resolver —
+//! Starlink hands subscribers Cloudflare at the PoP, while HughesNet and
+//! Viasat run their own resolvers behind the satellite link — and (2)
+//! whether the resolver already has the name cached, since a miss adds
+//! the resolver's upstream recursion on top.
+
+use sno_types::{Millis, Rng};
+
+/// A recursive resolver as seen from one subscriber.
+#[derive(Debug, Clone)]
+pub struct DnsResolver {
+    /// RTT from subscriber to resolver.
+    pub rtt_to_resolver: Millis,
+    /// Probability a queried name is already cached at the resolver.
+    pub cache_hit_prob: f64,
+    /// Cost of a full recursive resolution on a miss (resolver to
+    /// authoritative servers, possibly several round trips).
+    pub upstream_cost: Millis,
+    /// Standard deviation of measurement noise, ms.
+    pub noise_ms: f64,
+}
+
+impl DnsResolver {
+    /// Lookup time for one query.
+    pub fn lookup(&self, rng: &mut Rng) -> Millis {
+        let upstream = if rng.chance(self.cache_hit_prob) {
+            Millis::ZERO
+        } else {
+            self.upstream_cost
+        };
+        Millis(
+            (self.rtt_to_resolver.0 + upstream.0 + rng.normal_with(0.0, self.noise_ms))
+                .max(self.rtt_to_resolver.0 * 0.8),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver(rtt: f64, hit: f64) -> DnsResolver {
+        DnsResolver {
+            rtt_to_resolver: Millis(rtt),
+            cache_hit_prob: hit,
+            upstream_cost: Millis(150.0),
+            noise_ms: 3.0,
+        }
+    }
+
+    #[test]
+    fn cache_hits_cost_one_rtt() {
+        let r = resolver(50.0, 1.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..100 {
+            let t = r.lookup(&mut rng).0;
+            assert!((40.0..70.0).contains(&t), "lookup {t}");
+        }
+    }
+
+    #[test]
+    fn misses_add_upstream_cost() {
+        let r = resolver(50.0, 0.0);
+        let mut rng = Rng::new(2);
+        let mean: f64 =
+            (0..500).map(|_| r.lookup(&mut rng).0).sum::<f64>() / 500.0;
+        assert!((mean - 200.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn satellite_resolver_dominated_by_access_rtt() {
+        // HughesNet-style: resolver behind the 650 ms satellite link.
+        let hughes = resolver(650.0, 0.5);
+        // Starlink-style: Cloudflare at the PoP, 40 ms away.
+        let starlink = resolver(40.0, 0.5);
+        let mut rng = Rng::new(3);
+        let m_h: f64 = (0..300).map(|_| hughes.lookup(&mut rng).0).sum::<f64>() / 300.0;
+        let m_s: f64 = (0..300).map(|_| starlink.lookup(&mut rng).0).sum::<f64>() / 300.0;
+        assert!(m_h > 4.0 * m_s, "hughes {m_h} vs starlink {m_s}");
+    }
+
+    #[test]
+    fn lookups_never_faster_than_most_of_the_resolver_rtt() {
+        let r = resolver(100.0, 1.0);
+        let mut rng = Rng::new(4);
+        for _ in 0..1_000 {
+            assert!(r.lookup(&mut rng).0 >= 80.0);
+        }
+    }
+}

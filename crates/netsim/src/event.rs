@@ -1,0 +1,203 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by simulated time; ties break by insertion order
+//! (FIFO), which keeps runs bit-reproducible regardless of how the heap
+//! rebalances. Time is kept in integer microseconds to avoid float
+//! comparison hazards in the ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in whole microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from (possibly fractional) milliseconds, rounding to
+    /// the nearest microsecond.
+    ///
+    /// # Panics
+    /// Panics in debug builds on negative input.
+    pub fn from_millis(ms: f64) -> SimTime {
+        debug_assert!(ms >= 0.0, "negative sim time: {ms}");
+        SimTime((ms * 1_000.0).round() as u64)
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time advanced by `ms` milliseconds.
+    pub fn after_millis(self, ms: f64) -> SimTime {
+        SimTime(self.0 + SimTime::from_millis(ms).0)
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Compared through `Reverse` below, so natural order here.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current simulation time —
+    /// scheduling into the past is always a logic error.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {:?} < {:?}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time: at, seq, event }));
+    }
+
+    /// Schedule `event` after a relative delay in milliseconds.
+    pub fn schedule_in(&mut self, delay_ms: f64, event: E) {
+        let at = self.now.after_millis(delay_ms);
+        self.schedule(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30.0), "c");
+        q.schedule(SimTime::from_millis(10.0), "a");
+        q.schedule(SimTime::from_millis(20.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5.0);
+        for label in ["first", "second", "third"] {
+            q.schedule(t, label);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7.5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(7.5));
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    fn relative_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10.0), 1u8);
+        q.pop();
+        q.schedule_in(5.0, 2u8);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_millis(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10.0), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(5.0), ());
+    }
+
+    #[test]
+    fn time_conversions() {
+        let t = SimTime::from_millis(1.5);
+        assert_eq!(t.0, 1_500);
+        assert!((t.as_millis() - 1.5).abs() < 1e-9);
+        assert!((t.as_secs() - 0.0015).abs() < 1e-12);
+        assert_eq!(t.after_millis(0.5), SimTime::from_millis(2.0));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(1.0, 0);
+        q.schedule_in(2.0, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Event-driven network simulation substrate.
+//!
+//! The measurement traces the paper mines are produced by transport
+//! protocols running over satellite paths. This crate provides those
+//! mechanisms:
+//!
+//! * [`event`] — a deterministic discrete-event queue (time-ordered,
+//!   FIFO within a timestamp);
+//! * [`path`] — the [`path::PathDynamics`] abstraction: base RTT, loss,
+//!   bottleneck rate and handoff generation as functions of time, plus
+//!   simple built-in paths for tests and composition helpers;
+//! * [`tcp`] — a round-based TCP Reno flow model with slow start,
+//!   congestion avoidance, fast retransmit, RFC 6298 retransmission
+//!   timeouts, DropTail queueing at the bottleneck (bufferbloat), and
+//!   TCP_Info-style RTT polling — the engine behind every synthetic NDT
+//!   speed test;
+//! * [`pep`] — the split-connection Performance Enhancing Proxy model
+//!   that explains Figure 4c's "GEO (PEP)" retransmission curve;
+//! * [`traceroute`] — hop-by-hop path probing that produces RIPE-style
+//!   traceroute records;
+//! * [`dns`] — a recursive-resolver lookup-time model;
+//! * [`terrestrial`] — fibre-path RTT estimates between surface points.
+
+pub mod dns;
+pub mod event;
+pub mod path;
+pub mod pep;
+pub mod tcp;
+pub mod terrestrial;
+pub mod traceroute;
+
+pub use dns::DnsResolver;
+pub use event::{EventQueue, SimTime};
+pub use path::{PathDynamics, StaticPath};
+pub use pep::PepMode;
+pub use tcp::{TcpConfig, TcpFlow, TcpStats};
+pub use terrestrial::terrestrial_rtt;
+pub use traceroute::{HopSpec, TracerouteEngine};

@@ -1,0 +1,157 @@
+//! The path abstraction flows run over.
+//!
+//! A [`PathDynamics`] describes everything the transport layer can feel
+//! about a network path as a function of wall-clock time: base
+//! (unloaded) round-trip time, per-packet loss probability, bottleneck
+//! rate, buffer depth at the bottleneck, and the serving-satellite
+//! generation (whose changes mark handoffs). `sno-synth` implements this
+//! trait on top of the orbital model; the built-in [`StaticPath`] and
+//! [`SteppedPath`] serve tests and terrestrial baselines.
+
+/// Time-varying path characteristics, as seen by a transport endpoint.
+pub trait PathDynamics {
+    /// Unloaded RTT at absolute time `t_secs`, or `None` during an
+    /// outage (no connectivity at all).
+    fn base_rtt_ms(&self, t_secs: f64) -> Option<f64>;
+
+    /// Per-packet random loss probability at `t_secs` (link noise, not
+    /// congestion — congestion loss emerges from the queue model).
+    fn loss_prob(&self, t_secs: f64) -> f64;
+
+    /// Bottleneck rate in Mbps.
+    fn bottleneck_mbps(&self) -> f64;
+
+    /// Bottleneck buffer depth, expressed in milliseconds of queueing at
+    /// the bottleneck rate (bufferbloat knob; GEO consumer gear is
+    /// notoriously deep).
+    fn buffer_ms(&self) -> f64 {
+        100.0
+    }
+
+    /// Serving-satellite generation at `t_secs`; a change between two
+    /// instants means a handoff happened in between. Terrestrial paths
+    /// report a constant.
+    fn generation(&self, t_secs: f64) -> u64 {
+        let _ = t_secs;
+        0
+    }
+
+    /// Extra per-packet loss probability applied to the first round
+    /// after a handoff (beam switch interruption).
+    fn handoff_loss_prob(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A fixed path: constant RTT, loss and rate. The terrestrial baseline.
+#[derive(Debug, Clone)]
+pub struct StaticPath {
+    /// Unloaded RTT, ms.
+    pub rtt_ms: f64,
+    /// Per-packet loss probability.
+    pub loss: f64,
+    /// Bottleneck rate, Mbps.
+    pub rate_mbps: f64,
+    /// Bottleneck buffer depth, ms.
+    pub buffer_ms: f64,
+}
+
+impl StaticPath {
+    /// A clean path with the given RTT and rate, no random loss, 100 ms
+    /// of buffer.
+    pub fn clean(rtt_ms: f64, rate_mbps: f64) -> StaticPath {
+        StaticPath { rtt_ms, loss: 0.0, rate_mbps, buffer_ms: 100.0 }
+    }
+}
+
+impl PathDynamics for StaticPath {
+    fn base_rtt_ms(&self, _t: f64) -> Option<f64> {
+        Some(self.rtt_ms)
+    }
+
+    fn loss_prob(&self, _t: f64) -> f64 {
+        self.loss
+    }
+
+    fn bottleneck_mbps(&self) -> f64 {
+        self.rate_mbps
+    }
+
+    fn buffer_ms(&self) -> f64 {
+        self.buffer_ms
+    }
+}
+
+/// A path whose RTT steps through a fixed schedule of `(until_secs,
+/// rtt_ms)` segments — handy for tests that need controlled handoffs.
+#[derive(Debug, Clone)]
+pub struct SteppedPath {
+    /// `(until_secs, rtt_ms)` segments; the path holds each RTT until
+    /// its boundary, and the last RTT forever after.
+    pub steps: Vec<(f64, f64)>,
+    /// Per-packet loss probability.
+    pub loss: f64,
+    /// Bottleneck rate, Mbps.
+    pub rate_mbps: f64,
+    /// Extra loss right after each step boundary.
+    pub handoff_loss: f64,
+}
+
+impl PathDynamics for SteppedPath {
+    fn base_rtt_ms(&self, t_secs: f64) -> Option<f64> {
+        for &(until, rtt) in &self.steps {
+            if t_secs < until {
+                return Some(rtt);
+            }
+        }
+        self.steps.last().map(|&(_, rtt)| rtt)
+    }
+
+    fn loss_prob(&self, _t: f64) -> f64 {
+        self.loss
+    }
+
+    fn bottleneck_mbps(&self) -> f64 {
+        self.rate_mbps
+    }
+
+    fn generation(&self, t_secs: f64) -> u64 {
+        self.steps.iter().take_while(|&&(until, _)| t_secs >= until).count() as u64
+    }
+
+    fn handoff_loss_prob(&self) -> f64 {
+        self.handoff_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_path_is_constant() {
+        let p = StaticPath::clean(20.0, 100.0);
+        assert_eq!(p.base_rtt_ms(0.0), Some(20.0));
+        assert_eq!(p.base_rtt_ms(1e6), Some(20.0));
+        assert_eq!(p.loss_prob(5.0), 0.0);
+        assert_eq!(p.generation(0.0), p.generation(1e6));
+    }
+
+    #[test]
+    fn stepped_path_steps() {
+        let p = SteppedPath {
+            steps: vec![(10.0, 50.0), (20.0, 70.0), (f64::INFINITY, 60.0)],
+            loss: 0.001,
+            rate_mbps: 50.0,
+            handoff_loss: 0.2,
+        };
+        assert_eq!(p.base_rtt_ms(0.0), Some(50.0));
+        assert_eq!(p.base_rtt_ms(9.99), Some(50.0));
+        assert_eq!(p.base_rtt_ms(10.0), Some(70.0));
+        assert_eq!(p.base_rtt_ms(25.0), Some(60.0));
+        assert_eq!(p.generation(0.0), 0);
+        assert_eq!(p.generation(10.0), 1);
+        assert_eq!(p.generation(20.0), 2);
+        assert_eq!(p.handoff_loss_prob(), 0.2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Performance Enhancing Proxy (split-connection) model.
+//!
+//! GEO operators such as HughesNet, Viasat, Eutelsat and Avanti terminate
+//! subscriber TCP connections at a proxy on each side of the bent-pipe
+//! link (RFC 3135). Two effects matter for the traces:
+//!
+//! 1. **Local loss recovery** — frames lost on the satellite segment are
+//!    retransmitted by the link layer between the proxies, invisibly to
+//!    the end-to-end TCP connection. The server-side `TCP_Info` therefore
+//!    records almost no retransmissions (Figure 4c's "GEO (PEP)" curve
+//!    hugging the LEO curve).
+//! 2. **ACK spoofing** — the local proxy acknowledges data immediately,
+//!    so the sender's congestion window grows at terrestrial-RTT cadence
+//!    instead of once per 600 ms satellite round trip.
+
+/// Whether (and how) a PEP sits on the path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PepMode {
+    /// No proxy: TCP runs end-to-end over the satellite path.
+    None,
+    /// Split connection with the given parameters.
+    SplitConnection(PepParams),
+}
+
+/// Tuning of a split-connection PEP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PepParams {
+    /// Fraction of satellite-segment losses that still leak through to
+    /// the end-to-end connection (local ARQ is not perfect).
+    pub residual_loss_factor: f64,
+    /// RTT of the sender-to-proxy segment, ms — sets the cadence at
+    /// which the spoofed-ACK window grows.
+    pub local_rtt_ms: f64,
+}
+
+impl PepParams {
+    /// A typical consumer-GEO deployment: local ARQ recovers all but a
+    /// sliver (0.1 %) of satellite-segment losses before the end-to-end
+    /// connection notices; the sender-side segment is 40 ms of
+    /// terrestrial path.
+    pub const TYPICAL: PepParams =
+        PepParams { residual_loss_factor: 0.001, local_rtt_ms: 40.0 };
+}
+
+impl PepMode {
+    /// A typical split-connection PEP.
+    pub fn typical() -> PepMode {
+        PepMode::SplitConnection(PepParams::TYPICAL)
+    }
+
+    /// Effective end-to-end random loss given the raw satellite-segment
+    /// loss probability.
+    pub fn effective_loss(&self, raw: f64) -> f64 {
+        match self {
+            PepMode::None => raw,
+            PepMode::SplitConnection(p) => raw * p.residual_loss_factor,
+        }
+    }
+
+    /// How many window-growth steps happen per satellite RTT: 1 without
+    /// a proxy, `sat_rtt / local_rtt` (at least 1) with one.
+    pub fn growth_steps(&self, sat_rtt_ms: f64) -> u32 {
+        match self {
+            PepMode::None => 1,
+            PepMode::SplitConnection(p) => {
+                (sat_rtt_ms / p.local_rtt_ms).floor().max(1.0) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_pep_is_identity() {
+        let m = PepMode::None;
+        assert_eq!(m.effective_loss(0.02), 0.02);
+        assert_eq!(m.growth_steps(600.0), 1);
+    }
+
+    #[test]
+    fn pep_suppresses_loss() {
+        let m = PepMode::typical();
+        let eff = m.effective_loss(0.02);
+        assert!((eff - 2e-5).abs() < 1e-12, "eff {eff}");
+    }
+
+    #[test]
+    fn pep_accelerates_growth_on_long_paths() {
+        let m = PepMode::typical();
+        assert_eq!(m.growth_steps(600.0), 15);
+        assert_eq!(m.growth_steps(40.0), 1);
+        // Never below one step even on very short paths.
+        assert_eq!(m.growth_steps(10.0), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Terrestrial (fibre) path delay estimates.
+
+use sno_geo::{haversine_km, GeoPoint};
+use sno_types::Millis;
+
+/// Speed of light in fibre, km/s (about 2/3 of vacuum).
+pub const FIBRE_SPEED_KM_S: f64 = 200_000.0;
+
+/// How much longer real routes are than the great circle (cable
+/// geography, IXP detours).
+pub const ROUTE_INFLATION: f64 = 1.6;
+
+/// Per-hop processing/queueing overhead added to any terrestrial path.
+pub const PATH_OVERHEAD_MS: f64 = 2.0;
+
+/// Round-trip time of a terrestrial path covering `distance_km` of
+/// great-circle distance.
+pub fn terrestrial_rtt_km(distance_km: f64) -> Millis {
+    Millis(2.0 * distance_km * ROUTE_INFLATION / FIBRE_SPEED_KM_S * 1_000.0 + PATH_OVERHEAD_MS)
+}
+
+/// Round-trip time of a terrestrial path between two points.
+pub fn terrestrial_rtt(a: GeoPoint, b: GeoPoint) -> Millis {
+    terrestrial_rtt_km(haversine_km(a, b).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn co_located_endpoints_cost_only_overhead() {
+        let p = GeoPoint::new(40.0, -100.0);
+        let rtt = terrestrial_rtt(p, p);
+        assert!((rtt.0 - PATH_OVERHEAD_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transatlantic_rtt_plausible() {
+        // New York ↔ London ≈ 5,570 km → ~70–95 ms RTT over fibre.
+        let ny = GeoPoint::new(40.71, -74.01);
+        let ldn = GeoPoint::new(51.51, -0.13);
+        let rtt = terrestrial_rtt(ny, ldn).0;
+        assert!((65.0..100.0).contains(&rtt), "rtt {rtt}");
+    }
+
+    #[test]
+    fn manila_tokyo_fits_the_papers_observation() {
+        // The paper checked WonderNetwork: Manila–Tokyo pings average
+        // 177 ms — far above fibre physics (~50 ms), reflecting poor
+        // regional routing. Our base model gives the physical floor;
+        // the synthetic Atlas generator adds the regional penalty.
+        let manila = GeoPoint::new(14.60, 120.98);
+        let tokyo = GeoPoint::new(35.68, 139.69);
+        let rtt = terrestrial_rtt(manila, tokyo).0;
+        assert!((40.0..60.0).contains(&rtt), "rtt {rtt}");
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        assert!(terrestrial_rtt_km(1_000.0).0 < terrestrial_rtt_km(2_000.0).0);
+    }
+}

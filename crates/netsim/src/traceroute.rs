@@ -1,0 +1,147 @@
+//! Hop-by-hop path probing.
+//!
+//! Builds RIPE-Atlas-style traceroute records from a declarative hop
+//! list. Each hop contributes its cumulative RTT plus measurement noise;
+//! hops may silently drop probes (satellite links lose probe packets
+//! during handoffs), and the whole measurement may fail to reach the
+//! destination.
+
+use sno_types::records::{TraceHop, TracerouteRecord};
+use sno_types::{Ipv4, Millis, ProbeId, Rng, Timestamp};
+
+/// One hop of the declared path.
+#[derive(Debug, Clone, Copy)]
+pub struct HopSpec {
+    /// The address that answers at this hop.
+    pub addr: Ipv4,
+    /// Cumulative round-trip time to this hop (before noise).
+    pub rtt: Millis,
+}
+
+/// Generates traceroute records over a declared hop path.
+#[derive(Debug, Clone)]
+pub struct TracerouteEngine {
+    /// The hop path, in order, with cumulative RTTs.
+    pub hops: Vec<HopSpec>,
+    /// Standard deviation of per-hop RTT noise, ms.
+    pub noise_ms: f64,
+    /// Probability the final destination fails to answer.
+    pub unreachable_prob: f64,
+}
+
+impl TracerouteEngine {
+    /// Build an engine over `hops` with 5% of measurements failing to
+    /// reach the target and light measurement noise.
+    pub fn new(hops: Vec<HopSpec>) -> TracerouteEngine {
+        TracerouteEngine { hops, noise_ms: 1.5, unreachable_prob: 0.05 }
+    }
+
+    /// Run one measurement at `timestamp` from `probe`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the hop list is empty.
+    pub fn measure(
+        &self,
+        probe: ProbeId,
+        timestamp: Timestamp,
+        target: sno_types::records::RootServer,
+        rng: &mut Rng,
+    ) -> TracerouteRecord {
+        debug_assert!(!self.hops.is_empty(), "traceroute over empty path");
+        let reached = !rng.chance(self.unreachable_prob);
+        let mut hops = Vec::with_capacity(self.hops.len());
+        let mut floor = 0.0_f64;
+        let last = self.hops.len() - 1;
+        for (i, spec) in self.hops.iter().enumerate() {
+            if i == last && !reached {
+                break;
+            }
+            // Per-hop RTTs are noisy but cumulative RTT cannot shrink
+            // below the path floor already observed.
+            let rtt = (spec.rtt.0 + rng.normal_with(0.0, self.noise_ms)).max(floor);
+            floor = rtt.min(spec.rtt.0); // later hops may dip below noise peaks but not below spec
+            hops.push(TraceHop { addr: spec.addr, rtt: Millis(rtt) });
+        }
+        TracerouteRecord { probe, timestamp, target, hops, reached }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_types::records::RootServer;
+
+    fn engine() -> TracerouteEngine {
+        TracerouteEngine::new(vec![
+            HopSpec { addr: Ipv4::new(192, 168, 1, 1), rtt: Millis(1.0) },
+            HopSpec { addr: Ipv4::CGNAT_GATEWAY, rtt: Millis(35.0) },
+            HopSpec { addr: Ipv4::new(206, 224, 64, 1), rtt: Millis(38.0) },
+            HopSpec { addr: Ipv4::new(193, 0, 14, 129), rtt: Millis(52.0) },
+        ])
+    }
+
+    #[test]
+    fn records_have_all_hops_when_reached() {
+        let e = TracerouteEngine { unreachable_prob: 0.0, ..engine() };
+        let rec = e.measure(ProbeId(1), Timestamp(0), RootServer::K, &mut Rng::new(1));
+        assert!(rec.reached);
+        assert_eq!(rec.hops.len(), 4);
+        assert_eq!(rec.hop_count(), Some(4));
+        let cg = rec.cgnat_rtt().unwrap();
+        assert!((cg.0 - 35.0).abs() < 8.0, "cgnat {cg}");
+    }
+
+    #[test]
+    fn unreached_records_lack_final_hop() {
+        let e = TracerouteEngine { unreachable_prob: 1.0, ..engine() };
+        let rec = e.measure(ProbeId(1), Timestamp(0), RootServer::K, &mut Rng::new(2));
+        assert!(!rec.reached);
+        assert_eq!(rec.hops.len(), 3);
+        assert_eq!(rec.end_to_end_rtt(), None);
+        // The CGNAT hop is still present and measurable.
+        assert!(rec.cgnat_rtt().is_some());
+    }
+
+    #[test]
+    fn noise_varies_across_measurements() {
+        let e = TracerouteEngine { unreachable_prob: 0.0, ..engine() };
+        let mut rng = Rng::new(3);
+        let a = e.measure(ProbeId(1), Timestamp(0), RootServer::A, &mut rng);
+        let b = e.measure(ProbeId(1), Timestamp(60), RootServer::A, &mut rng);
+        assert_ne!(
+            a.hops.last().unwrap().rtt,
+            b.hops.last().unwrap().rtt,
+            "noise should differ across runs"
+        );
+    }
+
+    #[test]
+    fn rtts_never_negative() {
+        let e = TracerouteEngine {
+            noise_ms: 10.0, // exaggerated noise
+            unreachable_prob: 0.0,
+            ..engine()
+        };
+        let mut rng = Rng::new(4);
+        for i in 0..200 {
+            let rec = e.measure(ProbeId(1), Timestamp(i), RootServer::B, &mut rng);
+            for hop in &rec.hops {
+                assert!(hop.rtt.0 >= 0.0, "negative RTT {}", hop.rtt);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_rate_matches_probability() {
+        let e = TracerouteEngine { unreachable_prob: 0.2, ..engine() };
+        let mut rng = Rng::new(5);
+        let n = 5_000;
+        let failures = (0..n)
+            .filter(|&i| {
+                !e.measure(ProbeId(1), Timestamp(i), RootServer::C, &mut rng).reached
+            })
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+}

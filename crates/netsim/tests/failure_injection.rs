@@ -1,0 +1,149 @@
+//! Failure injection for the transport substrate: flows over dying,
+//! flapping, saturated and pathological paths must terminate with sane
+//! accounting — silence (a hang or a panic) is the only wrong answer.
+
+use sno_netsim::path::{PathDynamics, StaticPath};
+use sno_netsim::pep::PepMode;
+use sno_netsim::tcp::{TcpConfig, TcpFlow};
+use sno_types::Rng;
+
+/// A path that dies permanently at `dies_at` seconds.
+struct DyingPath {
+    inner: StaticPath,
+    dies_at: f64,
+}
+
+impl PathDynamics for DyingPath {
+    fn base_rtt_ms(&self, t: f64) -> Option<f64> {
+        (t < self.dies_at).then_some(self.inner.rtt_ms)
+    }
+    fn loss_prob(&self, t: f64) -> f64 {
+        self.inner.loss_prob(t)
+    }
+    fn bottleneck_mbps(&self) -> f64 {
+        self.inner.bottleneck_mbps()
+    }
+}
+
+/// A path that flaps: up for `up_secs`, down for `down_secs`, repeating.
+struct FlappingPath {
+    inner: StaticPath,
+    up_secs: f64,
+    down_secs: f64,
+}
+
+impl PathDynamics for FlappingPath {
+    fn base_rtt_ms(&self, t: f64) -> Option<f64> {
+        let phase = t % (self.up_secs + self.down_secs);
+        (phase < self.up_secs).then_some(self.inner.rtt_ms)
+    }
+    fn loss_prob(&self, t: f64) -> f64 {
+        self.inner.loss_prob(t)
+    }
+    fn bottleneck_mbps(&self) -> f64 {
+        self.inner.bottleneck_mbps()
+    }
+}
+
+fn run(path: &dyn PathDynamics, seed: u64) -> sno_netsim::tcp::TcpStats {
+    TcpFlow::new(TcpConfig::ndt()).run(path, 0.0, &mut Rng::new(seed))
+}
+
+#[test]
+fn mid_flow_death_stops_delivery() {
+    let path = DyingPath {
+        inner: StaticPath::clean(40.0, 50.0),
+        dies_at: 3.0,
+    };
+    let stats = run(&path, 1);
+    assert!(stats.bytes_acked > 0, "delivered something before death");
+    assert!(stats.timeouts > 0, "timers fired after death");
+    // RTO backoff must cover the remaining window without spinning.
+    assert!(stats.duration_secs >= 10.0 - 1e-9);
+    // Nothing delivered after the cut: throughput reflects ~3 s of a
+    // 10 s flow.
+    let full = run(&StaticPath::clean(40.0, 50.0), 1);
+    assert!(stats.bytes_acked < full.bytes_acked / 2);
+}
+
+#[test]
+fn flapping_path_delivers_between_outages() {
+    let path = FlappingPath {
+        inner: StaticPath::clean(50.0, 50.0),
+        up_secs: 2.0,
+        down_secs: 2.0,
+    };
+    let stats = run(&path, 2);
+    assert!(stats.bytes_acked > 0);
+    assert!(stats.timeouts >= 1, "each outage costs at least one RTO");
+    let steady = run(&StaticPath::clean(50.0, 50.0), 2);
+    assert!(
+        stats.bytes_acked < steady.bytes_acked,
+        "flapping must cost goodput"
+    );
+}
+
+#[test]
+fn total_loss_is_a_livelock_free_zero() {
+    let path = StaticPath { rtt_ms: 100.0, loss: 1.0, rate_mbps: 10.0, buffer_ms: 100.0 };
+    let stats = run(&path, 3);
+    assert_eq!(stats.bytes_acked, 0);
+    assert!(stats.bytes_retrans > 0);
+    assert!(stats.retrans_fraction() >= 0.99);
+}
+
+#[test]
+fn tiny_bottleneck_still_progresses() {
+    // 64 kbps: a couple of packets per second.
+    let path = StaticPath::clean(200.0, 0.064);
+    let stats = run(&path, 4);
+    assert!(stats.bytes_acked > 0);
+    assert!(stats.mean_throughput().0 <= 0.08, "{}", stats.mean_throughput());
+}
+
+#[test]
+fn absurdly_long_rtt_terminates() {
+    // RTT longer than the whole test: one round, then the clock is done.
+    let path = StaticPath::clean(30_000.0, 10.0);
+    let stats = run(&path, 5);
+    assert!(stats.rtt_samples.len() <= 2);
+    assert!(!stats.completed);
+}
+
+#[test]
+fn pep_cannot_resurrect_a_dead_path() {
+    let path = DyingPath { inner: StaticPath::clean(600.0, 20.0), dies_at: 0.0 };
+    let stats = TcpFlow::new(TcpConfig { pep: PepMode::typical(), ..TcpConfig::ndt() })
+        .run(&path, 0.0, &mut Rng::new(6));
+    assert_eq!(stats.bytes_acked, 0);
+    assert!(stats.timeouts > 0);
+}
+
+#[test]
+fn byte_limited_flow_over_flapping_path_eventually_completes_or_gives_up() {
+    let path = FlappingPath {
+        inner: StaticPath::clean(50.0, 20.0),
+        up_secs: 1.0,
+        down_secs: 0.5,
+    };
+    let cfg = TcpConfig { byte_limit: 2_000_000, max_duration_secs: 60.0, ..TcpConfig::ndt() };
+    let stats = TcpFlow::new(cfg).run(&path, 0.0, &mut Rng::new(7));
+    assert!(stats.completed, "2 MB over a mostly-up path within 60 s");
+    assert!(stats.bytes_acked >= 2_000_000);
+}
+
+#[test]
+fn traceroute_with_total_packet_loss_reports_unreached() {
+    use sno_netsim::traceroute::{HopSpec, TracerouteEngine};
+    use sno_types::records::RootServer;
+    use sno_types::{Ipv4, Millis, ProbeId, Timestamp};
+    let engine = TracerouteEngine {
+        hops: vec![HopSpec { addr: Ipv4::new(10, 0, 0, 1), rtt: Millis(5.0) }],
+        noise_ms: 1.0,
+        unreachable_prob: 1.0,
+    };
+    let rec = engine.measure(ProbeId(1), Timestamp(0), RootServer::A, &mut Rng::new(8));
+    assert!(!rec.reached);
+    assert!(rec.hops.is_empty(), "single-hop path: nothing answers");
+    assert_eq!(rec.end_to_end_rtt(), None);
+}

@@ -1,0 +1,113 @@
+//! Geostationary slots on the Clarke belt.
+
+use crate::vec3::{elevation_deg, Vec3, EARTH_RADIUS_KM};
+use sno_types::Kilometers;
+
+/// Geostationary altitude, km.
+pub const GEO_ALTITUDE_KM: f64 = 35_786.0;
+
+/// A geostationary satellite parked at a fixed longitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoSlot {
+    /// Sub-satellite longitude, degrees east.
+    pub lon_deg: f64,
+}
+
+impl GeoSlot {
+    /// ECEF position (constant — that is the point of GEO).
+    pub fn position(&self) -> Vec3 {
+        let r = EARTH_RADIUS_KM + GEO_ALTITUDE_KM;
+        let lon = self.lon_deg.to_radians();
+        Vec3::new(r * lon.cos(), r * lon.sin(), 0.0)
+    }
+
+    /// Slant range and elevation from `observer`; `None` when the slot
+    /// sits below `min_elevation_deg`.
+    pub fn visible_from(
+        &self,
+        observer: Vec3,
+        min_elevation_deg: f64,
+    ) -> Option<(Kilometers, f64)> {
+        let sat = self.position();
+        let el = elevation_deg(observer, sat);
+        (el >= min_elevation_deg).then(|| (observer.distance_to(sat), el))
+    }
+}
+
+/// Choose the best (highest-elevation) slot for an observer from an
+/// operator's fleet. `None` when no slot clears the mask.
+pub fn best_slot(
+    slots: &[GeoSlot],
+    observer: Vec3,
+    min_elevation_deg: f64,
+) -> Option<(GeoSlot, Kilometers, f64)> {
+    slots
+        .iter()
+        .filter_map(|s| {
+            s.visible_from(observer, min_elevation_deg)
+                .map(|(d, el)| (*s, d, el))
+        })
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::ecef_of;
+    use sno_geo::GeoPoint;
+
+    #[test]
+    fn subsatellite_point_slant_is_altitude() {
+        let slot = GeoSlot { lon_deg: -100.0 };
+        let obs = ecef_of(GeoPoint::new(0.0, -100.0));
+        let (slant, el) = slot.visible_from(obs, 5.0).unwrap();
+        assert!((slant.0 - GEO_ALTITUDE_KM).abs() < 1.0, "slant {slant}");
+        assert!((el - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mid_latitude_slant_about_37_500_km() {
+        // A US user at 40°N looking at a US GEO slot: ~37,300–37,700 km,
+        // i.e. one-way bent-pipe propagation ≈ 250 ms.
+        let slot = GeoSlot { lon_deg: -101.0 };
+        let obs = ecef_of(GeoPoint::new(40.0, -95.0));
+        let (slant, _) = slot.visible_from(obs, 5.0).unwrap();
+        assert!((37_000.0..38_200.0).contains(&slant.0), "slant {slant}");
+        let one_way = sno_types::Millis::light_over(
+            sno_types::Kilometers(2.0 * slant.0),
+        );
+        assert!((one_way.0 - 250.0).abs() < 10.0, "one-way {one_way}");
+    }
+
+    #[test]
+    fn slot_invisible_from_high_latitude() {
+        let slot = GeoSlot { lon_deg: 0.0 };
+        let obs = ecef_of(GeoPoint::new(82.0, 0.0));
+        assert!(slot.visible_from(obs, 10.0).is_none());
+    }
+
+    #[test]
+    fn slot_invisible_from_far_longitude() {
+        let slot = GeoSlot { lon_deg: 0.0 };
+        let obs = ecef_of(GeoPoint::new(0.0, 160.0));
+        assert!(slot.visible_from(obs, 5.0).is_none());
+    }
+
+    #[test]
+    fn best_slot_picks_highest_elevation() {
+        let slots = [
+            GeoSlot { lon_deg: -130.0 },
+            GeoSlot { lon_deg: -100.0 },
+            GeoSlot { lon_deg: -60.0 },
+        ];
+        let obs = ecef_of(GeoPoint::new(35.0, -97.0));
+        let (chosen, ..) = best_slot(&slots, obs, 10.0).unwrap();
+        assert_eq!(chosen.lon_deg, -100.0);
+    }
+
+    #[test]
+    fn empty_fleet_has_no_slot() {
+        let obs = ecef_of(GeoPoint::new(0.0, 0.0));
+        assert!(best_slot(&[], obs, 10.0).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! Orbital geometry: the physical substrate under every latency number
+//! in the study.
+//!
+//! The paper's three orbit regimes are modelled mechanistically:
+//!
+//! * [`shell`] — circular Walker-delta constellations (Starlink's 550 km
+//!   / 53° shell, OneWeb's 1200 km / 87.4° shell) propagated in ECEF;
+//! * [`meo`] — the O3b equatorial ring at 8 062 km;
+//! * [`geostationary`] — GEO slots on the Clarke belt;
+//! * [`vec3`] — the small vector algebra everything shares;
+//! * [`access`] — the user-side access link: nearest-visible-satellite
+//!   selection under an elevation mask, bent-pipe (user → satellite →
+//!   gateway) propagation delay, and the 15-second reconfiguration
+//!   cadence that drives LEO handoffs.
+//!
+//! Everything here is pure geometry — noise, queueing and loss live in
+//! `sno-netsim`.
+
+pub mod access;
+pub mod geostationary;
+pub mod meo;
+pub mod shell;
+pub mod vec3;
+
+pub use access::{BentPipe, GeoAccess, MeoAccess, SatelliteAccess, HANDOFF_PERIOD_SECS};
+pub use geostationary::GeoSlot;
+pub use meo::MeoRing;
+pub use shell::{Shell, Visibility, ONEWEB_SHELL, STARLINK_SHELL};
+pub use vec3::{ecef_of, Vec3, EARTH_RADIUS_KM};

@@ -1,0 +1,243 @@
+//! Walker-delta constellation shells.
+//!
+//! A shell is a set of circular orbits at one altitude and inclination:
+//! `planes` orbital planes with evenly spaced ascending nodes, each
+//! carrying `sats_per_plane` satellites evenly spaced in mean anomaly,
+//! with a per-plane phase offset (the Walker phasing parameter). Both
+//! LEO constellations in the paper are modelled this way.
+
+use crate::vec3::{Vec3, EARTH_ROTATION_RAD_S, MU_EARTH};
+use sno_types::Kilometers;
+use std::f64::consts::TAU;
+
+/// A Walker-delta shell of circular orbits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shell {
+    /// Orbit altitude above the surface, km.
+    pub altitude_km: f64,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Number of orbital planes.
+    pub planes: u32,
+    /// Satellites per plane.
+    pub sats_per_plane: u32,
+    /// Walker phasing parameter `F`: satellites in adjacent planes are
+    /// offset by `F / (planes · sats_per_plane)` of a full revolution.
+    pub phasing: u32,
+}
+
+/// Starlink's first (and closest) orbital shell: 550 km, 53°, 72 planes
+/// of 22 satellites.
+pub const STARLINK_SHELL: Shell = Shell {
+    altitude_km: 550.0,
+    inclination_deg: 53.0,
+    planes: 72,
+    sats_per_plane: 22,
+    phasing: 39,
+};
+
+/// OneWeb's polar shell: 1 200 km, 87.4°, 18 planes of 36 satellites.
+pub const ONEWEB_SHELL: Shell = Shell {
+    altitude_km: 1_200.0,
+    inclination_deg: 87.4,
+    planes: 18,
+    sats_per_plane: 36,
+    phasing: 1,
+};
+
+/// A visible satellite: where it is relative to an observer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Visibility {
+    /// Orbital plane index.
+    pub plane: u32,
+    /// Satellite index within the plane.
+    pub index: u32,
+    /// Line-of-sight distance observer → satellite.
+    pub slant: Kilometers,
+    /// Elevation above the observer's horizon, degrees.
+    pub elevation_deg: f64,
+}
+
+impl Shell {
+    /// Total satellites in the shell.
+    pub fn num_sats(&self) -> u32 {
+        self.planes * self.sats_per_plane
+    }
+
+    /// Orbital radius (from Earth's centre), km.
+    pub fn orbit_radius_km(&self) -> f64 {
+        crate::vec3::EARTH_RADIUS_KM + self.altitude_km
+    }
+
+    /// Orbital period from Kepler's third law, seconds.
+    pub fn period_secs(&self) -> f64 {
+        let a = self.orbit_radius_km();
+        TAU * (a.powi(3) / MU_EARTH).sqrt()
+    }
+
+    /// ECEF position of satellite (`plane`, `index`) at `t_secs` after
+    /// the epoch.
+    ///
+    /// The orbit is circular: the satellite's in-plane angle (argument of
+    /// latitude) advances at the mean motion; the plane's ascending node
+    /// regresses in ECEF at the Earth rotation rate (nodal precession is
+    /// negligible over the study window for our purposes).
+    ///
+    /// # Panics
+    /// Panics in debug builds when the indices are out of range.
+    pub fn sat_position(&self, plane: u32, index: u32, t_secs: f64) -> Vec3 {
+        debug_assert!(plane < self.planes, "plane out of range");
+        debug_assert!(index < self.sats_per_plane, "index out of range");
+        let a = self.orbit_radius_km();
+        let inc = self.inclination_deg.to_radians();
+        let mean_motion = TAU / self.period_secs();
+        // Ascending node in ECEF (inertial node minus Earth rotation).
+        let raan = TAU * f64::from(plane) / f64::from(self.planes)
+            - EARTH_ROTATION_RAD_S * t_secs;
+        // Argument of latitude: initial spacing + Walker phasing + motion.
+        let u = TAU * f64::from(index) / f64::from(self.sats_per_plane)
+            + TAU * f64::from(self.phasing) * f64::from(plane)
+                / f64::from(self.num_sats())
+            + mean_motion * t_secs;
+        let (sin_u, cos_u) = u.sin_cos();
+        let (sin_raan, cos_raan) = raan.sin_cos();
+        let (sin_i, cos_i) = inc.sin_cos();
+        Vec3::new(
+            a * (cos_raan * cos_u - sin_raan * sin_u * cos_i),
+            a * (sin_raan * cos_u + cos_raan * sin_u * cos_i),
+            a * (sin_u * sin_i),
+        )
+    }
+
+    /// The visible satellite with the highest elevation above
+    /// `min_elevation_deg`, as seen from `observer` (an ECEF surface
+    /// point) at `t_secs`. `None` when no satellite clears the mask.
+    pub fn best_visible(
+        &self,
+        observer: Vec3,
+        t_secs: f64,
+        min_elevation_deg: f64,
+    ) -> Option<Visibility> {
+        let mut best: Option<Visibility> = None;
+        for plane in 0..self.planes {
+            for index in 0..self.sats_per_plane {
+                let sat = self.sat_position(plane, index, t_secs);
+                let el = crate::vec3::elevation_deg(observer, sat);
+                if el < min_elevation_deg {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|b| el > b.elevation_deg) {
+                    best = Some(Visibility {
+                        plane,
+                        index,
+                        slant: observer.distance_to(sat),
+                        elevation_deg: el,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::{ecef_of, EARTH_RADIUS_KM};
+    use sno_geo::GeoPoint;
+
+    #[test]
+    fn starlink_period_about_95_minutes() {
+        let p = STARLINK_SHELL.period_secs() / 60.0;
+        assert!((p - 95.6).abs() < 1.0, "period {p} min");
+    }
+
+    #[test]
+    fn oneweb_period_about_109_minutes() {
+        let p = ONEWEB_SHELL.period_secs() / 60.0;
+        assert!((p - 109.0).abs() < 2.0, "period {p} min");
+    }
+
+    #[test]
+    fn satellites_stay_on_their_sphere() {
+        let shell = STARLINK_SHELL;
+        let r = shell.orbit_radius_km();
+        for t in [0.0, 300.0, 4_000.0, 86_400.0] {
+            let pos = shell.sat_position(7, 3, t);
+            assert!((pos.norm() - r).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn constellation_sizes() {
+        assert_eq!(STARLINK_SHELL.num_sats(), 1_584);
+        assert_eq!(ONEWEB_SHELL.num_sats(), 648);
+    }
+
+    #[test]
+    fn mid_latitude_user_always_sees_starlink() {
+        // At 53° inclination the shell is densest at mid latitudes; a
+        // Seattle user should see a satellite above 25° at any time.
+        let obs = ecef_of(GeoPoint::new(47.6, -122.3));
+        for t in (0..12).map(|k| k as f64 * 450.0) {
+            let vis = STARLINK_SHELL.best_visible(obs, t, 25.0);
+            assert!(vis.is_some(), "no satellite at t={t}");
+            let v = vis.unwrap();
+            // Slant is bounded below by the altitude and above by the
+            // horizon distance.
+            assert!(v.slant.0 >= 550.0 - 1.0, "slant {}", v.slant);
+            assert!(v.slant.0 < 1_500.0, "slant {}", v.slant);
+        }
+    }
+
+    #[test]
+    fn starlink_shell_does_not_cover_high_latitudes() {
+        // 53°-inclined shell leaves the far north uncovered (Alaska's
+        // far-north users rely on later shells; our Anchorage probe at
+        // 61°N is near the edge but the pole is definitely dark).
+        let obs = ecef_of(GeoPoint::new(82.0, 0.0));
+        let vis = STARLINK_SHELL.best_visible(obs, 0.0, 25.0);
+        assert!(vis.is_none());
+    }
+
+    #[test]
+    fn oneweb_polar_shell_covers_high_latitudes() {
+        let obs = ecef_of(GeoPoint::new(78.0, 15.0));
+        let vis = ONEWEB_SHELL.best_visible(obs, 0.0, 20.0);
+        assert!(vis.is_some());
+    }
+
+    #[test]
+    fn selection_changes_over_time() {
+        // LEO satellites sweep overhead in minutes; the chosen satellite
+        // must differ across a quarter orbit.
+        let obs = ecef_of(GeoPoint::new(40.0, -100.0));
+        let a = STARLINK_SHELL.best_visible(obs, 0.0, 25.0).unwrap();
+        let b = STARLINK_SHELL
+            .best_visible(obs, STARLINK_SHELL.period_secs() / 4.0, 25.0)
+            .unwrap();
+        assert!(a.plane != b.plane || a.index != b.index);
+    }
+
+    #[test]
+    fn elevation_mask_respected() {
+        let obs = ecef_of(GeoPoint::new(47.6, -122.3));
+        for t in [0.0, 777.0, 5_000.0] {
+            if let Some(v) = STARLINK_SHELL.best_visible(obs, t, 40.0) {
+                assert!(v.elevation_deg >= 40.0);
+            }
+        }
+    }
+
+    #[test]
+    fn slant_lower_bound_is_altitude() {
+        // Geometry sanity: slant >= altitude for any satellite above the
+        // observer's horizon.
+        let obs = ecef_of(GeoPoint::new(0.0, 0.0));
+        let v = ONEWEB_SHELL.best_visible(obs, 123.0, 10.0).unwrap();
+        assert!(v.slant.0 >= ONEWEB_SHELL.altitude_km - 1.0);
+        let horizon =
+            ((ONEWEB_SHELL.orbit_radius_km()).powi(2) - EARTH_RADIUS_KM.powi(2)).sqrt();
+        assert!(v.slant.0 <= horizon);
+    }
+}

@@ -1,0 +1,270 @@
+//! Physical and commercial assets per operator: GEO slot longitudes,
+//! gateway/egress geography, consumer service plans, and DNS resolver
+//! placement.
+
+use sno_geo::{GeoPoint, STARLINK_POPS};
+use sno_types::Operator;
+
+/// Orbital slot longitudes (degrees east) of an operator's GEO fleet.
+/// Empty for non-GEO operators.
+pub fn geo_slots_of(op: Operator) -> Vec<f64> {
+    match op {
+        // LEO / MEO operators park nothing on the Clarke belt.
+        Operator::Starlink | Operator::Oneweb | Operator::O3b => Vec::new(),
+        Operator::Viasat => vec![-115.0, -70.0],
+        Operator::Hughes => vec![-107.0, -63.0],
+        Operator::Eutelsat => vec![9.0, 36.0],
+        Operator::Avanti => vec![33.5],
+        Operator::Ses => vec![19.2, -47.0],
+        Operator::Telalaska => vec![-139.0],
+        Operator::Intelsat => vec![-58.0, 66.0],
+        Operator::Kacific => vec![150.0],
+        Operator::Thaicom => vec![78.5, 119.5],
+        Operator::HellasSat => vec![39.0],
+        // Maritime operators lease Inmarsat-style global beams.
+        Operator::Marlink | Operator::Kvh => vec![-98.0, 25.0, 143.5],
+        // Everyone else: a single regional slot near their home market.
+        _ => {
+            let p = crate::profile::profile_of(op);
+            let lon = match p.country {
+                "US" | "CA" | "MX" => -101.0,
+                "BR" => -61.0,
+                "GB" | "FR" | "GR" | "NO" | "LU" | "RU" => 13.0,
+                "AU" | "PG" | "SG" | "ID" | "TH" | "IN" => 108.0,
+                _ => -101.0,
+            };
+            vec![lon]
+        }
+    }
+}
+
+/// Internet egress points (PoP-equivalents) of an operator — where its
+/// subscriber traffic enters the public internet. Geographic spread here
+/// is what the paper's BGP analysis infers from peering jurisdictions.
+pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
+    match op {
+        // Starlink: one egress per PoP — the best-provisioned footprint.
+        Operator::Starlink => STARLINK_POPS.iter().map(|p| p.point).collect(),
+        // OneWeb: only two US-based transit providers in the study
+        // window — all traffic egresses in the US, which is exactly why
+        // its median latency (154 ms) dwarfs Starlink's (56 ms).
+        Operator::Oneweb => vec![
+            GeoPoint { lat: 39.0, lon: -77.5 },  // Ashburn
+            GeoPoint { lat: 41.9, lon: -87.6 },  // Chicago
+        ],
+        // O3b/SES: well-connected teleports on three continents.
+        Operator::O3b | Operator::Ses => vec![
+            GeoPoint { lat: 49.7, lon: 6.3 },    // Betzdorf (LU)
+            GeoPoint { lat: 39.0, lon: -77.5 },  // Ashburn
+            GeoPoint { lat: 1.35, lon: 103.8 },  // Singapore
+        ],
+        Operator::Viasat => vec![
+            GeoPoint { lat: 33.1, lon: -117.1 }, // Carlsbad
+            GeoPoint { lat: 39.0, lon: -77.5 },  // Ashburn
+            GeoPoint { lat: -23.5, lon: -46.6 }, // São Paulo
+        ],
+        Operator::Hughes => vec![
+            GeoPoint { lat: 39.2, lon: -77.3 },  // Germantown
+            GeoPoint { lat: 34.0, lon: -118.2 }, // Los Angeles
+        ],
+        Operator::Telalaska => vec![GeoPoint { lat: 61.2, lon: -149.9 }], // Anchorage
+        Operator::Eutelsat => vec![GeoPoint { lat: 48.9, lon: 2.3 }],    // Paris
+        Operator::Avanti => vec![GeoPoint { lat: 51.5, lon: -0.1 }],     // London
+        Operator::HellasSat => vec![GeoPoint { lat: 38.0, lon: 23.7 }],  // Athens
+        Operator::Kacific => vec![GeoPoint { lat: -33.9, lon: 151.2 }],  // Sydney
+        // Maritime fleets land at a handful of teleports.
+        Operator::Marlink => vec![
+            GeoPoint { lat: 59.9, lon: 10.7 },   // Oslo
+            GeoPoint { lat: 40.0, lon: -75.0 },  // US East
+        ],
+        Operator::Kvh => vec![GeoPoint { lat: 41.5, lon: -71.3 }], // Rhode Island
+        // Everyone else: one teleport near the home market.
+        _ => {
+            let p = crate::profile::profile_of(op);
+            let point = match p.country {
+                "US" => GeoPoint { lat: 39.0, lon: -98.0 },
+                "CA" => GeoPoint { lat: 45.4, lon: -75.7 },
+                "MX" => GeoPoint { lat: 19.4, lon: -99.1 },
+                "BR" => GeoPoint { lat: -23.5, lon: -46.6 },
+                "GB" => GeoPoint { lat: 51.5, lon: -0.1 },
+                "FR" => GeoPoint { lat: 48.9, lon: 2.3 },
+                "GR" => GeoPoint { lat: 38.0, lon: 23.7 },
+                "NO" => GeoPoint { lat: 59.9, lon: 10.7 },
+                "LU" => GeoPoint { lat: 49.6, lon: 6.1 },
+                "RU" => GeoPoint { lat: 55.8, lon: 37.6 },
+                "AU" => GeoPoint { lat: -33.9, lon: 151.2 },
+                "PG" => GeoPoint { lat: -9.4, lon: 147.2 },
+                "SG" => GeoPoint { lat: 1.35, lon: 103.8 },
+                "ID" => GeoPoint { lat: -6.2, lon: 106.8 },
+                "TH" => GeoPoint { lat: 13.8, lon: 100.5 },
+                "IN" => GeoPoint { lat: 19.1, lon: 72.9 },
+                _ => GeoPoint { lat: 39.0, lon: -98.0 },
+            };
+            vec![point]
+        }
+    }
+}
+
+/// Gateway (teleport) sites: where the satellite downlink lands. For
+/// LEO these are distributed near the egress PoPs; for GEO they are the
+/// teleports themselves.
+pub fn gateways_of(op: Operator) -> Vec<GeoPoint> {
+    egress_of(op)
+}
+
+/// A consumer service plan: the speed range subscribers actually see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServicePlan {
+    /// Download range, Mbps.
+    pub down_lo: f64,
+    pub down_hi: f64,
+    /// Upload range, Mbps.
+    pub up_lo: f64,
+    pub up_hi: f64,
+    /// Advertised download speed, Mbps (Figure 9's HughesNet gap: 25
+    /// advertised, ≤3 delivered).
+    pub advertised_down: f64,
+}
+
+/// The service plan subscribers of `op` are on.
+pub fn service_plan_of(op: Operator) -> ServicePlan {
+    match op {
+        Operator::Starlink => ServicePlan {
+            down_lo: 70.0,
+            down_hi: 170.0,
+            up_lo: 6.0,
+            up_hi: 21.0,
+            advertised_down: 100.0,
+        },
+        Operator::Viasat => ServicePlan {
+            down_lo: 10.0,
+            down_hi: 40.0,
+            up_lo: 2.0,
+            up_hi: 3.5,
+            advertised_down: 25.0,
+        },
+        Operator::Hughes => ServicePlan {
+            down_lo: 1.0,
+            down_hi: 3.0,
+            up_lo: 2.0,
+            up_hi: 3.0,
+            advertised_down: 25.0,
+        },
+        Operator::Oneweb => ServicePlan {
+            down_lo: 30.0,
+            down_hi: 80.0,
+            up_lo: 5.0,
+            up_hi: 12.0,
+            advertised_down: 75.0,
+        },
+        Operator::O3b => ServicePlan {
+            down_lo: 40.0,
+            down_hi: 120.0,
+            up_lo: 10.0,
+            up_hi: 30.0,
+            advertised_down: 100.0,
+        },
+        // Generic GEO broadband.
+        _ => ServicePlan {
+            down_lo: 5.0,
+            down_hi: 20.0,
+            up_lo: 1.0,
+            up_hi: 3.0,
+            advertised_down: 25.0,
+        },
+    }
+}
+
+/// Where an operator's default DNS resolver lives relative to the
+/// satellite hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolverPlacement {
+    /// At the PoP, on the internet side of the satellite link (Starlink
+    /// hands out Cloudflare).
+    AtPop,
+    /// The operator's own resolver, reached across the satellite link's
+    /// full RTT.
+    OperatorRun,
+}
+
+/// Resolver placement per operator (verified by the paper via
+/// `test.nextdns.io`).
+pub fn resolver_placement_of(op: Operator) -> ResolverPlacement {
+    match op {
+        Operator::Starlink => ResolverPlacement::AtPop,
+        _ => ResolverPlacement::OperatorRun,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leo_and_meo_have_no_geo_slots() {
+        assert!(geo_slots_of(Operator::Starlink).is_empty());
+        assert!(geo_slots_of(Operator::Oneweb).is_empty());
+        assert!(geo_slots_of(Operator::O3b).is_empty());
+    }
+
+    #[test]
+    fn every_geo_operator_has_a_slot() {
+        use sno_types::{AccessKind, OrbitClass};
+        for p in crate::profile::PROFILES {
+            let geoish = matches!(
+                p.access,
+                AccessKind::Satellite(OrbitClass::Geo) | AccessKind::MeoGeo
+            );
+            if geoish {
+                assert!(!geo_slots_of(p.operator).is_empty(), "{}", p.operator);
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_valid_longitudes() {
+        for op in Operator::ALL {
+            for lon in geo_slots_of(op) {
+                assert!((-180.0..=180.0).contains(&lon), "{op}: {lon}");
+            }
+        }
+    }
+
+    #[test]
+    fn starlink_has_the_widest_egress_footprint() {
+        let starlink = egress_of(Operator::Starlink).len();
+        for op in Operator::ALL {
+            if op != Operator::Starlink {
+                assert!(
+                    egress_of(op).len() < starlink,
+                    "{op} should have fewer egress points than Starlink"
+                );
+            }
+        }
+        assert_eq!(egress_of(Operator::Oneweb).len(), 2, "paper: two US providers");
+    }
+
+    #[test]
+    fn plans_match_figure9() {
+        let s = service_plan_of(Operator::Starlink);
+        assert!(s.down_lo >= 70.0 && s.down_hi >= 150.0);
+        let h = service_plan_of(Operator::Hughes);
+        assert!(h.down_hi <= 3.0, "HughesNet never exceeds 3 Mbps");
+        assert!(h.advertised_down >= 25.0, "...but advertises 25");
+        let v = service_plan_of(Operator::Viasat);
+        assert!(v.down_lo >= 10.0 && v.down_hi <= 40.0);
+    }
+
+    #[test]
+    fn only_starlink_resolves_at_the_pop() {
+        assert_eq!(resolver_placement_of(Operator::Starlink), ResolverPlacement::AtPop);
+        assert_eq!(
+            resolver_placement_of(Operator::Viasat),
+            ResolverPlacement::OperatorRun
+        );
+        assert_eq!(
+            resolver_placement_of(Operator::Hughes),
+            ResolverPlacement::OperatorRun
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The knowledge base: everything the paper's identification pipeline
+//! consults that is *not* a measurement.
+//!
+//! * [`profile`] — the curated ground truth of Table 3: 41 satellite
+//!   network operators, their 67 ASNs, access technology, PEP usage and
+//!   M-Lab presence (Table 1 target volumes);
+//! * [`sources`] — facades over the public registries the pipeline
+//!   queries: an ASdb-style category database (which is *incomplete*:
+//!   Starlink and Viasat are missing, exactly as the paper found), a
+//!   Hurricane-Electric-style name search, IPInfo-style ASN details and
+//!   PeeringDB-style notes (AS27277 = "Starlink corporate");
+//! * [`prefixes`] — the per-ASN `/24` allocation plan, including the
+//!   hybrid-backup and corporate prefixes that make naive ASN filtering
+//!   wrong (the whole reason the paper needs steps 3–3b);
+//! * [`assets`] — physical/operational assets per operator: GEO slots,
+//!   gateway teleports, service plans, resolver placement.
+
+pub mod assets;
+pub mod prefixes;
+pub mod profile;
+pub mod sources;
+
+pub use assets::{gateways_of, geo_slots_of, service_plan_of, ServicePlan};
+pub use prefixes::{allocation_for, PrefixSpec};
+pub use profile::{profile_of, SnoProfile, PROFILES};
+pub use sources::{asdb, hebgp, ipinfo, peeringdb};

@@ -1,0 +1,265 @@
+//! Facades over the public registries the identification pipeline uses.
+//!
+//! Each submodule mimics the *interface and imperfections* of a real
+//! source:
+//!
+//! * [`asdb`] returns every AS filed under "Satellite Communication" —
+//!   including operators that are not consumer SNOs at all (cable TV,
+//!   rural wireline, fleet tracking, teleports), and *excluding* Starlink
+//!   and Viasat, which the real ASdb missed;
+//! * [`hebgp`] is a name search over all known ASes, the fallback that
+//!   recovers the missing operators;
+//! * [`ipinfo`] returns organisation / website / prefix details per ASN;
+//! * [`peeringdb`] carries the notes field that exposes AS27277 as
+//!   Starlink's corporate network.
+
+use crate::prefixes::allocation_for;
+use crate::profile::{profile_of, PROFILES};
+use sno_types::{Asn, Operator, Prefix24};
+
+/// An AS that ASdb files under satellite but that manual curation must
+/// reject (step 2 of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distractor {
+    pub asn: u32,
+    pub org: &'static str,
+    /// Why it is not a consumer SNO.
+    pub actual_business: &'static str,
+}
+
+/// Distractor ASes, patterned on the examples the paper names (Cable
+/// Axion, Filer Mutual Telephone, Teletrac, United Teleports) plus more
+/// of each category.
+pub const DISTRACTORS: &[Distractor] = &[
+    Distractor { asn: 398101, org: "Cable Axion Digitel", actual_business: "cable TV operator" },
+    Distractor { asn: 398102, org: "Filer Mutual Telephone", actual_business: "residential broadband" },
+    Distractor { asn: 398103, org: "Teletrac Navman", actual_business: "fleet navigation services" },
+    Distractor { asn: 398104, org: "United Teleports Inc", actual_business: "teleport operator" },
+    Distractor { asn: 398105, org: "Prairie Hills Cable", actual_business: "cable TV operator" },
+    Distractor { asn: 398106, org: "Bighorn Rural Telephone", actual_business: "residential broadband" },
+    Distractor { asn: 398107, org: "OrbitTrack Asset Services", actual_business: "fleet navigation services" },
+    Distractor { asn: 398108, org: "Gateway Earth Teleport", actual_business: "teleport operator" },
+    Distractor { asn: 398109, org: "Lakeshore Cablevision", actual_business: "cable TV operator" },
+    Distractor { asn: 398110, org: "Mesa Valley Telephone Co-op", actual_business: "residential broadband" },
+];
+
+/// ASdb-style category database.
+pub mod asdb {
+    use super::*;
+
+    /// One ASdb row.
+    #[derive(Debug, Clone)]
+    pub struct AsdbEntry {
+        pub asn: Asn,
+        pub org: String,
+        /// ASdb category path.
+        pub category: &'static str,
+    }
+
+    /// Every AS filed under "Computer and Information Technology →
+    /// Satellite Communication". Incomplete: Starlink's and Viasat's
+    /// ASNs are absent (they must be recovered via [`super::hebgp`]).
+    pub fn satellite_ases() -> Vec<AsdbEntry> {
+        let mut out = Vec::new();
+        for p in PROFILES {
+            if !p.in_asdb {
+                continue;
+            }
+            for &asn in p.asns {
+                out.push(AsdbEntry {
+                    asn: Asn(asn),
+                    org: p.org.to_string(),
+                    category: "Satellite Communication",
+                });
+            }
+        }
+        for d in DISTRACTORS {
+            out.push(AsdbEntry {
+                asn: Asn(d.asn),
+                org: d.org.to_string(),
+                category: "Satellite Communication",
+            });
+        }
+        out
+    }
+}
+
+/// Hurricane-Electric-style BGP toolkit: search ASes by name.
+pub mod hebgp {
+    use super::*;
+
+    /// ASNs whose organisation name contains `query`
+    /// (case-insensitive). Covers *all* operators, including those ASdb
+    /// misses.
+    pub fn search(query: &str) -> Vec<Asn> {
+        let q = query.to_ascii_lowercase();
+        let mut out = Vec::new();
+        for p in PROFILES {
+            let hay = format!(
+                "{} {}",
+                p.org.to_ascii_lowercase(),
+                p.operator.name().to_ascii_lowercase()
+            );
+            if hay.contains(&q) {
+                out.extend(p.asns.iter().map(|&a| Asn(a)));
+            }
+        }
+        for d in DISTRACTORS {
+            if d.org.to_ascii_lowercase().contains(&q) {
+                out.push(Asn(d.asn));
+            }
+        }
+        out
+    }
+}
+
+/// IPInfo-style ASN details.
+pub mod ipinfo {
+    use super::*;
+
+    /// IPInfo-style record for an ASN.
+    #[derive(Debug, Clone)]
+    pub struct AsnDetails {
+        pub asn: Asn,
+        pub org: String,
+        pub website: &'static str,
+        pub country: &'static str,
+        /// Announced `/24` prefixes.
+        pub prefixes: Vec<Prefix24>,
+    }
+
+    /// Details for `asn`, if it belongs to a known operator or
+    /// distractor.
+    pub fn lookup(asn: Asn) -> Option<AsnDetails> {
+        if let Some(p) = PROFILES.iter().find(|p| p.asns.contains(&asn.0)) {
+            let prefixes = allocation_for(p.operator)
+                .into_iter()
+                .filter(|(a, _)| *a == asn)
+                .flat_map(|(_, specs)| specs.into_iter().map(|s| s.prefix))
+                .collect();
+            return Some(AsnDetails {
+                asn,
+                org: p.org.to_string(),
+                website: p.website,
+                country: p.country,
+                prefixes,
+            });
+        }
+        DISTRACTORS.iter().find(|d| d.asn == asn.0).map(|d| AsnDetails {
+            asn,
+            org: d.org.to_string(),
+            website: "example.invalid",
+            country: "US",
+            prefixes: Vec::new(),
+        })
+    }
+}
+
+/// PeeringDB-style notes.
+pub mod peeringdb {
+    use super::*;
+
+    /// Free-text notes attached to an ASN's PeeringDB page. The note on
+    /// AS14593 is how the paper learned that AS27277 carries Starlink's
+    /// corporate (terrestrial) traffic.
+    pub fn notes(asn: Asn) -> Option<&'static str> {
+        match asn.0 {
+            14593 => Some(
+                "AS14593 serves Starlink customer terminals. Corporate and \
+                 office networks are announced via AS27277.",
+            ),
+            27277 => Some("Starlink corporate network (terrestrial)."),
+            _ => None,
+        }
+    }
+}
+
+/// Is this AS a genuine consumer/enterprise SNO (true) or one of the
+/// lookalikes manual curation rejects (false)? `None` if unknown.
+pub fn is_genuine_sno(asn: Asn) -> Option<bool> {
+    if PROFILES.iter().any(|p| p.asns.contains(&asn.0)) {
+        return Some(true);
+    }
+    if DISTRACTORS.iter().any(|d| d.asn == asn.0) {
+        return Some(false);
+    }
+    None
+}
+
+/// The operator an SNO ASN belongs to (convenience re-export).
+pub fn operator_of(asn: Asn) -> Option<Operator> {
+    crate::profile::operator_of_asn(asn)
+}
+
+/// Access-kind lookup used by the manual curation stage.
+pub fn access_of(op: Operator) -> sno_types::AccessKind {
+    profile_of(op).access
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_types::{AccessKind, OrbitClass};
+
+    #[test]
+    fn asdb_misses_starlink_and_viasat() {
+        let entries = asdb::satellite_ases();
+        assert!(!entries.iter().any(|e| e.asn == Asn(14593)));
+        assert!(!entries.iter().any(|e| e.asn == Asn(13955)));
+        // But has HughesNet and the distractors.
+        assert!(entries.iter().any(|e| e.asn == Asn(28613)));
+        assert!(entries.iter().any(|e| e.org.contains("Cable Axion")));
+    }
+
+    #[test]
+    fn asdb_entry_count() {
+        // 67 SNO ASNs − 2 Starlink − 10 Viasat = 55, plus 10 distractors.
+        assert_eq!(asdb::satellite_ases().len(), 65);
+    }
+
+    #[test]
+    fn hebgp_recovers_missing_operators() {
+        let starlink = hebgp::search("starlink");
+        assert!(starlink.contains(&Asn(14593)));
+        assert!(starlink.contains(&Asn(27277)));
+        let viasat = hebgp::search("viasat");
+        assert_eq!(viasat.len(), 10);
+    }
+
+    #[test]
+    fn hebgp_search_is_case_insensitive() {
+        assert_eq!(hebgp::search("STARLINK"), hebgp::search("starlink"));
+        assert!(hebgp::search("no such operator xyz").is_empty());
+    }
+
+    #[test]
+    fn ipinfo_has_details_and_prefixes() {
+        let d = ipinfo::lookup(Asn(14593)).unwrap();
+        assert_eq!(d.website, "starlink.com");
+        assert!(!d.prefixes.is_empty());
+        assert!(ipinfo::lookup(Asn(999_999)).is_none());
+        // Distractors resolve but announce nothing interesting.
+        let cable = ipinfo::lookup(Asn(398101)).unwrap();
+        assert!(cable.prefixes.is_empty());
+    }
+
+    #[test]
+    fn peeringdb_exposes_corporate_asn() {
+        assert!(peeringdb::notes(Asn(14593)).unwrap().contains("27277"));
+        assert!(peeringdb::notes(Asn(27277)).unwrap().contains("corporate"));
+        assert!(peeringdb::notes(Asn(28613)).is_none());
+    }
+
+    #[test]
+    fn genuine_vs_distractor() {
+        assert_eq!(is_genuine_sno(Asn(14593)), Some(true));
+        assert_eq!(is_genuine_sno(Asn(398101)), Some(false));
+        assert_eq!(is_genuine_sno(Asn(3356)), None);
+    }
+
+    #[test]
+    fn access_lookup() {
+        assert_eq!(access_of(Operator::Starlink), AccessKind::Satellite(OrbitClass::Leo));
+        assert_eq!(access_of(Operator::Ses), AccessKind::MeoGeo);
+    }
+}

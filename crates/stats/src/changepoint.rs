@@ -1,0 +1,185 @@
+//! Mean-shift changepoint detection.
+//!
+//! Figure 8b identifies probes whose RTT-to-PoP series shifted level when
+//! Starlink reassigned their PoP (New Zealand −20 ms in July 2022,
+//! Netherlands −10 ms, Nevada +2× and a later revert). We detect these
+//! shifts with binary segmentation on the cumulative-sum statistic: find
+//! the split that maximally reduces the within-segment sum of squared
+//! deviations, accept it if the means differ by more than a caller-chosen
+//! threshold, and recurse into both halves.
+
+/// A detected level shift between two adjacent segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shift {
+    /// Index of the first sample *after* the change.
+    pub index: usize,
+    /// Mean of the segment before the change.
+    pub before: f64,
+    /// Mean of the segment after the change.
+    pub after: f64,
+}
+
+impl Shift {
+    /// Absolute size of the shift.
+    pub fn magnitude(&self) -> f64 {
+        (self.after - self.before).abs()
+    }
+}
+
+/// Detect mean shifts in `series` by binary segmentation.
+///
+/// A split is accepted when it reduces the within-segment sum of squared
+/// deviations by at least `min_shift² · min_segment / 2` (so a level
+/// change of `min_shift` sustained for `min_segment` samples is always
+/// found, including symmetric change-and-revert bumps whose edges have
+/// small *global* mean differences) and each side keeps at least
+/// `min_segment` samples. Detected shifts whose local magnitude falls
+/// below `min_shift` are dropped. Returned shifts are sorted by index;
+/// `before`/`after` are the means of the *local* segments delimited by
+/// neighbouring changepoints.
+pub fn detect_mean_shifts(series: &[f64], min_shift: f64, min_segment: usize) -> Vec<Shift> {
+    assert!(min_segment >= 1, "min_segment must be at least 1");
+    let min_gain = 0.5 * min_shift * min_shift * min_segment as f64;
+    let mut cuts: Vec<usize> = Vec::new();
+    segment(series, 0, min_gain, min_segment, &mut cuts);
+    cuts.sort_unstable();
+
+    // Convert cut indices into Shift records with local segment means.
+    let mut boundaries = vec![0];
+    boundaries.extend(cuts.iter().copied());
+    boundaries.push(series.len());
+    let mut shifts = Vec::new();
+    for k in 1..boundaries.len() - 1 {
+        let (a, b, c) = (boundaries[k - 1], boundaries[k], boundaries[k + 1]);
+        let shift = Shift {
+            index: b,
+            before: mean(&series[a..b]),
+            after: mean(&series[b..c]),
+        };
+        if shift.magnitude() >= min_shift {
+            shifts.push(shift);
+        }
+    }
+    shifts
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+
+/// Recursively find the best split of `series[..]` (whose first element
+/// has global index `offset`) and push accepted cut points into `cuts`.
+fn segment(
+    series: &[f64],
+    offset: usize,
+    min_gain: f64,
+    min_segment: usize,
+    cuts: &mut Vec<usize>,
+) {
+    let n = series.len();
+    if n < 2 * min_segment {
+        return;
+    }
+    // Prefix sums for O(1) segment means.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in series {
+        prefix.push(prefix.last().expect("non-empty") + x);
+    }
+    let total = prefix[n];
+    // Maximise between-segment variance reduction: equivalent to
+    // maximising n_l * n_r / n * (mean_l - mean_r)^2.
+    let mut best: Option<(usize, f64, f64, f64)> = None;
+    #[allow(clippy::needless_range_loop)] // k is a split position, not an element index
+    for k in min_segment..=n - min_segment {
+        let (nl, nr) = (k as f64, (n - k) as f64);
+        let mean_l = prefix[k] / nl;
+        let mean_r = (total - prefix[k]) / nr;
+        let gain = nl * nr / n as f64 * (mean_l - mean_r) * (mean_l - mean_r);
+        if best.is_none_or(|(_, g, _, _)| gain > g) {
+            best = Some((k, gain, mean_l, mean_r));
+        }
+    }
+    let Some((k, gain, _, _)) = best else { return };
+    if gain < min_gain {
+        return;
+    }
+    cuts.push(offset + k);
+    segment(&series[..k], offset, min_gain, min_segment, cuts);
+    segment(&series[k..], offset + k, min_gain, min_segment, cuts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_types::Rng;
+
+    #[test]
+    fn flat_series_has_no_shifts() {
+        let series = vec![50.0; 100];
+        assert!(detect_mean_shifts(&series, 5.0, 5).is_empty());
+    }
+
+    #[test]
+    fn too_short_series() {
+        assert!(detect_mean_shifts(&[], 5.0, 5).is_empty());
+        assert!(detect_mean_shifts(&[1.0, 100.0], 5.0, 5).is_empty());
+    }
+
+    #[test]
+    fn single_step_down_detected() {
+        // NZ-style: 53 ms for 100 days, then 33 ms.
+        let mut series = vec![53.0; 100];
+        series.extend(vec![33.0; 80]);
+        let shifts = detect_mean_shifts(&series, 10.0, 10);
+        assert_eq!(shifts.len(), 1);
+        assert_eq!(shifts[0].index, 100);
+        assert!((shifts[0].before - 53.0).abs() < 0.5);
+        assert!((shifts[0].after - 33.0).abs() < 0.5);
+        assert!((shifts[0].magnitude() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn step_up_and_revert_detected() {
+        // Nevada-style: 50 ms, doubles to 100 ms, reverts to 50 ms.
+        let mut series = vec![50.0; 120];
+        series.extend(vec![100.0; 30]);
+        series.extend(vec![50.0; 120]);
+        let shifts = detect_mean_shifts(&series, 20.0, 10);
+        assert_eq!(shifts.len(), 2);
+        assert_eq!(shifts[0].index, 120);
+        assert_eq!(shifts[1].index, 150);
+        assert!(shifts[0].after > shifts[0].before);
+        assert!(shifts[1].after < shifts[1].before);
+    }
+
+    #[test]
+    fn noise_below_threshold_ignored() {
+        let mut rng = Rng::new(99);
+        let series: Vec<f64> = (0..300).map(|_| rng.normal_with(45.0, 3.0)).collect();
+        let shifts = detect_mean_shifts(&series, 10.0, 10);
+        assert!(shifts.is_empty(), "spurious shifts: {shifts:?}");
+    }
+
+    #[test]
+    fn shift_detected_under_noise() {
+        let mut rng = Rng::new(7);
+        let mut series: Vec<f64> = (0..150).map(|_| rng.normal_with(53.0, 2.5)).collect();
+        series.extend((0..150).map(|_| rng.normal_with(33.0, 2.5)));
+        let shifts = detect_mean_shifts(&series, 10.0, 10);
+        assert_eq!(shifts.len(), 1);
+        assert!((shifts[0].index as i64 - 150).abs() <= 2, "index {}", shifts[0].index);
+    }
+
+    #[test]
+    fn min_segment_respected() {
+        // A 3-sample spike cannot become its own segment at min_segment=10.
+        let mut series = vec![50.0; 50];
+        series.extend(vec![500.0; 3]);
+        series.extend(vec![50.0; 50]);
+        for s in detect_mean_shifts(&series, 10.0, 10) {
+            assert!(s.index >= 10 && s.index <= series.len() - 10);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Gaussian kernel density estimation.
+//!
+//! The paper validates ASN→SNO mappings by plotting the KDE of each
+//! ASN's per-session p5 latency and checking the curve against the
+//! latency regime its orbit should produce (Figure 2). This module
+//! provides the estimator plus the helpers that validation needs: the
+//! density on a grid, mode finding, and the probability mass inside a
+//! latency band.
+
+/// A Gaussian KDE over a one-dimensional sample.
+///
+/// ```
+/// use sno_stats::Kde;
+/// // A bimodal latency sample: MEO cluster at 280 ms, GEO at 680 ms.
+/// let sample: Vec<f64> = (0..200)
+///     .map(|i| if i % 2 == 0 { 280.0 + (i % 20) as f64 } else { 680.0 + (i % 30) as f64 })
+///     .collect();
+/// let kde = Kde::fit(&sample).unwrap();
+/// assert_eq!(kde.modes_on_grid(0.0, 1000.0, 400, 0.2), 2);
+/// assert!(kde.mass_in(150.0, 450.0) > 0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fit with Silverman's rule-of-thumb bandwidth
+    /// `0.9 · min(σ, IQR/1.34) · n^(−1/5)`.
+    ///
+    /// Returns `None` on empty input. Degenerate samples (zero spread)
+    /// fall back to a small positive bandwidth so the density stays
+    /// well-defined.
+    pub fn fit(samples: &[f64]) -> Option<Kde> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len() as f64;
+        let sigma = crate::quantile::std_dev(&sorted).unwrap_or(0.0);
+        let iqr = crate::quantile::quantile_of_sorted(&sorted, 0.75)
+            - crate::quantile::quantile_of_sorted(&sorted, 0.25);
+        let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+        let bandwidth = if spread > 0.0 {
+            0.9 * spread * n.powf(-0.2)
+        } else {
+            // Degenerate sample: all points equal (or two equal points).
+            1.0
+        };
+        Some(Kde { samples: sorted, bandwidth })
+    }
+
+    /// Fit with an explicit bandwidth (used by the bandwidth ablation).
+    ///
+    /// Returns `None` on empty input or non-positive bandwidth.
+    pub fn fit_with_bandwidth(samples: &[f64], bandwidth: f64) -> Option<Kde> {
+        if samples.is_empty() || bandwidth <= 0.0 {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Kde { samples: sorted, bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when there are no samples (cannot happen for a fitted KDE,
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.samples.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.samples
+            .iter()
+            .map(|&s| {
+                let z = (x - s) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Density evaluated on `points` equally spaced points spanning
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `points < 2` or `lo >= hi`.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two grid points");
+        assert!(lo < hi, "empty grid range");
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+
+    /// The grid point with the highest density (the distribution's main
+    /// mode, up to grid resolution).
+    pub fn mode_on_grid(&self, lo: f64, hi: f64, points: usize) -> f64 {
+        self.grid(lo, hi, points)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .map(|(x, _)| x)
+            .expect("non-empty grid")
+    }
+
+    /// Fraction of the *sample* falling inside `[lo, hi)`.
+    ///
+    /// The identification pipeline reasons about mass in latency bands
+    /// (e.g. "is there non-trivial mass below 100 ms for a GEO ASN?");
+    /// using the empirical mass rather than integrating the smoothed
+    /// density keeps band edges crisp.
+    pub fn mass_in(&self, lo: f64, hi: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let start = self.samples.partition_point(|&s| s < lo);
+        let end = self.samples.partition_point(|&s| s < hi);
+        (end - start) as f64 / self.samples.len() as f64
+    }
+
+    /// Count of local maxima in the gridded density that rise above
+    /// `min_height` × the global maximum — used to detect bimodal
+    /// (hybrid MEO+GEO) profiles.
+    pub fn modes_on_grid(&self, lo: f64, hi: f64, points: usize, min_height: f64) -> usize {
+        let grid = self.grid(lo, hi, points);
+        let peak = grid
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0_f64, f64::max);
+        if peak <= 0.0 {
+            return 0;
+        }
+        let threshold = peak * min_height;
+        let mut modes = 0;
+        for i in 1..grid.len() - 1 {
+            let (_, d) = grid[i];
+            if d > threshold && d >= grid[i - 1].1 && d > grid[i + 1].1 {
+                modes += 1;
+            }
+        }
+        modes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(Kde::fit(&[]).is_none());
+        assert!(Kde::fit_with_bandwidth(&[], 1.0).is_none());
+        assert!(Kde::fit_with_bandwidth(&[1.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let samples = [10.0, 12.0, 11.0, 9.5, 10.5, 30.0, 31.0, 29.0];
+        let kde = Kde::fit(&samples).unwrap();
+        // Trapezoidal integration over a generous range.
+        let grid = kde.grid(-50.0, 100.0, 4_000);
+        let mut integral = 0.0;
+        for w in grid.windows(2) {
+            let dx = w[1].0 - w[0].0;
+            integral += 0.5 * (w[0].1 + w[1].1) * dx;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn mode_near_cluster_centre() {
+        // Peaked (normal) sample centred at Starlink's 56 ms median.
+        let mut rng = sno_types::Rng::new(2023);
+        let samples: Vec<f64> = (0..500).map(|_| rng.normal_with(56.0, 4.0)).collect();
+        let kde = Kde::fit(&samples).unwrap();
+        let mode = kde.mode_on_grid(0.0, 200.0, 800);
+        assert!((mode - 56.0).abs() < 2.0, "mode {mode}");
+    }
+
+    #[test]
+    fn bimodal_sample_has_two_modes() {
+        // MEO-ish cluster at 220 ms, GEO-ish cluster at 700 ms.
+        let mut samples = Vec::new();
+        for i in 0..150 {
+            samples.push(220.0 + (i % 21) as f64 - 10.0);
+            samples.push(700.0 + (i % 31) as f64 - 15.0);
+        }
+        let kde = Kde::fit(&samples).unwrap();
+        assert_eq!(kde.modes_on_grid(0.0, 1000.0, 500, 0.25), 2);
+    }
+
+    #[test]
+    fn unimodal_sample_has_one_mode() {
+        let samples: Vec<f64> = (0..300).map(|i| 700.0 + (i % 41) as f64).collect();
+        let kde = Kde::fit(&samples).unwrap();
+        assert_eq!(kde.modes_on_grid(0.0, 1000.0, 500, 0.25), 1);
+    }
+
+    #[test]
+    fn mass_in_bands() {
+        let samples = [10.0, 20.0, 30.0, 600.0, 610.0];
+        let kde = Kde::fit(&samples).unwrap();
+        assert!((kde.mass_in(0.0, 100.0) - 0.6).abs() < 1e-12);
+        assert!((kde.mass_in(500.0, 700.0) - 0.4).abs() < 1e-12);
+        assert_eq!(kde.mass_in(1000.0, 2000.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_sample_is_finite() {
+        let kde = Kde::fit(&[5.0, 5.0, 5.0]).unwrap();
+        assert!(kde.density(5.0).is_finite());
+        assert!(kde.density(5.0) > kde.density(10.0));
+    }
+
+    #[test]
+    fn silverman_bandwidth_shrinks_with_n() {
+        let small: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| (i % 20) as f64).collect();
+        let ks = Kde::fit(&small).unwrap();
+        let kl = Kde::fit(&large).unwrap();
+        assert!(kl.bandwidth() < ks.bandwidth());
+    }
+}

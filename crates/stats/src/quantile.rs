@@ -1,0 +1,128 @@
+//! Percentiles with linear interpolation (Hyndman–Fan type 7, the
+//! NumPy/R default).
+
+/// The `q`-quantile (`0.0..=1.0`) of `data`, which need not be sorted.
+///
+/// Returns `None` on empty input or when `q` is outside `[0, 1]`. NaN
+/// values are rejected by a debug assertion (measurement pipelines never
+/// produce them).
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    debug_assert!(sorted.iter().all(|x| !x.is_nan()), "NaN in quantile input");
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(quantile_of_sorted(&sorted, q))
+}
+
+/// The `q`-quantile of already-sorted data.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]` (callers are
+/// expected to validate; [`quantile`] is the forgiving entry point).
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The median of `data` (unsorted). `None` on empty input.
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Arithmetic mean. `None` on empty input.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator). `None` when fewer than
+/// two points.
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let m = mean(data).expect("non-empty");
+    let var =
+        data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile(&[42.0], 0.5), Some(42.0));
+        assert_eq!(quantile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&data, 0.75).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let data = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&data), Some(5.0));
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn p5_and_p95_on_uniform_grid() {
+        let data: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert!((quantile(&data, 0.05).unwrap() - 5.0).abs() < 1e-9);
+        assert!((quantile(&data, 0.95).unwrap() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        // Sample std of [2,4,4,4,5,5,7,9] is ~2.138.
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.13809).abs() < 1e-4, "{s}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = quantile(&data, q).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Daily time-series aggregation.
+//!
+//! Figure 4a plots, per operator, the *median access latency per day*
+//! over a year, and quotes each operator's "daily latency variation
+//! (95th %ile)" — the spread of relative day-over-day change. These
+//! helpers compute both from raw timestamped samples.
+
+use crate::quantile::{median, quantile};
+use sno_types::{Timestamp, UtcDay};
+
+/// One day's aggregate of a measurement series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DailyPoint {
+    /// The day the samples fall on.
+    pub day: UtcDay,
+    /// Number of samples that day.
+    pub count: usize,
+    /// Median of the day's samples.
+    pub median: f64,
+}
+
+/// Group `(timestamp, value)` samples by UTC day and take each day's
+/// median. Days with no samples are skipped; output is sorted by day.
+pub fn daily_medians(samples: &[(Timestamp, f64)]) -> Vec<DailyPoint> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(UtcDay, f64)> =
+        samples.iter().map(|&(t, v)| (t.day(), v)).collect();
+    sorted.sort_by(|a, b| {
+        a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN"))
+    });
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let day = sorted[i].0;
+        let mut j = i;
+        while j < sorted.len() && sorted[j].0 == day {
+            j += 1;
+        }
+        let values: Vec<f64> = sorted[i..j].iter().map(|&(_, v)| v).collect();
+        out.push(DailyPoint {
+            day,
+            count: values.len(),
+            median: median(&values).expect("non-empty day"),
+        });
+        i = j;
+    }
+    out
+}
+
+/// The paper's "daily latency variation (95th %ile)": the 95th percentile
+/// of `|m_d − m_{d−1}| / m_{d−1}` over consecutive daily medians,
+/// expressed as a fraction (0.031 = 3.1 %).
+///
+/// Returns `None` when fewer than two consecutive days exist.
+pub fn daily_variation_p95(points: &[DailyPoint]) -> Option<f64> {
+    let mut rel_changes = Vec::new();
+    for w in points.windows(2) {
+        if w[1].day - w[0].day == 1 && w[0].median > 0.0 {
+            rel_changes.push((w[1].median - w[0].median).abs() / w[0].median);
+        }
+    }
+    quantile(&rel_changes, 0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_types::Date;
+
+    fn at(day: u32, sec: u64) -> Timestamp {
+        Timestamp::from_day(UtcDay(day)) + sec
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(daily_medians(&[]).is_empty());
+        assert!(daily_variation_p95(&[]).is_none());
+    }
+
+    #[test]
+    fn groups_by_day_and_takes_median() {
+        let samples = vec![
+            (at(0, 10), 50.0),
+            (at(0, 20), 60.0),
+            (at(0, 30), 70.0),
+            (at(2, 0), 100.0),
+        ];
+        let daily = daily_medians(&samples);
+        assert_eq!(daily.len(), 2);
+        assert_eq!(daily[0], DailyPoint { day: UtcDay(0), count: 3, median: 60.0 });
+        assert_eq!(daily[1], DailyPoint { day: UtcDay(2), count: 1, median: 100.0 });
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let samples = vec![(at(5, 0), 2.0), (at(1, 0), 1.0), (at(5, 10), 4.0)];
+        let daily = daily_medians(&samples);
+        assert_eq!(daily[0].day, UtcDay(1));
+        assert_eq!(daily[1].median, 3.0);
+    }
+
+    #[test]
+    fn variation_skips_gaps() {
+        // Days 0,1 consecutive (10% change); days 1,3 have a gap.
+        let points = vec![
+            DailyPoint { day: UtcDay(0), count: 1, median: 100.0 },
+            DailyPoint { day: UtcDay(1), count: 1, median: 110.0 },
+            DailyPoint { day: UtcDay(3), count: 1, median: 500.0 },
+        ];
+        let v = daily_variation_p95(&points).unwrap();
+        assert!((v - 0.1).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn stable_series_has_low_variation() {
+        let points: Vec<DailyPoint> = (0..365)
+            .map(|d| DailyPoint {
+                day: UtcDay(d),
+                count: 10,
+                median: 56.0 + (d % 2) as f64 * 0.5,
+            })
+            .collect();
+        let v = daily_variation_p95(&points).unwrap();
+        assert!(v < 0.01, "{v}");
+    }
+
+    #[test]
+    fn days_render_as_dates() {
+        let daily = daily_medians(&[(Timestamp::from_date(Date::new(2022, 7, 12), 0), 1.0)]);
+        assert_eq!(daily[0].day.to_string(), "2022-07-12");
+    }
+}

@@ -1,0 +1,651 @@
+//! The synthetic RIPE Atlas deployment (Table 2).
+//!
+//! 67 Starlink-connected probes across 15 countries, each with the
+//! paper's per-country start month and measurement volume. Every probe
+//! runs built-in traceroutes to the 13 root DNS letters and 12-hourly
+//! SSLCert measurements (which expose its public source address, whose
+//! reverse DNS encodes the serving PoP). PoP assignment is
+//! nearest-by-geography with the paper's documented exceptions, and
+//! three probes carry historical PoP-change events:
+//!
+//! * New Zealand: Sydney → Auckland on 2022-07-12 (−20 ms);
+//! * Netherlands (probe 1): Frankfurt → London on 2022-10-15 (−10 ms);
+//! * Nevada (probe 1): Los Angeles → Denver on 2022-09-05 (2× RTT),
+//!   reverted on 2022-10-03.
+
+use crate::config::SynthConfig;
+use sno_geo::pops::{pop_by_code, PopSite, STARLINK_POPS};
+use sno_geo::roots::{instances_of, RootInstance};
+use sno_geo::{haversine_km, GeoPoint};
+use sno_netsim::terrestrial::terrestrial_rtt;
+use sno_orbit::access::BentPipe;
+use sno_orbit::shell::STARLINK_SHELL;
+use sno_types::records::{
+    CountryCode, RootServer, SslCertRecord, TraceHop, TracerouteRecord,
+};
+use sno_types::time::SECS_PER_DAY;
+use sno_types::{Date, Ipv4, Millis, Prefix24, ProbeId, Rng, Timestamp, UtcDay};
+
+/// End of the Atlas observation window (exclusive).
+pub const ATLAS_END: Date = Date { year: 2023, month: 5, day: 3 };
+
+/// One deployed probe.
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// Probe identifier.
+    pub id: ProbeId,
+    /// Country of deployment.
+    pub country: CountryCode,
+    /// US state postal code, if in the US.
+    pub state: Option<&'static str>,
+    /// Probe location.
+    pub location: GeoPoint,
+    /// First day of measurements.
+    pub start: Date,
+    /// `(effective_from, pop_code)` entries, chronologically ordered;
+    /// the first entry is effective from `start`.
+    pub pop_schedule: Vec<(UtcDay, &'static str)>,
+}
+
+impl ProbeSpec {
+    /// The PoP serving this probe on `day`.
+    pub fn pop_on(&self, day: UtcDay) -> &'static PopSite {
+        let code = self
+            .pop_schedule
+            .iter()
+            .rev()
+            .find(|&&(from, _)| day >= from)
+            .map(|&(_, code)| code)
+            .unwrap_or(self.pop_schedule[0].1);
+        pop_by_code(code).expect("schedule references known PoPs")
+    }
+
+    /// The probe's public IPv4 address on `day` (one host in the serving
+    /// PoP's subscriber prefix — it changes when the PoP changes, which
+    /// is why the paper keeps re-reading SSLCert source addresses).
+    pub fn public_addr(&self, day: UtcDay) -> Ipv4 {
+        let pop = self.pop_on(day);
+        let idx = STARLINK_POPS
+            .iter()
+            .position(|p| p.code == pop.code)
+            .expect("pop in table") as u8;
+        pop_prefix(idx).addr(10 + (self.id.0 % 200) as u8)
+    }
+}
+
+/// The subscriber `/24` behind PoP number `idx`.
+pub fn pop_prefix(idx: u8) -> Prefix24 {
+    Prefix24::new(98, 97, idx)
+}
+
+/// Reverse DNS for a Starlink subscriber address, if it belongs to a
+/// known PoP prefix.
+pub fn reverse_dns(addr: Ipv4) -> Option<String> {
+    let p = addr.prefix24();
+    STARLINK_POPS
+        .iter()
+        .enumerate()
+        .find(|(i, _)| pop_prefix(*i as u8) == p)
+        .map(|(_, pop)| pop.reverse_dns())
+}
+
+/// The generated Atlas corpus.
+#[derive(Debug, Clone)]
+pub struct AtlasCorpus {
+    /// The probe deployment.
+    pub probes: Vec<ProbeSpec>,
+    /// All traceroute measurements.
+    pub traceroutes: Vec<TracerouteRecord>,
+    /// All SSLCert source-address observations.
+    pub sslcerts: Vec<SslCertRecord>,
+}
+
+impl AtlasCorpus {
+    /// The probe with the given id.
+    pub fn probe(&self, id: ProbeId) -> Option<&ProbeSpec> {
+        self.probes.iter().find(|p| p.id == id)
+    }
+}
+
+/// Per-country deployment row of Table 2: (country, probes, start
+/// year/month, full traceroute volume).
+const DEPLOYMENT: &[(&str, u32, (i32, u8), u64)] = &[
+    ("AT", 2, (2022, 5), 240_000),
+    ("AU", 4, (2022, 5), 460_000),
+    ("BE", 1, (2023, 1), 70_000),
+    ("CA", 2, (2022, 5), 280_000),
+    ("CL", 1, (2023, 2), 50_000),
+    ("DE", 5, (2022, 5), 710_000),
+    ("ES", 2, (2022, 6), 100_000),
+    ("FR", 5, (2022, 11), 350_000),
+    ("GB", 5, (2022, 8), 290_000),
+    ("IT", 1, (2022, 10), 120_000),
+    ("NL", 3, (2022, 5), 380_000),
+    ("NZ", 1, (2022, 5), 220_000),
+    ("PH", 1, (2023, 3), 20_000),
+    ("PL", 1, (2023, 1), 60_000),
+    ("US", 33, (2022, 5), 3_080_000),
+];
+
+/// Representative probe sites per country (cycled when a country hosts
+/// more probes than listed sites).
+fn country_sites(country: &str) -> &'static [GeoPoint] {
+    match country {
+        "AT" => &[GeoPoint { lat: 48.21, lon: 16.37 }, GeoPoint { lat: 47.27, lon: 11.40 }],
+        "AU" => &[
+            GeoPoint { lat: -33.87, lon: 151.21 },
+            GeoPoint { lat: -37.81, lon: 144.96 },
+            GeoPoint { lat: -27.47, lon: 153.03 },
+            GeoPoint { lat: -31.95, lon: 115.86 },
+        ],
+        "BE" => &[GeoPoint { lat: 50.85, lon: 4.35 }],
+        "CA" => &[GeoPoint { lat: 43.65, lon: -79.38 }, GeoPoint { lat: 49.28, lon: -123.12 }],
+        "CL" => &[GeoPoint { lat: -33.04, lon: -71.37 }], // ~75 km from Santiago
+        "DE" => &[
+            GeoPoint { lat: 52.52, lon: 13.40 },
+            GeoPoint { lat: 48.14, lon: 11.58 },
+            GeoPoint { lat: 50.94, lon: 6.96 },
+            GeoPoint { lat: 53.55, lon: 9.99 },
+            GeoPoint { lat: 49.45, lon: 11.08 },
+        ],
+        "ES" => &[GeoPoint { lat: 40.42, lon: -3.70 }, GeoPoint { lat: 41.39, lon: 2.17 }],
+        "FR" => &[
+            GeoPoint { lat: 48.86, lon: 2.35 },
+            GeoPoint { lat: 45.76, lon: 4.84 },
+            GeoPoint { lat: 43.30, lon: 5.37 },
+            GeoPoint { lat: 47.22, lon: -1.55 },
+            GeoPoint { lat: 48.58, lon: 7.75 },
+        ],
+        "GB" => &[
+            GeoPoint { lat: 51.51, lon: -0.13 },
+            GeoPoint { lat: 53.48, lon: -2.24 },
+            GeoPoint { lat: 55.95, lon: -3.19 },
+            GeoPoint { lat: 51.45, lon: -2.59 },
+            GeoPoint { lat: 52.49, lon: -1.89 },
+        ],
+        "IT" => &[GeoPoint { lat: 45.46, lon: 9.19 }],
+        "NL" => &[
+            GeoPoint { lat: 51.92, lon: 4.48 }, // Rotterdam (the probe that moved PoPs)
+            GeoPoint { lat: 52.37, lon: 4.90 },
+            GeoPoint { lat: 52.09, lon: 5.12 },
+        ],
+        "NZ" => &[GeoPoint { lat: -36.85, lon: 174.76 }],
+        "PH" => &[GeoPoint { lat: 14.60, lon: 120.98 }], // Manila
+        "PL" => &[GeoPoint { lat: 52.23, lon: 21.01 }],
+        _ => &[GeoPoint { lat: 39.0, lon: -98.0 }],
+    }
+}
+
+/// US states for the 33 US probes, in assignment order.
+const US_PROBE_STATES: &[&str] = &[
+    "WA", "WA", "OR", "OR", "CA", "CA", "NV", "NV", "AZ", "AZ", "NM", "UT", "CO", "CO",
+    "TX", "TX", "OK", "MO", "KS", "MN", "IL", "IL", "OH", "MI", "WI", "NY", "NY", "PA",
+    "MA", "VA", "VA", "FL", "AK",
+]; // GA dropped to keep exactly 33
+
+/// Builds the probe deployment and generates measurements.
+pub struct AtlasGenerator {
+    config: SynthConfig,
+}
+
+impl AtlasGenerator {
+    /// Create a generator.
+    pub fn new(config: SynthConfig) -> AtlasGenerator {
+        AtlasGenerator { config }
+    }
+
+    /// Build the 67-probe deployment (deterministic; no measurements).
+    pub fn probes(&self) -> Vec<ProbeSpec> {
+        let mut probes = Vec::new();
+        let mut next_id = 1u32;
+        for &(country, count, (year, month), _) in DEPLOYMENT {
+            let sites = country_sites(country);
+            for i in 0..count {
+                let id = ProbeId(next_id);
+                next_id += 1;
+                let (location, state) = if country == "US" {
+                    let state = US_PROBE_STATES[i as usize];
+                    let s = sno_geo::world::us_state(state).expect("known state");
+                    // Spread probes within the state deterministically.
+                    let jitter = (f64::from(id.0 % 7) - 3.0) * 0.35;
+                    (
+                        GeoPoint::new(
+                            (s.point.lat + jitter).clamp(-89.0, 89.0),
+                            s.point.lon + jitter,
+                        ),
+                        Some(state),
+                    )
+                } else {
+                    (sites[i as usize % sites.len()], None)
+                };
+                let start = Date::new(year, month, 3);
+                let pop_schedule = schedule_for(country, i, location, start);
+                probes.push(ProbeSpec {
+                    id,
+                    country: CountryCode::new(country),
+                    state,
+                    location,
+                    start,
+                    pop_schedule,
+                });
+            }
+        }
+        probes
+    }
+
+    /// Generate the full corpus (probes + traceroutes + SSLCerts).
+    pub fn generate(&self) -> AtlasCorpus {
+        let probes = self.probes();
+        let mut traceroutes = Vec::new();
+        let mut sslcerts = Vec::new();
+        let end_day = ATLAS_END.to_day();
+
+        for &(country, count, _, volume) in DEPLOYMENT {
+            let scaled = ((volume as f64 * self.config.scale).ceil() as u64).max(120);
+            let country_probes: Vec<&ProbeSpec> = probes
+                .iter()
+                .filter(|p| p.country == CountryCode::new(country))
+                .collect();
+            debug_assert_eq!(country_probes.len(), count as usize);
+            let per_probe = (scaled / count as u64).max(120);
+            for probe in country_probes {
+                let mut rng = Rng::new(self.config.seed)
+                    .substream_named("atlas")
+                    .substream(u64::from(probe.id.0));
+                let start_day = probe.start.to_day();
+                let active_days = (end_day - start_day).max(1) as u64;
+                for k in 0..per_probe {
+                    // Spread measurements evenly with jitter, cycling
+                    // through the 13 roots.
+                    let day = UtcDay(start_day.0 + (k * active_days / per_probe) as u32);
+                    let timestamp =
+                        Timestamp::from_day(day) + rng.below(SECS_PER_DAY);
+                    let target = RootServer::ALL[(k % 13) as usize];
+                    traceroutes.push(self.trace(probe, timestamp, target, &mut rng));
+                }
+                // SSLCert every 12 h, downsampled with the corpus scale
+                // but at least one per PoP-schedule segment.
+                let ssl_count = ((active_days * 2) as f64 * (self.config.scale * 500.0))
+                    .ceil()
+                    .max(8.0) as u64;
+                for k in 0..ssl_count {
+                    let day = UtcDay(start_day.0 + (k * active_days / ssl_count) as u32);
+                    sslcerts.push(SslCertRecord {
+                        probe: probe.id,
+                        timestamp: Timestamp::from_day(day) + 43_200,
+                        src_addr: probe.public_addr(day),
+                    });
+                }
+            }
+        }
+        // Interleave chronologically, as a BigQuery export would be.
+        traceroutes.sort_by_key(|t| (t.timestamp, t.probe.0));
+        sslcerts.sort_by_key(|s| (s.timestamp, s.probe.0));
+        AtlasCorpus { probes, traceroutes, sslcerts }
+    }
+
+    /// One traceroute measurement.
+    fn trace(
+        &self,
+        probe: &ProbeSpec,
+        timestamp: Timestamp,
+        target: RootServer,
+        rng: &mut Rng,
+    ) -> TracerouteRecord {
+        let day = timestamp.day();
+        let pop = probe.pop_on(day);
+        let pop_rtt = probe_pop_rtt(probe, pop, timestamp, rng);
+
+        let mut hops = vec![TraceHop {
+            addr: Ipv4::new(192, 168, 1, 1),
+            rtt: Millis(rng.range_f64(0.3, 2.0)),
+        }];
+        let Some(pop_rtt) = pop_rtt else {
+            // Satellite outage: the probe saw only its LAN hop.
+            return TracerouteRecord {
+                probe: probe.id,
+                timestamp,
+                target,
+                hops,
+                reached: false,
+            };
+        };
+        hops.push(TraceHop { addr: Ipv4::CGNAT_GATEWAY, rtt: Millis(pop_rtt) });
+        let pop_idx = STARLINK_POPS
+            .iter()
+            .position(|p| p.code == pop.code)
+            .expect("pop in table") as u8;
+        hops.push(TraceHop {
+            addr: Ipv4::new(206, 224, pop_idx, 1),
+            rtt: Millis(pop_rtt + rng.range_f64(0.3, 2.0)),
+        });
+
+        // Route from the PoP to the chosen root instance.
+        let (instance, transit_km) = route_to_root(pop, target);
+        let transit_rtt = terrestrial_rtt(pop.point, instance.point).0
+            + extra_transit_ms(transit_km);
+        let total = pop_rtt + transit_rtt + rng.normal_with(0.0, 2.0).abs();
+        let transit_hops =
+            (((transit_km / 800.0).ceil() as usize) + rng.below(3) as usize).min(18);
+        for h in 0..transit_hops {
+            let frac = (h + 1) as f64 / (transit_hops + 1) as f64;
+            hops.push(TraceHop {
+                addr: Ipv4::new(4, 68, pop_idx, 10 + h as u8),
+                rtt: Millis(pop_rtt + (total - pop_rtt) * frac),
+            });
+        }
+        let reached = !rng.chance(0.04);
+        if reached {
+            hops.push(TraceHop { addr: root_addr(target), rtt: Millis(total) });
+        }
+        TracerouteRecord { probe: probe.id, timestamp, target, hops, reached }
+    }
+}
+
+/// Extra delay beyond fibre physics for long transits (peering detours,
+/// queuing at IXPs).
+fn extra_transit_ms(km: f64) -> f64 {
+    2.0 + km / 1_000.0
+}
+
+/// Standing congestion at a PoP's egress. Frankfurt ran hot during the
+/// study window — the reason Starlink shifted Dutch customers to London
+/// for a ~10 ms win.
+fn pop_congestion_ms(code: &str) -> f64 {
+    match code {
+        "frntdeu1" => 6.0,
+        _ => 0.0,
+    }
+}
+
+/// The probe→PoP RTT at `timestamp`: bent-pipe propagation through the
+/// 550 km shell, uplink scheduling, gateway→PoP backhaul, and — when the
+/// assigned PoP is not the geographically nearest one — a trombone
+/// penalty for the detour through the natural gateway region (this is
+/// what made the Nevada probe's RTT jump when its PoP moved to Denver,
+/// and what the New Zealand probe shed when Auckland opened). `None`
+/// during an outage (no satellite above the mask — marginal at Alaskan
+/// latitudes).
+pub fn probe_pop_rtt(
+    probe: &ProbeSpec,
+    pop: &PopSite,
+    timestamp: Timestamp,
+    rng: &mut Rng,
+) -> Option<f64> {
+    let distance = haversine_km(probe.location, pop.point).0;
+    // The serving gateway is near the probe when the PoP is remote.
+    let gateway = if distance > 1_200.0 {
+        GeoPoint::new(
+            (probe.location.lat + 1.5).clamp(-89.0, 89.0),
+            probe.location.lon,
+        )
+    } else {
+        pop.point
+    };
+    let mut pipe = BentPipe::new(STARLINK_SHELL, probe.location, gateway);
+    // High-latitude cells sit at the 53° shell's edge: dishes tilt and
+    // accept lower elevations (otherwise Alaska would see nothing).
+    if probe.location.lat.abs() > 58.0 {
+        pipe.min_elevation_deg = 15.0;
+    }
+    let prop = pipe.propagation_rtt(timestamp.0 as f64)?.0;
+    let mut backhaul = terrestrial_rtt(gateway, pop.point).0 * 0.75
+        + pop_congestion_ms(pop.code);
+    // Trombone: traffic still lands near the probe's natural PoP region
+    // before riding to the assigned PoP.
+    let nearest = STARLINK_POPS
+        .iter()
+        .min_by(|a, b| {
+            let da = haversine_km(probe.location, a.point).0;
+            let db = haversine_km(probe.location, b.point).0;
+            da.partial_cmp(&db).expect("no NaN")
+        })
+        .expect("pop table non-empty");
+    if nearest.code != pop.code && distance <= 1_200.0 {
+        backhaul += terrestrial_rtt(nearest.point, pop.point).0 * 0.5;
+    }
+    // Uplink scheduling: ~18–30 ms typically; high-latitude cells are
+    // near the 53° shell's edge and wait longer for beams.
+    let marginal = probe.location.lat.abs() > 58.0;
+    let sched_median = if marginal { 35.0 } else { 22.0 };
+    let sched = sched_median * rng.lognormal(0.0, 0.22).clamp(0.55, 3.0);
+    Some(prop + sched + backhaul)
+}
+
+/// Pick the root instance a PoP's egress reaches, and the effective
+/// transit distance. Tokyo's PoP peers poorly: only the letters with
+/// Tokyo instances resolve locally, everything else crosses the Pacific
+/// (the paper's Philippines probe pays ~200 ms to most roots).
+fn route_to_root(pop: &PopSite, target: RootServer) -> (&'static RootInstance, f64) {
+    let tokyo_limited = pop.code == "tkyojpn1";
+    instances_of(target)
+        .map(|inst| {
+            let mut km = haversine_km(pop.point, inst.point).0;
+            if tokyo_limited && inst.country_str != "JP" {
+                // Routed via the US West coast.
+                km = haversine_km(pop.point, GeoPoint::new(34.05, -118.24)).0
+                    + haversine_km(GeoPoint::new(34.05, -118.24), inst.point).0;
+            }
+            (inst, km)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("every root has instances")
+}
+
+/// Anycast IPv4 of a root letter.
+pub fn root_addr(root: RootServer) -> Ipv4 {
+    match root {
+        RootServer::A => Ipv4::new(198, 41, 0, 4),
+        RootServer::B => Ipv4::new(170, 247, 170, 2),
+        RootServer::C => Ipv4::new(192, 33, 4, 12),
+        RootServer::D => Ipv4::new(199, 7, 91, 13),
+        RootServer::E => Ipv4::new(192, 203, 230, 10),
+        RootServer::F => Ipv4::new(192, 5, 5, 241),
+        RootServer::G => Ipv4::new(192, 112, 36, 4),
+        RootServer::H => Ipv4::new(198, 97, 190, 53),
+        RootServer::I => Ipv4::new(192, 36, 148, 17),
+        RootServer::J => Ipv4::new(192, 58, 128, 30),
+        RootServer::K => Ipv4::new(193, 0, 14, 129),
+        RootServer::M => Ipv4::new(202, 12, 27, 33),
+        RootServer::L => Ipv4::new(199, 7, 83, 42),
+    }
+}
+
+/// The PoP schedule for probe `i` of `country`, starting at `start`.
+fn schedule_for(
+    country: &str,
+    i: u32,
+    location: GeoPoint,
+    start: Date,
+) -> Vec<(UtcDay, &'static str)> {
+    let start_day = start.to_day();
+    match (country, i) {
+        // New Zealand: Sydney until 2022-07-12, Auckland after.
+        ("NZ", 0) => vec![
+            (start_day, "sydnaus1"),
+            (Date::new(2022, 7, 12).to_day(), "aklnnzl1"),
+        ],
+        // First Netherlands probe: Frankfurt → London.
+        ("NL", 0) => vec![
+            (start_day, "frntdeu1"),
+            (Date::new(2022, 10, 15).to_day(), "lndngbr1"),
+        ],
+        // First Nevada probe: LA → Denver → LA (the 2× regression and
+        // its revert). Nevada probes are US indices 6 and 7.
+        ("US", 6) => vec![
+            (start_day, "lsancax1"),
+            (Date::new(2022, 9, 5).to_day(), "dnvrcox1"),
+            (Date::new(2022, 10, 3).to_day(), "lsancax1"),
+        ],
+        _ => {
+            let nearest = STARLINK_POPS
+                .iter()
+                .min_by(|a, b| {
+                    let da = haversine_km(location, a.point).0;
+                    let db = haversine_km(location, b.point).0;
+                    da.partial_cmp(&db).expect("no NaN")
+                })
+                .expect("pop table non-empty");
+            vec![(start_day, nearest.code)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_stats::median;
+
+    fn corpus() -> AtlasCorpus {
+        AtlasGenerator::new(SynthConfig::test_corpus()).generate()
+    }
+
+    #[test]
+    fn sixty_seven_probes_in_fifteen_countries() {
+        let probes = AtlasGenerator::new(SynthConfig::test_corpus()).probes();
+        assert_eq!(probes.len(), 67);
+        let countries: std::collections::BTreeSet<_> =
+            probes.iter().map(|p| p.country).collect();
+        assert_eq!(countries.len(), 15);
+        let us = probes
+            .iter()
+            .filter(|p| p.country == CountryCode::new("US"))
+            .count();
+        assert_eq!(us, 33);
+    }
+
+    #[test]
+    fn nz_probe_switches_to_auckland() {
+        let probes = AtlasGenerator::new(SynthConfig::test_corpus()).probes();
+        let nz = probes
+            .iter()
+            .find(|p| p.country == CountryCode::new("NZ"))
+            .unwrap();
+        assert_eq!(nz.pop_on(Date::new(2022, 6, 1).to_day()).code, "sydnaus1");
+        assert_eq!(nz.pop_on(Date::new(2022, 8, 1).to_day()).code, "aklnnzl1");
+        // And its public address moves prefixes with the PoP.
+        assert_ne!(
+            nz.public_addr(Date::new(2022, 6, 1).to_day()).prefix24(),
+            nz.public_addr(Date::new(2022, 8, 1).to_day()).prefix24()
+        );
+    }
+
+    #[test]
+    fn philippines_probe_lands_on_tokyo() {
+        let probes = AtlasGenerator::new(SynthConfig::test_corpus()).probes();
+        let ph = probes
+            .iter()
+            .find(|p| p.country == CountryCode::new("PH"))
+            .unwrap();
+        assert_eq!(ph.pop_on(Date::new(2023, 4, 1).to_day()).code, "tkyojpn1");
+    }
+
+    #[test]
+    fn alaska_probe_lands_on_seattle() {
+        let probes = AtlasGenerator::new(SynthConfig::test_corpus()).probes();
+        let ak = probes.iter().find(|p| p.state == Some("AK")).unwrap();
+        assert_eq!(ak.pop_on(Date::new(2023, 1, 1).to_day()).code, "sttlwax1");
+    }
+
+    #[test]
+    fn reverse_dns_round_trips_pop() {
+        let probes = AtlasGenerator::new(SynthConfig::test_corpus()).probes();
+        for p in &probes {
+            let day = ATLAS_END.to_day();
+            let addr = p.public_addr(UtcDay(day.0 - 1));
+            let name = reverse_dns(addr).expect("subscriber address maps");
+            assert!(name.contains(p.pop_on(UtcDay(day.0 - 1)).code), "{name}");
+        }
+        assert_eq!(reverse_dns(Ipv4::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn cgnat_rtt_in_starlink_band() {
+        let corpus = corpus();
+        let us_eu: Vec<f64> = corpus
+            .traceroutes
+            .iter()
+            .filter_map(|t| {
+                let p = corpus.probe(t.probe)?;
+                let c = p.country.as_str();
+                (c == "DE" || (c == "US" && p.state != Some("AK")))
+                    .then_some(())?;
+                t.cgnat_rtt().map(|m| m.0)
+            })
+            .collect();
+        let med = median(&us_eu).unwrap();
+        assert!((30.0..60.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn philippines_pays_roughly_double() {
+        let corpus = corpus();
+        let rtt_of = |cc: &str| -> f64 {
+            let v: Vec<f64> = corpus
+                .traceroutes
+                .iter()
+                .filter_map(|t| {
+                    let p = corpus.probe(t.probe)?;
+                    (p.country == CountryCode::new(cc)).then_some(())?;
+                    t.cgnat_rtt().map(|m| m.0)
+                })
+                .collect();
+            median(&v).unwrap()
+        };
+        let ph = rtt_of("PH");
+        let de = rtt_of("DE");
+        assert!(ph > 1.6 * de, "PH {ph} vs DE {de}");
+        assert!((60.0..110.0).contains(&ph), "PH {ph}");
+    }
+
+    #[test]
+    fn traceroute_volumes_follow_table2() {
+        let corpus = corpus();
+        let count_of = |cc: &str| {
+            corpus
+                .traceroutes
+                .iter()
+                .filter(|t| {
+                    corpus.probe(t.probe).map(|p| p.country) == Some(CountryCode::new(cc))
+                })
+                .count()
+        };
+        assert!(count_of("US") > count_of("DE"));
+        assert!(count_of("DE") > count_of("PH"));
+    }
+
+    #[test]
+    fn sslcert_addresses_track_pop_changes() {
+        let corpus = corpus();
+        let nz = corpus
+            .probes
+            .iter()
+            .find(|p| p.country == CountryCode::new("NZ"))
+            .unwrap();
+        let prefixes: std::collections::BTreeSet<_> = corpus
+            .sslcerts
+            .iter()
+            .filter(|s| s.probe == nz.id)
+            .map(|s| s.src_addr.prefix24())
+            .collect();
+        assert_eq!(prefixes.len(), 2, "NZ probe must appear in two PoP prefixes");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = corpus();
+        let b = corpus();
+        assert_eq!(a.traceroutes.len(), b.traceroutes.len());
+        assert_eq!(a.traceroutes[0], b.traceroutes[0]);
+        let last = a.traceroutes.len() - 1;
+        assert_eq!(a.traceroutes[last], b.traceroutes[last]);
+    }
+
+    #[test]
+    fn traces_are_chronological() {
+        let corpus = corpus();
+        for w in corpus.traceroutes.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+}

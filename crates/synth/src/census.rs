@@ -1,0 +1,98 @@
+//! The Prolific census (Figure 14).
+//!
+//! 56 testers who are genuine SNO subscribers rate their service from 1
+//! (very poor) to 5 (very good). The paper's distribution: Starlink
+//! users are mostly satisfied (only one of twenty rates it "poor"),
+//! while "ok" is the *highest* score anyone gives HughesNet (55 % of its
+//! answers) or Viasat (18 %).
+
+use sno_types::records::CensusResponse;
+use sno_types::{Operator, Rng, TesterId};
+
+/// Score histogram `[very poor, poor, ok, good, very good]` per operator.
+fn score_counts(op: Operator) -> [u32; 5] {
+    match op {
+        Operator::Starlink => [0, 1, 3, 8, 8],
+        Operator::Hughes => [3, 5, 10, 0, 0],
+        Operator::Viasat => [7, 8, 3, 0, 0],
+        _ => [0; 5],
+    }
+}
+
+/// Generate the 56 census responses (order shuffled by `seed`).
+pub fn census_responses(seed: u64) -> Vec<CensusResponse> {
+    let mut out = Vec::new();
+    let mut next = 1u32;
+    for op in [Operator::Starlink, Operator::Hughes, Operator::Viasat] {
+        for (i, &n) in score_counts(op).iter().enumerate() {
+            for _ in 0..n {
+                out.push(CensusResponse {
+                    tester: TesterId(next),
+                    operator: op,
+                    score: (i + 1) as u8,
+                });
+                next += 1;
+            }
+        }
+    }
+    let mut rng = Rng::new(seed).substream_named("census");
+    rng.shuffle(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_six_testers() {
+        let responses = census_responses(1);
+        assert_eq!(responses.len(), 56);
+        let starlink = responses
+            .iter()
+            .filter(|r| r.operator == Operator::Starlink)
+            .count();
+        assert_eq!(starlink, 20);
+    }
+
+    #[test]
+    fn starlink_mostly_satisfied() {
+        let responses = census_responses(1);
+        let poor_or_worse = responses
+            .iter()
+            .filter(|r| r.operator == Operator::Starlink && r.score <= 2)
+            .count();
+        assert_eq!(poor_or_worse, 1, "only one Starlink user rates it poor");
+    }
+
+    #[test]
+    fn ok_is_the_ceiling_for_geo_operators() {
+        let responses = census_responses(1);
+        for op in [Operator::Hughes, Operator::Viasat] {
+            assert!(
+                responses
+                    .iter()
+                    .filter(|r| r.operator == op)
+                    .all(|r| r.score <= 3),
+                "{op} must not exceed 'ok'"
+            );
+        }
+        // HughesNet: 10/18 ≈ 55% rate it ok; Viasat: 3/18 ≈ 18%.
+        let ok_share = |op: Operator| {
+            let all: Vec<_> = responses.iter().filter(|r| r.operator == op).collect();
+            all.iter().filter(|r| r.score == 3).count() as f64 / all.len() as f64
+        };
+        assert!((ok_share(Operator::Hughes) - 0.55).abs() < 0.02);
+        assert!((ok_share(Operator::Viasat) - 0.18).abs() < 0.02);
+    }
+
+    #[test]
+    fn scores_in_range_and_testers_unique() {
+        let responses = census_responses(9);
+        assert!(responses.iter().all(|r| (1..=5).contains(&r.score)));
+        let mut ids: Vec<u32> = responses.iter().map(|r| r.tester.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 56);
+    }
+}

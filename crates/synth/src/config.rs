@@ -1,0 +1,208 @@
+//! Corpus configuration and per-operator link quality.
+
+use sno_types::{Date, Operator, OrbitClass};
+
+/// Configuration shared by all generators.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Master seed; every generator derives named substreams from it.
+    pub seed: u64,
+    /// Fraction of the paper's full M-Lab volume to generate (Table 1's
+    /// 11.92 M tests are more than a test suite needs). Low-volume
+    /// operators are floored so every Table-1 operator stays present.
+    pub scale: f64,
+    /// Per-operator session floor: mid-size operators get at least
+    /// `min(full_volume, min_sessions)` sessions so per-ASN statistics
+    /// stay meaningful at small scales. Raise it (with a narrower
+    /// window) for analyses that need dense daily coverage (Figure 4a).
+    pub min_sessions: u64,
+    /// First day of the M-Lab window.
+    pub mlab_start: Date,
+    /// One day past the end of the M-Lab window.
+    pub mlab_end: Date,
+}
+
+impl SynthConfig {
+    /// The default corpus: seed `0x5A7E1117`, 1/1000 of full volume,
+    /// January 2021 – March 2023 (the paper's M-Lab window).
+    pub fn default_corpus() -> SynthConfig {
+        SynthConfig {
+            seed: 0x5A7E_1117,
+            scale: 1e-3,
+            min_sessions: 300,
+            mlab_start: Date::new(2021, 1, 1),
+            mlab_end: Date::new(2023, 4, 1),
+        }
+    }
+
+    /// A smaller corpus for fast unit tests.
+    pub fn test_corpus() -> SynthConfig {
+        SynthConfig { scale: 2e-4, ..SynthConfig::default_corpus() }
+    }
+
+    /// Number of NDT sessions to generate for an operator with
+    /// `full_volume` tests at full scale. Floored at
+    /// `min(full_volume, min_sessions)`: the tail operators (Kacific's
+    /// 34 tests … SSI's 260) keep their exact Table-1 volumes, while
+    /// mid-size operators keep enough sessions for per-ASN KDE
+    /// statistics.
+    pub fn scaled_sessions(&self, full_volume: u64) -> u64 {
+        if full_volume == 0 {
+            return 0;
+        }
+        let scaled = (full_volume as f64 * self.scale).ceil() as u64;
+        scaled.max(full_volume.min(self.min_sessions))
+    }
+}
+
+/// Link-quality knobs per orbit regime: random loss, bottleneck buffer
+/// depth (bufferbloat), access-scheduling overhead, and handoff loss.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkQuality {
+    /// Per-packet random loss probability.
+    pub loss: f64,
+    /// Bottleneck buffer depth, ms.
+    pub buffer_ms: f64,
+    /// Median access overhead added to the propagation RTT
+    /// (uplink scheduling, framing), ms.
+    pub overhead_ms: f64,
+    /// Extra loss applied to the first round after a handoff.
+    pub handoff_loss: f64,
+    /// Amplitude of the day-to-day latency wander (fraction of the
+    /// overhead; drives Figure 4a's per-operator stability).
+    pub daily_wander: f64,
+}
+
+/// Link quality for one operator's satellite access.
+pub fn link_quality(op: Operator, orbit: OrbitClass) -> LinkQuality {
+    let uses_pep = sno_registry::profile::profile_of(op).uses_pep;
+    match orbit {
+        OrbitClass::Leo => {
+            if op == Operator::Oneweb {
+                // Sparse early constellation: higher loss, wild daily
+                // swings (Figure 4a: up to 120% daily variation).
+                LinkQuality {
+                    loss: 5e-5,
+                    buffer_ms: 90.0,
+                    overhead_ms: 27.0,
+                    handoff_loss: 0.30,
+                    daily_wander: 1.2,
+                }
+            } else {
+                // Starlink: dense constellation, stable (3.1% daily).
+                LinkQuality {
+                    loss: 2e-5,
+                    buffer_ms: 45.0,
+                    overhead_ms: 43.0,
+                    handoff_loss: 0.10,
+                    daily_wander: 0.05,
+                }
+            }
+        }
+        OrbitClass::Meo => LinkQuality {
+            // O3b: 41.4% daily variation, occasional hard handoffs.
+            loss: 0.015,
+            buffer_ms: 140.0,
+            overhead_ms: 84.0,
+            handoff_loss: 0.5,
+            daily_wander: 0.45,
+        },
+        OrbitClass::Geo => {
+            let (loss, wander) = match op {
+                Operator::Viasat => (0.012, 0.08),
+                Operator::Hughes => (0.015, 1.0),
+                Operator::Eutelsat | Operator::Avanti => (0.015, 0.3),
+                Operator::Kvh | Operator::Marlink => (0.075, 0.4),
+                _ => (0.055, 0.3),
+            };
+            LinkQuality {
+                loss,
+                buffer_ms: if uses_pep { 250.0 } else { 320.0 },
+                overhead_ms: geo_overhead(op),
+                handoff_loss: 0.0,
+                daily_wander: wander,
+            }
+        }
+    }
+}
+
+/// Median GEO access overhead per operator, ms. This sets the spread of
+/// Figure 3c's GEO boxplots (SSI best at ~620 ms, KVH worst at ~835 ms,
+/// overall median ~673 ms).
+fn geo_overhead(op: Operator) -> f64 {
+    // These are *base* medians; the daily-wander factor multiplies them,
+    // so the effective median overhead is roughly 1.4× these values for
+    // a typical (0.3) wander.
+    match op {
+        Operator::Ssi => 68.0,
+        Operator::Viasat => 99.0,
+        Operator::Hughes => 80.0,
+        Operator::Eutelsat => 107.0,
+        Operator::Telalaska => 121.0,
+        Operator::Avanti => 107.0,
+        Operator::Ses => 121.0,
+        Operator::Marlink => 149.0,
+        Operator::Kvh => 208.0,
+        _ => 128.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_sessions_floor_and_scale() {
+        let cfg = SynthConfig::default_corpus();
+        assert_eq!(cfg.scaled_sessions(0), 0);
+        assert_eq!(cfg.scaled_sessions(11_700_000), 11_700);
+        // Tail operators survive scaling untouched.
+        assert_eq!(cfg.scaled_sessions(34), 34);
+        assert_eq!(cfg.scaled_sessions(260), 260);
+        // Mid-size operators are floored at 300.
+        assert_eq!(cfg.scaled_sessions(2_800), 300);
+        assert_eq!(cfg.scaled_sessions(78_100), 300);
+    }
+
+    #[test]
+    fn leo_overhead_below_geo() {
+        let leo = link_quality(Operator::Starlink, OrbitClass::Leo);
+        let geo = link_quality(Operator::Viasat, OrbitClass::Geo);
+        assert!(leo.overhead_ms < geo.overhead_ms);
+        assert!(leo.buffer_ms < geo.buffer_ms);
+    }
+
+    #[test]
+    fn stability_ranking_matches_figure_4a() {
+        let starlink = link_quality(Operator::Starlink, OrbitClass::Leo).daily_wander;
+        let viasat = link_quality(Operator::Viasat, OrbitClass::Geo).daily_wander;
+        let o3b = link_quality(Operator::O3b, OrbitClass::Meo).daily_wander;
+        let hughes = link_quality(Operator::Hughes, OrbitClass::Geo).daily_wander;
+        let oneweb = link_quality(Operator::Oneweb, OrbitClass::Leo).daily_wander;
+        assert!(starlink < viasat);
+        assert!(viasat < o3b);
+        assert!(o3b < hughes);
+        assert!(hughes < oneweb);
+    }
+
+    #[test]
+    fn kvh_is_the_slowest_geo_and_ssi_the_fastest() {
+        let kvh = link_quality(Operator::Kvh, OrbitClass::Geo).overhead_ms;
+        let ssi = link_quality(Operator::Ssi, OrbitClass::Geo).overhead_ms;
+        for p in sno_registry::PROFILES {
+            if p.mlab_tests == 0 {
+                continue;
+            }
+            let o = link_quality(p.operator, OrbitClass::Geo).overhead_ms;
+            assert!(o <= kvh, "{} overhead above KVH", p.operator);
+            assert!(o >= ssi, "{} overhead below SSI", p.operator);
+        }
+    }
+
+    #[test]
+    fn only_leo_and_meo_hand_off() {
+        assert!(link_quality(Operator::Starlink, OrbitClass::Leo).handoff_loss > 0.0);
+        assert!(link_quality(Operator::O3b, OrbitClass::Meo).handoff_loss > 0.0);
+        assert_eq!(link_quality(Operator::Viasat, OrbitClass::Geo).handoff_loss, 0.0);
+    }
+}

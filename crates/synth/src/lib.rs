@@ -1,0 +1,35 @@
+//! Synthetic public-dataset generators.
+//!
+//! This crate stands in for the data the paper mines but that cannot be
+//! fetched here: M-Lab's NDT archive, RIPE Atlas built-in measurements,
+//! BGP route-views snapshots and the Prolific census. Each generator is
+//! seeded and deterministic, and produces records whose *mechanisms*
+//! (orbital propagation delay, TCP dynamics, PEP behaviour, PoP
+//! reassignment) match what the paper attributes its findings to — the
+//! numbers are emergent, not pasted.
+//!
+//! * [`config`] — corpus seed/scale/window and per-operator link quality;
+//! * [`paths`] — [`sno_netsim::PathDynamics`] implementations built on
+//!   the orbital model (LEO bent pipe, MEO ring, GEO slot, terrestrial,
+//!   hybrid-backup);
+//! * [`mlab`] — NDT speed-test corpus (drives Figures 2–4, Tables 1/3);
+//! * [`atlas`] — the 67-probe RIPE Atlas deployment with traceroutes to
+//!   the 13 roots, SSLCert source addresses, reverse DNS, and the
+//!   historical PoP-change events (drives Figures 6–8, Table 2);
+//! * [`bgp`] — route-views snapshots for 2021/2022/2023 (Figures 5, 12,
+//!   13 and the coverage validation);
+//! * [`census`] — Prolific satisfaction scores (Figure 14).
+
+pub mod atlas;
+pub mod bgp;
+pub mod census;
+pub mod config;
+pub mod mlab;
+pub mod paths;
+
+pub use atlas::{AtlasCorpus, AtlasGenerator, ProbeSpec};
+pub use bgp::snapshots;
+pub use census::census_responses;
+pub use config::SynthConfig;
+pub use mlab::{MlabCorpus, MlabGenerator};
+pub use paths::ClientPath;

@@ -1,0 +1,326 @@
+//! The synthetic M-Lab NDT corpus.
+//!
+//! For every operator with Table-1 presence, the generator runs a scaled
+//! number of 10-second NDT download flows over paths built from the
+//! operator's prefix plan and the orbital model, and reduces each flow's
+//! TCP_Info polls to an [`NdtRecord`]. GEO operators that deploy PEPs
+//! (HughesNet, Viasat, Eutelsat, Avanti) run their satellite flows
+//! through the split-connection model.
+
+use crate::config::SynthConfig;
+use crate::paths::ClientPath;
+use sno_geo::GeoPoint;
+use sno_netsim::pep::PepMode;
+use sno_netsim::tcp::{TcpConfig, TcpFlow};
+use sno_registry::prefixes::{allocation_for, PrefixSpec};
+use sno_registry::profile::{profile_of, PROFILES};
+use sno_types::records::NdtRecord;
+use sno_types::time::SECS_PER_DAY;
+use sno_types::{Asn, LinkKind, Operator, OrbitClass, Rng, Timestamp, UtcDay};
+
+/// A generated corpus: the records plus ground truth for validation.
+#[derive(Debug, Clone)]
+pub struct MlabCorpus {
+    /// All NDT records, in generation order (grouped by operator).
+    pub records: Vec<NdtRecord>,
+}
+
+/// Ground truth of one record (never shown to the pipeline; used by
+/// integration tests to score identification accuracy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionTruth {
+    pub operator: Operator,
+    pub kind: LinkKind,
+}
+
+/// NDT corpus generator.
+pub struct MlabGenerator {
+    config: SynthConfig,
+}
+
+impl MlabGenerator {
+    /// Create a generator.
+    pub fn new(config: SynthConfig) -> MlabGenerator {
+        MlabGenerator { config }
+    }
+
+    /// Generate records for every Table-1 operator.
+    pub fn generate(&self) -> MlabCorpus {
+        let mut records = Vec::new();
+        for profile in PROFILES {
+            if profile.mlab_tests > 0 {
+                records.extend(self.generate_for(profile.operator));
+            }
+        }
+        MlabCorpus { records }
+    }
+
+    /// Generate the corpus together with per-record ground truth.
+    pub fn generate_with_truth(&self) -> (MlabCorpus, Vec<SessionTruth>) {
+        let mut records = Vec::new();
+        let mut truth = Vec::new();
+        for profile in PROFILES {
+            if profile.mlab_tests > 0 {
+                for (rec, t) in self.sessions_for(profile.operator) {
+                    records.push(rec);
+                    truth.push(t);
+                }
+            }
+        }
+        (MlabCorpus { records }, truth)
+    }
+
+    /// Generate records for one operator.
+    pub fn generate_for(&self, op: Operator) -> Vec<NdtRecord> {
+        self.sessions_for(op).into_iter().map(|(rec, _)| rec).collect()
+    }
+
+    /// Generate `(record, truth)` pairs for one operator.
+    pub fn sessions_for(&self, op: Operator) -> Vec<(NdtRecord, SessionTruth)> {
+        let profile = profile_of(op);
+        let n = self.config.scaled_sessions(profile.mlab_tests);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = Rng::new(self.config.seed)
+            .substream_named("mlab")
+            .substream(op.index() as u64);
+
+        // Flatten the prefix plan into a weighted choice table.
+        let allocation = allocation_for(op);
+        let mut table: Vec<(Asn, PrefixSpec)> = Vec::new();
+        for (asn, specs) in &allocation {
+            for spec in specs {
+                table.push((*asn, *spec));
+            }
+        }
+        let weights: Vec<f64> = table.iter().map(|(_, s)| s.weight).collect();
+
+        let start_day = self.config.mlab_start.to_day();
+        let end_day = self.config.mlab_end.to_day();
+        let span_days = (end_day - start_day) as u64;
+
+        let mut out = Vec::with_capacity(n as usize);
+        let mut attempts = 0u64;
+        while out.len() < n as usize && attempts < n * 4 {
+            attempts += 1;
+            let (asn, spec) = table[rng.choose_weighted(&weights)];
+            let day = UtcDay(start_day.0 + rng.below(span_days) as u32);
+            let sec_of_day = rng.below(SECS_PER_DAY);
+            let timestamp = Timestamp::from_day(day) + sec_of_day;
+
+            // Ground-truth link kind; pure prefixes can still carry
+            // occasional terrestrial outliers (VPNs, misattribution).
+            let kind = if spec.outlier_fraction > 0.0 && rng.chance(spec.outlier_fraction)
+            {
+                LinkKind::Terrestrial
+            } else {
+                spec.kind
+            };
+
+            let client = scatter(spec.home, spec.scatter_km, &mut rng);
+            let Some(path) = ClientPath::for_session(
+                op,
+                kind,
+                client,
+                day,
+                self.config.seed,
+                &mut rng,
+            ) else {
+                continue; // out of coverage; resample
+            };
+
+            let pep = if profile.uses_pep
+                && matches!(kind, LinkKind::Satellite(OrbitClass::Geo))
+            {
+                PepMode::typical()
+            } else {
+                PepMode::None
+            };
+            let flow = TcpFlow::new(TcpConfig { pep, ..TcpConfig::ndt() });
+            // Orbital time: seconds since corpus start, so satellites are
+            // in distinct positions across sessions.
+            let orbital_t = (u64::from(day.0) * SECS_PER_DAY + sec_of_day) as f64;
+            let stats = flow.run(&path, orbital_t, &mut rng);
+
+            let (Some(latency_p5), Some(jitter_p95)) =
+                (stats.latency_p5(), stats.jitter_p95())
+            else {
+                continue; // total outage; M-Lab would record nothing
+            };
+            // A limited host pool per prefix makes repeat tests from the
+            // same address common; hybrid prefixes are small residential
+            // pools, so single IPs accumulate enough history for the
+            // Figure 3b inset.
+            let pool: u64 = match spec.kind {
+                LinkKind::HybridBackup(_) => 5,
+                _ => 48,
+            };
+            let host = 1 + rng.below(pool) as u8;
+            out.push((
+                NdtRecord {
+                    timestamp,
+                    client: spec.prefix.addr(host),
+                    asn,
+                    latency_p5,
+                    jitter_p95,
+                    retrans_fraction: stats.retrans_fraction(),
+                    download: stats.mean_throughput(),
+                },
+                SessionTruth { operator: op, kind },
+            ));
+        }
+        out
+    }
+}
+
+/// Scatter a client around a home point by roughly `scatter_km`.
+fn scatter(home: GeoPoint, scatter_km: f64, rng: &mut Rng) -> GeoPoint {
+    // Convert a km-scale displacement to degrees (approximate; fine for
+    // placing subscribers).
+    let dlat = rng.normal_with(0.0, scatter_km / 111.0 / 2.0);
+    let lat = (home.lat + dlat).clamp(-65.0, 66.0); // stay in service belts
+    let dlon = rng.normal_with(0.0, scatter_km / 111.0 / 2.0 / lat.to_radians().cos().max(0.2));
+    let mut lon = home.lon + dlon;
+    while lon > 180.0 {
+        lon -= 360.0;
+    }
+    while lon < -180.0 {
+        lon += 360.0;
+    }
+    GeoPoint::new(lat, lon)
+}
+
+/// Convenience: all records of a fresh default corpus (used by examples).
+pub fn default_corpus() -> MlabCorpus {
+    MlabGenerator::new(SynthConfig::default_corpus()).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_stats::median;
+
+    fn test_gen() -> MlabGenerator {
+        MlabGenerator::new(SynthConfig::test_corpus())
+    }
+
+    #[test]
+    fn starlink_records_look_leo() {
+        let recs = test_gen().generate_for(Operator::Starlink);
+        assert!(recs.len() > 1_000, "got {}", recs.len());
+        let lat: Vec<f64> = recs.iter().map(|r| r.latency_p5.0).collect();
+        let med = median(&lat).unwrap();
+        assert!((40.0..80.0).contains(&med), "median {med}");
+        // Mostly AS14593, with some corporate AS27277.
+        assert!(recs.iter().any(|r| r.asn == Asn(14593)));
+        assert!(recs.iter().any(|r| r.asn == Asn(27277)));
+    }
+
+    #[test]
+    fn corporate_asn_is_fast() {
+        let recs = test_gen().generate_for(Operator::Starlink);
+        let corp: Vec<f64> = recs
+            .iter()
+            .filter(|r| r.asn == Asn(27277))
+            .map(|r| r.latency_p5.0)
+            .collect();
+        assert!(!corp.is_empty());
+        let med = median(&corp).unwrap();
+        assert!(med < 45.0, "corporate median {med}");
+    }
+
+    #[test]
+    fn geo_operator_latency_band() {
+        let recs = test_gen().generate_for(Operator::Viasat);
+        let sat: Vec<f64> = recs
+            .iter()
+            .map(|r| r.latency_p5.0)
+            .filter(|&l| l > 400.0)
+            .collect();
+        let med = median(&sat).unwrap();
+        assert!((540.0..800.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn viasat_hybrid_prefixes_mix_latencies() {
+        let recs = test_gen().generate_for(Operator::Viasat);
+        let hybrid: Vec<&NdtRecord> = recs
+            .iter()
+            .filter(|r| {
+                let p = r.client.prefix24();
+                [115u8, 116, 117]
+                    .iter()
+                    .any(|&c| p == sno_types::Prefix24::new(45, 232, c))
+            })
+            .collect();
+        assert!(hybrid.len() >= 5, "only {} hybrid records", hybrid.len());
+        let nonsat = hybrid.iter().filter(|r| r.latency_p5.0 < 300.0).count();
+        let slow = hybrid.iter().filter(|r| r.latency_p5.0 > 450.0).count();
+        assert!(nonsat > 0, "no terrestrial/DSL cluster");
+        assert!(slow > 0, "no satellite cluster");
+    }
+
+    #[test]
+    fn meo_sits_between_leo_and_geo() {
+        let gen = test_gen();
+        let med_of = |op: Operator| {
+            let recs = gen.generate_for(op);
+            let lat: Vec<f64> = recs.iter().map(|r| r.latency_p5.0).collect();
+            median(&lat).unwrap()
+        };
+        let leo = med_of(Operator::Starlink);
+        let meo = med_of(Operator::O3b);
+        let geo = med_of(Operator::Kvh);
+        assert!(leo < meo, "leo {leo} meo {meo}");
+        assert!(meo < geo, "meo {meo} geo {geo}");
+        assert!((200.0..400.0).contains(&meo), "meo {meo}");
+    }
+
+    #[test]
+    fn pep_operators_retransmit_less_than_bare_geo() {
+        let gen = test_gen();
+        let retrans_median = |op: Operator| {
+            let recs = gen.generate_for(op);
+            let r: Vec<f64> = recs
+                .iter()
+                .filter(|r| r.latency_p5.0 > 400.0) // satellite sessions only
+                .map(|r| r.retrans_fraction)
+                .collect();
+            median(&r).unwrap()
+        };
+        let viasat = retrans_median(Operator::Viasat); // PEP
+        let kvh = retrans_median(Operator::Kvh); // no PEP
+        assert!(viasat < kvh / 2.0, "viasat {viasat} vs kvh {kvh}");
+    }
+
+    #[test]
+    fn scaled_volumes_respect_table1_order() {
+        let gen = test_gen();
+        let starlink = gen.generate_for(Operator::Starlink).len();
+        let viasat = gen.generate_for(Operator::Viasat).len();
+        let kacific = gen.generate_for(Operator::Kacific).len();
+        assert!(starlink > viasat);
+        assert!(viasat > kacific);
+        assert!(kacific >= 25, "kacific floored near its 34 tests");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = test_gen().generate_for(Operator::Oneweb);
+        let b = test_gen().generate_for(Operator::Oneweb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truth_aligns_with_records() {
+        let (corpus, truth) = test_gen().generate_with_truth();
+        assert_eq!(corpus.records.len(), truth.len());
+        // Every Starlink-truth record carries a Starlink ASN.
+        for (rec, t) in corpus.records.iter().zip(&truth) {
+            if t.operator == Operator::Starlink {
+                assert!(rec.asn == Asn(14593) || rec.asn == Asn(27277));
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Identifiers: autonomous system numbers, probes, testers, and the
+//! closed set of satellite network operators studied by the paper.
+
+use std::fmt;
+
+/// An Autonomous System Number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// A RIPE-Atlas-style probe identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeId(pub u32);
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probe#{}", self.0)
+    }
+}
+
+/// A crowdsourced (Prolific-style) tester identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TesterId(pub u32);
+
+impl fmt::Display for TesterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tester#{}", self.0)
+    }
+}
+
+/// The 41 satellite network operators of the paper's Table 3.
+///
+/// This is a *closed* set: the paper curates exactly these operators from
+/// ASdb and Hurricane Electric's BGP toolkit, and every downstream stage
+/// (prefix filtering, catalog accumulation, application studies) speaks in
+/// terms of them. Keeping them as an enum makes analysis code total —
+/// `match` exhaustiveness tells us when an operator is unhandled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Operator {
+    Arqiva,
+    Avanti,
+    Awv,
+    Colinanet,
+    Comsat,
+    ComsatPng,
+    Comtech,
+    Elara,
+    Eutelsat,
+    Globalsat,
+    Gravity,
+    HellasSat,
+    Hughes,
+    Intelsat,
+    Io,
+    Isotropic,
+    Kacific,
+    Kvh,
+    Lepton,
+    Linkexpress,
+    Marlink,
+    Maxar,
+    Navarino,
+    Netsat,
+    NetworkInnovations,
+    NomadGlobal,
+    O3b,
+    Oneweb,
+    Panasonic,
+    Ses,
+    SoundAndCellular,
+    Speedcast,
+    Ssi,
+    Starlink,
+    Telalaska,
+    Telesat,
+    Televera,
+    Thaicom,
+    Ultisat,
+    Viasat,
+    Worldlink,
+}
+
+impl Operator {
+    /// All 41 operators, in Table 3 order (alphabetical).
+    pub const ALL: [Operator; 41] = [
+        Operator::Arqiva,
+        Operator::Avanti,
+        Operator::Awv,
+        Operator::Colinanet,
+        Operator::Comsat,
+        Operator::ComsatPng,
+        Operator::Comtech,
+        Operator::Elara,
+        Operator::Eutelsat,
+        Operator::Globalsat,
+        Operator::Gravity,
+        Operator::HellasSat,
+        Operator::Hughes,
+        Operator::Intelsat,
+        Operator::Io,
+        Operator::Isotropic,
+        Operator::Kacific,
+        Operator::Kvh,
+        Operator::Lepton,
+        Operator::Linkexpress,
+        Operator::Marlink,
+        Operator::Maxar,
+        Operator::Navarino,
+        Operator::Netsat,
+        Operator::NetworkInnovations,
+        Operator::NomadGlobal,
+        Operator::O3b,
+        Operator::Oneweb,
+        Operator::Panasonic,
+        Operator::Ses,
+        Operator::SoundAndCellular,
+        Operator::Speedcast,
+        Operator::Ssi,
+        Operator::Starlink,
+        Operator::Telalaska,
+        Operator::Telesat,
+        Operator::Televera,
+        Operator::Thaicom,
+        Operator::Ultisat,
+        Operator::Viasat,
+        Operator::Worldlink,
+    ];
+
+    /// Human-readable operator name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Operator::Arqiva => "Arqiva",
+            Operator::Avanti => "Avanti",
+            Operator::Awv => "AWV",
+            Operator::Colinanet => "ColinaNet",
+            Operator::Comsat => "Comsat",
+            Operator::ComsatPng => "Comsat (PNG)",
+            Operator::Comtech => "Comtech",
+            Operator::Elara => "Elara",
+            Operator::Eutelsat => "Eutelsat",
+            Operator::Globalsat => "GlobalSat",
+            Operator::Gravity => "Gravity",
+            Operator::HellasSat => "Hellas-Sat",
+            Operator::Hughes => "HughesNet",
+            Operator::Intelsat => "IntelSat",
+            Operator::Io => "IO",
+            Operator::Isotropic => "Isotropic",
+            Operator::Kacific => "Kacific",
+            Operator::Kvh => "KVH",
+            Operator::Lepton => "Lepton (Kymeta)",
+            Operator::Linkexpress => "LinkExpress",
+            Operator::Marlink => "Marlink",
+            Operator::Maxar => "Maxar",
+            Operator::Navarino => "Navarino",
+            Operator::Netsat => "NetSat",
+            Operator::NetworkInnovations => "Network Innovations",
+            Operator::NomadGlobal => "Nomad Global",
+            Operator::O3b => "O3b",
+            Operator::Oneweb => "OneWeb",
+            Operator::Panasonic => "Panasonic",
+            Operator::Ses => "SES",
+            Operator::SoundAndCellular => "Sound & Cellular",
+            Operator::Speedcast => "Speedcast",
+            Operator::Ssi => "SSI",
+            Operator::Starlink => "Starlink",
+            Operator::Telalaska => "TelAlaska",
+            Operator::Telesat => "Telesat",
+            Operator::Televera => "Televera",
+            Operator::Thaicom => "Thaicom",
+            Operator::Ultisat => "UltiSat",
+            Operator::Viasat => "Viasat",
+            Operator::Worldlink => "WorldLink",
+        }
+    }
+
+    /// A stable small integer for indexing per-operator arrays.
+    pub fn index(self) -> usize {
+        Operator::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("operator present in ALL")
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn forty_one_distinct_operators() {
+        let set: BTreeSet<_> = Operator::ALL.iter().collect();
+        assert_eq!(set.len(), 41);
+    }
+
+    #[test]
+    fn index_is_consistent_with_all() {
+        for (i, op) in Operator::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let names: BTreeSet<_> = Operator::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), 41);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Asn(14593).to_string(), "AS14593");
+        assert_eq!(Operator::Hughes.to_string(), "HughesNet");
+        assert_eq!(ProbeId(7).to_string(), "probe#7");
+    }
+}

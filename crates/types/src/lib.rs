@@ -1,0 +1,34 @@
+//! Shared vocabulary for the `sno-dissect` workspace.
+//!
+//! This crate defines the types every other crate speaks in:
+//!
+//! * a simulation [`time`] axis anchored at 2021-01-01 UTC (the start of
+//!   the paper's M-Lab observation window),
+//! * physical [`units`] (milliseconds, megabits per second, kilometres),
+//! * network [`net`] primitives (IPv4 addresses and `/24` prefixes),
+//! * operator [`ids`] (ASNs, probe ids, the closed set of 41 satellite
+//!   network operators from Table 3 of the paper),
+//! * the [`orbit`] classification (LEO / MEO / GEO) and per-link access
+//!   kinds,
+//! * deterministic random number generation ([`rng`]), and
+//! * the dataset [`records`] exchanged between the synthetic-trace
+//!   generators and the analysis pipeline (NDT speed tests, RIPE Atlas
+//!   traceroutes, BGP snapshots, census responses).
+//!
+//! Everything here is plain data with no I/O; the whole workspace is
+//! deterministic given a seed.
+
+pub mod ids;
+pub mod net;
+pub mod orbit;
+pub mod records;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use ids::{Asn, Operator, ProbeId, TesterId};
+pub use net::{Ipv4, Prefix24};
+pub use orbit::{AccessKind, LinkKind, OrbitClass};
+pub use rng::Rng;
+pub use time::{Date, Timestamp, UtcDay};
+pub use units::{Kilometers, Mbps, Millis};

@@ -1,0 +1,147 @@
+//! IPv4 addresses and `/24` prefixes.
+//!
+//! The paper's prefix-filtering stage (Section 3.2, step 3) groups M-Lab
+//! speed tests by `/24` IPv4 prefix — the smallest and most common block
+//! in the M-Lab annotations. [`Prefix24`] is the key type of that stage.
+
+use std::fmt;
+
+/// An IPv4 address stored as a big-endian `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Build from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The `/24` prefix containing this address.
+    pub const fn prefix24(self) -> Prefix24 {
+        Prefix24(self.0 & 0xFFFF_FF00)
+    }
+
+    /// The host byte (last octet).
+    pub const fn host(self) -> u8 {
+        (self.0 & 0xFF) as u8
+    }
+
+    /// The Starlink carrier-grade-NAT gateway address `100.64.0.1`, the
+    /// hop the paper uses to measure probe→PoP RTT.
+    pub const CGNAT_GATEWAY: Ipv4 = Ipv4::new(100, 64, 0, 1);
+
+    /// Is this address inside the RFC 6598 shared space `100.64.0.0/10`?
+    pub const fn is_cgnat(self) -> bool {
+        (self.0 >> 22) == (0x6440_0000u32 >> 22)
+    }
+
+    /// Is this address inside RFC 1918 private space?
+    pub const fn is_private(self) -> bool {
+        let o = self.octets();
+        o[0] == 10
+            || (o[0] == 172 && o[1] >= 16 && o[1] <= 31)
+            || (o[0] == 192 && o[1] == 168)
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// A `/24` IPv4 prefix (network address with the last octet zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix24(u32);
+
+impl Prefix24 {
+    /// Build from the three network octets.
+    pub const fn new(a: u8, b: u8, c: u8) -> Self {
+        Prefix24(u32::from_be_bytes([a, b, c, 0]))
+    }
+
+    /// Does `addr` fall inside this prefix?
+    pub const fn contains(self, addr: Ipv4) -> bool {
+        (addr.0 & 0xFFFF_FF00) == self.0
+    }
+
+    /// The `host`-th address inside the prefix.
+    pub const fn addr(self, host: u8) -> Ipv4 {
+        Ipv4(self.0 | host as u32)
+    }
+
+    /// The network address (host byte zero).
+    pub const fn network(self) -> Ipv4 {
+        Ipv4(self.0)
+    }
+
+    /// The `i`-th consecutive `/24` after this one (wrapping within the
+    /// 32-bit space; generators use small offsets only).
+    pub const fn offset(self, i: u32) -> Prefix24 {
+        Prefix24(self.0.wrapping_add(i << 8))
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", Ipv4(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_quad_round_trip() {
+        let a = Ipv4::new(75, 105, 63, 17);
+        assert_eq!(a.to_string(), "75.105.63.17");
+        assert_eq!(a.octets(), [75, 105, 63, 17]);
+        assert_eq!(a.host(), 17);
+    }
+
+    #[test]
+    fn prefix_membership() {
+        let p = Prefix24::new(45, 232, 115);
+        assert_eq!(p.to_string(), "45.232.115.0/24");
+        assert!(p.contains(Ipv4::new(45, 232, 115, 0)));
+        assert!(p.contains(Ipv4::new(45, 232, 115, 255)));
+        assert!(!p.contains(Ipv4::new(45, 232, 116, 0)));
+        assert_eq!(Ipv4::new(45, 232, 115, 9).prefix24(), p);
+    }
+
+    #[test]
+    fn prefix_addressing() {
+        let p = Prefix24::new(10, 0, 0);
+        assert_eq!(p.addr(42), Ipv4::new(10, 0, 0, 42));
+        assert_eq!(p.network(), Ipv4::new(10, 0, 0, 0));
+        assert_eq!(p.offset(3), Prefix24::new(10, 0, 3));
+        assert_eq!(p.offset(256), Prefix24::new(10, 1, 0));
+    }
+
+    #[test]
+    fn cgnat_detection() {
+        assert!(Ipv4::CGNAT_GATEWAY.is_cgnat());
+        assert!(Ipv4::new(100, 127, 255, 255).is_cgnat());
+        assert!(!Ipv4::new(100, 128, 0, 0).is_cgnat());
+        assert!(!Ipv4::new(100, 63, 255, 255).is_cgnat());
+    }
+
+    #[test]
+    fn private_detection() {
+        assert!(Ipv4::new(10, 1, 2, 3).is_private());
+        assert!(Ipv4::new(172, 16, 0, 1).is_private());
+        assert!(Ipv4::new(172, 31, 255, 1).is_private());
+        assert!(!Ipv4::new(172, 32, 0, 1).is_private());
+        assert!(Ipv4::new(192, 168, 1, 1).is_private());
+        assert!(!Ipv4::new(8, 8, 8, 8).is_private());
+        // CGNAT space is *not* RFC 1918.
+        assert!(!Ipv4::CGNAT_GATEWAY.is_private());
+    }
+}

@@ -1,0 +1,152 @@
+//! Orbit classes and access-link kinds.
+
+use std::fmt;
+
+/// The three orbital regimes the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrbitClass {
+    /// Low Earth Orbit (Starlink ≈ 550 km, OneWeb ≈ 1200 km).
+    Leo,
+    /// Medium Earth Orbit (O3b ≈ 8062 km equatorial).
+    Meo,
+    /// Geosynchronous orbit (≈ 35 786 km).
+    Geo,
+}
+
+impl OrbitClass {
+    /// All classes, nearest orbit first.
+    pub const ALL: [OrbitClass; 3] = [OrbitClass::Leo, OrbitClass::Meo, OrbitClass::Geo];
+
+    /// Nominal altitude of the regime in kilometres (used for sanity
+    /// checks and docs; precise per-shell altitudes live in `sno-orbit`).
+    pub fn nominal_altitude_km(self) -> f64 {
+        match self {
+            OrbitClass::Leo => 550.0,
+            OrbitClass::Meo => 8_062.0,
+            OrbitClass::Geo => 35_786.0,
+        }
+    }
+}
+
+impl fmt::Display for OrbitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OrbitClass::Leo => "LEO",
+            OrbitClass::Meo => "MEO",
+            OrbitClass::Geo => "GEO",
+        })
+    }
+}
+
+/// The access technology an operator sells, as curated from its website
+/// in the ASN-to-SNO mapping stage (step 2 of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Single-orbit satellite access.
+    Satellite(OrbitClass),
+    /// Mixed MEO + GEO access (SES after the O3b acquisition).
+    MeoGeo,
+}
+
+impl AccessKind {
+    /// Orbit classes this access kind may legitimately exhibit.
+    pub fn orbits(self) -> &'static [OrbitClass] {
+        match self {
+            AccessKind::Satellite(OrbitClass::Leo) => &[OrbitClass::Leo],
+            AccessKind::Satellite(OrbitClass::Meo) => &[OrbitClass::Meo],
+            AccessKind::Satellite(OrbitClass::Geo) => &[OrbitClass::Geo],
+            AccessKind::MeoGeo => &[OrbitClass::Meo, OrbitClass::Geo],
+        }
+    }
+
+    /// Does this access kind include `orbit`?
+    pub fn includes(self, orbit: OrbitClass) -> bool {
+        self.orbits().contains(&orbit)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Satellite(o) => o.fmt(f),
+            AccessKind::MeoGeo => f.write_str("MEO+GEO"),
+        }
+    }
+}
+
+/// What a *single subscriber line* actually rides on.
+///
+/// The paper's central identification difficulty is that an SNO's ASN can
+/// carry traffic that is not satellite at all: corporate offices on
+/// wireline, and hybrid subscribers whose satellite link is only a backup
+/// for a terrestrial line. `LinkKind` is the per-line ground truth the
+/// generators use — and that the identification pipeline must recover
+/// without seeing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// A pure satellite subscriber on the given orbit.
+    Satellite(OrbitClass),
+    /// A terrestrial line (corporate network, e.g. Starlink AS27277).
+    Terrestrial,
+    /// A terrestrial primary with a satellite backup on the given orbit;
+    /// measurements mix both latency regimes (Figure 3b).
+    HybridBackup(OrbitClass),
+}
+
+impl LinkKind {
+    /// Is any part of this line satellite-borne?
+    pub fn touches_satellite(self) -> bool {
+        !matches!(self, LinkKind::Terrestrial)
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::Satellite(o) => write!(f, "satellite/{o}"),
+            LinkKind::Terrestrial => f.write_str("terrestrial"),
+            LinkKind::HybridBackup(o) => write!(f, "hybrid-backup/{o}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbit_altitudes_ordered() {
+        assert!(
+            OrbitClass::Leo.nominal_altitude_km() < OrbitClass::Meo.nominal_altitude_km()
+        );
+        assert!(
+            OrbitClass::Meo.nominal_altitude_km() < OrbitClass::Geo.nominal_altitude_km()
+        );
+    }
+
+    #[test]
+    fn access_kind_orbit_membership() {
+        assert!(AccessKind::MeoGeo.includes(OrbitClass::Meo));
+        assert!(AccessKind::MeoGeo.includes(OrbitClass::Geo));
+        assert!(!AccessKind::MeoGeo.includes(OrbitClass::Leo));
+        assert!(AccessKind::Satellite(OrbitClass::Leo).includes(OrbitClass::Leo));
+        assert!(!AccessKind::Satellite(OrbitClass::Leo).includes(OrbitClass::Geo));
+    }
+
+    #[test]
+    fn link_kind_satellite_touch() {
+        assert!(LinkKind::Satellite(OrbitClass::Geo).touches_satellite());
+        assert!(LinkKind::HybridBackup(OrbitClass::Geo).touches_satellite());
+        assert!(!LinkKind::Terrestrial.touches_satellite());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(OrbitClass::Leo.to_string(), "LEO");
+        assert_eq!(AccessKind::MeoGeo.to_string(), "MEO+GEO");
+        assert_eq!(
+            LinkKind::HybridBackup(OrbitClass::Geo).to_string(),
+            "hybrid-backup/GEO"
+        );
+    }
+}

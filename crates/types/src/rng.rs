@@ -1,0 +1,376 @@
+//! Deterministic random number generation.
+//!
+//! The whole workspace must be bit-reproducible from a single seed, so we
+//! implement a small, well-understood generator (SplitMix64 for seeding,
+//! xoshiro256++ for the stream) instead of depending on an external crate
+//! whose algorithm could change across versions. Substreams are derived
+//! by hashing a label into the seed, so independent subsystems never
+//! contend for draws and adding draws in one subsystem does not perturb
+//! another.
+
+/// A deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+///
+/// ```
+/// use sno_types::Rng;
+/// let mut a = Rng::new(7).substream_named("mlab");
+/// let mut b = Rng::new(7).substream_named("mlab");
+/// assert_eq!(a.next_u64(), b.next_u64()); // bit-reproducible
+/// let draw = a.range_f64(10.0, 20.0);
+/// assert!((10.0..20.0).contains(&draw));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One SplitMix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let s = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent substream labelled by `label`.
+    ///
+    /// The same `(seed, label)` pair always yields the same substream;
+    /// distinct labels yield streams that do not collide in practice.
+    pub fn substream(&self, label: u64) -> Rng {
+        // Mix the current state with the label through SplitMix64 so the
+        // substream depends on both.
+        let mut x = self.s[0] ^ label.wrapping_mul(0xA076_1D64_78BD_642F);
+        let _ = splitmix64(&mut x);
+        Rng::new(x)
+    }
+
+    /// Derive a substream labelled by a string (e.g. a subsystem name).
+    pub fn substream_named(&self, name: &str) -> Rng {
+        self.substream(fnv1a(name.as_bytes()))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `lo > hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "range_f64: {lo} > {hi}");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's method.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Widening multiply rejection sampling (unbiased).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as u64;
+            }
+            // low < n: possibly biased region; accept only above threshold.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64: {lo} > {hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate (Box–Muller, one value per call).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid log(0).
+        let u1 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Log-normal deviate with the given parameters of the underlying
+    /// normal (`mu`, `sigma`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Exponential deviate with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Number of successes in `n` Bernoulli trials with probability `p`.
+    ///
+    /// Exact (per-trial) for small `n`; for large `n` uses the Poisson
+    /// approximation when `n·p` is small and the normal approximation
+    /// otherwise. Always returns a value in `[0, n]`.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        if n <= 16 {
+            return (0..n).filter(|_| self.chance(p)).count() as u64;
+        }
+        let mean = n as f64 * p;
+        if mean < 10.0 {
+            // Poisson approximation via inversion, capped at n.
+            let l = (-mean).exp();
+            let mut k = 0u64;
+            let mut prod = self.f64();
+            while prod > l && k < n {
+                k += 1;
+                prod *= self.f64();
+            }
+            k.min(n)
+        } else {
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            let x = self.normal_with(mean, sd).round();
+            x.clamp(0.0, n as f64) as u64
+        }
+    }
+
+    /// Pick a uniformly random element of `items`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Pick an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "choose_weighted: weights sum to zero");
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // floating-point slack lands on the last bucket
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// FNV-1a over bytes, used to hash substream names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn substreams_are_independent_and_stable() {
+        let root = Rng::new(7);
+        let mut s1 = root.substream_named("mlab");
+        let mut s1b = root.substream_named("mlab");
+        let mut s2 = root.substream_named("atlas");
+        assert_eq!(s1.next_u64(), s1b.next_u64());
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut r = Rng::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = r.below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut r = Rng::new(11);
+        let n = 50_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = Rng::new(13);
+        let n = 50_000;
+        let mean_target = 4.0;
+        let mean: f64 =
+            (0..n).map(|_| r.exponential(mean_target)).sum::<f64>() / n as f64;
+        assert!((mean - mean_target).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = Rng::new(17);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.choose_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn binomial_bounds_and_mean() {
+        let mut r = Rng::new(29);
+        // Small-n exact path.
+        for _ in 0..200 {
+            let k = r.binomial(10, 0.3);
+            assert!(k <= 10);
+        }
+        // Poisson path: n large, mean small.
+        let trials = 20_000;
+        let mean_small: f64 =
+            (0..trials).map(|_| r.binomial(1_000, 0.002) as f64).sum::<f64>()
+                / trials as f64;
+        assert!((mean_small - 2.0).abs() < 0.1, "mean {mean_small}");
+        // Normal path: large mean.
+        let mean_large: f64 =
+            (0..trials).map(|_| r.binomial(400, 0.25) as f64).sum::<f64>()
+                / trials as f64;
+        assert!((mean_large - 100.0).abs() < 1.0, "mean {mean_large}");
+        // Edge cases.
+        assert_eq!(r.binomial(0, 0.5), 0);
+        assert_eq!(r.binomial(100, 0.0), 0);
+        assert_eq!(r.binomial(100, 1.0), 100);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(23);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

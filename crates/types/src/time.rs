@@ -1,0 +1,301 @@
+//! Simulation time axis.
+//!
+//! All timestamps in the workspace are anchored at **2021-01-01 00:00:00
+//! UTC**, the first day of the paper's M-Lab observation window. Two
+//! granularities are used:
+//!
+//! * [`Timestamp`] — whole seconds since the epoch; the resolution of
+//!   individual measurements (speed tests, traceroutes).
+//! * [`UtcDay`] — whole days since the epoch; the resolution of daily
+//!   aggregates (Figure 4a) and of BGP snapshots.
+//!
+//! Calendar arithmetic uses the proleptic Gregorian calendar via Howard
+//! Hinnant's `days_from_civil` algorithm, so dates round-trip exactly
+//! over the whole window (and far beyond).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// The calendar date of the epoch (day 0).
+pub const EPOCH: Date = Date { year: 2021, month: 1, day: 1 };
+
+/// Whole seconds since 2021-01-01 00:00:00 UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Timestamp at the very start of `day`.
+    pub fn from_day(day: UtcDay) -> Self {
+        Timestamp(u64::from(day.0) * SECS_PER_DAY)
+    }
+
+    /// Construct from a calendar date and an offset within the day.
+    ///
+    /// # Panics
+    /// Panics if `date` precedes the epoch or `sec_of_day >= 86_400`.
+    pub fn from_date(date: Date, sec_of_day: u64) -> Self {
+        assert!(sec_of_day < SECS_PER_DAY, "second-of-day out of range");
+        Timestamp::from_day(date.to_day()) + sec_of_day
+    }
+
+    /// The day this timestamp falls on.
+    pub fn day(self) -> UtcDay {
+        UtcDay((self.0 / SECS_PER_DAY) as u32)
+    }
+
+    /// Seconds elapsed since the start of the day.
+    pub fn sec_of_day(self) -> u64 {
+        self.0 % SECS_PER_DAY
+    }
+
+    /// The calendar date this timestamp falls on.
+    pub fn date(self) -> Date {
+        self.day().to_date()
+    }
+
+    /// Seconds since the epoch as `f64` (for plotting / binning).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+    /// Seconds from `rhs` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.sec_of_day();
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}Z",
+            self.date(),
+            s / 3600,
+            (s % 3600) / 60,
+            s % 60
+        )
+    }
+}
+
+/// Whole days since 2021-01-01 (day 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UtcDay(pub u32);
+
+impl UtcDay {
+    /// The calendar date for this day number.
+    pub fn to_date(self) -> Date {
+        Date::from_rata_die(EPOCH.rata_die() + i64::from(self.0))
+    }
+
+    /// Iterate over days `self..end` (half-open).
+    pub fn range_to(self, end: UtcDay) -> impl Iterator<Item = UtcDay> {
+        (self.0..end.0).map(UtcDay)
+    }
+}
+
+impl Add<u32> for UtcDay {
+    type Output = UtcDay;
+    fn add(self, rhs: u32) -> UtcDay {
+        UtcDay(self.0 + rhs)
+    }
+}
+
+impl Sub<UtcDay> for UtcDay {
+    type Output = i64;
+    fn sub(self, rhs: UtcDay) -> i64 {
+        i64::from(self.0) - i64::from(rhs.0)
+    }
+}
+
+impl fmt::Display for UtcDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_date().fmt(f)
+    }
+}
+
+/// A proleptic-Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    pub year: i32,
+    /// 1..=12
+    pub month: u8,
+    /// 1..=31
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating month and day-of-month.
+    ///
+    /// # Panics
+    /// Panics if the month or day is out of range for the given month
+    /// (leap years are honoured).
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        let dim = days_in_month(year, month);
+        assert!(
+            (1..=dim).contains(&day),
+            "day out of range: {year:04}-{month:02}-{day:02}"
+        );
+        Date { year, month, day }
+    }
+
+    /// Days since 0000-03-01 shifted so that 1970-01-01 is 719468 — the
+    /// standard `days_from_civil` rata die.
+    fn rata_die(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = i64::from((self.month + 9) % 12); // [0, 11], March = 0
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe
+    }
+
+    /// Inverse of [`Date::rata_die`] (`civil_from_days`).
+    fn from_rata_die(z: i64) -> Self {
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let day = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let month = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        Date { year: (y + i64::from(month <= 2)) as i32, month, day }
+    }
+
+    /// Day number relative to the 2021-01-01 epoch.
+    ///
+    /// # Panics
+    /// Panics if the date precedes the epoch.
+    pub fn to_day(self) -> UtcDay {
+        let delta = self.rata_die() - EPOCH.rata_die();
+        assert!(delta >= 0, "date {self} precedes the 2021-01-01 epoch");
+        UtcDay(delta as u32)
+    }
+
+    /// Timestamp at midnight on this date.
+    pub fn midnight(self) -> Timestamp {
+        Timestamp::from_day(self.to_day())
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Is `year` a Gregorian leap year?
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        2 => 28,
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(EPOCH.to_day(), UtcDay(0));
+        assert_eq!(UtcDay(0).to_date(), EPOCH);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // Dates that matter to the paper.
+        let cases = [
+            (Date::new(2021, 1, 1), 0),
+            (Date::new(2021, 12, 31), 364),
+            (Date::new(2022, 1, 1), 365),
+            (Date::new(2022, 7, 12), 365 + 192), // NZ PoP change
+            (Date::new(2023, 3, 31), 365 + 365 + 89),
+            (Date::new(2023, 5, 3), 365 + 365 + 122), // Atlas window end
+        ];
+        for (date, day) in cases {
+            assert_eq!(date.to_day(), UtcDay(day), "{date}");
+            assert_eq!(UtcDay(day).to_date(), date, "{day}");
+        }
+    }
+
+    #[test]
+    fn all_days_in_window_round_trip() {
+        for d in 0..1200u32 {
+            let day = UtcDay(d);
+            assert_eq!(day.to_date().to_day(), day);
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2023));
+        assert!(!is_leap_year(2100));
+        assert!(is_leap_year(2000));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2023, 2), 28);
+        // 2024-02-29 exists and round-trips.
+        let d = Date::new(2024, 2, 29);
+        assert_eq!(d.to_day().to_date(), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn invalid_date_rejected() {
+        let _ = Date::new(2023, 2, 29);
+    }
+
+    #[test]
+    fn timestamp_components() {
+        let t = Timestamp::from_date(Date::new(2022, 7, 12), 3661);
+        assert_eq!(t.date(), Date::new(2022, 7, 12));
+        assert_eq!(t.sec_of_day(), 3661);
+        assert_eq!(t.to_string(), "2022-07-12T01:01:01Z");
+    }
+
+    #[test]
+    fn timestamp_ordering_and_arithmetic() {
+        let a = Timestamp::from_date(Date::new(2021, 6, 1), 0);
+        let b = a + 7200;
+        assert!(b > a);
+        assert_eq!(b - a, 7200);
+        assert_eq!(b.day(), a.day());
+    }
+
+    #[test]
+    fn day_range_iteration() {
+        let start = Date::new(2021, 1, 1).to_day();
+        let end = Date::new(2021, 1, 5).to_day();
+        let days: Vec<_> = start.range_to(end).collect();
+        assert_eq!(days.len(), 4);
+        assert_eq!(days[3].to_date(), Date::new(2021, 1, 4));
+    }
+}

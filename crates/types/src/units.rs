@@ -1,0 +1,219 @@
+//! Physical units used throughout the workspace.
+//!
+//! Thin `f64` newtypes that keep milliseconds, megabits per second and
+//! kilometres from being mixed up in function signatures. Arithmetic is
+//! provided only where it is dimensionally meaningful.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Speed of light in vacuum, km/s.
+pub const SPEED_OF_LIGHT_KM_S: f64 = 299_792.458;
+
+/// A duration in milliseconds (may be fractional).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Millis(pub f64);
+
+impl Millis {
+    pub const ZERO: Millis = Millis(0.0);
+
+    /// One-way light propagation time over `distance` in free space.
+    pub fn light_over(distance: Kilometers) -> Millis {
+        Millis(distance.0 / SPEED_OF_LIGHT_KM_S * 1_000.0)
+    }
+
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Clamp to a non-negative value (useful after subtracting noise).
+    pub fn max_zero(self) -> Millis {
+        Millis(self.0.max(0.0))
+    }
+
+    pub fn min(self, other: Millis) -> Millis {
+        Millis(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: Millis) -> Millis {
+        Millis(self.0.max(other.0))
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Millis {
+    fn add_assign(&mut self, rhs: Millis) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Millis {
+    type Output = Millis;
+    fn sub(self, rhs: Millis) -> Millis {
+        Millis(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Millis {
+    type Output = Millis;
+    fn mul(self, rhs: f64) -> Millis {
+        Millis(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Millis {
+    type Output = Millis;
+    fn div(self, rhs: f64) -> Millis {
+        Millis(self.0 / rhs)
+    }
+}
+
+impl Div<Millis> for Millis {
+    type Output = f64;
+    /// Dimensionless ratio of two durations (e.g. jitter variation =
+    /// `jitter_p95 / latency_p5`).
+    fn div(self, rhs: Millis) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Millis {
+    fn sum<I: Iterator<Item = Millis>>(iter: I) -> Millis {
+        Millis(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} ms", self.0)
+    }
+}
+
+/// A data rate in megabits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Mbps(pub f64);
+
+impl Mbps {
+    /// Bytes transferred at this rate over `duration`.
+    pub fn bytes_over(self, duration: Millis) -> f64 {
+        self.0 * 1e6 / 8.0 * duration.as_secs()
+    }
+
+    /// Rate achieved by moving `bytes` in `duration`.
+    ///
+    /// Returns `Mbps(0.0)` for non-positive durations.
+    pub fn from_bytes(bytes: f64, duration: Millis) -> Mbps {
+        if duration.0 <= 0.0 {
+            return Mbps(0.0);
+        }
+        Mbps(bytes * 8.0 / 1e6 / duration.as_secs())
+    }
+
+    /// Time to serialize `bytes` at this rate.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the rate is zero.
+    pub fn transmit_time(self, bytes: f64) -> Millis {
+        debug_assert!(self.0 > 0.0, "transmit_time on zero rate");
+        Millis(bytes * 8.0 / 1e6 / self.0 * 1_000.0)
+    }
+}
+
+impl Mul<f64> for Mbps {
+    type Output = Mbps;
+    fn mul(self, rhs: f64) -> Mbps {
+        Mbps(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Mbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} Mbps", self.0)
+    }
+}
+
+/// A distance in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kilometers(pub f64);
+
+impl Add for Kilometers {
+    type Output = Kilometers;
+    fn add(self, rhs: Kilometers) -> Kilometers {
+        Kilometers(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Kilometers {
+    type Output = Kilometers;
+    fn mul(self, rhs: f64) -> Kilometers {
+        Kilometers(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Kilometers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} km", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_propagation_matches_physics() {
+        // GEO altitude one-way: ~119.3 ms.
+        let t = Millis::light_over(Kilometers(35_786.0));
+        assert!((t.0 - 119.37).abs() < 0.1, "got {t}");
+        // Starlink shell: ~1.83 ms.
+        let t = Millis::light_over(Kilometers(550.0));
+        assert!((t.0 - 1.834).abs() < 0.01, "got {t}");
+    }
+
+    #[test]
+    fn rate_round_trips_bytes() {
+        let rate = Mbps(100.0);
+        let dur = Millis(250.0);
+        let bytes = rate.bytes_over(dur);
+        assert!((bytes - 3_125_000.0).abs() < 1.0);
+        let back = Mbps::from_bytes(bytes, dur);
+        assert!((back.0 - rate.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmit_time_inverse_of_bytes_over() {
+        let rate = Mbps(25.0);
+        let t = rate.transmit_time(1_000_000.0);
+        assert!((rate.bytes_over(t) - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_duration_rate_is_zero() {
+        assert_eq!(Mbps::from_bytes(1e6, Millis(0.0)).0, 0.0);
+    }
+
+    #[test]
+    fn jitter_variation_is_dimensionless() {
+        let jitter = Millis(50.0);
+        let lat = Millis(100.0);
+        assert!((jitter / lat - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn millis_arithmetic() {
+        let a = Millis(10.0) + Millis(5.0);
+        assert_eq!(a.0, 15.0);
+        assert_eq!((a - Millis(20.0)).max_zero(), Millis::ZERO);
+        assert_eq!((a * 2.0).0, 30.0);
+        assert_eq!((a / 3.0).0, 5.0);
+        let total: Millis = [Millis(1.0), Millis(2.0)].into_iter().sum();
+        assert_eq!(total.0, 3.0);
+    }
+}

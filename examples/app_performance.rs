@@ -1,0 +1,92 @@
+//! Application performance on real subscriber lines (Section 6):
+//! fast.com, CDN fetches, H1 vs H2, DNS, and adaptive video.
+//!
+//! ```sh
+//! cargo run --release --example app_performance
+//! ```
+
+use sno_dissect::apps::{
+    cdn_fetch, dns_lookups, page_load, panel, speedtest, video_session, Cdn, HttpVersion,
+};
+use sno_dissect::prelude::*;
+use sno_dissect::stats::median;
+
+fn main() {
+    let seed = 0x5A7E_1117;
+    let testers = panel(seed);
+    let mut rng = Rng::new(seed).substream_named("example-apps");
+    let ops = [Operator::Starlink, Operator::Viasat, Operator::Hughes];
+
+    println!("== fast.com (Figure 9) ==");
+    for op in ops {
+        let runs: Vec<_> = testers
+            .iter()
+            .filter(|t| t.operator == op)
+            .flat_map(|t| (0..4).map(|_| speedtest(t, &mut rng)).collect::<Vec<_>>())
+            .collect();
+        let down: Vec<f64> = runs.iter().map(|r| r.download.0).collect();
+        let lat: Vec<f64> = runs.iter().map(|r| r.latency.0).collect();
+        println!(
+            "  {:<10} down {:>6.1} Mbps, latency {:>6.1} ms",
+            op.name(),
+            median(&down).unwrap(),
+            median(&lat).unwrap()
+        );
+    }
+
+    println!("\n== jquery.min.js fetch via CDN (Figure 10a) ==");
+    for op in ops {
+        print!("  {:<10}", op.name());
+        for cdn in Cdn::ALL {
+            let v: Vec<f64> = testers
+                .iter()
+                .filter(|t| t.operator == op)
+                .map(|t| cdn_fetch(t, cdn, true, &mut rng).time.0)
+                .collect();
+            print!("  {} {:>5.0}ms", cdn.name(), median(&v).unwrap());
+        }
+        println!();
+    }
+
+    println!("\n== Akamai demo page, H1 vs H2 (Figure 10b) ==");
+    for op in ops {
+        for version in [HttpVersion::H1, HttpVersion::H2] {
+            let v: Vec<f64> = testers
+                .iter()
+                .filter(|t| t.operator == op)
+                .flat_map(|t| {
+                    (0..4).map(|_| page_load(t, version, &mut rng).plt.0).collect::<Vec<_>>()
+                })
+                .collect();
+            println!("  {:<10} {version}: {:>7.0} ms", op.name(), median(&v).unwrap());
+        }
+    }
+
+    println!("\n== DNS lookups (Figure 10c) ==");
+    for op in ops {
+        let v: Vec<f64> = testers
+            .iter()
+            .filter(|t| t.operator == op)
+            .flat_map(|t| dns_lookups(t, 40, &mut rng))
+            .map(|m| m.0)
+            .collect();
+        println!("  {:<10} {:>6.1} ms median", op.name(), median(&v).unwrap());
+    }
+
+    println!("\n== YouTube 60 s session (Figure 11) ==");
+    for op in ops {
+        let sessions: Vec<_> = testers
+            .iter()
+            .filter(|t| t.operator == op)
+            .flat_map(|t| (0..4).map(|_| video_session(t, &mut rng)).collect::<Vec<_>>())
+            .collect();
+        let mp: Vec<f64> = sessions.iter().map(|s| s.quality.megapixels()).collect();
+        let buf: Vec<f64> = sessions.iter().map(|s| s.buffer_secs).collect();
+        println!(
+            "  {:<10} quality {:>5.2} MP, buffer {:>5.1} s",
+            op.name(),
+            median(&mp).unwrap(),
+            median(&buf).unwrap()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Explore the orbital substrate: constellation coverage and bent-pipe
+//! latency as a function of latitude — the physics under every number in
+//! the study.
+//!
+//! ```sh
+//! cargo run --release --example constellation_coverage
+//! ```
+
+use sno_dissect::geo::GeoPoint;
+use sno_dissect::orbit::{
+    ecef_of, BentPipe, GeoAccess, MeoAccess, ONEWEB_SHELL, STARLINK_SHELL,
+};
+use sno_dissect::orbit::geostationary::GeoSlot;
+use sno_dissect::orbit::meo::O3B_RING;
+
+fn main() {
+    println!("shell geometry:");
+    for (name, shell) in [("Starlink 550km/53°", STARLINK_SHELL), ("OneWeb 1200km/87.4°", ONEWEB_SHELL)] {
+        println!(
+            "  {name}: {} satellites, period {:.1} min",
+            shell.num_sats(),
+            shell.period_secs() / 60.0
+        );
+    }
+    println!("  O3b ring: {} satellites at 8062 km, period {:.1} min", O3B_RING.sats, O3B_RING.period_secs() / 60.0);
+
+    println!("\ncoverage and bent-pipe propagation RTT vs latitude (longitude 0):");
+    println!("{:>5} {:>14} {:>14} {:>12} {:>12}", "lat", "Starlink", "OneWeb", "O3b MEO", "GEO slot 0°");
+    for lat in (-80..=80).step_by(10) {
+        let user = GeoPoint::new(f64::from(lat), 0.0);
+        let gateway = GeoPoint::new(f64::from(lat).clamp(-60.0, 60.0), 5.0);
+
+        // Sample several instants: LEO coverage is time-varying.
+        let sample_leo = |shell| {
+            let pipe = BentPipe::new(shell, user, gateway);
+            let mut seen = Vec::new();
+            for t in (0..20).map(|k| f64::from(k) * 300.0) {
+                if let Some(rtt) = pipe.propagation_rtt(t) {
+                    seen.push(rtt.0);
+                }
+            }
+            if seen.is_empty() {
+                "no coverage".to_string()
+            } else {
+                let avail = 100.0 * seen.len() as f64 / 20.0;
+                let mean = seen.iter().sum::<f64>() / seen.len() as f64;
+                format!("{mean:>5.1}ms {avail:>3.0}%")
+            }
+        };
+        let starlink = sample_leo(STARLINK_SHELL);
+        let oneweb = sample_leo(ONEWEB_SHELL);
+
+        let meo = MeoAccess::new(O3B_RING, user, gateway)
+            .propagation_rtt(0.0)
+            .map(|r| format!("{:>7.1}ms", r.0))
+            .unwrap_or_else(|| "   --".into());
+        let geo = GeoAccess::new(GeoSlot { lon_deg: 0.0 }, user, gateway)
+            .propagation_rtt()
+            .map(|r| format!("{:>7.1}ms", r.0))
+            .unwrap_or_else(|| "   --".into());
+        println!("{lat:>4}° {starlink:>14} {oneweb:>14} {meo:>12} {geo:>12}");
+    }
+
+    // How often does a mid-latitude user hand off?
+    println!("\nStarlink handoffs for a Berlin user over one hour (15 s epochs):");
+    let berlin = GeoPoint::new(52.52, 13.40);
+    let obs = ecef_of(berlin);
+    let mut last = None;
+    let mut handoffs = 0;
+    let mut outages = 0;
+    for epoch in 0..240 {
+        let t = f64::from(epoch) * 15.0;
+        match STARLINK_SHELL.best_visible(obs, t, 25.0) {
+            Some(v) => {
+                let id = (v.plane, v.index);
+                if last.is_some() && last != Some(id) {
+                    handoffs += 1;
+                }
+                last = Some(id);
+            }
+            None => outages += 1,
+        }
+    }
+    println!("  {handoffs} satellite changes, {outages} outage epochs in 240 epochs");
+    println!("  (the 15-second reconfiguration cadence is what drives LEO jitter in Figure 4b)");
+}

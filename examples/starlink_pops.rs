@@ -1,0 +1,58 @@
+//! The Starlink deep dive (Section 5): probe→PoP latencies, reverse-DNS
+//! PoP geolocation, and the detection of historical PoP changes.
+//!
+//! ```sh
+//! cargo run --release --example starlink_pops
+//! ```
+
+use sno_dissect::atlas::{
+    detect_pop_changes, pop_history, pop_rtt_by_country, pop_rtt_by_state, ProbeInfo,
+};
+use sno_dissect::synth::{atlas::reverse_dns, AtlasGenerator, SynthConfig};
+
+fn main() {
+    let corpus = AtlasGenerator::new(SynthConfig::default_corpus()).generate();
+    let infos: Vec<ProbeInfo> = corpus
+        .probes
+        .iter()
+        .map(|p| ProbeInfo { id: p.id, country: p.country, state: p.state })
+        .collect();
+    println!(
+        "{} probes, {} traceroutes, {} SSLCert observations\n",
+        corpus.probes.len(),
+        corpus.traceroutes.len(),
+        corpus.sslcerts.len()
+    );
+
+    println!("== probe -> PoP RTT, rest of the world (Figure 6a) ==");
+    for (country, s) in pop_rtt_by_country(&corpus.traceroutes, &infos) {
+        println!("  {country}: median {:>6.1} ms  (n={})", s.median, s.count);
+    }
+
+    println!("\n== probe -> PoP RTT, US states (Figure 8a) ==");
+    for (state, s) in pop_rtt_by_state(&corpus.traceroutes, &infos) {
+        println!("  {state}: median {:>6.1} ms  (n={})", s.median, s.count);
+    }
+
+    println!("\n== PoP-change events (Figure 8b) ==");
+    for probe in &corpus.probes {
+        let history = pop_history(&corpus.sslcerts, probe.id, reverse_dns);
+        for change in detect_pop_changes(&corpus.traceroutes, probe.id, &history, 8.0, 8) {
+            let pops = change
+                .pops
+                .map(|(a, b)| format!("{a} -> {b}"))
+                .unwrap_or_else(|| "cause unknown".into());
+            println!(
+                "  {} [{}{}] on {}: {:.1} -> {:.1} ms  ({pops})",
+                probe.id,
+                probe.country,
+                probe.state.map(|s| format!("/{s}")).unwrap_or_default(),
+                change.at.date(),
+                change.before_ms,
+                change.after_ms
+            );
+        }
+    }
+    println!("\npaper's events: NZ Sydney->Auckland (-20 ms, July 2022);");
+    println!("NL Frankfurt->London (-10 ms); NV LA->Denver (2x) then reverted.");
+}

@@ -1,0 +1,27 @@
+//! `sno-dissect`: a reproduction of *Dissecting the Performance of
+//! Satellite Network Operators* (CoNEXT 2023).
+//!
+//! This umbrella crate re-exports the workspace: the shared types, the
+//! orbital and network simulators, the synthetic public-dataset
+//! generators, and the paper's identification pipeline and analyses.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use sno_apps as apps;
+pub use sno_atlas as atlas;
+pub use sno_bgp as bgp;
+pub use sno_core as core;
+pub use sno_geo as geo;
+pub use sno_netsim as netsim;
+pub use sno_orbit as orbit;
+pub use sno_registry as registry;
+pub use sno_stats as stats;
+pub use sno_synth as synth;
+pub use sno_types as types;
+
+/// Commonly used items for examples and quick experiments.
+pub mod prelude {
+    pub use sno_types::{
+        Asn, Date, Ipv4, Millis, Mbps, Operator, OrbitClass, Prefix24, Rng, Timestamp,
+    };
+}

@@ -1,0 +1,72 @@
+//! Bit-reproducibility: every generator and every analysis must produce
+//! identical output for identical seeds, and different output for
+//! different seeds. This is what makes the whole study auditable.
+
+use sno_dissect::core::pipeline::Pipeline;
+use sno_dissect::synth::{AtlasGenerator, MlabGenerator, SynthConfig};
+
+fn cfg(seed: u64) -> SynthConfig {
+    SynthConfig { seed, ..SynthConfig::test_corpus() }
+}
+
+#[test]
+fn mlab_corpus_is_bit_reproducible() {
+    let a = MlabGenerator::new(cfg(1)).generate();
+    let b = MlabGenerator::new(cfg(1)).generate();
+    assert_eq!(a.records, b.records);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = MlabGenerator::new(cfg(1)).generate();
+    let b = MlabGenerator::new(cfg(2)).generate();
+    assert_ne!(a.records, b.records);
+}
+
+#[test]
+fn pipeline_report_is_reproducible() {
+    let corpus = MlabGenerator::new(cfg(3)).generate();
+    let r1 = Pipeline::new().run(&corpus.records);
+    let r2 = Pipeline::new().run(&corpus.records);
+    assert_eq!(r1.accepted, r2.accepted);
+    assert_eq!(r1.catalog, r2.catalog);
+    assert_eq!(r1.default_threshold, r2.default_threshold);
+}
+
+#[test]
+fn atlas_corpus_is_bit_reproducible() {
+    let a = AtlasGenerator::new(cfg(4)).generate();
+    let b = AtlasGenerator::new(cfg(4)).generate();
+    assert_eq!(a.traceroutes, b.traceroutes);
+    assert_eq!(a.sslcerts, b.sslcerts);
+}
+
+#[test]
+fn census_and_bgp_are_seed_stable() {
+    assert_eq!(
+        sno_dissect::synth::census_responses(5),
+        sno_dissect::synth::census_responses(5)
+    );
+    let a = sno_dissect::synth::bgp::snapshots();
+    let b = sno_dissect::synth::bgp::snapshots();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.edges, y.edges);
+    }
+}
+
+#[test]
+fn experiment_outputs_are_reproducible() {
+    use sno_dissect::types::Operator;
+    // The apps panel and a couple of analyses, run twice.
+    let p1 = sno_dissect::apps::panel(9);
+    let p2 = sno_dissect::apps::panel(9);
+    assert_eq!(p1, p2);
+    let mut rng1 = sno_dissect::types::Rng::new(1);
+    let mut rng2 = sno_dissect::types::Rng::new(1);
+    let t = p1.iter().find(|t| t.operator == Operator::Viasat).unwrap();
+    assert_eq!(
+        sno_dissect::apps::speedtest(t, &mut rng1),
+        sno_dissect::apps::speedtest(t, &mut rng2)
+    );
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use sno_dissect::netsim::path::StaticPath;
+use sno_dissect::netsim::tcp::{TcpConfig, TcpFlow};
+use sno_dissect::stats::{detect_mean_shifts, Ecdf, FiveNumber, Kde};
+use sno_dissect::types::{Ipv4, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles are monotone in q and bounded by the sample range.
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        mut data in prop::collection::vec(-1e6..1e6f64, 1..200),
+        qa in 0.0..=1.0f64,
+        qb in 0.0..=1.0f64,
+    ) {
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let va = sno_dissect::stats::quantile(&data, lo).unwrap();
+        let vb = sno_dissect::stats::quantile(&data, hi).unwrap();
+        prop_assert!(va <= vb);
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(va >= data[0] && vb <= *data.last().unwrap());
+    }
+
+    /// Five-number summaries are always ordered.
+    #[test]
+    fn five_number_is_ordered(data in prop::collection::vec(-1e4..1e4f64, 1..100)) {
+        let s = FiveNumber::of(&data).unwrap();
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+        let (wl, wh) = s.whiskers();
+        prop_assert!(s.min <= wl && wh <= s.max);
+    }
+
+    /// ECDF is monotone, within [0,1], and its inverse is consistent.
+    #[test]
+    fn ecdf_invariants(
+        data in prop::collection::vec(-1e3..1e3f64, 1..100),
+        x in -2e3..2e3f64,
+        q in 0.01..=1.0f64,
+    ) {
+        let e = Ecdf::new(&data).unwrap();
+        let f = e.eval(x);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(e.eval(x + 1.0) >= f);
+        // P(X <= inverse(q)) >= q.
+        let v = e.inverse(q);
+        prop_assert!(e.eval(v) + 1e-12 >= q);
+        // tail + cdf(open complement) == 1.
+        let t = e.tail_at_least(x);
+        let below = e.eval(x) - data.iter().filter(|&&d| (d - x).abs() == 0.0).count() as f64
+            / data.len() as f64;
+        prop_assert!((t + below - 1.0).abs() < 1e-9);
+    }
+
+    /// KDE sample mass over the full range is 1, and band masses add up.
+    #[test]
+    fn kde_mass_partitions(data in prop::collection::vec(0.0..1000.0f64, 2..150)) {
+        let kde = Kde::fit(&data).unwrap();
+        let total = kde.mass_in(-1.0, 1001.0);
+        prop_assert!((total - 1.0).abs() < 1e-12);
+        let a = kde.mass_in(-1.0, 500.0);
+        let b = kde.mass_in(500.0, 1001.0);
+        prop_assert!((a + b - 1.0).abs() < 1e-12);
+    }
+
+    /// Changepoint indices are interior and respect min_segment.
+    #[test]
+    fn changepoints_are_interior(
+        data in prop::collection::vec(0.0..100.0f64, 20..200),
+        min_shift in 1.0..50.0f64,
+    ) {
+        let shifts = detect_mean_shifts(&data, min_shift, 5);
+        for s in &shifts {
+            prop_assert!(s.index >= 5);
+            prop_assert!(s.index <= data.len() - 5);
+            prop_assert!(s.magnitude() >= min_shift);
+        }
+    }
+
+    /// IPv4/prefix round trips.
+    #[test]
+    fn prefix_contains_its_hosts(a in any::<u8>(), b in any::<u8>(), c in any::<u8>(), h in any::<u8>()) {
+        let p = sno_dissect::types::Prefix24::new(a, b, c);
+        let addr = p.addr(h);
+        prop_assert!(p.contains(addr));
+        prop_assert_eq!(addr.prefix24(), p);
+        prop_assert_eq!(addr.host(), h);
+        prop_assert_eq!(Ipv4::new(a, b, c, h), addr);
+    }
+
+    /// RNG bounded draws stay in range; binomial never exceeds n.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), n in 1..10_000u64, p in 0.0..=1.0f64) {
+        let mut rng = Rng::new(seed);
+        prop_assert!(rng.below(n) < n);
+        prop_assert!(rng.binomial(n, p) <= n);
+        let x = rng.range_u64(3, 9);
+        prop_assert!((3..=9).contains(&x));
+        let f = rng.f64();
+        prop_assert!((0.0..1.0).contains(&f));
+    }
+
+    /// TCP flow conservation: acked + retransmitted <= sent (in bytes),
+    /// retrans fraction in [0,1], and throughput never exceeds the
+    /// bottleneck.
+    #[test]
+    fn tcp_flow_conservation(
+        rtt in 5.0..800.0f64,
+        loss in 0.0..0.2f64,
+        rate in 1.0..200.0f64,
+        seed in any::<u64>(),
+    ) {
+        let path = StaticPath { rtt_ms: rtt, loss, rate_mbps: rate, buffer_ms: 150.0 };
+        let stats = TcpFlow::new(TcpConfig::ndt()).run(&path, 0.0, &mut Rng::new(seed));
+        prop_assert!(stats.bytes_acked + stats.bytes_retrans <= stats.bytes_sent + 1);
+        let f = stats.retrans_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Mean goodput cannot beat the bottleneck (with slack for the
+        // fluid model's rounding).
+        prop_assert!(stats.mean_throughput().0 <= rate * 1.15 + 1.0);
+        // RTT samples are at least half the base (noise floor).
+        for &s in &stats.rtt_samples {
+            prop_assert!(s >= rtt * 0.5 - 1e-9);
+        }
+    }
+
+    /// Orbit geometry: satellites stay on their shell, visible
+    /// satellites respect the elevation mask.
+    #[test]
+    fn orbit_invariants(
+        lat in -60.0..60.0f64,
+        lon in -180.0..180.0f64,
+        t in 0.0..20_000.0f64,
+    ) {
+        use sno_dissect::orbit::{ecef_of, STARLINK_SHELL};
+        use sno_dissect::geo::GeoPoint;
+        let obs = ecef_of(GeoPoint::new(lat, lon));
+        if let Some(v) = STARLINK_SHELL.best_visible(obs, t, 25.0) {
+            prop_assert!(v.elevation_deg >= 25.0);
+            prop_assert!(v.slant.0 >= STARLINK_SHELL.altitude_km - 1.0);
+            let sat = STARLINK_SHELL.sat_position(v.plane, v.index, t);
+            prop_assert!((sat.norm() - STARLINK_SHELL.orbit_radius_km()).abs() < 1e-6);
+        }
+    }
+
+    /// Daily medians: one point per day, medians bounded by the day's
+    /// samples, chronological order.
+    #[test]
+    fn daily_medians_invariants(
+        samples in prop::collection::vec((0u32..50, 0.0..1000.0f64), 1..300),
+    ) {
+        use sno_dissect::types::{Timestamp, UtcDay};
+        let ts: Vec<(Timestamp, f64)> = samples
+            .iter()
+            .map(|&(d, v)| (Timestamp::from_day(UtcDay(d)), v))
+            .collect();
+        let daily = sno_dissect::stats::daily_medians(&ts);
+        for w in daily.windows(2) {
+            prop_assert!(w[0].day < w[1].day);
+        }
+        let total: usize = daily.iter().map(|d| d.count).sum();
+        prop_assert_eq!(total, samples.len());
+    }
+}
