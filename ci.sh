@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the hermetic-build invariant: everything must build
+# and test with --offline, i.e. with zero access to crates.io. See
+# README "Hermetic builds".
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline --workspace
+run cargo build --examples --offline
+run cargo build --benches --offline -p sno-bench
+run cargo fmt --check
+
+echo "ci: all green (hermetic)"

@@ -33,8 +33,13 @@ pub enum Cdn {
 
 impl Cdn {
     /// All five, in the paper's order.
-    pub const ALL: [Cdn; 5] =
-        [Cdn::Cloudflare, Cdn::Google, Cdn::JsDelivr, Cdn::StackPath, Cdn::Fastly];
+    pub const ALL: [Cdn; 5] = [
+        Cdn::Cloudflare,
+        Cdn::Google,
+        Cdn::JsDelivr,
+        Cdn::StackPath,
+        Cdn::Fastly,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -55,13 +60,30 @@ impl Cdn {
     /// resolver even breaks Fastly's mapping).
     fn edge_extra_ms(self, op: Operator) -> f64 {
         let geo_resolver = matches!(op, Operator::Hughes | Operator::Viasat);
-        let fastly_penalty =
-            if op == Operator::Viasat { 400.0 } else { 0.0 };
+        let fastly_penalty = if op == Operator::Viasat { 400.0 } else { 0.0 };
         match self {
             Cdn::Fastly | Cdn::JsDelivr => fastly_penalty,
-            Cdn::Google => if geo_resolver { 430.0 + fastly_penalty * 0.3 } else { 55.0 },
-            Cdn::Cloudflare => if geo_resolver { 480.0 + fastly_penalty * 0.3 } else { 100.0 },
-            Cdn::StackPath => if geo_resolver { 590.0 + fastly_penalty * 0.3 } else { 95.0 },
+            Cdn::Google => {
+                if geo_resolver {
+                    430.0 + fastly_penalty * 0.3
+                } else {
+                    55.0
+                }
+            }
+            Cdn::Cloudflare => {
+                if geo_resolver {
+                    480.0 + fastly_penalty * 0.3
+                } else {
+                    100.0
+                }
+            }
+            Cdn::StackPath => {
+                if geo_resolver {
+                    590.0 + fastly_penalty * 0.3
+                } else {
+                    95.0
+                }
+            }
         }
     }
 
@@ -112,9 +134,8 @@ pub fn cdn_fetch(tester: &Tester, cdn: Cdn, minified: bool, rng: &mut Rng) -> Cd
     let indirection = if cdn == Cdn::JsDelivr { rtt } else { 0.0 };
 
     let noise = rng.lognormal(0.0, 0.06).clamp(0.85, 1.3);
-    let time = ((handshake + 1.0 + extra_rounds) * rtt + edge_extra + serialize
-        + indirection)
-        * noise;
+    let time =
+        ((handshake + 1.0 + extra_rounds) * rtt + edge_extra + serialize + indirection) * noise;
     CdnFetch {
         tester: tester.id,
         operator: tester.operator,
@@ -137,7 +158,9 @@ mod tests {
             .iter()
             .filter(|t| t.operator == op)
             .flat_map(|t| {
-                (0..4).map(|_| cdn_fetch(t, cdn, minified, &mut rng).time.0).collect::<Vec<_>>()
+                (0..4)
+                    .map(|_| cdn_fetch(t, cdn, minified, &mut rng).time.0)
+                    .collect::<Vec<_>>()
             })
             .collect();
         median(&v).unwrap()

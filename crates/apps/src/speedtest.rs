@@ -37,10 +37,8 @@ pub fn speedtest(tester: &Tester, rng: &mut Rng) -> SpeedtestRun {
     let efficiency = rng.range_f64(0.82, 0.98);
     let down_mid = (plan.down_lo + plan.down_hi) / 2.0;
     let download = Mbps(
-        (down_mid * regional * efficiency * rng.lognormal(0.0, 0.18)).clamp(
-            plan.down_lo * 0.3,
-            plan.down_hi * 1.6,
-        ),
+        (down_mid * regional * efficiency * rng.lognormal(0.0, 0.18))
+            .clamp(plan.down_lo * 0.3, plan.down_hi * 1.6),
     );
     let up_mid = (plan.up_lo + plan.up_hi) / 2.0;
     let up_regional = match (tester.operator, tester.continent) {

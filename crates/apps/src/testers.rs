@@ -56,25 +56,145 @@ pub fn panel(seed: u64) -> Vec<Tester> {
     use Continent::{Europe, NorthAmerica, Oceania};
     use Operator::{Hughes, Starlink, Viasat};
     // Starlink: North America.
-    push(Starlink, NorthAmerica, 45.0, -93.0, 35.0, false, &mut testers, &mut rng);
-    push(Starlink, NorthAmerica, 39.5, -105.0, 36.0, false, &mut testers, &mut rng);
-    push(Starlink, NorthAmerica, 33.0, -97.0, 37.0, false, &mut testers, &mut rng);
-    push(Starlink, NorthAmerica, 47.5, -122.0, 34.0, false, &mut testers, &mut rng);
+    push(
+        Starlink,
+        NorthAmerica,
+        45.0,
+        -93.0,
+        35.0,
+        false,
+        &mut testers,
+        &mut rng,
+    );
+    push(
+        Starlink,
+        NorthAmerica,
+        39.5,
+        -105.0,
+        36.0,
+        false,
+        &mut testers,
+        &mut rng,
+    );
+    push(
+        Starlink,
+        NorthAmerica,
+        33.0,
+        -97.0,
+        37.0,
+        false,
+        &mut testers,
+        &mut rng,
+    );
+    push(
+        Starlink,
+        NorthAmerica,
+        47.5,
+        -122.0,
+        34.0,
+        false,
+        &mut testers,
+        &mut rng,
+    );
     // Starlink: Europe (the London tester has a bad WiFi setup).
-    push(Starlink, Europe, 45.46, 9.19, 38.0, false, &mut testers, &mut rng); // Italy
-    push(Starlink, Europe, 51.51, -0.13, 40.0, true, &mut testers, &mut rng); // UK
-    push(Starlink, Europe, 52.37, 4.90, 37.0, false, &mut testers, &mut rng); // NL
-    push(Starlink, Europe, 50.09, 14.42, 39.0, false, &mut testers, &mut rng); // CZ
-    push(Starlink, Europe, 48.86, 2.35, 38.0, false, &mut testers, &mut rng); // FR-ish
-    // Starlink: Oceania.
-    push(Starlink, Oceania, -36.85, 174.76, 49.0, false, &mut testers, &mut rng);
+    push(
+        Starlink,
+        Europe,
+        45.46,
+        9.19,
+        38.0,
+        false,
+        &mut testers,
+        &mut rng,
+    ); // Italy
+    push(
+        Starlink,
+        Europe,
+        51.51,
+        -0.13,
+        40.0,
+        true,
+        &mut testers,
+        &mut rng,
+    ); // UK
+    push(
+        Starlink,
+        Europe,
+        52.37,
+        4.90,
+        37.0,
+        false,
+        &mut testers,
+        &mut rng,
+    ); // NL
+    push(
+        Starlink,
+        Europe,
+        50.09,
+        14.42,
+        39.0,
+        false,
+        &mut testers,
+        &mut rng,
+    ); // CZ
+    push(
+        Starlink,
+        Europe,
+        48.86,
+        2.35,
+        38.0,
+        false,
+        &mut testers,
+        &mut rng,
+    ); // FR-ish
+       // Starlink: Oceania.
+    push(
+        Starlink,
+        Oceania,
+        -36.85,
+        174.76,
+        49.0,
+        false,
+        &mut testers,
+        &mut rng,
+    );
     // HughesNet: US.
-    for (lat, lon) in [(38.0, -84.0), (35.0, -92.0), (44.0, -70.0), (31.0, -90.0), (41.0, -100.0)] {
-        push(Hughes, NorthAmerica, lat, lon, 720.0, false, &mut testers, &mut rng);
+    for (lat, lon) in [
+        (38.0, -84.0),
+        (35.0, -92.0),
+        (44.0, -70.0),
+        (31.0, -90.0),
+        (41.0, -100.0),
+    ] {
+        push(
+            Hughes,
+            NorthAmerica,
+            lat,
+            lon,
+            720.0,
+            false,
+            &mut testers,
+            &mut rng,
+        );
     }
     // Viasat: US.
-    for (lat, lon) in [(36.0, -115.0), (39.0, -77.0), (33.0, -112.0), (45.0, -69.0), (29.0, -98.0)] {
-        push(Viasat, NorthAmerica, lat, lon, 600.0, false, &mut testers, &mut rng);
+    for (lat, lon) in [
+        (36.0, -115.0),
+        (39.0, -77.0),
+        (33.0, -112.0),
+        (45.0, -69.0),
+        (29.0, -98.0),
+    ] {
+        push(
+            Viasat,
+            NorthAmerica,
+            lat,
+            lon,
+            600.0,
+            false,
+            &mut testers,
+            &mut rng,
+        );
     }
     testers
 }

@@ -29,13 +29,48 @@ impl QualityRung {
 
 /// The ladder (2160p max — the test video's ceiling).
 pub const LADDER: [QualityRung; 7] = [
-    QualityRung { name: "144p", width: 256, height: 144, bitrate: 0.2 },
-    QualityRung { name: "360p", width: 480, height: 360, bitrate: 0.6 },
-    QualityRung { name: "480p", width: 854, height: 480, bitrate: 1.2 },
-    QualityRung { name: "720p", width: 1280, height: 720, bitrate: 2.8 },
-    QualityRung { name: "1080p", width: 1920, height: 1080, bitrate: 5.5 },
-    QualityRung { name: "1440p", width: 2560, height: 1440, bitrate: 10.0 },
-    QualityRung { name: "2160p", width: 3840, height: 2160, bitrate: 17.0 },
+    QualityRung {
+        name: "144p",
+        width: 256,
+        height: 144,
+        bitrate: 0.2,
+    },
+    QualityRung {
+        name: "360p",
+        width: 480,
+        height: 360,
+        bitrate: 0.6,
+    },
+    QualityRung {
+        name: "480p",
+        width: 854,
+        height: 480,
+        bitrate: 1.2,
+    },
+    QualityRung {
+        name: "720p",
+        width: 1280,
+        height: 720,
+        bitrate: 2.8,
+    },
+    QualityRung {
+        name: "1080p",
+        width: 1920,
+        height: 1080,
+        bitrate: 5.5,
+    },
+    QualityRung {
+        name: "1440p",
+        width: 2560,
+        height: 1440,
+        bitrate: 10.0,
+    },
+    QualityRung {
+        name: "2160p",
+        width: 3840,
+        height: 2160,
+        bitrate: 17.0,
+    },
 ];
 
 /// One 60-second playback session.
@@ -63,8 +98,8 @@ pub const BUFFER_CAP_SECS: f64 = 65.0;
 /// Play the test video for one tester.
 pub fn video_session(tester: &Tester, rng: &mut Rng) -> VideoSession {
     let plan = sno_registry::assets::service_plan_of(tester.operator);
-    let mut bw = rng.range_f64(plan.down_lo, plan.down_hi)
-        * rng.lognormal(0.0, 0.12).clamp(0.7, 1.4);
+    let mut bw =
+        rng.range_f64(plan.down_lo, plan.down_hi) * rng.lognormal(0.0, 0.12).clamp(0.7, 1.4);
     // GEO operators classify and throttle streaming video to protect
     // transponder capacity (both HughesNet and Viasat document video
     // data-saver modes), so the player sees far less than a speed test.
@@ -90,8 +125,7 @@ pub fn video_session(tester: &Tester, rng: &mut Rng) -> VideoSession {
     // Over a 60 s session the buffer accumulates `headroom` seconds of
     // video per wall-clock second, up to the cap.
     let headroom = (bw / quality.bitrate - 1.0).max(0.0);
-    let buffer_secs = (headroom * PLAY_SECS).clamp(3.0, BUFFER_CAP_SECS)
-        * rng.range_f64(0.8, 1.0);
+    let buffer_secs = (headroom * PLAY_SECS).clamp(3.0, BUFFER_CAP_SECS) * rng.range_f64(0.8, 1.0);
 
     // Stalls: only when the link cannot even sustain the lowest rung, or
     // on unlucky interruption bursts.

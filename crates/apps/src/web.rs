@@ -62,7 +62,11 @@ pub fn page_load(tester: &Tester, version: HttpVersion, rng: &mut Rng) -> PageLo
     // Browser parse/layout/decode work, protocol-independent.
     let render_ms = 700.0 + f64::from(PAGE_OBJECTS) * 2.0;
     // Occasional weather fade / beam congestion stretches a whole run.
-    let weather = if rng.chance(0.08) { rng.range_f64(1.5, 2.3) } else { 1.0 };
+    let weather = if rng.chance(0.08) {
+        rng.range_f64(1.5, 2.3)
+    } else {
+        1.0
+    };
     let plt = match version {
         HttpVersion::H1 => {
             // Each connection serves its share of objects, one request
@@ -103,7 +107,9 @@ mod tests {
             .iter()
             .filter(|t| t.operator == op)
             .flat_map(|t| {
-                (0..4).map(|_| page_load(t, v, &mut rng).plt.0).collect::<Vec<_>>()
+                (0..4)
+                    .map(|_| page_load(t, v, &mut rng).plt.0)
+                    .collect::<Vec<_>>()
             })
             .collect();
         median(&times).unwrap()
@@ -156,7 +162,9 @@ mod tests {
             .iter()
             .filter(|t| t.operator == Operator::Hughes)
             .flat_map(|t| {
-                (0..8).map(|_| page_load(t, HttpVersion::H1, &mut rng)).collect::<Vec<_>>()
+                (0..8)
+                    .map(|_| page_load(t, HttpVersion::H1, &mut rng))
+                    .collect::<Vec<_>>()
             })
             .map(|l| l.plt.0)
             .fold(0.0, f64::max);

@@ -73,9 +73,7 @@ fn attribute(history: &[PopLink], at: Timestamp) -> Option<(&'static str, &'stat
     for w in history.windows(2) {
         let boundary = w[1].first_seen;
         let distance = boundary.0.abs_diff(at.0);
-        if distance <= ATTRIBUTION_WINDOW_SECS
-            && best.is_none_or(|(d, _)| distance < d)
-        {
+        if distance <= ATTRIBUTION_WINDOW_SECS && best.is_none_or(|(d, _)| distance < d) {
             best = Some((distance, (w[0].pop.code, w[1].pop.code)));
         }
     }
@@ -119,7 +117,10 @@ mod tests {
         let nv = c.probes.iter().find(|p| p.state == Some("NV")).unwrap();
         let changes = changes_for(nv.id);
         assert_eq!(changes.len(), 2, "{changes:?}");
-        assert!(changes[0].after_ms > changes[0].before_ms, "regression first");
+        assert!(
+            changes[0].after_ms > changes[0].before_ms,
+            "regression first"
+        );
         assert!(changes[1].after_ms < changes[1].before_ms, "then revert");
         assert_eq!(changes[0].pops, Some(("lsancax1", "dnvrcox1")));
         assert_eq!(changes[1].pops, Some(("dnvrcox1", "lsancax1")));
@@ -143,9 +144,11 @@ mod tests {
     fn stable_probes_report_no_changes() {
         let c = corpus();
         let mut stable = 0;
-        for p in c.probes.iter().filter(|p| {
-            matches!(p.country.as_str(), "DE" | "GB" | "AT" | "CA")
-        }) {
+        for p in c
+            .probes
+            .iter()
+            .filter(|p| matches!(p.country.as_str(), "DE" | "GB" | "AT" | "CA"))
+        {
             let changes = changes_for(p.id);
             assert!(changes.is_empty(), "{}: {changes:?}", p.id);
             stable += 1;
@@ -156,8 +159,7 @@ mod tests {
     #[test]
     fn short_series_yields_nothing() {
         let c = corpus();
-        let changes =
-            detect_pop_changes(&c.traceroutes, ProbeId(99_999), &[], 8.0, 8);
+        let changes = detect_pop_changes(&c.traceroutes, ProbeId(99_999), &[], 8.0, 8);
         assert!(changes.is_empty());
     }
 }

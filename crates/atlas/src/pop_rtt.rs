@@ -29,7 +29,9 @@ pub fn pop_rtt_by_country(
 ) -> Vec<(CountryCode, FiveNumber)> {
     let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = info_of(probes, t.probe) else { continue };
+        let Some(info) = info_of(probes, t.probe) else {
+            continue;
+        };
         if info.country == CountryCode::new("US") {
             continue;
         }
@@ -48,7 +50,9 @@ pub fn pop_rtt_by_state(
 ) -> Vec<(&'static str, FiveNumber)> {
     let mut by_state: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = info_of(probes, t.probe) else { continue };
+        let Some(info) = info_of(probes, t.probe) else {
+            continue;
+        };
         let Some(state) = info.state else { continue };
         if let Some(rtt) = t.cgnat_rtt() {
             by_state.entry(state).or_default().push(rtt.0);
@@ -96,7 +100,11 @@ pub(crate) mod tests {
         corpus()
             .probes
             .iter()
-            .map(|p| ProbeInfo { id: p.id, country: p.country, state: p.state })
+            .map(|p| ProbeInfo {
+                id: p.id,
+                country: p.country,
+                state: p.state,
+            })
             .collect()
     }
 
@@ -147,7 +155,11 @@ pub(crate) mod tests {
         let table = pop_rtt_by_state(&corpus().traceroutes, &probe_infos());
         let (slowest, summary) = table.last().expect("non-empty");
         assert_eq!(*slowest, "AK");
-        assert!((60.0..110.0).contains(&summary.median), "AK {}", summary.median);
+        assert!(
+            (60.0..110.0).contains(&summary.median),
+            "AK {}",
+            summary.median
+        );
         // Mainland states sit around 40–60 ms.
         for (state, s) in &table[..table.len() - 1] {
             assert!(

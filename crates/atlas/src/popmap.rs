@@ -34,14 +34,17 @@ pub fn pop_history(
     probe: ProbeId,
     resolve: impl Fn(sno_types::Ipv4) -> Option<String>,
 ) -> Vec<PopLink> {
-    let mut obs: Vec<&SslCertRecord> =
-        sslcerts.iter().filter(|s| s.probe == probe).collect();
+    let mut obs: Vec<&SslCertRecord> = sslcerts.iter().filter(|s| s.probe == probe).collect();
     obs.sort_by_key(|s| s.timestamp);
 
     let mut history: Vec<PopLink> = Vec::new();
     for s in obs {
-        let Some(name) = resolve(s.src_addr) else { continue };
-        let Some(pop) = pop_from_reverse_dns(&name) else { continue };
+        let Some(name) = resolve(s.src_addr) else {
+            continue;
+        };
+        let Some(pop) = pop_from_reverse_dns(&name) else {
+            continue;
+        };
         match history.last_mut() {
             Some(last) if last.pop.code == pop.code => last.last_seen = s.timestamp,
             _ => history.push(PopLink {

@@ -13,7 +13,9 @@ pub fn root_rtt_by_country(
 ) -> Vec<(CountryCode, FiveNumber)> {
     let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = probes.iter().find(|p| p.id == t.probe) else { continue };
+        let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
+            continue;
+        };
         if info.country == CountryCode::new("US") {
             continue;
         }
@@ -37,7 +39,9 @@ pub fn hops_by_country(
 ) -> Vec<(CountryCode, FiveNumber)> {
     let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = probes.iter().find(|p| p.id == t.probe) else { continue };
+        let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
+            continue;
+        };
         if info.country == CountryCode::new("US") {
             continue;
         }

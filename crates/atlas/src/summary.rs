@@ -25,7 +25,9 @@ pub fn country_summary(
     let mut acc: BTreeMap<CountryCode, (std::collections::BTreeSet<u32>, Option<Timestamp>, u64)> =
         BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = probes.iter().find(|p| p.id == t.probe) else { continue };
+        let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
+            continue;
+        };
         let entry = acc.entry(info.country).or_default();
         entry.0.insert(t.probe.0);
         entry.1 = Some(match entry.1 {

@@ -1,37 +1,53 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! PEP on/off, LEO handoff cadence, strict vs relaxed filtering, KDE
 //! bandwidth rule, H1 vs H2 connection model. Each arm is a separate
-//! Criterion benchmark so the relative cost (and, via printed summaries
-//! in `repro`, the relative *effect*) of the mechanism is visible.
+//! benchmark so the relative cost (and, via printed summaries in
+//! `repro`, the relative *effect*) of the mechanism is visible.
+//!
+//! Runs under the in-tree `sno-check` harness (`cargo bench -p
+//! sno-bench --bench ablations`). Set `SNO_BENCH_JSON=<path>` to also
+//! write a `BENCH_*.json`-style report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sno_netsim::path::StaticPath;
+use sno_check::bench::{bench_group, BenchReport};
+use sno_netsim::path::{StaticPath, SteppedPath};
 use sno_netsim::pep::PepMode;
 use sno_netsim::tcp::{TcpConfig, TcpFlow};
 use sno_stats::Kde;
 use sno_types::Rng;
 use std::hint::black_box;
 
-/// Figure 4c's mechanism: the same GEO path with and without a PEP.
-fn pep_ablation(c: &mut Criterion) {
-    let geo = StaticPath { rtt_ms: 620.0, loss: 0.02, rate_mbps: 20.0, buffer_ms: 300.0 };
-    let mut group = c.benchmark_group("ablation_pep");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    for (label, pep) in [("geo_no_pep", PepMode::None), ("geo_with_pep", PepMode::typical())] {
+fn main() {
+    let mut report = BenchReport::new();
+
+    // Figure 4c's mechanism: the same GEO path with and without a PEP.
+    let geo = StaticPath {
+        rtt_ms: 620.0,
+        loss: 0.02,
+        rate_mbps: 20.0,
+        buffer_ms: 300.0,
+    };
+    let mut group = bench_group("ablation_pep");
+    group
+        .sample_size(20)
+        .warm_up_ms(300.0)
+        .sample_budget_ms(100.0);
+    for (label, pep) in [
+        ("geo_no_pep", PepMode::None),
+        ("geo_with_pep", PepMode::typical()),
+    ] {
         group.bench_function(label, |b| {
-            let flow = TcpFlow::new(TcpConfig { pep, ..TcpConfig::ndt() });
+            let flow = TcpFlow::new(TcpConfig {
+                pep,
+                ..TcpConfig::ndt()
+            });
             let mut rng = Rng::new(42);
             b.iter(|| black_box(flow.run(black_box(&geo), 0.0, &mut rng)))
         });
     }
-    group.finish();
-}
+    report.push(group.finish());
 
-/// Figure 4b's mechanism: LEO with and without the 15-second handoff
-/// cadence (a stepped vs a flat RTT schedule).
-fn handoff_ablation(c: &mut Criterion) {
-    use sno_netsim::path::SteppedPath;
+    // Figure 4b's mechanism: LEO with and without the 15-second handoff
+    // cadence (a stepped vs a flat RTT schedule).
     let stepped = SteppedPath {
         steps: (1..40)
             .map(|k| (k as f64 * 15.0, 48.0 + ((k * 7) % 5) as f64 * 2.5))
@@ -40,10 +56,17 @@ fn handoff_ablation(c: &mut Criterion) {
         rate_mbps: 100.0,
         handoff_loss: 0.1,
     };
-    let flat = StaticPath { rtt_ms: 52.0, loss: 1e-4, rate_mbps: 100.0, buffer_ms: 45.0 };
-    let mut group = c.benchmark_group("ablation_handoff");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let flat = StaticPath {
+        rtt_ms: 52.0,
+        loss: 1e-4,
+        rate_mbps: 100.0,
+        buffer_ms: 45.0,
+    };
+    let mut group = bench_group("ablation_handoff");
+    group
+        .sample_size(20)
+        .warm_up_ms(300.0)
+        .sample_budget_ms(100.0);
     group.bench_function("leo_with_handoffs", |b| {
         let flow = TcpFlow::new(TcpConfig::ndt());
         let mut rng = Rng::new(7);
@@ -54,12 +77,10 @@ fn handoff_ablation(c: &mut Criterion) {
         let mut rng = Rng::new(7);
         b.iter(|| black_box(flow.run(black_box(&flat), 0.0, &mut rng)))
     });
-    group.finish();
-}
+    report.push(group.finish());
 
-/// KDE bandwidth rule: Silverman vs fixed bandwidths, on a Figure-2
-/// style bimodal latency sample.
-fn kde_bandwidth_ablation(c: &mut Criterion) {
+    // KDE bandwidth rule: Silverman vs fixed bandwidths, on a Figure-2
+    // style bimodal latency sample.
     let mut rng = Rng::new(11);
     let sample: Vec<f64> = (0..2_000)
         .map(|i| {
@@ -70,9 +91,11 @@ fn kde_bandwidth_ablation(c: &mut Criterion) {
             }
         })
         .collect();
-    let mut group = c.benchmark_group("ablation_kde_bandwidth");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = bench_group("ablation_kde_bandwidth");
+    group
+        .sample_size(20)
+        .warm_up_ms(300.0)
+        .sample_budget_ms(100.0);
     group.bench_function("silverman", |b| {
         b.iter(|| {
             let kde = Kde::fit(black_box(&sample)).expect("non-empty");
@@ -87,8 +110,10 @@ fn kde_bandwidth_ablation(c: &mut Criterion) {
             })
         });
     }
-    group.finish();
-}
+    report.push(group.finish());
 
-criterion_group!(benches, pep_ablation, handoff_ablation, kde_bandwidth_ablation);
-criterion_main!(benches);
+    if let Ok(path) = std::env::var("SNO_BENCH_JSON") {
+        report.write_json(&path).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

@@ -1,9 +1,13 @@
-//! Criterion benches: one per table/figure, timing the computation that
-//! regenerates it (corpus generation is amortised into a shared,
+//! Per-experiment benches: one per table/figure, timing the computation
+//! that regenerates it (corpus generation is amortised into a shared,
 //! lazily-built context so each bench measures its own analysis).
+//!
+//! Runs under the in-tree `sno-check` harness (`cargo bench -p
+//! sno-bench --bench experiments`). Set `SNO_BENCH_JSON=<path>` to also
+//! write a `BENCH_*.json`-style report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sno_bench::{run_experiment, ReproContext};
+use sno_check::bench::{bench_group, BenchReport};
 use sno_synth::SynthConfig;
 use std::hint::black_box;
 use std::sync::OnceLock;
@@ -19,40 +23,41 @@ fn ctx() -> &'static ReproContext {
     })
 }
 
-/// One bench per experiment id, named after the table/figure.
-fn experiment_benches(c: &mut Criterion) {
+fn main() {
+    let mut report = BenchReport::new();
+
+    // One bench per experiment id, named after the table/figure.
     let ids = [
-        "table1", "table2", "table3", "fig1", "fig2", "fig3a", "fig3b", "fig3c",
-        "fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig6c", "fig7",
-        "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig10c", "fig11", "fig12",
-        "fig13", "fig14", "coverage",
+        "table1", "table2", "table3", "fig1", "fig2", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b",
+        "fig4c", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8a", "fig8b", "fig9", "fig10a",
+        "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14", "coverage",
     ];
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = bench_group("experiments");
+    group
+        .sample_size(10)
+        .warm_up_ms(500.0)
+        .sample_budget_ms(100.0);
     for id in ids {
         group.bench_function(id, |b| {
             b.iter(|| black_box(run_experiment(ctx(), black_box(id)).expect("known id")))
         });
     }
-    group.finish();
-}
+    report.push(group.finish());
 
-/// The identification pipeline end-to-end (Table 1's engine).
-fn pipeline_bench(c: &mut Criterion) {
+    // The identification pipeline end-to-end (Table 1's engine).
     let records = &ctx().mlab().records;
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut group = bench_group("pipeline");
+    group
+        .sample_size(10)
+        .warm_up_ms(500.0)
+        .sample_budget_ms(100.0);
     group.bench_function("table1_pipeline_full", |b| {
-        b.iter(|| {
-            black_box(sno_core::pipeline::Pipeline::new().run(black_box(records)))
-        })
+        b.iter(|| black_box(sno_core::pipeline::Pipeline::new().run(black_box(records))))
     });
-    group.finish();
-}
+    report.push(group.finish());
 
-criterion_group!(benches, experiment_benches, pipeline_bench);
-criterion_main!(benches);
+    if let Ok(path) = std::env::var("SNO_BENCH_JSON") {
+        report.write_json(&path).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

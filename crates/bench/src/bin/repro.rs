@@ -5,10 +5,46 @@
 //! repro table1 fig4c    # run selected experiments
 //! repro --list          # list experiment ids
 //! repro --scale 1e-2    # denser corpus (slower, smoother statistics)
+//! repro --bench         # time every experiment, write BENCH_1.json
 //! ```
 
 use sno_bench::{run_experiment, ReproContext, EXPERIMENTS};
+use sno_check::bench::{bench_group, BenchReport};
 use sno_synth::SynthConfig;
+
+/// `--bench`: per-experiment median wall time over a shared context,
+/// written as a perf-trajectory snapshot (`BENCH_1.json` by default, in
+/// the invocation directory — the repo root under `cargo run`).
+fn run_bench_mode(config: SynthConfig, out_path: &str) {
+    let ctx = ReproContext::with_config(config);
+    // Force the corpora and pipeline once, outside the timing loops.
+    let _ = ctx.report();
+    let _ = ctx.atlas();
+
+    let mut report = BenchReport::new();
+    let mut group = bench_group("experiments");
+    group.sample_size(5).warm_up_ms(50.0).sample_budget_ms(50.0);
+    for (id, ..) in EXPERIMENTS {
+        group.bench_function(*id, |b| {
+            b.iter(|| std::hint::black_box(run_experiment(&ctx, id).expect("known id")))
+        });
+    }
+    report.push(group.finish());
+
+    let mut group = bench_group("pipeline");
+    group.sample_size(5).warm_up_ms(50.0).sample_budget_ms(50.0);
+    let records = &ctx.mlab().records;
+    group.bench_function("table1_pipeline_full", |b| {
+        b.iter(|| std::hint::black_box(sno_core::pipeline::Pipeline::new().run(records)))
+    });
+    report.push(group.finish());
+
+    report.write_json(out_path).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +56,30 @@ fn main() {
         return;
     }
 
-    let mut config = SynthConfig::default_corpus();
+    let bench = if let Some(pos) = args.iter().position(|a| a == "--bench") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let bench_out = if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
+        let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-out needs a path");
+            std::process::exit(2);
+        });
+        args.drain(pos..=pos + 1);
+        path
+    } else {
+        "BENCH_1.json".to_string()
+    };
+
+    // Benches default to the small test corpus so a full sweep stays
+    // fast; `--scale` still overrides.
+    let mut config = if bench {
+        SynthConfig::test_corpus()
+    } else {
+        SynthConfig::default_corpus()
+    };
     if let Some(pos) = args.iter().position(|a| a == "--scale") {
         let value = args
             .get(pos + 1)
@@ -31,6 +90,11 @@ fn main() {
             });
         config.scale = value;
         args.drain(pos..=pos + 1);
+    }
+
+    if bench {
+        run_bench_mode(config, &bench_out);
+        return;
     }
 
     let ctx = ReproContext::with_config(config);

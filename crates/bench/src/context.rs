@@ -58,7 +58,11 @@ impl ReproContext {
         self.atlas()
             .probes
             .iter()
-            .map(|p| sno_atlas::ProbeInfo { id: p.id, country: p.country, state: p.state })
+            .map(|p| sno_atlas::ProbeInfo {
+                id: p.id,
+                country: p.country,
+                state: p.state,
+            })
             .collect()
     }
 }

@@ -18,7 +18,11 @@ pub type Runner = fn(&ReproContext) -> String;
 
 /// The experiment registry: `(id, what it reproduces, runner)`.
 pub const EXPERIMENTS: &[(&str, &str, Runner)] = &[
-    ("table1", "Table 1: identified SNOs and test volumes", table1),
+    (
+        "table1",
+        "Table 1: identified SNOs and test volumes",
+        table1,
+    ),
     ("table2", "Table 2: RIPE Atlas dataset summary", table2),
     ("table3", "Table 3: curated ASN-to-SNO mapping", table3),
     ("fig1", "Figure 1: pipeline stage census", fig1),
@@ -44,7 +48,11 @@ pub const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("fig12", "Figure 12: more BGP peering views", fig12),
     ("fig13", "Figure 13: peering evolution 2021-2023", fig13),
     ("fig14", "Figure 14: Prolific census scores", fig14),
-    ("coverage", "Section 4: coverage-inference validation", coverage),
+    (
+        "coverage",
+        "Section 4: coverage-inference validation",
+        coverage,
+    ),
     (
         "ablation-filter",
         "Ablation: strict-only vs relaxed filtering, scored on ground truth",
@@ -122,7 +130,11 @@ fn table3(_ctx: &ReproContext) -> String {
 fn fig1(ctx: &ReproContext) -> String {
     let report = ctx.report();
     let mut out = String::new();
-    let _ = writeln!(out, "stage 1-2 candidates: {}", report.mapping.candidates.len());
+    let _ = writeln!(
+        out,
+        "stage 1-2 candidates: {}",
+        report.mapping.candidates.len()
+    );
     let _ = writeln!(
         out,
         "stage 2  curated:    {} ASNs / {} SNOs",
@@ -216,14 +228,20 @@ fn fig3b(ctx: &ReproContext) -> String {
     let corpus = ctx.mlab();
     let mut out = String::new();
     for c in [63u8, 115, 116, 117] {
-        let prefix = if c == 63 { Prefix24::new(75, 105, 63) } else { Prefix24::new(45, 232, c) };
+        let prefix = if c == 63 {
+            Prefix24::new(75, 105, 63)
+        } else {
+            Prefix24::new(45, 232, c)
+        };
         let lat: Vec<f64> = corpus
             .records
             .iter()
             .filter(|r| r.client.prefix24() == prefix)
             .map(|r| r.latency_p5.0)
             .collect();
-        let Some(s) = sno_stats::FiveNumber::of(&lat) else { continue };
+        let Some(s) = sno_stats::FiveNumber::of(&lat) else {
+            continue;
+        };
         let below90 = lat.iter().filter(|&&l| l < 90.0).count();
         let _ = writeln!(
             out,
@@ -288,7 +306,11 @@ fn fig4a(ctx: &ReproContext) -> String {
         mlab_end: sno_types::Date::new(2023, 4, 1),
         // Keep the fast-test context cheap; the real repro corpus gets
         // ~11 sessions per operator-day.
-        min_sessions: if ctx.config().scale < 5e-4 { 1_500 } else { 4_000 },
+        min_sessions: if ctx.config().scale < 5e-4 {
+            1_500
+        } else {
+            4_000
+        },
         ..ctx.config().clone()
     };
     let generator = sno_synth::MlabGenerator::new(cfg);
@@ -396,7 +418,11 @@ fn peering_text(ops: &[Operator]) -> String {
                 p.name,
                 p.country,
                 p.degree,
-                if p.likely_upstream { "  [upstream]" } else { "" }
+                if p.likely_upstream {
+                    "  [upstream]"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -452,7 +478,10 @@ fn fig6b(ctx: &ReproContext) -> String {
 
 fn fig6c(ctx: &ReproContext) -> String {
     let rows = sno_atlas::hops_by_country(&ctx.atlas().traceroutes, &ctx.probe_infos());
-    format!("{}(paper: 5 hops to local roots, 20+ across continents)\n", country_table(rows))
+    format!(
+        "{}(paper: 5 hops to local roots, 20+ across continents)\n",
+        country_table(rows)
+    )
 }
 
 fn fig7(ctx: &ReproContext) -> String {
@@ -466,9 +495,7 @@ fn fig7(ctx: &ReproContext) -> String {
         }
         let path: Vec<String> = history
             .iter()
-            .map(|l| {
-                format!("{}{}", l.pop.code, if l.active { " (active)" } else { "" })
-            })
+            .map(|l| format!("{}{}", l.pop.code, if l.active { " (active)" } else { "" }))
             .collect();
         let _ = writeln!(
             out,
@@ -496,7 +523,10 @@ fn fig8a(ctx: &ReproContext) -> String {
             state, region, s.count, s.median, s.q3
         );
     }
-    let _ = writeln!(out, "(paper: best states ~45 ms, AZ ~55, AK ~80 median / 120 p75)");
+    let _ = writeln!(
+        out,
+        "(paper: best states ~45 ms, AZ ~55, AK ~80 median / 120 p75)"
+    );
     out
 }
 
@@ -506,8 +536,7 @@ fn fig8b(ctx: &ReproContext) -> String {
     for probe in &atlas.probes {
         let history =
             sno_atlas::pop_history(&atlas.sslcerts, probe.id, sno_synth::atlas::reverse_dns);
-        let changes =
-            sno_atlas::detect_pop_changes(&atlas.traceroutes, probe.id, &history, 8.0, 8);
+        let changes = sno_atlas::detect_pop_changes(&atlas.traceroutes, probe.id, &history, 8.0, 8);
         for ch in changes {
             let pops = ch
                 .pops
@@ -545,8 +574,7 @@ fn fig9(ctx: &ReproContext) -> String {
     let mut out = String::new();
     for op in [Operator::Starlink, Operator::Viasat, Operator::Hughes] {
         let of = |f: &dyn Fn(&sno_apps::SpeedtestRun) -> f64| {
-            let v: Vec<f64> =
-                runs.iter().filter(|r| r.operator == op).map(f).collect();
+            let v: Vec<f64> = runs.iter().filter(|r| r.operator == op).map(f).collect();
             sno_stats::median(&v).unwrap_or(f64::NAN)
         };
         let _ = writeln!(
@@ -673,7 +701,9 @@ fn fig11(ctx: &ReproContext) -> String {
             .iter()
             .filter(|t| t.operator == op)
             .flat_map(|t| {
-                (0..4).map(|_| sno_apps::video_session(t, &mut rng)).collect::<Vec<_>>()
+                (0..4)
+                    .map(|_| sno_apps::video_session(t, &mut rng))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let mp: Vec<f64> = sessions.iter().map(|s| s.quality.megapixels()).collect();
@@ -701,7 +731,12 @@ fn fig11(ctx: &ReproContext) -> String {
 fn fig13(_ctx: &ReproContext) -> String {
     let snaps = sno_synth::bgp::snapshots();
     let mut out = String::new();
-    for op in [Operator::Starlink, Operator::Hughes, Operator::Viasat, Operator::Marlink] {
+    for op in [
+        Operator::Starlink,
+        Operator::Hughes,
+        Operator::Viasat,
+        Operator::Marlink,
+    ] {
         let track = sno_bgp::growth_track(&snaps, op);
         let line: Vec<String> = track
             .iter()
@@ -734,7 +769,13 @@ fn fig14(ctx: &ReproContext) -> String {
             .zip(counts)
             .map(|(l, c)| format!("{l} {c}"))
             .collect();
-        let _ = writeln!(out, "{:<10} n={:<3} {}", op.name(), of_op.len(), cells.join(", "));
+        let _ = writeln!(
+            out,
+            "{:<10} n={:<3} {}",
+            op.name(),
+            of_op.len(),
+            cells.join(", ")
+        );
     }
     let _ = writeln!(
         out,
@@ -770,8 +811,7 @@ fn coverage(_ctx: &ReproContext) -> String {
 /// Ground truth comes from the generator, which the pipeline never sees.
 fn ablation_filter(ctx: &ReproContext) -> String {
     use sno_core::accuracy::{score, Confusion, Truth};
-    let (corpus, raw) = sno_synth::MlabGenerator::new(ctx.config().clone())
-        .generate_with_truth();
+    let (corpus, raw) = sno_synth::MlabGenerator::new(ctx.config().clone()).generate_with_truth();
     let truth: Vec<Truth> = raw.iter().map(|t| (t.operator, t.kind)).collect();
     let report = sno_core::pipeline::Pipeline::new().run(&corpus.records);
 
@@ -780,13 +820,15 @@ fn ablation_filter(ctx: &ReproContext) -> String {
 
     // Arm B: strict-only — keep LEO/MEO ASN-level acceptance but require
     // GEO records to fall inside a strictly-retained /24.
-    let strict_prefixes: std::collections::BTreeSet<_> =
-        report.strict.retained.iter().map(|p| (p.operator, p.prefix)).collect();
+    let strict_prefixes: std::collections::BTreeSet<_> = report
+        .strict
+        .retained
+        .iter()
+        .map(|p| (p.operator, p.prefix))
+        .collect();
     let mut strict_acc = Confusion::default();
     let mut strict_kept = 0u64;
-    for ((rec, &(op_true, kind)), acc) in
-        corpus.records.iter().zip(&truth).zip(&report.accepted)
-    {
+    for ((rec, &(op_true, kind)), acc) in corpus.records.iter().zip(&truth).zip(&report.accepted) {
         let keep = match acc {
             None => false,
             Some(op) => {
@@ -813,8 +855,14 @@ fn ablation_filter(ctx: &ReproContext) -> String {
 
     let mut out = String::new();
     let relaxed_kept = report.accepted.iter().flatten().count();
-    let _ = writeln!(out, "relaxed (published): kept {relaxed_kept} records; {relaxed}");
-    let _ = writeln!(out, "strict-only:         kept {strict_kept} records; {strict_acc}");
+    let _ = writeln!(
+        out,
+        "relaxed (published): kept {relaxed_kept} records; {relaxed}"
+    );
+    let _ = writeln!(
+        out,
+        "strict-only:         kept {strict_kept} records; {strict_acc}"
+    );
     let _ = writeln!(
         out,
         "relaxation buys {:.1}% more recall at {:.2}% precision cost",

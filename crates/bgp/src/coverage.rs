@@ -27,22 +27,58 @@ pub fn ground_truth_sites(op: Operator) -> Vec<GroundTruthSite> {
     match op {
         Operator::Starlink => STARLINK_POPS
             .iter()
-            .map(|p| GroundTruthSite { city: p.city, country: p.country_str })
+            .map(|p| GroundTruthSite {
+                city: p.city,
+                country: p.country_str,
+            })
             .collect(),
         Operator::Ses => vec![
-            GroundTruthSite { city: "Betzdorf", country: "LU" },
-            GroundTruthSite { city: "Gibraltar-ish Madrid", country: "ES" },
-            GroundTruthSite { city: "Ashburn", country: "US" },
-            GroundTruthSite { city: "Hawaii", country: "US" },
-            GroundTruthSite { city: "Singapore", country: "SG" },
-            GroundTruthSite { city: "Perth", country: "AU" },
-            GroundTruthSite { city: "Dubai", country: "AE" },
-            GroundTruthSite { city: "São Paulo", country: "BR" },
-            GroundTruthSite { city: "Athens", country: "GR" },
+            GroundTruthSite {
+                city: "Betzdorf",
+                country: "LU",
+            },
+            GroundTruthSite {
+                city: "Gibraltar-ish Madrid",
+                country: "ES",
+            },
+            GroundTruthSite {
+                city: "Ashburn",
+                country: "US",
+            },
+            GroundTruthSite {
+                city: "Hawaii",
+                country: "US",
+            },
+            GroundTruthSite {
+                city: "Singapore",
+                country: "SG",
+            },
+            GroundTruthSite {
+                city: "Perth",
+                country: "AU",
+            },
+            GroundTruthSite {
+                city: "Dubai",
+                country: "AE",
+            },
+            GroundTruthSite {
+                city: "São Paulo",
+                country: "BR",
+            },
+            GroundTruthSite {
+                city: "Athens",
+                country: "GR",
+            },
         ],
         Operator::HellasSat => vec![
-            GroundTruthSite { city: "Athens", country: "GR" },
-            GroundTruthSite { city: "Nicosia", country: "CY" },
+            GroundTruthSite {
+                city: "Athens",
+                country: "GR",
+            },
+            GroundTruthSite {
+                city: "Nicosia",
+                country: "CY",
+            },
         ],
         _ => Vec::new(),
     }
@@ -95,7 +131,13 @@ pub fn coverage_report(snapshot: &BgpSnapshot, op: Operator) -> CoverageReport {
     } else {
         covered_sites as f64 / sites.len() as f64
     };
-    CoverageReport { operator: op, inferred, truth_countries, discovered, city_coverage }
+    CoverageReport {
+        operator: op,
+        inferred,
+        truth_countries,
+        discovered,
+        city_coverage,
+    }
 }
 
 #[cfg(test)]

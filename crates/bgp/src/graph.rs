@@ -66,17 +66,22 @@ pub fn peering_view(snapshot: &BgpSnapshot, op: Operator) -> PeeringView {
             let info = snapshot.info_for(peer);
             PeerView {
                 asn: peer,
-                name: info.map(|i| i.name.clone()).unwrap_or_else(|| peer.to_string()),
-                country: info
-                    .map(|i| i.country)
-                    .unwrap_or(CountryCode::new("ZZ")),
+                name: info
+                    .map(|i| i.name.clone())
+                    .unwrap_or_else(|| peer.to_string()),
+                country: info.map(|i| i.country).unwrap_or(CountryCode::new("ZZ")),
                 degree,
                 likely_upstream: degree > own_degree.saturating_mul(2),
                 tier1: TIER1_ASNS.contains(&peer.0),
             }
         })
         .collect();
-    PeeringView { operator: op, asn, degree: own_degree, peers }
+    PeeringView {
+        operator: op,
+        asn,
+        degree: own_degree,
+        peers,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,266 @@
+//! A minimal Criterion-replacement bench harness.
+//!
+//! `bench_group("name")` → [`BenchGroup::bench_function`] with a
+//! [`Bencher`] closure → warm-up + calibration + N timed samples →
+//! median/p10/p90 report on stdout and a [`BenchReport`] that serialises
+//! to JSON for `BENCH_*.json` perf-trajectory files. No wall-clock
+//! randomness beyond the timings themselves; no dependencies.
+//!
+//! ```
+//! use sno_check::bench::{bench_group, BenchReport};
+//! let mut group = bench_group("demo");
+//! group.sample_size(5).warm_up_ms(1.0).sample_budget_ms(1.0);
+//! group.bench_function("sum", |b| {
+//!     b.iter(|| (0..1000u64).sum::<u64>())
+//! });
+//! let mut report = BenchReport::new();
+//! report.push(group.finish());
+//! assert!(report.to_json().contains("\"sum\""));
+//! ```
+
+use std::time::Instant;
+
+/// Timed samples for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name within its group.
+    pub name: String,
+    /// Iterations averaged inside each sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration mean time of each sample, milliseconds.
+    pub sample_ms: Vec<f64>,
+}
+
+/// Linear-interpolation percentile of an unsorted sample set.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+impl BenchResult {
+    /// Median per-iteration time, ms.
+    pub fn median_ms(&self) -> f64 {
+        percentile(&self.sample_ms, 0.5)
+    }
+
+    /// 10th-percentile per-iteration time, ms.
+    pub fn p10_ms(&self) -> f64 {
+        percentile(&self.sample_ms, 0.1)
+    }
+
+    /// 90th-percentile per-iteration time, ms.
+    pub fn p90_ms(&self) -> f64 {
+        percentile(&self.sample_ms, 0.9)
+    }
+
+    /// Mean per-iteration time, ms.
+    pub fn mean_ms(&self) -> f64 {
+        self.sample_ms.iter().sum::<f64>() / self.sample_ms.len() as f64
+    }
+}
+
+/// Hands the routine to the timing loop inside
+/// [`BenchGroup::bench_function`].
+pub struct Bencher {
+    warmup_ms: f64,
+    sample_budget_ms: f64,
+    sample_size: usize,
+    iters_per_sample: u64,
+    sample_ms: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up (which also calibrates how many
+    /// iterations fit the per-sample budget), then record the configured
+    /// number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed().as_secs_f64() * 1e3 >= self.warmup_ms {
+                break;
+            }
+        }
+        let per_iter_ms = warm_start.elapsed().as_secs_f64() * 1e3 / warm_iters as f64;
+        let iters = ((self.sample_budget_ms / per_iter_ms).ceil() as u64).max(1);
+        self.iters_per_sample = iters;
+        self.sample_ms.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.sample_ms
+                .push(start.elapsed().as_secs_f64() * 1e3 / iters as f64);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    warmup_ms: f64,
+    sample_budget_ms: f64,
+    results: Vec<BenchResult>,
+}
+
+/// Start a benchmark group.
+pub fn bench_group(name: impl Into<String>) -> BenchGroup {
+    BenchGroup {
+        name: name.into(),
+        sample_size: 20,
+        warmup_ms: 300.0,
+        sample_budget_ms: 100.0,
+        results: Vec::new(),
+    }
+}
+
+impl BenchGroup {
+    /// Samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size(0)");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration, ms (default 300).
+    pub fn warm_up_ms(&mut self, ms: f64) -> &mut Self {
+        self.warmup_ms = ms;
+        self
+    }
+
+    /// Target wall time per sample, ms (default 100); slow routines
+    /// still run at least one iteration per sample.
+    pub fn sample_budget_ms(&mut self, ms: f64) -> &mut Self {
+        self.sample_budget_ms = ms;
+        self
+    }
+
+    /// Run one benchmark and print its summary line.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            warmup_ms: self.warmup_ms,
+            sample_budget_ms: self.sample_budget_ms,
+            sample_size: self.sample_size,
+            iters_per_sample: 0,
+            sample_ms: Vec::new(),
+        };
+        routine(&mut bencher);
+        assert!(
+            !bencher.sample_ms.is_empty(),
+            "bench_function closure never called Bencher::iter"
+        );
+        let result = BenchResult {
+            name: name.into(),
+            iters_per_sample: bencher.iters_per_sample,
+            sample_ms: bencher.sample_ms,
+        };
+        println!(
+            "{}/{:<32} median {:>10.4} ms   p10 {:>10.4}   p90 {:>10.4}   ({} samples x {} iters)",
+            self.name,
+            result.name,
+            result.median_ms(),
+            result.p10_ms(),
+            result.p90_ms(),
+            result.sample_ms.len(),
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Close the group, yielding its results for a [`BenchReport`].
+    pub fn finish(&mut self) -> GroupReport {
+        GroupReport {
+            name: self.name.clone(),
+            results: std::mem::take(&mut self.results),
+        }
+    }
+}
+
+/// The finished results of one group.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Group name.
+    pub name: String,
+    /// One entry per `bench_function` call.
+    pub results: Vec<BenchResult>,
+}
+
+/// A full bench run, serialisable to the `BENCH_*.json` trajectory
+/// format.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// All finished groups.
+    pub groups: Vec<GroupReport>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> BenchReport {
+        BenchReport::default()
+    }
+
+    /// Append a finished group.
+    pub fn push(&mut self, group: GroupReport) {
+        self.groups.push(group);
+    }
+
+    /// Serialise to pretty-printed JSON (hand-rolled; no dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"sno-bench-v1\",\n  \"groups\": [\n");
+        for (gi, group) in self.groups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"name\": \"{}\",\n      \"benches\": [\n",
+                json_escape(&group.name)
+            ));
+            for (bi, b) in group.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"name\": \"{}\", \"median_ms\": {:.6}, \"p10_ms\": {:.6}, \
+                     \"p90_ms\": {:.6}, \"mean_ms\": {:.6}, \"samples\": {}, \
+                     \"iters_per_sample\": {}}}{}\n",
+                    json_escape(&b.name),
+                    b.median_ms(),
+                    b.p10_ms(),
+                    b.p90_ms(),
+                    b.mean_ms(),
+                    b.sample_ms.len(),
+                    b.iters_per_sample,
+                    if bi + 1 < group.results.len() {
+                        ","
+                    } else {
+                        ""
+                    },
+                ));
+            }
+            out.push_str(&format!(
+                "      ]\n    }}{}\n",
+                if gi + 1 < self.groups.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}

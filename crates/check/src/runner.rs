@@ -1,0 +1,236 @@
+//! The property-test runner: deterministic case seeding, panic capture,
+//! greedy shrinking, and reproducible failure reports.
+//!
+//! Every case is generated from a seed derived *only* from the test name
+//! and the case index, so a run is bit-reproducible across machines. On
+//! failure the runner shrinks the counterexample greedily and prints the
+//! case seed; re-running the same test with `SNO_CHECK_SEED=<seed>`
+//! regenerates the identical input and replays the identical
+//! (deterministic) shrink sequence, arriving at the same counterexample.
+
+use crate::strategy::Strategy;
+use sno_types::Rng;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Environment variable that pins the runner to a single seeded case.
+pub const SEED_ENV: &str = "SNO_CHECK_SEED";
+
+/// Upper bound on shrink-candidate evaluations per failure. Candidates
+/// are strictly simplifying so shrinking terminates on its own; this
+/// only caps pathological bisection tails.
+const SHRINK_BUDGET: usize = 4_096;
+
+/// A failed property assertion (what `prop_assert!` returns).
+#[derive(Debug, Clone)]
+pub struct PropError {
+    message: String,
+}
+
+impl PropError {
+    /// Wrap an assertion message.
+    pub fn new(message: impl Into<String>) -> PropError {
+        PropError {
+            message: message.into(),
+        }
+    }
+
+    /// The assertion message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for PropError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration (the `proptest_config` subset we support).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// One SplitMix64 output step, used to decorrelate case seeds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, hashing the test name into the base seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The seed of case `case` of the property named `name`.
+fn case_seed(name: &str, case: u32) -> u64 {
+    mix64(fnv1a(name.as_bytes()) ^ u64::from(case).wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+fn seed_from_env() -> Option<u64> {
+    let raw = std::env::var(SEED_ENV).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("{SEED_ENV}={raw:?} is not a u64 seed"),
+    }
+}
+
+thread_local! {
+    /// True while the runner executes a case body, so the global panic
+    /// hook stays quiet for panics we catch and turn into shrink fuel.
+    static IN_CASE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once) a panic hook that suppresses output for panics raised
+/// inside a property body — the runner reports them itself, after
+/// shrinking, with the seed attached.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_CASE.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run the body on one value, converting panics into `PropError`s.
+fn run_case<V, F>(test: &F, value: V) -> Result<(), PropError>
+where
+    V: Clone,
+    F: Fn(V) -> Result<(), PropError>,
+{
+    IN_CASE.with(|flag| flag.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+    IN_CASE.with(|flag| flag.set(false));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(PropError::new(panic_message(payload))),
+    }
+}
+
+/// Greedily walk the shrink tree: take the first simpler candidate that
+/// still fails, repeat until none does.
+fn shrink_to_minimal<S, F>(
+    strategy: &S,
+    test: &F,
+    mut value: S::Value,
+    mut error: PropError,
+) -> (S::Value, PropError, usize)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), PropError>,
+{
+    let mut steps = 0usize;
+    let mut budget = SHRINK_BUDGET;
+    'outer: loop {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(e) = run_case(test, candidate.clone()) {
+                value = candidate;
+                error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, steps)
+}
+
+/// Run `config.cases` random cases of a property (or exactly one when
+/// [`SEED_ENV`] is set), shrinking and reporting on failure.
+///
+/// This is what the `proptest!` macro expands to; call it directly for
+/// properties that need a custom harness.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), PropError>,
+{
+    install_quiet_hook();
+    if let Some(seed) = seed_from_env() {
+        run_seeded(name, strategy, &test, seed, 0, 1);
+        eprintln!("sno-check: '{name}' passed the single case {SEED_ENV}={seed}");
+        return;
+    }
+    for case in 0..config.cases {
+        run_seeded(
+            name,
+            strategy,
+            &test,
+            case_seed(name, case),
+            case,
+            config.cases,
+        );
+    }
+}
+
+/// Run the single case with RNG seed `seed`; panic with a reproducible
+/// report if it fails.
+fn run_seeded<S, F>(name: &str, strategy: &S, test: &F, seed: u64, case: u32, cases: u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), PropError>,
+{
+    let mut rng = Rng::new(seed);
+    let original = strategy.generate(&mut rng);
+    if let Err(error) = run_case(test, original.clone()) {
+        let (minimal, minimal_error, steps) =
+            shrink_to_minimal(strategy, test, original.clone(), error);
+        panic!(
+            "property '{name}' failed at case {case}/{cases}\n\
+             \x20 reproduce with: {SEED_ENV}={seed} cargo test {short}\n\
+             \x20 original input: {original:?}\n\
+             \x20 counterexample (after {steps} shrink steps): {minimal:?}\n\
+             \x20 {minimal_error}",
+            short = name.rsplit("::").next().unwrap_or(name),
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Input strategies: how to generate a random value of a type and how to
+//! shrink a failing one toward a simpler counterexample.
+//!
+//! This is the `proptest`-compatible subset the workspace's property
+//! tests actually use: numeric range strategies (`-1e6..1e6f64`,
+//! `0.0..=1.0f64`, `1..200usize`, `0u32..72`), `any::<T>()` for small
+//! primitives, tuples of strategies, and `prop::collection::vec`. All
+//! generation is driven by the workspace's deterministic
+//! [`sno_types::Rng`], so a single 64-bit seed reproduces a case
+//! bit-for-bit.
+//!
+//! Shrinking is greedy and *strictly simplifying*: every candidate a
+//! strategy proposes is closer to zero (scalars) or shorter (vectors)
+//! than the current value, so the shrink loop terminates without a
+//! global step budget doing the real work.
+
+use sno_types::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator-and-shrinker for values of one type.
+pub trait Strategy {
+    /// The values this strategy produces.
+    type Value: Clone + Debug;
+
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Propose strictly simpler variants of a failing `value`, simplest
+    /// first. An empty vector means the value cannot shrink further.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for a float: toward the in-range point nearest
+/// zero, by bisection, and by truncation. Every candidate has strictly
+/// smaller magnitude than `v`, so shrinking cannot cycle.
+fn float_candidates(v: f64, contains: impl Fn(f64) -> bool, toward: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for c in [toward, (toward + v) / 2.0, v.trunc()] {
+        if c.is_finite() && contains(c) && c.abs() < v.abs() && c != v && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let toward = if self.start > 0.0 {
+            self.start
+        } else if self.end <= 0.0 {
+            // Negative-only range: bisect toward the (excluded) upper
+            // bound, the in-range direction of smaller magnitude.
+            (self.start + self.end) / 2.0
+        } else {
+            0.0
+        };
+        float_candidates(*v, |x| x >= self.start && x < self.end, toward)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        // Hit the exact endpoints now and then: inclusive bounds exist
+        // to be tested.
+        let (lo, hi) = (*self.start(), *self.end());
+        match rng.below(64) {
+            0 => lo,
+            1 => hi,
+            _ => rng.range_f64(lo, hi),
+        }
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        let toward = if lo > 0.0 {
+            lo
+        } else if hi < 0.0 {
+            hi
+        } else {
+            0.0
+        };
+        float_candidates(*v, |x| x >= lo && x <= hi, toward)
+    }
+}
+
+/// Unsigned integer ranges (`Range` half-open, `RangeInclusive` closed).
+macro_rules! uint_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                uint_candidates(*v as u64, self.start as u64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                uint_candidates(*v as u64, *self.start() as u64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+    )+};
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Candidates strictly between `lo` and `v`: the floor, the midpoint,
+/// and the predecessor. All strictly smaller than `v`.
+fn uint_candidates(v: u64, lo: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for c in [lo, lo + (v - lo) / 2, v.saturating_sub(1)] {
+        if c >= lo && c < v && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Types with a canonical "draw anything" strategy, used via
+/// [`any::<T>()`](any).
+pub trait Arbitrary: Clone + Debug {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+
+    /// Strictly simpler variants, simplest first.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! uint_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                uint_candidates(*self as u64, 0)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+    )+};
+}
+
+uint_arbitrary!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.chance(0.5)
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Draw any value of `T` — `any::<u8>()`, `any::<u64>()`,
+/// `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        v.shrink_value()
+    }
+}
+
+/// Tuples of strategies generate tuples of values; shrinking simplifies
+/// one component at a time.
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&value.$idx) {
+                        let mut w = value.clone();
+                        w.$idx = c;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Strategy for vectors with lengths drawn from a half-open range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// `prop::collection::vec(elem, 1..200)`: vectors of `elem`-generated
+/// values whose length lies in `len`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let min = self.len.start;
+        // Structural shrinks first: shorter vectors are much simpler.
+        if v.len() > min {
+            let half = (v.len() / 2).max(min);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            out.push(v[..v.len() - 1].to_vec());
+            out.push(v[1..].to_vec());
+        }
+        // Then element-wise shrinks, a couple of candidates per slot.
+        for i in 0..v.len() {
+            for c in self.elem.shrink(&v[i]).into_iter().take(2) {
+                let mut w = v.clone();
+                w[i] = c;
+                out.push(w);
+            }
+        }
+        out
+    }
+}

@@ -161,16 +161,13 @@ mod tests {
         assert_eq!(c.f1(), 0.0);
     }
 
-    fn truths(
-        raw: &[sno_synth::mlab::SessionTruth],
-    ) -> Vec<Truth> {
+    fn truths(raw: &[sno_synth::mlab::SessionTruth]) -> Vec<Truth> {
         raw.iter().map(|t| (t.operator, t.kind)).collect()
     }
 
     #[test]
     fn pipeline_scores_well_on_the_synthetic_corpus() {
-        let (corpus, raw) =
-            MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
+        let (corpus, raw) = MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
         let truth = truths(&raw);
         let report = Pipeline::new().run(&corpus.records);
         let c = score(&truth, &report);
@@ -185,8 +182,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "same records")]
     fn mismatched_lengths_rejected() {
-        let (corpus, raw) =
-            MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
+        let (corpus, raw) = MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
         let truth = truths(&raw);
         let report = Pipeline::new().run(&corpus.records);
         let _ = score(&truth[..truth.len() - 1], &report);

@@ -131,11 +131,17 @@ pub fn jitter_by_orbit(records: &[NdtRecord], report: &PipelineReport) -> Jitter
     for (rec, acc) in records.iter().zip(&report.accepted) {
         if let Some(op) = acc {
             let orbit = orbit_of(*op, rec);
-            variation.entry(orbit).or_default().push(rec.jitter_variation());
+            variation
+                .entry(orbit)
+                .or_default()
+                .push(rec.jitter_variation());
             absolute.entry(orbit).or_default().push(rec.jitter_p95.0);
         }
     }
-    JitterAnalysis { variation, absolute }
+    JitterAnalysis {
+        variation,
+        absolute,
+    }
 }
 
 /// Figure 4c: retransmitted-byte fractions per transport population.

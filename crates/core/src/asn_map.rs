@@ -8,21 +8,15 @@
 //! website then rejects the operators that are not consumer/enterprise
 //! SNOs at all — in the paper more than half the candidates fall here.
 
-use sno_registry::sources::{asdb, hebgp, is_genuine_sno};
 use sno_registry::profile::operator_of_asn;
+use sno_registry::sources::{asdb, hebgp, is_genuine_sno};
 use sno_types::{Asn, Operator};
 use std::collections::BTreeMap;
 
 /// Popular operator names the paper searched for in Hurricane Electric
 /// after noticing gaps in ASdb.
 pub const HE_SEARCH_TERMS: &[&str] = &[
-    "starlink",
-    "viasat",
-    "oneweb",
-    "hughes",
-    "intelsat",
-    "eutelsat",
-    "ses",
+    "starlink", "viasat", "oneweb", "hughes", "intelsat", "eutelsat", "ses",
 ];
 
 /// The outcome of the mapping stage.
@@ -93,7 +87,11 @@ pub fn map_asns() -> AsnMapping {
             None => rejected.push((asn, "unidentifiable")),
         }
     }
-    AsnMapping { candidates, rejected, mapping }
+    AsnMapping {
+        candidates,
+        rejected,
+        mapping,
+    }
 }
 
 #[cfg(test)]

@@ -30,9 +30,7 @@ pub mod prefix_filter;
 pub mod validate;
 
 pub use accuracy::{attribution_accuracy, score, Confusion};
-pub use analysis::{
-    jitter_by_orbit, latency_by_operator, retransmissions, stability, OrbitGroup,
-};
+pub use analysis::{jitter_by_orbit, latency_by_operator, retransmissions, stability, OrbitGroup};
 pub use asn_map::{map_asns, AsnMapping};
 pub use pipeline::{Pipeline, PipelineReport};
 pub use prefix_filter::{relaxed_thresholds, strict_filter, StrictOutcome};

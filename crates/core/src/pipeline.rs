@@ -1,9 +1,7 @@
 //! Stage 4: the end-to-end pipeline and the SNO catalog (Table 1).
 
 use crate::asn_map::{map_asns, AsnMapping};
-use crate::prefix_filter::{
-    relaxed_thresholds, strict_filter, StrictOutcome, MEO_FLOOR_MS,
-};
+use crate::prefix_filter::{relaxed_thresholds, strict_filter, StrictOutcome, MEO_FLOOR_MS};
 use crate::validate::{validate_asns, AsnProfile, AsnVerdict, LatencyBands};
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Operator, OrbitClass};
@@ -73,8 +71,10 @@ impl Pipeline {
         let mapping = map_asns();
         // Stage 3: KDE validation.
         let profiles = validate_asns(&mapping, records, self.bands);
-        let verdict_of: BTreeMap<_, _> =
-            profiles.iter().map(|p| (p.asn, p.verdict.clone())).collect();
+        let verdict_of: BTreeMap<_, _> = profiles
+            .iter()
+            .map(|p| (p.asn, p.verdict.clone()))
+            .collect();
         // Stage 3b: strict prefix filter.
         let strict = strict_filter(&mapping, &profiles, records);
         // Stage 3c: relaxed thresholds.
@@ -83,13 +83,7 @@ impl Pipeline {
         // Stage 4: per-record acceptance.
         let mut accepted = Vec::with_capacity(records.len());
         for rec in records {
-            accepted.push(self.accept(
-                rec,
-                &mapping,
-                &verdict_of,
-                &thresholds,
-                default_threshold,
-            ));
+            accepted.push(self.accept(rec, &mapping, &verdict_of, &thresholds, default_threshold));
         }
 
         let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
@@ -137,8 +131,7 @@ impl Pipeline {
             }
             // GEO and hybrid operators go through the relaxed filter.
             _ => {
-                let threshold =
-                    thresholds.get(&op).copied().unwrap_or(default_threshold);
+                let threshold = thresholds.get(&op).copied().unwrap_or(default_threshold);
                 (rec.latency_p5.0 >= threshold).then_some(op)
             }
         }
@@ -154,11 +147,10 @@ mod tests {
     use std::sync::OnceLock;
 
     fn fixture() -> &'static (MlabCorpus, Vec<SessionTruth>, PipelineReport) {
-        static FIXTURE: OnceLock<(MlabCorpus, Vec<SessionTruth>, PipelineReport)> =
-            OnceLock::new();
+        static FIXTURE: OnceLock<(MlabCorpus, Vec<SessionTruth>, PipelineReport)> = OnceLock::new();
         FIXTURE.get_or_init(|| {
-            let (corpus, truth) = MlabGenerator::new(SynthConfig::test_corpus())
-                .generate_with_truth();
+            let (corpus, truth) =
+                MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
             let report = Pipeline::new().run(&corpus.records);
             (corpus, truth, report)
         })

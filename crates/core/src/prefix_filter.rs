@@ -88,7 +88,9 @@ pub fn strict_filter(
     // Group record latencies by (operator, /24).
     let mut by_prefix: BTreeMap<(Operator, Prefix24), Vec<f64>> = BTreeMap::new();
     for rec in records {
-        let Some(op) = mapping.operator_of(rec.asn) else { continue };
+        let Some(op) = mapping.operator_of(rec.asn) else {
+            continue;
+        };
         if outlier_asns.contains(&rec.asn) {
             continue;
         }
@@ -125,7 +127,12 @@ pub fn strict_filter(
             rejected_band += 1;
         }
     }
-    StrictOutcome { retained, examined, rejected_band, rejected_thin }
+    StrictOutcome {
+        retained,
+        examined,
+        rejected_band,
+        rejected_thin,
+    }
 }
 
 /// Per-operator relaxed thresholds plus the default for operators the
@@ -141,10 +148,7 @@ pub fn relaxed_thresholds(strict: &StrictOutcome) -> (BTreeMap<Operator, f64>, f
             .and_modify(|m| *m = m.min(stat.min_latency_ms))
             .or_insert(stat.min_latency_ms);
     }
-    let default = per_op
-        .values()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let default = per_op.values().cloned().fold(f64::INFINITY, f64::min);
     (per_op, default)
 }
 
@@ -175,10 +179,7 @@ mod tests {
             strict.retained.len()
         );
         let covered = strict.covered();
-        assert!(
-            (4..=8).contains(&covered.len()),
-            "covered {covered:?}"
-        );
+        assert!((4..=8).contains(&covered.len()), "covered {covered:?}");
         assert!(strict.rejected_thin > 0, "thin prefixes must exist");
     }
 

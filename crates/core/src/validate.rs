@@ -145,7 +145,15 @@ pub fn profile_one(
     let modes = kde.modes_on_grid(0.0, 1_200.0, 400, 0.2);
 
     let verdict = judge(access, terrestrial_mass, expected_mass, &kde, bands);
-    AsnProfile { operator, asn, tests, terrestrial_mass, expected_mass, modes, verdict }
+    AsnProfile {
+        operator,
+        asn,
+        tests,
+        terrestrial_mass,
+        expected_mass,
+        modes,
+        verdict,
+    }
 }
 
 fn judge(
@@ -217,14 +225,21 @@ mod tests {
         let lat = sample(|r| r.normal_with(18.0, 5.0).max(3.0), 300, 2);
         let p = profile_one(Operator::Starlink, Asn(27277), &lat, bands());
         // A pile of sub-25 ms latencies has little mass in the LEO band.
-        assert!(matches!(p.verdict, AsnVerdict::Outlier(_)), "{:?}", p.verdict);
+        assert!(
+            matches!(p.verdict, AsnVerdict::Outlier(_)),
+            "{:?}",
+            p.verdict
+        );
     }
 
     #[test]
     fn geo_with_terrestrial_majority_is_outlier() {
         let lat = sample(|r| r.normal_with(25.0, 6.0).max(5.0), 300, 3);
         let p = profile_one(Operator::Ses, Asn(201554), &lat, bands());
-        assert_eq!(p.verdict, AsnVerdict::Outlier("terrestrial latency profile"));
+        assert_eq!(
+            p.verdict,
+            AsnVerdict::Outlier("terrestrial latency profile")
+        );
     }
 
     #[test]
@@ -287,8 +302,8 @@ mod tests {
 
     #[test]
     fn full_corpus_validation_flags_the_planted_anomalies() {
-        let corpus = sno_synth::MlabGenerator::new(sno_synth::SynthConfig::test_corpus())
-            .generate();
+        let corpus =
+            sno_synth::MlabGenerator::new(sno_synth::SynthConfig::test_corpus()).generate();
         let mapping = map_asns();
         let profiles = validate_asns(&mapping, &corpus.records, bands());
         let verdict_of = |asn: u32| {

@@ -21,8 +21,14 @@ impl GeoPoint {
     /// Panics if latitude is outside `[-90, 90]` or longitude outside
     /// `[-180, 180]`.
     pub fn new(lat: f64, lon: f64) -> GeoPoint {
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
-        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
         GeoPoint { lat, lon }
     }
 
@@ -38,8 +44,7 @@ pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> Kilometers {
     let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
     let dlat = lat2 - lat1;
     let dlon = lon2 - lon1;
-    let h = (dlat / 2.0).sin().powi(2)
-        + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
     Kilometers(2.0 * EARTH_RADIUS_KM * h.sqrt().asin())
 }
 

@@ -39,29 +39,173 @@ impl PopSite {
 /// in the paper.
 pub const STARLINK_POPS: &[PopSite] = &[
     // United States
-    PopSite { code: "sttlwax1", city: "Seattle", country_str: "US", point: GeoPoint { lat: 47.61, lon: -122.33 } },
-    PopSite { code: "lsancax1", city: "Los Angeles", country_str: "US", point: GeoPoint { lat: 34.05, lon: -118.24 } },
-    PopSite { code: "dnvrcox1", city: "Denver", country_str: "US", point: GeoPoint { lat: 39.74, lon: -104.99 } },
-    PopSite { code: "dllstxx1", city: "Dallas", country_str: "US", point: GeoPoint { lat: 32.78, lon: -96.80 } },
-    PopSite { code: "chcgilx1", city: "Chicago", country_str: "US", point: GeoPoint { lat: 41.88, lon: -87.63 } },
-    PopSite { code: "atlngax1", city: "Atlanta", country_str: "US", point: GeoPoint { lat: 33.75, lon: -84.39 } },
-    PopSite { code: "nycmnyx1", city: "New York", country_str: "US", point: GeoPoint { lat: 40.71, lon: -74.01 } },
-    PopSite { code: "ashbvax1", city: "Ashburn", country_str: "US", point: GeoPoint { lat: 39.04, lon: -77.49 } },
+    PopSite {
+        code: "sttlwax1",
+        city: "Seattle",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 47.61,
+            lon: -122.33,
+        },
+    },
+    PopSite {
+        code: "lsancax1",
+        city: "Los Angeles",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 34.05,
+            lon: -118.24,
+        },
+    },
+    PopSite {
+        code: "dnvrcox1",
+        city: "Denver",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 39.74,
+            lon: -104.99,
+        },
+    },
+    PopSite {
+        code: "dllstxx1",
+        city: "Dallas",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 32.78,
+            lon: -96.80,
+        },
+    },
+    PopSite {
+        code: "chcgilx1",
+        city: "Chicago",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 41.88,
+            lon: -87.63,
+        },
+    },
+    PopSite {
+        code: "atlngax1",
+        city: "Atlanta",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 33.75,
+            lon: -84.39,
+        },
+    },
+    PopSite {
+        code: "nycmnyx1",
+        city: "New York",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 40.71,
+            lon: -74.01,
+        },
+    },
+    PopSite {
+        code: "ashbvax1",
+        city: "Ashburn",
+        country_str: "US",
+        point: GeoPoint {
+            lat: 39.04,
+            lon: -77.49,
+        },
+    },
     // Canada
-    PopSite { code: "trntcan1", city: "Toronto", country_str: "CA", point: GeoPoint { lat: 43.65, lon: -79.38 } },
+    PopSite {
+        code: "trntcan1",
+        city: "Toronto",
+        country_str: "CA",
+        point: GeoPoint {
+            lat: 43.65,
+            lon: -79.38,
+        },
+    },
     // Europe
-    PopSite { code: "frntdeu1", city: "Frankfurt", country_str: "DE", point: GeoPoint { lat: 50.11, lon: 8.68 } },
-    PopSite { code: "lndngbr1", city: "London", country_str: "GB", point: GeoPoint { lat: 51.51, lon: -0.13 } },
-    PopSite { code: "mdrdesp1", city: "Madrid", country_str: "ES", point: GeoPoint { lat: 40.42, lon: -3.70 } },
-    PopSite { code: "milaita1", city: "Milan", country_str: "IT", point: GeoPoint { lat: 45.46, lon: 9.19 } },
-    PopSite { code: "wrswpol1", city: "Warsaw", country_str: "PL", point: GeoPoint { lat: 52.23, lon: 21.01 } },
+    PopSite {
+        code: "frntdeu1",
+        city: "Frankfurt",
+        country_str: "DE",
+        point: GeoPoint {
+            lat: 50.11,
+            lon: 8.68,
+        },
+    },
+    PopSite {
+        code: "lndngbr1",
+        city: "London",
+        country_str: "GB",
+        point: GeoPoint {
+            lat: 51.51,
+            lon: -0.13,
+        },
+    },
+    PopSite {
+        code: "mdrdesp1",
+        city: "Madrid",
+        country_str: "ES",
+        point: GeoPoint {
+            lat: 40.42,
+            lon: -3.70,
+        },
+    },
+    PopSite {
+        code: "milaita1",
+        city: "Milan",
+        country_str: "IT",
+        point: GeoPoint {
+            lat: 45.46,
+            lon: 9.19,
+        },
+    },
+    PopSite {
+        code: "wrswpol1",
+        city: "Warsaw",
+        country_str: "PL",
+        point: GeoPoint {
+            lat: 52.23,
+            lon: 21.01,
+        },
+    },
     // Oceania
-    PopSite { code: "sydnaus1", city: "Sydney", country_str: "AU", point: GeoPoint { lat: -33.87, lon: 151.21 } },
-    PopSite { code: "aklnnzl1", city: "Auckland", country_str: "NZ", point: GeoPoint { lat: -36.85, lon: 174.76 } },
+    PopSite {
+        code: "sydnaus1",
+        city: "Sydney",
+        country_str: "AU",
+        point: GeoPoint {
+            lat: -33.87,
+            lon: 151.21,
+        },
+    },
+    PopSite {
+        code: "aklnnzl1",
+        city: "Auckland",
+        country_str: "NZ",
+        point: GeoPoint {
+            lat: -36.85,
+            lon: 174.76,
+        },
+    },
     // Asia
-    PopSite { code: "tkyojpn1", city: "Tokyo", country_str: "JP", point: GeoPoint { lat: 35.68, lon: 139.69 } },
+    PopSite {
+        code: "tkyojpn1",
+        city: "Tokyo",
+        country_str: "JP",
+        point: GeoPoint {
+            lat: 35.68,
+            lon: 139.69,
+        },
+    },
     // South America
-    PopSite { code: "sntgchl1", city: "Santiago", country_str: "CL", point: GeoPoint { lat: -33.45, lon: -70.67 } },
+    PopSite {
+        code: "sntgchl1",
+        city: "Santiago",
+        country_str: "CL",
+        point: GeoPoint {
+            lat: -33.45,
+            lon: -70.67,
+        },
+    },
 ];
 
 /// Look up a PoP by reverse-DNS code.

@@ -38,7 +38,10 @@ macro_rules! site {
             root: RootServer::$root,
             city: $city,
             country_str: $cc,
-            point: GeoPoint { lat: $lat, lon: $lon },
+            point: GeoPoint {
+                lat: $lat,
+                lon: $lon,
+            },
         }
     };
 }

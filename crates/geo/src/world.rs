@@ -160,32 +160,240 @@ pub struct UsState {
 /// The states that host probes in the synthetic Atlas deployment (a
 /// superset of those called out in the paper's Figure 8 narrative).
 pub const US_STATES: &[UsState] = &[
-    UsState { code: "NY", name: "New York", region: UsRegion::Northeast, point: GeoPoint { lat: 42.9, lon: -75.5 } },
-    UsState { code: "PA", name: "Pennsylvania", region: UsRegion::Northeast, point: GeoPoint { lat: 40.9, lon: -77.8 } },
-    UsState { code: "MA", name: "Massachusetts", region: UsRegion::Northeast, point: GeoPoint { lat: 42.3, lon: -71.8 } },
-    UsState { code: "VA", name: "Virginia", region: UsRegion::Southeast, point: GeoPoint { lat: 37.5, lon: -78.9 } },
-    UsState { code: "FL", name: "Florida", region: UsRegion::Southeast, point: GeoPoint { lat: 28.6, lon: -82.4 } },
-    UsState { code: "GA", name: "Georgia", region: UsRegion::Southeast, point: GeoPoint { lat: 32.6, lon: -83.4 } },
-    UsState { code: "MO", name: "Missouri", region: UsRegion::Central, point: GeoPoint { lat: 38.4, lon: -92.5 } },
-    UsState { code: "KS", name: "Kansas", region: UsRegion::Central, point: GeoPoint { lat: 38.5, lon: -98.4 } },
-    UsState { code: "MN", name: "Minnesota", region: UsRegion::Central, point: GeoPoint { lat: 46.3, lon: -94.3 } },
-    UsState { code: "IL", name: "Illinois", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 40.0, lon: -89.2 } },
-    UsState { code: "OH", name: "Ohio", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 40.3, lon: -82.8 } },
-    UsState { code: "MI", name: "Michigan", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 44.3, lon: -85.4 } },
-    UsState { code: "WI", name: "Wisconsin", region: UsRegion::EastNorthCentral, point: GeoPoint { lat: 44.6, lon: -89.9 } },
-    UsState { code: "TX", name: "Texas", region: UsRegion::South, point: GeoPoint { lat: 31.5, lon: -98.5 } },
-    UsState { code: "OK", name: "Oklahoma", region: UsRegion::South, point: GeoPoint { lat: 35.6, lon: -97.5 } },
-    UsState { code: "AZ", name: "Arizona", region: UsRegion::Southwest, point: GeoPoint { lat: 34.3, lon: -111.7 } },
-    UsState { code: "NM", name: "New Mexico", region: UsRegion::Southwest, point: GeoPoint { lat: 34.4, lon: -106.1 } },
-    UsState { code: "NV", name: "Nevada", region: UsRegion::Southwest, point: GeoPoint { lat: 39.3, lon: -116.6 } },
-    UsState { code: "CA", name: "California", region: UsRegion::West, point: GeoPoint { lat: 37.2, lon: -119.3 } },
-    UsState { code: "CO", name: "Colorado", region: UsRegion::West, point: GeoPoint { lat: 39.0, lon: -105.5 } },
-    UsState { code: "UT", name: "Utah", region: UsRegion::West, point: GeoPoint { lat: 39.3, lon: -111.7 } },
-    UsState { code: "OR", name: "Oregon", region: UsRegion::Northwest, point: GeoPoint { lat: 44.0, lon: -120.5 } },
-    UsState { code: "WA", name: "Washington", region: UsRegion::Northwest, point: GeoPoint { lat: 47.4, lon: -120.5 } },
-    UsState { code: "ID", name: "Idaho", region: UsRegion::Northwest, point: GeoPoint { lat: 44.4, lon: -114.6 } },
-    UsState { code: "MT", name: "Montana", region: UsRegion::Northwest, point: GeoPoint { lat: 47.0, lon: -109.6 } },
-    UsState { code: "AK", name: "Alaska", region: UsRegion::Alaska, point: GeoPoint { lat: 61.2, lon: -149.9 } },
+    UsState {
+        code: "NY",
+        name: "New York",
+        region: UsRegion::Northeast,
+        point: GeoPoint {
+            lat: 42.9,
+            lon: -75.5,
+        },
+    },
+    UsState {
+        code: "PA",
+        name: "Pennsylvania",
+        region: UsRegion::Northeast,
+        point: GeoPoint {
+            lat: 40.9,
+            lon: -77.8,
+        },
+    },
+    UsState {
+        code: "MA",
+        name: "Massachusetts",
+        region: UsRegion::Northeast,
+        point: GeoPoint {
+            lat: 42.3,
+            lon: -71.8,
+        },
+    },
+    UsState {
+        code: "VA",
+        name: "Virginia",
+        region: UsRegion::Southeast,
+        point: GeoPoint {
+            lat: 37.5,
+            lon: -78.9,
+        },
+    },
+    UsState {
+        code: "FL",
+        name: "Florida",
+        region: UsRegion::Southeast,
+        point: GeoPoint {
+            lat: 28.6,
+            lon: -82.4,
+        },
+    },
+    UsState {
+        code: "GA",
+        name: "Georgia",
+        region: UsRegion::Southeast,
+        point: GeoPoint {
+            lat: 32.6,
+            lon: -83.4,
+        },
+    },
+    UsState {
+        code: "MO",
+        name: "Missouri",
+        region: UsRegion::Central,
+        point: GeoPoint {
+            lat: 38.4,
+            lon: -92.5,
+        },
+    },
+    UsState {
+        code: "KS",
+        name: "Kansas",
+        region: UsRegion::Central,
+        point: GeoPoint {
+            lat: 38.5,
+            lon: -98.4,
+        },
+    },
+    UsState {
+        code: "MN",
+        name: "Minnesota",
+        region: UsRegion::Central,
+        point: GeoPoint {
+            lat: 46.3,
+            lon: -94.3,
+        },
+    },
+    UsState {
+        code: "IL",
+        name: "Illinois",
+        region: UsRegion::EastNorthCentral,
+        point: GeoPoint {
+            lat: 40.0,
+            lon: -89.2,
+        },
+    },
+    UsState {
+        code: "OH",
+        name: "Ohio",
+        region: UsRegion::EastNorthCentral,
+        point: GeoPoint {
+            lat: 40.3,
+            lon: -82.8,
+        },
+    },
+    UsState {
+        code: "MI",
+        name: "Michigan",
+        region: UsRegion::EastNorthCentral,
+        point: GeoPoint {
+            lat: 44.3,
+            lon: -85.4,
+        },
+    },
+    UsState {
+        code: "WI",
+        name: "Wisconsin",
+        region: UsRegion::EastNorthCentral,
+        point: GeoPoint {
+            lat: 44.6,
+            lon: -89.9,
+        },
+    },
+    UsState {
+        code: "TX",
+        name: "Texas",
+        region: UsRegion::South,
+        point: GeoPoint {
+            lat: 31.5,
+            lon: -98.5,
+        },
+    },
+    UsState {
+        code: "OK",
+        name: "Oklahoma",
+        region: UsRegion::South,
+        point: GeoPoint {
+            lat: 35.6,
+            lon: -97.5,
+        },
+    },
+    UsState {
+        code: "AZ",
+        name: "Arizona",
+        region: UsRegion::Southwest,
+        point: GeoPoint {
+            lat: 34.3,
+            lon: -111.7,
+        },
+    },
+    UsState {
+        code: "NM",
+        name: "New Mexico",
+        region: UsRegion::Southwest,
+        point: GeoPoint {
+            lat: 34.4,
+            lon: -106.1,
+        },
+    },
+    UsState {
+        code: "NV",
+        name: "Nevada",
+        region: UsRegion::Southwest,
+        point: GeoPoint {
+            lat: 39.3,
+            lon: -116.6,
+        },
+    },
+    UsState {
+        code: "CA",
+        name: "California",
+        region: UsRegion::West,
+        point: GeoPoint {
+            lat: 37.2,
+            lon: -119.3,
+        },
+    },
+    UsState {
+        code: "CO",
+        name: "Colorado",
+        region: UsRegion::West,
+        point: GeoPoint {
+            lat: 39.0,
+            lon: -105.5,
+        },
+    },
+    UsState {
+        code: "UT",
+        name: "Utah",
+        region: UsRegion::West,
+        point: GeoPoint {
+            lat: 39.3,
+            lon: -111.7,
+        },
+    },
+    UsState {
+        code: "OR",
+        name: "Oregon",
+        region: UsRegion::Northwest,
+        point: GeoPoint {
+            lat: 44.0,
+            lon: -120.5,
+        },
+    },
+    UsState {
+        code: "WA",
+        name: "Washington",
+        region: UsRegion::Northwest,
+        point: GeoPoint {
+            lat: 47.4,
+            lon: -120.5,
+        },
+    },
+    UsState {
+        code: "ID",
+        name: "Idaho",
+        region: UsRegion::Northwest,
+        point: GeoPoint {
+            lat: 44.4,
+            lon: -114.6,
+        },
+    },
+    UsState {
+        code: "MT",
+        name: "Montana",
+        region: UsRegion::Northwest,
+        point: GeoPoint {
+            lat: 47.0,
+            lon: -109.6,
+        },
+    },
+    UsState {
+        code: "AK",
+        name: "Alaska",
+        region: UsRegion::Alaska,
+        point: GeoPoint {
+            lat: 61.2,
+            lon: -149.9,
+        },
+    },
 ];
 
 /// Look up a US state by postal code.
@@ -199,7 +407,10 @@ mod tests {
 
     #[test]
     fn probe_countries_all_mapped() {
-        for code in ["AT", "AU", "BE", "CA", "CL", "DE", "ES", "FR", "GB", "IT", "NL", "NZ", "PH", "PL", "US"] {
+        for code in [
+            "AT", "AU", "BE", "CA", "CL", "DE", "ES", "FR", "GB", "IT", "NL", "NZ", "PH", "PL",
+            "US",
+        ] {
             assert!(
                 continent_of(CountryCode::new(code)).is_some(),
                 "unmapped probe country {code}"
@@ -209,10 +420,19 @@ mod tests {
 
     #[test]
     fn continent_assignments_spot_checks() {
-        assert_eq!(continent_of(CountryCode::new("NZ")), Some(Continent::Oceania));
-        assert_eq!(continent_of(CountryCode::new("CL")), Some(Continent::SouthAmerica));
+        assert_eq!(
+            continent_of(CountryCode::new("NZ")),
+            Some(Continent::Oceania)
+        );
+        assert_eq!(
+            continent_of(CountryCode::new("CL")),
+            Some(Continent::SouthAmerica)
+        );
         assert_eq!(continent_of(CountryCode::new("PH")), Some(Continent::Asia));
-        assert_eq!(continent_of(CountryCode::new("DE")), Some(Continent::Europe));
+        assert_eq!(
+            continent_of(CountryCode::new("DE")),
+            Some(Continent::Europe)
+        );
         assert_eq!(continent_of(CountryCode::new("ZZ")), None);
     }
 

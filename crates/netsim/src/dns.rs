@@ -65,8 +65,7 @@ mod tests {
     fn misses_add_upstream_cost() {
         let r = resolver(50.0, 0.0);
         let mut rng = Rng::new(2);
-        let mean: f64 =
-            (0..500).map(|_| r.lookup(&mut rng).0).sum::<f64>() / 500.0;
+        let mean: f64 = (0..500).map(|_| r.lookup(&mut rng).0).sum::<f64>() / 500.0;
         assert!((mean - 200.0).abs() < 5.0, "mean {mean}");
     }
 

@@ -70,7 +70,11 @@ pub struct EventQueue<E> {
 
 impl<E: Eq> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 }
 
@@ -99,7 +103,11 @@ impl<E: Eq> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time: at, seq, event }));
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     /// Schedule `event` after a relative delay in milliseconds.

@@ -60,7 +60,12 @@ impl StaticPath {
     /// A clean path with the given RTT and rate, no random loss, 100 ms
     /// of buffer.
     pub fn clean(rtt_ms: f64, rate_mbps: f64) -> StaticPath {
-        StaticPath { rtt_ms, loss: 0.0, rate_mbps, buffer_ms: 100.0 }
+        StaticPath {
+            rtt_ms,
+            loss: 0.0,
+            rate_mbps,
+            buffer_ms: 100.0,
+        }
     }
 }
 
@@ -116,7 +121,10 @@ impl PathDynamics for SteppedPath {
     }
 
     fn generation(&self, t_secs: f64) -> u64 {
-        self.steps.iter().take_while(|&&(until, _)| t_secs >= until).count() as u64
+        self.steps
+            .iter()
+            .take_while(|&&(until, _)| t_secs >= until)
+            .count() as u64
     }
 
     fn handoff_loss_prob(&self) -> f64 {

@@ -38,8 +38,10 @@ impl PepParams {
     /// sliver (0.1 %) of satellite-segment losses before the end-to-end
     /// connection notices; the sender-side segment is 40 ms of
     /// terrestrial path.
-    pub const TYPICAL: PepParams =
-        PepParams { residual_loss_factor: 0.001, local_rtt_ms: 40.0 };
+    pub const TYPICAL: PepParams = PepParams {
+        residual_loss_factor: 0.001,
+        local_rtt_ms: 40.0,
+    };
 }
 
 impl PepMode {
@@ -62,9 +64,7 @@ impl PepMode {
     pub fn growth_steps(&self, sat_rtt_ms: f64) -> u32 {
         match self {
             PepMode::None => 1,
-            PepMode::SplitConnection(p) => {
-                (sat_rtt_ms / p.local_rtt_ms).floor().max(1.0) as u32
-            }
+            PepMode::SplitConnection(p) => (sat_rtt_ms / p.local_rtt_ms).floor().max(1.0) as u32,
         }
     }
 }

@@ -114,9 +114,12 @@ impl TcpStats {
         if self.rtt_samples.len() < 2 {
             return None;
         }
-        let floor = self.rtt_samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let excursions: Vec<f64> =
-            self.rtt_samples.iter().map(|&r| r - floor).collect();
+        let floor = self
+            .rtt_samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let excursions: Vec<f64> = self.rtt_samples.iter().map(|&r| r - floor).collect();
         sno_stats::quantile(&excursions, 0.95).map(Millis)
     }
 
@@ -131,7 +134,10 @@ impl TcpStats {
 
     /// Mean goodput over the flow's lifetime.
     pub fn mean_throughput(&self) -> Mbps {
-        Mbps::from_bytes(self.bytes_acked as f64, Millis(self.duration_secs * 1_000.0))
+        Mbps::from_bytes(
+            self.bytes_acked as f64,
+            Millis(self.duration_secs * 1_000.0),
+        )
     }
 }
 
@@ -204,9 +210,8 @@ impl TcpFlow {
             let queue_pkts = (cwnd - bdp_pkts).max(0.0);
             let queue_delay = (queue_pkts / rate_pkts_per_ms).min(path.buffer_ms());
             let overflow = (queue_pkts - buffer_pkts).max(0.0).round() as u64;
-            let rtt = (base_rtt + queue_delay
-                + rng.normal_with(0.0, cfg.rtt_noise_ms))
-            .max(base_rtt * 0.5);
+            let rtt = (base_rtt + queue_delay + rng.normal_with(0.0, cfg.rtt_noise_ms))
+                .max(base_rtt * 0.5);
             stats.rtt_samples.push(rtt);
 
             // RFC 6298 RTO estimation.
@@ -220,8 +225,8 @@ impl TcpFlow {
                     srtt = Some(0.875 * s + 0.125 * rtt);
                 }
             }
-            rto_ms = (srtt.expect("set above") + 4.0 * rttvar)
-                .clamp(cfg.min_rto_ms, cfg.max_rto_ms);
+            rto_ms =
+                (srtt.expect("set above") + 4.0 * rttvar).clamp(cfg.min_rto_ms, cfg.max_rto_ms);
 
             // Send a window.
             let pkts = cwnd.round().max(1.0) as u64;
@@ -317,7 +322,11 @@ mod tests {
     fn throughput_bounded_by_bottleneck() {
         let path = StaticPath::clean(20.0, 10.0);
         let stats = run(&path, TcpConfig::ndt(), 2);
-        assert!(stats.mean_throughput().0 <= 10.5, "{}", stats.mean_throughput());
+        assert!(
+            stats.mean_throughput().0 <= 10.5,
+            "{}",
+            stats.mean_throughput()
+        );
     }
 
     #[test]
@@ -331,10 +340,20 @@ mod tests {
     #[test]
     fn lossy_long_path_retransmits_heavily() {
         // GEO without PEP: noisy Ka-band link at 600 ms RTT.
-        let geo = StaticPath { rtt_ms: 600.0, loss: 0.03, rate_mbps: 20.0, buffer_ms: 300.0 };
+        let geo = StaticPath {
+            rtt_ms: 600.0,
+            loss: 0.03,
+            rate_mbps: 20.0,
+            buffer_ms: 300.0,
+        };
         let geo_stats = run(&geo, TcpConfig::ndt(), 4);
         // LEO: clean short path.
-        let leo = StaticPath { rtt_ms: 50.0, loss: 0.003, rate_mbps: 100.0, buffer_ms: 60.0 };
+        let leo = StaticPath {
+            rtt_ms: 50.0,
+            loss: 0.003,
+            rate_mbps: 100.0,
+            buffer_ms: 60.0,
+        };
         let leo_stats = run(&leo, TcpConfig::ndt(), 5);
         assert!(
             geo_stats.retrans_fraction() > 3.0 * leo_stats.retrans_fraction(),
@@ -348,11 +367,19 @@ mod tests {
 
     #[test]
     fn pep_suppresses_retransmissions_and_speeds_ramp() {
-        let geo = StaticPath { rtt_ms: 600.0, loss: 0.015, rate_mbps: 20.0, buffer_ms: 300.0 };
+        let geo = StaticPath {
+            rtt_ms: 600.0,
+            loss: 0.015,
+            rate_mbps: 20.0,
+            buffer_ms: 300.0,
+        };
         let plain = run(&geo, TcpConfig::ndt(), 6);
         let pepped = run(
             &geo,
-            TcpConfig { pep: PepMode::typical(), ..TcpConfig::ndt() },
+            TcpConfig {
+                pep: PepMode::typical(),
+                ..TcpConfig::ndt()
+            },
             6,
         );
         assert!(
@@ -421,10 +448,22 @@ mod tests {
         let steps: Vec<(f64, f64)> = (1..60)
             .map(|k| (k as f64, 45.0 + 12.0 * ((k * 7) % 5) as f64 / 4.0))
             .collect();
-        let stepped =
-            SteppedPath { steps, loss: 0.0, rate_mbps: 2_000.0, handoff_loss: 0.0 };
-        let flat = StaticPath { rtt_ms: 50.0, loss: 0.0, rate_mbps: 2_000.0, buffer_ms: 100.0 };
-        let cfg = TcpConfig { rtt_noise_ms: 0.2, ..TcpConfig::ndt() };
+        let stepped = SteppedPath {
+            steps,
+            loss: 0.0,
+            rate_mbps: 2_000.0,
+            handoff_loss: 0.0,
+        };
+        let flat = StaticPath {
+            rtt_ms: 50.0,
+            loss: 0.0,
+            rate_mbps: 2_000.0,
+            buffer_ms: 100.0,
+        };
+        let cfg = TcpConfig {
+            rtt_noise_ms: 0.2,
+            ..TcpConfig::ndt()
+        };
         let js = run(&stepped, cfg.clone(), 10).jitter_p95().unwrap().0;
         let jf = run(&flat, cfg, 10).jitter_p95().unwrap().0;
         assert!(js > jf + 5.0, "stepped {js} vs flat {jf}");
@@ -432,8 +471,18 @@ mod tests {
 
     #[test]
     fn deep_buffers_bloat_the_rtt() {
-        let shallow = StaticPath { rtt_ms: 600.0, loss: 0.0, rate_mbps: 20.0, buffer_ms: 50.0 };
-        let deep = StaticPath { rtt_ms: 600.0, loss: 0.0, rate_mbps: 20.0, buffer_ms: 400.0 };
+        let shallow = StaticPath {
+            rtt_ms: 600.0,
+            loss: 0.0,
+            rate_mbps: 20.0,
+            buffer_ms: 50.0,
+        };
+        let deep = StaticPath {
+            rtt_ms: 600.0,
+            loss: 0.0,
+            rate_mbps: 20.0,
+            buffer_ms: 400.0,
+        };
         let cfg = TcpConfig::ndt();
         let s = run(&shallow, cfg.clone(), 11);
         let d = run(&deep, cfg, 11);
@@ -448,7 +497,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let path = StaticPath { rtt_ms: 80.0, loss: 0.01, rate_mbps: 30.0, buffer_ms: 100.0 };
+        let path = StaticPath {
+            rtt_ms: 80.0,
+            loss: 0.01,
+            rate_mbps: 30.0,
+            buffer_ms: 100.0,
+        };
         let a = run(&path, TcpConfig::ndt(), 42);
         let b = run(&path, TcpConfig::ndt(), 42);
         assert_eq!(a.bytes_acked, b.bytes_acked);

@@ -33,7 +33,11 @@ impl TracerouteEngine {
     /// Build an engine over `hops` with 5% of measurements failing to
     /// reach the target and light measurement noise.
     pub fn new(hops: Vec<HopSpec>) -> TracerouteEngine {
-        TracerouteEngine { hops, noise_ms: 1.5, unreachable_prob: 0.05 }
+        TracerouteEngine {
+            hops,
+            noise_ms: 1.5,
+            unreachable_prob: 0.05,
+        }
     }
 
     /// Run one measurement at `timestamp` from `probe`.
@@ -60,9 +64,18 @@ impl TracerouteEngine {
             // below the path floor already observed.
             let rtt = (spec.rtt.0 + rng.normal_with(0.0, self.noise_ms)).max(floor);
             floor = rtt.min(spec.rtt.0); // later hops may dip below noise peaks but not below spec
-            hops.push(TraceHop { addr: spec.addr, rtt: Millis(rtt) });
+            hops.push(TraceHop {
+                addr: spec.addr,
+                rtt: Millis(rtt),
+            });
         }
-        TracerouteRecord { probe, timestamp, target, hops, reached }
+        TracerouteRecord {
+            probe,
+            timestamp,
+            target,
+            hops,
+            reached,
+        }
     }
 }
 
@@ -73,16 +86,31 @@ mod tests {
 
     fn engine() -> TracerouteEngine {
         TracerouteEngine::new(vec![
-            HopSpec { addr: Ipv4::new(192, 168, 1, 1), rtt: Millis(1.0) },
-            HopSpec { addr: Ipv4::CGNAT_GATEWAY, rtt: Millis(35.0) },
-            HopSpec { addr: Ipv4::new(206, 224, 64, 1), rtt: Millis(38.0) },
-            HopSpec { addr: Ipv4::new(193, 0, 14, 129), rtt: Millis(52.0) },
+            HopSpec {
+                addr: Ipv4::new(192, 168, 1, 1),
+                rtt: Millis(1.0),
+            },
+            HopSpec {
+                addr: Ipv4::CGNAT_GATEWAY,
+                rtt: Millis(35.0),
+            },
+            HopSpec {
+                addr: Ipv4::new(206, 224, 64, 1),
+                rtt: Millis(38.0),
+            },
+            HopSpec {
+                addr: Ipv4::new(193, 0, 14, 129),
+                rtt: Millis(52.0),
+            },
         ])
     }
 
     #[test]
     fn records_have_all_hops_when_reached() {
-        let e = TracerouteEngine { unreachable_prob: 0.0, ..engine() };
+        let e = TracerouteEngine {
+            unreachable_prob: 0.0,
+            ..engine()
+        };
         let rec = e.measure(ProbeId(1), Timestamp(0), RootServer::K, &mut Rng::new(1));
         assert!(rec.reached);
         assert_eq!(rec.hops.len(), 4);
@@ -93,7 +121,10 @@ mod tests {
 
     #[test]
     fn unreached_records_lack_final_hop() {
-        let e = TracerouteEngine { unreachable_prob: 1.0, ..engine() };
+        let e = TracerouteEngine {
+            unreachable_prob: 1.0,
+            ..engine()
+        };
         let rec = e.measure(ProbeId(1), Timestamp(0), RootServer::K, &mut Rng::new(2));
         assert!(!rec.reached);
         assert_eq!(rec.hops.len(), 3);
@@ -104,7 +135,10 @@ mod tests {
 
     #[test]
     fn noise_varies_across_measurements() {
-        let e = TracerouteEngine { unreachable_prob: 0.0, ..engine() };
+        let e = TracerouteEngine {
+            unreachable_prob: 0.0,
+            ..engine()
+        };
         let mut rng = Rng::new(3);
         let a = e.measure(ProbeId(1), Timestamp(0), RootServer::A, &mut rng);
         let b = e.measure(ProbeId(1), Timestamp(60), RootServer::A, &mut rng);
@@ -133,12 +167,16 @@ mod tests {
 
     #[test]
     fn failure_rate_matches_probability() {
-        let e = TracerouteEngine { unreachable_prob: 0.2, ..engine() };
+        let e = TracerouteEngine {
+            unreachable_prob: 0.2,
+            ..engine()
+        };
         let mut rng = Rng::new(5);
         let n = 5_000;
         let failures = (0..n)
             .filter(|&i| {
-                !e.measure(ProbeId(1), Timestamp(i), RootServer::C, &mut rng).reached
+                !e.measure(ProbeId(1), Timestamp(i), RootServer::C, &mut rng)
+                    .reached
             })
             .count();
         let rate = failures as f64 / n as f64;

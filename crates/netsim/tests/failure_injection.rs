@@ -85,7 +85,12 @@ fn flapping_path_delivers_between_outages() {
 
 #[test]
 fn total_loss_is_a_livelock_free_zero() {
-    let path = StaticPath { rtt_ms: 100.0, loss: 1.0, rate_mbps: 10.0, buffer_ms: 100.0 };
+    let path = StaticPath {
+        rtt_ms: 100.0,
+        loss: 1.0,
+        rate_mbps: 10.0,
+        buffer_ms: 100.0,
+    };
     let stats = run(&path, 3);
     assert_eq!(stats.bytes_acked, 0);
     assert!(stats.bytes_retrans > 0);
@@ -98,7 +103,11 @@ fn tiny_bottleneck_still_progresses() {
     let path = StaticPath::clean(200.0, 0.064);
     let stats = run(&path, 4);
     assert!(stats.bytes_acked > 0);
-    assert!(stats.mean_throughput().0 <= 0.08, "{}", stats.mean_throughput());
+    assert!(
+        stats.mean_throughput().0 <= 0.08,
+        "{}",
+        stats.mean_throughput()
+    );
 }
 
 #[test]
@@ -112,9 +121,15 @@ fn absurdly_long_rtt_terminates() {
 
 #[test]
 fn pep_cannot_resurrect_a_dead_path() {
-    let path = DyingPath { inner: StaticPath::clean(600.0, 20.0), dies_at: 0.0 };
-    let stats = TcpFlow::new(TcpConfig { pep: PepMode::typical(), ..TcpConfig::ndt() })
-        .run(&path, 0.0, &mut Rng::new(6));
+    let path = DyingPath {
+        inner: StaticPath::clean(600.0, 20.0),
+        dies_at: 0.0,
+    };
+    let stats = TcpFlow::new(TcpConfig {
+        pep: PepMode::typical(),
+        ..TcpConfig::ndt()
+    })
+    .run(&path, 0.0, &mut Rng::new(6));
     assert_eq!(stats.bytes_acked, 0);
     assert!(stats.timeouts > 0);
 }
@@ -126,7 +141,11 @@ fn byte_limited_flow_over_flapping_path_eventually_completes_or_gives_up() {
         up_secs: 1.0,
         down_secs: 0.5,
     };
-    let cfg = TcpConfig { byte_limit: 2_000_000, max_duration_secs: 60.0, ..TcpConfig::ndt() };
+    let cfg = TcpConfig {
+        byte_limit: 2_000_000,
+        max_duration_secs: 60.0,
+        ..TcpConfig::ndt()
+    };
     let stats = TcpFlow::new(cfg).run(&path, 0.0, &mut Rng::new(7));
     assert!(stats.completed, "2 MB over a mostly-up path within 60 s");
     assert!(stats.bytes_acked >= 2_000_000);
@@ -138,7 +157,10 @@ fn traceroute_with_total_packet_loss_reports_unreached() {
     use sno_types::records::RootServer;
     use sno_types::{Ipv4, Millis, ProbeId, Timestamp};
     let engine = TracerouteEngine {
-        hops: vec![HopSpec { addr: Ipv4::new(10, 0, 0, 1), rtt: Millis(5.0) }],
+        hops: vec![HopSpec {
+            addr: Ipv4::new(10, 0, 0, 1),
+            rtt: Millis(5.0),
+        }],
         noise_ms: 1.0,
         unreachable_prob: 1.0,
     };

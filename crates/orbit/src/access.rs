@@ -68,9 +68,7 @@ impl BentPipe {
         let vis = self
             .shell
             .best_visible(self.user, epoch_start, self.min_elevation_deg)?;
-        let sat = self
-            .shell
-            .sat_position(vis.plane, vis.index, epoch_start);
+        let sat = self.shell.sat_position(vis.plane, vis.index, epoch_start);
         let up = vis.slant;
         let down = sat.distance_to(self.gateway);
         Some(Millis::light_over(Kilometers(2.0 * (up.0 + down.0))))
@@ -111,9 +109,9 @@ impl MeoAccess {
 
     /// Bent-pipe propagation RTT at `t_secs`.
     pub fn propagation_rtt(&self, t_secs: f64) -> Option<Millis> {
-        let (index, up, _) =
-            self.ring
-                .best_visible(self.user, t_secs, self.min_elevation_deg)?;
+        let (index, up, _) = self
+            .ring
+            .best_visible(self.user, t_secs, self.min_elevation_deg)?;
         let sat = self.ring.sat_position(index, t_secs);
         let down = sat.distance_to(self.gateway);
         Some(Millis::light_over(Kilometers(2.0 * (up.0 + down.0))))
@@ -297,11 +295,7 @@ mod tests {
 
     #[test]
     fn out_of_coverage_user_has_no_rtt() {
-        let access = MeoAccess::new(
-            O3B_RING,
-            GeoPoint::new(70.0, 0.0),
-            GeoPoint::new(0.0, 0.0),
-        );
+        let access = MeoAccess::new(O3B_RING, GeoPoint::new(70.0, 0.0), GeoPoint::new(0.0, 0.0));
         assert!(access.propagation_rtt(0.0).is_none());
         assert!(access.generation(0.0).is_none());
     }

@@ -73,9 +73,7 @@ mod tests {
         let obs = ecef_of(GeoPoint::new(40.0, -95.0));
         let (slant, _) = slot.visible_from(obs, 5.0).unwrap();
         assert!((37_000.0..38_200.0).contains(&slant.0), "slant {slant}");
-        let one_way = sno_types::Millis::light_over(
-            sno_types::Kilometers(2.0 * slant.0),
-        );
+        let one_way = sno_types::Millis::light_over(sno_types::Kilometers(2.0 * slant.0));
         assert!((one_way.0 - 250.0).abs() < 10.0, "one-way {one_way}");
     }
 

@@ -21,7 +21,10 @@ pub struct MeoRing {
 
 /// The O3b ring: 8 062 km, 20 satellites (the fleet size in the study
 /// window).
-pub const O3B_RING: MeoRing = MeoRing { altitude_km: 8_062.0, sats: 20 };
+pub const O3B_RING: MeoRing = MeoRing {
+    altitude_km: 8_062.0,
+    sats: 20,
+};
 
 impl MeoRing {
     /// Orbital radius, km.

@@ -92,12 +92,10 @@ impl Shell {
         let inc = self.inclination_deg.to_radians();
         let mean_motion = TAU / self.period_secs();
         // Ascending node in ECEF (inertial node minus Earth rotation).
-        let raan = TAU * f64::from(plane) / f64::from(self.planes)
-            - EARTH_ROTATION_RAD_S * t_secs;
+        let raan = TAU * f64::from(plane) / f64::from(self.planes) - EARTH_ROTATION_RAD_S * t_secs;
         // Argument of latitude: initial spacing + Walker phasing + motion.
         let u = TAU * f64::from(index) / f64::from(self.sats_per_plane)
-            + TAU * f64::from(self.phasing) * f64::from(plane)
-                / f64::from(self.num_sats())
+            + TAU * f64::from(self.phasing) * f64::from(plane) / f64::from(self.num_sats())
             + mean_motion * t_secs;
         let (sin_u, cos_u) = u.sin_cos();
         let (sin_raan, cos_raan) = raan.sin_cos();
@@ -236,8 +234,7 @@ mod tests {
         let obs = ecef_of(GeoPoint::new(0.0, 0.0));
         let v = ONEWEB_SHELL.best_visible(obs, 123.0, 10.0).unwrap();
         assert!(v.slant.0 >= ONEWEB_SHELL.altitude_km - 1.0);
-        let horizon =
-            ((ONEWEB_SHELL.orbit_radius_km()).powi(2) - EARTH_RADIUS_KM.powi(2)).sqrt();
+        let horizon = ((ONEWEB_SHELL.orbit_radius_km()).powi(2) - EARTH_RADIUS_KM.powi(2)).sqrt();
         assert!(v.slant.0 <= horizon);
     }
 }

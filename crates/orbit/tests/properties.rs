@@ -1,6 +1,6 @@
 //! Property-based tests for the orbital geometry.
 
-use proptest::prelude::*;
+use sno_check::prelude::*;
 use sno_geo::GeoPoint;
 use sno_orbit::access::{BentPipe, GeoAccess, MeoAccess, HANDOFF_PERIOD_SECS};
 use sno_orbit::geostationary::{GeoSlot, GEO_ALTITUDE_KM};
@@ -9,7 +9,7 @@ use sno_orbit::shell::{ONEWEB_SHELL, STARLINK_SHELL};
 use sno_orbit::vec3::{ecef_of, elevation_deg, EARTH_RADIUS_KM};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Every satellite of every modelled system stays on its sphere at
     /// all times.

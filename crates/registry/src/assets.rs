@@ -49,56 +49,161 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
         // window — all traffic egresses in the US, which is exactly why
         // its median latency (154 ms) dwarfs Starlink's (56 ms).
         Operator::Oneweb => vec![
-            GeoPoint { lat: 39.0, lon: -77.5 },  // Ashburn
-            GeoPoint { lat: 41.9, lon: -87.6 },  // Chicago
+            GeoPoint {
+                lat: 39.0,
+                lon: -77.5,
+            }, // Ashburn
+            GeoPoint {
+                lat: 41.9,
+                lon: -87.6,
+            }, // Chicago
         ],
         // O3b/SES: well-connected teleports on three continents.
         Operator::O3b | Operator::Ses => vec![
-            GeoPoint { lat: 49.7, lon: 6.3 },    // Betzdorf (LU)
-            GeoPoint { lat: 39.0, lon: -77.5 },  // Ashburn
-            GeoPoint { lat: 1.35, lon: 103.8 },  // Singapore
+            GeoPoint {
+                lat: 49.7,
+                lon: 6.3,
+            }, // Betzdorf (LU)
+            GeoPoint {
+                lat: 39.0,
+                lon: -77.5,
+            }, // Ashburn
+            GeoPoint {
+                lat: 1.35,
+                lon: 103.8,
+            }, // Singapore
         ],
         Operator::Viasat => vec![
-            GeoPoint { lat: 33.1, lon: -117.1 }, // Carlsbad
-            GeoPoint { lat: 39.0, lon: -77.5 },  // Ashburn
-            GeoPoint { lat: -23.5, lon: -46.6 }, // São Paulo
+            GeoPoint {
+                lat: 33.1,
+                lon: -117.1,
+            }, // Carlsbad
+            GeoPoint {
+                lat: 39.0,
+                lon: -77.5,
+            }, // Ashburn
+            GeoPoint {
+                lat: -23.5,
+                lon: -46.6,
+            }, // São Paulo
         ],
         Operator::Hughes => vec![
-            GeoPoint { lat: 39.2, lon: -77.3 },  // Germantown
-            GeoPoint { lat: 34.0, lon: -118.2 }, // Los Angeles
+            GeoPoint {
+                lat: 39.2,
+                lon: -77.3,
+            }, // Germantown
+            GeoPoint {
+                lat: 34.0,
+                lon: -118.2,
+            }, // Los Angeles
         ],
-        Operator::Telalaska => vec![GeoPoint { lat: 61.2, lon: -149.9 }], // Anchorage
-        Operator::Eutelsat => vec![GeoPoint { lat: 48.9, lon: 2.3 }],    // Paris
-        Operator::Avanti => vec![GeoPoint { lat: 51.5, lon: -0.1 }],     // London
-        Operator::HellasSat => vec![GeoPoint { lat: 38.0, lon: 23.7 }],  // Athens
-        Operator::Kacific => vec![GeoPoint { lat: -33.9, lon: 151.2 }],  // Sydney
+        Operator::Telalaska => vec![GeoPoint {
+            lat: 61.2,
+            lon: -149.9,
+        }], // Anchorage
+        Operator::Eutelsat => vec![GeoPoint {
+            lat: 48.9,
+            lon: 2.3,
+        }], // Paris
+        Operator::Avanti => vec![GeoPoint {
+            lat: 51.5,
+            lon: -0.1,
+        }], // London
+        Operator::HellasSat => vec![GeoPoint {
+            lat: 38.0,
+            lon: 23.7,
+        }], // Athens
+        Operator::Kacific => vec![GeoPoint {
+            lat: -33.9,
+            lon: 151.2,
+        }], // Sydney
         // Maritime fleets land at a handful of teleports.
         Operator::Marlink => vec![
-            GeoPoint { lat: 59.9, lon: 10.7 },   // Oslo
-            GeoPoint { lat: 40.0, lon: -75.0 },  // US East
+            GeoPoint {
+                lat: 59.9,
+                lon: 10.7,
+            }, // Oslo
+            GeoPoint {
+                lat: 40.0,
+                lon: -75.0,
+            }, // US East
         ],
-        Operator::Kvh => vec![GeoPoint { lat: 41.5, lon: -71.3 }], // Rhode Island
+        Operator::Kvh => vec![GeoPoint {
+            lat: 41.5,
+            lon: -71.3,
+        }], // Rhode Island
         // Everyone else: one teleport near the home market.
         _ => {
             let p = crate::profile::profile_of(op);
             let point = match p.country {
-                "US" => GeoPoint { lat: 39.0, lon: -98.0 },
-                "CA" => GeoPoint { lat: 45.4, lon: -75.7 },
-                "MX" => GeoPoint { lat: 19.4, lon: -99.1 },
-                "BR" => GeoPoint { lat: -23.5, lon: -46.6 },
-                "GB" => GeoPoint { lat: 51.5, lon: -0.1 },
-                "FR" => GeoPoint { lat: 48.9, lon: 2.3 },
-                "GR" => GeoPoint { lat: 38.0, lon: 23.7 },
-                "NO" => GeoPoint { lat: 59.9, lon: 10.7 },
-                "LU" => GeoPoint { lat: 49.6, lon: 6.1 },
-                "RU" => GeoPoint { lat: 55.8, lon: 37.6 },
-                "AU" => GeoPoint { lat: -33.9, lon: 151.2 },
-                "PG" => GeoPoint { lat: -9.4, lon: 147.2 },
-                "SG" => GeoPoint { lat: 1.35, lon: 103.8 },
-                "ID" => GeoPoint { lat: -6.2, lon: 106.8 },
-                "TH" => GeoPoint { lat: 13.8, lon: 100.5 },
-                "IN" => GeoPoint { lat: 19.1, lon: 72.9 },
-                _ => GeoPoint { lat: 39.0, lon: -98.0 },
+                "US" => GeoPoint {
+                    lat: 39.0,
+                    lon: -98.0,
+                },
+                "CA" => GeoPoint {
+                    lat: 45.4,
+                    lon: -75.7,
+                },
+                "MX" => GeoPoint {
+                    lat: 19.4,
+                    lon: -99.1,
+                },
+                "BR" => GeoPoint {
+                    lat: -23.5,
+                    lon: -46.6,
+                },
+                "GB" => GeoPoint {
+                    lat: 51.5,
+                    lon: -0.1,
+                },
+                "FR" => GeoPoint {
+                    lat: 48.9,
+                    lon: 2.3,
+                },
+                "GR" => GeoPoint {
+                    lat: 38.0,
+                    lon: 23.7,
+                },
+                "NO" => GeoPoint {
+                    lat: 59.9,
+                    lon: 10.7,
+                },
+                "LU" => GeoPoint {
+                    lat: 49.6,
+                    lon: 6.1,
+                },
+                "RU" => GeoPoint {
+                    lat: 55.8,
+                    lon: 37.6,
+                },
+                "AU" => GeoPoint {
+                    lat: -33.9,
+                    lon: 151.2,
+                },
+                "PG" => GeoPoint {
+                    lat: -9.4,
+                    lon: 147.2,
+                },
+                "SG" => GeoPoint {
+                    lat: 1.35,
+                    lon: 103.8,
+                },
+                "ID" => GeoPoint {
+                    lat: -6.2,
+                    lon: 106.8,
+                },
+                "TH" => GeoPoint {
+                    lat: 13.8,
+                    lon: 100.5,
+                },
+                "IN" => GeoPoint {
+                    lat: 19.1,
+                    lon: 72.9,
+                },
+                _ => GeoPoint {
+                    lat: 39.0,
+                    lon: -98.0,
+                },
             };
             vec![point]
         }
@@ -241,7 +346,11 @@ mod tests {
                 );
             }
         }
-        assert_eq!(egress_of(Operator::Oneweb).len(), 2, "paper: two US providers");
+        assert_eq!(
+            egress_of(Operator::Oneweb).len(),
+            2,
+            "paper: two US providers"
+        );
     }
 
     #[test]
@@ -257,7 +366,10 @@ mod tests {
 
     #[test]
     fn only_starlink_resolves_at_the_pop() {
-        assert_eq!(resolver_placement_of(Operator::Starlink), ResolverPlacement::AtPop);
+        assert_eq!(
+            resolver_placement_of(Operator::Starlink),
+            ResolverPlacement::AtPop
+        );
         assert_eq!(
             resolver_placement_of(Operator::Viasat),
             ResolverPlacement::OperatorRun

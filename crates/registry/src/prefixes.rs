@@ -57,7 +57,14 @@ fn spec(
     home: GeoPoint,
     scatter_km: f64,
 ) -> PrefixSpec {
-    PrefixSpec { prefix, kind, weight, home, scatter_km, outlier_fraction: 0.0 }
+    PrefixSpec {
+        prefix,
+        kind,
+        weight,
+        home,
+        scatter_km,
+        outlier_fraction: 0.0,
+    }
 }
 
 /// Default prefix `j` of the ASN at flattened Table-3 position `k`:
@@ -82,18 +89,54 @@ fn asn_position(asn: Asn) -> u8 {
 }
 
 // Home regions.
-const US_WEST: GeoPoint = GeoPoint { lat: 45.0, lon: -120.0 };
-const US_CENTRAL: GeoPoint = GeoPoint { lat: 39.0, lon: -98.0 };
-const US_EAST: GeoPoint = GeoPoint { lat: 40.0, lon: -78.0 };
-const EUROPE: GeoPoint = GeoPoint { lat: 49.0, lon: 8.0 };
-const OCEANIA: GeoPoint = GeoPoint { lat: -34.0, lon: 151.0 };
-const SOUTH_AMERICA: GeoPoint = GeoPoint { lat: -20.0, lon: -55.0 };
-const ALASKA: GeoPoint = GeoPoint { lat: 62.0, lon: -153.0 };
-const ATLANTIC: GeoPoint = GeoPoint { lat: 30.0, lon: -40.0 };
-const INDIAN_OCEAN: GeoPoint = GeoPoint { lat: -10.0, lon: 75.0 };
-const PACIFIC_ISLANDS: GeoPoint = GeoPoint { lat: -15.0, lon: 170.0 };
-const EQUATORIAL: GeoPoint = GeoPoint { lat: -3.0, lon: 115.0 };
-const CANADA_NORTH: GeoPoint = GeoPoint { lat: 63.0, lon: -95.0 };
+const US_WEST: GeoPoint = GeoPoint {
+    lat: 45.0,
+    lon: -120.0,
+};
+const US_CENTRAL: GeoPoint = GeoPoint {
+    lat: 39.0,
+    lon: -98.0,
+};
+const US_EAST: GeoPoint = GeoPoint {
+    lat: 40.0,
+    lon: -78.0,
+};
+const EUROPE: GeoPoint = GeoPoint {
+    lat: 49.0,
+    lon: 8.0,
+};
+const OCEANIA: GeoPoint = GeoPoint {
+    lat: -34.0,
+    lon: 151.0,
+};
+const SOUTH_AMERICA: GeoPoint = GeoPoint {
+    lat: -20.0,
+    lon: -55.0,
+};
+const ALASKA: GeoPoint = GeoPoint {
+    lat: 62.0,
+    lon: -153.0,
+};
+const ATLANTIC: GeoPoint = GeoPoint {
+    lat: 30.0,
+    lon: -40.0,
+};
+const INDIAN_OCEAN: GeoPoint = GeoPoint {
+    lat: -10.0,
+    lon: 75.0,
+};
+const PACIFIC_ISLANDS: GeoPoint = GeoPoint {
+    lat: -15.0,
+    lon: 170.0,
+};
+const EQUATORIAL: GeoPoint = GeoPoint {
+    lat: -3.0,
+    lon: 115.0,
+};
+const CANADA_NORTH: GeoPoint = GeoPoint {
+    lat: 63.0,
+    lon: -95.0,
+};
 
 /// The allocation plan for one operator: its ASNs and their prefixes.
 pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
@@ -110,9 +153,27 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
                 (EUROPE, 0.22),
                 (OCEANIA, 0.10),
                 (SOUTH_AMERICA, 0.06),
-                (GeoPoint { lat: 47.0, lon: -70.0 }, 0.08), // Canada
-                (GeoPoint { lat: 14.6, lon: 121.0 }, 0.04), // Philippines
-                (GeoPoint { lat: 36.0, lon: 138.0 }, 0.06), // Japan region
+                (
+                    GeoPoint {
+                        lat: 47.0,
+                        lon: -70.0,
+                    },
+                    0.08,
+                ), // Canada
+                (
+                    GeoPoint {
+                        lat: 14.6,
+                        lon: 121.0,
+                    },
+                    0.04,
+                ), // Philippines
+                (
+                    GeoPoint {
+                        lat: 36.0,
+                        lon: 138.0,
+                    },
+                    0.06,
+                ), // Japan region
             ];
             let mut subs = Vec::new();
             for (j, &(home, w)) in homes.iter().enumerate() {
@@ -132,8 +193,20 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
             let kc = asn_position(corporate);
             // Corporate traffic is a sliver of the operator's volume.
             let corp = vec![
-                spec(default_prefix(kc, 0), LinkKind::Terrestrial, 0.015, US_WEST, 100.0),
-                spec(default_prefix(kc, 1), LinkKind::Terrestrial, 0.010, US_EAST, 100.0),
+                spec(
+                    default_prefix(kc, 0),
+                    LinkKind::Terrestrial,
+                    0.015,
+                    US_WEST,
+                    100.0,
+                ),
+                spec(
+                    default_prefix(kc, 1),
+                    LinkKind::Terrestrial,
+                    0.010,
+                    US_EAST,
+                    100.0,
+                ),
             ];
             vec![(customers, subs), (corporate, corp)]
         }
@@ -158,7 +231,13 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
                 vec![
                     spec(default_prefix(k, 0), MEO_SAT, 0.5, EQUATORIAL, 1_500.0),
                     spec(default_prefix(k, 1), MEO_SAT, 0.3, PACIFIC_ISLANDS, 1_500.0),
-                    spec(default_prefix(k, 2), MEO_SAT, 0.2, GeoPoint { lat: 5.0, lon: 0.0 }, 1_200.0),
+                    spec(
+                        default_prefix(k, 2),
+                        MEO_SAT,
+                        0.2,
+                        GeoPoint { lat: 5.0, lon: 0.0 },
+                        1_200.0,
+                    ),
                 ],
             )]
         }
@@ -168,7 +247,13 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
             let kh = asn_position(hybrid);
             let hybrid_specs = vec![
                 spec(default_prefix(kh, 0), MEO_SAT, 0.22, EQUATORIAL, 1_200.0),
-                spec(default_prefix(kh, 1), MEO_SAT, 0.18, PACIFIC_ISLANDS, 1_200.0),
+                spec(
+                    default_prefix(kh, 1),
+                    MEO_SAT,
+                    0.18,
+                    PACIFIC_ISLANDS,
+                    1_200.0,
+                ),
                 spec(default_prefix(kh, 2), GEO_SAT, 0.22, EUROPE, 800.0),
                 spec(default_prefix(kh, 3), GEO_SAT, 0.20, US_EAST, 800.0),
                 spec(default_prefix(kh, 4), GEO_SAT, 0.18, SOUTH_AMERICA, 900.0),
@@ -178,8 +263,20 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
             let anomaly = Asn(201554);
             let ka = asn_position(anomaly);
             let anomaly_specs = vec![
-                spec(default_prefix(ka, 0), LinkKind::Terrestrial, 0.30, EUROPE, 200.0),
-                spec(default_prefix(ka, 1), LinkKind::Terrestrial, 0.14, US_EAST, 200.0),
+                spec(
+                    default_prefix(ka, 0),
+                    LinkKind::Terrestrial,
+                    0.30,
+                    EUROPE,
+                    200.0,
+                ),
+                spec(
+                    default_prefix(ka, 1),
+                    LinkKind::Terrestrial,
+                    0.14,
+                    US_EAST,
+                    200.0,
+                ),
             ];
             vec![(hybrid, hybrid_specs), (anomaly, anomaly_specs)]
         }
@@ -193,8 +290,20 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
                     spec(default_prefix(k, 0), GEO_SAT, 0.22, ALASKA, 400.0),
                     spec(default_prefix(k, 1), GEO_SAT, 0.22, ALASKA, 400.0),
                     spec(default_prefix(k, 2), GEO_SAT, 0.21, ALASKA, 400.0),
-                    spec(default_prefix(k, 3), LinkKind::Terrestrial, 0.20, ALASKA, 150.0),
-                    spec(default_prefix(k, 4), LinkKind::Terrestrial, 0.15, ALASKA, 150.0),
+                    spec(
+                        default_prefix(k, 3),
+                        LinkKind::Terrestrial,
+                        0.20,
+                        ALASKA,
+                        150.0,
+                    ),
+                    spec(
+                        default_prefix(k, 4),
+                        LinkKind::Terrestrial,
+                        0.15,
+                        ALASKA,
+                        150.0,
+                    ),
                 ],
             )]
         }
@@ -240,7 +349,13 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
                 let ks = asn_position(Asn(a));
                 out.push((
                     Asn(a),
-                    vec![spec(default_prefix(ks, 0), GEO_SAT, 0.02, US_CENTRAL, 900.0)],
+                    vec![spec(
+                        default_prefix(ks, 0),
+                        GEO_SAT,
+                        0.02,
+                        US_CENTRAL,
+                        900.0,
+                    )],
                 ));
             }
             out
@@ -267,7 +382,13 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
                 let ks = asn_position(Asn(a));
                 out.push((
                     Asn(a),
-                    vec![spec(default_prefix(ks, 0), GEO_SAT, 0.03, SOUTH_AMERICA, 1_000.0)],
+                    vec![spec(
+                        default_prefix(ks, 0),
+                        GEO_SAT,
+                        0.03,
+                        SOUTH_AMERICA,
+                        1_000.0,
+                    )],
                 ));
             }
             out
@@ -300,7 +421,13 @@ pub fn allocation_for(op: Operator) -> Vec<(Asn, Vec<PrefixSpec>)> {
                     Asn(a),
                     vec![
                         spec(default_prefix(k, 0), GEO_SAT, 0.35, home, 3_000.0),
-                        spec(default_prefix(k, 1), GEO_SAT, 0.15, PACIFIC_ISLANDS, 3_000.0),
+                        spec(
+                            default_prefix(k, 1),
+                            GEO_SAT,
+                            0.15,
+                            PACIFIC_ISLANDS,
+                            3_000.0,
+                        ),
                     ],
                 ));
             }

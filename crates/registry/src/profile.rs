@@ -44,47 +44,459 @@ const MEO: AccessKind = AccessKind::Satellite(OrbitClass::Meo);
 
 /// All 41 operator profiles, Table 3 order.
 pub const PROFILES: &[SnoProfile] = &[
-    SnoProfile { operator: Operator::Arqiva, asns: &[15641], access: GEO, uses_pep: false, org: "Arqiva Ltd", website: "arqiva.com", country: "GB", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Avanti, asns: &[39356], access: GEO, uses_pep: true, org: "Avanti Communications", website: "avantiplc.com", country: "GB", in_asdb: true, mlab_tests: 122 },
-    SnoProfile { operator: Operator::Awv, asns: &[46869], access: GEO, uses_pep: false, org: "AWV Communications", website: "awv.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Colinanet, asns: &[262168], access: GEO, uses_pep: false, org: "ColinaNet", website: "colinanet.com", country: "BR", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Comsat, asns: &[36614], access: GEO, uses_pep: false, org: "Comsat Inc", website: "comsat.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::ComsatPng, asns: &[136940], access: GEO, uses_pep: false, org: "Comsat PNG", website: "comsat.com.pg", country: "PG", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Comtech, asns: &[394318], access: GEO, uses_pep: false, org: "Comtech Telecom", website: "comtech.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Elara, asns: &[262927], access: GEO, uses_pep: false, org: "Elara Comunicaciones", website: "elara.mx", country: "MX", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Eutelsat, asns: &[204276, 34444], access: GEO, uses_pep: true, org: "Eutelsat SA", website: "eutelsat.com", country: "FR", in_asdb: true, mlab_tests: 235 },
-    SnoProfile { operator: Operator::Globalsat, asns: &[15829, 28503], access: GEO, uses_pep: false, org: "GlobalSat", website: "globalsat.com", country: "US", in_asdb: true, mlab_tests: 135 },
-    SnoProfile { operator: Operator::Gravity, asns: &[131202], access: GEO, uses_pep: false, org: "Gravity Internet", website: "gravity.net.id", country: "ID", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::HellasSat, asns: &[41697], access: GEO, uses_pep: false, org: "Hellas Sat", website: "hellas-sat.net", country: "GR", in_asdb: true, mlab_tests: 48 },
-    SnoProfile { operator: Operator::Hughes, asns: &[28613, 1358, 63062, 12440, 44795, 6621], access: GEO, uses_pep: true, org: "Hughes Network Systems", website: "hughes.com", country: "US", in_asdb: true, mlab_tests: 2_800 },
-    SnoProfile { operator: Operator::Intelsat, asns: &[26243, 46982], access: GEO, uses_pep: false, org: "Intelsat US LLC", website: "intelsat.com", country: "US", in_asdb: true, mlab_tests: 91 },
-    SnoProfile { operator: Operator::Io, asns: &[17411], access: GEO, uses_pep: false, org: "IO Satellite", website: "io-sat.com", country: "SG", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Isotropic, asns: &[36426], access: GEO, uses_pep: false, org: "Isotropic Networks", website: "isotropic.network", country: "US", in_asdb: true, mlab_tests: 35 },
-    SnoProfile { operator: Operator::Kacific, asns: &[135409], access: GEO, uses_pep: false, org: "Kacific Broadband Satellites", website: "kacific.com", country: "SG", in_asdb: true, mlab_tests: 34 },
-    SnoProfile { operator: Operator::Kvh, asns: &[25687, 20304], access: GEO, uses_pep: false, org: "KVH Industries", website: "kvh.com", country: "US", in_asdb: true, mlab_tests: 951 },
-    SnoProfile { operator: Operator::Lepton, asns: &[394478], access: GEO, uses_pep: false, org: "Lepton Global (Kymeta)", website: "leptonglobal.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Linkexpress, asns: &[20660], access: GEO, uses_pep: false, org: "LinkExpress", website: "linkexpress.net", country: "RU", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Marlink, asns: &[5377, 44933, 55784, 8841, 210314, 8264, 37101], access: GEO, uses_pep: false, org: "Marlink AS", website: "marlink.com", country: "NO", in_asdb: true, mlab_tests: 1_420 },
-    SnoProfile { operator: Operator::Maxar, asns: &[393938], access: GEO, uses_pep: false, org: "Maxar Technologies", website: "maxar.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Navarino, asns: &[203101], access: GEO, uses_pep: false, org: "Navarino UK", website: "navarino.co.uk", country: "GB", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Netsat, asns: &[133933], access: GEO, uses_pep: false, org: "NetSat", website: "netsat.net", country: "IN", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::NetworkInnovations, asns: &[1821], access: GEO, uses_pep: false, org: "Network Innovations", website: "networkinv.com", country: "CA", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::NomadGlobal, asns: &[395786], access: GEO, uses_pep: false, org: "Nomad Global Communications", website: "nomadgcs.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::O3b, asns: &[60725], access: MEO, uses_pep: false, org: "O3b Networks (SES)", website: "o3bnetworks.com", country: "LU", in_asdb: true, mlab_tests: 78_100 },
-    SnoProfile { operator: Operator::Oneweb, asns: &[800], access: LEO, uses_pep: false, org: "OneWeb Ltd", website: "oneweb.net", country: "GB", in_asdb: true, mlab_tests: 2_950 },
-    SnoProfile { operator: Operator::Panasonic, asns: &[64294], access: GEO, uses_pep: false, org: "Panasonic Avionics", website: "panasonic.aero", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Ses, asns: &[201554, 12684], access: AccessKind::MeoGeo, uses_pep: false, org: "SES SA", website: "ses.com", country: "LU", in_asdb: true, mlab_tests: 23_200 },
-    SnoProfile { operator: Operator::SoundAndCellular, asns: &[63215], access: GEO, uses_pep: false, org: "Sound & Cellular", website: "soundandcellular.com", country: "US", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Speedcast, asns: &[38456], access: GEO, uses_pep: false, org: "Speedcast International", website: "speedcast.com", country: "AU", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Ssi, asns: &[22684], access: GEO, uses_pep: false, org: "SSi Micro", website: "ssimicro.com", country: "CA", in_asdb: true, mlab_tests: 260 },
-    SnoProfile { operator: Operator::Starlink, asns: &[14593, 27277], access: LEO, uses_pep: false, org: "Space Exploration Technologies", website: "starlink.com", country: "US", in_asdb: false, mlab_tests: 11_700_000 },
-    SnoProfile { operator: Operator::Telalaska, asns: &[10538], access: GEO, uses_pep: false, org: "TelAlaska Inc", website: "telalaska.com", country: "US", in_asdb: true, mlab_tests: 3_050 },
-    SnoProfile { operator: Operator::Telesat, asns: &[19036], access: GEO, uses_pep: false, org: "Telesat Canada", website: "telesat.com", country: "CA", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Televera, asns: &[265515], access: GEO, uses_pep: false, org: "Televera Red", website: "televera.mx", country: "MX", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Thaicom, asns: &[63951], access: GEO, uses_pep: false, org: "Thaicom PLC", website: "thaicom.net", country: "TH", in_asdb: true, mlab_tests: 0 },
-    SnoProfile { operator: Operator::Ultisat, asns: &[393439], access: GEO, uses_pep: false, org: "UltiSat Inc", website: "ultisat.com", country: "US", in_asdb: true, mlab_tests: 37 },
-    SnoProfile { operator: Operator::Viasat, asns: &[13955, 25222, 46536, 18570, 16491, 40306, 7155, 40310, 23354, 31515], access: GEO, uses_pep: true, org: "ViaSat Inc", website: "viasat.com", country: "US", in_asdb: false, mlab_tests: 50_000 },
-    SnoProfile { operator: Operator::Worldlink, asns: &[11902], access: GEO, uses_pep: false, org: "WorldLink Communications", website: "worldlink.com.np", country: "US", in_asdb: true, mlab_tests: 0 },
+    SnoProfile {
+        operator: Operator::Arqiva,
+        asns: &[15641],
+        access: GEO,
+        uses_pep: false,
+        org: "Arqiva Ltd",
+        website: "arqiva.com",
+        country: "GB",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Avanti,
+        asns: &[39356],
+        access: GEO,
+        uses_pep: true,
+        org: "Avanti Communications",
+        website: "avantiplc.com",
+        country: "GB",
+        in_asdb: true,
+        mlab_tests: 122,
+    },
+    SnoProfile {
+        operator: Operator::Awv,
+        asns: &[46869],
+        access: GEO,
+        uses_pep: false,
+        org: "AWV Communications",
+        website: "awv.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Colinanet,
+        asns: &[262168],
+        access: GEO,
+        uses_pep: false,
+        org: "ColinaNet",
+        website: "colinanet.com",
+        country: "BR",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Comsat,
+        asns: &[36614],
+        access: GEO,
+        uses_pep: false,
+        org: "Comsat Inc",
+        website: "comsat.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::ComsatPng,
+        asns: &[136940],
+        access: GEO,
+        uses_pep: false,
+        org: "Comsat PNG",
+        website: "comsat.com.pg",
+        country: "PG",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Comtech,
+        asns: &[394318],
+        access: GEO,
+        uses_pep: false,
+        org: "Comtech Telecom",
+        website: "comtech.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Elara,
+        asns: &[262927],
+        access: GEO,
+        uses_pep: false,
+        org: "Elara Comunicaciones",
+        website: "elara.mx",
+        country: "MX",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Eutelsat,
+        asns: &[204276, 34444],
+        access: GEO,
+        uses_pep: true,
+        org: "Eutelsat SA",
+        website: "eutelsat.com",
+        country: "FR",
+        in_asdb: true,
+        mlab_tests: 235,
+    },
+    SnoProfile {
+        operator: Operator::Globalsat,
+        asns: &[15829, 28503],
+        access: GEO,
+        uses_pep: false,
+        org: "GlobalSat",
+        website: "globalsat.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 135,
+    },
+    SnoProfile {
+        operator: Operator::Gravity,
+        asns: &[131202],
+        access: GEO,
+        uses_pep: false,
+        org: "Gravity Internet",
+        website: "gravity.net.id",
+        country: "ID",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::HellasSat,
+        asns: &[41697],
+        access: GEO,
+        uses_pep: false,
+        org: "Hellas Sat",
+        website: "hellas-sat.net",
+        country: "GR",
+        in_asdb: true,
+        mlab_tests: 48,
+    },
+    SnoProfile {
+        operator: Operator::Hughes,
+        asns: &[28613, 1358, 63062, 12440, 44795, 6621],
+        access: GEO,
+        uses_pep: true,
+        org: "Hughes Network Systems",
+        website: "hughes.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 2_800,
+    },
+    SnoProfile {
+        operator: Operator::Intelsat,
+        asns: &[26243, 46982],
+        access: GEO,
+        uses_pep: false,
+        org: "Intelsat US LLC",
+        website: "intelsat.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 91,
+    },
+    SnoProfile {
+        operator: Operator::Io,
+        asns: &[17411],
+        access: GEO,
+        uses_pep: false,
+        org: "IO Satellite",
+        website: "io-sat.com",
+        country: "SG",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Isotropic,
+        asns: &[36426],
+        access: GEO,
+        uses_pep: false,
+        org: "Isotropic Networks",
+        website: "isotropic.network",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 35,
+    },
+    SnoProfile {
+        operator: Operator::Kacific,
+        asns: &[135409],
+        access: GEO,
+        uses_pep: false,
+        org: "Kacific Broadband Satellites",
+        website: "kacific.com",
+        country: "SG",
+        in_asdb: true,
+        mlab_tests: 34,
+    },
+    SnoProfile {
+        operator: Operator::Kvh,
+        asns: &[25687, 20304],
+        access: GEO,
+        uses_pep: false,
+        org: "KVH Industries",
+        website: "kvh.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 951,
+    },
+    SnoProfile {
+        operator: Operator::Lepton,
+        asns: &[394478],
+        access: GEO,
+        uses_pep: false,
+        org: "Lepton Global (Kymeta)",
+        website: "leptonglobal.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Linkexpress,
+        asns: &[20660],
+        access: GEO,
+        uses_pep: false,
+        org: "LinkExpress",
+        website: "linkexpress.net",
+        country: "RU",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Marlink,
+        asns: &[5377, 44933, 55784, 8841, 210314, 8264, 37101],
+        access: GEO,
+        uses_pep: false,
+        org: "Marlink AS",
+        website: "marlink.com",
+        country: "NO",
+        in_asdb: true,
+        mlab_tests: 1_420,
+    },
+    SnoProfile {
+        operator: Operator::Maxar,
+        asns: &[393938],
+        access: GEO,
+        uses_pep: false,
+        org: "Maxar Technologies",
+        website: "maxar.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Navarino,
+        asns: &[203101],
+        access: GEO,
+        uses_pep: false,
+        org: "Navarino UK",
+        website: "navarino.co.uk",
+        country: "GB",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Netsat,
+        asns: &[133933],
+        access: GEO,
+        uses_pep: false,
+        org: "NetSat",
+        website: "netsat.net",
+        country: "IN",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::NetworkInnovations,
+        asns: &[1821],
+        access: GEO,
+        uses_pep: false,
+        org: "Network Innovations",
+        website: "networkinv.com",
+        country: "CA",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::NomadGlobal,
+        asns: &[395786],
+        access: GEO,
+        uses_pep: false,
+        org: "Nomad Global Communications",
+        website: "nomadgcs.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::O3b,
+        asns: &[60725],
+        access: MEO,
+        uses_pep: false,
+        org: "O3b Networks (SES)",
+        website: "o3bnetworks.com",
+        country: "LU",
+        in_asdb: true,
+        mlab_tests: 78_100,
+    },
+    SnoProfile {
+        operator: Operator::Oneweb,
+        asns: &[800],
+        access: LEO,
+        uses_pep: false,
+        org: "OneWeb Ltd",
+        website: "oneweb.net",
+        country: "GB",
+        in_asdb: true,
+        mlab_tests: 2_950,
+    },
+    SnoProfile {
+        operator: Operator::Panasonic,
+        asns: &[64294],
+        access: GEO,
+        uses_pep: false,
+        org: "Panasonic Avionics",
+        website: "panasonic.aero",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Ses,
+        asns: &[201554, 12684],
+        access: AccessKind::MeoGeo,
+        uses_pep: false,
+        org: "SES SA",
+        website: "ses.com",
+        country: "LU",
+        in_asdb: true,
+        mlab_tests: 23_200,
+    },
+    SnoProfile {
+        operator: Operator::SoundAndCellular,
+        asns: &[63215],
+        access: GEO,
+        uses_pep: false,
+        org: "Sound & Cellular",
+        website: "soundandcellular.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Speedcast,
+        asns: &[38456],
+        access: GEO,
+        uses_pep: false,
+        org: "Speedcast International",
+        website: "speedcast.com",
+        country: "AU",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Ssi,
+        asns: &[22684],
+        access: GEO,
+        uses_pep: false,
+        org: "SSi Micro",
+        website: "ssimicro.com",
+        country: "CA",
+        in_asdb: true,
+        mlab_tests: 260,
+    },
+    SnoProfile {
+        operator: Operator::Starlink,
+        asns: &[14593, 27277],
+        access: LEO,
+        uses_pep: false,
+        org: "Space Exploration Technologies",
+        website: "starlink.com",
+        country: "US",
+        in_asdb: false,
+        mlab_tests: 11_700_000,
+    },
+    SnoProfile {
+        operator: Operator::Telalaska,
+        asns: &[10538],
+        access: GEO,
+        uses_pep: false,
+        org: "TelAlaska Inc",
+        website: "telalaska.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 3_050,
+    },
+    SnoProfile {
+        operator: Operator::Telesat,
+        asns: &[19036],
+        access: GEO,
+        uses_pep: false,
+        org: "Telesat Canada",
+        website: "telesat.com",
+        country: "CA",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Televera,
+        asns: &[265515],
+        access: GEO,
+        uses_pep: false,
+        org: "Televera Red",
+        website: "televera.mx",
+        country: "MX",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Thaicom,
+        asns: &[63951],
+        access: GEO,
+        uses_pep: false,
+        org: "Thaicom PLC",
+        website: "thaicom.net",
+        country: "TH",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
+    SnoProfile {
+        operator: Operator::Ultisat,
+        asns: &[393439],
+        access: GEO,
+        uses_pep: false,
+        org: "UltiSat Inc",
+        website: "ultisat.com",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 37,
+    },
+    SnoProfile {
+        operator: Operator::Viasat,
+        asns: &[
+            13955, 25222, 46536, 18570, 16491, 40306, 7155, 40310, 23354, 31515,
+        ],
+        access: GEO,
+        uses_pep: true,
+        org: "ViaSat Inc",
+        website: "viasat.com",
+        country: "US",
+        in_asdb: false,
+        mlab_tests: 50_000,
+    },
+    SnoProfile {
+        operator: Operator::Worldlink,
+        asns: &[11902],
+        access: GEO,
+        uses_pep: false,
+        org: "WorldLink Communications",
+        website: "worldlink.com.np",
+        country: "US",
+        in_asdb: true,
+        mlab_tests: 0,
+    },
 ];
 
 /// The profile of one operator.
@@ -119,7 +531,10 @@ mod tests {
     #[test]
     fn sixty_seven_asns_over_forty_one_operators() {
         assert_eq!(PROFILES.len(), 41);
-        let all: Vec<u32> = PROFILES.iter().flat_map(|p| p.asns.iter().copied()).collect();
+        let all: Vec<u32> = PROFILES
+            .iter()
+            .flat_map(|p| p.asns.iter().copied())
+            .collect();
         assert_eq!(all.len(), 67, "Table 3 lists 67 ASNs");
         let set: BTreeSet<u32> = all.iter().copied().collect();
         assert_eq!(set.len(), 67, "ASNs must be unique");
@@ -151,8 +566,14 @@ mod tests {
         // Table 1: 2 LEO, 1 MEO, 15 GEO (SES counted as GEO here since
         // O3b carries the MEO side).
         let t1 = table1_operators();
-        let leo = t1.iter().filter(|p| p.access == AccessKind::Satellite(OrbitClass::Leo)).count();
-        let meo = t1.iter().filter(|p| p.access == AccessKind::Satellite(OrbitClass::Meo)).count();
+        let leo = t1
+            .iter()
+            .filter(|p| p.access == AccessKind::Satellite(OrbitClass::Leo))
+            .count();
+        let meo = t1
+            .iter()
+            .filter(|p| p.access == AccessKind::Satellite(OrbitClass::Meo))
+            .count();
         assert_eq!(leo, 2);
         assert_eq!(meo, 1);
         assert_eq!(t1.len() - leo - meo - 1, 14); // 14 pure GEO + SES(MeoGeo)

@@ -31,16 +31,56 @@ pub struct Distractor {
 /// Axion, Filer Mutual Telephone, Teletrac, United Teleports) plus more
 /// of each category.
 pub const DISTRACTORS: &[Distractor] = &[
-    Distractor { asn: 398101, org: "Cable Axion Digitel", actual_business: "cable TV operator" },
-    Distractor { asn: 398102, org: "Filer Mutual Telephone", actual_business: "residential broadband" },
-    Distractor { asn: 398103, org: "Teletrac Navman", actual_business: "fleet navigation services" },
-    Distractor { asn: 398104, org: "United Teleports Inc", actual_business: "teleport operator" },
-    Distractor { asn: 398105, org: "Prairie Hills Cable", actual_business: "cable TV operator" },
-    Distractor { asn: 398106, org: "Bighorn Rural Telephone", actual_business: "residential broadband" },
-    Distractor { asn: 398107, org: "OrbitTrack Asset Services", actual_business: "fleet navigation services" },
-    Distractor { asn: 398108, org: "Gateway Earth Teleport", actual_business: "teleport operator" },
-    Distractor { asn: 398109, org: "Lakeshore Cablevision", actual_business: "cable TV operator" },
-    Distractor { asn: 398110, org: "Mesa Valley Telephone Co-op", actual_business: "residential broadband" },
+    Distractor {
+        asn: 398101,
+        org: "Cable Axion Digitel",
+        actual_business: "cable TV operator",
+    },
+    Distractor {
+        asn: 398102,
+        org: "Filer Mutual Telephone",
+        actual_business: "residential broadband",
+    },
+    Distractor {
+        asn: 398103,
+        org: "Teletrac Navman",
+        actual_business: "fleet navigation services",
+    },
+    Distractor {
+        asn: 398104,
+        org: "United Teleports Inc",
+        actual_business: "teleport operator",
+    },
+    Distractor {
+        asn: 398105,
+        org: "Prairie Hills Cable",
+        actual_business: "cable TV operator",
+    },
+    Distractor {
+        asn: 398106,
+        org: "Bighorn Rural Telephone",
+        actual_business: "residential broadband",
+    },
+    Distractor {
+        asn: 398107,
+        org: "OrbitTrack Asset Services",
+        actual_business: "fleet navigation services",
+    },
+    Distractor {
+        asn: 398108,
+        org: "Gateway Earth Teleport",
+        actual_business: "teleport operator",
+    },
+    Distractor {
+        asn: 398109,
+        org: "Lakeshore Cablevision",
+        actual_business: "cable TV operator",
+    },
+    Distractor {
+        asn: 398110,
+        org: "Mesa Valley Telephone Co-op",
+        actual_business: "residential broadband",
+    },
 ];
 
 /// ASdb-style category database.
@@ -145,13 +185,16 @@ pub mod ipinfo {
                 prefixes,
             });
         }
-        DISTRACTORS.iter().find(|d| d.asn == asn.0).map(|d| AsnDetails {
-            asn,
-            org: d.org.to_string(),
-            website: "example.invalid",
-            country: "US",
-            prefixes: Vec::new(),
-        })
+        DISTRACTORS
+            .iter()
+            .find(|d| d.asn == asn.0)
+            .map(|d| AsnDetails {
+                asn,
+                org: d.org.to_string(),
+                website: "example.invalid",
+                country: "US",
+                prefixes: Vec::new(),
+            })
     }
 }
 
@@ -259,7 +302,10 @@ mod tests {
 
     #[test]
     fn access_lookup() {
-        assert_eq!(access_of(Operator::Starlink), AccessKind::Satellite(OrbitClass::Leo));
+        assert_eq!(
+            access_of(Operator::Starlink),
+            AccessKind::Satellite(OrbitClass::Leo)
+        );
         assert_eq!(access_of(Operator::Ses), AccessKind::MeoGeo);
     }
 }

@@ -67,7 +67,6 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-
 /// Recursively find the best split of `series[..]` (whose first element
 /// has global index `offset`) and push accepted cut points into `cuts`.
 fn segment(
@@ -169,7 +168,11 @@ mod tests {
         series.extend((0..150).map(|_| rng.normal_with(33.0, 2.5)));
         let shifts = detect_mean_shifts(&series, 10.0, 10);
         assert_eq!(shifts.len(), 1);
-        assert!((shifts[0].index as i64 - 150).abs() <= 2, "index {}", shifts[0].index);
+        assert!(
+            (shifts[0].index as i64 - 150).abs() <= 2,
+            "index {}",
+            shifts[0].index
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Ecdf {
     /// # Panics
     /// Panics if `q` is outside `(0, 1]`.
     pub fn inverse(&self, q: f64) -> f64 {
-        assert!(q > 0.0 && q <= 1.0, "inverse CDF fraction out of range: {q}");
+        assert!(
+            q > 0.0 && q <= 1.0,
+            "inverse CDF fraction out of range: {q}"
+        );
         let n = self.sorted.len();
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
         self.sorted[idx]

@@ -19,7 +19,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(lo < hi, "empty histogram range");
         assert!(bins > 0, "zero bins");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Add one observation.

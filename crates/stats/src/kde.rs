@@ -42,14 +42,21 @@ impl Kde {
         let sigma = crate::quantile::std_dev(&sorted).unwrap_or(0.0);
         let iqr = crate::quantile::quantile_of_sorted(&sorted, 0.75)
             - crate::quantile::quantile_of_sorted(&sorted, 0.25);
-        let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+        let spread = if iqr > 0.0 {
+            sigma.min(iqr / 1.34)
+        } else {
+            sigma
+        };
         let bandwidth = if spread > 0.0 {
             0.9 * spread * n.powf(-0.2)
         } else {
             // Degenerate sample: all points equal (or two equal points).
             1.0
         };
-        Some(Kde { samples: sorted, bandwidth })
+        Some(Kde {
+            samples: sorted,
+            bandwidth,
+        })
     }
 
     /// Fit with an explicit bandwidth (used by the bandwidth ablation).
@@ -61,7 +68,10 @@ impl Kde {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        Some(Kde { samples: sorted, bandwidth })
+        Some(Kde {
+            samples: sorted,
+            bandwidth,
+        })
     }
 
     /// The bandwidth in use.
@@ -141,10 +151,7 @@ impl Kde {
     /// (hybrid MEO+GEO) profiles.
     pub fn modes_on_grid(&self, lo: f64, hi: f64, points: usize, min_height: f64) -> usize {
         let grid = self.grid(lo, hi, points);
-        let peak = grid
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0_f64, f64::max);
+        let peak = grid.iter().map(|&(_, d)| d).fold(0.0_f64, f64::max);
         if peak <= 0.0 {
             return 0;
         }

@@ -23,7 +23,10 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
 /// expected to validate; [`quantile`] is the forgiving entry point).
 pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction out of range: {q}"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];
@@ -56,8 +59,7 @@ pub fn std_dev(data: &[f64]) -> Option<f64> {
         return None;
     }
     let m = mean(data).expect("non-empty");
-    let var =
-        data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64;
+    let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64;
     Some(var.sqrt())
 }
 

@@ -25,11 +25,8 @@ pub fn daily_medians(samples: &[(Timestamp, f64)]) -> Vec<DailyPoint> {
     if samples.is_empty() {
         return Vec::new();
     }
-    let mut sorted: Vec<(UtcDay, f64)> =
-        samples.iter().map(|&(t, v)| (t.day(), v)).collect();
-    sorted.sort_by(|a, b| {
-        a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN"))
-    });
+    let mut sorted: Vec<(UtcDay, f64)> = samples.iter().map(|&(t, v)| (t.day(), v)).collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN")));
     let mut out = Vec::new();
     let mut i = 0;
     while i < sorted.len() {
@@ -89,8 +86,22 @@ mod tests {
         ];
         let daily = daily_medians(&samples);
         assert_eq!(daily.len(), 2);
-        assert_eq!(daily[0], DailyPoint { day: UtcDay(0), count: 3, median: 60.0 });
-        assert_eq!(daily[1], DailyPoint { day: UtcDay(2), count: 1, median: 100.0 });
+        assert_eq!(
+            daily[0],
+            DailyPoint {
+                day: UtcDay(0),
+                count: 3,
+                median: 60.0
+            }
+        );
+        assert_eq!(
+            daily[1],
+            DailyPoint {
+                day: UtcDay(2),
+                count: 1,
+                median: 100.0
+            }
+        );
     }
 
     #[test]
@@ -105,9 +116,21 @@ mod tests {
     fn variation_skips_gaps() {
         // Days 0,1 consecutive (10% change); days 1,3 have a gap.
         let points = vec![
-            DailyPoint { day: UtcDay(0), count: 1, median: 100.0 },
-            DailyPoint { day: UtcDay(1), count: 1, median: 110.0 },
-            DailyPoint { day: UtcDay(3), count: 1, median: 500.0 },
+            DailyPoint {
+                day: UtcDay(0),
+                count: 1,
+                median: 100.0,
+            },
+            DailyPoint {
+                day: UtcDay(1),
+                count: 1,
+                median: 110.0,
+            },
+            DailyPoint {
+                day: UtcDay(3),
+                count: 1,
+                median: 500.0,
+            },
         ];
         let v = daily_variation_p95(&points).unwrap();
         assert!((v - 0.1).abs() < 1e-12, "{v}");

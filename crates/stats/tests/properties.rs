@@ -1,9 +1,7 @@
 //! Deeper property-based tests for the statistics toolkit.
 
-use proptest::prelude::*;
-use sno_stats::{
-    detect_mean_shifts, quantile, Ecdf, FiveNumber, Histogram, Kde,
-};
+use sno_check::prelude::*;
+use sno_stats::{detect_mean_shifts, quantile, Ecdf, FiveNumber, Histogram, Kde};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]

@@ -20,14 +20,16 @@ use sno_geo::{haversine_km, GeoPoint};
 use sno_netsim::terrestrial::terrestrial_rtt;
 use sno_orbit::access::BentPipe;
 use sno_orbit::shell::STARLINK_SHELL;
-use sno_types::records::{
-    CountryCode, RootServer, SslCertRecord, TraceHop, TracerouteRecord,
-};
+use sno_types::records::{CountryCode, RootServer, SslCertRecord, TraceHop, TracerouteRecord};
 use sno_types::time::SECS_PER_DAY;
 use sno_types::{Date, Ipv4, Millis, Prefix24, ProbeId, Rng, Timestamp, UtcDay};
 
 /// End of the Atlas observation window (exclusive).
-pub const ATLAS_END: Date = Date { year: 2023, month: 5, day: 3 };
+pub const ATLAS_END: Date = Date {
+    year: 2023,
+    month: 5,
+    day: 3,
+};
 
 /// One deployed probe.
 #[derive(Debug, Clone)]
@@ -131,56 +133,170 @@ const DEPLOYMENT: &[(&str, u32, (i32, u8), u64)] = &[
 /// more probes than listed sites).
 fn country_sites(country: &str) -> &'static [GeoPoint] {
     match country {
-        "AT" => &[GeoPoint { lat: 48.21, lon: 16.37 }, GeoPoint { lat: 47.27, lon: 11.40 }],
+        "AT" => &[
+            GeoPoint {
+                lat: 48.21,
+                lon: 16.37,
+            },
+            GeoPoint {
+                lat: 47.27,
+                lon: 11.40,
+            },
+        ],
         "AU" => &[
-            GeoPoint { lat: -33.87, lon: 151.21 },
-            GeoPoint { lat: -37.81, lon: 144.96 },
-            GeoPoint { lat: -27.47, lon: 153.03 },
-            GeoPoint { lat: -31.95, lon: 115.86 },
+            GeoPoint {
+                lat: -33.87,
+                lon: 151.21,
+            },
+            GeoPoint {
+                lat: -37.81,
+                lon: 144.96,
+            },
+            GeoPoint {
+                lat: -27.47,
+                lon: 153.03,
+            },
+            GeoPoint {
+                lat: -31.95,
+                lon: 115.86,
+            },
         ],
-        "BE" => &[GeoPoint { lat: 50.85, lon: 4.35 }],
-        "CA" => &[GeoPoint { lat: 43.65, lon: -79.38 }, GeoPoint { lat: 49.28, lon: -123.12 }],
-        "CL" => &[GeoPoint { lat: -33.04, lon: -71.37 }], // ~75 km from Santiago
+        "BE" => &[GeoPoint {
+            lat: 50.85,
+            lon: 4.35,
+        }],
+        "CA" => &[
+            GeoPoint {
+                lat: 43.65,
+                lon: -79.38,
+            },
+            GeoPoint {
+                lat: 49.28,
+                lon: -123.12,
+            },
+        ],
+        "CL" => &[GeoPoint {
+            lat: -33.04,
+            lon: -71.37,
+        }], // ~75 km from Santiago
         "DE" => &[
-            GeoPoint { lat: 52.52, lon: 13.40 },
-            GeoPoint { lat: 48.14, lon: 11.58 },
-            GeoPoint { lat: 50.94, lon: 6.96 },
-            GeoPoint { lat: 53.55, lon: 9.99 },
-            GeoPoint { lat: 49.45, lon: 11.08 },
+            GeoPoint {
+                lat: 52.52,
+                lon: 13.40,
+            },
+            GeoPoint {
+                lat: 48.14,
+                lon: 11.58,
+            },
+            GeoPoint {
+                lat: 50.94,
+                lon: 6.96,
+            },
+            GeoPoint {
+                lat: 53.55,
+                lon: 9.99,
+            },
+            GeoPoint {
+                lat: 49.45,
+                lon: 11.08,
+            },
         ],
-        "ES" => &[GeoPoint { lat: 40.42, lon: -3.70 }, GeoPoint { lat: 41.39, lon: 2.17 }],
+        "ES" => &[
+            GeoPoint {
+                lat: 40.42,
+                lon: -3.70,
+            },
+            GeoPoint {
+                lat: 41.39,
+                lon: 2.17,
+            },
+        ],
         "FR" => &[
-            GeoPoint { lat: 48.86, lon: 2.35 },
-            GeoPoint { lat: 45.76, lon: 4.84 },
-            GeoPoint { lat: 43.30, lon: 5.37 },
-            GeoPoint { lat: 47.22, lon: -1.55 },
-            GeoPoint { lat: 48.58, lon: 7.75 },
+            GeoPoint {
+                lat: 48.86,
+                lon: 2.35,
+            },
+            GeoPoint {
+                lat: 45.76,
+                lon: 4.84,
+            },
+            GeoPoint {
+                lat: 43.30,
+                lon: 5.37,
+            },
+            GeoPoint {
+                lat: 47.22,
+                lon: -1.55,
+            },
+            GeoPoint {
+                lat: 48.58,
+                lon: 7.75,
+            },
         ],
         "GB" => &[
-            GeoPoint { lat: 51.51, lon: -0.13 },
-            GeoPoint { lat: 53.48, lon: -2.24 },
-            GeoPoint { lat: 55.95, lon: -3.19 },
-            GeoPoint { lat: 51.45, lon: -2.59 },
-            GeoPoint { lat: 52.49, lon: -1.89 },
+            GeoPoint {
+                lat: 51.51,
+                lon: -0.13,
+            },
+            GeoPoint {
+                lat: 53.48,
+                lon: -2.24,
+            },
+            GeoPoint {
+                lat: 55.95,
+                lon: -3.19,
+            },
+            GeoPoint {
+                lat: 51.45,
+                lon: -2.59,
+            },
+            GeoPoint {
+                lat: 52.49,
+                lon: -1.89,
+            },
         ],
-        "IT" => &[GeoPoint { lat: 45.46, lon: 9.19 }],
+        "IT" => &[GeoPoint {
+            lat: 45.46,
+            lon: 9.19,
+        }],
         "NL" => &[
-            GeoPoint { lat: 51.92, lon: 4.48 }, // Rotterdam (the probe that moved PoPs)
-            GeoPoint { lat: 52.37, lon: 4.90 },
-            GeoPoint { lat: 52.09, lon: 5.12 },
+            GeoPoint {
+                lat: 51.92,
+                lon: 4.48,
+            }, // Rotterdam (the probe that moved PoPs)
+            GeoPoint {
+                lat: 52.37,
+                lon: 4.90,
+            },
+            GeoPoint {
+                lat: 52.09,
+                lon: 5.12,
+            },
         ],
-        "NZ" => &[GeoPoint { lat: -36.85, lon: 174.76 }],
-        "PH" => &[GeoPoint { lat: 14.60, lon: 120.98 }], // Manila
-        "PL" => &[GeoPoint { lat: 52.23, lon: 21.01 }],
-        _ => &[GeoPoint { lat: 39.0, lon: -98.0 }],
+        "NZ" => &[GeoPoint {
+            lat: -36.85,
+            lon: 174.76,
+        }],
+        "PH" => &[GeoPoint {
+            lat: 14.60,
+            lon: 120.98,
+        }], // Manila
+        "PL" => &[GeoPoint {
+            lat: 52.23,
+            lon: 21.01,
+        }],
+        _ => &[GeoPoint {
+            lat: 39.0,
+            lon: -98.0,
+        }],
     }
 }
 
 /// US states for the 33 US probes, in assignment order.
 const US_PROBE_STATES: &[&str] = &[
-    "WA", "WA", "OR", "OR", "CA", "CA", "NV", "NV", "AZ", "AZ", "NM", "UT", "CO", "CO",
-    "TX", "TX", "OK", "MO", "KS", "MN", "IL", "IL", "OH", "MI", "WI", "NY", "NY", "PA",
-    "MA", "VA", "VA", "FL", "AK",
+    "WA", "WA", "OR", "OR", "CA", "CA", "NV", "NV", "AZ", "AZ", "NM", "UT", "CO", "CO", "TX", "TX",
+    "OK", "MO", "KS", "MN", "IL", "IL", "OH", "MI", "WI", "NY", "NY", "PA", "MA", "VA", "VA", "FL",
+    "AK",
 ]; // GA dropped to keep exactly 33
 
 /// Builds the probe deployment and generates measurements.
@@ -258,8 +374,7 @@ impl AtlasGenerator {
                     // Spread measurements evenly with jitter, cycling
                     // through the 13 roots.
                     let day = UtcDay(start_day.0 + (k * active_days / per_probe) as u32);
-                    let timestamp =
-                        Timestamp::from_day(day) + rng.below(SECS_PER_DAY);
+                    let timestamp = Timestamp::from_day(day) + rng.below(SECS_PER_DAY);
                     let target = RootServer::ALL[(k % 13) as usize];
                     traceroutes.push(self.trace(probe, timestamp, target, &mut rng));
                 }
@@ -281,7 +396,11 @@ impl AtlasGenerator {
         // Interleave chronologically, as a BigQuery export would be.
         traceroutes.sort_by_key(|t| (t.timestamp, t.probe.0));
         sslcerts.sort_by_key(|s| (s.timestamp, s.probe.0));
-        AtlasCorpus { probes, traceroutes, sslcerts }
+        AtlasCorpus {
+            probes,
+            traceroutes,
+            sslcerts,
+        }
     }
 
     /// One traceroute measurement.
@@ -310,7 +429,10 @@ impl AtlasGenerator {
                 reached: false,
             };
         };
-        hops.push(TraceHop { addr: Ipv4::CGNAT_GATEWAY, rtt: Millis(pop_rtt) });
+        hops.push(TraceHop {
+            addr: Ipv4::CGNAT_GATEWAY,
+            rtt: Millis(pop_rtt),
+        });
         let pop_idx = STARLINK_POPS
             .iter()
             .position(|p| p.code == pop.code)
@@ -322,11 +444,10 @@ impl AtlasGenerator {
 
         // Route from the PoP to the chosen root instance.
         let (instance, transit_km) = route_to_root(pop, target);
-        let transit_rtt = terrestrial_rtt(pop.point, instance.point).0
-            + extra_transit_ms(transit_km);
+        let transit_rtt =
+            terrestrial_rtt(pop.point, instance.point).0 + extra_transit_ms(transit_km);
         let total = pop_rtt + transit_rtt + rng.normal_with(0.0, 2.0).abs();
-        let transit_hops =
-            (((transit_km / 800.0).ceil() as usize) + rng.below(3) as usize).min(18);
+        let transit_hops = (((transit_km / 800.0).ceil() as usize) + rng.below(3) as usize).min(18);
         for h in 0..transit_hops {
             let frac = (h + 1) as f64 / (transit_hops + 1) as f64;
             hops.push(TraceHop {
@@ -336,9 +457,18 @@ impl AtlasGenerator {
         }
         let reached = !rng.chance(0.04);
         if reached {
-            hops.push(TraceHop { addr: root_addr(target), rtt: Millis(total) });
+            hops.push(TraceHop {
+                addr: root_addr(target),
+                rtt: Millis(total),
+            });
         }
-        TracerouteRecord { probe: probe.id, timestamp, target, hops, reached }
+        TracerouteRecord {
+            probe: probe.id,
+            timestamp,
+            target,
+            hops,
+            reached,
+        }
     }
 }
 
@@ -389,8 +519,7 @@ pub fn probe_pop_rtt(
         pipe.min_elevation_deg = 15.0;
     }
     let prop = pipe.propagation_rtt(timestamp.0 as f64)?.0;
-    let mut backhaul = terrestrial_rtt(gateway, pop.point).0 * 0.75
-        + pop_congestion_ms(pop.code);
+    let mut backhaul = terrestrial_rtt(gateway, pop.point).0 * 0.75 + pop_congestion_ms(pop.code);
     // Trombone: traffic still lands near the probe's natural PoP region
     // before riding to the assigned PoP.
     let nearest = STARLINK_POPS
@@ -504,8 +633,7 @@ mod tests {
     fn sixty_seven_probes_in_fifteen_countries() {
         let probes = AtlasGenerator::new(SynthConfig::test_corpus()).probes();
         assert_eq!(probes.len(), 67);
-        let countries: std::collections::BTreeSet<_> =
-            probes.iter().map(|p| p.country).collect();
+        let countries: std::collections::BTreeSet<_> = probes.iter().map(|p| p.country).collect();
         assert_eq!(countries.len(), 15);
         let us = probes
             .iter()
@@ -568,8 +696,7 @@ mod tests {
             .filter_map(|t| {
                 let p = corpus.probe(t.probe)?;
                 let c = p.country.as_str();
-                (c == "DE" || (c == "US" && p.state != Some("AK")))
-                    .then_some(())?;
+                (c == "DE" || (c == "US" && p.state != Some("AK"))).then_some(())?;
                 t.cgnat_rtt().map(|m| m.0)
             })
             .collect();
@@ -605,9 +732,7 @@ mod tests {
             corpus
                 .traceroutes
                 .iter()
-                .filter(|t| {
-                    corpus.probe(t.probe).map(|p| p.country) == Some(CountryCode::new(cc))
-                })
+                .filter(|t| corpus.probe(t.probe).map(|p| p.country) == Some(CountryCode::new(cc)))
                 .count()
         };
         assert!(count_of("US") > count_of("DE"));
@@ -628,7 +753,11 @@ mod tests {
             .filter(|s| s.probe == nz.id)
             .map(|s| s.src_addr.prefix24())
             .collect();
-        assert_eq!(prefixes.len(), 2, "NZ probe must appear in two PoP prefixes");
+        assert_eq!(
+            prefixes.len(),
+            2,
+            "NZ probe must appear in two PoP prefixes"
+        );
     }
 
     #[test]

@@ -24,30 +24,150 @@ struct Provider {
 
 /// Tier-1 and large regional providers.
 const PROVIDERS: &[Provider] = &[
-    Provider { asn: 3356, name: "Lumen (Level3)", country: "US", stubs: 90 },
-    Provider { asn: 1299, name: "Arelion", country: "SE", stubs: 80 },
-    Provider { asn: 174, name: "Cogent", country: "US", stubs: 85 },
-    Provider { asn: 6762, name: "Telecom Italia Sparkle", country: "IT", stubs: 55 },
-    Provider { asn: 2914, name: "NTT", country: "US", stubs: 70 },
-    Provider { asn: 3257, name: "GTT", country: "DE", stubs: 50 },
-    Provider { asn: 6939, name: "Hurricane Electric", country: "US", stubs: 75 },
-    Provider { asn: 3549, name: "Level3 (legacy)", country: "US", stubs: 40 },
-    Provider { asn: 7018, name: "AT&T", country: "US", stubs: 45 },
-    Provider { asn: 3320, name: "Deutsche Telekom", country: "DE", stubs: 45 },
-    Provider { asn: 7195, name: "EdgeUno", country: "CO", stubs: 18 },
-    Provider { asn: 4826, name: "Vocus", country: "AU", stubs: 20 },
-    Provider { asn: 2516, name: "KDDI", country: "JP", stubs: 25 },
-    Provider { asn: 4771, name: "Spark NZ", country: "NZ", stubs: 10 },
-    Provider { asn: 6471, name: "Entel Chile", country: "CL", stubs: 10 },
-    Provider { asn: 5511, name: "Orange International", country: "FR", stubs: 30 },
-    Provider { asn: 1136, name: "KPN", country: "NL", stubs: 12 },
-    Provider { asn: 5400, name: "BT Global", country: "GB", stubs: 25 },
-    Provider { asn: 577, name: "Bell Canada", country: "CA", stubs: 15 },
-    Provider { asn: 7473, name: "Singtel", country: "SG", stubs: 20 },
-    Provider { asn: 12956, name: "Telxius", country: "ES", stubs: 18 },
-    Provider { asn: 33891, name: "Core-Backbone", country: "DE", stubs: 10 },
-    Provider { asn: 9304, name: "HGC", country: "HK", stubs: 12 },
-    Provider { asn: 52320, name: "GlobeNet", country: "BR", stubs: 10 },
+    Provider {
+        asn: 3356,
+        name: "Lumen (Level3)",
+        country: "US",
+        stubs: 90,
+    },
+    Provider {
+        asn: 1299,
+        name: "Arelion",
+        country: "SE",
+        stubs: 80,
+    },
+    Provider {
+        asn: 174,
+        name: "Cogent",
+        country: "US",
+        stubs: 85,
+    },
+    Provider {
+        asn: 6762,
+        name: "Telecom Italia Sparkle",
+        country: "IT",
+        stubs: 55,
+    },
+    Provider {
+        asn: 2914,
+        name: "NTT",
+        country: "US",
+        stubs: 70,
+    },
+    Provider {
+        asn: 3257,
+        name: "GTT",
+        country: "DE",
+        stubs: 50,
+    },
+    Provider {
+        asn: 6939,
+        name: "Hurricane Electric",
+        country: "US",
+        stubs: 75,
+    },
+    Provider {
+        asn: 3549,
+        name: "Level3 (legacy)",
+        country: "US",
+        stubs: 40,
+    },
+    Provider {
+        asn: 7018,
+        name: "AT&T",
+        country: "US",
+        stubs: 45,
+    },
+    Provider {
+        asn: 3320,
+        name: "Deutsche Telekom",
+        country: "DE",
+        stubs: 45,
+    },
+    Provider {
+        asn: 7195,
+        name: "EdgeUno",
+        country: "CO",
+        stubs: 18,
+    },
+    Provider {
+        asn: 4826,
+        name: "Vocus",
+        country: "AU",
+        stubs: 20,
+    },
+    Provider {
+        asn: 2516,
+        name: "KDDI",
+        country: "JP",
+        stubs: 25,
+    },
+    Provider {
+        asn: 4771,
+        name: "Spark NZ",
+        country: "NZ",
+        stubs: 10,
+    },
+    Provider {
+        asn: 6471,
+        name: "Entel Chile",
+        country: "CL",
+        stubs: 10,
+    },
+    Provider {
+        asn: 5511,
+        name: "Orange International",
+        country: "FR",
+        stubs: 30,
+    },
+    Provider {
+        asn: 1136,
+        name: "KPN",
+        country: "NL",
+        stubs: 12,
+    },
+    Provider {
+        asn: 5400,
+        name: "BT Global",
+        country: "GB",
+        stubs: 25,
+    },
+    Provider {
+        asn: 577,
+        name: "Bell Canada",
+        country: "CA",
+        stubs: 15,
+    },
+    Provider {
+        asn: 7473,
+        name: "Singtel",
+        country: "SG",
+        stubs: 20,
+    },
+    Provider {
+        asn: 12956,
+        name: "Telxius",
+        country: "ES",
+        stubs: 18,
+    },
+    Provider {
+        asn: 33891,
+        name: "Core-Backbone",
+        country: "DE",
+        stubs: 10,
+    },
+    Provider {
+        asn: 9304,
+        name: "HGC",
+        country: "HK",
+        stubs: 12,
+    },
+    Provider {
+        asn: 52320,
+        name: "GlobeNet",
+        country: "BR",
+        stubs: 10,
+    },
 ];
 
 /// The tier-1 club (the paper checks which SNOs reach any of them).
@@ -55,16 +175,66 @@ pub const TIER1_ASNS: &[u32] = &[3356, 1299, 174, 6762, 2914, 3257, 3549, 7018, 
 
 /// Small regional ISPs (Kacific's distributors, Hellas-Sat's locals...).
 const SMALL_ISPS: &[Provider] = &[
-    Provider { asn: 140504, name: "Pacific Isles Net", country: "FJ", stubs: 0 },
-    Provider { asn: 140505, name: "Vanuatu Broadband", country: "PG", stubs: 0 },
-    Provider { asn: 140506, name: "Solomon Telekom", country: "PG", stubs: 0 },
-    Provider { asn: 140507, name: "Tuvalu ICT", country: "FJ", stubs: 1 },
-    Provider { asn: 140508, name: "Kiribati Link", country: "FJ", stubs: 0 },
-    Provider { asn: 197101, name: "Attica Wireless", country: "GR", stubs: 1 },
-    Provider { asn: 197102, name: "Cyclades Net", country: "GR", stubs: 0 },
-    Provider { asn: 197103, name: "Cyprus Rural Broadband", country: "CY", stubs: 1 },
-    Provider { asn: 398201, name: "Beltway Federal Networks", country: "US", stubs: 1 },
-    Provider { asn: 398202, name: "Potomac GovNet", country: "US", stubs: 0 },
+    Provider {
+        asn: 140504,
+        name: "Pacific Isles Net",
+        country: "FJ",
+        stubs: 0,
+    },
+    Provider {
+        asn: 140505,
+        name: "Vanuatu Broadband",
+        country: "PG",
+        stubs: 0,
+    },
+    Provider {
+        asn: 140506,
+        name: "Solomon Telekom",
+        country: "PG",
+        stubs: 0,
+    },
+    Provider {
+        asn: 140507,
+        name: "Tuvalu ICT",
+        country: "FJ",
+        stubs: 1,
+    },
+    Provider {
+        asn: 140508,
+        name: "Kiribati Link",
+        country: "FJ",
+        stubs: 0,
+    },
+    Provider {
+        asn: 197101,
+        name: "Attica Wireless",
+        country: "GR",
+        stubs: 1,
+    },
+    Provider {
+        asn: 197102,
+        name: "Cyclades Net",
+        country: "GR",
+        stubs: 0,
+    },
+    Provider {
+        asn: 197103,
+        name: "Cyprus Rural Broadband",
+        country: "CY",
+        stubs: 1,
+    },
+    Provider {
+        asn: 398201,
+        name: "Beltway Federal Networks",
+        country: "US",
+        stubs: 1,
+    },
+    Provider {
+        asn: 398202,
+        name: "Potomac GovNet",
+        country: "US",
+        stubs: 0,
+    },
 ];
 
 /// Peers of one SNO in one snapshot year.
@@ -75,8 +245,8 @@ fn sno_peers(op: Operator, year: i32) -> Vec<u32> {
             2021 => vec![3356, 174, 6939, 1299],
             2022 => vec![3356, 174, 6939, 1299, 3320, 4826, 2516, 577, 7018],
             _ => vec![
-                3356, 174, 6939, 1299, 3320, 4826, 2516, 577, 7018, 6762, 7195, 4771,
-                6471, 5400, 2914, 9304, 7473, 52320,
+                3356, 174, 6939, 1299, 3320, 4826, 2516, 577, 7018, 6762, 7195, 4771, 6471, 5400,
+                2914, 9304, 7473, 52320,
             ],
         },
         Operator::Hughes => vec![3356, 174, 7018], // stagnant: same every year
@@ -166,7 +336,11 @@ pub fn snapshot_for(year: i32) -> BgpSnapshot {
 
     edges.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
     edges.dedup();
-    BgpSnapshot { date: Date::new(year, 1, 1), edges, info }
+    BgpSnapshot {
+        date: Date::new(year, 1, 1),
+        edges,
+        info,
+    }
 }
 
 /// Peers for operators with explicit tables, or a home-country default.
@@ -233,8 +407,7 @@ mod tests {
     #[test]
     fn starlink_grows_hughes_stagnates() {
         let snaps = snapshots();
-        let starlink: Vec<usize> =
-            snaps.iter().map(|s| s.degree(Asn(14593))).collect();
+        let starlink: Vec<usize> = snaps.iter().map(|s| s.degree(Asn(14593))).collect();
         assert!(starlink[0] < starlink[1] && starlink[1] < starlink[2]);
         assert!(starlink[2] >= 3 * starlink[0], "{starlink:?}");
         let hughes: Vec<usize> = snaps.iter().map(|s| s.degree(Asn(28613))).collect();
@@ -288,7 +461,10 @@ mod tests {
         let snap = snapshot_for(2023);
         let level3 = snap.degree(Asn(3356));
         let starlink = snap.degree(Asn(14593));
-        assert!(level3 > 3 * starlink, "level3 {level3} vs starlink {starlink}");
+        assert!(
+            level3 > 3 * starlink,
+            "level3 {level3} vs starlink {starlink}"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl SynthConfig {
 
     /// A smaller corpus for fast unit tests.
     pub fn test_corpus() -> SynthConfig {
-        SynthConfig { scale: 2e-4, ..SynthConfig::default_corpus() }
+        SynthConfig {
+            scale: 2e-4,
+            ..SynthConfig::default_corpus()
+        }
     }
 
     /// Number of NDT sessions to generate for an operator with
@@ -203,6 +206,9 @@ mod tests {
     fn only_leo_and_meo_hand_off() {
         assert!(link_quality(Operator::Starlink, OrbitClass::Leo).handoff_loss > 0.0);
         assert!(link_quality(Operator::O3b, OrbitClass::Meo).handoff_loss > 0.0);
-        assert_eq!(link_quality(Operator::Viasat, OrbitClass::Geo).handoff_loss, 0.0);
+        assert_eq!(
+            link_quality(Operator::Viasat, OrbitClass::Geo).handoff_loss,
+            0.0
+        );
     }
 }

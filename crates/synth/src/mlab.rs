@@ -72,7 +72,10 @@ impl MlabGenerator {
 
     /// Generate records for one operator.
     pub fn generate_for(&self, op: Operator) -> Vec<NdtRecord> {
-        self.sessions_for(op).into_iter().map(|(rec, _)| rec).collect()
+        self.sessions_for(op)
+            .into_iter()
+            .map(|(rec, _)| rec)
+            .collect()
     }
 
     /// Generate `(record, truth)` pairs for one operator.
@@ -111,40 +114,34 @@ impl MlabGenerator {
 
             // Ground-truth link kind; pure prefixes can still carry
             // occasional terrestrial outliers (VPNs, misattribution).
-            let kind = if spec.outlier_fraction > 0.0 && rng.chance(spec.outlier_fraction)
-            {
+            let kind = if spec.outlier_fraction > 0.0 && rng.chance(spec.outlier_fraction) {
                 LinkKind::Terrestrial
             } else {
                 spec.kind
             };
 
             let client = scatter(spec.home, spec.scatter_km, &mut rng);
-            let Some(path) = ClientPath::for_session(
-                op,
-                kind,
-                client,
-                day,
-                self.config.seed,
-                &mut rng,
-            ) else {
+            let Some(path) =
+                ClientPath::for_session(op, kind, client, day, self.config.seed, &mut rng)
+            else {
                 continue; // out of coverage; resample
             };
 
-            let pep = if profile.uses_pep
-                && matches!(kind, LinkKind::Satellite(OrbitClass::Geo))
-            {
+            let pep = if profile.uses_pep && matches!(kind, LinkKind::Satellite(OrbitClass::Geo)) {
                 PepMode::typical()
             } else {
                 PepMode::None
             };
-            let flow = TcpFlow::new(TcpConfig { pep, ..TcpConfig::ndt() });
+            let flow = TcpFlow::new(TcpConfig {
+                pep,
+                ..TcpConfig::ndt()
+            });
             // Orbital time: seconds since corpus start, so satellites are
             // in distinct positions across sessions.
             let orbital_t = (u64::from(day.0) * SECS_PER_DAY + sec_of_day) as f64;
             let stats = flow.run(&path, orbital_t, &mut rng);
 
-            let (Some(latency_p5), Some(jitter_p95)) =
-                (stats.latency_p5(), stats.jitter_p95())
+            let (Some(latency_p5), Some(jitter_p95)) = (stats.latency_p5(), stats.jitter_p95())
             else {
                 continue; // total outage; M-Lab would record nothing
             };
@@ -180,7 +177,10 @@ fn scatter(home: GeoPoint, scatter_km: f64, rng: &mut Rng) -> GeoPoint {
     // placing subscribers).
     let dlat = rng.normal_with(0.0, scatter_km / 111.0 / 2.0);
     let lat = (home.lat + dlat).clamp(-65.0, 66.0); // stay in service belts
-    let dlon = rng.normal_with(0.0, scatter_km / 111.0 / 2.0 / lat.to_radians().cos().max(0.2));
+    let dlon = rng.normal_with(
+        0.0,
+        scatter_km / 111.0 / 2.0 / lat.to_radians().cos().max(0.2),
+    );
     let mut lon = home.lon + dlon;
     while lon > 180.0 {
         lon -= 360.0;

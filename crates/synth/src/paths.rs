@@ -25,27 +25,90 @@ use sno_types::{LinkKind, Operator, OrbitClass, Rng, UtcDay};
 /// the server nearest the *client* — which is how a GEO subscriber ends
 /// up measured against a server one continent from the teleport.
 pub const MLAB_SITES: &[GeoPoint] = &[
-    GeoPoint { lat: 47.61, lon: -122.33 }, // Seattle
-    GeoPoint { lat: 34.05, lon: -118.24 }, // Los Angeles
-    GeoPoint { lat: 39.74, lon: -104.99 }, // Denver
-    GeoPoint { lat: 41.88, lon: -87.63 },  // Chicago
-    GeoPoint { lat: 40.71, lon: -74.01 },  // New York
-    GeoPoint { lat: 33.75, lon: -84.39 },  // Atlanta
-    GeoPoint { lat: 43.65, lon: -79.38 },  // Toronto
-    GeoPoint { lat: 19.43, lon: -99.13 },  // Mexico City
-    GeoPoint { lat: -23.55, lon: -46.63 }, // São Paulo
-    GeoPoint { lat: -33.45, lon: -70.67 }, // Santiago
-    GeoPoint { lat: 51.51, lon: -0.13 },   // London
-    GeoPoint { lat: 50.11, lon: 8.68 },    // Frankfurt
-    GeoPoint { lat: 40.42, lon: -3.70 },   // Madrid
-    GeoPoint { lat: 59.33, lon: 18.07 },   // Stockholm
-    GeoPoint { lat: 25.28, lon: 55.30 },   // Dubai
-    GeoPoint { lat: 19.08, lon: 72.88 },   // Mumbai
-    GeoPoint { lat: 1.35, lon: 103.82 },   // Singapore
-    GeoPoint { lat: 35.68, lon: 139.69 },  // Tokyo
-    GeoPoint { lat: -33.87, lon: 151.21 }, // Sydney
-    GeoPoint { lat: -36.85, lon: 174.76 }, // Auckland
-    GeoPoint { lat: -26.20, lon: 28.05 },  // Johannesburg
+    GeoPoint {
+        lat: 47.61,
+        lon: -122.33,
+    }, // Seattle
+    GeoPoint {
+        lat: 34.05,
+        lon: -118.24,
+    }, // Los Angeles
+    GeoPoint {
+        lat: 39.74,
+        lon: -104.99,
+    }, // Denver
+    GeoPoint {
+        lat: 41.88,
+        lon: -87.63,
+    }, // Chicago
+    GeoPoint {
+        lat: 40.71,
+        lon: -74.01,
+    }, // New York
+    GeoPoint {
+        lat: 33.75,
+        lon: -84.39,
+    }, // Atlanta
+    GeoPoint {
+        lat: 43.65,
+        lon: -79.38,
+    }, // Toronto
+    GeoPoint {
+        lat: 19.43,
+        lon: -99.13,
+    }, // Mexico City
+    GeoPoint {
+        lat: -23.55,
+        lon: -46.63,
+    }, // São Paulo
+    GeoPoint {
+        lat: -33.45,
+        lon: -70.67,
+    }, // Santiago
+    GeoPoint {
+        lat: 51.51,
+        lon: -0.13,
+    }, // London
+    GeoPoint {
+        lat: 50.11,
+        lon: 8.68,
+    }, // Frankfurt
+    GeoPoint {
+        lat: 40.42,
+        lon: -3.70,
+    }, // Madrid
+    GeoPoint {
+        lat: 59.33,
+        lon: 18.07,
+    }, // Stockholm
+    GeoPoint {
+        lat: 25.28,
+        lon: 55.30,
+    }, // Dubai
+    GeoPoint {
+        lat: 19.08,
+        lon: 72.88,
+    }, // Mumbai
+    GeoPoint {
+        lat: 1.35,
+        lon: 103.82,
+    }, // Singapore
+    GeoPoint {
+        lat: 35.68,
+        lon: 139.69,
+    }, // Tokyo
+    GeoPoint {
+        lat: -33.87,
+        lon: 151.21,
+    }, // Sydney
+    GeoPoint {
+        lat: -36.85,
+        lon: 174.76,
+    }, // Auckland
+    GeoPoint {
+        lat: -26.20,
+        lon: 28.05,
+    }, // Johannesburg
 ];
 
 /// Nearest point of `candidates` to `from`.
@@ -207,8 +270,7 @@ impl ClientPath {
         // Session overhead: uplink scheduling (lognormal around the
         // operator median, scaled by the day's condition) plus the
         // terrestrial tail egress → server.
-        let sched =
-            quality.overhead_ms * day_factor * rng.lognormal(0.0, 0.18).clamp(0.6, 2.5);
+        let sched = quality.overhead_ms * day_factor * rng.lognormal(0.0, 0.18).clamp(0.6, 2.5);
         let tail = terrestrial_rtt(egress, server).0;
         let overhead_ms = sched + tail;
         let cross = match orbit {
@@ -219,7 +281,11 @@ impl ClientPath {
 
         let segment = match orbit {
             OrbitClass::Leo => {
-                let shell = if op == Operator::Oneweb { ONEWEB_SHELL } else { STARLINK_SHELL };
+                let shell = if op == Operator::Oneweb {
+                    ONEWEB_SHELL
+                } else {
+                    STARLINK_SHELL
+                };
                 // The downlink gateway sits near the client (gateway
                 // networks are dense); backhaul gateway → egress is part
                 // of the overhead via `tail` only when the egress is the
@@ -241,7 +307,10 @@ impl ClientPath {
                 pipe.propagation_rtt(0.0)?;
                 let backhaul = terrestrial_rtt(gw, egress).0;
                 return Some(ClientPath {
-                    segment: Segment::Leo { pipe, memo: std::cell::RefCell::new(None) },
+                    segment: Segment::Leo {
+                        pipe,
+                        memo: std::cell::RefCell::new(None),
+                    },
                     overhead_ms: overhead_ms + backhaul * 0.75, // cable routes beat the 1.6 default
                     cross,
                     loss: quality.loss,
@@ -259,8 +328,7 @@ impl ClientPath {
                 let prop = geo_slots_of(op)
                     .into_iter()
                     .filter_map(|lon| {
-                        GeoAccess::new(GeoSlot { lon_deg: lon }, client, egress)
-                            .propagation_rtt()
+                        GeoAccess::new(GeoSlot { lon_deg: lon }, client, egress).propagation_rtt()
                     })
                     .map(|m| m.0)
                     .fold(None::<f64>, |best, rtt| {

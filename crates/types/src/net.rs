@@ -43,9 +43,7 @@ impl Ipv4 {
     /// Is this address inside RFC 1918 private space?
     pub const fn is_private(self) -> bool {
         let o = self.octets();
-        o[0] == 10
-            || (o[0] == 172 && o[1] >= 16 && o[1] <= 31)
-            || (o[0] == 192 && o[1] == 168)
+        o[0] == 10 || (o[0] == 172 && o[1] >= 16 && o[1] <= 31) || (o[0] == 192 && o[1] == 168)
     }
 }
 

@@ -116,12 +116,8 @@ mod tests {
 
     #[test]
     fn orbit_altitudes_ordered() {
-        assert!(
-            OrbitClass::Leo.nominal_altitude_km() < OrbitClass::Meo.nominal_altitude_km()
-        );
-        assert!(
-            OrbitClass::Meo.nominal_altitude_km() < OrbitClass::Geo.nominal_altitude_km()
-        );
+        assert!(OrbitClass::Leo.nominal_altitude_km() < OrbitClass::Meo.nominal_altitude_km());
+        assert!(OrbitClass::Meo.nominal_altitude_km() < OrbitClass::Geo.nominal_altitude_km());
     }
 
     #[test]

@@ -76,7 +76,19 @@ impl NdtRecord {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum RootServer {
-    A, B, C, D, E, F, G, H, I, J, K, L, M,
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+    G,
+    H,
+    I,
+    J,
+    K,
+    L,
+    M,
 }
 
 impl RootServer {
@@ -300,10 +312,22 @@ mod tests {
             timestamp: Timestamp(100),
             target: RootServer::K,
             hops: vec![
-                TraceHop { addr: Ipv4::new(192, 168, 1, 1), rtt: Millis(1.0) },
-                TraceHop { addr: Ipv4::CGNAT_GATEWAY, rtt: Millis(35.0) },
-                TraceHop { addr: Ipv4::new(206, 224, 64, 1), rtt: Millis(37.0) },
-                TraceHop { addr: Ipv4::new(193, 0, 14, 129), rtt: Millis(52.0) },
+                TraceHop {
+                    addr: Ipv4::new(192, 168, 1, 1),
+                    rtt: Millis(1.0),
+                },
+                TraceHop {
+                    addr: Ipv4::CGNAT_GATEWAY,
+                    rtt: Millis(35.0),
+                },
+                TraceHop {
+                    addr: Ipv4::new(206, 224, 64, 1),
+                    rtt: Millis(37.0),
+                },
+                TraceHop {
+                    addr: Ipv4::new(193, 0, 14, 129),
+                    rtt: Millis(52.0),
+                },
             ],
             reached,
         }

@@ -314,8 +314,7 @@ mod tests {
         let mut r = Rng::new(13);
         let n = 50_000;
         let mean_target = 4.0;
-        let mean: f64 =
-            (0..n).map(|_| r.exponential(mean_target)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.exponential(mean_target)).sum::<f64>() / n as f64;
         assert!((mean - mean_target).abs() < 0.1, "mean {mean}");
     }
 
@@ -352,14 +351,16 @@ mod tests {
         }
         // Poisson path: n large, mean small.
         let trials = 20_000;
-        let mean_small: f64 =
-            (0..trials).map(|_| r.binomial(1_000, 0.002) as f64).sum::<f64>()
-                / trials as f64;
+        let mean_small: f64 = (0..trials)
+            .map(|_| r.binomial(1_000, 0.002) as f64)
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean_small - 2.0).abs() < 0.1, "mean {mean_small}");
         // Normal path: large mean.
-        let mean_large: f64 =
-            (0..trials).map(|_| r.binomial(400, 0.25) as f64).sum::<f64>()
-                / trials as f64;
+        let mean_large: f64 = (0..trials)
+            .map(|_| r.binomial(400, 0.25) as f64)
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean_large - 100.0).abs() < 1.0, "mean {mean_large}");
         // Edge cases.
         assert_eq!(r.binomial(0, 0.5), 0);

@@ -20,7 +20,11 @@ use std::ops::{Add, Sub};
 pub const SECS_PER_DAY: u64 = 86_400;
 
 /// The calendar date of the epoch (day 0).
-pub const EPOCH: Date = Date { year: 2021, month: 1, day: 1 };
+pub const EPOCH: Date = Date {
+    year: 2021,
+    month: 1,
+    day: 1,
+};
 
 /// Whole seconds since 2021-01-01 00:00:00 UTC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -178,7 +182,11 @@ impl Date {
         let mp = (5 * doy + 2) / 153; // [0, 11]
         let day = (doy - (153 * mp + 2) / 5 + 1) as u8;
         let month = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
-        Date { year: (y + i64::from(month <= 2)) as i32, month, day }
+        Date {
+            year: (y + i64::from(month <= 2)) as i32,
+            month,
+            day,
+        }
     }
 
     /// Day number relative to the 2021-01-01 epoch.

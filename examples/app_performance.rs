@@ -55,10 +55,16 @@ fn main() {
                 .iter()
                 .filter(|t| t.operator == op)
                 .flat_map(|t| {
-                    (0..4).map(|_| page_load(t, version, &mut rng).plt.0).collect::<Vec<_>>()
+                    (0..4)
+                        .map(|_| page_load(t, version, &mut rng).plt.0)
+                        .collect::<Vec<_>>()
                 })
                 .collect();
-            println!("  {:<10} {version}: {:>7.0} ms", op.name(), median(&v).unwrap());
+            println!(
+                "  {:<10} {version}: {:>7.0} ms",
+                op.name(),
+                median(&v).unwrap()
+            );
         }
     }
 
@@ -78,7 +84,11 @@ fn main() {
         let sessions: Vec<_> = testers
             .iter()
             .filter(|t| t.operator == op)
-            .flat_map(|t| (0..4).map(|_| video_session(t, &mut rng)).collect::<Vec<_>>())
+            .flat_map(|t| {
+                (0..4)
+                    .map(|_| video_session(t, &mut rng))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let mp: Vec<f64> = sessions.iter().map(|s| s.quality.megapixels()).collect();
         let buf: Vec<f64> = sessions.iter().map(|s| s.buffer_secs).collect();

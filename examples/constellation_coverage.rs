@@ -7,25 +7,33 @@
 //! ```
 
 use sno_dissect::geo::GeoPoint;
-use sno_dissect::orbit::{
-    ecef_of, BentPipe, GeoAccess, MeoAccess, ONEWEB_SHELL, STARLINK_SHELL,
-};
 use sno_dissect::orbit::geostationary::GeoSlot;
 use sno_dissect::orbit::meo::O3B_RING;
+use sno_dissect::orbit::{ecef_of, BentPipe, GeoAccess, MeoAccess, ONEWEB_SHELL, STARLINK_SHELL};
 
 fn main() {
     println!("shell geometry:");
-    for (name, shell) in [("Starlink 550km/53°", STARLINK_SHELL), ("OneWeb 1200km/87.4°", ONEWEB_SHELL)] {
+    for (name, shell) in [
+        ("Starlink 550km/53°", STARLINK_SHELL),
+        ("OneWeb 1200km/87.4°", ONEWEB_SHELL),
+    ] {
         println!(
             "  {name}: {} satellites, period {:.1} min",
             shell.num_sats(),
             shell.period_secs() / 60.0
         );
     }
-    println!("  O3b ring: {} satellites at 8062 km, period {:.1} min", O3B_RING.sats, O3B_RING.period_secs() / 60.0);
+    println!(
+        "  O3b ring: {} satellites at 8062 km, period {:.1} min",
+        O3B_RING.sats,
+        O3B_RING.period_secs() / 60.0
+    );
 
     println!("\ncoverage and bent-pipe propagation RTT vs latitude (longitude 0):");
-    println!("{:>5} {:>14} {:>14} {:>12} {:>12}", "lat", "Starlink", "OneWeb", "O3b MEO", "GEO slot 0°");
+    println!(
+        "{:>5} {:>14} {:>14} {:>12} {:>12}",
+        "lat", "Starlink", "OneWeb", "O3b MEO", "GEO slot 0°"
+    );
     for lat in (-80..=80).step_by(10) {
         let user = GeoPoint::new(f64::from(lat), 0.0);
         let gateway = GeoPoint::new(f64::from(lat).clamp(-60.0, 60.0), 5.0);

@@ -17,7 +17,10 @@ fn main() {
     // Stage 1-2: registry mapping + manual curation.
     let mapping = asn_map::map_asns();
     println!("== stage 1-2: ASN-to-SNO mapping ==");
-    println!("candidates (ASdb + HE search): {}", mapping.candidates.len());
+    println!(
+        "candidates (ASdb + HE search): {}",
+        mapping.candidates.len()
+    );
     println!(
         "curated: {} SNOs over {} ASNs; rejected lookalikes:",
         mapping.operator_count(),

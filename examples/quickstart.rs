@@ -14,7 +14,10 @@ fn main() {
     // 1. A deterministic synthetic NDT corpus (1/1000 of the paper's
     //    M-Lab volume; tweak `scale` for denser statistics).
     let config = SynthConfig::default_corpus();
-    println!("generating corpus (seed {:#x}, scale {:.0e})...", config.seed, config.scale);
+    println!(
+        "generating corpus (seed {:#x}, scale {:.0e})...",
+        config.seed, config.scale
+    );
     let corpus = MlabGenerator::new(config).generate();
     println!("  {} speed tests", corpus.records.len());
 
@@ -29,7 +32,12 @@ fn main() {
     // 3. The bird's-eye comparison: latency per orbit.
     println!("\naccess latency (p5) medians:");
     for (op, summary) in analysis::latency_by_operator(&corpus.records, &report) {
-        println!("  {:<12} {:>7.1} ms  (n={})", op.name(), summary.median, summary.count);
+        println!(
+            "  {:<12} {:>7.1} ms  (n={})",
+            op.name(),
+            summary.median,
+            summary.count
+        );
     }
 
     // 4. Jitter: LEO is fast but relatively unstable.

@@ -15,7 +15,11 @@ fn main() {
     let infos: Vec<ProbeInfo> = corpus
         .probes
         .iter()
-        .map(|p| ProbeInfo { id: p.id, country: p.country, state: p.state })
+        .map(|p| ProbeInfo {
+            id: p.id,
+            country: p.country,
+            state: p.state,
+        })
         .collect();
     println!(
         "{} probes, {} traceroutes, {} SSLCert observations\n",

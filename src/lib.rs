@@ -22,6 +22,6 @@ pub use sno_types as types;
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
     pub use sno_types::{
-        Asn, Date, Ipv4, Millis, Mbps, Operator, OrbitClass, Prefix24, Rng, Timestamp,
+        Asn, Date, Ipv4, Mbps, Millis, Operator, OrbitClass, Prefix24, Rng, Timestamp,
     };
 }

@@ -6,7 +6,10 @@ use sno_dissect::core::pipeline::Pipeline;
 use sno_dissect::synth::{AtlasGenerator, MlabGenerator, SynthConfig};
 
 fn cfg(seed: u64) -> SynthConfig {
-    SynthConfig { seed, ..SynthConfig::test_corpus() }
+    SynthConfig {
+        seed,
+        ..SynthConfig::test_corpus()
+    }
 }
 
 #[test]

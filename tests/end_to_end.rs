@@ -24,8 +24,8 @@ fn the_full_story_holds_together() {
     // Table 1: 18 SNOs, Starlink dominant.
     assert_eq!(report.sno_count(), 18);
     assert_eq!(report.catalog[0].0, Operator::Starlink);
-    let starlink_share = report.catalog[0].1 as f64
-        / report.accepted.iter().flatten().count() as f64;
+    let starlink_share =
+        report.catalog[0].1 as f64 / report.accepted.iter().flatten().count() as f64;
     // At the default scale Starlink carries ~75% of accepted records; at
     // the down-scaled test corpus the operator floors dilute it, but it
     // must still be the plurality by a wide margin.
@@ -34,7 +34,11 @@ fn the_full_story_holds_together() {
     // Figure 3c: the latency ladder LEO < MEO < GEO.
     let ladder = analysis::latency_by_operator(&corpus.records, report);
     let med = |op: Operator| {
-        ladder.iter().find(|(o, _)| *o == op).map(|(_, s)| s.median).unwrap()
+        ladder
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|(_, s)| s.median)
+            .unwrap()
     };
     assert!(med(Operator::Starlink) < med(Operator::Oneweb));
     assert!(med(Operator::Oneweb) < med(Operator::O3b));
@@ -62,8 +66,7 @@ fn the_full_story_holds_together() {
 fn pipeline_accuracy_against_ground_truth() {
     // The identification pipeline never sees the generator's ground
     // truth; score it like a classifier.
-    let (corpus, truth) =
-        MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
+    let (corpus, truth) = MlabGenerator::new(SynthConfig::test_corpus()).generate_with_truth();
     let report = Pipeline::new().run(&corpus.records);
 
     let mut tp = 0usize; // satellite accepted

@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
-use proptest::prelude::*;
-use sno_dissect::netsim::path::StaticPath;
+use sno_check::prelude::*;
+use sno_dissect::netsim::path::{PathDynamics, StaticPath, SteppedPath};
 use sno_dissect::netsim::tcp::{TcpConfig, TcpFlow};
 use sno_dissect::stats::{detect_mean_shifts, Ecdf, FiveNumber, Kde};
 use sno_dissect::types::{Ipv4, Rng};
@@ -163,5 +163,114 @@ proptest! {
         }
         let total: usize = daily.iter().map(|d| d.count).sum();
         prop_assert_eq!(total, samples.len());
+    }
+
+    /// TCP throughput is finite and non-negative under random path and
+    /// flow configurations, and byte accounting stays consistent.
+    #[test]
+    fn tcp_throughput_finite_nonnegative(
+        rtt in 1.0..1000.0f64,
+        loss in 0.0..0.5f64,
+        rate in 0.5..500.0f64,
+        buffer in 1.0..500.0f64,
+        mss in 500u32..3000,
+        init_cwnd in 1.0..20.0f64,
+        seed in any::<u64>(),
+    ) {
+        let path = StaticPath { rtt_ms: rtt, loss, rate_mbps: rate, buffer_ms: buffer };
+        let config = TcpConfig {
+            mss,
+            initial_cwnd: init_cwnd,
+            max_duration_secs: 3.0,
+            ..TcpConfig::ndt()
+        };
+        let stats = TcpFlow::new(config).run(&path, 0.0, &mut Rng::new(seed));
+        let tput = stats.mean_throughput().0;
+        prop_assert!(tput.is_finite(), "throughput {tput}");
+        prop_assert!(tput >= 0.0, "throughput {tput}");
+        prop_assert!(stats.duration_secs.is_finite() && stats.duration_secs >= 0.0);
+        prop_assert!(stats.bytes_acked <= stats.bytes_sent);
+        prop_assert!(stats.rtt_samples.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    /// The TCP simulation is deterministic given a seed (the
+    /// FoundationDB-style property every netsim invariant leans on).
+    #[test]
+    fn tcp_is_deterministic_given_seed(
+        rtt in 5.0..600.0f64,
+        loss in 0.0..0.1f64,
+        rate in 1.0..100.0f64,
+        seed in any::<u64>(),
+    ) {
+        let path = StaticPath { rtt_ms: rtt, loss, rate_mbps: rate, buffer_ms: 100.0 };
+        let config = TcpConfig { max_duration_secs: 2.0, ..TcpConfig::ndt() };
+        let a = TcpFlow::new(config.clone()).run(&path, 0.0, &mut Rng::new(seed));
+        let b = TcpFlow::new(config).run(&path, 0.0, &mut Rng::new(seed));
+        prop_assert_eq!(a.bytes_sent, b.bytes_sent);
+        prop_assert_eq!(a.bytes_acked, b.bytes_acked);
+        prop_assert_eq!(a.bytes_retrans, b.bytes_retrans);
+        prop_assert_eq!(a.rtt_samples, b.rtt_samples);
+    }
+
+    /// A static path reports the same dynamics at every instant: its RTT
+    /// is the whole (single-hop) delay budget, loss and rate are fixed,
+    /// and no handoffs ever happen.
+    #[test]
+    fn static_path_dynamics_are_constant(
+        rtt in 1.0..1000.0f64,
+        loss in 0.0..=1.0f64,
+        rate in 0.1..1000.0f64,
+        t in 0.0..1e6f64,
+    ) {
+        let p = StaticPath { rtt_ms: rtt, loss, rate_mbps: rate, buffer_ms: 80.0 };
+        prop_assert_eq!(p.base_rtt_ms(t), Some(rtt));
+        prop_assert_eq!(p.loss_prob(t), loss);
+        prop_assert_eq!(p.bottleneck_mbps(), rate);
+        prop_assert_eq!(p.generation(t), p.generation(0.0));
+        prop_assert_eq!(p.handoff_loss_prob(), 0.0);
+    }
+
+    /// A stepped path's RTT at time `t` equals the schedule segment
+    /// containing `t`, and its generation counts exactly the boundaries
+    /// crossed (so it is monotone in `t`).
+    #[test]
+    fn stepped_path_follows_its_schedule(
+        rtts in prop::collection::vec(10.0..200.0f64, 1..10),
+        dt in 1.0..30.0f64,
+        t in 0.0..400.0f64,
+    ) {
+        let steps: Vec<(f64, f64)> = rtts
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| ((k as f64 + 1.0) * dt, r))
+            .collect();
+        let p = SteppedPath {
+            steps: steps.clone(),
+            loss: 0.0,
+            rate_mbps: 50.0,
+            handoff_loss: 0.0,
+        };
+        let expected = steps
+            .iter()
+            .find(|&&(until, _)| t < until)
+            .map(|&(_, r)| r)
+            .unwrap_or(steps.last().unwrap().1);
+        prop_assert_eq!(p.base_rtt_ms(t), Some(expected));
+        let crossed = steps.iter().filter(|&&(until, _)| t >= until).count() as u64;
+        prop_assert_eq!(p.generation(t), crossed);
+        prop_assert!(p.generation(t + dt) >= p.generation(t));
+    }
+
+    /// Changepoint detection finds no shifts in a constant series, no
+    /// matter its level, length, or the threshold.
+    #[test]
+    fn no_shifts_in_constant_series(
+        level in -1e3..1e3f64,
+        n in 10..300usize,
+        min_shift in 0.5..100.0f64,
+    ) {
+        let series = vec![level; n];
+        let shifts = detect_mean_shifts(&series, min_shift, 5);
+        prop_assert!(shifts.is_empty(), "found {} shifts", shifts.len());
     }
 }
