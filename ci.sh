@@ -16,4 +16,15 @@ run cargo build --examples --offline
 run cargo build --benches --offline -p sno-bench
 run cargo fmt --check
 
+# Perf gate: diff the two newest committed BENCH_N.json trajectory
+# snapshots and fail on >20% median regressions (repro --bench-diff).
+# Skipped until at least two snapshots exist.
+mapfile -t snapshots < <(ls BENCH_*.json 2>/dev/null | sort -V)
+if (( ${#snapshots[@]} >= 2 )); then
+    run cargo run --release --offline -p sno-bench --bin repro -- \
+        --bench-diff "${snapshots[-2]}" "${snapshots[-1]}"
+else
+    echo "==> perf gate skipped (fewer than two BENCH_*.json snapshots)"
+fi
+
 echo "ci: all green (hermetic)"

@@ -21,8 +21,8 @@ pub mod popmap;
 pub mod root_dns;
 pub mod summary;
 
-pub use pop_changes::{detect_pop_changes, PopChange};
-pub use pop_rtt::{pop_rtt_by_country, pop_rtt_by_state, ProbeInfo};
+pub use pop_changes::{detect_all_pop_changes, detect_pop_changes, PopChange};
+pub use pop_rtt::{pop_rtt_by_country, pop_rtt_by_state, pop_rtt_series_by_probe, ProbeInfo};
 pub use popmap::{pop_history, PopLink};
 pub use root_dns::{hops_by_country, root_rtt_by_country};
 pub use summary::{country_summary, CountrySummary};

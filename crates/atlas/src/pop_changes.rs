@@ -6,11 +6,12 @@
 //! shift against the reverse-DNS PoP history, attributing the shift to a
 //! PoP change when one happened nearby in time.
 
-use crate::pop_rtt::pop_rtt_series;
-use crate::popmap::PopLink;
+use crate::pop_rtt::{pop_rtt_series, pop_rtt_series_by_probe};
+use crate::popmap::{pop_history, PopLink};
 use sno_stats::detect_mean_shifts;
-use sno_types::records::TracerouteRecord;
-use sno_types::{ProbeId, Timestamp};
+use sno_types::records::{SslCertRecord, TracerouteRecord};
+use sno_types::{par, Ipv4, ProbeId, Timestamp};
+use std::collections::BTreeMap;
 
 /// One detected RTT level shift, possibly explained by a PoP change.
 #[derive(Debug, Clone)]
@@ -45,7 +46,54 @@ pub fn detect_pop_changes(
     min_shift_ms: f64,
     min_segment: usize,
 ) -> Vec<PopChange> {
-    let series = pop_rtt_series(traceroutes, probe);
+    detect_in_series(
+        &pop_rtt_series(traceroutes, probe),
+        probe,
+        history,
+        min_shift_ms,
+        min_segment,
+    )
+}
+
+/// Detect PoP changes for **every** probe: one pass buckets all RTT
+/// series and SSLCert histories, then the per-probe segmentations run
+/// on the worker pool (`threads`, `0` = all cores). Results merge in
+/// ascending probe order, so the output is identical at every thread
+/// count — and identical to calling [`detect_pop_changes`] per probe,
+/// without its per-probe rescan of the whole corpus.
+pub fn detect_all_pop_changes(
+    traceroutes: &[TracerouteRecord],
+    sslcerts: &[SslCertRecord],
+    resolve: impl Fn(Ipv4) -> Option<String> + Sync,
+    min_shift_ms: f64,
+    min_segment: usize,
+    threads: usize,
+) -> Vec<PopChange> {
+    let series = pop_rtt_series_by_probe(traceroutes);
+    let mut certs: BTreeMap<ProbeId, Vec<SslCertRecord>> = BTreeMap::new();
+    for s in sslcerts {
+        certs.entry(s.probe).or_default().push(*s);
+    }
+    let probes: Vec<&ProbeId> = series.keys().collect();
+    let per_probe = par::shard_map(probes.len(), threads, |i| {
+        let probe = *probes[i];
+        let history = certs
+            .get(&probe)
+            .map(|c| pop_history(c, probe, &resolve))
+            .unwrap_or_default();
+        detect_in_series(&series[&probe], probe, &history, min_shift_ms, min_segment)
+    });
+    per_probe.into_iter().flatten().collect()
+}
+
+/// Segment one probe's RTT series and attribute the shifts.
+fn detect_in_series(
+    series: &[(Timestamp, f64)],
+    probe: ProbeId,
+    history: &[PopLink],
+    min_shift_ms: f64,
+    min_segment: usize,
+) -> Vec<PopChange> {
     if series.len() < 2 * min_segment {
         return Vec::new();
     }
@@ -161,5 +209,33 @@ mod tests {
         let c = corpus();
         let changes = detect_pop_changes(&c.traceroutes, ProbeId(99_999), &[], 8.0, 8);
         assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn all_probe_detection_matches_per_probe_loop() {
+        let c = corpus();
+        for threads in [1, 2, 8] {
+            let all = detect_all_pop_changes(
+                &c.traceroutes,
+                &c.sslcerts,
+                sno_synth::atlas::reverse_dns,
+                8.0,
+                8,
+                threads,
+            );
+            let mut expect = Vec::new();
+            for p in &c.probes {
+                let history = pop_history(&c.sslcerts, p.id, sno_synth::atlas::reverse_dns);
+                expect.extend(detect_pop_changes(&c.traceroutes, p.id, &history, 8.0, 8));
+            }
+            assert_eq!(all.len(), expect.len(), "threads {threads}");
+            for (a, b) in all.iter().zip(&expect) {
+                assert_eq!(a.probe, b.probe);
+                assert_eq!(a.at, b.at);
+                assert_eq!(a.before_ms, b.before_ms);
+                assert_eq!(a.after_ms, b.after_ms);
+                assert_eq!(a.pops, b.pops);
+            }
+        }
     }
 }

@@ -76,6 +76,28 @@ pub fn pop_rtt_series(
     series
 }
 
+/// Every probe's RTT series from a single pass over the corpus — the
+/// O(T + P) replacement for calling [`pop_rtt_series`] once per probe
+/// (which rescans all T traceroutes for each of the P probes).
+pub fn pop_rtt_series_by_probe(
+    traceroutes: &[TracerouteRecord],
+) -> BTreeMap<ProbeId, Vec<(sno_types::Timestamp, f64)>> {
+    let mut by_probe: BTreeMap<ProbeId, Vec<(sno_types::Timestamp, f64)>> = BTreeMap::new();
+    for t in traceroutes {
+        if let Some(rtt) = t.cgnat_rtt() {
+            by_probe
+                .entry(t.probe)
+                .or_default()
+                .push((t.timestamp, rtt.0));
+        }
+    }
+    // Stable sort, as in `pop_rtt_series`, so the two agree exactly.
+    for series in by_probe.values_mut() {
+        series.sort_by_key(|&(ts, _)| ts);
+    }
+    by_probe
+}
+
 fn summarise<K: Ord>(map: BTreeMap<K, Vec<f64>>) -> Vec<(K, FiveNumber)> {
     let mut out: Vec<(K, FiveNumber)> = map
         .into_iter()

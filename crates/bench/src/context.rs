@@ -44,7 +44,7 @@ impl ReproContext {
     /// The pipeline report over the NDT corpus.
     pub fn report(&self) -> &PipelineReport {
         self.report
-            .get_or_init(|| Pipeline::new().run(&self.mlab().records))
+            .get_or_init(|| Pipeline::with_threads(self.config.threads).run(&self.mlab().records))
     }
 
     /// The RIPE Atlas corpus.

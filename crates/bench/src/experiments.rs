@@ -533,11 +533,16 @@ fn fig8a(ctx: &ReproContext) -> String {
 fn fig8b(ctx: &ReproContext) -> String {
     let atlas = ctx.atlas();
     let mut out = String::new();
-    for probe in &atlas.probes {
-        let history =
-            sno_atlas::pop_history(&atlas.sslcerts, probe.id, sno_synth::atlas::reverse_dns);
-        let changes = sno_atlas::detect_pop_changes(&atlas.traceroutes, probe.id, &history, 8.0, 8);
-        for ch in changes {
+    let all_changes = sno_atlas::detect_all_pop_changes(
+        &atlas.traceroutes,
+        &atlas.sslcerts,
+        sno_synth::atlas::reverse_dns,
+        8.0,
+        8,
+        ctx.config().threads,
+    );
+    for ch in all_changes {
+        if let Some(probe) = atlas.probe(ch.probe) {
             let pops = ch
                 .pops
                 .map(|(a, b)| format!("{a} -> {b}"))

@@ -12,7 +12,8 @@
 //!
 //! * [`proptest!`] — the macro subset the existing property suites use:
 //!   `#[test]` blocks, range strategies, `prop::collection::vec`,
-//!   `any::<T>()`, `prop_assert!`/`prop_assert_eq!`, and
+//!   `any::<T>()`, the `prop_map`/`prop_filter` adapters,
+//!   `prop_assert!`/`prop_assert_eq!`, and
 //!   `ProptestConfig::with_cases(n)`. Failures shrink greedily and print
 //!   a seed; `SNO_CHECK_SEED=<seed>` replays the identical
 //!   counterexample.
@@ -40,7 +41,7 @@ pub mod runner;
 pub mod strategy;
 
 pub use runner::{run_property, PropError, ProptestConfig, SEED_ENV};
-pub use strategy::{any, Arbitrary, Strategy};
+pub use strategy::{any, Arbitrary, Mapped, Strategy};
 
 /// `proptest`-style module layout, so `prop::collection::vec(..)` reads
 /// the same as upstream.
@@ -55,6 +56,6 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::runner::{PropError, ProptestConfig};
-    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Arbitrary, Mapped, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }

@@ -33,6 +33,149 @@ pub trait Strategy {
         let _ = value;
         Vec::new()
     }
+
+    /// Transform generated values with `f`, as in proptest's
+    /// `prop_map`. The produced [`Mapped`] value keeps the source value
+    /// it came from, so shrinking simplifies the *source* and re-maps —
+    /// a mapped strategy shrinks exactly as well as its input does.
+    fn prop_map<T, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        MapStrategy { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, as in proptest's
+    /// `prop_filter`. `reason` names the constraint in the panic raised
+    /// when the predicate rejects too many consecutive draws. Shrink
+    /// candidates are filtered through the same predicate, so shrinking
+    /// never leaves the accepted region.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy {
+            source: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// A value produced by [`Strategy::prop_map`]: the mapped output plus
+/// the source value it was computed from (so shrinking can simplify the
+/// source and re-map). Dereferences to the mapped output.
+#[derive(Clone)]
+pub struct Mapped<V, T> {
+    /// The source value the map was applied to.
+    pub source: V,
+    /// The mapped output.
+    pub value: T,
+}
+
+impl<V, T> std::ops::Deref for Mapped<V, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<V: Debug, T: Debug> Debug for Mapped<V, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} (from {:?})", self.value, self.source)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = Mapped<S::Value, T>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let source = self.source.generate(rng);
+        let value = (self.f)(source.clone());
+        Mapped { source, value }
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        self.source
+            .shrink(&v.source)
+            .into_iter()
+            .map(|source| {
+                let value = (self.f)(source.clone());
+                Mapped { source, value }
+            })
+            .collect()
+    }
+}
+
+/// How many consecutive rejected draws [`Strategy::prop_filter`]
+/// tolerates before concluding the predicate is unsatisfiable.
+pub const FILTER_RETRY_BUDGET: usize = 1_000;
+
+/// The strategy returned by [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    source: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for FilterStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng) -> S::Value {
+        for _ in 0..FILTER_RETRY_BUDGET {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}): predicate rejected {FILTER_RETRY_BUDGET} consecutive draws",
+            self.reason
+        );
+    }
+
+    fn shrink(&self, v: &S::Value) -> Vec<S::Value> {
+        // A rejected candidate is not a dead end: its own shrinks are
+        // still simpler than `v`, and one of them may satisfy the
+        // predicate (e.g. shrinking an even value whose midpoint is
+        // odd). Walk the candidate tree breadth-first under a budget;
+        // every node is strictly simpler than its parent, so this
+        // terminates and stays strictly simplifying.
+        let mut out = Vec::new();
+        let mut queue: std::collections::VecDeque<S::Value> = self.source.shrink(v).into();
+        let mut budget = 64;
+        while let Some(c) = queue.pop_front() {
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+            if (self.pred)(&c) {
+                out.push(c);
+            } else {
+                queue.extend(self.source.shrink(&c));
+            }
+        }
+        out
+    }
 }
 
 /// Shrink candidates for a float: toward the in-range point nearest

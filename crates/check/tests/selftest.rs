@@ -56,6 +56,35 @@ proptest! {
         prop_assert!(y == y);
         prop_assert!(z || !z);
     }
+
+    /// `prop_map` applies the closure to every draw.
+    #[test]
+    fn prop_map_applies(even in (0..500u32).prop_map(|n| n * 2)) {
+        prop_assert!(*even % 2 == 0);
+        prop_assert!(*even < 1_000);
+        prop_assert_eq!(even.source * 2, even.value);
+    }
+
+    /// `prop_filter` only yields accepted values.
+    #[test]
+    fn prop_filter_respects_predicate(
+        odd in (0..1_000u32).prop_filter("odd", |n| n % 2 == 1),
+    ) {
+        prop_assert!(odd % 2 == 1);
+    }
+
+    /// The adapters compose with each other and with collections.
+    #[test]
+    fn adapters_compose(
+        xs in prop::collection::vec(
+            (1..100u32).prop_filter("not a multiple of 10", |n| n % 10 != 0),
+            1..20,
+        ),
+        scaled in (0.0..10.0f64).prop_map(|x| x * 100.0),
+    ) {
+        prop_assert!(xs.iter().all(|n| n % 10 != 0));
+        prop_assert!((0.0..1_000.0).contains(&*scaled));
+    }
 }
 
 /// A property that fails exactly when `x >= 100`, recording the last
@@ -186,6 +215,65 @@ fn vec_shrinking_reaches_small_witness() {
 }
 
 #[test]
+fn mapped_shrinking_simplifies_the_source() {
+    // Fails when the mapped value reaches 100; the minimal witness is
+    // source 50 → value 100, reachable only by shrinking the source and
+    // re-mapping.
+    let last = Cell::new(u32::MAX);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_property(
+            concat!(module_path!(), "::map_shrink_target"),
+            &ProptestConfig::with_cases(64),
+            &(((0..10_000u32).prop_map(|n| n * 2),)),
+            |(v,)| {
+                if *v >= 100 {
+                    last.set(last.get().min(*v));
+                    return Err(PropError::new("mapped >= 100"));
+                }
+                Ok(())
+            },
+        );
+    }));
+    assert!(
+        (100..=104).contains(&last.get()),
+        "shrunk to {} instead of ~100",
+        last.get()
+    );
+}
+
+#[test]
+fn filtered_shrinking_stays_in_region() {
+    // The filter admits only even values; the property fails at 10 and
+    // above. No candidate the runner evaluates may be odd, and greedy
+    // shrinking must still reach the boundary.
+    let saw_odd = Cell::new(false);
+    let last = Cell::new(u32::MAX);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_property(
+            concat!(module_path!(), "::filter_shrink_target"),
+            &ProptestConfig::with_cases(64),
+            &(((0..10_000u32).prop_filter("even", |n| n % 2 == 0),)),
+            |(v,)| {
+                if v % 2 == 1 {
+                    saw_odd.set(true);
+                }
+                if v >= 10 {
+                    last.set(last.get().min(v));
+                    return Err(PropError::new("even >= 10"));
+                }
+                Ok(())
+            },
+        );
+    }));
+    assert!(!saw_odd.get(), "filter let an odd value through");
+    assert!(
+        (10..=12).contains(&last.get()),
+        "shrunk to {} instead of ~10",
+        last.get()
+    );
+}
+
+#[test]
 fn bench_harness_reports_and_serialises() {
     let mut group = bench_group("selftest");
     group.sample_size(5).warm_up_ms(1.0).sample_budget_ms(0.5);
@@ -205,4 +293,16 @@ fn bench_harness_reports_and_serialises() {
     for needle in ["sno-bench-v1", "selftest", "sum_1k", "sum_4k", "median_ms"] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");
     }
+
+    // The serialised report parses back with the same names and
+    // medians (to the 6 decimal places the format records).
+    let parsed = BenchReport::parse_json(&json).expect("round trip");
+    assert_eq!(parsed.len(), 2);
+    for (p, r) in parsed.iter().zip(&report.groups[0].results) {
+        assert_eq!(p.group, "selftest");
+        assert_eq!(p.name, r.name);
+        assert!((p.median_ms - r.median_ms()).abs() < 1e-6, "{p:?}");
+    }
+    assert!(BenchReport::parse_json("{}").is_err());
+    assert!(BenchReport::parse_json("not json").is_err());
 }

@@ -1,8 +1,11 @@
 //! Stage 4: the end-to-end pipeline and the SNO catalog (Table 1).
 
 use crate::asn_map::{map_asns, AsnMapping};
-use crate::prefix_filter::{relaxed_thresholds, strict_filter, StrictOutcome, MEO_FLOOR_MS};
-use crate::validate::{validate_asns, AsnProfile, AsnVerdict, LatencyBands};
+use crate::prefix_filter::{
+    relaxed_thresholds, strict_filter_threaded, StrictOutcome, MEO_FLOOR_MS,
+};
+use crate::validate::{validate_asns_threaded, AsnProfile, AsnVerdict, LatencyBands};
+use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Operator, OrbitClass};
 use std::collections::BTreeMap;
@@ -20,6 +23,9 @@ use std::collections::BTreeMap;
 pub struct Pipeline {
     /// Latency bands for the KDE validation stage.
     pub bands: LatencyBands,
+    /// Worker threads for the sharded stages (`0` = all cores). The
+    /// report is byte-identical at every setting; see `sno_types::par`.
+    pub threads: usize,
 }
 
 /// Everything the pipeline produced.
@@ -65,26 +71,40 @@ impl Pipeline {
         Pipeline::default()
     }
 
+    /// A pipeline with an explicit worker-thread count (`0` = all
+    /// cores).
+    pub fn with_threads(threads: usize) -> Pipeline {
+        Pipeline {
+            threads,
+            ..Pipeline::default()
+        }
+    }
+
     /// Run all stages over an NDT corpus.
     pub fn run(&self, records: &[NdtRecord]) -> PipelineReport {
         // Stages 1–2: registry mapping + curation.
         let mapping = map_asns();
         // Stage 3: KDE validation.
-        let profiles = validate_asns(&mapping, records, self.bands);
+        let profiles = validate_asns_threaded(&mapping, records, self.bands, self.threads);
         let verdict_of: BTreeMap<_, _> = profiles
             .iter()
             .map(|p| (p.asn, p.verdict.clone()))
             .collect();
         // Stage 3b: strict prefix filter.
-        let strict = strict_filter(&mapping, &profiles, records);
+        let strict = strict_filter_threaded(&mapping, &profiles, records, self.threads);
         // Stage 3c: relaxed thresholds.
         let (thresholds, default_threshold) = relaxed_thresholds(&strict);
 
-        // Stage 4: per-record acceptance.
-        let mut accepted = Vec::with_capacity(records.len());
-        for rec in records {
-            accepted.push(self.accept(rec, &mapping, &verdict_of, &thresholds, default_threshold));
-        }
+        // Stage 4: per-record acceptance, in record-order shards.
+        let accepted: Vec<Option<Operator>> =
+            par::shard_map_chunks(records.len(), 1024, self.threads, |_, range| {
+                records[range]
+                    .iter()
+                    .map(|rec| {
+                        self.accept(rec, &mapping, &verdict_of, &thresholds, default_threshold)
+                    })
+                    .collect()
+            });
 
         let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
         for op in accepted.iter().flatten() {

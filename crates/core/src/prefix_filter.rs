@@ -19,6 +19,7 @@
 use crate::asn_map::AsnMapping;
 use crate::validate::{AsnProfile, AsnVerdict};
 use sno_stats::FiveNumber;
+use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Operator, OrbitClass, Prefix24};
 use std::collections::{BTreeMap, BTreeSet};
@@ -79,6 +80,19 @@ pub fn strict_filter(
     profiles: &[AsnProfile],
     records: &[NdtRecord],
 ) -> StrictOutcome {
+    strict_filter_threaded(mapping, profiles, records, 0)
+}
+
+/// [`strict_filter`] with an explicit worker-thread count (`0` = all
+/// cores). Prefix buckets are evaluated in fixed-size shards and the
+/// per-shard results merged in prefix order, so the outcome is
+/// identical at every thread count.
+pub fn strict_filter_threaded(
+    mapping: &AsnMapping,
+    profiles: &[AsnProfile],
+    records: &[NdtRecord],
+    threads: usize,
+) -> StrictOutcome {
     let outlier_asns: BTreeSet<_> = profiles
         .iter()
         .filter(|p| matches!(p.verdict, AsnVerdict::Outlier(_)))
@@ -104,28 +118,41 @@ pub fn strict_filter(
             .push(rec.latency_p5.0);
     }
 
+    let examined = by_prefix.len();
+    let buckets: Vec<((Operator, Prefix24), Vec<f64>)> = by_prefix.into_iter().collect();
+    let ranges = par::shard_ranges(buckets.len(), par::DEFAULT_CHUNK);
+    let parts = par::shard_map(ranges.len(), threads, |s| {
+        let mut retained = Vec::new();
+        let mut rejected_band = 0usize;
+        let mut rejected_thin = 0usize;
+        for ((op, prefix), latencies) in &buckets[ranges[s].clone()] {
+            if latencies.len() < STRICT_MIN_TESTS {
+                rejected_thin += 1;
+                continue;
+            }
+            let floor = floor_of(sno_registry::sources::access_of(*op));
+            if latencies.iter().all(|&l| l > floor) {
+                let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+                retained.push(PrefixStat {
+                    operator: *op,
+                    prefix: *prefix,
+                    tests: latencies.len(),
+                    min_latency_ms: min,
+                    summary: FiveNumber::of(latencies).expect("non-empty"),
+                });
+            } else {
+                rejected_band += 1;
+            }
+        }
+        (retained, rejected_band, rejected_thin)
+    });
     let mut retained = Vec::new();
     let mut rejected_band = 0;
     let mut rejected_thin = 0;
-    let examined = by_prefix.len();
-    for ((op, prefix), latencies) in by_prefix {
-        if latencies.len() < STRICT_MIN_TESTS {
-            rejected_thin += 1;
-            continue;
-        }
-        let floor = floor_of(sno_registry::sources::access_of(op));
-        if latencies.iter().all(|&l| l > floor) {
-            let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
-            retained.push(PrefixStat {
-                operator: op,
-                prefix,
-                tests: latencies.len(),
-                min_latency_ms: min,
-                summary: FiveNumber::of(&latencies).expect("non-empty"),
-            });
-        } else {
-            rejected_band += 1;
-        }
+    for (part, band, thin) in parts {
+        retained.extend(part);
+        rejected_band += band;
+        rejected_thin += thin;
     }
     StrictOutcome {
         retained,

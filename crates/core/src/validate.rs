@@ -14,6 +14,7 @@
 use crate::asn_map::AsnMapping;
 use sno_registry::sources::access_of;
 use sno_stats::Kde;
+use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Asn, Operator, OrbitClass};
 use std::collections::BTreeMap;
@@ -96,20 +97,35 @@ pub fn validate_asns(
     records: &[NdtRecord],
     bands: LatencyBands,
 ) -> Vec<AsnProfile> {
-    // Bucket latencies per ASN.
+    validate_asns_threaded(mapping, records, bands, 0)
+}
+
+/// [`validate_asns`] with an explicit worker-thread count (`0` = all
+/// cores). Each (operator, ASN) profile is an independent KDE fit, so
+/// the fits fan out across the pool and merge in mapping order — the
+/// output is identical at every thread count.
+pub fn validate_asns_threaded(
+    mapping: &AsnMapping,
+    records: &[NdtRecord],
+    bands: LatencyBands,
+    threads: usize,
+) -> Vec<AsnProfile> {
+    // Bucket latencies per ASN (serial: one pass over the corpus).
     let mut by_asn: BTreeMap<Asn, Vec<f64>> = BTreeMap::new();
     for rec in records {
         by_asn.entry(rec.asn).or_default().push(rec.latency_p5.0);
     }
 
-    let mut out = Vec::new();
-    for (&op, asns) in &mapping.mapping {
-        for &asn in asns {
-            let latencies = by_asn.get(&asn).map(Vec::as_slice).unwrap_or(&[]);
-            out.push(profile_one(op, asn, latencies, bands));
-        }
-    }
-    out
+    let pairs: Vec<(Operator, Asn)> = mapping
+        .mapping
+        .iter()
+        .flat_map(|(&op, asns)| asns.iter().map(move |&asn| (op, asn)))
+        .collect();
+    par::shard_map(pairs.len(), threads, |i| {
+        let (op, asn) = pairs[i];
+        let latencies = by_asn.get(&asn).map(Vec::as_slice).unwrap_or(&[]);
+        profile_one(op, asn, latencies, bands)
+    })
 }
 
 /// Validate one ASN's latency sample.

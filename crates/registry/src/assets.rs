@@ -4,36 +4,37 @@
 
 use sno_geo::{GeoPoint, STARLINK_POPS};
 use sno_types::Operator;
+use std::sync::OnceLock;
 
 /// Orbital slot longitudes (degrees east) of an operator's GEO fleet.
-/// Empty for non-GEO operators.
-pub fn geo_slots_of(op: Operator) -> Vec<f64> {
+/// Empty for non-GEO operators. Static tables: path construction calls
+/// this once per session, so it must not allocate.
+pub fn geo_slots_of(op: Operator) -> &'static [f64] {
     match op {
         // LEO / MEO operators park nothing on the Clarke belt.
-        Operator::Starlink | Operator::Oneweb | Operator::O3b => Vec::new(),
-        Operator::Viasat => vec![-115.0, -70.0],
-        Operator::Hughes => vec![-107.0, -63.0],
-        Operator::Eutelsat => vec![9.0, 36.0],
-        Operator::Avanti => vec![33.5],
-        Operator::Ses => vec![19.2, -47.0],
-        Operator::Telalaska => vec![-139.0],
-        Operator::Intelsat => vec![-58.0, 66.0],
-        Operator::Kacific => vec![150.0],
-        Operator::Thaicom => vec![78.5, 119.5],
-        Operator::HellasSat => vec![39.0],
+        Operator::Starlink | Operator::Oneweb | Operator::O3b => &[],
+        Operator::Viasat => &[-115.0, -70.0],
+        Operator::Hughes => &[-107.0, -63.0],
+        Operator::Eutelsat => &[9.0, 36.0],
+        Operator::Avanti => &[33.5],
+        Operator::Ses => &[19.2, -47.0],
+        Operator::Telalaska => &[-139.0],
+        Operator::Intelsat => &[-58.0, 66.0],
+        Operator::Kacific => &[150.0],
+        Operator::Thaicom => &[78.5, 119.5],
+        Operator::HellasSat => &[39.0],
         // Maritime operators lease Inmarsat-style global beams.
-        Operator::Marlink | Operator::Kvh => vec![-98.0, 25.0, 143.5],
+        Operator::Marlink | Operator::Kvh => &[-98.0, 25.0, 143.5],
         // Everyone else: a single regional slot near their home market.
         _ => {
             let p = crate::profile::profile_of(op);
-            let lon = match p.country {
-                "US" | "CA" | "MX" => -101.0,
-                "BR" => -61.0,
-                "GB" | "FR" | "GR" | "NO" | "LU" | "RU" => 13.0,
-                "AU" | "PG" | "SG" | "ID" | "TH" | "IN" => 108.0,
-                _ => -101.0,
-            };
-            vec![lon]
+            match p.country {
+                "US" | "CA" | "MX" => &[-101.0],
+                "BR" => &[-61.0],
+                "GB" | "FR" | "GR" | "NO" | "LU" | "RU" => &[13.0],
+                "AU" | "PG" | "SG" | "ID" | "TH" | "IN" => &[108.0],
+                _ => &[-101.0],
+            }
         }
     }
 }
@@ -41,14 +42,20 @@ pub fn geo_slots_of(op: Operator) -> Vec<f64> {
 /// Internet egress points (PoP-equivalents) of an operator — where its
 /// subscriber traffic enters the public internet. Geographic spread here
 /// is what the paper's BGP analysis infers from peering jurisdictions.
-pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
+/// Static tables (Starlink's is projected from [`STARLINK_POPS`] once):
+/// path construction calls this once per session, so it must not
+/// allocate.
+pub fn egress_of(op: Operator) -> &'static [GeoPoint] {
     match op {
         // Starlink: one egress per PoP — the best-provisioned footprint.
-        Operator::Starlink => STARLINK_POPS.iter().map(|p| p.point).collect(),
+        Operator::Starlink => {
+            static POINTS: OnceLock<Vec<GeoPoint>> = OnceLock::new();
+            POINTS.get_or_init(|| STARLINK_POPS.iter().map(|p| p.point).collect())
+        }
         // OneWeb: only two US-based transit providers in the study
         // window — all traffic egresses in the US, which is exactly why
         // its median latency (154 ms) dwarfs Starlink's (56 ms).
-        Operator::Oneweb => vec![
+        Operator::Oneweb => &[
             GeoPoint {
                 lat: 39.0,
                 lon: -77.5,
@@ -59,7 +66,7 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
             }, // Chicago
         ],
         // O3b/SES: well-connected teleports on three continents.
-        Operator::O3b | Operator::Ses => vec![
+        Operator::O3b | Operator::Ses => &[
             GeoPoint {
                 lat: 49.7,
                 lon: 6.3,
@@ -73,7 +80,7 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
                 lon: 103.8,
             }, // Singapore
         ],
-        Operator::Viasat => vec![
+        Operator::Viasat => &[
             GeoPoint {
                 lat: 33.1,
                 lon: -117.1,
@@ -87,7 +94,7 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
                 lon: -46.6,
             }, // São Paulo
         ],
-        Operator::Hughes => vec![
+        Operator::Hughes => &[
             GeoPoint {
                 lat: 39.2,
                 lon: -77.3,
@@ -97,28 +104,28 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
                 lon: -118.2,
             }, // Los Angeles
         ],
-        Operator::Telalaska => vec![GeoPoint {
+        Operator::Telalaska => &[GeoPoint {
             lat: 61.2,
             lon: -149.9,
         }], // Anchorage
-        Operator::Eutelsat => vec![GeoPoint {
+        Operator::Eutelsat => &[GeoPoint {
             lat: 48.9,
             lon: 2.3,
         }], // Paris
-        Operator::Avanti => vec![GeoPoint {
+        Operator::Avanti => &[GeoPoint {
             lat: 51.5,
             lon: -0.1,
         }], // London
-        Operator::HellasSat => vec![GeoPoint {
+        Operator::HellasSat => &[GeoPoint {
             lat: 38.0,
             lon: 23.7,
         }], // Athens
-        Operator::Kacific => vec![GeoPoint {
+        Operator::Kacific => &[GeoPoint {
             lat: -33.9,
             lon: 151.2,
         }], // Sydney
         // Maritime fleets land at a handful of teleports.
-        Operator::Marlink => vec![
+        Operator::Marlink => &[
             GeoPoint {
                 lat: 59.9,
                 lon: 10.7,
@@ -128,84 +135,83 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
                 lon: -75.0,
             }, // US East
         ],
-        Operator::Kvh => vec![GeoPoint {
+        Operator::Kvh => &[GeoPoint {
             lat: 41.5,
             lon: -71.3,
         }], // Rhode Island
         // Everyone else: one teleport near the home market.
         _ => {
             let p = crate::profile::profile_of(op);
-            let point = match p.country {
-                "US" => GeoPoint {
+            match p.country {
+                "US" => &[GeoPoint {
                     lat: 39.0,
                     lon: -98.0,
-                },
-                "CA" => GeoPoint {
+                }],
+                "CA" => &[GeoPoint {
                     lat: 45.4,
                     lon: -75.7,
-                },
-                "MX" => GeoPoint {
+                }],
+                "MX" => &[GeoPoint {
                     lat: 19.4,
                     lon: -99.1,
-                },
-                "BR" => GeoPoint {
+                }],
+                "BR" => &[GeoPoint {
                     lat: -23.5,
                     lon: -46.6,
-                },
-                "GB" => GeoPoint {
+                }],
+                "GB" => &[GeoPoint {
                     lat: 51.5,
                     lon: -0.1,
-                },
-                "FR" => GeoPoint {
+                }],
+                "FR" => &[GeoPoint {
                     lat: 48.9,
                     lon: 2.3,
-                },
-                "GR" => GeoPoint {
+                }],
+                "GR" => &[GeoPoint {
                     lat: 38.0,
                     lon: 23.7,
-                },
-                "NO" => GeoPoint {
+                }],
+                "NO" => &[GeoPoint {
                     lat: 59.9,
                     lon: 10.7,
-                },
-                "LU" => GeoPoint {
+                }],
+                "LU" => &[GeoPoint {
                     lat: 49.6,
                     lon: 6.1,
-                },
-                "RU" => GeoPoint {
+                }],
+                "RU" => &[GeoPoint {
                     lat: 55.8,
                     lon: 37.6,
-                },
-                "AU" => GeoPoint {
+                }],
+                "AU" => &[GeoPoint {
                     lat: -33.9,
                     lon: 151.2,
-                },
-                "PG" => GeoPoint {
+                }],
+                "PG" => &[GeoPoint {
                     lat: -9.4,
                     lon: 147.2,
-                },
-                "SG" => GeoPoint {
+                }],
+                "SG" => &[GeoPoint {
                     lat: 1.35,
                     lon: 103.8,
-                },
-                "ID" => GeoPoint {
+                }],
+                "ID" => &[GeoPoint {
                     lat: -6.2,
                     lon: 106.8,
-                },
-                "TH" => GeoPoint {
+                }],
+                "TH" => &[GeoPoint {
                     lat: 13.8,
                     lon: 100.5,
-                },
-                "IN" => GeoPoint {
+                }],
+                "IN" => &[GeoPoint {
                     lat: 19.1,
                     lon: 72.9,
-                },
-                _ => GeoPoint {
+                }],
+                _ => &[GeoPoint {
                     lat: 39.0,
                     lon: -98.0,
-                },
-            };
-            vec![point]
+                }],
+            }
         }
     }
 }
@@ -213,7 +219,7 @@ pub fn egress_of(op: Operator) -> Vec<GeoPoint> {
 /// Gateway (teleport) sites: where the satellite downlink lands. For
 /// LEO these are distributed near the egress PoPs; for GEO they are the
 /// teleports themselves.
-pub fn gateways_of(op: Operator) -> Vec<GeoPoint> {
+pub fn gateways_of(op: Operator) -> &'static [GeoPoint] {
     egress_of(op)
 }
 
@@ -329,7 +335,7 @@ mod tests {
     #[test]
     fn slots_are_valid_longitudes() {
         for op in Operator::ALL {
-            for lon in geo_slots_of(op) {
+            for &lon in geo_slots_of(op) {
                 assert!((-180.0..=180.0).contains(&lon), "{op}: {lon}");
             }
         }

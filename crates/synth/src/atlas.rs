@@ -20,6 +20,7 @@ use sno_geo::{haversine_km, GeoPoint};
 use sno_netsim::terrestrial::terrestrial_rtt;
 use sno_orbit::access::BentPipe;
 use sno_orbit::shell::STARLINK_SHELL;
+use sno_types::par;
 use sno_types::records::{CountryCode, RootServer, SslCertRecord, TraceHop, TracerouteRecord};
 use sno_types::time::SECS_PER_DAY;
 use sno_types::{Date, Ipv4, Millis, Prefix24, ProbeId, Rng, Timestamp, UtcDay};
@@ -350,48 +351,40 @@ impl AtlasGenerator {
     }
 
     /// Generate the full corpus (probes + traceroutes + SSLCerts).
+    ///
+    /// Each probe draws from its own RNG substream (labelled by probe
+    /// id), so probes are independent shards: the per-probe batches are
+    /// generated on the worker pool, merged in probe order, and the
+    /// final stable sort interleaves them chronologically — the output
+    /// is byte-identical at every `config.threads` setting.
     pub fn generate(&self) -> AtlasCorpus {
         let probes = self.probes();
-        let mut traceroutes = Vec::new();
-        let mut sslcerts = Vec::new();
         let end_day = ATLAS_END.to_day();
 
+        // Per-probe traceroute quotas, in deployment (= probe id) order.
+        let mut quotas: Vec<u64> = Vec::with_capacity(probes.len());
         for &(country, count, _, volume) in DEPLOYMENT {
             let scaled = ((volume as f64 * self.config.scale).ceil() as u64).max(120);
-            let country_probes: Vec<&ProbeSpec> = probes
-                .iter()
-                .filter(|p| p.country == CountryCode::new(country))
-                .collect();
-            debug_assert_eq!(country_probes.len(), count as usize);
             let per_probe = (scaled / count as u64).max(120);
-            for probe in country_probes {
-                let mut rng = Rng::new(self.config.seed)
-                    .substream_named("atlas")
-                    .substream(u64::from(probe.id.0));
-                let start_day = probe.start.to_day();
-                let active_days = (end_day - start_day).max(1) as u64;
-                for k in 0..per_probe {
-                    // Spread measurements evenly with jitter, cycling
-                    // through the 13 roots.
-                    let day = UtcDay(start_day.0 + (k * active_days / per_probe) as u32);
-                    let timestamp = Timestamp::from_day(day) + rng.below(SECS_PER_DAY);
-                    let target = RootServer::ALL[(k % 13) as usize];
-                    traceroutes.push(self.trace(probe, timestamp, target, &mut rng));
-                }
-                // SSLCert every 12 h, downsampled with the corpus scale
-                // but at least one per PoP-schedule segment.
-                let ssl_count = ((active_days * 2) as f64 * (self.config.scale * 500.0))
-                    .ceil()
-                    .max(8.0) as u64;
-                for k in 0..ssl_count {
-                    let day = UtcDay(start_day.0 + (k * active_days / ssl_count) as u32);
-                    sslcerts.push(SslCertRecord {
-                        probe: probe.id,
-                        timestamp: Timestamp::from_day(day) + 43_200,
-                        src_addr: probe.public_addr(day),
-                    });
-                }
-            }
+            debug_assert_eq!(
+                probes
+                    .iter()
+                    .filter(|p| p.country == CountryCode::new(country))
+                    .count(),
+                count as usize
+            );
+            quotas.extend(std::iter::repeat_n(per_probe, count as usize));
+        }
+        debug_assert_eq!(quotas.len(), probes.len());
+
+        let batches = par::shard_map(probes.len(), self.config.threads, |i| {
+            self.probe_batch(&probes[i], quotas[i], end_day)
+        });
+        let mut traceroutes = Vec::new();
+        let mut sslcerts = Vec::new();
+        for (traces, certs) in batches {
+            traceroutes.extend(traces);
+            sslcerts.extend(certs);
         }
         // Interleave chronologically, as a BigQuery export would be.
         traceroutes.sort_by_key(|t| (t.timestamp, t.probe.0));
@@ -401,6 +394,44 @@ impl AtlasGenerator {
             traceroutes,
             sslcerts,
         }
+    }
+
+    /// All measurements of one probe.
+    fn probe_batch(
+        &self,
+        probe: &ProbeSpec,
+        per_probe: u64,
+        end_day: UtcDay,
+    ) -> (Vec<TracerouteRecord>, Vec<SslCertRecord>) {
+        let mut traceroutes = Vec::with_capacity(per_probe as usize);
+        let mut sslcerts = Vec::new();
+        let mut rng = Rng::new(self.config.seed)
+            .substream_named("atlas")
+            .substream(u64::from(probe.id.0));
+        let start_day = probe.start.to_day();
+        let active_days = (end_day - start_day).max(1) as u64;
+        for k in 0..per_probe {
+            // Spread measurements evenly with jitter, cycling through
+            // the 13 roots.
+            let day = UtcDay(start_day.0 + (k * active_days / per_probe) as u32);
+            let timestamp = Timestamp::from_day(day) + rng.below(SECS_PER_DAY);
+            let target = RootServer::ALL[(k % 13) as usize];
+            traceroutes.push(self.trace(probe, timestamp, target, &mut rng));
+        }
+        // SSLCert every 12 h, downsampled with the corpus scale but at
+        // least one per PoP-schedule segment.
+        let ssl_count = ((active_days * 2) as f64 * (self.config.scale * 500.0))
+            .ceil()
+            .max(8.0) as u64;
+        for k in 0..ssl_count {
+            let day = UtcDay(start_day.0 + (k * active_days / ssl_count) as u32);
+            sslcerts.push(SslCertRecord {
+                probe: probe.id,
+                timestamp: Timestamp::from_day(day) + 43_200,
+                src_addr: probe.public_addr(day),
+            });
+        }
+        (traceroutes, sslcerts)
     }
 
     /// One traceroute measurement.

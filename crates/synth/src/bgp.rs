@@ -287,9 +287,11 @@ fn primary_asn(op: Operator) -> u32 {
     sno_registry::profile::profile_of(op).asns[0]
 }
 
-/// Build all three snapshots.
+/// Build all three snapshots. Each snapshot is a pure function of its
+/// year, so they build on the worker pool and merge in year order.
 pub fn snapshots() -> Vec<BgpSnapshot> {
-    [2021, 2022, 2023].into_iter().map(snapshot_for).collect()
+    const YEARS: [i32; 3] = [2021, 2022, 2023];
+    sno_types::par::shard_map(YEARS.len(), 0, |i| snapshot_for(YEARS[i]))
 }
 
 /// Build the snapshot captured on `year`-01-01.

@@ -20,6 +20,10 @@ pub struct SynthConfig {
     pub mlab_start: Date,
     /// One day past the end of the M-Lab window.
     pub mlab_end: Date,
+    /// Worker threads for sharded generation (`0` = all available
+    /// cores). Output is byte-identical at every setting; see
+    /// `sno_types::par`.
+    pub threads: usize,
 }
 
 impl SynthConfig {
@@ -32,6 +36,7 @@ impl SynthConfig {
             min_sessions: 300,
             mlab_start: Date::new(2021, 1, 1),
             mlab_end: Date::new(2023, 4, 1),
+            threads: 0,
         }
     }
 

@@ -14,6 +14,7 @@ use sno_netsim::pep::PepMode;
 use sno_netsim::tcp::{TcpConfig, TcpFlow};
 use sno_registry::prefixes::{allocation_for, PrefixSpec};
 use sno_registry::profile::{profile_of, PROFILES};
+use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::time::SECS_PER_DAY;
 use sno_types::{Asn, LinkKind, Operator, OrbitClass, Rng, Timestamp, UtcDay};
@@ -79,17 +80,19 @@ impl MlabGenerator {
     }
 
     /// Generate `(record, truth)` pairs for one operator.
+    ///
+    /// Sessions are generated in fixed-size shards, each from its own
+    /// RNG substream, so the output is byte-identical at every
+    /// `config.threads` setting (shard boundaries depend only on the
+    /// session count — see `sno_types::par`).
     pub fn sessions_for(&self, op: Operator) -> Vec<(NdtRecord, SessionTruth)> {
         let profile = profile_of(op);
-        let n = self.config.scaled_sessions(profile.mlab_tests);
+        let n = self.config.scaled_sessions(profile.mlab_tests) as usize;
         if n == 0 {
             return Vec::new();
         }
-        let mut rng = Rng::new(self.config.seed)
-            .substream_named("mlab")
-            .substream(op.index() as u64);
-
-        // Flatten the prefix plan into a weighted choice table.
+        // Flatten the prefix plan into a weighted choice table, shared
+        // by every shard.
         let allocation = allocation_for(op);
         let mut table: Vec<(Asn, PrefixSpec)> = Vec::new();
         for (asn, specs) in &allocation {
@@ -99,15 +102,43 @@ impl MlabGenerator {
         }
         let weights: Vec<f64> = table.iter().map(|(_, s)| s.weight).collect();
 
+        let op_rng = Rng::new(self.config.seed)
+            .substream_named("mlab")
+            .substream(op.index() as u64);
+
+        par::shard_map_chunks(
+            n,
+            par::DEFAULT_CHUNK,
+            self.config.threads,
+            |shard, range| {
+                let mut rng = op_rng.substream_shard(shard);
+                self.session_batch(op, &table, &weights, range.len(), &mut rng)
+            },
+        )
+    }
+
+    /// Generate up to `count` sessions for one shard, drawing from the
+    /// shard's own `rng`. A rejection budget of `4 × count` bounds the
+    /// work when an operator's coverage is sparse, exactly as the old
+    /// whole-operator loop did per session on average.
+    fn session_batch(
+        &self,
+        op: Operator,
+        table: &[(Asn, PrefixSpec)],
+        weights: &[f64],
+        count: usize,
+        rng: &mut Rng,
+    ) -> Vec<(NdtRecord, SessionTruth)> {
+        let profile = profile_of(op);
         let start_day = self.config.mlab_start.to_day();
         let end_day = self.config.mlab_end.to_day();
         let span_days = (end_day - start_day) as u64;
 
-        let mut out = Vec::with_capacity(n as usize);
-        let mut attempts = 0u64;
-        while out.len() < n as usize && attempts < n * 4 {
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count * 4 {
             attempts += 1;
-            let (asn, spec) = table[rng.choose_weighted(&weights)];
+            let (asn, spec) = table[rng.choose_weighted(weights)];
             let day = UtcDay(start_day.0 + rng.below(span_days) as u32);
             let sec_of_day = rng.below(SECS_PER_DAY);
             let timestamp = Timestamp::from_day(day) + sec_of_day;
@@ -120,9 +151,8 @@ impl MlabGenerator {
                 spec.kind
             };
 
-            let client = scatter(spec.home, spec.scatter_km, &mut rng);
-            let Some(path) =
-                ClientPath::for_session(op, kind, client, day, self.config.seed, &mut rng)
+            let client = scatter(spec.home, spec.scatter_km, rng);
+            let Some(path) = ClientPath::for_session(op, kind, client, day, self.config.seed, rng)
             else {
                 continue; // out of coverage; resample
             };
@@ -139,7 +169,7 @@ impl MlabGenerator {
             // Orbital time: seconds since corpus start, so satellites are
             // in distinct positions across sessions.
             let orbital_t = (u64::from(day.0) * SECS_PER_DAY + sec_of_day) as f64;
-            let stats = flow.run(&path, orbital_t, &mut rng);
+            let stats = flow.run(&path, orbital_t, rng);
 
             let (Some(latency_p5), Some(jitter_p95)) = (stats.latency_p5(), stats.jitter_p95())
             else {

@@ -265,7 +265,7 @@ impl ClientPath {
         let quality = link_quality(op, orbit);
         let plan = service_plan_of(op);
         let egresses = egress_of(op);
-        let egress = nearest(client, &egresses);
+        let egress = nearest(client, egresses);
         let day_factor = daily_wander_factor(op, day, corpus_seed, quality);
         // Session overhead: uplink scheduling (lognormal around the
         // operator median, scaled by the day's condition) plus the
@@ -290,7 +290,7 @@ impl ClientPath {
                 // networks are dense); backhaul gateway → egress is part
                 // of the overhead via `tail` only when the egress is the
                 // serving PoP, so add the extra hop here.
-                let gateway = nearest(client, &egresses);
+                let gateway = nearest(client, egresses);
                 let gw = if haversine_km(client, gateway).0 > 1_500.0 {
                     // No nearby egress: gateway lands near the client and
                     // traffic backhauls over fibre (OneWeb's US-only
@@ -326,8 +326,8 @@ impl ClientPath {
             }
             OrbitClass::Geo => {
                 let prop = geo_slots_of(op)
-                    .into_iter()
-                    .filter_map(|lon| {
+                    .iter()
+                    .filter_map(|&lon| {
                         GeoAccess::new(GeoSlot { lon_deg: lon }, client, egress).propagation_rtt()
                     })
                     .map(|m| m.0)

@@ -10,7 +10,8 @@
 //!   network operators from Table 3 of the paper),
 //! * the [`orbit`] classification (LEO / MEO / GEO) and per-link access
 //!   kinds,
-//! * deterministic random number generation ([`rng`]), and
+//! * deterministic random number generation ([`rng`]) and sharded
+//!   execution ([`par`]) whose output is thread-count independent, and
 //! * the dataset [`records`] exchanged between the synthetic-trace
 //!   generators and the analysis pipeline (NDT speed tests, RIPE Atlas
 //!   traceroutes, BGP snapshots, census responses).
@@ -21,6 +22,7 @@
 pub mod ids;
 pub mod net;
 pub mod orbit;
+pub mod par;
 pub mod records;
 pub mod rng;
 pub mod time;

@@ -1,0 +1,222 @@
+//! Deterministic sharded execution on `std::thread::scope`.
+//!
+//! Every hot layer in the workspace (corpus generators, the
+//! identification pipeline, per-probe analyses) is expressed as a map
+//! over an index range. This module splits such a range into *shards*
+//! whose boundaries depend only on the size of the work — never on the
+//! number of worker threads — runs the shards on a small scoped worker
+//! pool, and reassembles the results **in shard order**. Because each
+//! shard draws from its own [`Rng`](crate::Rng) substream (see
+//! [`Rng::substream_shard`](crate::Rng::substream_shard)) and the merge
+//! order is fixed, output is byte-identical to the serial run regardless
+//! of thread count.
+//!
+//! With `threads == 1` (or a single shard) the map runs inline on the
+//! calling thread with no pool, no channel, and no allocation beyond the
+//! result vector, so the serial path pays nothing for the abstraction.
+//!
+//! ```
+//! use sno_types::par::{shard_map, shard_ranges};
+//!
+//! // Shard boundaries are a function of (len, chunk) only.
+//! let shards = shard_ranges(10, 4);
+//! assert_eq!(shards, vec![0..4, 4..8, 8..10]);
+//!
+//! // Results come back in shard order at any thread count.
+//! let serial: Vec<usize> = shard_map(8, 1, |i| i * i);
+//! let parallel: Vec<usize> = shard_map(8, 4, |i| i * i);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Default shard granularity for record-level work (sessions, probes,
+/// prefixes). Small enough to load-balance across a pool, large enough
+/// that per-shard overhead (one `Rng` derivation, one channel send) is
+/// negligible.
+pub const DEFAULT_CHUNK: usize = 128;
+
+/// Resolve a thread-count setting: `0` means "auto" (all available
+/// cores); any other value is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Split `0..len` into contiguous ranges of at most `chunk` items.
+///
+/// The split depends only on `(len, chunk)`, so shard boundaries — and
+/// therefore any per-shard RNG substreams — are identical at every
+/// thread count.
+///
+/// # Panics
+/// Panics if `chunk == 0`.
+pub fn shard_ranges(len: usize, chunk: usize) -> Vec<Range<usize>> {
+    assert!(chunk > 0, "shard_ranges: chunk must be positive");
+    (0..len.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Run `f(0), f(1), …, f(shards - 1)` on up to `threads` workers
+/// (`0` = auto) and return the results **in shard index order**.
+///
+/// Work is distributed dynamically through an atomic counter, so slow
+/// shards do not stall fast workers, but the returned vector is always
+/// `[f(0), f(1), …]` — the schedule never leaks into the output. If a
+/// shard panics the panic is propagated to the caller once all workers
+/// have stopped (via `std::thread::scope`'s implicit join).
+pub fn shard_map<T, F>(shards: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(shards);
+    if workers <= 1 {
+        return (0..shards).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                let value = f(i);
+                if tx.send((i, value)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+    for (i, value) in rx {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("shard_map: missing shard result"))
+        .collect()
+}
+
+/// [`shard_map`] followed by an **in-shard-order** fold. The fold runs
+/// on the calling thread, so `fold` sees results exactly as a serial
+/// loop would.
+pub fn shard_reduce<T, Acc, F, G>(shards: usize, threads: usize, f: F, init: Acc, fold: G) -> Acc
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(Acc, T) -> Acc,
+{
+    shard_map(shards, threads, f).into_iter().fold(init, fold)
+}
+
+/// Map `f` over fixed-size chunks of `0..len` (see [`shard_ranges`])
+/// and concatenate the per-chunk vectors in shard order. The workhorse
+/// for record generators: each chunk derives its own RNG substream from
+/// its shard index and emits a batch of records.
+pub fn shard_map_chunks<T, F>(len: usize, chunk: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> Vec<T> + Sync,
+{
+    let ranges = shard_ranges(len, chunk);
+    let batches = shard_map(ranges.len(), threads, |i| f(i, ranges[i].clone()));
+    let mut out = Vec::with_capacity(len);
+    for batch in batches {
+        out.extend(batch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        for len in [0usize, 1, 5, 127, 128, 129, 1000] {
+            for chunk in [1usize, 4, 128] {
+                let ranges = shard_ranges(len, chunk);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(r.end - r.start <= chunk);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+        assert!(shard_ranges(0, 16).is_empty());
+    }
+
+    #[test]
+    fn shard_boundaries_do_not_depend_on_threads() {
+        // The ranges are computed before any pool exists; this pins the
+        // contract that they are a pure function of (len, chunk).
+        assert_eq!(shard_ranges(300, 128), vec![0..128, 128..256, 256..300]);
+    }
+
+    #[test]
+    fn shard_map_matches_serial_at_any_thread_count() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = shard_map(97, threads, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(got, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn shard_map_empty_and_single() {
+        let empty: Vec<u32> = shard_map(0, 4, |_| unreachable!());
+        assert!(empty.is_empty());
+        assert_eq!(shard_map(1, 8, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn shard_reduce_folds_in_order() {
+        let joined = shard_reduce(5, 4, |i| i.to_string(), String::new(), |acc, s| acc + &s);
+        assert_eq!(joined, "01234");
+    }
+
+    #[test]
+    fn shard_map_chunks_concatenates_in_order() {
+        let serial: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 8] {
+            let got = shard_map_chunks(1000, 128, threads, |_shard, range| range.collect());
+            assert_eq!(got, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            shard_map(16, 4, |i| {
+                if i == 7 {
+                    panic!("shard failed");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -62,6 +62,19 @@ impl Rng {
         self.substream(fnv1a(name.as_bytes()))
     }
 
+    /// Derive the substream for shard `index` of a sharded computation.
+    ///
+    /// This is the one sanctioned way for the [`par`](crate::par) layer
+    /// to obtain per-shard randomness: shard boundaries are a pure
+    /// function of the work size (see
+    /// [`par::shard_ranges`](crate::par::shard_ranges)), so the stream a
+    /// shard draws from depends only on `(seed, shard index)` — never on
+    /// how many threads executed the map. Sharded and serial runs
+    /// therefore consume identical randomness.
+    pub fn substream_shard(&self, index: usize) -> Rng {
+        self.substream(index as u64)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

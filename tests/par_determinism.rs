@@ -1,0 +1,78 @@
+//! Thread-count independence: the worker pool must never change any
+//! output. Shard boundaries are a pure function of the work size and
+//! every shard draws from its own RNG substream (`sno_types::par`), so
+//! corpus generation and the identification pipeline must be
+//! byte-identical whether they run on one thread or many.
+
+use sno_check::prelude::*;
+use sno_dissect::core::pipeline::Pipeline;
+use sno_dissect::synth::{MlabGenerator, SynthConfig};
+
+/// A corpus small enough for many debug-mode generations but large
+/// enough that the big operators span several shards
+/// (`par::DEFAULT_CHUNK` = 128 sessions).
+fn cfg(seed: u64, threads: usize) -> SynthConfig {
+    SynthConfig {
+        seed,
+        threads,
+        scale: 5e-5,
+        min_sessions: 40,
+        ..SynthConfig::test_corpus()
+    }
+}
+
+#[test]
+fn mlab_corpus_identical_at_any_thread_count() {
+    for seed in [1, 7, 0x5A7E_1117] {
+        let serial = MlabGenerator::new(cfg(seed, 1)).generate();
+        for threads in [2, 8] {
+            let pooled = MlabGenerator::new(cfg(seed, threads)).generate();
+            assert_eq!(
+                serial.records, pooled.records,
+                "seed {seed} threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_identical_at_any_thread_count() {
+    for seed in [1, 7, 0x5A7E_1117] {
+        let corpus = MlabGenerator::new(cfg(seed, 0)).generate();
+        let serial = Pipeline::with_threads(1).run(&corpus.records);
+        for threads in [2, 8] {
+            let pooled = Pipeline::with_threads(threads).run(&corpus.records);
+            assert_eq!(
+                serial.accepted, pooled.accepted,
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(
+                serial.catalog, pooled.catalog,
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(serial.thresholds, pooled.thresholds);
+            assert_eq!(serial.default_threshold, pooled.default_threshold);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Generation and identification agree between one worker and a
+    /// pool for *any* seed, not just the committed ones.
+    #[test]
+    fn any_seed_is_thread_count_independent(
+        seed in any::<u64>(),
+        threads in 2..9usize,
+    ) {
+        let serial = MlabGenerator::new(cfg(seed, 1)).generate();
+        let pooled = MlabGenerator::new(cfg(seed, threads)).generate();
+        prop_assert_eq!(&serial.records, &pooled.records);
+        let a = Pipeline::with_threads(1).run(&serial.records);
+        let b = Pipeline::with_threads(threads).run(&pooled.records);
+        prop_assert_eq!(a.accepted, b.accepted);
+        prop_assert_eq!(a.catalog, b.catalog);
+        prop_assert_eq!(a.default_threshold, b.default_threshold);
+    }
+}
