@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the hermetic-build invariant: everything must build
 # and test with --offline, i.e. with zero access to crates.io. See
-# README "Hermetic builds".
+# README "CI gates" and "Hermetic builds".
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Run a stage, echoing the command and its wall-clock time.
 run() {
     echo "==> $*"
+    local start=$SECONDS
     "$@"
+    echo "    (${*:1:2} took $(( SECONDS - start ))s)"
 }
 
 run cargo build --release --offline
@@ -15,6 +18,7 @@ run cargo test -q --offline --workspace
 run cargo build --examples --offline
 run cargo build --benches --offline -p sno-bench
 run cargo fmt --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Perf gate: diff the two newest committed BENCH_N.json trajectory
 # snapshots and fail on >20% median regressions (repro --bench-diff).
@@ -26,5 +30,11 @@ if (( ${#snapshots[@]} >= 2 )); then
 else
     echo "==> perf gate skipped (fewer than two BENCH_*.json snapshots)"
 fi
+
+# Sim gate: the deterministic fault-injection campaign. Replays the
+# committed failure corpus first, then SNO_CI_SEEDS fresh seeds; any
+# failure prints a `repro --sim-sweep --seed <S>` replay line.
+run cargo run --release --offline -p sno-bench --bin repro -- \
+    --sim-sweep --seeds "${SNO_CI_SEEDS:-32}" --quick
 
 echo "ci: all green (hermetic)"

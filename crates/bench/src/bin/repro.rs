@@ -11,10 +11,17 @@
 //! repro --bench-diff BENCH_1.json BENCH_2.json
 //!                       # compare two snapshots, fail on >20% median
 //!                       # regressions (the ci.sh perf gate)
+//! repro --sim-sweep --seeds 32 --quick
+//!                       # deterministic fault-injection campaign over
+//!                       # 32 seeds (the ci.sh sim gate); failing seeds
+//!                       # persist to tests/corpora/sim_sweep.seeds
+//! repro --sim-sweep --seed 12345
+//!                       # replay one seed verbosely
 //! ```
 
 use sno_bench::{run_experiment, ReproContext, EXPERIMENTS};
 use sno_check::bench::{bench_group, BenchReport};
+use sno_netsim::sim::{run_seed, run_sweep, SweepConfig};
 use sno_synth::{MlabGenerator, SynthConfig};
 
 /// Median regressions beyond this fraction fail `--bench-diff`.
@@ -186,6 +193,78 @@ fn run_bench_diff(old_path: &str, new_path: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The committed corpus of sweep seeds that ever failed. Relative to
+/// the invocation directory (the repo root under `cargo run`).
+const SWEEP_CORPUS: &str = "tests/corpora/sim_sweep.seeds";
+
+/// `--sim-sweep`: the deterministic fault-injection campaign. Corpus
+/// seeds (past failures) replay first, then `--seeds N` fresh seeds
+/// derived from the fixed campaign id — the same list on every machine.
+/// Any failing seed is appended to the corpus and printed as a replay
+/// command; the process exits non-zero.
+fn run_sim_sweep(seeds: usize, single: Option<u64>, threads: usize, quick: bool) -> ! {
+    if let Some(seed) = single {
+        let report = run_seed(seed, quick);
+        println!(
+            "replaying seed {seed} ({} mode)",
+            if quick { "quick" } else { "full" }
+        );
+        for line in &report.summary {
+            println!("  {line}");
+        }
+        println!("{}", report.render_line());
+        for v in &report.violations {
+            println!("    {v}");
+        }
+        std::process::exit(i32::from(!report.passed()));
+    }
+
+    let corpus: Vec<u64> = std::fs::read_to_string(SWEEP_CORPUS)
+        .map_or_else(|_| Vec::new(), |s| sno_check::corpus::parse_seeds(&s));
+    let mut all = corpus.clone();
+    for s in SweepConfig::fresh_seeds(0, seeds) {
+        if !all.contains(&s) {
+            all.push(s);
+        }
+    }
+    println!(
+        "sim-sweep: {} corpus + {} fresh seeds, {} mode",
+        corpus.len(),
+        all.len() - corpus.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_sweep(&SweepConfig {
+        seeds: all,
+        threads,
+        quick,
+    });
+    print!("{}", report.render());
+    let failing = report.failing_seeds();
+    for &s in &failing {
+        if !corpus.contains(&s) {
+            if let Err(e) = append_sweep_seed(s) {
+                eprintln!("cannot record seed {s} in {SWEEP_CORPUS}: {e}");
+            } else {
+                println!("recorded seed {s} in {SWEEP_CORPUS}");
+            }
+        }
+    }
+    std::process::exit(i32::from(!failing.is_empty()));
+}
+
+/// Append one failing seed to [`SWEEP_CORPUS`], creating it on demand.
+fn append_sweep_seed(seed: u64) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = std::path::Path::new(SWEEP_CORPUS).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(SWEEP_CORPUS)?;
+    writeln!(file, "{seed}")
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -202,6 +281,25 @@ fn main() {
             std::process::exit(2);
         };
         run_bench_diff(old_path, new_path);
+    }
+
+    if args.iter().any(|a| a == "--sim-sweep") {
+        let grab = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|pos| args.get(pos + 1))
+                .map(|v| {
+                    v.parse::<u64>().unwrap_or_else(|_| {
+                        eprintln!("{flag} needs an unsigned integer, got {v:?}");
+                        std::process::exit(2);
+                    })
+                })
+        };
+        let seeds = grab("--seeds").map_or(64, |n| n as usize);
+        let single = grab("--seed");
+        let threads = grab("--threads").map_or(0, |n| n as usize);
+        let quick = args.iter().any(|a| a == "--quick");
+        run_sim_sweep(seeds, single, threads, quick);
     }
 
     let bench = if let Some(pos) = args.iter().position(|a| a == "--bench") {

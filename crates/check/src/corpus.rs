@@ -1,0 +1,157 @@
+//! Persistent failure corpora for the property-test runner.
+//!
+//! A printed `SNO_CHECK_SEED` is only useful to whoever saw it scroll
+//! by. A *corpus file* makes the regression durable: when a property
+//! fails, its case seed is appended to `tests/corpora/<test>.seeds`,
+//! and every later run replays the corpus before generating fresh
+//! cases — so a once-found counterexample is retried forever, on every
+//! machine, without anyone copying seeds around.
+//!
+//! Resolution of the corpus directory:
+//!
+//! 1. `SNO_CHECK_CORPUS_DIR`, if set (empty value disables corpora);
+//! 2. otherwise `tests/corpora` relative to the current directory, but
+//!    only if it already exists — a crate run from a directory without
+//!    one silently skips persistence rather than littering.
+//!
+//! Files are plain text: one seed per line, decimal or `0x`-hex, `#`
+//! comments and blank lines ignored. They are committed to the repo.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the corpus directory. An empty value
+/// disables corpus persistence and replay entirely.
+pub const CORPUS_DIR_ENV: &str = "SNO_CHECK_CORPUS_DIR";
+
+/// The directory picked up by default when it already exists.
+pub const DEFAULT_CORPUS_DIR: &str = "tests/corpora";
+
+/// The active corpus directory, if any (see module docs for the rules).
+pub fn corpus_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var(CORPUS_DIR_ENV) {
+        let dir = dir.trim();
+        if dir.is_empty() {
+            return None;
+        }
+        return Some(PathBuf::from(dir));
+    }
+    let default = Path::new(DEFAULT_CORPUS_DIR);
+    default.is_dir().then(|| default.to_path_buf())
+}
+
+/// The corpus file for a property, inside `dir`. Uses the test's short
+/// name (the last `::` segment) with non-identifier characters mapped
+/// to `_`, so module paths never become directory traversal.
+pub fn corpus_file_for(dir: &Path, test_name: &str) -> PathBuf {
+    let short = test_name.rsplit("::").next().unwrap_or(test_name);
+    let safe: String = short
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    dir.join(format!("{safe}.seeds"))
+}
+
+/// Parse corpus file contents: one seed per line (decimal or `0x` hex),
+/// `#` comments and blank lines skipped, malformed lines ignored.
+pub fn parse_seeds(contents: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            l.strip_prefix("0x")
+                .map_or_else(|| l.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+        })
+        .collect()
+}
+
+/// Seeds recorded for `test_name`, in file order (empty when no corpus
+/// directory or file exists).
+pub fn load_seeds(test_name: &str) -> Vec<u64> {
+    let Some(dir) = corpus_dir() else {
+        return Vec::new();
+    };
+    let path = corpus_file_for(&dir, test_name);
+    fs::read_to_string(path).map_or_else(|_| Vec::new(), |s| parse_seeds(&s))
+}
+
+/// Append `seed` to `test_name`'s corpus file (deduplicated; the file
+/// and directory are created on demand). Returns the file written, or
+/// `None` when persistence is disabled or the write failed — recording
+/// is best-effort and must never mask the original test failure.
+pub fn record_seed(test_name: &str, seed: u64) -> Option<PathBuf> {
+    let dir = corpus_dir()?;
+    let path = corpus_file_for(&dir, test_name);
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    if parse_seeds(&existing).contains(&seed) {
+        return Some(path);
+    }
+    fs::create_dir_all(&dir).ok()?;
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .ok()?;
+    if !existing.is_empty() && !existing.ends_with('\n') {
+        writeln!(file).ok()?;
+    }
+    writeln!(file, "{seed}").ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_comments_and_junk() {
+        let seeds = parse_seeds("# header\n42\n0x2a\n\n  7 \nnot-a-seed\n");
+        assert_eq!(seeds, vec![42, 42, 7]);
+    }
+
+    #[test]
+    fn file_names_are_sanitized_short_names() {
+        let dir = Path::new("/tmp/corpora");
+        assert_eq!(
+            corpus_file_for(dir, "suite::mod::prop_holds"),
+            dir.join("prop_holds.seeds")
+        );
+        assert_eq!(
+            corpus_file_for(dir, "weird/../name"),
+            dir.join("weird____name.seeds")
+        );
+    }
+
+    #[test]
+    fn record_and_load_roundtrip_with_dedupe() {
+        // Serialise access to the process-wide env var across tests.
+        let dir = std::env::temp_dir().join(format!("sno-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        let name = "corpus_roundtrip_prop";
+        let path = corpus_file_for(&dir, name);
+        fs::write(&path, "# seeded by hand\n11\n").unwrap();
+
+        // Drive the low-level pieces directly against `dir` rather than
+        // mutating the environment (unsafe in multi-threaded tests).
+        let existing = fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_seeds(&existing), vec![11]);
+
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(file, "29").unwrap();
+        assert_eq!(
+            parse_seeds(&fs::read_to_string(&path).unwrap()),
+            vec![11, 29]
+        );
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_is_empty_not_an_error() {
+        assert!(load_seeds("no_such_property_anywhere").is_empty() || corpus_dir().is_some());
+    }
+}

@@ -16,7 +16,8 @@
 //!   `prop_assert!`/`prop_assert_eq!`, and
 //!   `ProptestConfig::with_cases(n)`. Failures shrink greedily and print
 //!   a seed; `SNO_CHECK_SEED=<seed>` replays the identical
-//!   counterexample.
+//!   counterexample, and [`corpus`] persists failing seeds to committed
+//!   `tests/corpora/*.seeds` files that replay before fresh generation.
 //! * [`bench`] — `bench_group`/`bench_function` with warm-up,
 //!   calibration, N timed samples, a median/p10/p90 report, and JSON
 //!   output for `BENCH_*.json` trajectory files.
@@ -36,10 +37,12 @@
 //! ```
 
 pub mod bench;
+pub mod corpus;
 mod macros;
 pub mod runner;
 pub mod strategy;
 
+pub use corpus::{CORPUS_DIR_ENV, DEFAULT_CORPUS_DIR};
 pub use runner::{run_property, PropError, ProptestConfig, SEED_ENV};
 pub use strategy::{any, Arbitrary, Mapped, Strategy};
 

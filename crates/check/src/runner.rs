@@ -8,6 +8,7 @@
 //! regenerates the identical input and replays the identical
 //! (deterministic) shrink sequence, arriving at the same counterexample.
 
+use crate::corpus;
 use crate::strategy::Strategy;
 use sno_types::Rng;
 use std::cell::Cell;
@@ -200,6 +201,12 @@ where
         eprintln!("sno-check: '{name}' passed the single case {SEED_ENV}={seed}");
         return;
     }
+    // Regressions first: seeds that ever failed this property replay
+    // before any fresh generation, so a fixed bug that resurfaces is
+    // caught by case 0, not by luck.
+    for (i, seed) in corpus::load_seeds(name).into_iter().enumerate() {
+        run_seeded(name, strategy, &test, seed, i as u32, 0);
+    }
     for case in 0..config.cases {
         run_seeded(
             name,
@@ -224,9 +231,19 @@ where
     if let Err(error) = run_case(test, original.clone()) {
         let (minimal, minimal_error, steps) =
             shrink_to_minimal(strategy, test, original.clone(), error);
+        let recorded = match corpus::record_seed(name, seed) {
+            Some(path) => format!("recorded in corpus: {}", path.display()),
+            None => format!("corpus persistence off (set {})", corpus::CORPUS_DIR_ENV),
+        };
+        let which = if cases == 0 {
+            format!("replaying corpus seed {case}")
+        } else {
+            format!("at case {case}/{cases}")
+        };
         panic!(
-            "property '{name}' failed at case {case}/{cases}\n\
+            "property '{name}' failed {which}\n\
              \x20 reproduce with: {SEED_ENV}={seed} cargo test {short}\n\
+             \x20 {recorded}\n\
              \x20 original input: {original:?}\n\
              \x20 counterexample (after {steps} shrink steps): {minimal:?}\n\
              \x20 {minimal_error}",

@@ -53,8 +53,8 @@ proptest! {
     #[test]
     fn any_primitives(x in any::<u8>(), y in any::<u64>(), z in any::<bool>()) {
         prop_assert!(u64::from(x) <= 255);
-        prop_assert!(y == y);
-        prop_assert!(z || !z);
+        prop_assert!(y.wrapping_add(1).wrapping_sub(1) == y);
+        prop_assert!(u8::from(z) <= 1);
     }
 
     /// `prop_map` applies the closure to every draw.
@@ -93,7 +93,7 @@ fn run_failing_property(last_failing: &Cell<f64>) {
     runner::run_property(
         concat!(module_path!(), "::shrink_target"),
         &ProptestConfig::with_cases(64),
-        &((0.0..1e6f64,)),
+        &(0.0..1e6f64,),
         |(x,)| {
             if x >= 100.0 {
                 last_failing.set(x);
@@ -197,7 +197,7 @@ fn vec_shrinking_reaches_small_witness() {
         runner::run_property(
             concat!(module_path!(), "::vec_shrink_target"),
             &ProptestConfig::with_cases(64),
-            &((prop::collection::vec(0.0..1e3f64, 1..60),)),
+            &(prop::collection::vec(0.0..1e3f64, 1..60),),
             |(v,)| {
                 if v.iter().any(|&x| x >= 50.0) {
                     smallest_len.set(smallest_len.get().min(v.len()));
@@ -224,7 +224,7 @@ fn mapped_shrinking_simplifies_the_source() {
         runner::run_property(
             concat!(module_path!(), "::map_shrink_target"),
             &ProptestConfig::with_cases(64),
-            &(((0..10_000u32).prop_map(|n| n * 2),)),
+            &((0..10_000u32).prop_map(|n| n * 2),),
             |(v,)| {
                 if *v >= 100 {
                     last.set(last.get().min(*v));
@@ -252,7 +252,7 @@ fn filtered_shrinking_stays_in_region() {
         runner::run_property(
             concat!(module_path!(), "::filter_shrink_target"),
             &ProptestConfig::with_cases(64),
-            &(((0..10_000u32).prop_filter("even", |n| n % 2 == 0),)),
+            &((0..10_000u32).prop_filter("even", |n| n % 2 == 0),),
             |(v,)| {
                 if v % 2 == 1 {
                     saw_odd.set(true);

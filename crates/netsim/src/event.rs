@@ -66,6 +66,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
     now: SimTime,
+    popped: u64,
 }
 
 impl<E: Eq> Default for EventQueue<E> {
@@ -74,6 +75,7 @@ impl<E: Eq> Default for EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            popped: 0,
         }
     }
 }
@@ -120,7 +122,27 @@ impl<E: Eq> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;
         self.now = entry.time;
+        self.popped += 1;
         Some((entry.time, entry.event))
+    }
+
+    /// Time of the next pending event without popping it. The
+    /// fault-injection sweeps use this to assert the queue never holds
+    /// an event earlier than the clock.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| entry.time)
+    }
+
+    /// Total events popped so far — conservation fuel for the sweep
+    /// invariants (everything scheduled is eventually popped exactly
+    /// once: `popped + len == scheduled`).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
     }
 
     /// Number of pending events.
@@ -207,5 +229,20 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_and_counters_track_the_heap() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(9.0), 1);
+        q.schedule(SimTime::from_millis(4.0), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4.0)));
+        assert_eq!(q.scheduled(), 2);
+        assert_eq!(q.popped(), 0);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9.0)));
+        q.pop();
+        assert_eq!(q.popped() + q.len() as u64, q.scheduled());
     }
 }

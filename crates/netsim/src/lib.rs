@@ -19,12 +19,16 @@
 //! * [`traceroute`] — hop-by-hop path probing that produces RIPE-style
 //!   traceroute records;
 //! * [`dns`] — a recursive-resolver lookup-time model;
-//! * [`terrestrial`] — fibre-path RTT estimates between surface points.
+//! * [`terrestrial`] — fibre-path RTT estimates between surface points;
+//! * [`sim`] — deterministic fault-injection simulation: seeded fault
+//!   schedules overlaid on any path, invariant checkers, and the
+//!   parallel seed-sweep campaign behind `repro --sim-sweep`.
 
 pub mod dns;
 pub mod event;
 pub mod path;
 pub mod pep;
+pub mod sim;
 pub mod tcp;
 pub mod terrestrial;
 pub mod traceroute;
@@ -33,6 +37,7 @@ pub use dns::DnsResolver;
 pub use event::{EventQueue, SimTime};
 pub use path::{PathDynamics, StaticPath};
 pub use pep::PepMode;
+pub use sim::{run_seed, run_sweep, SeedReport, SweepConfig, SweepReport};
 pub use tcp::{TcpConfig, TcpFlow, TcpStats};
 pub use terrestrial::terrestrial_rtt;
 pub use traceroute::{HopSpec, TracerouteEngine};

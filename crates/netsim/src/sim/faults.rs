@@ -1,0 +1,497 @@
+//! Seeded fault schedules and the path wrapper that applies them.
+//!
+//! A [`FaultSchedule`] is a precomputed, fully deterministic list of the
+//! disturbances a satellite path suffers over a simulation horizon:
+//! total link outages (rain fade, obstruction), loss bursts (weather
+//! attenuation short of an outage), handover-induced RTT steps (the
+//! serving satellite changed, so the bent-pipe geometry did too), and
+//! PoP migrations (the operator re-homed the terminal to a different
+//! ground station — Section 5's Sydney→Auckland class of event, which
+//! shifts RTT *persistently*). Schedules are generated from an
+//! [`Rng`] substream, so the same seed always produces the same faults.
+//!
+//! [`FaultyPath`] overlays a schedule on any base [`PathDynamics`]; the
+//! transport model underneath needs no changes and cannot tell injected
+//! faults from modelled ones.
+
+use crate::path::PathDynamics;
+use sno_types::Rng;
+
+/// A window with no connectivity at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageWindow {
+    /// Outage onset, seconds.
+    pub start_secs: f64,
+    /// Outage length, seconds.
+    pub duration_secs: f64,
+}
+
+impl OutageWindow {
+    /// Whether `t_secs` falls inside the window.
+    pub fn contains(&self, t_secs: f64) -> bool {
+        t_secs >= self.start_secs && t_secs < self.start_secs + self.duration_secs
+    }
+}
+
+/// A window of elevated random loss (attenuation short of an outage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossBurst {
+    /// Burst onset, seconds.
+    pub start_secs: f64,
+    /// Burst length, seconds.
+    pub duration_secs: f64,
+    /// Extra per-packet loss probability while active.
+    pub extra_loss: f64,
+}
+
+/// A handover: from `at_secs` until the next handover the path's RTT is
+/// offset by `offset_ms` (the new serving satellite sits at a different
+/// slant range), and the serving generation increments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Handover {
+    /// Handover instant, seconds.
+    pub at_secs: f64,
+    /// RTT offset while this satellite serves, ms (may be negative).
+    pub offset_ms: f64,
+}
+
+/// A PoP migration: a *persistent* RTT shift from `at_secs` onward.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopMigration {
+    /// Migration instant, seconds.
+    pub at_secs: f64,
+    /// Permanent RTT delta, ms (negative = the new PoP is closer).
+    pub delta_ms: f64,
+}
+
+/// How often and how hard a schedule disturbs the path.
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    /// Mean outages per minute (Poisson arrivals; `0.0` = none).
+    pub outage_rate_per_min: f64,
+    /// Outage duration range, seconds.
+    pub outage_secs: (f64, f64),
+    /// Mean loss bursts per minute.
+    pub burst_rate_per_min: f64,
+    /// Burst duration range, seconds.
+    pub burst_secs: (f64, f64),
+    /// Extra loss range during a burst.
+    pub burst_loss: (f64, f64),
+    /// Mean seconds between handovers (`None` = no handovers — GEO).
+    pub handover_interval_secs: Option<f64>,
+    /// Standard deviation of the per-handover RTT offset, ms.
+    pub handover_offset_ms: f64,
+    /// Extra first-round loss applied after a handover or migration.
+    pub handoff_loss: f64,
+    /// Number of PoP migrations over the horizon.
+    pub migrations: u32,
+    /// Magnitude range of a migration's RTT delta, ms (sign is random).
+    pub migration_delta_ms: (f64, f64),
+}
+
+impl FaultProfile {
+    /// A quiet profile: no injected faults at all.
+    pub fn quiet() -> FaultProfile {
+        FaultProfile {
+            outage_rate_per_min: 0.0,
+            outage_secs: (0.0, 0.0),
+            burst_rate_per_min: 0.0,
+            burst_secs: (0.0, 0.0),
+            burst_loss: (0.0, 0.0),
+            handover_interval_secs: None,
+            handover_offset_ms: 0.0,
+            handoff_loss: 0.0,
+            migrations: 0,
+            migration_delta_ms: (0.0, 0.0),
+        }
+    }
+
+    /// LEO-flavoured faults: frequent handovers with small RTT steps,
+    /// occasional short obstruction outages.
+    pub fn leo() -> FaultProfile {
+        FaultProfile {
+            outage_rate_per_min: 0.5,
+            outage_secs: (0.5, 2.0),
+            burst_rate_per_min: 1.0,
+            burst_secs: (1.0, 3.0),
+            burst_loss: (0.01, 0.05),
+            handover_interval_secs: Some(15.0),
+            handover_offset_ms: 8.0,
+            handoff_loss: 0.1,
+            migrations: 0,
+            migration_delta_ms: (0.0, 0.0),
+        }
+    }
+
+    /// GEO-flavoured faults: no handovers, but weather windows with
+    /// heavy attenuation and the occasional full fade.
+    pub fn geo_weather() -> FaultProfile {
+        FaultProfile {
+            outage_rate_per_min: 0.2,
+            outage_secs: (1.0, 4.0),
+            burst_rate_per_min: 1.5,
+            burst_secs: (2.0, 6.0),
+            burst_loss: (0.02, 0.10),
+            handover_interval_secs: None,
+            handover_offset_ms: 0.0,
+            handoff_loss: 0.0,
+            migrations: 0,
+            migration_delta_ms: (0.0, 0.0),
+        }
+    }
+}
+
+/// A deterministic fault schedule over a fixed horizon.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    /// Total-outage windows, sorted by onset.
+    pub outages: Vec<OutageWindow>,
+    /// Loss bursts, sorted by onset.
+    pub bursts: Vec<LossBurst>,
+    /// Handovers, sorted by instant.
+    pub handovers: Vec<Handover>,
+    /// PoP migrations, sorted by instant.
+    pub migrations: Vec<PopMigration>,
+    /// Extra first-round loss after a handover or migration.
+    pub handoff_loss: f64,
+    /// The horizon the schedule covers, seconds.
+    pub horizon_secs: f64,
+}
+
+impl FaultSchedule {
+    /// Sample a schedule for `horizon_secs` from `profile`, drawing all
+    /// randomness from `rng` — the same `(seed, profile, horizon)`
+    /// always yields the same schedule.
+    pub fn generate(rng: &mut Rng, profile: &FaultProfile, horizon_secs: f64) -> FaultSchedule {
+        let mut outages = Vec::new();
+        if profile.outage_rate_per_min > 0.0 {
+            let mean_gap = 60.0 / profile.outage_rate_per_min;
+            let mut t = rng.exponential(mean_gap);
+            while t < horizon_secs {
+                let (lo, hi) = profile.outage_secs;
+                let duration_secs = rng.range_f64(lo, hi);
+                outages.push(OutageWindow {
+                    start_secs: t,
+                    duration_secs,
+                });
+                t += duration_secs + rng.exponential(mean_gap);
+            }
+        }
+
+        let mut bursts = Vec::new();
+        if profile.burst_rate_per_min > 0.0 {
+            let mean_gap = 60.0 / profile.burst_rate_per_min;
+            let mut t = rng.exponential(mean_gap);
+            while t < horizon_secs {
+                let (dlo, dhi) = profile.burst_secs;
+                let (llo, lhi) = profile.burst_loss;
+                let duration_secs = rng.range_f64(dlo, dhi);
+                bursts.push(LossBurst {
+                    start_secs: t,
+                    duration_secs,
+                    extra_loss: rng.range_f64(llo, lhi),
+                });
+                t += duration_secs + rng.exponential(mean_gap);
+            }
+        }
+
+        let mut handovers = Vec::new();
+        if let Some(interval) = profile.handover_interval_secs {
+            let mut t = interval * rng.range_f64(0.5, 1.5);
+            while t < horizon_secs {
+                handovers.push(Handover {
+                    at_secs: t,
+                    offset_ms: rng.normal_with(0.0, profile.handover_offset_ms),
+                });
+                t += interval * rng.range_f64(0.7, 1.3);
+            }
+        }
+
+        let mut migrations = Vec::new();
+        for _ in 0..profile.migrations {
+            let (lo, hi) = profile.migration_delta_ms;
+            let magnitude = rng.range_f64(lo, hi);
+            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            migrations.push(PopMigration {
+                at_secs: rng.range_f64(0.1 * horizon_secs, 0.9 * horizon_secs),
+                delta_ms: sign * magnitude,
+            });
+        }
+        migrations.sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
+
+        FaultSchedule {
+            outages,
+            bursts,
+            handovers,
+            migrations,
+            handoff_loss: profile.handoff_loss,
+            horizon_secs,
+        }
+    }
+
+    /// Whether the link is in a total outage at `t_secs`.
+    pub fn is_outage(&self, t_secs: f64) -> bool {
+        self.outages.iter().any(|w| w.contains(t_secs))
+    }
+
+    /// Extra random loss active at `t_secs` (sum of active bursts).
+    pub fn extra_loss(&self, t_secs: f64) -> f64 {
+        self.bursts
+            .iter()
+            .filter(|b| t_secs >= b.start_secs && t_secs < b.start_secs + b.duration_secs)
+            .map(|b| b.extra_loss)
+            .sum()
+    }
+
+    /// RTT offset of the serving satellite at `t_secs` (the offset of
+    /// the most recent handover; zero before the first).
+    pub fn handover_offset_ms(&self, t_secs: f64) -> f64 {
+        self.handovers
+            .iter()
+            .rev()
+            .find(|h| t_secs >= h.at_secs)
+            .map_or(0.0, |h| h.offset_ms)
+    }
+
+    /// Cumulative persistent RTT shift from migrations at or before
+    /// `t_secs`.
+    pub fn migration_offset_ms(&self, t_secs: f64) -> f64 {
+        self.migrations
+            .iter()
+            .filter(|m| t_secs >= m.at_secs)
+            .map(|m| m.delta_ms)
+            .sum()
+    }
+
+    /// How many generation bumps (handovers + migrations) have happened
+    /// at or before `t_secs`.
+    pub fn generation_offset(&self, t_secs: f64) -> u64 {
+        let h = self
+            .handovers
+            .iter()
+            .filter(|h| t_secs >= h.at_secs)
+            .count();
+        let m = self
+            .migrations
+            .iter()
+            .filter(|m| t_secs >= m.at_secs)
+            .count();
+        (h + m) as u64
+    }
+
+    /// Structural sanity: windows non-negative, events inside the
+    /// horizon, lists sorted. Returns the problems found (empty = ok);
+    /// the sweep asserts this on every generated schedule.
+    pub fn structural_problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let sorted = |times: &[f64], what: &str, problems: &mut Vec<String>| {
+            if times.windows(2).any(|w| w[0] > w[1]) {
+                problems.push(format!("{what} not sorted"));
+            }
+            if times
+                .iter()
+                .any(|&t| !(0.0..=self.horizon_secs).contains(&t))
+            {
+                problems.push(format!("{what} outside horizon"));
+            }
+        };
+        sorted(
+            &self
+                .outages
+                .iter()
+                .map(|w| w.start_secs)
+                .collect::<Vec<_>>(),
+            "outages",
+            &mut problems,
+        );
+        sorted(
+            &self.bursts.iter().map(|b| b.start_secs).collect::<Vec<_>>(),
+            "bursts",
+            &mut problems,
+        );
+        sorted(
+            &self.handovers.iter().map(|h| h.at_secs).collect::<Vec<_>>(),
+            "handovers",
+            &mut problems,
+        );
+        sorted(
+            &self
+                .migrations
+                .iter()
+                .map(|m| m.at_secs)
+                .collect::<Vec<_>>(),
+            "migrations",
+            &mut problems,
+        );
+        if self.outages.iter().any(|w| w.duration_secs < 0.0) {
+            problems.push("negative outage duration".to_string());
+        }
+        if self.bursts.iter().any(|b| b.duration_secs < 0.0) {
+            problems.push("negative burst duration".to_string());
+        }
+        if self
+            .bursts
+            .iter()
+            .any(|b| !(0.0..=1.0).contains(&b.extra_loss))
+        {
+            problems.push("burst loss outside [0, 1]".to_string());
+        }
+        problems
+    }
+}
+
+/// A base path with a [`FaultSchedule`] overlaid.
+#[derive(Debug, Clone)]
+pub struct FaultyPath<P> {
+    /// The undisturbed path.
+    pub base: P,
+    /// The faults applied on top.
+    pub schedule: FaultSchedule,
+}
+
+impl<P: PathDynamics> PathDynamics for FaultyPath<P> {
+    fn base_rtt_ms(&self, t_secs: f64) -> Option<f64> {
+        if self.schedule.is_outage(t_secs) {
+            return None;
+        }
+        let base = self.base.base_rtt_ms(t_secs)?;
+        let offset =
+            self.schedule.handover_offset_ms(t_secs) + self.schedule.migration_offset_ms(t_secs);
+        Some((base + offset).max(1.0))
+    }
+
+    fn loss_prob(&self, t_secs: f64) -> f64 {
+        (self.base.loss_prob(t_secs) + self.schedule.extra_loss(t_secs)).clamp(0.0, 1.0)
+    }
+
+    fn bottleneck_mbps(&self) -> f64 {
+        self.base.bottleneck_mbps()
+    }
+
+    fn buffer_ms(&self) -> f64 {
+        self.base.buffer_ms()
+    }
+
+    fn generation(&self, t_secs: f64) -> u64 {
+        self.base.generation(t_secs) + self.schedule.generation_offset(t_secs)
+    }
+
+    fn handoff_loss_prob(&self) -> f64 {
+        self.base
+            .handoff_loss_prob()
+            .max(self.schedule.handoff_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::StaticPath;
+
+    fn schedule() -> FaultSchedule {
+        FaultSchedule {
+            outages: vec![OutageWindow {
+                start_secs: 5.0,
+                duration_secs: 2.0,
+            }],
+            bursts: vec![LossBurst {
+                start_secs: 1.0,
+                duration_secs: 2.0,
+                extra_loss: 0.2,
+            }],
+            handovers: vec![
+                Handover {
+                    at_secs: 3.0,
+                    offset_ms: 4.0,
+                },
+                Handover {
+                    at_secs: 9.0,
+                    offset_ms: -2.0,
+                },
+            ],
+            migrations: vec![PopMigration {
+                at_secs: 10.0,
+                delta_ms: 25.0,
+            }],
+            handoff_loss: 0.1,
+            horizon_secs: 20.0,
+        }
+    }
+
+    #[test]
+    fn schedule_queries_are_piecewise_correct() {
+        let s = schedule();
+        assert!(!s.is_outage(4.9));
+        assert!(s.is_outage(5.0));
+        assert!(s.is_outage(6.9));
+        assert!(!s.is_outage(7.0));
+        assert_eq!(s.extra_loss(0.5), 0.0);
+        assert!((s.extra_loss(2.0) - 0.2).abs() < 1e-12);
+        assert_eq!(s.handover_offset_ms(0.0), 0.0);
+        assert_eq!(s.handover_offset_ms(3.5), 4.0);
+        assert_eq!(s.handover_offset_ms(9.5), -2.0);
+        assert_eq!(s.migration_offset_ms(9.9), 0.0);
+        assert_eq!(s.migration_offset_ms(10.0), 25.0);
+        assert_eq!(s.generation_offset(0.0), 0);
+        assert_eq!(s.generation_offset(3.0), 1);
+        assert_eq!(s.generation_offset(10.0), 3);
+        assert!(s.structural_problems().is_empty());
+    }
+
+    #[test]
+    fn faulty_path_applies_the_schedule() {
+        let p = FaultyPath {
+            base: StaticPath::clean(50.0, 100.0),
+            schedule: schedule(),
+        };
+        assert_eq!(p.base_rtt_ms(0.0), Some(50.0));
+        assert_eq!(p.base_rtt_ms(3.5), Some(54.0));
+        assert_eq!(p.base_rtt_ms(5.5), None);
+        assert_eq!(p.base_rtt_ms(12.0), Some(50.0 - 2.0 + 25.0));
+        assert!((p.loss_prob(2.0) - 0.2).abs() < 1e-12);
+        assert_eq!(p.loss_prob(0.5), 0.0);
+        assert_eq!(p.generation(12.0), 3);
+        assert_eq!(p.handoff_loss_prob(), 0.1);
+    }
+
+    #[test]
+    fn generation_never_decreases_and_rtt_stays_positive() {
+        let mut rng = Rng::new(1234);
+        let sched = FaultSchedule::generate(&mut rng, &FaultProfile::leo(), 120.0);
+        assert!(sched.structural_problems().is_empty());
+        let p = FaultyPath {
+            base: StaticPath::clean(45.0, 150.0),
+            schedule: sched,
+        };
+        let mut last_gen = 0;
+        for i in 0..1200 {
+            let t = i as f64 * 0.1;
+            let g = p.generation(t);
+            assert!(g >= last_gen, "generation went backwards at t={t}");
+            last_gen = g;
+            if let Some(rtt) = p.base_rtt_ms(t) {
+                assert!(rtt >= 1.0, "rtt {rtt} below floor at t={t}");
+            }
+            let loss = p.loss_prob(t);
+            assert!((0.0..=1.0).contains(&loss));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FaultSchedule::generate(&mut Rng::new(77), &FaultProfile::geo_weather(), 60.0);
+        let b = FaultSchedule::generate(&mut Rng::new(77), &FaultProfile::geo_weather(), 60.0);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(&mut Rng::new(78), &FaultProfile::geo_weather(), 60.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quiet_profile_is_a_no_op() {
+        let sched = FaultSchedule::generate(&mut Rng::new(5), &FaultProfile::quiet(), 600.0);
+        assert!(sched.outages.is_empty());
+        assert!(sched.bursts.is_empty());
+        assert!(sched.handovers.is_empty());
+        assert!(sched.migrations.is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Conservation and sanity invariants the simulation sweep asserts.
+//!
+//! Each checker records how many assertions it evaluated and collects
+//! [`Violation`]s instead of panicking, so a sweep can report *every*
+//! broken invariant for a seed rather than the first one. The
+//! invariants fall in two families:
+//!
+//! * **conservation** — exact bookkeeping identities the mechanisms must
+//!   satisfy for any input: packet accounting (`sent == delivered +
+//!   lost`), PEP byte accounting (visible retransmissions never exceed
+//!   actual losses, and equal them without a proxy), congestion-window
+//!   bounds, event-queue conservation and time monotonicity, traceroute
+//!   TTL/RTT monotonicity;
+//! * **paper envelopes** — loose, shape-level bounds from the paper's
+//!   findings: the GEO bent-pipe RTT floor, and the retransmission-rate
+//!   ordering GEO-without-PEP > GEO-with-PEP (Figure 4c).
+
+use crate::path::PathDynamics;
+use crate::pep::PepMode;
+use crate::tcp::{TcpConfig, TcpStats};
+use crate::traceroute::HopSpec;
+use sno_types::records::TracerouteRecord;
+
+/// Physical floor for a bent-pipe GEO round trip (2 × ~35 786 km up and
+/// down at c, plus terrestrial overhead keeps real paths above this).
+pub const GEO_RTT_FLOOR_MS: f64 = 450.0;
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant identifier (kebab-case).
+    pub invariant: &'static str,
+    /// What exactly went wrong, with the offending numbers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Collects invariant evaluations and their failures.
+#[derive(Debug, Default)]
+pub struct Checker {
+    /// Assertions evaluated so far.
+    pub checks: u32,
+    /// Assertions that failed.
+    pub violations: Vec<Violation>,
+}
+
+impl Checker {
+    /// An empty checker.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Record one assertion; `detail` is only rendered on failure.
+    pub fn check(&mut self, invariant: &'static str, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(Violation {
+                invariant,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Exact packet/byte conservation for one finished flow, including
+    /// the PEP split-connection accounting and the cwnd bound.
+    pub fn flow_accounting(&mut self, label: &str, cfg: &TcpConfig, stats: &TcpStats) {
+        self.check(
+            "packet-conservation",
+            stats.pkts_sent == stats.pkts_delivered + stats.pkts_lost,
+            || {
+                format!(
+                    "{label}: sent {} != delivered {} + lost {}",
+                    stats.pkts_sent, stats.pkts_delivered, stats.pkts_lost
+                )
+            },
+        );
+        self.check(
+            "pep-byte-accounting",
+            stats.pkts_retrans_visible <= stats.pkts_lost,
+            || {
+                format!(
+                    "{label}: visible retransmissions {} exceed losses {}",
+                    stats.pkts_retrans_visible, stats.pkts_lost
+                )
+            },
+        );
+        if cfg.pep == PepMode::None {
+            self.check(
+                "pep-byte-accounting",
+                stats.pkts_retrans_visible == stats.pkts_lost,
+                || {
+                    format!(
+                        "{label}: without a PEP every loss must surface ({} visible vs {} lost)",
+                        stats.pkts_retrans_visible, stats.pkts_lost
+                    )
+                },
+            );
+        }
+        self.check(
+            "pep-byte-accounting",
+            stats.bytes_retrans == stats.pkts_retrans_visible * u64::from(cfg.mss),
+            || {
+                format!(
+                    "{label}: bytes_retrans {} != visible pkts {} x mss {}",
+                    stats.bytes_retrans, stats.pkts_retrans_visible, cfg.mss
+                )
+            },
+        );
+        let cwnd_cap = cfg.max_cwnd.max(cfg.initial_cwnd);
+        self.check(
+            "cwnd-bounds",
+            stats.max_cwnd_observed <= cwnd_cap + 1e-9,
+            || {
+                format!(
+                    "{label}: cwnd reached {} above cap {cwnd_cap}",
+                    stats.max_cwnd_observed
+                )
+            },
+        );
+        self.check("byte-limit", stats.bytes_acked <= cfg.byte_limit, || {
+            format!(
+                "{label}: acked {} past the byte limit {}",
+                stats.bytes_acked, cfg.byte_limit
+            )
+        });
+        // The loop may overshoot its deadline by at most the last RTO
+        // (bounded by max_rto_ms) plus one round.
+        let duration_cap = cfg.max_duration_secs + cfg.max_rto_ms / 1_000.0 + 60.0;
+        self.check(
+            "flow-terminates",
+            stats.completed || stats.duration_secs <= duration_cap,
+            || {
+                format!(
+                    "{label}: ran {}s past the {duration_cap}s cap",
+                    stats.duration_secs
+                )
+            },
+        );
+        self.check(
+            "rtt-samples-finite",
+            stats.rtt_samples.iter().all(|r| r.is_finite() && *r > 0.0),
+            || format!("{label}: non-finite or non-positive RTT sample"),
+        );
+    }
+
+    /// RTT-poll envelope: every sample at or above the path floor (the
+    /// model clamps noise at half the unloaded RTT) and the session p5
+    /// near the floor rather than the bloated ceiling.
+    pub fn rtt_envelope(&mut self, label: &str, stats: &TcpStats, floor_ms: f64) {
+        self.check(
+            "rtt-floor",
+            stats.rtt_samples.iter().all(|&r| r >= 0.45 * floor_ms),
+            || {
+                let min = stats
+                    .rtt_samples
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                format!("{label}: RTT sample {min} under floor {floor_ms}")
+            },
+        );
+        if let Some(p5) = stats.latency_p5() {
+            self.check("rtt-floor", p5.0 >= 0.8 * floor_ms, || {
+                format!("{label}: latency p5 {p5} under 0.8 x floor {floor_ms}")
+            });
+        }
+    }
+
+    /// Figure 4c's ordering: a split-connection PEP must suppress most
+    /// end-to-end retransmissions relative to the same path without one.
+    pub fn retrans_ordering(&mut self, label: &str, plain: &TcpStats, pepped: &TcpStats) {
+        let p = plain.retrans_fraction();
+        let q = pepped.retrans_fraction();
+        self.check("retrans-ordering", q <= 0.5 * p + 0.01, || {
+            format!("{label}: PEP retrans {q:.4} not well under plain {p:.4}")
+        });
+    }
+
+    /// Event-queue conservation after a drain: everything scheduled was
+    /// popped exactly once and the pop times never went backwards.
+    pub fn queue_conservation(
+        &mut self,
+        label: &str,
+        scheduled: u64,
+        popped: u64,
+        pending: usize,
+        pop_times_us: &[u64],
+    ) {
+        self.check(
+            "event-conservation",
+            popped + pending as u64 == scheduled,
+            || format!("{label}: popped {popped} + pending {pending} != scheduled {scheduled}"),
+        );
+        self.check(
+            "event-time-monotone",
+            pop_times_us.windows(2).all(|w| w[0] <= w[1]),
+            || format!("{label}: event times regressed: {pop_times_us:?}"),
+        );
+    }
+
+    /// Traceroute shape: hops appear in TTL order with non-negative
+    /// RTTs, never more hops than the declared path, the full path
+    /// exactly when the destination answered, and each hop's RTT no
+    /// lower than the floor established by the previous hop (the
+    /// monotone-TTL envelope the engine guarantees).
+    pub fn traceroute_shape(&mut self, label: &str, spec: &[HopSpec], rec: &TracerouteRecord) {
+        self.check(
+            "traceroute-ttl-monotone",
+            rec.hops.len() <= spec.len(),
+            || {
+                format!(
+                    "{label}: {} hops answered on a {}-hop path",
+                    rec.hops.len(),
+                    spec.len()
+                )
+            },
+        );
+        self.check(
+            "traceroute-ttl-monotone",
+            !rec.reached || rec.hops.len() == spec.len(),
+            || format!("{label}: reached but only {} hops recorded", rec.hops.len()),
+        );
+        self.check(
+            "traceroute-rtt-sane",
+            rec.hops
+                .iter()
+                .all(|h| h.rtt.0 >= 0.0 && h.rtt.0.is_finite()),
+            || format!("{label}: negative or non-finite hop RTT"),
+        );
+        let monotone =
+            rec.hops.windows(2).zip(spec).all(|(pair, prev_spec)| {
+                pair[1].rtt.0 + 1e-9 >= pair[0].rtt.0.min(prev_spec.rtt.0)
+            });
+        self.check("traceroute-ttl-monotone", monotone, || {
+            format!("{label}: cumulative RTT dipped below the previous hop's floor")
+        });
+    }
+
+    /// Fair-share conservation at a shared bottleneck: the flows cannot
+    /// collectively deliver more than the link carries (small slack for
+    /// the fluid model's rounding).
+    pub fn bottleneck_conservation(&mut self, label: &str, total_mbps: f64, flows: &[TcpStats]) {
+        let sum: f64 = flows.iter().map(|s| s.mean_throughput().0).sum();
+        self.check(
+            "bottleneck-conservation",
+            sum <= total_mbps * 1.10 + 0.5,
+            || format!("{label}: flows sum to {sum:.2} Mbps over a {total_mbps:.2} Mbps link"),
+        );
+    }
+
+    /// Path sanity sampled along a time grid: generation monotone, loss
+    /// a probability, RTT positive/finite outside outages.
+    pub fn path_sanity(&mut self, label: &str, path: &dyn PathDynamics, horizon_secs: f64) {
+        let steps = 256;
+        let mut last_gen = 0u64;
+        let mut gen_ok = true;
+        let mut loss_ok = true;
+        let mut rtt_ok = true;
+        for i in 0..=steps {
+            let t = horizon_secs * i as f64 / steps as f64;
+            let g = path.generation(t);
+            if i > 0 && g < last_gen {
+                gen_ok = false;
+            }
+            last_gen = g;
+            if !(0.0..=1.0).contains(&path.loss_prob(t)) {
+                loss_ok = false;
+            }
+            if let Some(rtt) = path.base_rtt_ms(t) {
+                if !(rtt.is_finite() && rtt > 0.0) {
+                    rtt_ok = false;
+                }
+            }
+        }
+        self.check("generation-monotone", gen_ok, || {
+            format!("{label}: serving generation went backwards")
+        });
+        self.check("loss-is-probability", loss_ok, || {
+            format!("{label}: loss probability left [0, 1]")
+        });
+        self.check("rtt-positive", rtt_ok, || {
+            format!("{label}: non-finite or non-positive base RTT")
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::StaticPath;
+    use crate::tcp::TcpFlow;
+    use sno_types::Rng;
+
+    fn stats(pep: PepMode, seed: u64) -> (TcpConfig, TcpStats) {
+        let cfg = TcpConfig {
+            pep,
+            ..TcpConfig::ndt()
+        };
+        let path = StaticPath {
+            rtt_ms: 550.0,
+            loss: 0.02,
+            rate_mbps: 20.0,
+            buffer_ms: 250.0,
+        };
+        let s = TcpFlow::new(cfg.clone()).run(&path, 0.0, &mut Rng::new(seed));
+        (cfg, s)
+    }
+
+    #[test]
+    fn healthy_flow_passes_all_checks() {
+        let mut c = Checker::new();
+        let (cfg, s) = stats(PepMode::None, 1);
+        c.flow_accounting("plain", &cfg, &s);
+        c.rtt_envelope("plain", &s, 550.0);
+        assert!(c.violations.is_empty(), "{:?}", c.violations);
+        assert!(c.checks >= 8);
+    }
+
+    #[test]
+    fn retrans_ordering_holds_for_the_pep() {
+        let mut c = Checker::new();
+        let (_, plain) = stats(PepMode::None, 2);
+        let (_, pepped) = stats(PepMode::typical(), 2);
+        c.retrans_ordering("geo", &plain, &pepped);
+        assert!(c.violations.is_empty(), "{:?}", c.violations);
+    }
+
+    #[test]
+    fn corrupted_accounting_is_caught() {
+        let mut c = Checker::new();
+        let (cfg, mut s) = stats(PepMode::None, 3);
+        s.pkts_delivered += 7; // break conservation
+        c.flow_accounting("broken", &cfg, &s);
+        assert!(c
+            .violations
+            .iter()
+            .any(|v| v.invariant == "packet-conservation"));
+    }
+
+    #[test]
+    fn pep_leak_is_caught() {
+        let mut c = Checker::new();
+        let (cfg, mut s) = stats(PepMode::typical(), 4);
+        s.pkts_retrans_visible = s.pkts_lost + 1; // proxy "invented" a loss
+        c.flow_accounting("leak", &cfg, &s);
+        assert!(c
+            .violations
+            .iter()
+            .any(|v| v.invariant == "pep-byte-accounting"));
+    }
+
+    #[test]
+    fn queue_conservation_catches_lost_events() {
+        let mut c = Checker::new();
+        c.queue_conservation("q", 10, 9, 0, &[1, 2, 3]);
+        assert_eq!(c.violations.len(), 1);
+        assert_eq!(c.violations[0].invariant, "event-conservation");
+        let mut c = Checker::new();
+        c.queue_conservation("q", 10, 10, 0, &[1, 3, 2]);
+        assert_eq!(c.violations[0].invariant, "event-time-monotone");
+    }
+
+    #[test]
+    fn violation_display_is_greppable() {
+        let v = Violation {
+            invariant: "cwnd-bounds",
+            detail: "flow x: cwnd reached 9000 above cap 4096".to_string(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "cwnd-bounds: flow x: cwnd reached 9000 above cap 4096"
+        );
+    }
+}

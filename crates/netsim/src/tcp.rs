@@ -98,6 +98,21 @@ pub struct TcpStats {
     pub timeouts: u32,
     /// Whether the byte limit was reached (vs. the time limit).
     pub completed: bool,
+    /// Packets handed to the network across all rounds.
+    pub pkts_sent: u64,
+    /// Packets delivered to the receiver.
+    pub pkts_delivered: u64,
+    /// Packets lost on the link or dropped at the bottleneck queue.
+    /// Conservation holds exactly: `pkts_sent == pkts_delivered +
+    /// pkts_lost` (the fault-injection sweeps assert it).
+    pub pkts_lost: u64,
+    /// Lost packets that surfaced as *end-to-end* retransmissions. With
+    /// a split-connection PEP most satellite-segment losses are
+    /// recovered locally, so this is at most `pkts_lost` and equals it
+    /// only without a proxy.
+    pub pkts_retrans_visible: u64,
+    /// Largest congestion window the flow ever reached, packets.
+    pub max_cwnd_observed: f64,
 }
 
 impl TcpStats {
@@ -190,6 +205,11 @@ impl TcpFlow {
             rtt_samples: Vec::new(),
             timeouts: 0,
             completed: false,
+            pkts_sent: 0,
+            pkts_delivered: 0,
+            pkts_lost: 0,
+            pkts_retrans_visible: 0,
+            max_cwnd_observed: 0.0,
         };
 
         while t_ms < cfg.max_duration_secs * 1_000.0 && stats.bytes_acked < cfg.byte_limit {
@@ -229,8 +249,10 @@ impl TcpFlow {
                 (srtt.expect("set above") + 4.0 * rttvar).clamp(cfg.min_rto_ms, cfg.max_rto_ms);
 
             // Send a window.
+            stats.max_cwnd_observed = stats.max_cwnd_observed.max(cwnd);
             let pkts = cwnd.round().max(1.0) as u64;
             stats.bytes_sent += pkts * u64::from(cfg.mss);
+            stats.pkts_sent += pkts;
 
             // Loss: random link loss (PEP-suppressed), handoff burst,
             // queue overflow.
@@ -256,6 +278,9 @@ impl TcpFlow {
             };
 
             let delivered = pkts - losses.min(pkts);
+            stats.pkts_delivered += delivered;
+            stats.pkts_lost += losses.min(pkts);
+            stats.pkts_retrans_visible += visible_losses.min(pkts);
             stats.bytes_acked = (stats.bytes_acked + delivered * u64::from(cfg.mss))
                 .min(cfg.byte_limit.max(stats.bytes_acked));
             stats.bytes_retrans += visible_losses.min(pkts) * u64::from(cfg.mss);
@@ -493,6 +518,34 @@ mod tests {
         // uses p5 as the access-latency estimate.
         assert!((s.latency_p5().unwrap().0 - 600.0).abs() < 40.0);
         assert!((d.latency_p5().unwrap().0 - 600.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn packet_accounting_is_conserved() {
+        let path = StaticPath {
+            rtt_ms: 300.0,
+            loss: 0.02,
+            rate_mbps: 20.0,
+            buffer_ms: 100.0,
+        };
+        for seed in [1, 2, 3] {
+            let s = run(&path, TcpConfig::ndt(), seed);
+            assert_eq!(s.pkts_sent, s.pkts_delivered + s.pkts_lost);
+            // Without a PEP, every loss surfaces as a retransmission.
+            assert_eq!(s.pkts_retrans_visible, s.pkts_lost);
+            assert_eq!(s.bytes_retrans, s.pkts_retrans_visible * 1_460);
+            assert!(s.max_cwnd_observed <= TcpConfig::ndt().max_cwnd);
+            let pepped = run(
+                &path,
+                TcpConfig {
+                    pep: PepMode::typical(),
+                    ..TcpConfig::ndt()
+                },
+                seed,
+            );
+            assert_eq!(pepped.pkts_sent, pepped.pkts_delivered + pepped.pkts_lost);
+            assert!(pepped.pkts_retrans_visible <= pepped.pkts_lost);
+        }
     }
 
     #[test]
