@@ -20,6 +20,11 @@ run cargo build --benches --offline -p sno-bench
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Lint gate: the in-tree determinism & hermeticity pass (sno-lint).
+# Fails on any diagnostic not excused by a justified allow pragma and
+# prints the replay line; see README "CI gates" for the rule table.
+run cargo run --release --offline -p sno-bench --bin repro -- --lint
+
 # Perf gate: diff the two newest committed BENCH_N.json trajectory
 # snapshots and fail on >20% median regressions (repro --bench-diff).
 # Skipped until at least two snapshots exist.

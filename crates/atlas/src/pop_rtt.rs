@@ -103,7 +103,7 @@ fn summarise<K: Ord>(map: BTreeMap<K, Vec<f64>>) -> Vec<(K, FiveNumber)> {
         .into_iter()
         .filter_map(|(k, v)| FiveNumber::of(&v).map(|s| (k, s)))
         .collect();
-    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
     out
 }
 

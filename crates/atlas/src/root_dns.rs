@@ -27,7 +27,7 @@ pub fn root_rtt_by_country(
         .into_iter()
         .filter_map(|(c, v)| FiveNumber::of(&v).map(|s| (c, s)))
         .collect();
-    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
     out
 }
 
@@ -53,7 +53,7 @@ pub fn hops_by_country(
         .into_iter()
         .filter_map(|(c, v)| FiveNumber::of(&v).map(|s| (c, s)))
         .collect();
-    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
     out
 }
 

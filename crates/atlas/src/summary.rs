@@ -22,25 +22,24 @@ pub fn country_summary(
     traceroutes: &[TracerouteRecord],
     probes: &[ProbeInfo],
 ) -> Vec<CountrySummary> {
-    let mut acc: BTreeMap<CountryCode, (std::collections::BTreeSet<u32>, Option<Timestamp>, u64)> =
+    let mut acc: BTreeMap<CountryCode, (std::collections::BTreeSet<u32>, Timestamp, u64)> =
         BTreeMap::new();
     for t in traceroutes {
         let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
             continue;
         };
-        let entry = acc.entry(info.country).or_default();
+        let entry = acc
+            .entry(info.country)
+            .or_insert_with(|| (std::collections::BTreeSet::new(), t.timestamp, 0));
         entry.0.insert(t.probe.0);
-        entry.1 = Some(match entry.1 {
-            Some(first) if first <= t.timestamp => first,
-            _ => t.timestamp,
-        });
+        entry.1 = entry.1.min(t.timestamp);
         entry.2 += 1;
     }
     acc.into_iter()
         .map(|(country, (ids, first, n))| CountrySummary {
             country,
             probes: ids.len(),
-            first_measurement: first.expect("entries only created with a timestamp"),
+            first_measurement: first,
             traceroutes: n,
         })
         .collect()

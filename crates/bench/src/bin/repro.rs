@@ -17,6 +17,8 @@
 //!                       # persist to tests/corpora/sim_sweep.seeds
 //! repro --sim-sweep --seed 12345
 //!                       # replay one seed verbosely
+//! repro --lint          # determinism & hermeticity lint pass (the
+//!                       # ci.sh lint gate); --json for machine output
 //! ```
 
 use sno_bench::{run_experiment, ReproContext, EXPERIMENTS};
@@ -72,6 +74,7 @@ fn run_bench_mode(config: SynthConfig, out_path: &str) {
     group.sample_size(5).warm_up_ms(50.0).sample_budget_ms(50.0);
     for (id, ..) in EXPERIMENTS {
         group.bench_function(*id, |b| {
+            // sno-lint: allow(unwrap-in-lib): ids iterate the static EXPERIMENTS table
             b.iter(|| std::hint::black_box(run_experiment(&ctx, id).expect("known id")))
         });
     }
@@ -265,8 +268,36 @@ fn append_sweep_seed(seed: u64) -> std::io::Result<()> {
     writeln!(file, "{seed}")
 }
 
+/// `--lint`: run the determinism & hermeticity pass over the workspace
+/// rooted at the invocation directory (the repo root under `cargo run`)
+/// and exit non-zero on any surviving diagnostic. The replay line makes
+/// a CI failure reproducible with one paste.
+fn run_lint(json: bool) -> ! {
+    let report = match sno_lint::lint_workspace(std::path::Path::new(".")) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro --lint: cannot scan the workspace: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.passed() {
+        eprintln!("replay locally with: cargo run --release -p sno-bench --bin repro -- --lint");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--lint") {
+        run_lint(args.iter().any(|a| a == "--json"));
+    }
 
     if args.iter().any(|a| a == "--list") {
         for (id, what, _) in EXPERIMENTS {

@@ -37,7 +37,7 @@ fn percentile(samples: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
     sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
@@ -80,6 +80,7 @@ impl Bencher {
     /// iterations fit the per-sample budget), then record the configured
     /// number of samples.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // sno-lint: allow(wall-clock): the bench harness measures wall time by design
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
         loop {
@@ -94,6 +95,7 @@ impl Bencher {
         self.iters_per_sample = iters;
         self.sample_ms.clear();
         for _ in 0..self.sample_size {
+            // sno-lint: allow(wall-clock): timed sample measurement is the harness's purpose
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(routine());

@@ -12,7 +12,8 @@
 //!
 //! * [`proptest!`] — the macro subset the existing property suites use:
 //!   `#[test]` blocks, range strategies, `prop::collection::vec`,
-//!   `any::<T>()`, the `prop_map`/`prop_filter` adapters,
+//!   `any::<T>()`, `prop::string::string`, the
+//!   `prop_map`/`prop_filter`/`prop_flat_map` adapters,
 //!   `prop_assert!`/`prop_assert_eq!`, and
 //!   `ProptestConfig::with_cases(n)`. Failures shrink greedily and print
 //!   a seed; `SNO_CHECK_SEED=<seed>` replays the identical
@@ -44,7 +45,7 @@ pub mod strategy;
 
 pub use corpus::{CORPUS_DIR_ENV, DEFAULT_CORPUS_DIR};
 pub use runner::{run_property, PropError, ProptestConfig, SEED_ENV};
-pub use strategy::{any, Arbitrary, Mapped, Strategy};
+pub use strategy::{any, Arbitrary, FlatMapped, Mapped, Strategy};
 
 /// `proptest`-style module layout, so `prop::collection::vec(..)` reads
 /// the same as upstream.
@@ -53,12 +54,17 @@ pub mod prop {
     pub mod collection {
         pub use crate::strategy::vec;
     }
+
+    /// String strategies.
+    pub mod string {
+        pub use crate::strategy::string;
+    }
 }
 
 /// Everything a property-test file needs: `use sno_check::prelude::*;`.
 pub mod prelude {
     pub use crate::prop;
     pub use crate::runner::{PropError, ProptestConfig};
-    pub use crate::strategy::{any, Arbitrary, Mapped, Strategy};
+    pub use crate::strategy::{any, Arbitrary, FlatMapped, Mapped, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }

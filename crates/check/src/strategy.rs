@@ -47,6 +47,23 @@ pub trait Strategy {
         MapStrategy { source: self, f }
     }
 
+    /// Build a *dependent* strategy from each generated value, as in
+    /// proptest's `prop_flat_map` — e.g. draw a length, then a vector
+    /// of exactly that length. The produced [`FlatMapped`] value keeps
+    /// both the source value and the RNG seed the inner draw used, so
+    /// shrinking can simplify the inner value under a fixed source *or*
+    /// simplify the source and re-draw the inner value from the same
+    /// seed. Both directions strictly simplify (lexicographically on
+    /// `(source, value)`), so the shrink loop still terminates.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMapStrategy { source: self, f }
+    }
+
     /// Keep only values satisfying `pred`, as in proptest's
     /// `prop_filter`. `reason` names the constraint in the panic raised
     /// when the predicate rejects too many consecutive draws. Shrink
@@ -119,6 +136,95 @@ where
                 Mapped { source, value }
             })
             .collect()
+    }
+}
+
+/// A value produced by [`Strategy::prop_flat_map`]: the source value,
+/// the seed the dependent draw consumed, and the dependent output.
+/// Dereferences to the output.
+#[derive(Clone)]
+pub struct FlatMapped<V, T> {
+    /// The source value the inner strategy was built from.
+    pub source: V,
+    /// Seed of the substream the inner generation drew from; kept so
+    /// source-side shrinks can re-draw a comparable inner value.
+    seed: u64,
+    /// The dependent output.
+    pub value: T,
+}
+
+impl<V, T> std::ops::Deref for FlatMapped<V, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<V: Debug, T: Debug> Debug for FlatMapped<V, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} (via {:?})", self.value, self.source)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F> FlatMapStrategy<S, F> {
+    /// The dedicated substream for dependent draws: a pure function of
+    /// the recorded seed, so a shrunk source re-draws reproducibly.
+    fn inner_rng(seed: u64) -> Rng {
+        Rng::new(seed).substream_named("flat-map")
+    }
+}
+
+impl<S, S2, F> Strategy for FlatMapStrategy<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = FlatMapped<S::Value, S2::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let source = self.source.generate(rng);
+        let seed = rng.next_u64();
+        let value = (self.f)(source.clone()).generate(&mut Self::inner_rng(seed));
+        FlatMapped {
+            source,
+            seed,
+            value,
+        }
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Inner shrinks first: the source (and thus the dependent
+        // strategy) stays fixed, only the output simplifies.
+        let inner = (self.f)(v.source.clone());
+        for value in inner.shrink(&v.value) {
+            out.push(FlatMapped {
+                source: v.source.clone(),
+                seed: v.seed,
+                value,
+            });
+        }
+        // Then source shrinks: rebuild the dependent strategy and
+        // re-draw from the recorded seed, so the inner value stays
+        // comparable to the failing one (same randomness, simpler
+        // constraint).
+        for source in self.source.shrink(&v.source) {
+            let value = (self.f)(source.clone()).generate(&mut Self::inner_rng(v.seed));
+            out.push(FlatMapped {
+                source,
+                seed: v.seed,
+                value,
+            });
+        }
+        out
     }
 }
 
@@ -431,6 +537,65 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
                 let mut w = v.clone();
                 w[i] = c;
                 out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// Strategy for strings drawn from a fixed alphabet, with lengths in a
+/// half-open range.
+pub struct StringStrategy {
+    alphabet: Vec<char>,
+    len: Range<usize>,
+}
+
+/// `prop::string::string("abc", 0..20)`: strings whose chars are drawn
+/// uniformly from `alphabet` and whose char-count lies in `len`.
+/// Shrinking shortens the string first (halve, drop last, drop first),
+/// then simplifies characters toward the *front* of the alphabet — put
+/// the simplest character first (e.g. `"a..."` or `" ..."`) to get
+/// readable minimal counterexamples.
+pub fn string(alphabet: &str, len: Range<usize>) -> StringStrategy {
+    assert!(len.start < len.end, "empty length range");
+    let alphabet: Vec<char> = alphabet.chars().collect();
+    assert!(!alphabet.is_empty(), "empty alphabet");
+    StringStrategy { alphabet, len }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+        (0..n)
+            .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+            .collect()
+    }
+
+    fn shrink(&self, v: &String) -> Vec<String> {
+        let chars: Vec<char> = v.chars().collect();
+        let mut out: Vec<String> = Vec::new();
+        let min = self.len.start;
+        // Structural shrinks first, mirroring VecStrategy.
+        if chars.len() > min {
+            let half = (chars.len() / 2).max(min);
+            if half < chars.len() {
+                out.push(chars[..half].iter().collect());
+            }
+            out.push(chars[..chars.len() - 1].iter().collect());
+            out.push(chars[1..].iter().collect());
+        }
+        // Then per-character shrinks: move each char toward the front
+        // of the alphabet, a couple of candidates per slot.
+        for i in 0..chars.len() {
+            let Some(idx) = self.alphabet.iter().position(|&c| c == chars[i]) else {
+                continue;
+            };
+            for cand in uint_candidates(idx as u64, 0).into_iter().take(2) {
+                let mut w = chars.clone();
+                w[i] = self.alphabet[cand as usize];
+                out.push(w.iter().collect());
             }
         }
         out

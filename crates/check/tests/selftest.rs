@@ -85,6 +85,25 @@ proptest! {
         prop_assert!(xs.iter().all(|n| n % 10 != 0));
         prop_assert!((0.0..1_000.0).contains(&*scaled));
     }
+
+    /// `prop_flat_map` builds the inner strategy from the drawn source:
+    /// a length draw really constrains the dependent vector.
+    #[test]
+    fn flat_map_dependent_generation(
+        sized in (1..20usize).prop_flat_map(|n| prop::collection::vec(0..100u32, n..n + 1)),
+    ) {
+        prop_assert_eq!(sized.value.len(), sized.source);
+        prop_assert!(sized.iter().all(|&x| x < 100));
+    }
+
+    /// `prop::string::string` respects its alphabet and length range.
+    #[test]
+    fn string_within_alphabet_and_len(
+        s in prop::string::string("abc", 2..10),
+    ) {
+        prop_assert!((2..10).contains(&s.chars().count()));
+        prop_assert!(s.chars().all(|c| "abc".contains(c)));
+    }
 }
 
 /// A property that fails exactly when `x >= 100`, recording the last
@@ -270,6 +289,66 @@ fn filtered_shrinking_stays_in_region() {
         (10..=12).contains(&last.get()),
         "shrunk to {} instead of ~10",
         last.get()
+    );
+}
+
+#[test]
+fn flat_map_shrinking_preserves_dependency() {
+    // Fails whenever the dependent vector holds an element >= 50. Every
+    // candidate the runner evaluates — including source-side shrinks,
+    // which re-draw the vector — must keep the length == source
+    // invariant, and greedy shrinking must still reach a short witness.
+    let violated = Cell::new(false);
+    let smallest_len = Cell::new(usize::MAX);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_property(
+            concat!(module_path!(), "::flat_map_shrink_target"),
+            &ProptestConfig::with_cases(64),
+            &((1..40usize).prop_flat_map(|n| prop::collection::vec(0.0..1e3f64, n..n + 1)),),
+            |(sized,)| {
+                if sized.value.len() != sized.source {
+                    violated.set(true);
+                }
+                if sized.iter().any(|&x| x >= 50.0) {
+                    smallest_len.set(smallest_len.get().min(sized.value.len()));
+                    return Err(PropError::new("element >= 50"));
+                }
+                Ok(())
+            },
+        );
+    }));
+    assert!(!violated.get(), "a shrink candidate broke len == source");
+    assert!(
+        smallest_len.get() <= 3,
+        "flat-mapped vector only shrank to length {}",
+        smallest_len.get()
+    );
+}
+
+#[test]
+fn string_shrinking_reaches_short_witness() {
+    // Fails whenever the string contains 'c'; structural shrinks drop
+    // characters and per-char shrinks move toward 'a', so the minimal
+    // failing witness is a lone 'c' (or close to it).
+    let shortest = Cell::new(usize::MAX);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_property(
+            concat!(module_path!(), "::string_shrink_target"),
+            &ProptestConfig::with_cases(64),
+            &(prop::string::string("abc", 1..30),),
+            |(s,)| {
+                if s.contains('c') {
+                    shortest.set(shortest.get().min(s.chars().count()));
+                    return Err(PropError::new("contains 'c'"));
+                }
+                Ok(())
+            },
+        );
+    }));
+    assert!(
+        shortest.get() <= 2,
+        "string only shrank to length {}",
+        shortest.get()
     );
 }
 

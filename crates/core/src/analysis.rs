@@ -79,7 +79,7 @@ pub fn latency_by_operator(
         .into_iter()
         .filter_map(|(op, lat)| FiveNumber::of(&lat).map(|s| (op, s)))
         .collect();
-    out.sort_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN"));
+    out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
     out
 }
 

@@ -73,16 +73,19 @@ pub fn map_asns() -> AsnMapping {
     let mut mapping: BTreeMap<Operator, Vec<Asn>> = BTreeMap::new();
     for &asn in &candidates {
         match is_genuine_sno(asn) {
-            Some(true) => {
-                let op = operator_of_asn(asn).expect("genuine SNO ASNs have operators");
-                mapping.entry(op).or_default().push(asn);
-            }
+            // A registry inconsistency (an ASN one table vouches for and
+            // another has never heard of) degrades to "unidentifiable"
+            // instead of panicking mid-census.
+            Some(true) => match operator_of_asn(asn) {
+                Some(op) => mapping.entry(op).or_default().push(asn),
+                None => rejected.push((asn, "unidentifiable")),
+            },
             Some(false) => {
-                let d = sno_registry::sources::DISTRACTORS
+                let business = sno_registry::sources::DISTRACTORS
                     .iter()
                     .find(|d| d.asn == asn.0)
-                    .expect("rejected candidates are distractors");
-                rejected.push((asn, d.actual_business));
+                    .map_or("unidentifiable", |d| d.actual_business);
+                rejected.push((asn, business));
             }
             None => rejected.push((asn, "unidentifiable")),
         }

@@ -133,13 +133,18 @@ pub fn strict_filter_threaded(
             let floor = floor_of(sno_registry::sources::access_of(*op));
             if latencies.iter().all(|&l| l > floor) {
                 let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
-                retained.push(PrefixStat {
-                    operator: *op,
-                    prefix: *prefix,
-                    tests: latencies.len(),
-                    min_latency_ms: min,
-                    summary: FiveNumber::of(latencies).expect("non-empty"),
-                });
+                match FiveNumber::of(latencies) {
+                    Some(summary) => retained.push(PrefixStat {
+                        operator: *op,
+                        prefix: *prefix,
+                        tests: latencies.len(),
+                        min_latency_ms: min,
+                        summary,
+                    }),
+                    // Unsummarisable means empty, which the thin-prefix
+                    // gate already counts.
+                    None => rejected_thin += 1,
+                }
             } else {
                 rejected_band += 1;
             }

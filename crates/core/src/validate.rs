@@ -147,7 +147,19 @@ pub fn profile_one(
             verdict: AsnVerdict::Insufficient,
         };
     }
-    let kde = Kde::fit(latencies).expect("non-empty sample");
+    // `tests >= MIN_TESTS_FOR_VERDICT > 0`, but an unfittable sample is
+    // an Insufficient verdict, not a panic.
+    let Some(kde) = Kde::fit(latencies) else {
+        return AsnProfile {
+            operator,
+            asn,
+            tests,
+            terrestrial_mass: 0.0,
+            expected_mass: 0.0,
+            modes: 0,
+            verdict: AsnVerdict::Insufficient,
+        };
+    };
     let access = access_of(operator);
     let terrestrial_mass = kde.mass_in(0.0, bands.terrestrial_max);
     let expected_mass: f64 = access

@@ -1,0 +1,45 @@
+//! The `sno-lint` command-line front end.
+//!
+//! ```text
+//! sno-lint              # lint the workspace rooted at the cwd
+//! sno-lint --json       # machine-readable report, stable-sorted
+//! sno-lint path/to/ws   # lint a different root
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any diagnostic survives, 2 on
+//! usage or I/O errors. CI runs this through `repro --lint` (see
+//! ci.sh), which prints the replay command on failure.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: sno-lint [--json] [root]");
+                return;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("sno-lint: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = match sno_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sno-lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    std::process::exit(i32::from(!report.passed()));
+}

@@ -1,0 +1,94 @@
+//! Diagnostics: what a rule reports and how it renders.
+//!
+//! Both renderers are deterministic: diagnostics are sorted by
+//! `(file, line, rule)` before display, so two runs over the same tree
+//! produce byte-identical text and JSON — reports are diffable across
+//! machines and commits.
+
+/// One finding at a `file:line` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line the finding anchors to.
+    pub line: u32,
+    /// Stable rule identifier, e.g. `unwrap-in-lib`.
+    pub rule: &'static str,
+    /// Human-readable explanation, one line.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The stable ordering key: `(file, line, rule)`.
+    fn key(&self) -> (&str, u32, &str) {
+        (&self.file, self.line, self.rule)
+    }
+
+    /// `file:line: [rule] message`, the text renderer's line format.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sort diagnostics into the canonical `(file, line, rule)` order.
+pub fn sort_stable(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| a.key().cmp(&b.key()));
+}
+
+/// Render a sorted diagnostic list as text, one finding per line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a sorted diagnostic list as a single JSON object:
+/// `{"count": N, "diagnostics": [{"file","line","rule","message"}, ..]}`.
+///
+/// Hand-rolled like the rest of the workspace's JSON (see
+/// `sno_check::bench`): no external dependencies, stable field order.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"count\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": \"{}\", ", escape_json(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"rule\": \"{}\", ", escape_json(d.rule)));
+        out.push_str(&format!("\"message\": \"{}\"", escape_json(&d.message)));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,465 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The rules in this crate match *token* patterns, so the lexer's one
+//! job is to never confuse code with non-code: line and block comments
+//! (nested), string literals (with escapes), raw strings (any number of
+//! `#`s), byte and raw-byte strings, char literals, and lifetimes must
+//! all be recognised so that `"SystemTime::now"` inside a string or a
+//! pragma spelled inside a comment never count as code — and vice
+//! versa. It is byte-oriented, never panics on malformed input
+//! (unterminated literals simply run to end of file), and tracks the
+//! 1-based line of every token for diagnostics.
+
+/// What a token is. Contents are kept where a rule needs to look at
+/// them (identifiers, numeric and string literals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident(String),
+    /// Integer literal, suffix and underscores included (`0x5A`, `3u64`).
+    Int(String),
+    /// Float literal (`1.5`, `2.0e3`).
+    Float(String),
+    /// String literal of any flavour (`".."`, `r#".."#`, `b".."`).
+    Str(String),
+    /// Char or byte-char literal (`'a'`, `'\n'`, `b'x'`).
+    Char(String),
+    /// Lifetime (`'a`, `'static`, `'_`), name without the quote.
+    Lifetime(String),
+    /// Any other single significant character (`.`, `(`, `#`, ...).
+    Punct(char),
+}
+
+/// One significant token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment with its source position; comments are not tokens (rules
+/// never match inside them) but carry the lint pragmas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` or `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether the comment is the first non-whitespace on its line
+    /// (a pragma on its own line targets the *next* line; a trailing
+    /// pragma targets its own).
+    pub own_line: bool,
+}
+
+/// The lexer's output: significant tokens plus comments, in order.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Total: consumes every byte, never panics, and degrades
+/// gracefully on malformed input (an unterminated literal or block
+/// comment swallows the rest of the file, which is the safe direction
+/// for a linter — nothing after it is misread as code).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    /// Whether any token appeared on the current line so far.
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_code = false;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => {
+                    if !self.raw_or_byte_prefix() {
+                        self.ident();
+                    }
+                }
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                c => {
+                    self.push_token(TokenKind::Punct(c as char));
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push_token(&mut self, kind: TokenKind) {
+        self.out.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+        self.line_has_code = true;
+    }
+
+    /// Slice back out of the source as a (lossily decoded) string.
+    fn text(&self, start: usize, end: usize) -> String {
+        String::from_utf8_lossy(&self.b[start..end]).into_owned()
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.text(start, self.i),
+            line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        self.i += 2;
+        let mut depth = 1u32;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text(start, self.i),
+            line,
+            own_line,
+        });
+    }
+
+    /// A `"`-delimited string starting at `self.i` (which must point at
+    /// the opening quote). `skip` bytes of prefix (e.g. the `b` of a
+    /// byte string) were already consumed by the caller via offset.
+    fn string(&mut self, prefix_start_back: usize) {
+        let start = self.i - prefix_start_back;
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2, // escape: skip the escaped byte too
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let end = self.i.min(self.b.len());
+        let text = self.text(start, end);
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str(text),
+            line,
+        });
+        self.line_has_code = true;
+    }
+
+    /// Raw string body: `self.i` points at the first `#` or the `"`.
+    /// `start` is where the whole literal began (at the `r`/`b`).
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote (caller guaranteed it)
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    // Close only when followed by exactly `hashes` #s.
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.i += 1 + hashes;
+                        break;
+                    }
+                    self.i += 1;
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        let end = self.i.min(self.b.len());
+        let text = self.text(start, end);
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str(text),
+            line,
+        });
+        self.line_has_code = true;
+    }
+
+    /// Dispatch the `r`/`b` prefix forms: raw strings `r".."`/`r#".."#`,
+    /// byte strings `b".."`, raw byte strings `br#".."#`, byte chars
+    /// `b'x'`, and raw identifiers `r#ident`. Returns false when the
+    /// `r`/`b` is just the start of an ordinary identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.i;
+        let c = self.b[self.i];
+        if c == b'r' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.i += 1;
+                    self.raw_string(start);
+                    return true;
+                }
+                Some(b'#') => {
+                    // r#".."# (any number of #s) or the raw identifier r#ident.
+                    let mut k = 1;
+                    while self.peek(k) == Some(b'#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some(b'"') {
+                        self.i += 1;
+                        self.raw_string(start);
+                        return true;
+                    }
+                    if k == 1 {
+                        if let Some(c2) = self.peek(2) {
+                            if is_ident_start(c2) {
+                                self.i += 2; // past r#
+                                self.ident();
+                                return true;
+                            }
+                        }
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        // c == b'b'
+        match self.peek(1) {
+            Some(b'"') => {
+                self.i += 1;
+                self.string(1);
+                true
+            }
+            Some(b'\'') => {
+                self.i += 1;
+                self.byte_char(start);
+                true
+            }
+            Some(b'r') => {
+                let mut k = 2;
+                while self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'"') {
+                    self.i += 2; // past br
+                    self.raw_string(start);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// `b'x'` — byte char; `self.i` points at the quote.
+    fn byte_char(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.i += 2;
+        } else if self.peek(0).is_some() {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.i += 1;
+        }
+        let end = self.i.min(self.b.len());
+        let text = self.text(start, end);
+        self.out.tokens.push(Token {
+            kind: TokenKind::Char(text),
+            line,
+        });
+        self.line_has_code = true;
+    }
+
+    /// `'` starts either a char literal or a lifetime. The discriminator
+    /// is Rust's own: `'` + escape is a char, `'` + identifier + `'` is
+    /// a char (`'a'`), and `'` + identifier *not* followed by a closing
+    /// quote is a lifetime (`'a`, `'static`, `'_`).
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        self.i += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip escape (clamped — the file
+                // may end mid-escape), then to closing quote.
+                self.i = (self.i + 2).min(self.b.len());
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    if self.b[self.i] == b'\n' {
+                        // Malformed; don't swallow the file.
+                        break;
+                    }
+                    self.i += 1;
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.i += 1;
+                }
+                let text = self.text(start, self.i);
+                self.out.tokens.push(Token {
+                    kind: TokenKind::Char(text),
+                    line,
+                });
+            }
+            Some(c) if is_ident_start(c) => {
+                let name_start = self.i;
+                while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                    self.i += 1;
+                }
+                if self.peek(0) == Some(b'\'') {
+                    // 'a' — char literal.
+                    self.i += 1;
+                    let text = self.text(start, self.i);
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Char(text),
+                        line,
+                    });
+                } else {
+                    let name = self.text(name_start, self.i);
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Lifetime(name),
+                        line,
+                    });
+                }
+            }
+            Some(_) => {
+                // 'x' for non-ident x (e.g. '(' as a char literal).
+                self.i += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.i += 1;
+                }
+                let text = self.text(start, self.i);
+                self.out.tokens.push(Token {
+                    kind: TokenKind::Char(text),
+                    line,
+                });
+            }
+            None => {
+                self.out.tokens.push(Token {
+                    kind: TokenKind::Punct('\''),
+                    line,
+                });
+            }
+        }
+        self.line_has_code = true;
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut saw_dot = false;
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.i += 1;
+            } else if c == b'.' && !saw_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` is a float; `1.max(..)` and `0..n` are not.
+                saw_dot = true;
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text = self.text(start, self.i);
+        let kind = if saw_dot {
+            TokenKind::Float(text)
+        } else {
+            TokenKind::Int(text)
+        };
+        self.push_token(kind);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = self.text(start, self.i);
+        self.push_token(TokenKind::Ident(text));
+    }
+}
+
+/// ASCII identifier-start (non-ASCII bytes are accepted as identifier
+/// characters so Unicode identifiers lex as one token instead of
+/// panicking or splitting).
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}

@@ -1,0 +1,109 @@
+//! `sno-lint`: the in-tree determinism & hermeticity lint pass.
+//!
+//! The workspace promises byte-identical pipelines at any thread count
+//! and seed-replayable fault campaigns (README "Determinism", DESIGN
+//! §7). Those promises rest on invariants `rustc` and clippy cannot
+//! see: no wall-clock reads in analysis code, no ambient entropy, no
+//! unordered iteration in the deterministic crates, self-documenting
+//! RNG substream labels, no panicking shortcuts in library code, and
+//! path-only dependencies so a clean checkout builds offline. This
+//! crate checks all of them mechanically, FoundationDB-style: the
+//! simulation gate is only trustworthy while the code stays inside the
+//! deterministic subset, so the subset is enforced, not hoped for.
+//!
+//! Everything is hand-rolled and dependency-free — a lexer
+//! ([`lexer`]), a rule engine ([`rules`]), a manifest checker
+//! ([`manifest`]), and per-line allow pragmas with mandatory
+//! justifications ([`pragma`]):
+//!
+//! ```text
+//! // sno-lint: allow(unwrap-in-lib): length checked two lines up
+//! ```
+//!
+//! Run it as `repro --lint [--json]`, the `sno-lint` binary, or
+//! programmatically:
+//!
+//! ```
+//! use sno_lint::rules::lint_source;
+//! let diags = lint_source(
+//!     "crates/core/src/demo.rs",
+//!     "fn f(v: &[u8]) -> u8 { *v.first().unwrap() }",
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "unwrap-in-lib");
+//! ```
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod pragma;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use diag::Diagnostic;
+
+/// The outcome of linting a workspace tree.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All surviving diagnostics, sorted by `(file, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were scanned.
+    pub sources_scanned: usize,
+    /// How many `Cargo.toml` manifests were scanned.
+    pub manifests_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    pub fn passed(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Text rendering: one line per diagnostic plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = diag::render_text(&self.diagnostics);
+        out.push_str(&format!(
+            "sno-lint: {} diagnostic(s) over {} sources and {} manifests\n",
+            self.diagnostics.len(),
+            self.sources_scanned,
+            self.manifests_scanned,
+        ));
+        out
+    }
+
+    /// JSON rendering, stable-sorted so reports are diffable.
+    pub fn render_json(&self) -> String {
+        diag::render_json(&self.diagnostics)
+    }
+}
+
+/// Lint every Rust source and manifest under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = walk::discover(root)?;
+    let mut diagnostics = Vec::new();
+    for rel in &files.sources {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(rules::lint_source(&path_key(rel), &text));
+    }
+    for rel in &files.manifests {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(manifest::lint_manifest(&path_key(rel), &text));
+    }
+    diag::sort_stable(&mut diagnostics);
+    Ok(LintReport {
+        diagnostics,
+        sources_scanned: files.sources.len(),
+        manifests_scanned: files.manifests.len(),
+    })
+}
+
+/// Normalise a relative path to `/`-separated form for diagnostics.
+fn path_key(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,133 @@
+//! The `hermetic-manifest` rule: every dependency in every `Cargo.toml`
+//! must resolve inside the workspace.
+//!
+//! The build environment has no route to crates.io (README, "Hermetic
+//! builds"), so a `version`, `git`, or `registry` dependency is a build
+//! break waiting for a clean checkout. Accepted forms are exactly the
+//! two the workspace uses: `foo = { path = ".." }` (the workspace root
+//! declares every member this way) and `foo.workspace = true` /
+//! `foo = { workspace = true }` (members inherit those path entries).
+//!
+//! The parser is a minimal line-oriented TOML subset — section headers,
+//! `key = value`, inline tables — which covers every manifest in this
+//! repository; anything it cannot read is reported rather than skipped,
+//! so new syntax fails loud instead of sliding past the gate.
+
+use crate::diag::Diagnostic;
+
+/// Rule identifier shared with the engine.
+pub const RULE: &str = "hermetic-manifest";
+
+/// Section headers whose entries are dependency declarations.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Lint one manifest. `file` is the path reported in diagnostics.
+pub fn lint_manifest(file: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').trim();
+            in_dep_section = is_dep_section(header);
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            out.push(diag(
+                file,
+                line_no,
+                format!("unparseable dependency line `{line}`"),
+            ));
+            continue;
+        };
+        let (name, value) = (key.trim(), value.trim());
+        if let Some(msg) = check_dependency(name, value) {
+            out.push(diag(file, line_no, msg));
+        }
+    }
+    out
+}
+
+/// Whether `header` (the text inside `[..]`) declares dependencies.
+/// Covers plain sections, `workspace.dependencies`, and
+/// target-qualified ones like `target.'cfg(unix)'.dependencies`.
+fn is_dep_section(header: &str) -> bool {
+    DEP_SECTIONS.contains(&header)
+        || (header.starts_with("target.") && header.ends_with("dependencies"))
+}
+
+/// `None` when the dependency is hermetic, else the violation message.
+fn check_dependency(name: &str, value: &str) -> Option<String> {
+    // `foo.workspace = true` spells the key as a dotted path.
+    if name.ends_with(".workspace") {
+        return None;
+    }
+    if value.starts_with('"') || value.starts_with('\'') {
+        return Some(format!(
+            "`{name} = {value}` is a registry dependency; use a path dependency \
+             (`{name} = {{ path = \"..\" }}`) or `{name}.workspace = true`"
+        ));
+    }
+    if let Some(body) = value.strip_prefix('{') {
+        let body = body.trim_end_matches('}');
+        let keys: Vec<&str> = body
+            .split(',')
+            .filter_map(|kv| kv.split_once('=').map(|(k, _)| k.trim()))
+            .collect();
+        for banned in ["version", "git", "registry", "branch", "rev", "tag"] {
+            if keys.contains(&banned) {
+                return Some(format!(
+                    "`{name}` declares `{banned} = ..`, which needs the network; \
+                     only `path` (plus `features`/`optional`/`default-features`) \
+                     and `workspace = true` are hermetic"
+                ));
+            }
+        }
+        if keys.contains(&"path") || keys.contains(&"workspace") {
+            return None;
+        }
+        return Some(format!(
+            "`{name}` has neither `path` nor `workspace = true`; it cannot \
+             resolve offline"
+        ));
+    }
+    Some(format!(
+        "dependency `{name}` has unrecognised value `{value}`; expected a path \
+         dependency or `workspace = true`"
+    ))
+}
+
+/// Remove a trailing `#` comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match (in_str, c) {
+            (None, '#') => return &line[..i],
+            (None, '"' | '\'') => in_str = Some(c),
+            (Some(q), c) if c == q => in_str = None,
+            _ => {}
+        }
+    }
+    line
+}
+
+fn diag(file: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: RULE,
+        message,
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-line allow pragmas.
+//!
+//! Syntax, in a plain `//` comment (doc comments don't carry pragmas):
+//!
+//! ```text
+//! // sno-lint: allow(<rule>): <justification>
+//! ```
+//!
+//! A pragma that is the only thing on its line suppresses matching
+//! diagnostics on the **next** line; a trailing pragma suppresses its
+//! **own** line. The justification is mandatory — an allow without a
+//! reason is itself a diagnostic (`bad-pragma`), as is an allow naming
+//! an unknown rule, so suppressions stay auditable. Unused pragmas are
+//! reported too (`unused-pragma`): when the code a pragma excused is
+//! fixed, the pragma must go.
+
+use crate::lexer::Comment;
+
+/// The marker that introduces a pragma inside a `//` comment.
+pub const MARKER: &str = "sno-lint:";
+
+/// A parsed allow pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line whose diagnostics it suppresses.
+    pub target_line: u32,
+    /// The rule it suppresses.
+    pub rule: String,
+    /// Why the violation is acceptable (never empty).
+    pub justification: String,
+}
+
+/// A malformed pragma, reported as a `bad-pragma` diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Scan `comments` for pragmas. Returns well-formed pragmas and the
+/// malformed ones separately; comments without the marker are ignored.
+pub fn extract(comments: &[Comment]) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(body) = pragma_body(&c.text) else {
+            continue;
+        };
+        match parse_body(body) {
+            Ok((rule, justification)) => pragmas.push(Pragma {
+                line: c.line,
+                target_line: if c.own_line { c.line + 1 } else { c.line },
+                rule,
+                justification,
+            }),
+            Err(message) => bad.push(BadPragma {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    (pragmas, bad)
+}
+
+/// The text after `sno-lint:` if `text` is a plain `//` comment
+/// carrying the marker; `None` for doc comments, block comments, and
+/// ordinary prose.
+fn pragma_body(text: &str) -> Option<&str> {
+    let rest = text.strip_prefix("//")?;
+    // `///` and `//!` are documentation; a pragma there would render
+    // into rustdoc output, so they are not recognised.
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return None;
+    }
+    rest.trim_start().strip_prefix(MARKER)
+}
+
+/// Parse `allow(<rule>): <justification>` after the marker.
+fn parse_body(body: &str) -> Result<(String, String), String> {
+    let body = body.trim();
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return Err(format!(
+            "pragma must read `{MARKER} allow(<rule>): <justification>`, got `{MARKER} {body}`"
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("pragma is missing the closing `)` after the rule name".to_string());
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() {
+        return Err("pragma names no rule inside allow(..)".to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(justification) = after.strip_prefix(':') else {
+        return Err(format!(
+            "allow({rule}) needs `: <justification>` — say why the violation is acceptable"
+        ));
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err(format!(
+            "allow({rule}) has an empty justification — say why the violation is acceptable"
+        ));
+    }
+    Ok((rule.to_string(), justification.to_string()))
+}

@@ -1,0 +1,451 @@
+//! The rule engine: token-pattern rules over one source file, pragma
+//! application, and the `#[cfg(test)]` region mask.
+//!
+//! Each rule protects one invariant the repo's determinism story rests
+//! on (README "Determinism", DESIGN §7). Rules match token patterns —
+//! never raw text — so strings, comments, and doc examples can mention
+//! `SystemTime::now` freely, and `unwrap_or_else` never trips the
+//! `unwrap` matcher.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma;
+
+/// The source-level rules, with one-line summaries (the manifest rule
+/// lives in [`crate::manifest`]). Order here is documentation order.
+pub const SOURCE_RULES: [(&str, &str); 5] = [
+    (
+        "wall-clock",
+        "no SystemTime::now/Instant::now outside bench code: analysis must be a pure function of its inputs",
+    ),
+    (
+        "ambient-rng",
+        "no thread_rng/from_entropy/OsRng-style entropy: all randomness flows from seeded sno_types::Rng substreams",
+    ),
+    (
+        "unordered-iter",
+        "no HashMap/HashSet in deterministic crates: iteration order would leak into output; use BTreeMap/BTreeSet or sorted Vecs",
+    ),
+    (
+        "unlabelled-substream",
+        "substream labels must be self-documenting: no magic-number labels, substream_named takes a string literal",
+    ),
+    (
+        "unwrap-in-lib",
+        "no .unwrap()/.expect() in library code: return Result or justify the invariant with a pragma",
+    ),
+];
+
+/// Crates (by `crates/<dir>` name) whose output must be byte-identical
+/// across runs and thread counts; `unordered-iter` applies here.
+pub const DETERMINISTIC_CRATES: [&str; 7] = [
+    "types", "synth", "core", "atlas", "netsim", "stats", "orbit",
+];
+
+/// Identifiers that reach for ambient entropy.
+const AMBIENT_RNG_IDENTS: [&str; 6] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "ThreadRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// Every rule id a pragma may name.
+pub fn known_rules() -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = SOURCE_RULES.iter().map(|(id, _)| *id).collect();
+    rules.push(crate::manifest::RULE);
+    rules
+}
+
+/// What part of the tree a file belongs to, which decides rule scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a crate or the root package (bins included).
+    Lib,
+    /// An integration-test tree (`tests/` at root or under a crate).
+    Test,
+    /// A bench target (`benches/`).
+    Bench,
+    /// An example (`examples/`).
+    Example,
+}
+
+/// A classified file path.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// `crates/<dir>` name, `None` for the root package.
+    pub crate_dir: Option<String>,
+    pub kind: FileKind,
+}
+
+/// Classify a workspace-relative, `/`-separated path.
+pub fn classify(path: &str) -> FileCtx {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_dir, rest) = if parts.first() == Some(&"crates") && parts.len() > 2 {
+        (parts.get(1).map(|s| s.to_string()), &parts[2..])
+    } else {
+        (None, &parts[..])
+    };
+    let kind = match rest.first().copied() {
+        Some("tests") => FileKind::Test,
+        Some("benches") => FileKind::Bench,
+        Some("examples") => FileKind::Example,
+        _ => FileKind::Lib,
+    };
+    FileCtx { crate_dir, kind }
+}
+
+/// Lint one source file, stable-sorted by `(file, line, rule)`. `path`
+/// is the workspace-relative path used both for diagnostics and for
+/// rule scoping.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let ctx = classify(path);
+    let in_test_region = test_region_mask(&lexed.tokens);
+    let (pragmas, bad_pragmas) = pragma::extract(&lexed.comments);
+
+    let mut raw = Vec::new();
+    rule_wall_clock(path, &ctx, &lexed.tokens, &in_test_region, &mut raw);
+    rule_ambient_rng(path, &lexed.tokens, &mut raw);
+    rule_unordered_iter(path, &ctx, &lexed.tokens, &mut raw);
+    rule_unlabelled_substream(path, &ctx, &lexed.tokens, &in_test_region, &mut raw);
+    rule_unwrap_in_lib(path, &ctx, &lexed.tokens, &in_test_region, &mut raw);
+
+    let mut out = apply_pragmas(path, raw, &pragmas, &bad_pragmas);
+    crate::diag::sort_stable(&mut out);
+    out
+}
+
+/// Suppress diagnostics covered by a pragma on their line; report
+/// malformed, unknown-rule, and unused pragmas.
+fn apply_pragmas(
+    path: &str,
+    raw: Vec<Diagnostic>,
+    pragmas: &[pragma::Pragma],
+    bad: &[pragma::BadPragma],
+) -> Vec<Diagnostic> {
+    let known = known_rules();
+    let mut used = vec![false; pragmas.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let suppressed = pragmas.iter().enumerate().any(|(i, p)| {
+            let hit = p.target_line == d.line && p.rule == d.rule;
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for b in bad {
+        out.push(diag(path, b.line, "bad-pragma", b.message.clone()));
+    }
+    for (i, p) in pragmas.iter().enumerate() {
+        if !known.contains(&p.rule.as_str()) {
+            out.push(diag(
+                path,
+                p.line,
+                "bad-pragma",
+                format!("allow({}) names an unknown rule", p.rule),
+            ));
+        } else if !used[i] {
+            out.push(diag(
+                path,
+                p.line,
+                "unused-pragma",
+                format!(
+                    "allow({}) suppresses nothing on line {}; remove it",
+                    p.rule, p.target_line
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Mark every token inside a `#[test]`- or `#[cfg(test)]`-gated item.
+/// Test-only code answers to the test suites, not the determinism
+/// rules, so most rules skip these regions.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = matching_bracket(tokens, i + 1);
+            if attr_is_test(&tokens[i + 2..attr_end]) {
+                // Skip any further attributes, then the whole item.
+                let mut j = attr_end + 1;
+                while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = matching_bracket(tokens, j + 1) + 1;
+                }
+                let item_end = item_end(tokens, j);
+                for m in mask.iter_mut().take(item_end + 1).skip(i) {
+                    *m = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token if
+/// the file is truncated mid-attribute).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Whether attribute tokens (the part inside `#[..]`) gate on test:
+/// `test`, `cfg(test)`, `cfg(all(test, ..))` — but not `cfg(not(test))`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut stack: Vec<String> = Vec::new();
+    let mut prev_ident: Option<&str> = None;
+    for t in attr {
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                if name == "test" && !stack.iter().any(|s| s == "not") {
+                    return true;
+                }
+                prev_ident = Some(name);
+            }
+            TokenKind::Punct('(') => {
+                stack.push(prev_ident.unwrap_or_default().to_string());
+                prev_ident = None;
+            }
+            TokenKind::Punct(')') => {
+                stack.pop();
+                prev_ident = None;
+            }
+            _ => prev_ident = None,
+        }
+    }
+    false
+}
+
+/// Index where the item starting at `start` ends: the `;` of a
+/// semicolon-terminated item or the `}` closing its outermost brace.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let (mut brace, mut bracket, mut paren) = (0i32, 0i32, 0i32);
+    for (j, t) in tokens.iter().enumerate().skip(start) {
+        match t.kind {
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => {
+                brace -= 1;
+                if brace <= 0 {
+                    return j;
+                }
+            }
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct(';') if brace == 0 && bracket == 0 && paren == 0 => return j,
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// `tokens[i]` is the method name of a `.name(..)` call.
+fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].is_ident(name)
+        && i > 0
+        && tokens[i - 1].is_punct('.')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// `wall-clock`: `SystemTime::now` / `Instant::now` reads ambient time,
+/// which can never appear in deterministic analysis code. Bench code
+/// (`crates/bench`, `benches/` targets) times things by design; tests
+/// are exempt like every region the determinism contract doesn't cover.
+fn rule_wall_clock(
+    path: &str,
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.crate_dir.as_deref() == Some("bench")
+        || matches!(ctx.kind, FileKind::Bench | FileKind::Test)
+    {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if in_test[i] {
+            continue;
+        }
+        let TokenKind::Ident(name) = &tokens[i].kind else {
+            continue;
+        };
+        if (name == "SystemTime" || name == "Instant")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(diag(
+                path,
+                tokens[i].line,
+                "wall-clock",
+                format!("{name}::now() reads the wall clock; derive time from the simulation's time axis"),
+            ));
+        }
+    }
+}
+
+/// `ambient-rng`: entropy sources make a run irreproducible, so they
+/// are banned everywhere — tests included, since a test that cannot
+/// replay from a seed cannot be debugged.
+fn rule_ambient_rng(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for t in tokens {
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        if AMBIENT_RNG_IDENTS.contains(&name.as_str()) {
+            out.push(diag(
+                path,
+                t.line,
+                "ambient-rng",
+                format!("{name} draws ambient entropy; use a labelled sno_types::Rng substream"),
+            ));
+        }
+    }
+}
+
+/// `unordered-iter`: `HashMap`/`HashSet` iteration order depends on the
+/// hasher's random state, so in the deterministic crates it would leak
+/// nondeterminism straight into generated corpora and reports.
+fn rule_unordered_iter(path: &str, ctx: &FileCtx, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    let Some(crate_dir) = ctx.crate_dir.as_deref() else {
+        return;
+    };
+    if !DETERMINISTIC_CRATES.contains(&crate_dir) {
+        return;
+    }
+    for t in tokens {
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        if name == "HashMap" || name == "HashSet" {
+            out.push(diag(
+                path,
+                t.line,
+                "unordered-iter",
+                format!(
+                    "{name} has unordered iteration; use BTreeMap/BTreeSet or a sorted Vec in deterministic crates"
+                ),
+            ));
+        }
+    }
+}
+
+/// `unlabelled-substream`: a numeric-literal substream label is a magic
+/// number nobody can grep for. Labels must be a string literal
+/// (`substream_named("mlab")`) or derived from data
+/// (`substream(u64::from(probe.id.0))`, `substream_shard(i)`).
+fn rule_unlabelled_substream(
+    path: &str,
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.kind == FileKind::Test {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if in_test[i] {
+            continue;
+        }
+        if is_method_call(tokens, i, "substream_named") {
+            if !matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokenKind::Str(_))) {
+                out.push(diag(
+                    path,
+                    tokens[i].line,
+                    "unlabelled-substream",
+                    "substream_named must take a string-literal label".to_string(),
+                ));
+            }
+            continue;
+        }
+        if is_method_call(tokens, i, "substream") || is_method_call(tokens, i, "substream_chain") {
+            // First argument token, past any `&`, `[`, or `mut`.
+            let mut j = i + 2;
+            while tokens
+                .get(j)
+                .is_some_and(|t| t.is_punct('&') || t.is_punct('[') || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if matches!(
+                tokens.get(j).map(|t| &t.kind),
+                Some(TokenKind::Int(_) | TokenKind::Float(_))
+            ) {
+                out.push(diag(
+                    path,
+                    tokens[i].line,
+                    "unlabelled-substream",
+                    "magic-number substream label; use substream_named(\"..\") or derive the label from data".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `unwrap-in-lib`: a panic in library code turns a recoverable input
+/// problem into an abort. Tests, benches, and examples may unwrap.
+fn rule_unwrap_in_lib(
+    path: &str,
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if in_test[i] {
+            continue;
+        }
+        for name in ["unwrap", "expect"] {
+            if is_method_call(tokens, i, name) {
+                out.push(diag(
+                    path,
+                    tokens[i].line,
+                    "unwrap-in-lib",
+                    format!(".{name}() in library code; return Result or justify with a pragma"),
+                ));
+            }
+        }
+    }
+}
+
+fn diag(file: &str, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+    }
+}

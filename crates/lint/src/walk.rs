@@ -1,0 +1,56 @@
+//! Workspace file discovery, deterministic by construction.
+//!
+//! Plain `std::fs` recursion (no external walker), visiting entries in
+//! sorted order so the diagnostic stream is identical on every
+//! filesystem. `target/`, VCS metadata, and hidden directories are
+//! skipped; everything else is fair game — a source file the walker
+//! missed would be a hole in the gate.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// The files the lint pass covers.
+#[derive(Debug, Default)]
+pub struct WorkspaceFiles {
+    /// Rust sources, workspace-relative, sorted.
+    pub sources: Vec<PathBuf>,
+    /// `Cargo.toml` manifests, workspace-relative, sorted.
+    pub manifests: Vec<PathBuf>,
+}
+
+/// Collect every `.rs` file and `Cargo.toml` under `root`.
+pub fn discover(root: &Path) -> io::Result<WorkspaceFiles> {
+    let mut files = WorkspaceFiles::default();
+    visit(root, Path::new(""), &mut files)?;
+    files.sources.sort();
+    files.manifests.sort();
+    Ok(files)
+}
+
+fn visit(root: &Path, rel: &Path, files: &mut WorkspaceFiles) -> io::Result<()> {
+    let mut entries: Vec<(String, PathBuf, bool)> = Vec::new();
+    for entry in fs::read_dir(root.join(rel))? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, rel.join(entry.file_name()), is_dir));
+    }
+    entries.sort();
+    for (name, rel_path, is_dir) in entries {
+        if is_dir {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            visit(root, &rel_path, files)?;
+        } else if name.ends_with(".rs") {
+            files.sources.push(rel_path);
+        } else if name == "Cargo.toml" {
+            files.manifests.push(rel_path);
+        }
+    }
+    Ok(())
+}

@@ -266,7 +266,9 @@ fn contention_scenario(root: &Rng, quick: bool, checker: &mut Checker, summary: 
     let mut pop_times = Vec::with_capacity(flows);
     let mut stats: Vec<TcpStats> = Vec::with_capacity(flows);
     while let Some(peek) = queue.peek_time() {
-        let (at, FlowStart(i)) = queue.pop().expect("peeked entry pops");
+        let Some((at, FlowStart(i))) = queue.pop() else {
+            break;
+        };
         checker.check("event-time-monotone", peek == at, || {
             format!("contention: peeked {peek:?} but popped {at:?}")
         });

@@ -235,18 +235,18 @@ impl TcpFlow {
             stats.rtt_samples.push(rtt);
 
             // RFC 6298 RTO estimation.
-            match srtt {
+            let smoothed = match srtt {
                 None => {
-                    srtt = Some(rtt);
                     rttvar = rtt / 2.0;
+                    rtt
                 }
                 Some(s) => {
                     rttvar = 0.75 * rttvar + 0.25 * (s - rtt).abs();
-                    srtt = Some(0.875 * s + 0.125 * rtt);
+                    0.875 * s + 0.125 * rtt
                 }
-            }
-            rto_ms =
-                (srtt.expect("set above") + 4.0 * rttvar).clamp(cfg.min_rto_ms, cfg.max_rto_ms);
+            };
+            srtt = Some(smoothed);
+            rto_ms = (smoothed + 4.0 * rttvar).clamp(cfg.min_rto_ms, cfg.max_rto_ms);
 
             // Send a window.
             stats.max_cwnd_observed = stats.max_cwnd_observed.max(cwnd);

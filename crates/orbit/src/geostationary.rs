@@ -47,7 +47,7 @@ pub fn best_slot(
             s.visible_from(observer, min_elevation_deg)
                 .map(|(d, el)| (*s, d, el))
         })
-        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN"))
+        .max_by(|a, b| a.2.total_cmp(&b.2))
 }
 
 #[cfg(test)]

@@ -504,6 +504,7 @@ pub fn profile_of(op: Operator) -> &'static SnoProfile {
     PROFILES
         .iter()
         .find(|p| p.operator == op)
+        // sno-lint: allow(unwrap-in-lib): PROFILES statically covers Operator::ALL (profile_coverage test)
         .expect("every operator has a profile")
 }
 

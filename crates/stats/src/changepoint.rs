@@ -83,8 +83,10 @@ fn segment(
     // Prefix sums for O(1) segment means.
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0);
+    let mut acc = 0.0;
     for &x in series {
-        prefix.push(prefix.last().expect("non-empty") + x);
+        acc += x;
+        prefix.push(acc);
     }
     let total = prefix[n];
     // Maximise between-segment variance reduction: equivalent to

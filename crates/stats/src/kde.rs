@@ -37,7 +37,7 @@ impl Kde {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let sigma = crate::quantile::std_dev(&sorted).unwrap_or(0.0);
         let iqr = crate::quantile::quantile_of_sorted(&sorted, 0.75)
@@ -67,7 +67,7 @@ impl Kde {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         Some(Kde {
             samples: sorted,
             bandwidth,
@@ -126,9 +126,8 @@ impl Kde {
     pub fn mode_on_grid(&self, lo: f64, hi: f64, points: usize) -> f64 {
         self.grid(lo, hi, points)
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
-            .map(|(x, _)| x)
-            .expect("non-empty grid")
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or(lo, |(x, _)| x)
     }
 
     /// Fraction of the *sample* falling inside `[lo, hi)`.

@@ -12,7 +12,7 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
     }
     let mut sorted = data.to_vec();
     debug_assert!(sorted.iter().all(|x| !x.is_nan()), "NaN in quantile input");
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     Some(quantile_of_sorted(&sorted, q))
 }
 
@@ -58,7 +58,7 @@ pub fn std_dev(data: &[f64]) -> Option<f64> {
     if data.len() < 2 {
         return None;
     }
-    let m = mean(data).expect("non-empty");
+    let m = mean(data)?;
     let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64;
     Some(var.sqrt())
 }

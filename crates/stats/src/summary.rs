@@ -21,14 +21,14 @@ impl FiveNumber {
             return None;
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         Some(FiveNumber {
             count: sorted.len(),
             min: sorted[0],
             q1: quantile_of_sorted(&sorted, 0.25),
             median: quantile_of_sorted(&sorted, 0.5),
             q3: quantile_of_sorted(&sorted, 0.75),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted[sorted.len() - 1],
         })
     }
 

@@ -26,7 +26,7 @@ pub fn daily_medians(samples: &[(Timestamp, f64)]) -> Vec<DailyPoint> {
         return Vec::new();
     }
     let mut sorted: Vec<(UtcDay, f64)> = samples.iter().map(|&(t, v)| (t.day(), v)).collect();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN")));
+    sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut out = Vec::new();
     let mut i = 0;
     while i < sorted.len() {
@@ -39,6 +39,7 @@ pub fn daily_medians(samples: &[(Timestamp, f64)]) -> Vec<DailyPoint> {
         out.push(DailyPoint {
             day,
             count: values.len(),
+            // sno-lint: allow(unwrap-in-lib): i < j, so the day has at least one value
             median: median(&values).expect("non-empty day"),
         });
         i = j;

@@ -60,6 +60,7 @@ impl ProbeSpec {
             .find(|&&(from, _)| day >= from)
             .map(|&(_, code)| code)
             .unwrap_or(self.pop_schedule[0].1);
+        // sno-lint: allow(unwrap-in-lib): pop_schedule codes are drawn from STARLINK_POPS by the generator
         pop_by_code(code).expect("schedule references known PoPs")
     }
 
@@ -71,6 +72,7 @@ impl ProbeSpec {
         let idx = STARLINK_POPS
             .iter()
             .position(|p| p.code == pop.code)
+            // sno-lint: allow(unwrap-in-lib): pop_on returns entries of STARLINK_POPS
             .expect("pop in table") as u8;
         pop_prefix(idx).addr(10 + (self.id.0 % 200) as u8)
     }
@@ -322,6 +324,7 @@ impl AtlasGenerator {
                 next_id += 1;
                 let (location, state) = if country == "US" {
                     let state = US_PROBE_STATES[i as usize];
+                    // sno-lint: allow(unwrap-in-lib): US_PROBE_STATES lists valid state codes only
                     let s = sno_geo::world::us_state(state).expect("known state");
                     // Spread probes within the state deterministically.
                     let jitter = (f64::from(id.0 % 7) - 3.0) * 0.35;
@@ -467,6 +470,7 @@ impl AtlasGenerator {
         let pop_idx = STARLINK_POPS
             .iter()
             .position(|p| p.code == pop.code)
+            // sno-lint: allow(unwrap-in-lib): the caller resolves pop from STARLINK_POPS
             .expect("pop in table") as u8;
         hops.push(TraceHop {
             addr: Ipv4::new(206, 224, pop_idx, 1),
@@ -558,8 +562,9 @@ pub fn probe_pop_rtt(
         .min_by(|a, b| {
             let da = haversine_km(probe.location, a.point).0;
             let db = haversine_km(probe.location, b.point).0;
-            da.partial_cmp(&db).expect("no NaN")
+            da.total_cmp(&db)
         })
+        // sno-lint: allow(unwrap-in-lib): STARLINK_POPS is a non-empty static table
         .expect("pop table non-empty");
     if nearest.code != pop.code && distance <= 1_200.0 {
         backhaul += terrestrial_rtt(nearest.point, pop.point).0 * 0.5;
@@ -588,7 +593,8 @@ fn route_to_root(pop: &PopSite, target: RootServer) -> (&'static RootInstance, f
             }
             (inst, km)
         })
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        // sno-lint: allow(unwrap-in-lib): ROOT_INSTANCES statically covers every root letter
         .expect("every root has instances")
 }
 
@@ -643,8 +649,9 @@ fn schedule_for(
                 .min_by(|a, b| {
                     let da = haversine_km(location, a.point).0;
                     let db = haversine_km(location, b.point).0;
-                    da.partial_cmp(&db).expect("no NaN")
+                    da.total_cmp(&db)
                 })
+                // sno-lint: allow(unwrap-in-lib): STARLINK_POPS is a non-empty static table
                 .expect("pop table non-empty");
             vec![(start_day, nearest.code)]
         }

@@ -118,8 +118,9 @@ pub fn nearest(from: GeoPoint, candidates: &[GeoPoint]) -> GeoPoint {
         .min_by(|a, b| {
             let da = haversine_km(from, **a).0;
             let db = haversine_km(from, **b).0;
-            da.partial_cmp(&db).expect("no NaN")
+            da.total_cmp(&db)
         })
+        // sno-lint: allow(unwrap-in-lib): callers pass the static gateway/PoP tables, never empty
         .expect("non-empty candidate list")
 }
 

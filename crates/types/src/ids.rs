@@ -184,6 +184,7 @@ impl Operator {
         Operator::ALL
             .iter()
             .position(|&op| op == self)
+            // sno-lint: allow(unwrap-in-lib): ALL enumerates every Operator variant by construction
             .expect("operator present in ALL")
     }
 }

@@ -106,6 +106,7 @@ where
     }
     slots
         .into_iter()
+        // sno-lint: allow(unwrap-in-lib): the scoped pool sends exactly one result per shard before join
         .map(|s| s.expect("shard_map: missing shard result"))
         .collect()
 }

@@ -32,6 +32,7 @@ impl CountryCode {
 
     /// The code as a string slice.
     pub fn as_str(&self) -> &str {
+        // sno-lint: allow(unwrap-in-lib): the constructor asserts both bytes are ASCII letters
         std::str::from_utf8(&self.0).expect("ascii by construction")
     }
 }
