@@ -42,4 +42,15 @@ fi
 run cargo run --release --offline -p sno-bench --bin repro -- \
     --sim-sweep --seeds "${SNO_CI_SEEDS:-32}" --quick
 
+# Memory gate: the streamed pipeline must stay constant-memory at a
+# paper-scale corpus. The ceiling (24 MiB of address space) is ~2x the
+# streamed run's measured peak and well below the ~35 MiB the
+# materialized path needs at this scale, so accidentally materializing
+# the corpus inside the streamed path trips the limit. Runs in a
+# subshell so the ulimit does not leak into later stages.
+echo "==> memory gate: repro table1 --scale 2e-2 --chunk 4096 under ulimit -v 24576"
+mem_start=$SECONDS
+( ulimit -v 24576; exec ./target/release/repro table1 --scale 2e-2 --chunk 4096 >/dev/null )
+echo "    (memory gate took $(( SECONDS - mem_start ))s)"
+
 echo "ci: all green (hermetic)"

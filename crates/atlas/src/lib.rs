@@ -21,8 +21,14 @@ pub mod popmap;
 pub mod root_dns;
 pub mod summary;
 
-pub use pop_changes::{detect_all_pop_changes, detect_pop_changes, PopChange};
-pub use pop_rtt::{pop_rtt_by_country, pop_rtt_by_state, pop_rtt_series_by_probe, ProbeInfo};
+pub use pop_changes::{
+    detect_all_pop_changes, detect_all_pop_changes_in_series, detect_all_pop_changes_streamed,
+    detect_pop_changes, PopChange,
+};
+pub use pop_rtt::{
+    pop_rtt_by_country, pop_rtt_by_state, pop_rtt_series_by_probe, pop_rtt_series_from_chunks,
+    ProbeInfo,
+};
 pub use popmap::{pop_history, PopLink};
 pub use root_dns::{hops_by_country, root_rtt_by_country};
 pub use summary::{country_summary, CountrySummary};

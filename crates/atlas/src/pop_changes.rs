@@ -6,9 +6,10 @@
 //! shift against the reverse-DNS PoP history, attributing the shift to a
 //! PoP change when one happened nearby in time.
 
-use crate::pop_rtt::{pop_rtt_series, pop_rtt_series_by_probe};
+use crate::pop_rtt::{pop_rtt_series, pop_rtt_series_by_probe, pop_rtt_series_from_chunks};
 use crate::popmap::{pop_history, PopLink};
 use sno_stats::detect_mean_shifts;
+use sno_types::chunk::RecordChunks;
 use sno_types::records::{SslCertRecord, TracerouteRecord};
 use sno_types::{par, Ipv4, ProbeId, Timestamp};
 use std::collections::BTreeMap;
@@ -69,7 +70,52 @@ pub fn detect_all_pop_changes(
     min_segment: usize,
     threads: usize,
 ) -> Vec<PopChange> {
-    let series = pop_rtt_series_by_probe(traceroutes);
+    detect_all_pop_changes_in_series(
+        &pop_rtt_series_by_probe(traceroutes),
+        sslcerts,
+        resolve,
+        min_shift_ms,
+        min_segment,
+        threads,
+    )
+}
+
+/// [`detect_all_pop_changes`] over a chunked traceroute stream: only the
+/// per-probe RTT series are ever resident, not the traceroute records.
+/// The series builder is order-insensitive (stable per-series timestamp
+/// sort), so the result is byte-identical to the materialized call.
+pub fn detect_all_pop_changes_streamed<C>(
+    stream: C,
+    sslcerts: &[SslCertRecord],
+    resolve: impl Fn(Ipv4) -> Option<String> + Sync,
+    min_shift_ms: f64,
+    min_segment: usize,
+    threads: usize,
+) -> Vec<PopChange>
+where
+    C: RecordChunks<Item = TracerouteRecord>,
+{
+    detect_all_pop_changes_in_series(
+        &pop_rtt_series_from_chunks(stream),
+        sslcerts,
+        resolve,
+        min_shift_ms,
+        min_segment,
+        threads,
+    )
+}
+
+/// The shared core of the all-probe detectors: per-probe segmentations
+/// run on the worker pool over pre-built RTT series, merged in
+/// ascending probe order.
+pub fn detect_all_pop_changes_in_series(
+    series: &BTreeMap<ProbeId, Vec<(Timestamp, f64)>>,
+    sslcerts: &[SslCertRecord],
+    resolve: impl Fn(Ipv4) -> Option<String> + Sync,
+    min_shift_ms: f64,
+    min_segment: usize,
+    threads: usize,
+) -> Vec<PopChange> {
     let mut certs: BTreeMap<ProbeId, Vec<SslCertRecord>> = BTreeMap::new();
     for s in sslcerts {
         certs.entry(s.probe).or_default().push(*s);
@@ -209,6 +255,43 @@ mod tests {
         let c = corpus();
         let changes = detect_pop_changes(&c.traceroutes, ProbeId(99_999), &[], 8.0, 8);
         assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn streamed_detection_matches_materialized() {
+        use sno_synth::{AtlasGenerator, SynthConfig};
+        let c = corpus();
+        let expect = detect_all_pop_changes(
+            &c.traceroutes,
+            &c.sslcerts,
+            sno_synth::atlas::reverse_dns,
+            8.0,
+            8,
+            1,
+        );
+        for (chunk_len, threads) in [(512usize, 1usize), (usize::MAX, 2)] {
+            let mut config = SynthConfig::test_corpus();
+            config.threads = threads;
+            let gen = AtlasGenerator::new(config);
+            let got = detect_all_pop_changes_streamed(
+                gen.traceroute_chunks(chunk_len),
+                &gen.sslcerts(),
+                sno_synth::atlas::reverse_dns,
+                8.0,
+                8,
+                threads,
+            );
+            assert_eq!(
+                got.len(),
+                expect.len(),
+                "chunk {chunk_len} threads {threads}"
+            );
+            for (a, b) in got.iter().zip(&expect) {
+                assert_eq!((a.probe, a.at, a.pops), (b.probe, b.at, b.pops));
+                assert_eq!(a.before_ms, b.before_ms);
+                assert_eq!(a.after_ms, b.after_ms);
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Probe→PoP round-trip times from the CGNAT gateway hop.
 
 use sno_stats::FiveNumber;
+use sno_types::chunk::RecordChunks;
 use sno_types::records::{CountryCode, TracerouteRecord};
 use sno_types::ProbeId;
 use std::collections::BTreeMap;
@@ -98,6 +99,36 @@ pub fn pop_rtt_series_by_probe(
     by_probe
 }
 
+/// [`pop_rtt_series_by_probe`] from a chunked traceroute stream — the
+/// bounded-memory entry point: only the per-probe `(timestamp, rtt)`
+/// series are resident, never the traceroute records.
+///
+/// Because each series is bucketed then stably sorted by timestamp,
+/// the output is identical for any stream whose per-probe relative
+/// order matches the generation order — both the chronologically
+/// sorted corpus and the per-probe chunked stream of
+/// `AtlasGenerator::traceroute_chunks` qualify.
+pub fn pop_rtt_series_from_chunks<C>(
+    stream: C,
+) -> BTreeMap<ProbeId, Vec<(sno_types::Timestamp, f64)>>
+where
+    C: RecordChunks<Item = TracerouteRecord>,
+{
+    let mut by_probe = stream.fold_records(
+        BTreeMap::<ProbeId, Vec<(sno_types::Timestamp, f64)>>::new(),
+        |mut map, t| {
+            if let Some(rtt) = t.cgnat_rtt() {
+                map.entry(t.probe).or_default().push((t.timestamp, rtt.0));
+            }
+            map
+        },
+    );
+    for series in by_probe.values_mut() {
+        series.sort_by_key(|&(ts, _)| ts);
+    }
+    by_probe
+}
+
 fn summarise<K: Ord>(map: BTreeMap<K, Vec<f64>>) -> Vec<(K, FiveNumber)> {
     let mut out: Vec<(K, FiveNumber)> = map
         .into_iter()
@@ -188,6 +219,21 @@ pub(crate) mod tests {
                 (30.0..62.0).contains(&s.median),
                 "{state} median {}",
                 s.median
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_series_match_materialized() {
+        let materialized = pop_rtt_series_by_probe(&corpus().traceroutes);
+        for (chunk_len, threads) in [(1usize, 1usize), (769, 2), (usize::MAX, 1)] {
+            let mut config = SynthConfig::test_corpus();
+            config.threads = threads;
+            let gen = AtlasGenerator::new(config);
+            let streamed = pop_rtt_series_from_chunks(gen.traceroute_chunks(chunk_len));
+            assert_eq!(
+                streamed, materialized,
+                "chunk {chunk_len} threads {threads}"
             );
         }
     }

@@ -7,6 +7,9 @@
 //! repro --scale 1e-2    # denser corpus (slower, smoother statistics)
 //! repro --threads 4     # worker pool size (0 = all cores; output
 //!                       # is byte-identical at every setting)
+//! repro --chunk 4096    # stream the streamable experiments through
+//!                       # chunked generation (bounded memory; output
+//!                       # is byte-identical at every chunk length)
 //! repro --bench         # time every experiment, write BENCH_N.json
 //! repro --bench-diff BENCH_1.json BENCH_2.json
 //!                       # compare two snapshots, fail on >20% median
@@ -22,7 +25,7 @@
 //! ```
 
 use sno_bench::{run_experiment, ReproContext, EXPERIMENTS};
-use sno_check::bench::{bench_group, BenchReport};
+use sno_check::bench::{bench_group, BenchReport, BenchResult, GroupReport};
 use sno_netsim::sim::{run_seed, run_sweep, SweepConfig};
 use sno_synth::{MlabGenerator, SynthConfig};
 
@@ -63,11 +66,31 @@ fn next_bench_path() -> String {
 /// `cargo run`). A `scaling` group records serial (1 thread) against
 /// pooled (`--threads`, default all cores) medians for corpus
 /// generation and the pipeline.
-fn run_bench_mode(config: SynthConfig, out_path: &str) {
-    let ctx = ReproContext::with_config(config.clone());
+fn run_bench_mode(config: SynthConfig, chunk: Option<usize>, out_path: &str) {
+    let ctx = match chunk {
+        Some(c) => ReproContext::with_chunk(config.clone(), c),
+        None => ReproContext::with_config(config.clone()),
+    };
+
+    // Memory high-water marks. VmHWM is monotone over the process
+    // lifetime, so the streamed pipeline must run (and be sampled)
+    // before anything materializes a corpus.
+    let mut mem_results = Vec::new();
+    let mut sample_hwm = |name: &str| {
+        if let Some(mb) = sno_bench::mem::peak_rss_mb() {
+            mem_results.push(BenchResult {
+                name: name.to_string(),
+                iters_per_sample: 1,
+                sample_ms: vec![mb],
+            });
+        }
+    };
+    let _ = ctx.streamed();
+    sample_hwm("streamed_peak_rss_mb");
     // Force the corpora and pipeline once, outside the timing loops.
     let _ = ctx.report();
     let _ = ctx.atlas();
+    sample_hwm("materialized_peak_rss_mb");
 
     let mut report = BenchReport::new();
     let mut group = bench_group("experiments");
@@ -85,6 +108,16 @@ fn run_bench_mode(config: SynthConfig, out_path: &str) {
     let records = &ctx.mlab().records;
     group.bench_function("table1_pipeline_full", |b| {
         b.iter(|| std::hint::black_box(sno_core::pipeline::Pipeline::new().run(records)))
+    });
+    let generator = MlabGenerator::new(config.clone());
+    let chunk_len = ctx.chunk_len();
+    group.bench_function("table1_pipeline_streamed", |b| {
+        b.iter(|| {
+            std::hint::black_box(sno_core::pipeline::Pipeline::new().run_streamed(
+                || generator.generate_chunks(chunk_len),
+                sno_core::stream::StreamOptions::default(),
+            ))
+        })
     });
     report.push(group.finish());
 
@@ -114,6 +147,11 @@ fn run_bench_mode(config: SynthConfig, out_path: &str) {
         })
     });
     report.push(group.finish());
+
+    report.push(GroupReport {
+        name: "memory".to_string(),
+        results: mem_results,
+    });
 
     report.write_json(out_path).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
@@ -379,13 +417,29 @@ fn main() {
         config.threads = value;
         args.drain(pos..=pos + 1);
     }
+    let mut chunk: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chunk") {
+        let value = args
+            .get(pos + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--chunk needs a positive record count, e.g. --chunk 4096");
+                std::process::exit(2);
+            });
+        chunk = Some(value);
+        args.drain(pos..=pos + 1);
+    }
 
     if bench {
-        run_bench_mode(config, &bench_out);
+        run_bench_mode(config, chunk, &bench_out);
         return;
     }
 
-    let ctx = ReproContext::with_config(config);
+    let ctx = match chunk {
+        Some(c) => ReproContext::with_chunk(config, c),
+        None => ReproContext::with_config(config),
+    };
     let selected: Vec<&str> = if args.is_empty() {
         EXPERIMENTS.iter().map(|(id, ..)| *id).collect()
     } else {

@@ -1,15 +1,27 @@
 //! Shared, lazily-built corpora and pipeline state for the experiments.
 
 use sno_core::pipeline::{Pipeline, PipelineReport};
+use sno_core::stream::{StreamOptions, StreamedReport};
 use sno_synth::{AtlasCorpus, AtlasGenerator, MlabCorpus, MlabGenerator, SynthConfig};
 use std::sync::OnceLock;
 
+/// The chunk length the streaming paths use when the caller gave none.
+pub const DEFAULT_CHUNK_LEN: usize = 4096;
+
 /// Everything the experiments share: the synthetic corpora and the
 /// identification pipeline's output, built once on first use.
+///
+/// With a chunk length set ([`ReproContext::with_chunk`]), the
+/// experiments that can run over chunked streams do so — the NDT and
+/// traceroute corpora are never materialized for those paths. The
+/// materialized corpora stay available (and lazy) for the figure paths
+/// that still need record slices.
 pub struct ReproContext {
     config: SynthConfig,
+    chunk: Option<usize>,
     mlab: OnceLock<MlabCorpus>,
     report: OnceLock<PipelineReport>,
+    streamed: OnceLock<StreamedReport>,
     atlas: OnceLock<AtlasCorpus>,
 }
 
@@ -24,15 +36,36 @@ impl ReproContext {
     pub fn with_config(config: SynthConfig) -> ReproContext {
         ReproContext {
             config,
+            chunk: None,
             mlab: OnceLock::new(),
             report: OnceLock::new(),
+            streamed: OnceLock::new(),
             atlas: OnceLock::new(),
+        }
+    }
+
+    /// Context that routes the streamable experiments through chunked
+    /// generation with `chunk` records per delivered chunk.
+    pub fn with_chunk(config: SynthConfig, chunk: usize) -> ReproContext {
+        ReproContext {
+            chunk: Some(chunk.max(1)),
+            ..ReproContext::with_config(config)
         }
     }
 
     /// The generator configuration in use.
     pub fn config(&self) -> &SynthConfig {
         &self.config
+    }
+
+    /// The chunk length, when this context streams.
+    pub fn chunk(&self) -> Option<usize> {
+        self.chunk
+    }
+
+    /// The chunk length the streaming paths should use (set or default).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk.unwrap_or(DEFAULT_CHUNK_LEN)
     }
 
     /// The NDT corpus (generated on first call).
@@ -45,6 +78,24 @@ impl ReproContext {
     pub fn report(&self) -> &PipelineReport {
         self.report
             .get_or_init(|| Pipeline::with_threads(self.config.threads).run(&self.mlab().records))
+    }
+
+    /// The streamed pipeline report: chunked generation, per-chunk
+    /// statistics, and a bitmap accept pass — the NDT corpus is never
+    /// materialized. Byte-identical catalog/thresholds to
+    /// [`ReproContext::report`].
+    pub fn streamed(&self) -> &StreamedReport {
+        self.streamed.get_or_init(|| {
+            let generator = MlabGenerator::new(self.config.clone());
+            let chunk_len = self.chunk_len();
+            Pipeline::with_threads(self.config.threads).run_streamed(
+                || generator.generate_chunks(chunk_len),
+                StreamOptions {
+                    dense_acceptance: false,
+                    operator_latencies: true,
+                },
+            )
+        })
     }
 
     /// The RIPE Atlas corpus.

@@ -68,23 +68,29 @@ pub fn run_experiment(ctx: &ReproContext, id: &str) -> Option<String> {
         .map(|(_, _, f)| f(ctx))
 }
 
-fn table1(ctx: &ReproContext) -> String {
-    let report = ctx.report();
+/// Table 1 rendering shared by the materialized and streamed paths.
+fn catalog_table(catalog: &[(Operator, u64)], scale: f64) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<12} {:>10} {:>12}   (scale {:.0e}, floors applied)",
-        "SNO",
-        "measured",
-        "paper(full)",
-        ctx.config().scale
+        "SNO", "measured", "paper(full)", scale
     );
-    for (op, n) in &report.catalog {
+    for (op, n) in catalog {
         let paper = sno_registry::profile::profile_of(*op).mlab_tests;
         let _ = writeln!(out, "{:<12} {:>10} {:>12}", op.name(), n, paper);
     }
-    let _ = writeln!(out, "SNOs identified: {} (paper: 18)", report.sno_count());
+    let _ = writeln!(out, "SNOs identified: {} (paper: 18)", catalog.len());
     out
+}
+
+fn table1(ctx: &ReproContext) -> String {
+    let catalog = if ctx.chunk().is_some() {
+        &ctx.streamed().catalog
+    } else {
+        &ctx.report().catalog
+    };
+    catalog_table(catalog, ctx.config().scale)
 }
 
 fn table2(ctx: &ReproContext) -> String {
@@ -127,22 +133,24 @@ fn table3(_ctx: &ReproContext) -> String {
     out
 }
 
-fn fig1(ctx: &ReproContext) -> String {
-    let report = ctx.report();
+/// Figure 1 rendering shared by the materialized and streamed paths.
+fn census_text(
+    mapping: &sno_core::AsnMapping,
+    profiles: &[sno_core::validate::AsnProfile],
+    strict: &sno_core::StrictOutcome,
+    default_threshold: f64,
+    accepted: usize,
+    total: usize,
+) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "stage 1-2 candidates: {}",
-        report.mapping.candidates.len()
-    );
+    let _ = writeln!(out, "stage 1-2 candidates: {}", mapping.candidates.len());
     let _ = writeln!(
         out,
         "stage 2  curated:    {} ASNs / {} SNOs",
-        report.mapping.asn_count(),
-        report.mapping.operator_count()
+        mapping.asn_count(),
+        mapping.operator_count()
     );
-    let outliers = report
-        .profiles
+    let outliers = profiles
         .iter()
         .filter(|p| matches!(p.verdict, AsnVerdict::Outlier(_)))
         .count();
@@ -150,21 +158,39 @@ fn fig1(ctx: &ReproContext) -> String {
     let _ = writeln!(
         out,
         "stage 3b strict prefixes retained: {} over {} SNOs (paper: 25 over 6)",
-        report.strict.retained.len(),
-        report.strict.covered().len()
+        strict.retained.len(),
+        strict.covered().len()
     );
     let _ = writeln!(
         out,
-        "stage 3c default relaxed threshold: {:.1} ms (paper: 527 ms)",
-        report.default_threshold
+        "stage 3c default relaxed threshold: {default_threshold:.1} ms (paper: 527 ms)"
     );
-    let accepted = report.accepted.iter().flatten().count();
-    let _ = writeln!(
-        out,
-        "stage 4  records accepted: {accepted} of {}",
-        report.accepted.len()
-    );
+    let _ = writeln!(out, "stage 4  records accepted: {accepted} of {total}");
     out
+}
+
+fn fig1(ctx: &ReproContext) -> String {
+    if ctx.chunk().is_some() {
+        let report = ctx.streamed();
+        census_text(
+            &report.mapping,
+            &report.profiles,
+            &report.strict,
+            report.default_threshold,
+            report.accepted_count(),
+            report.records,
+        )
+    } else {
+        let report = ctx.report();
+        census_text(
+            &report.mapping,
+            &report.profiles,
+            &report.strict,
+            report.default_threshold,
+            report.accepted.iter().flatten().count(),
+            report.accepted.len(),
+        )
+    }
 }
 
 fn fig2(ctx: &ReproContext) -> String {
@@ -276,7 +302,19 @@ fn fig3b(ctx: &ReproContext) -> String {
 }
 
 fn fig3c(ctx: &ReproContext) -> String {
-    let table = analysis::latency_by_operator(&ctx.mlab().records, ctx.report());
+    let table = if ctx.chunk().is_some() {
+        // The streamed accept pass collected the samples already; no
+        // corpus rescan (or corpus) needed.
+        let empty = std::collections::BTreeMap::new();
+        let by_op = ctx
+            .streamed()
+            .latencies_by_operator
+            .as_ref()
+            .unwrap_or(&empty);
+        analysis::latency_table(by_op)
+    } else {
+        analysis::latency_by_operator(&ctx.mlab().records, ctx.report())
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -339,8 +377,12 @@ fn fig4a(ctx: &ReproContext) -> String {
         "{:<12} {:>6} {:>16} {:>14}",
         "SNO", "days", "median-of-day", "p95 daily var"
     );
+    // One grouped pass over the corpus instead of one full scan per
+    // operator.
+    let ops: Vec<Operator> = paper.iter().map(|&(op, _)| op).collect();
+    let mut by_op = analysis::stability_by_operator(&records, &report, &ops);
     for (op, paper_var) in paper {
-        let (daily, var) = analysis::stability(&records, &report, op);
+        let (daily, var) = by_op.remove(&op).unwrap_or_default();
         let medians: Vec<f64> = daily.iter().map(|d| d.median).collect();
         let med = sno_stats::median(&medians).unwrap_or(f64::NAN);
         let _ = writeln!(
@@ -530,19 +572,11 @@ fn fig8a(ctx: &ReproContext) -> String {
     out
 }
 
-fn fig8b(ctx: &ReproContext) -> String {
-    let atlas = ctx.atlas();
+/// Figure 8b rendering shared by the materialized and streamed paths.
+fn pop_change_text(changes: &[sno_atlas::PopChange], probes: &[sno_atlas::ProbeInfo]) -> String {
     let mut out = String::new();
-    let all_changes = sno_atlas::detect_all_pop_changes(
-        &atlas.traceroutes,
-        &atlas.sslcerts,
-        sno_synth::atlas::reverse_dns,
-        8.0,
-        8,
-        ctx.config().threads,
-    );
-    for ch in all_changes {
-        if let Some(probe) = atlas.probe(ch.probe) {
+    for ch in changes {
+        if let Some(probe) = probes.iter().find(|p| p.id == ch.probe) {
             let pops = ch
                 .pops
                 .map(|(a, b)| format!("{a} -> {b}"))
@@ -565,6 +599,43 @@ fn fig8b(ctx: &ReproContext) -> String {
         "(paper: NZ -20 ms on 2022-07-12 Sydney->Auckland; NL -10 ms Frankfurt->London; NV 2x to Denver then reverted)"
     );
     out
+}
+
+fn fig8b(ctx: &ReproContext) -> String {
+    if ctx.chunk().is_some() {
+        // Chunked traceroute stream: only the per-probe RTT series are
+        // ever resident, never the traceroute corpus.
+        let generator = sno_synth::AtlasGenerator::new(ctx.config().clone());
+        let changes = sno_atlas::detect_all_pop_changes_streamed(
+            generator.traceroute_chunks(ctx.chunk_len()),
+            &generator.sslcerts(),
+            sno_synth::atlas::reverse_dns,
+            8.0,
+            8,
+            ctx.config().threads,
+        );
+        let probes: Vec<sno_atlas::ProbeInfo> = generator
+            .probes()
+            .iter()
+            .map(|p| sno_atlas::ProbeInfo {
+                id: p.id,
+                country: p.country,
+                state: p.state,
+            })
+            .collect();
+        pop_change_text(&changes, &probes)
+    } else {
+        let atlas = ctx.atlas();
+        let changes = sno_atlas::detect_all_pop_changes(
+            &atlas.traceroutes,
+            &atlas.sslcerts,
+            sno_synth::atlas::reverse_dns,
+            8.0,
+            8,
+            ctx.config().threads,
+        );
+        pop_change_text(&changes, &ctx.probe_infos())
+    }
 }
 
 fn fig9(ctx: &ReproContext) -> String {
@@ -918,5 +989,15 @@ mod tests {
         let out = run_experiment(ctx(), "table1").unwrap();
         assert!(out.contains("Starlink"));
         assert!(out.contains("SNOs identified: 18"));
+    }
+
+    #[test]
+    fn streamed_context_output_is_byte_identical() {
+        let chunked = ReproContext::with_chunk(SynthConfig::test_corpus(), 512);
+        for id in ["table1", "fig1", "fig3c", "fig8b"] {
+            let streamed = run_experiment(&chunked, id).unwrap();
+            let materialized = run_experiment(ctx(), id).unwrap();
+            assert_eq!(streamed, materialized, "{id}");
+        }
     }
 }

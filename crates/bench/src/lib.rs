@@ -4,6 +4,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod mem;
 
 pub use context::ReproContext;
 pub use experiments::{run_experiment, EXPERIMENTS};

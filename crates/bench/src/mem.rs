@@ -1,0 +1,38 @@
+//! Process peak-memory introspection for the bench harness.
+
+/// Peak resident set size of this process in MiB, read from the
+/// `VmHWM:` line of `/proc/self/status`. `None` when the file is
+/// missing or unparsable (non-Linux platforms) — callers simply skip
+/// the memory bench entries then.
+///
+/// VmHWM is monotone over the process lifetime, so phase-by-phase
+/// numbers must be sampled lowest-footprint-first.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find_map(|l| l.strip_prefix("VmHWM:"))?;
+    let kb: f64 = line.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_when_available() {
+        if let Some(mb) = peak_rss_mb() {
+            assert!(mb > 0.0, "VmHWM {mb} MiB");
+            // A test binary plausibly sits between 1 MiB and 100 GiB.
+            assert!(mb < 100.0 * 1024.0, "VmHWM {mb} MiB");
+        }
+    }
+
+    #[test]
+    fn peak_rss_never_shrinks() {
+        let Some(before) = peak_rss_mb() else { return };
+        let sink: Vec<u64> = (0..1_000_000).collect();
+        std::hint::black_box(&sink);
+        let after = peak_rss_mb().unwrap_or(before);
+        assert!(after >= before, "{after} < {before}");
+    }
+}

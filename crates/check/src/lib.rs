@@ -13,8 +13,9 @@
 //! * [`proptest!`] — the macro subset the existing property suites use:
 //!   `#[test]` blocks, range strategies, `prop::collection::vec`,
 //!   `any::<T>()`, `prop::string::string`, the
-//!   `prop_map`/`prop_filter`/`prop_flat_map` adapters,
-//!   `prop_assert!`/`prop_assert_eq!`, and
+//!   `prop_map`/`prop_filter`/`prop_flat_map` adapters, `prop_oneof!`
+//!   enum strategies (optionally weighted, shrinking toward earlier
+//!   branches), `prop_assert!`/`prop_assert_eq!`, and
 //!   `ProptestConfig::with_cases(n)`. Failures shrink greedily and print
 //!   a seed; `SNO_CHECK_SEED=<seed>` replays the identical
 //!   counterexample, and [`corpus`] persists failing seeds to committed
@@ -45,7 +46,9 @@ pub mod strategy;
 
 pub use corpus::{CORPUS_DIR_ENV, DEFAULT_CORPUS_DIR};
 pub use runner::{run_property, PropError, ProptestConfig, SEED_ENV};
-pub use strategy::{any, Arbitrary, FlatMapped, Mapped, Strategy};
+pub use strategy::{
+    any, boxed, oneof, weighted, Arbitrary, FlatMapped, Mapped, OneOf, Selected, Strategy,
+};
 
 /// `proptest`-style module layout, so `prop::collection::vec(..)` reads
 /// the same as upstream.
@@ -65,6 +68,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::runner::{PropError, ProptestConfig};
-    pub use crate::strategy::{any, Arbitrary, FlatMapped, Mapped, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::strategy::{
+        any, boxed, oneof, weighted, Arbitrary, FlatMapped, Mapped, OneOf, Selected, Strategy,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }

@@ -50,6 +50,25 @@ macro_rules! __proptest_impl {
     };
 }
 
+/// Build a [`OneOf`](crate::strategy::OneOf) enum strategy, as in
+/// proptest: `prop_oneof![a, b]` picks a branch uniformly,
+/// `prop_oneof![3 => a, 1 => b]` picks with bias. Branches must share a
+/// value type; order them simplest-first, because shrinking moves
+/// toward earlier branches.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::weighted(::std::vec![
+            $(($weight as f64, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::oneof(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
 /// Assert a condition inside a property; on failure the current input is
 /// reported (and shrunk) instead of panicking outright.
 #[macro_export]

@@ -284,6 +284,136 @@ where
     }
 }
 
+/// A value produced by a [`OneOf`] strategy: the branch that produced
+/// it, the seed its draw consumed, and the value itself. Dereferences
+/// to the value.
+#[derive(Clone)]
+pub struct Selected<V> {
+    /// Index of the branch that produced the value.
+    pub branch: usize,
+    /// Seed of the substream the branch drew from; kept so shrinking
+    /// can re-draw earlier (simpler) branches comparably.
+    seed: u64,
+    /// The produced value.
+    pub value: V,
+}
+
+impl<V> std::ops::Deref for Selected<V> {
+    type Target = V;
+
+    fn deref(&self) -> &V {
+        &self.value
+    }
+}
+
+impl<V: Debug> Debug for Selected<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} (branch {})", self.value, self.branch)
+    }
+}
+
+/// Boxing adapter so heterogeneous strategies with a common value type
+/// can share a `Vec` (what [`oneof`]/[`weighted`] and `prop_oneof!`
+/// take).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<V: Clone + Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut Rng) -> V {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, v: &V) -> Vec<V> {
+        (**self).shrink(v)
+    }
+}
+
+/// The enum strategy returned by [`oneof`], [`weighted`] and the
+/// `prop_oneof!` macro: pick one branch (optionally with bias), then
+/// draw from it.
+pub struct OneOf<V> {
+    branches: Vec<(f64, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V: Clone + Debug> OneOf<V> {
+    /// The dedicated substream branch `branch` draws from: a pure
+    /// function of the recorded seed, so shrinking re-draws earlier
+    /// branches reproducibly.
+    fn branch_rng(seed: u64, branch: usize) -> Rng {
+        Rng::new(seed)
+            .substream_named("one-of")
+            .substream(branch as u64)
+    }
+
+    /// Draw branch `branch` from the substream of `seed`.
+    fn draw(&self, branch: usize, seed: u64) -> Selected<V> {
+        let value = self.branches[branch]
+            .1
+            .generate(&mut Self::branch_rng(seed, branch));
+        Selected {
+            branch,
+            seed,
+            value,
+        }
+    }
+}
+
+/// `prop_oneof![a, b, c]`: draw from one of several strategies with
+/// equal probability. Order the branches simplest-first — shrinking
+/// moves toward *earlier* branches (as in proptest).
+pub fn oneof<V: Clone + Debug>(branches: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+    weighted(branches.into_iter().map(|b| (1.0, b)).collect())
+}
+
+/// `prop_oneof![3 => a, 1 => b]`: draw from one of several strategies
+/// with probability proportional to its weight. Weights must be
+/// positive and finite.
+pub fn weighted<V: Clone + Debug>(branches: Vec<(f64, Box<dyn Strategy<Value = V>>)>) -> OneOf<V> {
+    assert!(!branches.is_empty(), "one-of strategy needs a branch");
+    for (w, _) in &branches {
+        assert!(w.is_finite() && *w > 0.0, "branch weight {w} must be > 0");
+    }
+    OneOf { branches }
+}
+
+impl<V: Clone + Debug> Strategy for OneOf<V> {
+    type Value = Selected<V>;
+
+    fn generate(&self, rng: &mut Rng) -> Selected<V> {
+        let weights: Vec<f64> = self.branches.iter().map(|&(w, _)| w).collect();
+        let branch = rng.choose_weighted(&weights);
+        let seed = rng.next_u64();
+        self.draw(branch, seed)
+    }
+
+    fn shrink(&self, v: &Selected<V>) -> Vec<Selected<V>> {
+        let mut out = Vec::new();
+        // Earlier branches are simpler by convention: re-draw each from
+        // the recorded seed, earliest first. A branch switch strictly
+        // decreases the branch index and a within-branch candidate
+        // strictly simplifies under the branch's own ordering, so the
+        // greedy shrink loop still terminates (lexicographic descent on
+        // `(branch, value)`).
+        for branch in 0..v.branch {
+            out.push(self.draw(branch, v.seed));
+        }
+        for value in self.branches[v.branch].1.shrink(&v.value) {
+            out.push(Selected {
+                branch: v.branch,
+                seed: v.seed,
+                value,
+            });
+        }
+        out
+    }
+}
+
 /// Shrink candidates for a float: toward the in-range point nearest
 /// zero, by bisection, and by truncation. Every candidate has strictly
 /// smaller magnitude than `v`, so shrinking cannot cycle.

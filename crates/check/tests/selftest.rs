@@ -104,6 +104,21 @@ proptest! {
         prop_assert!((2..10).contains(&s.chars().count()));
         prop_assert!(s.chars().all(|c| "abc".contains(c)));
     }
+
+    /// `prop_oneof!` draws from exactly the branch it reports, and mixes
+    /// heterogeneous strategies sharing a value type.
+    #[test]
+    fn oneof_value_within_its_branch(
+        v in prop_oneof![0..10u32, 100..=109u32, (1_000..1_010u32).prop_filter("even", |n| n % 2 == 0)],
+    ) {
+        let ok = match v.branch {
+            0 => (0..10).contains(&*v),
+            1 => (100..=109).contains(&*v),
+            2 => (1_000..1_010).contains(&*v) && *v % 2 == 0,
+            _ => false,
+        };
+        prop_assert!(ok, "branch {} produced {}", v.branch, *v);
+    }
 }
 
 /// A property that fails exactly when `x >= 100`, recording the last
@@ -349,6 +364,119 @@ fn string_shrinking_reaches_short_witness() {
         shortest.get() <= 2,
         "string only shrank to length {}",
         shortest.get()
+    );
+}
+
+#[test]
+fn oneof_covers_every_branch_and_weights_bias_the_draw() {
+    use sno_types::Rng;
+    let uniform = prop_oneof![0..10u32, 100..110u32];
+    let mut rng = Rng::new(0xC0FF_EE01);
+    let mut counts = [0usize; 2];
+    for _ in 0..2_000 {
+        counts[uniform.generate(&mut rng).branch] += 1;
+    }
+    assert!(
+        counts.iter().all(|&c| c > 700),
+        "uniform draw skewed: {counts:?}"
+    );
+
+    let biased = prop_oneof![9 => 0..10u32, 1 => 100..110u32];
+    let mut counts = [0usize; 2];
+    for _ in 0..2_000 {
+        counts[biased.generate(&mut rng).branch] += 1;
+    }
+    assert!(
+        counts[0] > 1_600 && counts[1] > 50,
+        "9:1 bias not honoured: {counts:?}"
+    );
+}
+
+#[test]
+fn oneof_generation_is_deterministic_per_seed() {
+    use sno_types::Rng;
+    let strat = prop_oneof![2 => 0..1_000u32, 1 => 5_000..6_000u32];
+    let a: Vec<(usize, u32)> = {
+        let mut rng = Rng::new(42);
+        (0..64)
+            .map(|_| strat.generate(&mut rng))
+            .map(|v| (v.branch, v.value))
+            .collect()
+    };
+    let b: Vec<(usize, u32)> = {
+        let mut rng = Rng::new(42);
+        (0..64)
+            .map(|_| strat.generate(&mut rng))
+            .map(|v| (v.branch, v.value))
+            .collect()
+    };
+    assert_eq!(a, b);
+    assert!(
+        a.iter().any(|&(br, _)| br == 1),
+        "second branch never drawn"
+    );
+}
+
+#[test]
+fn oneof_shrinks_toward_the_earliest_branch() {
+    // Every draw fails, so greedy shrinking must walk branch switches
+    // (toward branch 0) and within-branch candidates (toward the range
+    // floor) all the way down to branch 0's simplest value.
+    let last_branch = Cell::new(usize::MAX);
+    let last_value = Cell::new(u32::MAX);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_property(
+            concat!(module_path!(), "::oneof_shrink_target"),
+            &ProptestConfig::with_cases(16),
+            &(prop_oneof![10..20u32, 1_000..1_010u32, 500_000..500_010u32],),
+            |(v,)| {
+                last_branch.set(v.branch);
+                last_value.set(v.value);
+                Err(PropError::new("always fails"))
+            },
+        );
+    }));
+    assert_eq!(last_branch.get(), 0, "did not shrink to the first branch");
+    assert_eq!(last_value.get(), 10, "did not shrink to the branch floor");
+}
+
+#[test]
+fn oneof_shrink_stays_within_branches() {
+    // A failure confined to the *later* branch must shrink within it:
+    // branch-0 re-draws pass, so the counterexample stays in branch 1
+    // and slides to that branch's failure boundary.
+    let last = Cell::new(u32::MAX);
+    let saw_invalid = Cell::new(false);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_property(
+            concat!(module_path!(), "::oneof_branch_confined_target"),
+            &ProptestConfig::with_cases(64),
+            &(prop_oneof![0..10u32, 100..10_000u32],),
+            |(v,)| {
+                let in_branch = match v.branch {
+                    0 => (0..10).contains(&v.value),
+                    1 => (100..10_000).contains(&v.value),
+                    _ => false,
+                };
+                if !in_branch {
+                    saw_invalid.set(true);
+                }
+                if v.branch == 1 && v.value >= 200 {
+                    last.set(last.get().min(v.value));
+                    return Err(PropError::new("branch 1 >= 200"));
+                }
+                Ok(())
+            },
+        );
+    }));
+    assert!(
+        !saw_invalid.get(),
+        "a shrink candidate left its branch's range"
+    );
+    assert!(
+        (200..=210).contains(&last.get()),
+        "shrunk to {} instead of ~200",
+        last.get()
     );
 }
 

@@ -75,9 +75,16 @@ pub fn latency_by_operator(
             by_op.entry(*op).or_default().push(rec.latency_p5.0);
         }
     }
+    latency_table(&by_op)
+}
+
+/// The Figure 3c table from already-bucketed accepted latencies (the
+/// shape the streamed accept pass emits): per-operator boxplot
+/// statistics sorted by median ascending.
+pub fn latency_table(by_op: &BTreeMap<Operator, Vec<f64>>) -> Vec<(Operator, FiveNumber)> {
     let mut out: Vec<(Operator, FiveNumber)> = by_op
-        .into_iter()
-        .filter_map(|(op, lat)| FiveNumber::of(&lat).map(|s| (op, s)))
+        .iter()
+        .filter_map(|(&op, lat)| FiveNumber::of(lat).map(|s| (op, s)))
         .collect();
     out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
     out
@@ -85,20 +92,43 @@ pub fn latency_by_operator(
 
 /// Figure 4a: daily latency medians for one operator, plus the paper's
 /// "daily latency variation (95th %ile)" figure.
+///
+/// One full corpus scan per call — figure paths that need several
+/// operators should use [`stability_by_operator`].
 pub fn stability(
     records: &[NdtRecord],
     report: &PipelineReport,
     op: Operator,
 ) -> (Vec<DailyPoint>, Option<f64>) {
-    let samples: Vec<_> = records
-        .iter()
-        .zip(&report.accepted)
-        .filter(|(_, acc)| **acc == Some(op))
-        .map(|(rec, _)| (rec.timestamp, rec.latency_p5.0))
-        .collect();
-    let daily = daily_medians(&samples);
-    let variation = daily_variation_p95(&daily);
-    (daily, variation)
+    let mut by_op = stability_by_operator(records, report, &[op]);
+    by_op.remove(&op).unwrap_or_default()
+}
+
+/// [`stability`] for several operators in a single pass over the
+/// corpus: samples are grouped per operator while scanning once, then
+/// reduced to daily medians and the variation figure per operator.
+pub fn stability_by_operator(
+    records: &[NdtRecord],
+    report: &PipelineReport,
+    ops: &[Operator],
+) -> BTreeMap<Operator, (Vec<DailyPoint>, Option<f64>)> {
+    let mut samples: BTreeMap<Operator, Vec<(sno_types::Timestamp, f64)>> =
+        ops.iter().map(|&op| (op, Vec::new())).collect();
+    for (rec, acc) in records.iter().zip(&report.accepted) {
+        if let Some(op) = acc {
+            if let Some(bucket) = samples.get_mut(op) {
+                bucket.push((rec.timestamp, rec.latency_p5.0));
+            }
+        }
+    }
+    samples
+        .into_iter()
+        .map(|(op, s)| {
+            let daily = daily_medians(&s);
+            let variation = daily_variation_p95(&daily);
+            (op, (daily, variation))
+        })
+        .collect()
 }
 
 /// Figure 4b: jitter variation (`jitter_p95 / latency_p5`) samples per
@@ -241,6 +271,19 @@ mod tests {
             hughes > 2.0 * starlink,
             "HughesNet {hughes} vs Starlink {starlink}"
         );
+    }
+
+    #[test]
+    fn grouped_stability_matches_single_operator_scans() {
+        let (corpus, report) = fixture();
+        let ops = [Operator::Starlink, Operator::Viasat];
+        let grouped = stability_by_operator(&corpus.records, report, &ops);
+        assert_eq!(grouped.len(), ops.len());
+        for op in ops {
+            let (daily, variation) = stability(&corpus.records, report, op);
+            assert_eq!(grouped[&op].0, daily, "{op:?}");
+            assert_eq!(grouped[&op].1, variation, "{op:?}");
+        }
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!    527 ms default);
 //! 4. [`pipeline`] — the end-to-end orchestration producing the SNO
 //!    catalog (Table 1) and per-record acceptance;
-//! 5. [`analysis`] — the bird's-eye analyses of Section 4: latency
+//! 5. [`stream`] — the same stages over a chunked record stream in
+//!    bounded memory (per-chunk accumulators, a streamed accept pass,
+//!    and a compact acceptance bitmap), byte-identical to the
+//!    materialized run;
+//! 6. [`analysis`] — the bird's-eye analyses of Section 4: latency
 //!    distributions (Figure 3c), latency-over-time stability (4a),
 //!    jitter variation (4b) and retransmissions with/without PEPs (4c).
 
@@ -27,6 +31,7 @@ pub mod analysis;
 pub mod asn_map;
 pub mod pipeline;
 pub mod prefix_filter;
+pub mod stream;
 pub mod validate;
 
 pub use accuracy::{attribution_accuracy, score, Confusion};
@@ -34,4 +39,5 @@ pub use analysis::{jitter_by_orbit, latency_by_operator, retransmissions, stabil
 pub use asn_map::{map_asns, AsnMapping};
 pub use pipeline::{Pipeline, PipelineReport};
 pub use prefix_filter::{relaxed_thresholds, strict_filter, StrictOutcome};
+pub use stream::{AcceptBitmap, CorpusStats, StreamOptions, StreamedReport};
 pub use validate::{validate_asns, AsnVerdict, LatencyBands};

@@ -2,9 +2,10 @@
 
 use crate::asn_map::{map_asns, AsnMapping};
 use crate::prefix_filter::{
-    relaxed_thresholds, strict_filter_threaded, StrictOutcome, MEO_FLOOR_MS,
+    relaxed_thresholds, strict_filter_from_buckets, StrictOutcome, MEO_FLOOR_MS,
 };
-use crate::validate::{validate_asns_threaded, AsnProfile, AsnVerdict, LatencyBands};
+use crate::stream::CorpusStats;
+use crate::validate::{profiles_from_buckets, AsnProfile, AsnVerdict, LatencyBands};
 use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Operator, OrbitClass};
@@ -51,12 +52,27 @@ pub struct PipelineReport {
 
 impl PipelineReport {
     /// Indices of the records attributed to `op`.
+    ///
+    /// One full scan per call — callers that need several operators
+    /// should use [`PipelineReport::accepted_by_operator`] instead.
     pub fn accepted_indices(&self, op: Operator) -> Vec<usize> {
         self.accepted
             .iter()
             .enumerate()
             .filter_map(|(i, &a)| (a == Some(op)).then_some(i))
             .collect()
+    }
+
+    /// Per-operator accepted-record indices, grouped in one pass over
+    /// the acceptance vector (each list ascending).
+    pub fn accepted_by_operator(&self) -> BTreeMap<Operator, Vec<usize>> {
+        let mut by_op: BTreeMap<Operator, Vec<usize>> = BTreeMap::new();
+        for (i, acc) in self.accepted.iter().enumerate() {
+            if let Some(op) = acc {
+                by_op.entry(*op).or_default().push(i);
+            }
+        }
+        by_op
     }
 
     /// Number of operators in the catalog.
@@ -84,14 +100,18 @@ impl Pipeline {
     pub fn run(&self, records: &[NdtRecord]) -> PipelineReport {
         // Stages 1–2: registry mapping + curation.
         let mapping = map_asns();
+        // Shared statistics accumulation: one sharded pass builds both
+        // the per-ASN and per-prefix buckets the next two stages need
+        // (the streaming pipeline folds the same accumulator per chunk).
+        let stats = CorpusStats::collect(&mapping, records, self.threads);
         // Stage 3: KDE validation.
-        let profiles = validate_asns_threaded(&mapping, records, self.bands, self.threads);
+        let profiles = profiles_from_buckets(&mapping, &stats.by_asn, self.bands, self.threads);
         let verdict_of: BTreeMap<_, _> = profiles
             .iter()
             .map(|p| (p.asn, p.verdict.clone()))
             .collect();
         // Stage 3b: strict prefix filter.
-        let strict = strict_filter_threaded(&mapping, &profiles, records, self.threads);
+        let strict = strict_filter_from_buckets(&profiles, &stats.by_prefix, self.threads);
         // Stage 3c: relaxed thresholds.
         let (thresholds, default_threshold) = relaxed_thresholds(&strict);
 
@@ -124,8 +144,8 @@ impl Pipeline {
         }
     }
 
-    /// Decide one record.
-    fn accept(
+    /// Decide one record (shared with the streamed accept pass).
+    pub(crate) fn accept(
         &self,
         rec: &NdtRecord,
         mapping: &AsnMapping,
@@ -277,6 +297,17 @@ mod tests {
         for i in idx {
             assert_eq!(report.accepted[i], Some(Operator::Starlink));
             assert!(i < corpus.records.len());
+        }
+    }
+
+    #[test]
+    fn grouped_indices_match_per_operator_scans() {
+        let (.., report) = fixture();
+        let grouped = report.accepted_by_operator();
+        assert_eq!(grouped.len(), report.catalog.len());
+        for &(op, count) in &report.catalog {
+            assert_eq!(grouped[&op].len() as u64, count, "{op:?}");
+            assert_eq!(grouped[&op], report.accepted_indices(op), "{op:?}");
         }
     }
 }

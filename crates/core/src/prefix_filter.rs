@@ -21,7 +21,7 @@ use crate::validate::{AsnProfile, AsnVerdict};
 use sno_stats::FiveNumber;
 use sno_types::par;
 use sno_types::records::NdtRecord;
-use sno_types::{AccessKind, Operator, OrbitClass, Prefix24};
+use sno_types::{AccessKind, Asn, Operator, OrbitClass, Prefix24};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Minimum tests for a prefix to be considered by the strict filter.
@@ -93,21 +93,13 @@ pub fn strict_filter_threaded(
     records: &[NdtRecord],
     threads: usize,
 ) -> StrictOutcome {
-    let outlier_asns: BTreeSet<_> = profiles
-        .iter()
-        .filter(|p| matches!(p.verdict, AsnVerdict::Outlier(_)))
-        .map(|p| p.asn)
-        .collect();
-
-    // Group record latencies by (operator, /24).
-    let mut by_prefix: BTreeMap<(Operator, Prefix24), Vec<f64>> = BTreeMap::new();
+    // Group record latencies by (operator, /24), keeping the source ASN
+    // so the bucket stage below can drop outlier-ASN samples.
+    let mut by_prefix: BTreeMap<(Operator, Prefix24), Vec<(Asn, f64)>> = BTreeMap::new();
     for rec in records {
         let Some(op) = mapping.operator_of(rec.asn) else {
             continue;
         };
-        if outlier_asns.contains(&rec.asn) {
-            continue;
-        }
         let access = sno_registry::sources::access_of(op);
         if access.includes(OrbitClass::Leo) {
             continue; // LEO is identified at ASN level
@@ -115,11 +107,41 @@ pub fn strict_filter_threaded(
         by_prefix
             .entry((op, rec.client.prefix24()))
             .or_default()
-            .push(rec.latency_p5.0);
+            .push((rec.asn, rec.latency_p5.0));
     }
+    strict_filter_from_buckets(profiles, &by_prefix, threads)
+}
 
-    let examined = by_prefix.len();
-    let buckets: Vec<((Operator, Prefix24), Vec<f64>)> = by_prefix.into_iter().collect();
+/// The filtering half of [`strict_filter_threaded`], starting from
+/// already-bucketed per-`(operator, /24)` samples (non-LEO operators
+/// only, each bucket in record order, tagged with the source ASN).
+/// This is the entry point for the streaming pipeline: the buckets are
+/// accumulated per chunk *before* the KDE stage has ruled on any ASN,
+/// so outlier-ASN samples are dropped here, and buckets left empty by
+/// that cut were never examined.
+pub fn strict_filter_from_buckets(
+    profiles: &[AsnProfile],
+    by_prefix: &BTreeMap<(Operator, Prefix24), Vec<(Asn, f64)>>,
+    threads: usize,
+) -> StrictOutcome {
+    let outlier_asns: BTreeSet<_> = profiles
+        .iter()
+        .filter(|p| matches!(p.verdict, AsnVerdict::Outlier(_)))
+        .map(|p| p.asn)
+        .collect();
+
+    let buckets: Vec<((Operator, Prefix24), Vec<f64>)> = by_prefix
+        .iter()
+        .filter_map(|(&key, samples)| {
+            let latencies: Vec<f64> = samples
+                .iter()
+                .filter(|(asn, _)| !outlier_asns.contains(asn))
+                .map(|&(_, l)| l)
+                .collect();
+            (!latencies.is_empty()).then_some((key, latencies))
+        })
+        .collect();
+    let examined = buckets.len();
     let ranges = par::shard_ranges(buckets.len(), par::DEFAULT_CHUNK);
     let parts = par::shard_map(ranges.len(), threads, |s| {
         let mut retained = Vec::new();

@@ -1,0 +1,399 @@
+//! The streaming pipeline: bounded-memory identification over chunked
+//! corpora.
+//!
+//! [`Pipeline::run`](crate::pipeline::Pipeline::run) materializes the
+//! whole corpus and a dense per-record `Vec<Option<Operator>>`; at
+//! paper scale (11.92 M sessions) neither fits comfortably in memory.
+//! [`Pipeline::run_streamed`] reproduces the exact same report from a
+//! re-streamable chunked source in two passes:
+//!
+//! 1. **Statistics pass** — every chunk is folded into a
+//!    [`CorpusStats`] accumulator (per-ASN latency samples for the KDE
+//!    stage, per-`(operator, /24)` samples for the strict filter).
+//!    Accumulators merge in shard order, so every bucket holds its
+//!    samples in record order — byte-identical to the serial bucketing
+//!    the materialized path performs.
+//! 2. **Accept pass** — the source is re-streamed and each record is
+//!    decided against the thresholds derived from pass 1, emitting
+//!    per-operator counts plus a compact [`AcceptBitmap`] (one bit per
+//!    record) instead of the dense vector, unless the caller opts into
+//!    it via [`StreamOptions`].
+//!
+//! Peak memory is the per-bucket statistics (latency samples, not
+//! records) plus one generation wave — the corpus itself is never
+//! resident. Equivalence with the materialized path is pinned by
+//! `tests/stream_determinism.rs` at chunk sizes {1, 1024, whole} ×
+//! threads {1, 2, 8}.
+
+use crate::asn_map::{map_asns, AsnMapping};
+use crate::pipeline::Pipeline;
+use crate::prefix_filter::{relaxed_thresholds, strict_filter_from_buckets, StrictOutcome};
+use crate::validate::{profiles_from_buckets, AsnProfile};
+use sno_types::chunk::{self, RecordChunks};
+use sno_types::records::NdtRecord;
+use sno_types::{Asn, Operator, OrbitClass, Prefix24};
+use std::collections::BTreeMap;
+
+/// Per-chunk accumulator for the statistics pass: everything stages
+/// 3–3c need, with the records themselves discarded.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// Records observed.
+    pub records: usize,
+    /// Per-ASN p5 latencies, in record order (KDE validation input).
+    pub by_asn: BTreeMap<Asn, Vec<f64>>,
+    /// Per-`(operator, /24)` samples for non-LEO operators, tagged with
+    /// the source ASN so the strict filter can drop outlier ASNs after
+    /// the KDE stage rules (strict-filter input).
+    pub by_prefix: BTreeMap<(Operator, Prefix24), Vec<(Asn, f64)>>,
+}
+
+impl CorpusStats {
+    /// An empty accumulator.
+    pub fn new() -> CorpusStats {
+        CorpusStats::default()
+    }
+
+    /// Fold one record in.
+    pub fn observe(&mut self, mapping: &AsnMapping, rec: &NdtRecord) {
+        self.records += 1;
+        self.by_asn
+            .entry(rec.asn)
+            .or_default()
+            .push(rec.latency_p5.0);
+        let Some(op) = mapping.operator_of(rec.asn) else {
+            return;
+        };
+        let access = sno_registry::sources::access_of(op);
+        if access.includes(OrbitClass::Leo) {
+            return; // LEO is identified at ASN level
+        }
+        self.by_prefix
+            .entry((op, rec.client.prefix24()))
+            .or_default()
+            .push((rec.asn, rec.latency_p5.0));
+    }
+
+    /// Merge `other` (the later shard) into `self`, appending per-key
+    /// samples so bucket order equals record order when accumulators
+    /// merge in shard order.
+    pub fn merge(mut self, other: CorpusStats) -> CorpusStats {
+        self.records += other.records;
+        for (asn, mut latencies) in other.by_asn {
+            self.by_asn.entry(asn).or_default().append(&mut latencies);
+        }
+        for (key, mut samples) in other.by_prefix {
+            self.by_prefix.entry(key).or_default().append(&mut samples);
+        }
+        self
+    }
+
+    /// Accumulate over a materialized slice, in parallel shards merged
+    /// in shard order — the same buckets a serial pass would build.
+    pub fn collect(mapping: &AsnMapping, records: &[NdtRecord], threads: usize) -> CorpusStats {
+        chunk::accumulate(
+            records.len(),
+            1024,
+            threads,
+            CorpusStats::new(),
+            |_, range| {
+                let mut stats = CorpusStats::new();
+                for rec in &records[range] {
+                    stats.observe(mapping, rec);
+                }
+                stats
+            },
+            CorpusStats::merge,
+        )
+    }
+}
+
+/// What the accept pass should keep beyond the catalog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Also keep the dense per-record `Vec<Option<Operator>>` (as the
+    /// materialized report carries). Off by default — the bitmap plus
+    /// counts serve the catalog paths.
+    pub dense_acceptance: bool,
+    /// Collect accepted latency samples per operator (the Figure 3c
+    /// input) during the accept pass.
+    pub operator_latencies: bool,
+}
+
+/// A compact per-record acceptance map: one bit per record, in stream
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct AcceptBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AcceptBitmap {
+    /// An empty bitmap.
+    pub fn new() -> AcceptBitmap {
+        AcceptBitmap::default()
+    }
+
+    /// Append one record's accept/reject bit.
+    pub fn push(&mut self, accepted: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if accepted {
+            self.words[word] |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Was record `i` accepted?
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Records recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no records were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Accepted records.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Everything [`Pipeline::run_streamed`] produced. Field-for-field the
+/// materialized [`PipelineReport`](crate::pipeline::PipelineReport),
+/// except the dense acceptance vector is opt-in and the record count /
+/// bitmap stand in for it.
+#[derive(Debug, Clone)]
+pub struct StreamedReport {
+    /// Stage 1–2 output.
+    pub mapping: AsnMapping,
+    /// Stage 3 output: per-ASN KDE profiles and verdicts.
+    pub profiles: Vec<AsnProfile>,
+    /// Stage 3b output.
+    pub strict: StrictOutcome,
+    /// Stage 3c: per-operator relaxed thresholds.
+    pub thresholds: BTreeMap<Operator, f64>,
+    /// Stage 3c: the default threshold for uncovered operators.
+    pub default_threshold: f64,
+    /// Records streamed.
+    pub records: usize,
+    /// Stage 4: the catalog — operators with accepted tests, by volume
+    /// descending (Table 1).
+    pub catalog: Vec<(Operator, u64)>,
+    /// Per-record accept bit, in stream order.
+    pub bitmap: AcceptBitmap,
+    /// The dense acceptance vector, when
+    /// [`StreamOptions::dense_acceptance`] asked for it.
+    pub accepted: Option<Vec<Option<Operator>>>,
+    /// Accepted latency samples per operator, when
+    /// [`StreamOptions::operator_latencies`] asked for them.
+    pub latencies_by_operator: Option<BTreeMap<Operator, Vec<f64>>>,
+}
+
+impl StreamedReport {
+    /// Number of operators in the catalog.
+    pub fn sno_count(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Records the accept pass kept.
+    pub fn accepted_count(&self) -> usize {
+        self.bitmap.count_ones()
+    }
+}
+
+impl Pipeline {
+    /// Run all stages over a re-streamable chunked source in bounded
+    /// memory. `source` is called once per pass (statistics, then
+    /// accept) and must yield the same record stream both times —
+    /// chunked generators rebuilt from a seed satisfy this by
+    /// construction.
+    ///
+    /// The report is byte-identical to [`Pipeline::run`] over the
+    /// materialized stream, at any chunk length and thread count.
+    pub fn run_streamed<C, F>(&self, source: F, opts: StreamOptions) -> StreamedReport
+    where
+        C: RecordChunks<Item = NdtRecord>,
+        F: Fn() -> C,
+    {
+        // Stages 1–2: registry mapping + curation.
+        let mapping = map_asns();
+
+        // Pass 1: fold every chunk into the statistics accumulator.
+        let stats = source().fold_chunks(CorpusStats::new(), |mut acc, chunk| {
+            for rec in &chunk {
+                acc.observe(&mapping, rec);
+            }
+            acc
+        });
+
+        // Stages 3–3c over the accumulated buckets.
+        let profiles = profiles_from_buckets(&mapping, &stats.by_asn, self.bands, self.threads);
+        let verdict_of: BTreeMap<_, _> = profiles
+            .iter()
+            .map(|p| (p.asn, p.verdict.clone()))
+            .collect();
+        let strict = strict_filter_from_buckets(&profiles, &stats.by_prefix, self.threads);
+        let (thresholds, default_threshold) = relaxed_thresholds(&strict);
+
+        // Pass 2: re-stream and decide each record.
+        let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
+        let mut bitmap = AcceptBitmap::new();
+        let mut dense = opts.dense_acceptance.then(Vec::new);
+        let mut latencies = opts
+            .operator_latencies
+            .then(BTreeMap::<Operator, Vec<f64>>::new);
+        let mut stream = source();
+        while let Some(chunk) = stream.next_chunk() {
+            for rec in &chunk {
+                let decision =
+                    self.accept(rec, &mapping, &verdict_of, &thresholds, default_threshold);
+                bitmap.push(decision.is_some());
+                if let Some(op) = decision {
+                    *counts.entry(op).or_default() += 1;
+                    if let Some(by_op) = latencies.as_mut() {
+                        by_op.entry(op).or_default().push(rec.latency_p5.0);
+                    }
+                }
+                if let Some(dense) = dense.as_mut() {
+                    dense.push(decision);
+                }
+            }
+        }
+        debug_assert_eq!(bitmap.len(), stats.records, "source must re-stream");
+
+        let mut catalog: Vec<(Operator, u64)> = counts.into_iter().collect();
+        catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        StreamedReport {
+            mapping,
+            profiles,
+            strict,
+            thresholds,
+            default_threshold,
+            records: stats.records,
+            catalog,
+            bitmap,
+            accepted: dense,
+            latencies_by_operator: latencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_synth::{MlabGenerator, SynthConfig};
+    use sno_types::chunk::slice_chunks;
+
+    fn small_config() -> SynthConfig {
+        SynthConfig {
+            scale: 5e-5,
+            min_sessions: 40,
+            ..SynthConfig::test_corpus()
+        }
+    }
+
+    #[test]
+    fn bitmap_round_trips_bits() {
+        let mut bitmap = AcceptBitmap::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        for &bit in &pattern {
+            bitmap.push(bit);
+        }
+        assert_eq!(bitmap.len(), pattern.len());
+        assert!(!bitmap.is_empty());
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(bitmap.get(i), bit, "bit {i}");
+        }
+        assert!(!bitmap.get(pattern.len()));
+        assert_eq!(bitmap.count_ones(), pattern.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn corpus_stats_parallel_collect_matches_serial() {
+        let corpus = MlabGenerator::new(small_config()).generate();
+        let mapping = map_asns();
+        let mut serial = CorpusStats::new();
+        for rec in &corpus.records {
+            serial.observe(&mapping, rec);
+        }
+        for threads in [1, 2, 8] {
+            let par = CorpusStats::collect(&mapping, &corpus.records, threads);
+            assert_eq!(par.records, serial.records, "threads {threads}");
+            assert_eq!(par.by_asn, serial.by_asn, "threads {threads}");
+            assert_eq!(par.by_prefix, serial.by_prefix, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn streamed_report_matches_materialized_run() {
+        let corpus = MlabGenerator::new(small_config()).generate();
+        let materialized = Pipeline::new().run(&corpus.records);
+        for chunk_len in [1usize, 1024, corpus.records.len()] {
+            let streamed = Pipeline::new().run_streamed(
+                || slice_chunks(&corpus.records, chunk_len),
+                StreamOptions {
+                    dense_acceptance: true,
+                    operator_latencies: false,
+                },
+            );
+            assert_eq!(streamed.records, corpus.records.len());
+            assert_eq!(streamed.catalog, materialized.catalog, "chunk {chunk_len}");
+            assert_eq!(
+                streamed.default_threshold, materialized.default_threshold,
+                "chunk {chunk_len}"
+            );
+            assert_eq!(
+                streamed.thresholds, materialized.thresholds,
+                "chunk {chunk_len}"
+            );
+            assert_eq!(
+                streamed.strict.examined, materialized.strict.examined,
+                "chunk {chunk_len}"
+            );
+            assert_eq!(
+                streamed.accepted.as_deref(),
+                Some(materialized.accepted.as_slice()),
+                "chunk {chunk_len}"
+            );
+            for (i, acc) in materialized.accepted.iter().enumerate() {
+                assert_eq!(streamed.bitmap.get(i), acc.is_some(), "bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_chunked_generation_matches_materialized_run() {
+        let config = small_config();
+        let corpus = MlabGenerator::new(config.clone()).generate();
+        let materialized = Pipeline::new().run(&corpus.records);
+        let generator = MlabGenerator::new(config);
+        let streamed = Pipeline::new().run_streamed(
+            || generator.generate_chunks(512),
+            StreamOptions {
+                dense_acceptance: false,
+                operator_latencies: true,
+            },
+        );
+        assert_eq!(streamed.catalog, materialized.catalog);
+        assert!(streamed.accepted.is_none());
+        // The per-operator latency samples match a dense-scan rebuild.
+        let by_op = streamed.latencies_by_operator.expect("requested");
+        let mut expect: BTreeMap<Operator, Vec<f64>> = BTreeMap::new();
+        for (rec, acc) in corpus.records.iter().zip(&materialized.accepted) {
+            if let Some(op) = acc {
+                expect.entry(*op).or_default().push(rec.latency_p5.0);
+            }
+        }
+        assert_eq!(by_op, expect);
+    }
+}

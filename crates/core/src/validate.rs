@@ -115,7 +115,20 @@ pub fn validate_asns_threaded(
     for rec in records {
         by_asn.entry(rec.asn).or_default().push(rec.latency_p5.0);
     }
+    profiles_from_buckets(mapping, &by_asn, bands, threads)
+}
 
+/// The KDE-fit half of [`validate_asns_threaded`], starting from
+/// already-bucketed per-ASN latency samples (each bucket in record
+/// order). This is the entry point for the streaming pipeline, whose
+/// per-chunk accumulators build the buckets incrementally; the fits fan
+/// out across the pool and merge in mapping order.
+pub fn profiles_from_buckets(
+    mapping: &AsnMapping,
+    by_asn: &BTreeMap<Asn, Vec<f64>>,
+    bands: LatencyBands,
+    threads: usize,
+) -> Vec<AsnProfile> {
     let pairs: Vec<(Operator, Asn)> = mapping
         .mapping
         .iter()

@@ -20,6 +20,7 @@ use sno_geo::{haversine_km, GeoPoint};
 use sno_netsim::terrestrial::terrestrial_rtt;
 use sno_orbit::access::BentPipe;
 use sno_orbit::shell::STARLINK_SHELL;
+use sno_types::chunk::{self, RecordChunks};
 use sno_types::par;
 use sno_types::records::{CountryCode, RootServer, SslCertRecord, TraceHop, TracerouteRecord};
 use sno_types::time::SECS_PER_DAY;
@@ -363,22 +364,7 @@ impl AtlasGenerator {
     pub fn generate(&self) -> AtlasCorpus {
         let probes = self.probes();
         let end_day = ATLAS_END.to_day();
-
-        // Per-probe traceroute quotas, in deployment (= probe id) order.
-        let mut quotas: Vec<u64> = Vec::with_capacity(probes.len());
-        for &(country, count, _, volume) in DEPLOYMENT {
-            let scaled = ((volume as f64 * self.config.scale).ceil() as u64).max(120);
-            let per_probe = (scaled / count as u64).max(120);
-            debug_assert_eq!(
-                probes
-                    .iter()
-                    .filter(|p| p.country == CountryCode::new(country))
-                    .count(),
-                count as usize
-            );
-            quotas.extend(std::iter::repeat_n(per_probe, count as usize));
-        }
-        debug_assert_eq!(quotas.len(), probes.len());
+        let quotas = self.quotas(&probes);
 
         let batches = par::shard_map(probes.len(), self.config.threads, |i| {
             self.probe_batch(&probes[i], quotas[i], end_day)
@@ -399,6 +385,65 @@ impl AtlasGenerator {
         }
     }
 
+    /// Per-probe traceroute quotas, in deployment (= probe id) order.
+    fn quotas(&self, probes: &[ProbeSpec]) -> Vec<u64> {
+        let mut quotas: Vec<u64> = Vec::with_capacity(probes.len());
+        for &(country, count, _, volume) in DEPLOYMENT {
+            let scaled = ((volume as f64 * self.config.scale).ceil() as u64).max(120);
+            let per_probe = (scaled / count as u64).max(120);
+            debug_assert_eq!(
+                probes
+                    .iter()
+                    .filter(|p| p.country == CountryCode::new(country))
+                    .count(),
+                count as usize
+            );
+            quotas.extend(std::iter::repeat_n(per_probe, count as usize));
+        }
+        debug_assert_eq!(quotas.len(), probes.len());
+        quotas
+    }
+
+    /// Stream traceroutes one probe-shard at a time, delivered in
+    /// chunks of at most `chunk_len` records.
+    ///
+    /// The stream yields each probe's traceroutes in generation order,
+    /// probes in id order — **not** the chronological interleaving of
+    /// [`AtlasGenerator::generate`], which sorts globally after
+    /// materializing. The per-probe analyses in `sno-atlas` bucket by
+    /// probe and re-sort each series by timestamp, so they produce
+    /// identical results from either ordering. Per-probe RNG substreams
+    /// are labelled by probe id, independent of `chunk_len` and
+    /// `config.threads`.
+    pub fn traceroute_chunks(
+        &self,
+        chunk_len: usize,
+    ) -> impl RecordChunks<Item = TracerouteRecord> + '_ {
+        let probes = self.probes();
+        let quotas = self.quotas(&probes);
+        let end_day = ATLAS_END.to_day();
+        chunk::sharded(probes.len(), self.config.threads, chunk_len, move |i| {
+            self.probe_batch(&probes[i], quotas[i], end_day).0
+        })
+    }
+
+    /// Generate the SSLCert corpus alone, byte-identical to the
+    /// `sslcerts` of [`AtlasGenerator::generate`]. The cert schedule
+    /// draws nothing from the per-probe RNG (fixed 12 h cadence at
+    /// the probe's public address), so it is cheap to produce without
+    /// materializing any traceroutes — the streamed PoP-change path
+    /// uses this for its attribution index.
+    pub fn sslcerts(&self) -> Vec<SslCertRecord> {
+        let probes = self.probes();
+        let end_day = ATLAS_END.to_day();
+        let mut sslcerts = Vec::new();
+        for probe in &probes {
+            sslcerts.extend(self.cert_batch(probe, end_day));
+        }
+        sslcerts.sort_by_key(|s| (s.timestamp, s.probe.0));
+        sslcerts
+    }
+
     /// All measurements of one probe.
     fn probe_batch(
         &self,
@@ -407,7 +452,6 @@ impl AtlasGenerator {
         end_day: UtcDay,
     ) -> (Vec<TracerouteRecord>, Vec<SslCertRecord>) {
         let mut traceroutes = Vec::with_capacity(per_probe as usize);
-        let mut sslcerts = Vec::new();
         let mut rng = Rng::new(self.config.seed)
             .substream_named("atlas")
             .substream(u64::from(probe.id.0));
@@ -421,11 +465,20 @@ impl AtlasGenerator {
             let target = RootServer::ALL[(k % 13) as usize];
             traceroutes.push(self.trace(probe, timestamp, target, &mut rng));
         }
-        // SSLCert every 12 h, downsampled with the corpus scale but at
-        // least one per PoP-schedule segment.
+        (traceroutes, self.cert_batch(probe, end_day))
+    }
+
+    /// One probe's SSLCert schedule: every 12 h, downsampled with the
+    /// corpus scale but at least one per PoP-schedule segment. Draws no
+    /// randomness, so it is shared verbatim by [`AtlasGenerator::generate`]
+    /// and the standalone [`AtlasGenerator::sslcerts`].
+    fn cert_batch(&self, probe: &ProbeSpec, end_day: UtcDay) -> Vec<SslCertRecord> {
+        let start_day = probe.start.to_day();
+        let active_days = (end_day - start_day).max(1) as u64;
         let ssl_count = ((active_days * 2) as f64 * (self.config.scale * 500.0))
             .ceil()
             .max(8.0) as u64;
+        let mut sslcerts = Vec::with_capacity(ssl_count as usize);
         for k in 0..ssl_count {
             let day = UtcDay(start_day.0 + (k * active_days / ssl_count) as u32);
             sslcerts.push(SslCertRecord {
@@ -434,7 +487,7 @@ impl AtlasGenerator {
                 src_addr: probe.public_addr(day),
             });
         }
-        (traceroutes, sslcerts)
+        sslcerts
     }
 
     /// One traceroute measurement.
@@ -665,6 +718,39 @@ mod tests {
 
     fn corpus() -> AtlasCorpus {
         AtlasGenerator::new(SynthConfig::test_corpus()).generate()
+    }
+
+    #[test]
+    fn sslcerts_standalone_matches_generate() {
+        let gen = AtlasGenerator::new(SynthConfig::test_corpus());
+        assert_eq!(gen.sslcerts(), corpus().sslcerts);
+    }
+
+    #[test]
+    fn traceroute_chunks_stream_probe_batches_in_order() {
+        let gen = AtlasGenerator::new(SynthConfig::test_corpus());
+        let probes = gen.probes();
+        let quotas = gen.quotas(&probes);
+        let end_day = ATLAS_END.to_day();
+        let mut serial = Vec::new();
+        for (i, probe) in probes.iter().enumerate() {
+            serial.extend(gen.probe_batch(probe, quotas[i], end_day).0);
+        }
+        for chunk_len in [997usize, serial.len()] {
+            for threads in [1usize, 2] {
+                let gen = AtlasGenerator::new(SynthConfig {
+                    threads,
+                    ..SynthConfig::test_corpus()
+                });
+                let got = gen.traceroute_chunks(chunk_len).collect_records();
+                assert_eq!(got, serial, "chunk_len {chunk_len} threads {threads}");
+            }
+        }
+        // Sorted chronologically, the stream is exactly the
+        // materialized corpus.
+        let mut sorted = serial;
+        sorted.sort_by_key(|t| (t.timestamp, t.probe.0));
+        assert_eq!(sorted, corpus().traceroutes);
     }
 
     #[test]

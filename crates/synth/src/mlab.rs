@@ -14,6 +14,7 @@ use sno_netsim::pep::PepMode;
 use sno_netsim::tcp::{TcpConfig, TcpFlow};
 use sno_registry::prefixes::{allocation_for, PrefixSpec};
 use sno_registry::profile::{profile_of, PROFILES};
+use sno_types::chunk::{self, RecordChunks};
 use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::time::SECS_PER_DAY;
@@ -91,20 +92,7 @@ impl MlabGenerator {
         if n == 0 {
             return Vec::new();
         }
-        // Flatten the prefix plan into a weighted choice table, shared
-        // by every shard.
-        let allocation = allocation_for(op);
-        let mut table: Vec<(Asn, PrefixSpec)> = Vec::new();
-        for (asn, specs) in &allocation {
-            for spec in specs {
-                table.push((*asn, *spec));
-            }
-        }
-        let weights: Vec<f64> = table.iter().map(|(_, s)| s.weight).collect();
-
-        let op_rng = Rng::new(self.config.seed)
-            .substream_named("mlab")
-            .substream(op.index() as u64);
+        let (table, weights, op_rng) = self.op_inputs(op);
 
         par::shard_map_chunks(
             n,
@@ -115,6 +103,92 @@ impl MlabGenerator {
                 self.session_batch(op, &table, &weights, range.len(), &mut rng)
             },
         )
+    }
+
+    /// Stream the exact record sequence [`MlabGenerator::generate`]
+    /// materializes, in the same order, delivered in chunks of at most
+    /// `chunk_len` records.
+    ///
+    /// The stream runs the same shard plan as the materialized path:
+    /// shard boundaries come from `par::DEFAULT_CHUNK` over each
+    /// operator's session count, and every shard draws from
+    /// `substream_shard(shard)` of the operator substream — neither
+    /// `chunk_len` nor `config.threads` can perturb the records. Peak
+    /// memory is one wave of shard outputs plus the re-buffer, not the
+    /// corpus. Call again for a second pass; the stream is rebuilt from
+    /// the seed.
+    pub fn generate_chunks(&self, chunk_len: usize) -> impl RecordChunks<Item = NdtRecord> + '_ {
+        // One entry per operator with Table-1 presence, in generate()
+        // order; the global shard list concatenates their shard plans.
+        struct OpPlan {
+            op: Operator,
+            table: Vec<(Asn, PrefixSpec)>,
+            weights: Vec<f64>,
+            rng: Rng,
+            ranges: Vec<std::ops::Range<usize>>,
+        }
+        let mut plans: Vec<OpPlan> = Vec::new();
+        let mut shard_index: Vec<(usize, usize)> = Vec::new();
+        for profile in PROFILES {
+            if profile.mlab_tests == 0 {
+                continue;
+            }
+            let op = profile.operator;
+            let n = self.config.scaled_sessions(profile.mlab_tests) as usize;
+            if n == 0 {
+                continue;
+            }
+            let (table, weights, rng) = self.op_inputs(op);
+            let ranges = par::shard_ranges(n, par::DEFAULT_CHUNK);
+            for shard in 0..ranges.len() {
+                shard_index.push((plans.len(), shard));
+            }
+            plans.push(OpPlan {
+                op,
+                table,
+                weights,
+                rng,
+                ranges,
+            });
+        }
+        chunk::sharded(
+            shard_index.len(),
+            self.config.threads,
+            chunk_len,
+            move |global| {
+                let (plan_idx, shard) = shard_index[global];
+                let plan = &plans[plan_idx];
+                let mut rng = plan.rng.substream_shard(shard);
+                self.session_batch(
+                    plan.op,
+                    &plan.table,
+                    &plan.weights,
+                    plan.ranges[shard].len(),
+                    &mut rng,
+                )
+                .into_iter()
+                .map(|(rec, _)| rec)
+                .collect()
+            },
+        )
+    }
+
+    /// The per-operator generation inputs shared by the materialized
+    /// and chunked paths: the flattened weighted prefix table and the
+    /// operator's RNG substream root.
+    fn op_inputs(&self, op: Operator) -> (Vec<(Asn, PrefixSpec)>, Vec<f64>, Rng) {
+        let allocation = allocation_for(op);
+        let mut table: Vec<(Asn, PrefixSpec)> = Vec::new();
+        for (asn, specs) in &allocation {
+            for spec in specs {
+                table.push((*asn, *spec));
+            }
+        }
+        let weights: Vec<f64> = table.iter().map(|(_, s)| s.weight).collect();
+        let rng = Rng::new(self.config.seed)
+            .substream_named("mlab")
+            .substream(op.index() as u64);
+        (table, weights, rng)
     }
 
     /// Generate up to `count` sessions for one shard, drawing from the
@@ -340,6 +414,40 @@ mod tests {
         let a = test_gen().generate_for(Operator::Oneweb);
         let b = test_gen().generate_for(Operator::Oneweb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_generation_matches_materialized() {
+        let cfg = SynthConfig {
+            scale: 5e-5,
+            min_sessions: 40,
+            ..SynthConfig::test_corpus()
+        };
+        let serial = MlabGenerator::new(cfg.clone()).generate().records;
+        assert!(!serial.is_empty());
+        for chunk_len in [1usize, 137, serial.len()] {
+            for threads in [1usize, 2] {
+                let gen = MlabGenerator::new(SynthConfig {
+                    threads,
+                    ..cfg.clone()
+                });
+                let got = gen.generate_chunks(chunk_len).collect_records();
+                assert_eq!(got, serial, "chunk_len {chunk_len} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_generation_is_restreamable() {
+        let cfg = SynthConfig {
+            scale: 5e-5,
+            min_sessions: 40,
+            ..SynthConfig::test_corpus()
+        };
+        let gen = MlabGenerator::new(cfg);
+        let first = gen.generate_chunks(256).collect_records();
+        let second = gen.generate_chunks(256).collect_records();
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   network operators from Table 3 of the paper),
 //! * the [`orbit`] classification (LEO / MEO / GEO) and per-link access
 //!   kinds,
-//! * deterministic random number generation ([`rng`]) and sharded
-//!   execution ([`par`]) whose output is thread-count independent, and
+//! * deterministic random number generation ([`rng`]), sharded
+//!   execution ([`par`]) whose output is thread-count independent,
+//!   chunked record streams ([`chunk`]) for bounded-memory corpus
+//!   processing, and
 //! * the dataset [`records`] exchanged between the synthetic-trace
 //!   generators and the analysis pipeline (NDT speed tests, RIPE Atlas
 //!   traceroutes, BGP snapshots, census responses).
@@ -19,6 +21,7 @@
 //! Everything here is plain data with no I/O; the whole workspace is
 //! deterministic given a seed.
 
+pub mod chunk;
 pub mod ids;
 pub mod net;
 pub mod orbit;

@@ -1,0 +1,114 @@
+//! Chunk-length and thread-count independence of the streaming corpus
+//! path: chunked generation must yield exactly the records the
+//! materialized generators yield, and the streamed pipeline (and the
+//! experiment text built on it) must be byte-identical to the
+//! materialized run at every chunk length × thread count.
+
+use sno_bench::{run_experiment, ReproContext};
+use sno_check::prelude::*;
+use sno_dissect::atlas::{pop_rtt_series_by_probe, pop_rtt_series_from_chunks};
+use sno_dissect::core::pipeline::Pipeline;
+use sno_dissect::core::stream::StreamOptions;
+use sno_dissect::synth::{AtlasGenerator, MlabGenerator, SynthConfig};
+use sno_dissect::types::chunk::RecordChunks;
+
+/// A chunk length larger than any corpus here: one chunk per stream.
+const WHOLE: usize = 1 << 30;
+
+/// The small-but-sharded corpus of `tests/par_determinism.rs`.
+fn cfg(seed: u64, threads: usize) -> SynthConfig {
+    SynthConfig {
+        seed,
+        threads,
+        scale: 5e-5,
+        min_sessions: 40,
+        ..SynthConfig::test_corpus()
+    }
+}
+
+#[test]
+fn experiment_text_identical_streamed_and_materialized() {
+    // The baseline: materialized corpora, serial.
+    let baseline = ReproContext::with_config(cfg(0x5A7E_1117, 1));
+    let table1 = run_experiment(&baseline, "table1").expect("known id");
+    let fig3c = run_experiment(&baseline, "fig3c").expect("known id");
+    for chunk in [1usize, 1024, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let ctx = ReproContext::with_chunk(cfg(0x5A7E_1117, threads), chunk);
+            assert_eq!(
+                run_experiment(&ctx, "table1").expect("known id"),
+                table1,
+                "table1 at chunk {chunk} threads {threads}"
+            );
+            assert_eq!(
+                run_experiment(&ctx, "fig3c").expect("known id"),
+                fig3c,
+                "fig3c at chunk {chunk} threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_pipeline_identical_across_chunk_and_thread_matrix() {
+    let corpus = MlabGenerator::new(cfg(7, 0)).generate();
+    let materialized = Pipeline::with_threads(1).run(&corpus.records);
+    for chunk in [1usize, 1024, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let generator = MlabGenerator::new(cfg(7, threads));
+            let streamed = Pipeline::with_threads(threads).run_streamed(
+                || generator.generate_chunks(chunk),
+                StreamOptions {
+                    dense_acceptance: true,
+                    operator_latencies: false,
+                },
+            );
+            let label = format!("chunk {chunk} threads {threads}");
+            assert_eq!(streamed.records, corpus.records.len(), "{label}");
+            assert_eq!(streamed.catalog, materialized.catalog, "{label}");
+            assert_eq!(streamed.thresholds, materialized.thresholds, "{label}");
+            assert_eq!(
+                streamed.default_threshold, materialized.default_threshold,
+                "{label}"
+            );
+            assert_eq!(
+                streamed.accepted.as_deref(),
+                Some(materialized.accepted.as_slice()),
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn atlas_series_identical_streamed_and_materialized() {
+    let corpus = AtlasGenerator::new(cfg(1, 1)).generate();
+    let series = pop_rtt_series_by_probe(&corpus.traceroutes);
+    for chunk in [251usize, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let generator = AtlasGenerator::new(cfg(1, threads));
+            let streamed = pop_rtt_series_from_chunks(generator.traceroute_chunks(chunk));
+            assert_eq!(streamed, series, "chunk {chunk} threads {threads}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Chunked generation yields exactly the materialized records for
+    /// *any* (seed, chunk length, thread count), not just the pinned
+    /// matrix.
+    #[test]
+    fn any_seed_chunked_generation_matches_materialized(
+        seed in any::<u64>(),
+        chunk in prop_oneof![4 => 1..2_048usize, 1 => WHOLE..WHOLE + 1],
+        threads in 1..9usize,
+    ) {
+        let generator = MlabGenerator::new(cfg(seed, threads));
+        let streamed = generator.generate_chunks(*chunk).collect_records();
+        let materialized = generator.generate();
+        prop_assert_eq!(streamed.len(), materialized.records.len());
+        prop_assert_eq!(streamed, materialized.records);
+    }
+}
