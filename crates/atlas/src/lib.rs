@@ -27,7 +27,7 @@ pub use pop_changes::{
 };
 pub use pop_rtt::{
     pop_rtt_by_country, pop_rtt_by_state, pop_rtt_series_by_probe, pop_rtt_series_from_chunks,
-    ProbeInfo,
+    ProbeIndex, ProbeInfo,
 };
 pub use popmap::{pop_history, PopLink};
 pub use root_dns::{hops_by_country, root_rtt_by_country};

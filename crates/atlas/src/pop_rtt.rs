@@ -17,9 +17,33 @@ pub struct ProbeInfo {
     pub state: Option<&'static str>,
 }
 
-/// Look up a probe's metadata.
-fn info_of(probes: &[ProbeInfo], id: ProbeId) -> Option<&ProbeInfo> {
-    probes.iter().find(|p| p.id == id)
+/// Sorted probe-metadata index: `O(log P)` id lookups instead of the
+/// linear scan per traceroute the analyses used to pay (the summary and
+/// grouping passes look a probe up once per traceroute record).
+///
+/// Duplicate ids keep their first occurrence, matching what a forward
+/// linear search over the slice returns.
+#[derive(Debug, Clone)]
+pub struct ProbeIndex<'a> {
+    by_id: Vec<(ProbeId, &'a ProbeInfo)>,
+}
+
+impl<'a> ProbeIndex<'a> {
+    /// Index a probe-metadata slice.
+    pub fn new(probes: &'a [ProbeInfo]) -> ProbeIndex<'a> {
+        let mut by_id: Vec<(ProbeId, &ProbeInfo)> = probes.iter().map(|p| (p.id, p)).collect();
+        // Stable sort + keep-first dedup preserves forward-search
+        // semantics for duplicate ids.
+        by_id.sort_by_key(|&(id, _)| id);
+        by_id.dedup_by_key(|&mut (id, _)| id);
+        ProbeIndex { by_id }
+    }
+
+    /// Look up a probe's metadata by id.
+    pub fn get(&self, id: ProbeId) -> Option<&'a ProbeInfo> {
+        let i = self.by_id.binary_search_by_key(&id, |&(pid, _)| pid).ok()?;
+        Some(self.by_id[i].1)
+    }
 }
 
 /// Figure 6a: probe→PoP RTT boxplots per country, *excluding* the US
@@ -28,9 +52,10 @@ pub fn pop_rtt_by_country(
     traceroutes: &[TracerouteRecord],
     probes: &[ProbeInfo],
 ) -> Vec<(CountryCode, FiveNumber)> {
+    let index = ProbeIndex::new(probes);
     let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = info_of(probes, t.probe) else {
+        let Some(info) = index.get(t.probe) else {
             continue;
         };
         if info.country == CountryCode::new("US") {
@@ -49,9 +74,10 @@ pub fn pop_rtt_by_state(
     traceroutes: &[TracerouteRecord],
     probes: &[ProbeInfo],
 ) -> Vec<(&'static str, FiveNumber)> {
+    let index = ProbeIndex::new(probes);
     let mut by_state: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = info_of(probes, t.probe) else {
+        let Some(info) = index.get(t.probe) else {
             continue;
         };
         let Some(state) = info.state else { continue };
@@ -236,6 +262,27 @@ pub(crate) mod tests {
                 "chunk {chunk_len} threads {threads}"
             );
         }
+    }
+
+    #[test]
+    fn probe_index_matches_linear_search() {
+        let probes = probe_infos();
+        let index = ProbeIndex::new(&probes);
+        for p in &probes {
+            assert_eq!(index.get(p.id), probes.iter().find(|q| q.id == p.id));
+        }
+        let absent = ProbeId(u32::MAX);
+        assert_eq!(index.get(absent), None);
+    }
+
+    #[test]
+    fn probe_index_keeps_first_duplicate() {
+        let mut probes = probe_infos();
+        let mut dup = probes[0];
+        dup.state = Some("ZZ");
+        probes.push(dup);
+        let index = ProbeIndex::new(&probes);
+        assert_eq!(index.get(probes[0].id), Some(&probes[0]));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! RTT and hop counts to the 13 root DNS letters.
 
-use crate::pop_rtt::ProbeInfo;
+use crate::pop_rtt::{ProbeIndex, ProbeInfo};
 use sno_stats::FiveNumber;
 use sno_types::records::{CountryCode, TracerouteRecord};
 use std::collections::BTreeMap;
@@ -11,9 +11,10 @@ pub fn root_rtt_by_country(
     traceroutes: &[TracerouteRecord],
     probes: &[ProbeInfo],
 ) -> Vec<(CountryCode, FiveNumber)> {
+    let index = ProbeIndex::new(probes);
     let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
+        let Some(info) = index.get(t.probe) else {
             continue;
         };
         if info.country == CountryCode::new("US") {
@@ -37,9 +38,10 @@ pub fn hops_by_country(
     traceroutes: &[TracerouteRecord],
     probes: &[ProbeInfo],
 ) -> Vec<(CountryCode, FiveNumber)> {
+    let index = ProbeIndex::new(probes);
     let mut by_country: BTreeMap<CountryCode, Vec<f64>> = BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
+        let Some(info) = index.get(t.probe) else {
             continue;
         };
         if info.country == CountryCode::new("US") {

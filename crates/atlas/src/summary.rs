@@ -1,6 +1,6 @@
 //! The Table 2 dataset summary.
 
-use crate::pop_rtt::ProbeInfo;
+use crate::pop_rtt::{ProbeIndex, ProbeInfo};
 use sno_types::records::{CountryCode, TracerouteRecord};
 use sno_types::Timestamp;
 use std::collections::BTreeMap;
@@ -22,10 +22,11 @@ pub fn country_summary(
     traceroutes: &[TracerouteRecord],
     probes: &[ProbeInfo],
 ) -> Vec<CountrySummary> {
+    let index = ProbeIndex::new(probes);
     let mut acc: BTreeMap<CountryCode, (std::collections::BTreeSet<u32>, Timestamp, u64)> =
         BTreeMap::new();
     for t in traceroutes {
-        let Some(info) = probes.iter().find(|p| p.id == t.probe) else {
+        let Some(info) = index.get(t.probe) else {
             continue;
         };
         let entry = acc

@@ -6,5 +6,5 @@ pub mod context;
 pub mod experiments;
 pub mod mem;
 
-pub use context::ReproContext;
+pub use context::{ReproContext, FIG4A_OPS};
 pub use experiments::{run_experiment, EXPERIMENTS};

@@ -17,7 +17,9 @@
 //!    relaxed filter derived from it (per-operator minimum latency,
 //!    527 ms default);
 //! 4. [`pipeline`] — the end-to-end orchestration producing the SNO
-//!    catalog (Table 1) and per-record acceptance;
+//!    catalog (Table 1) and per-record acceptance, running columnar
+//!    over struct-of-arrays [`sno_types::RecordBatch`]es with the
+//!    per-ASN decision tables of [`accept`];
 //! 5. [`stream`] — the same stages over a chunked record stream in
 //!    bounded memory (per-chunk accumulators, a streamed accept pass,
 //!    and a compact acceptance bitmap), byte-identical to the
@@ -26,6 +28,7 @@
 //!    distributions (Figure 3c), latency-over-time stability (4a),
 //!    jitter variation (4b) and retransmissions with/without PEPs (4c).
 
+pub mod accept;
 pub mod accuracy;
 pub mod analysis;
 pub mod asn_map;
@@ -34,6 +37,7 @@ pub mod prefix_filter;
 pub mod stream;
 pub mod validate;
 
+pub use accept::{AcceptTable, AsnOps};
 pub use accuracy::{attribution_accuracy, score, Confusion};
 pub use analysis::{jitter_by_orbit, latency_by_operator, retransmissions, stability, OrbitGroup};
 pub use asn_map::{map_asns, AsnMapping};

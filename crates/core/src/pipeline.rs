@@ -1,14 +1,14 @@
 //! Stage 4: the end-to-end pipeline and the SNO catalog (Table 1).
 
+use crate::accept::AcceptTable;
 use crate::asn_map::{map_asns, AsnMapping};
 use crate::prefix_filter::{
     relaxed_thresholds, strict_filter_from_buckets, StrictOutcome, MEO_FLOOR_MS,
 };
 use crate::stream::CorpusStats;
 use crate::validate::{profiles_from_buckets, AsnProfile, AsnVerdict, LatencyBands};
-use sno_types::par;
 use sno_types::records::NdtRecord;
-use sno_types::{AccessKind, Operator, OrbitClass};
+use sno_types::{par, AccessKind, Operator, OrbitClass, RecordBatch};
 use std::collections::BTreeMap;
 
 /// The configured pipeline.
@@ -81,6 +81,15 @@ impl PipelineReport {
     }
 }
 
+/// The stage 3–3c outputs plus the per-ASN accept table they determine.
+pub(crate) struct DerivedStages {
+    pub profiles: Vec<AsnProfile>,
+    pub strict: StrictOutcome,
+    pub thresholds: BTreeMap<Operator, f64>,
+    pub default_threshold: f64,
+    pub table: AcceptTable,
+}
+
 impl Pipeline {
     /// A pipeline with the default latency bands.
     pub fn new() -> Pipeline {
@@ -97,32 +106,40 @@ impl Pipeline {
     }
 
     /// Run all stages over an NDT corpus.
+    ///
+    /// Columnarizes the slice and delegates to [`Pipeline::run_batch`];
+    /// both entry points produce byte-identical reports (pinned by
+    /// `tests/columnar_determinism.rs`).
     pub fn run(&self, records: &[NdtRecord]) -> PipelineReport {
+        self.run_batch(&RecordBatch::from_records(records))
+    }
+
+    /// Run all stages over a columnar batch.
+    ///
+    /// This is the hot path: statistics accumulate over dense columns,
+    /// and the accept pass decides each record through a precomputed
+    /// per-ASN [`AcceptTable`] instead of re-deriving mapping, verdict
+    /// and threshold per row.
+    pub fn run_batch(&self, batch: &RecordBatch) -> PipelineReport {
         // Stages 1–2: registry mapping + curation.
         let mapping = map_asns();
         // Shared statistics accumulation: one sharded pass builds both
         // the per-ASN and per-prefix buckets the next two stages need
         // (the streaming pipeline folds the same accumulator per chunk).
-        let stats = CorpusStats::collect(&mapping, records, self.threads);
-        // Stage 3: KDE validation.
-        let profiles = profiles_from_buckets(&mapping, &stats.by_asn, self.bands, self.threads);
-        let verdict_of: BTreeMap<_, _> = profiles
-            .iter()
-            .map(|p| (p.asn, p.verdict.clone()))
-            .collect();
-        // Stage 3b: strict prefix filter.
-        let strict = strict_filter_from_buckets(&profiles, &stats.by_prefix, self.threads);
-        // Stage 3c: relaxed thresholds.
-        let (thresholds, default_threshold) = relaxed_thresholds(&strict);
+        let stats = CorpusStats::collect_batch(&mapping, batch, self.threads);
+        // Stages 3–3c, folded into the per-ASN decision table.
+        let stages = self.derive_stages(&mapping, &stats);
 
-        // Stage 4: per-record acceptance, in record-order shards.
+        // Stage 4: per-record acceptance, in record-order shards over
+        // the ASN and latency columns.
+        let asns = batch.asns();
+        let latencies = batch.latency_p5();
         let accepted: Vec<Option<Operator>> =
-            par::shard_map_chunks(records.len(), 1024, self.threads, |_, range| {
-                records[range]
+            par::shard_map_chunks(batch.len(), 1024, self.threads, |_, range| {
+                asns[range.clone()]
                     .iter()
-                    .map(|rec| {
-                        self.accept(rec, &mapping, &verdict_of, &thresholds, default_threshold)
-                    })
+                    .zip(&latencies[range])
+                    .map(|(&asn, &lat)| stages.table.decide(asn, lat))
                     .collect()
             });
 
@@ -135,17 +152,43 @@ impl Pipeline {
 
         PipelineReport {
             mapping,
-            profiles,
-            strict,
-            thresholds,
-            default_threshold,
+            profiles: stages.profiles,
+            strict: stages.strict,
+            thresholds: stages.thresholds,
+            default_threshold: stages.default_threshold,
             accepted,
             catalog,
         }
     }
 
-    /// Decide one record (shared with the streamed accept pass).
-    pub(crate) fn accept(
+    /// Stages 3–3c over accumulated statistics, plus the accept table
+    /// they determine (shared between the materialized and streamed
+    /// paths).
+    pub(crate) fn derive_stages(&self, mapping: &AsnMapping, stats: &CorpusStats) -> DerivedStages {
+        // Stage 3: KDE validation.
+        let profiles = profiles_from_buckets(mapping, &stats.by_asn, self.bands, self.threads);
+        let verdict_of: BTreeMap<_, _> = profiles
+            .iter()
+            .map(|p| (p.asn, p.verdict.clone()))
+            .collect();
+        // Stage 3b: strict prefix filter.
+        let strict = strict_filter_from_buckets(&profiles, &stats.by_prefix, self.threads);
+        // Stage 3c: relaxed thresholds.
+        let (thresholds, default_threshold) = relaxed_thresholds(&strict);
+        let table = AcceptTable::build(mapping, &verdict_of, &thresholds, default_threshold);
+        DerivedStages {
+            profiles,
+            strict,
+            thresholds,
+            default_threshold,
+            table,
+        }
+    }
+
+    /// Decide one record row-at-a-time: the reference implementation
+    /// the per-ASN [`AcceptTable`] is checked against (the hot paths
+    /// use the table).
+    pub fn accept(
         &self,
         rec: &NdtRecord,
         mapping: &AsnMapping,

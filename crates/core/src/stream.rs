@@ -7,32 +7,47 @@
 //! [`Pipeline::run_streamed`] reproduces the exact same report from a
 //! re-streamable chunked source in two passes:
 //!
-//! 1. **Statistics pass** — every chunk is folded into a
-//!    [`CorpusStats`] accumulator (per-ASN latency samples for the KDE
-//!    stage, per-`(operator, /24)` samples for the strict filter).
-//!    Accumulators merge in shard order, so every bucket holds its
-//!    samples in record order — byte-identical to the serial bucketing
-//!    the materialized path performs.
-//! 2. **Accept pass** — the source is re-streamed and each record is
-//!    decided against the thresholds derived from pass 1, emitting
-//!    per-operator counts plus a compact [`AcceptBitmap`] (one bit per
-//!    record) instead of the dense vector, unless the caller opts into
-//!    it via [`StreamOptions`].
+//! 1. **Statistics pass** — every chunk is columnarized into a
+//!    [`RecordBatch`] and folded into a [`CorpusStats`] accumulator
+//!    (per-ASN latency samples for the KDE stage, per-`(operator, /24)`
+//!    samples for the strict filter). Accumulators merge in shard
+//!    order, so every bucket holds its samples in record order —
+//!    byte-identical to the serial bucketing the materialized path
+//!    performs.
+//! 2. **Accept pass** — the records are streamed again and each is
+//!    decided through the per-ASN [`AcceptTable`](crate::accept)
+//!    derived from pass 1, emitting per-operator counts plus a compact
+//!    [`AcceptBitmap`] (one bit per record) instead of the dense
+//!    vector, unless the caller opts into it via [`StreamOptions`].
+//!
+//! By default pass 2 re-streams `source` (paying generation twice but
+//! holding nothing). With [`StreamOptions::replay_encoded`] the first
+//! pass also encodes every chunk into the compact binary corpus format
+//! ([`sno_types::codec`], 52 bytes/record) and pass 2 replays those
+//! bytes instead of regenerating — a memory-for-time trade the
+//! bounded-corpus benchmarks opt into.
 //!
 //! Peak memory is the per-bucket statistics (latency samples, not
 //! records) plus one generation wave — the corpus itself is never
-//! resident. Equivalence with the materialized path is pinned by
-//! `tests/stream_determinism.rs` at chunk sizes {1, 1024, whole} ×
-//! threads {1, 2, 8}.
+//! resident (unless replay is requested). Equivalence with the
+//! materialized path is pinned by `tests/stream_determinism.rs` at
+//! chunk sizes {1, 1024, whole} × threads {1, 2, 8}, with and without
+//! replay.
 
+use crate::accept::{AcceptTable, AsnOps};
 use crate::asn_map::{map_asns, AsnMapping};
 use crate::pipeline::Pipeline;
-use crate::prefix_filter::{relaxed_thresholds, strict_filter_from_buckets, StrictOutcome};
-use crate::validate::{profiles_from_buckets, AsnProfile};
+use crate::prefix_filter::StrictOutcome;
+use crate::validate::AsnProfile;
 use sno_types::chunk::{self, RecordChunks};
+use sno_types::codec;
 use sno_types::records::NdtRecord;
-use sno_types::{Asn, Operator, OrbitClass, Prefix24};
+use sno_types::{Asn, Operator, OrbitClass, Prefix24, RecordBatch};
 use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Chunk length pass 2 decodes at when replaying an encoded corpus.
+const REPLAY_CHUNK_LEN: usize = 4096;
 
 /// Per-chunk accumulator for the statistics pass: everything stages
 /// 3–3c need, with the records themselves discarded.
@@ -88,6 +103,27 @@ impl CorpusStats {
         self
     }
 
+    /// Fold a range of batch rows in, column-wise. Buckets come out
+    /// identical to row-at-a-time [`CorpusStats::observe`] calls over
+    /// the same rows; the per-ASN mapping/access lookups go through the
+    /// prebuilt sorted [`AsnOps`] index instead of a linear scan per
+    /// record.
+    pub fn observe_batch(&mut self, index: &AsnOps, batch: &RecordBatch, range: Range<usize>) {
+        let asns = &batch.asns()[range.clone()];
+        let latencies = &batch.latency_p5()[range.clone()];
+        let clients = &batch.clients()[range];
+        self.records += asns.len();
+        for ((&asn, &lat), client) in asns.iter().zip(latencies).zip(clients) {
+            self.by_asn.entry(asn).or_default().push(lat);
+            if let Some(op) = index.prefix_op(asn) {
+                self.by_prefix
+                    .entry((op, client.prefix24()))
+                    .or_default()
+                    .push((asn, lat));
+            }
+        }
+    }
+
     /// Accumulate over a materialized slice, in parallel shards merged
     /// in shard order — the same buckets a serial pass would build.
     pub fn collect(mapping: &AsnMapping, records: &[NdtRecord], threads: usize) -> CorpusStats {
@@ -106,6 +142,25 @@ impl CorpusStats {
             CorpusStats::merge,
         )
     }
+
+    /// Accumulate over a columnar batch, in parallel shards merged in
+    /// shard order — the same buckets [`CorpusStats::collect`] builds
+    /// from the equivalent row slice.
+    pub fn collect_batch(mapping: &AsnMapping, batch: &RecordBatch, threads: usize) -> CorpusStats {
+        let index = AsnOps::new(mapping);
+        chunk::accumulate(
+            batch.len(),
+            1024,
+            threads,
+            CorpusStats::new(),
+            |_, range| {
+                let mut stats = CorpusStats::new();
+                stats.observe_batch(&index, batch, range);
+                stats
+            },
+            CorpusStats::merge,
+        )
+    }
 }
 
 /// What the accept pass should keep beyond the catalog.
@@ -118,6 +173,12 @@ pub struct StreamOptions {
     /// Collect accepted latency samples per operator (the Figure 3c
     /// input) during the accept pass.
     pub operator_latencies: bool,
+    /// Encode the statistics pass into the compact binary corpus format
+    /// and replay those bytes in the accept pass instead of re-running
+    /// `source`. Trades ~52 bytes/record of resident memory for paying
+    /// generation once — off by default so the constant-memory
+    /// guarantee holds; benchmarks and bounded corpora opt in.
+    pub replay_encoded: bool,
 }
 
 /// A compact per-record acceptance map: one bit per record, in stream
@@ -226,65 +287,95 @@ impl Pipeline {
     {
         // Stages 1–2: registry mapping + curation.
         let mapping = map_asns();
+        let index = AsnOps::new(&mapping);
 
-        // Pass 1: fold every chunk into the statistics accumulator.
-        let stats = source().fold_chunks(CorpusStats::new(), |mut acc, chunk| {
-            for rec in &chunk {
-                acc.observe(&mapping, rec);
-            }
-            acc
-        });
-
-        // Stages 3–3c over the accumulated buckets.
-        let profiles = profiles_from_buckets(&mapping, &stats.by_asn, self.bands, self.threads);
-        let verdict_of: BTreeMap<_, _> = profiles
-            .iter()
-            .map(|p| (p.asn, p.verdict.clone()))
-            .collect();
-        let strict = strict_filter_from_buckets(&profiles, &stats.by_prefix, self.threads);
-        let (thresholds, default_threshold) = relaxed_thresholds(&strict);
-
-        // Pass 2: re-stream and decide each record.
-        let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
-        let mut bitmap = AcceptBitmap::new();
-        let mut dense = opts.dense_acceptance.then(Vec::new);
-        let mut latencies = opts
-            .operator_latencies
-            .then(BTreeMap::<Operator, Vec<f64>>::new);
+        // Pass 1: columnarize each chunk and fold it into the
+        // statistics accumulator, optionally encoding the stream for
+        // replay.
+        let mut stats = CorpusStats::new();
+        let mut encoder = opts.replay_encoded.then(codec::Encoder::new);
         let mut stream = source();
         while let Some(chunk) = stream.next_chunk() {
-            for rec in &chunk {
-                let decision =
-                    self.accept(rec, &mapping, &verdict_of, &thresholds, default_threshold);
-                bitmap.push(decision.is_some());
-                if let Some(op) = decision {
-                    *counts.entry(op).or_default() += 1;
-                    if let Some(by_op) = latencies.as_mut() {
-                        by_op.entry(op).or_default().push(rec.latency_p5.0);
-                    }
-                }
-                if let Some(dense) = dense.as_mut() {
-                    dense.push(decision);
-                }
+            let batch = RecordBatch::from_records(&chunk);
+            stats.observe_batch(&index, &batch, 0..batch.len());
+            if let Some(enc) = encoder.as_mut() {
+                enc.extend_records(&chunk);
             }
         }
-        debug_assert_eq!(bitmap.len(), stats.records, "source must re-stream");
+        drop(stream);
 
-        let mut catalog: Vec<(Operator, u64)> = counts.into_iter().collect();
+        // Stages 3–3c over the accumulated buckets, folded into the
+        // per-ASN decision table.
+        let stages = self.derive_stages(&mapping, &stats);
+
+        // Pass 2: decide each record — replaying the encoded bytes, or
+        // re-streaming the source.
+        let encoded = encoder.map(codec::Encoder::finish);
+        let pass = match &encoded {
+            Some(corpus) => accept_pass(&stages.table, corpus.chunks(REPLAY_CHUNK_LEN), opts),
+            None => accept_pass(&stages.table, source(), opts),
+        };
+        debug_assert_eq!(pass.bitmap.len(), stats.records, "source must re-stream");
+
+        let mut catalog: Vec<(Operator, u64)> = pass.counts.into_iter().collect();
         catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
         StreamedReport {
             mapping,
-            profiles,
-            strict,
-            thresholds,
-            default_threshold,
+            profiles: stages.profiles,
+            strict: stages.strict,
+            thresholds: stages.thresholds,
+            default_threshold: stages.default_threshold,
             records: stats.records,
             catalog,
-            bitmap,
-            accepted: dense,
-            latencies_by_operator: latencies,
+            bitmap: pass.bitmap,
+            accepted: pass.dense,
+            latencies_by_operator: pass.latencies,
         }
+    }
+}
+
+/// What one accept pass over a chunked stream produced.
+struct AcceptPass {
+    counts: BTreeMap<Operator, u64>,
+    bitmap: AcceptBitmap,
+    dense: Option<Vec<Option<Operator>>>,
+    latencies: Option<BTreeMap<Operator, Vec<f64>>>,
+}
+
+/// Decide every record of a chunked stream through the per-ASN table,
+/// column-wise per chunk.
+fn accept_pass<C>(table: &AcceptTable, mut stream: C, opts: StreamOptions) -> AcceptPass
+where
+    C: RecordChunks<Item = NdtRecord>,
+{
+    let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
+    let mut bitmap = AcceptBitmap::new();
+    let mut dense = opts.dense_acceptance.then(Vec::new);
+    let mut latencies = opts
+        .operator_latencies
+        .then(BTreeMap::<Operator, Vec<f64>>::new);
+    while let Some(chunk) = stream.next_chunk() {
+        let batch = RecordBatch::from_records(&chunk);
+        for (&asn, &lat) in batch.asns().iter().zip(batch.latency_p5()) {
+            let decision = table.decide(asn, lat);
+            bitmap.push(decision.is_some());
+            if let Some(op) = decision {
+                *counts.entry(op).or_default() += 1;
+                if let Some(by_op) = latencies.as_mut() {
+                    by_op.entry(op).or_default().push(lat);
+                }
+            }
+            if let Some(dense) = dense.as_mut() {
+                dense.push(decision);
+            }
+        }
+    }
+    AcceptPass {
+        counts,
+        bitmap,
+        dense,
+        latencies,
     }
 }
 
@@ -335,6 +426,49 @@ mod tests {
     }
 
     #[test]
+    fn corpus_stats_batch_collect_matches_row_collect() {
+        let corpus = MlabGenerator::new(small_config()).generate();
+        let mapping = map_asns();
+        let serial = CorpusStats::collect(&mapping, &corpus.records, 1);
+        let batch = sno_types::RecordBatch::from_records(&corpus.records);
+        for threads in [1, 2, 8] {
+            let columnar = CorpusStats::collect_batch(&mapping, &batch, threads);
+            assert_eq!(columnar.records, serial.records, "threads {threads}");
+            assert_eq!(columnar.by_asn, serial.by_asn, "threads {threads}");
+            assert_eq!(columnar.by_prefix, serial.by_prefix, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn encoded_replay_matches_restreamed_pass() {
+        let corpus = MlabGenerator::new(small_config()).generate();
+        let opts_base = StreamOptions {
+            dense_acceptance: true,
+            operator_latencies: true,
+            replay_encoded: false,
+        };
+        let restreamed =
+            Pipeline::new().run_streamed(|| slice_chunks(&corpus.records, 512), opts_base);
+        let replayed = Pipeline::new().run_streamed(
+            || slice_chunks(&corpus.records, 512),
+            StreamOptions {
+                replay_encoded: true,
+                ..opts_base
+            },
+        );
+        assert_eq!(replayed.records, restreamed.records);
+        assert_eq!(replayed.catalog, restreamed.catalog);
+        assert_eq!(replayed.accepted, restreamed.accepted);
+        assert_eq!(
+            replayed.latencies_by_operator,
+            restreamed.latencies_by_operator
+        );
+        for i in 0..restreamed.records {
+            assert_eq!(replayed.bitmap.get(i), restreamed.bitmap.get(i), "bit {i}");
+        }
+    }
+
+    #[test]
     fn streamed_report_matches_materialized_run() {
         let corpus = MlabGenerator::new(small_config()).generate();
         let materialized = Pipeline::new().run(&corpus.records);
@@ -343,7 +477,7 @@ mod tests {
                 || slice_chunks(&corpus.records, chunk_len),
                 StreamOptions {
                     dense_acceptance: true,
-                    operator_latencies: false,
+                    ..StreamOptions::default()
                 },
             );
             assert_eq!(streamed.records, corpus.records.len());
@@ -380,8 +514,8 @@ mod tests {
         let streamed = Pipeline::new().run_streamed(
             || generator.generate_chunks(512),
             StreamOptions {
-                dense_acceptance: false,
                 operator_latencies: true,
+                ..StreamOptions::default()
             },
         );
         assert_eq!(streamed.catalog, materialized.catalog);

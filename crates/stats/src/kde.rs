@@ -51,7 +51,11 @@ impl Kde {
             0.9 * spread * n.powf(-0.2)
         } else {
             // Degenerate sample: all points equal (or two equal points).
-            1.0
+            // Scale the fallback with the sample magnitude so multi-
+            // second regimes get a proportionate kernel; 1 ms stays the
+            // floor for everything at or below millisecond scale.
+            let mean = sorted.iter().sum::<f64>() / n;
+            f64::max(1.0, 1e-3 * mean.abs())
         };
         Some(Kde {
             samples: sorted,
@@ -107,16 +111,61 @@ impl Kde {
     /// Density evaluated on `points` equally spaced points spanning
     /// `[lo, hi]`.
     ///
+    /// Delegates to the batched [`Kde::density_grid`], so a whole-grid
+    /// evaluation costs one windowed sweep instead of `points` full
+    /// kernel sums — with values bitwise-identical to calling
+    /// [`Kde::density`] per point.
+    ///
     /// # Panics
     /// Panics if `points < 2` or `lo >= hi`.
     pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        self.density_grid(lo, hi, points)
+    }
+
+    /// Batched grid evaluation: the Gaussian sum over all `points`
+    /// equally spaced grid points in one pass over the sorted sample.
+    ///
+    /// Kernel terms farther than `sqrt(1500)` bandwidths from a grid
+    /// point satisfy `0.5·z² ≥ 746`, where `exp` underflows to exactly
+    /// `+0.0` — and adding `+0.0` to the non-negative accumulator is a
+    /// bitwise no-op. Skipping them (the window advances monotonically
+    /// with `x`, so both ends move at most once per sample per sweep)
+    /// gives sums bitwise-identical to the full per-point evaluation of
+    /// [`Kde::density`], in far fewer `exp` calls. (The identity is over
+    /// finite samples — the only kind the latency pipelines produce; a
+    /// NaN sample poisons the full sum but sorts outside every window.)
+    ///
+    /// # Panics
+    /// Panics if `points < 2` or `lo >= hi`.
+    pub fn density_grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
         assert!(points >= 2, "need at least two grid points");
         assert!(lo < hi, "empty grid range");
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.samples.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        // Conservative underflow radius: |x − s| > w ⇒ 0.5·((x−s)/h)²
+        // clears 746 even after rounding, where exp is exactly +0.0.
+        let w = h * 1500.0_f64.sqrt();
         let step = (hi - lo) / (points - 1) as f64;
+        let mut start = 0usize;
+        let mut end = 0usize;
         (0..points)
             .map(|i| {
                 let x = lo + step * i as f64;
-                (x, self.density(x))
+                while start < self.samples.len() && self.samples[start] < x - w {
+                    start += 1;
+                }
+                end = end.max(start);
+                while end < self.samples.len() && self.samples[end] <= x + w {
+                    end += 1;
+                }
+                let sum: f64 = self.samples[start..end]
+                    .iter()
+                    .map(|&s| {
+                        let z = (x - s) / h;
+                        (-0.5 * z * z).exp()
+                    })
+                    .sum();
+                (x, sum * norm)
             })
             .collect()
     }
@@ -234,6 +283,46 @@ mod tests {
         let kde = Kde::fit(&[5.0, 5.0, 5.0]).unwrap();
         assert!(kde.density(5.0).is_finite());
         assert!(kde.density(5.0) > kde.density(10.0));
+    }
+
+    #[test]
+    fn degenerate_bandwidth_scales_with_magnitude() {
+        // Sub-millisecond regime: the 1 ms floor holds.
+        let sub_ms = Kde::fit(&[0.0005, 0.0005, 0.0005]).unwrap();
+        assert_eq!(sub_ms.bandwidth(), 1.0);
+        assert!(sub_ms.density(0.0005).is_finite());
+        // Multi-second regime: the fallback is proportional (5 ms for a
+        // 5 000 ms sample), not a fixed 1 ms spike.
+        let multi_s = Kde::fit(&[5_000.0, 5_000.0, 5_000.0]).unwrap();
+        assert_eq!(multi_s.bandwidth(), 5.0);
+        assert!(multi_s.density(5_000.0).is_finite());
+        assert!(multi_s.density(5_000.0) > multi_s.density(5_100.0));
+        // Sign does not matter; the magnitude does.
+        let negative = Kde::fit(&[-5_000.0, -5_000.0]).unwrap();
+        assert_eq!(negative.bandwidth(), 5.0);
+    }
+
+    #[test]
+    fn batched_grid_matches_pointwise_density_bitwise() {
+        let mut rng = sno_types::Rng::new(41);
+        let samples: Vec<f64> = (0..400)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.normal_with(56.0, 6.0)
+                } else {
+                    rng.normal_with(680.0, 45.0)
+                }
+            })
+            .collect();
+        let kde = Kde::fit(&samples).unwrap();
+        // A wide grid so most points see only a small sample window.
+        for (x, d) in kde.density_grid(-500.0, 2_000.0, 1_000) {
+            assert_eq!(d.to_bits(), kde.density(x).to_bits(), "x {x}");
+        }
+        assert_eq!(
+            kde.grid(0.0, 1_200.0, 400),
+            kde.density_grid(0.0, 1_200.0, 400)
+        );
     }
 
     #[test]

@@ -118,8 +118,37 @@ impl MlabGenerator {
     /// corpus. Call again for a second pass; the stream is rebuilt from
     /// the seed.
     pub fn generate_chunks(&self, chunk_len: usize) -> impl RecordChunks<Item = NdtRecord> + '_ {
-        // One entry per operator with Table-1 presence, in generate()
-        // order; the global shard list concatenates their shard plans.
+        let ops: Vec<Operator> = PROFILES
+            .iter()
+            .filter(|p| p.mlab_tests > 0)
+            .map(|p| p.operator)
+            .collect();
+        self.chunked_ops(ops, chunk_len)
+    }
+
+    /// Stream the record sequence of the listed operators only, in
+    /// list order — exactly the concatenation of
+    /// [`MlabGenerator::generate_for`] per operator — delivered in
+    /// chunks of at most `chunk_len` records. Shares the shard plan
+    /// (and therefore the byte-identical output guarantee) of
+    /// [`MlabGenerator::generate_chunks`].
+    pub fn generate_chunks_for<'a>(
+        &'a self,
+        ops: &[Operator],
+        chunk_len: usize,
+    ) -> impl RecordChunks<Item = NdtRecord> + 'a {
+        self.chunked_ops(ops.to_vec(), chunk_len)
+    }
+
+    /// The shared chunked-generation plan: one shard list concatenating
+    /// the per-operator shard plans, evaluated in deterministic waves.
+    fn chunked_ops(
+        &self,
+        ops: Vec<Operator>,
+        chunk_len: usize,
+    ) -> impl RecordChunks<Item = NdtRecord> + '_ {
+        // One entry per requested operator, in list order; the global
+        // shard list concatenates their shard plans.
         struct OpPlan {
             op: Operator,
             table: Vec<(Asn, PrefixSpec)>,
@@ -129,12 +158,8 @@ impl MlabGenerator {
         }
         let mut plans: Vec<OpPlan> = Vec::new();
         let mut shard_index: Vec<(usize, usize)> = Vec::new();
-        for profile in PROFILES {
-            if profile.mlab_tests == 0 {
-                continue;
-            }
-            let op = profile.operator;
-            let n = self.config.scaled_sessions(profile.mlab_tests) as usize;
+        for op in ops {
+            let n = self.config.scaled_sessions(profile_of(op).mlab_tests) as usize;
             if n == 0 {
                 continue;
             }
@@ -432,6 +457,31 @@ mod tests {
                     ..cfg.clone()
                 });
                 let got = gen.generate_chunks(chunk_len).collect_records();
+                assert_eq!(got, serial, "chunk_len {chunk_len} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_generation_for_ops_matches_concatenated_generate_for() {
+        let cfg = SynthConfig {
+            scale: 5e-5,
+            min_sessions: 40,
+            ..SynthConfig::test_corpus()
+        };
+        let ops = [Operator::Starlink, Operator::Viasat, Operator::O3b];
+        let serial: Vec<NdtRecord> = {
+            let gen = MlabGenerator::new(cfg.clone());
+            ops.iter().flat_map(|&op| gen.generate_for(op)).collect()
+        };
+        assert!(!serial.is_empty());
+        for chunk_len in [1usize, 137, serial.len()] {
+            for threads in [1usize, 2, 8] {
+                let gen = MlabGenerator::new(SynthConfig {
+                    threads,
+                    ..cfg.clone()
+                });
+                let got = gen.generate_chunks_for(&ops, chunk_len).collect_records();
                 assert_eq!(got, serial, "chunk_len {chunk_len} threads {threads}");
             }
         }

@@ -13,7 +13,9 @@
 //! * deterministic random number generation ([`rng`]), sharded
 //!   execution ([`par`]) whose output is thread-count independent,
 //!   chunked record streams ([`chunk`]) for bounded-memory corpus
-//!   processing, and
+//!   processing,
+//! * columnar struct-of-arrays [`batch`]es and the compact binary
+//!   corpus [`codec`] the hot analysis paths run on, and
 //! * the dataset [`records`] exchanged between the synthetic-trace
 //!   generators and the analysis pipeline (NDT speed tests, RIPE Atlas
 //!   traceroutes, BGP snapshots, census responses).
@@ -21,7 +23,9 @@
 //! Everything here is plain data with no I/O; the whole workspace is
 //! deterministic given a seed.
 
+pub mod batch;
 pub mod chunk;
+pub mod codec;
 pub mod ids;
 pub mod net;
 pub mod orbit;
@@ -31,6 +35,7 @@ pub mod rng;
 pub mod time;
 pub mod units;
 
+pub use batch::RecordBatch;
 pub use ids::{Asn, Operator, ProbeId, TesterId};
 pub use net::{Ipv4, Prefix24};
 pub use orbit::{AccessKind, LinkKind, OrbitClass};

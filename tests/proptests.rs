@@ -261,6 +261,74 @@ proptest! {
         prop_assert!(p.generation(t + dt) >= p.generation(t));
     }
 
+    /// The binary corpus codec round-trips arbitrary records — field
+    /// values are carried as raw bits, so NaNs and negative zeros
+    /// survive too. Compared via a re-encode (bytes are total-ordered
+    /// where `f64` equality is not).
+    #[test]
+    fn codec_round_trips_arbitrary_records(
+        fields in prop::collection::vec(
+            (any::<u64>(), any::<u32>(), any::<u32>(),
+             any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..64,
+        ),
+    ) {
+        use sno_dissect::types::records::NdtRecord;
+        use sno_dissect::types::{codec, Asn, Ipv4, Millis, Mbps, Timestamp};
+        // Floats from raw bit patterns: exercises NaNs, infinities, and
+        // negative zero, which value-space generators never produce.
+        let records: Vec<NdtRecord> = fields
+            .iter()
+            .map(|&(ts, client, asn, lat, jit, retrans, down)| NdtRecord {
+                timestamp: Timestamp(ts),
+                client: Ipv4::new(
+                    (client >> 24) as u8,
+                    (client >> 16) as u8,
+                    (client >> 8) as u8,
+                    client as u8,
+                ),
+                asn: Asn(asn),
+                latency_p5: Millis(f64::from_bits(lat)),
+                jitter_p95: Millis(f64::from_bits(jit)),
+                retrans_fraction: f64::from_bits(retrans),
+                download: Mbps(f64::from_bits(down)),
+            })
+            .collect();
+        let encoded = codec::encode_records(&records);
+        prop_assert_eq!(encoded.len(), records.len());
+        let decoded = encoded.decode_records();
+        let reencoded = codec::encode_records(&decoded);
+        prop_assert_eq!(reencoded.bytes(), encoded.bytes());
+        let reparsed = codec::EncodedCorpus::from_bytes(encoded.bytes().to_vec());
+        prop_assert!(reparsed.is_ok());
+    }
+
+    /// The batched (windowed) KDE grid is bitwise-identical to the
+    /// naive pointwise density at every grid point: skipped kernel
+    /// terms underflow to +0.0, which is an exact no-op in the sum.
+    #[test]
+    fn kde_grid_is_bitwise_pointwise(
+        data in prop::collection::vec(0.0..1000.0f64, 2..150),
+        lo in -100.0..400.0f64,
+        span in 1.0..800.0f64,
+        points in 2..200usize,
+    ) {
+        let kde = Kde::fit(&data).unwrap();
+        let hi = lo + span;
+        let grid = kde.density_grid(lo, hi, points);
+        prop_assert_eq!(grid.len(), points);
+        let step = (hi - lo) / (points - 1) as f64;
+        for (k, &(x, d)) in grid.iter().enumerate() {
+            let expected_x = lo + k as f64 * step;
+            prop_assert_eq!(x.to_bits(), expected_x.to_bits(), "x at {k}");
+            prop_assert_eq!(
+                d.to_bits(),
+                kde.density(x).to_bits(),
+                "density at {k} (x {x})"
+            );
+        }
+    }
+
     /// Changepoint detection finds no shifts in a constant series, no
     /// matter its level, length, or the threshold.
     #[test]

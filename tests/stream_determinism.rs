@@ -60,7 +60,7 @@ fn streamed_pipeline_identical_across_chunk_and_thread_matrix() {
                 || generator.generate_chunks(chunk),
                 StreamOptions {
                     dense_acceptance: true,
-                    operator_latencies: false,
+                    ..StreamOptions::default()
                 },
             );
             let label = format!("chunk {chunk} threads {threads}");
@@ -75,6 +75,61 @@ fn streamed_pipeline_identical_across_chunk_and_thread_matrix() {
                 streamed.accepted.as_deref(),
                 Some(materialized.accepted.as_slice()),
                 "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn encoded_replay_identical_across_chunk_and_thread_matrix() {
+    // `replay_encoded` swaps pass 2's regeneration for a decode of the
+    // compact binary corpus buffered in pass 1; the report must not
+    // change by a bit anywhere in the matrix.
+    let corpus = MlabGenerator::new(cfg(7, 0)).generate();
+    let materialized = Pipeline::with_threads(1).run(&corpus.records);
+    for chunk in [1usize, 1024, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let generator = MlabGenerator::new(cfg(7, threads));
+            let streamed = Pipeline::with_threads(threads).run_streamed(
+                || generator.generate_chunks(chunk),
+                StreamOptions {
+                    dense_acceptance: true,
+                    replay_encoded: true,
+                    ..StreamOptions::default()
+                },
+            );
+            let label = format!("replay chunk {chunk} threads {threads}");
+            assert_eq!(streamed.records, corpus.records.len(), "{label}");
+            assert_eq!(streamed.catalog, materialized.catalog, "{label}");
+            assert_eq!(streamed.thresholds, materialized.thresholds, "{label}");
+            assert_eq!(
+                streamed.default_threshold, materialized.default_threshold,
+                "{label}"
+            );
+            assert_eq!(
+                streamed.accepted.as_deref(),
+                Some(materialized.accepted.as_slice()),
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4a_text_identical_across_chunk_and_thread_matrix() {
+    // Regression: fig4a used to materialize its own corpus with a bare
+    // `Pipeline::new()`, so `repro --threads/--chunk` silently did not
+    // apply to it. It now routes through the context like every other
+    // experiment; the rendered text must be byte-identical everywhere.
+    let baseline = ReproContext::with_config(cfg(0x5A7E_1117, 1));
+    let fig4a = run_experiment(&baseline, "fig4a").expect("known id");
+    for chunk in [1024usize, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let ctx = ReproContext::with_chunk(cfg(0x5A7E_1117, threads), chunk);
+            assert_eq!(
+                run_experiment(&ctx, "fig4a").expect("known id"),
+                fig4a,
+                "fig4a at chunk {chunk} threads {threads}"
             );
         }
     }
