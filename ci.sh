@@ -42,6 +42,13 @@ else
     echo "==> perf gate skipped (fewer than two BENCH_*.json snapshots)"
 fi
 
+# Online-equivalence gate: drive the corpus chunk-by-chunk through the
+# incremental OnlineIdentifier, then run the batch streamed pipeline
+# over the same corpus and fail on any verdict mismatch (acceptance
+# bits, catalog, thresholds, per-operator latencies, rendered report).
+run cargo run --release --offline -p sno-bench --bin repro -- \
+    --online --verify-batch --scale 2e-3
+
 # Sim gate: the deterministic fault-injection campaign. Replays the
 # committed failure corpus first, then SNO_CI_SEEDS fresh seeds; any
 # failure prints a `repro --sim-sweep --seed <S>` replay line.

@@ -10,6 +10,13 @@
 //! repro --chunk 4096    # stream the streamable experiments through
 //!                       # chunked generation (bounded memory; output
 //!                       # is byte-identical at every chunk length)
+//! repro --online        # drive the corpus chunk-by-chunk through the
+//!                       # incremental OnlineIdentifier and print its
+//!                       # snapshot through the shared report renderer
+//! repro --online --verify-batch
+//!                       # also run the batch streamed pipeline over the
+//!                       # same corpus and exit non-zero on any verdict
+//!                       # mismatch (the ci.sh online-equivalence gate)
 //! repro --bench         # time every experiment, write BENCH_N.json
 //! repro --bench-diff BENCH_1.json BENCH_2.json
 //!                       # compare two snapshots, fail on >20% median
@@ -25,10 +32,14 @@
 //!                       # ci.sh lint gate); --json for machine output
 //! ```
 
-use sno_bench::{run_experiment, ReproContext, EXPERIMENTS};
+use sno_bench::{run_experiment, streamed_report_text, ReproContext, EXPERIMENTS};
 use sno_check::bench::{bench_group, BenchReport, BenchResult, GroupReport};
+use sno_core::pipeline::Pipeline;
+use sno_core::stream::StreamOptions;
+use sno_core::OnlineIdentifier;
 use sno_netsim::sim::{run_seed, run_sweep, SweepConfig};
 use sno_synth::{MlabGenerator, SynthConfig};
+use sno_types::chunk::RecordChunks as _;
 
 /// Median regressions beyond this fraction fail `--bench-diff`.
 const REGRESSION_LIMIT: f64 = 0.20;
@@ -164,7 +175,7 @@ fn run_bench_mode(config: SynthConfig, chunk: Option<usize>, out_path: &str) {
     // group (higher is better there); it lives in the snapshot so the
     // trajectory records absolute capacity, not just relative drift.
     let sessions = records.len() as f64;
-    let throughput: Vec<BenchResult> = pipeline_group
+    let mut throughput: Vec<BenchResult> = pipeline_group
         .results
         .iter()
         .filter(|r| r.median_ms() > 0.0)
@@ -175,6 +186,39 @@ fn run_bench_mode(config: SynthConfig, chunk: Option<usize>, out_path: &str) {
         })
         .collect();
     report.push(pipeline_group);
+
+    // The online identification service: end-to-end chunked ingest into
+    // a fresh identifier, and snapshot latency on the fully-loaded state
+    // (what a monitoring poll pays per report).
+    let mut group = bench_group("online");
+    group.sample_size(5).warm_up_ms(50.0).sample_budget_ms(50.0);
+    group.bench_function("online_ingest", |b| {
+        b.iter(|| std::hint::black_box(ingest_corpus(&generator, config.threads, chunk_len).0))
+    });
+    let (loaded, _) = ingest_corpus(&generator, config.threads, chunk_len);
+    let online_opts = StreamOptions {
+        operator_latencies: true,
+        ..StreamOptions::default()
+    };
+    group.bench_function("online_snapshot", |b| {
+        b.iter(|| std::hint::black_box(loaded.snapshot(online_opts)))
+    });
+    let online_group = group.finish();
+    if let Some(ms) = online_group
+        .results
+        .iter()
+        .find(|r| r.name == "online_ingest")
+        .map(|r| r.median_ms())
+        .filter(|&ms| ms > 0.0)
+    {
+        throughput.push(BenchResult {
+            name: "online_ingest_sessions_per_sec".to_string(),
+            iters_per_sample: 1,
+            sample_ms: vec![sessions / (ms / 1000.0)],
+        });
+    }
+    report.push(online_group);
+
     report.push(GroupReport {
         name: "throughput".to_string(),
         results: throughput,
@@ -485,6 +529,91 @@ fn run_lint(json: bool) -> ! {
     std::process::exit(0);
 }
 
+/// Ingest the whole NDT stream into a fresh [`OnlineIdentifier`],
+/// returning it plus the number of chunks delivered.
+fn ingest_corpus(
+    generator: &MlabGenerator,
+    threads: usize,
+    chunk_len: usize,
+) -> (OnlineIdentifier, usize) {
+    let mut online = OnlineIdentifier::new(Pipeline::with_threads(threads));
+    let mut stream = generator.generate_chunks(chunk_len);
+    let mut chunks = 0usize;
+    while let Some(records) = stream.next_chunk() {
+        online.ingest(&records);
+        chunks += 1;
+    }
+    (online, chunks)
+}
+
+/// `--online`: drive the corpus chunk-by-chunk through the incremental
+/// identifier and print its snapshot through the shared report renderer.
+/// With `--verify-batch`, also run the batch streamed pipeline over the
+/// same corpus and exit non-zero unless the online verdicts match
+/// field-for-field and the two reports render byte-identically.
+fn run_online(config: SynthConfig, chunk: Option<usize>, verify: bool) -> ! {
+    let chunk_len = chunk.unwrap_or(sno_bench::context::DEFAULT_CHUNK_LEN);
+    let opts = StreamOptions {
+        operator_latencies: true,
+        ..StreamOptions::default()
+    };
+    let generator = MlabGenerator::new(config.clone());
+    let (online, chunks) = ingest_corpus(&generator, config.threads, chunk_len);
+    let snapshot = online.snapshot(opts);
+    let text = streamed_report_text(&snapshot, config.scale);
+    println!(
+        "==== online: {} sessions ingested in {chunks} chunks of <= {chunk_len} ====",
+        online.ingested()
+    );
+    print!("{text}");
+    if !verify {
+        std::process::exit(0);
+    }
+
+    let batch = Pipeline::with_threads(config.threads)
+        .run_streamed(|| generator.generate_chunks(chunk_len), opts);
+    let mut mismatches = Vec::new();
+    if snapshot.records != batch.records {
+        mismatches.push(format!(
+            "record count: online {} vs batch {}",
+            snapshot.records, batch.records
+        ));
+    }
+    if snapshot.catalog != batch.catalog {
+        mismatches.push("catalog (operator, sessions) rows differ".to_string());
+    }
+    if snapshot.thresholds != batch.thresholds
+        || snapshot.default_threshold != batch.default_threshold
+    {
+        mismatches.push("relaxed thresholds differ".to_string());
+    }
+    if snapshot.latencies_by_operator != batch.latencies_by_operator {
+        mismatches.push("per-operator latency samples differ".to_string());
+    }
+    let bits_differ = snapshot.bitmap.len() != batch.bitmap.len()
+        || (0..snapshot.bitmap.len()).any(|i| snapshot.bitmap.get(i) != batch.bitmap.get(i));
+    if bits_differ {
+        mismatches.push(format!(
+            "acceptance bitmap differs ({} vs {} accepted)",
+            snapshot.bitmap.count_ones(),
+            batch.bitmap.count_ones()
+        ));
+    }
+    let batch_text = streamed_report_text(&batch, config.scale);
+    if text != batch_text {
+        mismatches.push("rendered reports are not byte-identical".to_string());
+    }
+    if mismatches.is_empty() {
+        println!("verify-batch: online == batch (verdicts and rendered report byte-identical)");
+        std::process::exit(0);
+    }
+    eprintln!("FAIL: online snapshot diverges from the batch run:");
+    for m in &mismatches {
+        eprintln!("  {m}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -532,6 +661,22 @@ fn main() {
     } else {
         false
     };
+    let online = if let Some(pos) = args.iter().position(|a| a == "--online") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let verify_batch = if let Some(pos) = args.iter().position(|a| a == "--verify-batch") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    if verify_batch && !online {
+        eprintln!("--verify-batch only makes sense with --online");
+        std::process::exit(2);
+    }
     let bench_out = if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
         let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
             eprintln!("--bench-out needs a path");
@@ -584,6 +729,10 @@ fn main() {
             });
         chunk = Some(value);
         args.drain(pos..=pos + 1);
+    }
+
+    if online {
+        run_online(config, chunk, verify_batch);
     }
 
     if bench {

@@ -84,6 +84,24 @@ fn catalog_table(catalog: &[(Operator, u64)], scale: f64) -> String {
     out
 }
 
+/// Render a [`sno_core::StreamedReport`] the way `table1` + `fig1` do.
+///
+/// Shared by the `repro --online` verification path, which renders the
+/// incremental snapshot and the batch streamed report through this one
+/// function and compares the two byte-for-byte.
+pub fn streamed_report_text(report: &sno_core::StreamedReport, scale: f64) -> String {
+    let mut out = catalog_table(&report.catalog, scale);
+    out.push_str(&census_text(
+        &report.mapping,
+        &report.profiles,
+        &report.strict,
+        report.default_threshold,
+        report.accepted_count(),
+        report.records,
+    ));
+    out
+}
+
 fn table1(ctx: &ReproContext) -> String {
     let catalog = if ctx.chunk().is_some() {
         &ctx.streamed().catalog

@@ -7,4 +7,4 @@ pub mod experiments;
 pub mod mem;
 
 pub use context::{ReproContext, FIG4A_OPS};
-pub use experiments::{run_experiment, EXPERIMENTS};
+pub use experiments::{run_experiment, streamed_report_text, EXPERIMENTS};

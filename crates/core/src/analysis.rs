@@ -5,7 +5,9 @@
 //! rejected.
 
 use crate::pipeline::PipelineReport;
-use sno_stats::{daily_medians, timeseries::daily_variation_p95, DailyPoint, Ecdf, FiveNumber};
+use sno_stats::{
+    daily_medians, timeseries::daily_variation_p95, DailyPoint, Ecdf, FiveNumber, QuantileSketch,
+};
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Operator, OrbitClass, RecordBatch};
 use std::collections::BTreeMap;
@@ -85,6 +87,47 @@ pub fn latency_table(by_op: &BTreeMap<Operator, Vec<f64>>) -> Vec<(Operator, Fiv
     let mut out: Vec<(Operator, FiveNumber)> = by_op
         .iter()
         .filter_map(|(&op, lat)| FiveNumber::of(lat).map(|s| (op, s)))
+        .collect();
+    out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
+    out
+}
+
+/// [`latency_table`] plus per-operator latency ECDFs from a *single*
+/// sort per operator: the samples are sorted once and both the
+/// five-number summary and the ECDF are built over the shared sorted
+/// vector ([`FiveNumber::from_sorted`] / [`Ecdf::from_sorted`]), instead
+/// of each constructor re-sorting its own copy.
+pub fn latency_table_with_ecdfs(
+    by_op: &BTreeMap<Operator, Vec<f64>>,
+) -> (Vec<(Operator, FiveNumber)>, BTreeMap<Operator, Ecdf>) {
+    let mut table = Vec::new();
+    let mut ecdfs = BTreeMap::new();
+    for (&op, lat) in by_op {
+        let mut sorted = lat.clone();
+        sorted.sort_by(f64::total_cmp);
+        let Some(summary) = FiveNumber::from_sorted(&sorted) else {
+            continue;
+        };
+        table.push((op, summary));
+        if let Some(ecdf) = Ecdf::from_sorted(sorted) {
+            ecdfs.insert(op, ecdf);
+        }
+    }
+    table.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
+    (table, ecdfs)
+}
+
+/// The Figure 3c table shape from per-operator streaming sketches (what
+/// [`OnlineIdentifier`](crate::online::OnlineIdentifier) maintains):
+/// counts, minima and maxima are exact, the quartiles carry the
+/// sketch's bounded relative error. Sorted by median ascending, as
+/// [`latency_table`].
+pub fn latency_table_from_sketches(
+    by_op: &BTreeMap<Operator, QuantileSketch>,
+) -> Vec<(Operator, FiveNumber)> {
+    let mut out: Vec<(Operator, FiveNumber)> = by_op
+        .iter()
+        .filter_map(|(&op, sketch)| FiveNumber::from_sketch(sketch).map(|s| (op, s)))
         .collect();
     out.sort_by(|a, b| a.1.median.total_cmp(&b.1.median));
     out
@@ -260,6 +303,57 @@ mod tests {
         assert!(ssi < kvh, "ssi {ssi} kvh {kvh}");
         assert!((550.0..730.0).contains(&ssi), "ssi {ssi}");
         assert!(kvh > 780.0, "kvh {kvh}");
+    }
+
+    #[test]
+    fn shared_sort_table_matches_per_constructor_sorts() {
+        let (corpus, report) = fixture();
+        let mut by_op: BTreeMap<Operator, Vec<f64>> = BTreeMap::new();
+        for (rec, acc) in corpus.records.iter().zip(&report.accepted) {
+            if let Some(op) = acc {
+                by_op.entry(*op).or_default().push(rec.latency_p5.0);
+            }
+        }
+        let (table, ecdfs) = latency_table_with_ecdfs(&by_op);
+        assert_eq!(table, latency_table(&by_op));
+        assert_eq!(ecdfs.len(), by_op.len());
+        for (op, lat) in &by_op {
+            let fresh = Ecdf::new(lat).unwrap();
+            let shared = &ecdfs[op];
+            assert_eq!(shared.len(), fresh.len(), "{op:?}");
+            assert_eq!(shared.steps(), fresh.steps(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn sketch_table_tracks_exact_table() {
+        let (corpus, report) = fixture();
+        let mut by_op: BTreeMap<Operator, Vec<f64>> = BTreeMap::new();
+        let mut sketches: BTreeMap<Operator, QuantileSketch> = BTreeMap::new();
+        for (rec, acc) in corpus.records.iter().zip(&report.accepted) {
+            if let Some(op) = acc {
+                by_op.entry(*op).or_default().push(rec.latency_p5.0);
+                sketches.entry(*op).or_default().push(rec.latency_p5.0);
+            }
+        }
+        let exact = latency_table(&by_op);
+        let approx = latency_table_from_sketches(&sketches);
+        assert_eq!(approx.len(), exact.len());
+        let exact_of = |op: Operator| exact.iter().find(|(o, _)| *o == op).unwrap().1;
+        for &(op, got) in &approx {
+            let want = exact_of(op);
+            assert_eq!(got.count, want.count, "{op:?}");
+            assert_eq!(got.min, want.min, "{op:?}");
+            assert_eq!(got.max, want.max, "{op:?}");
+            let bound = QuantileSketch::RELATIVE_ERROR * want.max.abs() + 1e-12;
+            for (g, w) in [
+                (got.q1, want.q1),
+                (got.median, want.median),
+                (got.q3, want.q3),
+            ] {
+                assert!((g - w).abs() <= bound, "{op:?}: {g} vs {w} (bound {bound})");
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!    bounded memory (per-chunk accumulators, a streamed accept pass,
 //!    and a compact acceptance bitmap), byte-identical to the
 //!    materialized run;
-//! 6. [`analysis`] — the bird's-eye analyses of Section 4: latency
+//! 6. [`online`] — the incremental service on top of [`stream`]: an
+//!    [`OnlineIdentifier`] ingests chunks in arrival order, merges
+//!    across shards, and snapshots through the same report path with
+//!    verdicts byte-identical to the batch pipelines;
+//! 7. [`analysis`] — the bird's-eye analyses of Section 4: latency
 //!    distributions (Figure 3c), latency-over-time stability (4a),
 //!    jitter variation (4b) and retransmissions with/without PEPs (4c).
 
@@ -32,6 +36,7 @@ pub mod accept;
 pub mod accuracy;
 pub mod analysis;
 pub mod asn_map;
+pub mod online;
 pub mod pipeline;
 pub mod prefix_filter;
 pub mod stream;
@@ -41,6 +46,7 @@ pub use accept::{AcceptTable, AsnOps};
 pub use accuracy::{attribution_accuracy, score, Confusion};
 pub use analysis::{jitter_by_orbit, latency_by_operator, retransmissions, stability, OrbitGroup};
 pub use asn_map::{map_asns, AsnMapping};
+pub use online::{OnlineIdentifier, PopFlag};
 pub use pipeline::{Pipeline, PipelineReport};
 pub use prefix_filter::{relaxed_thresholds, strict_filter, StrictOutcome};
 pub use stream::{AcceptBitmap, CorpusStats, StreamOptions, StreamedReport};

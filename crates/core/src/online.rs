@@ -1,0 +1,422 @@
+//! The online identification service: incremental ingest with
+//! snapshot-on-demand reporting.
+//!
+//! The batch pipelines ([`Pipeline::run`] and [`Pipeline::run_streamed`])
+//! assume the corpus is complete before stage 3 runs. A continuously
+//! operating service instead receives measurement chunks in arrival-time
+//! order and must answer "who are the SNOs right now?" at any point. The
+//! [`OnlineIdentifier`] supports exactly that:
+//!
+//! * **Ingest** — each arriving chunk is columnarized and folded into the
+//!   same [`CorpusStats`] accumulator the streamed pipeline uses (per-ASN
+//!   latency buckets for KDE validation, per-`(operator, /24)` buckets
+//!   for the strict filter), appended to a compact codec replay log
+//!   (~52 bytes/record), and tracked in per-operator latency sketches and
+//!   `(timestamp, latency)` buckets for the PoP-change flags. Every
+//!   ingest step is O(chunk), never O(corpus).
+//! * **Merge** — identifiers built over disjoint shards of a stream merge
+//!   in shard order into the exact state serial ingest would have built:
+//!   `CorpusStats::merge` appends buckets, the replay logs concatenate
+//!   byte-wise, and the [`QuantileSketch`]es are ingest-order-invariant
+//!   by construction. This is what lets `sno_types::par` shard the ingest
+//!   across threads without changing a single output byte.
+//! * **Snapshot** — [`OnlineIdentifier::snapshot`] derives stages 3–3c
+//!   from the accumulated statistics (the KDE validation and latency
+//!   filters over the current window) and replays the log through the
+//!   shared accept pass, producing a [`StreamedReport`] byte-identical to
+//!   [`Pipeline::run_streamed`] over the same records — online verdicts
+//!   *are* batch verdicts, pinned by `tests/online_determinism.rs`.
+//!
+//! With a sliding window ([`OnlineIdentifier::with_window`]), snapshots
+//! first drop records older than `window_secs` behind the newest
+//! timestamp seen, re-deriving the statistics from the retained log —
+//! the unwindowed default keeps the whole stream and therefore matches
+//! the batch report exactly.
+
+use crate::accept::AsnOps;
+use crate::asn_map::{map_asns, AsnMapping};
+use crate::pipeline::Pipeline;
+use crate::stream::{accept_pass, CorpusStats, StreamOptions, StreamedReport, REPLAY_CHUNK_LEN};
+use sno_stats::{daily_medians, OnlineShiftDetector, QuantileSketch, Shift};
+use sno_types::records::NdtRecord;
+use sno_types::{codec, Operator, RecordBatch, Timestamp, UtcDay};
+use std::collections::BTreeMap;
+
+/// An incrementally flagged PoP-style level shift in one operator's
+/// daily-median latency series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopFlag {
+    /// The operator whose series shifted.
+    pub operator: Operator,
+    /// The first day after the change.
+    pub day: UtcDay,
+    /// The underlying mean shift (indices into the daily-median series).
+    pub shift: Shift,
+}
+
+/// Incremental SNO identification over an arriving measurement stream.
+/// See the module docs for the state layout and merge contract.
+#[derive(Debug, Clone)]
+pub struct OnlineIdentifier {
+    pipeline: Pipeline,
+    mapping: AsnMapping,
+    index: AsnOps,
+    stats: CorpusStats,
+    log: codec::Encoder,
+    window_secs: Option<u64>,
+    latest: Option<Timestamp>,
+    by_operator: BTreeMap<Operator, Vec<(Timestamp, f64)>>,
+    sketches: BTreeMap<Operator, QuantileSketch>,
+}
+
+impl OnlineIdentifier {
+    /// An identifier that keeps the whole stream (snapshots equal batch
+    /// reports over everything ingested).
+    pub fn new(pipeline: Pipeline) -> OnlineIdentifier {
+        let mapping = map_asns();
+        let index = AsnOps::new(&mapping);
+        OnlineIdentifier {
+            pipeline,
+            mapping,
+            index,
+            stats: CorpusStats::new(),
+            log: codec::Encoder::new(),
+            window_secs: None,
+            latest: None,
+            by_operator: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+        }
+    }
+
+    /// An identifier whose snapshots only consider records within
+    /// `window_secs` of the newest timestamp ingested (a sliding
+    /// window over near-time-ordered arrivals).
+    pub fn with_window(pipeline: Pipeline, window_secs: u64) -> OnlineIdentifier {
+        OnlineIdentifier {
+            window_secs: Some(window_secs),
+            ..OnlineIdentifier::new(pipeline)
+        }
+    }
+
+    /// Ingest one chunk of records in arrival order.
+    pub fn ingest(&mut self, records: &[NdtRecord]) {
+        let batch = RecordBatch::from_records(records);
+        self.stats
+            .observe_batch(&self.index, &batch, 0..batch.len());
+        self.log.extend_records(records);
+        self.track(&batch);
+    }
+
+    /// Ingest one columnar batch in arrival order.
+    pub fn ingest_batch(&mut self, batch: &RecordBatch) {
+        self.stats.observe_batch(&self.index, batch, 0..batch.len());
+        for i in 0..batch.len() {
+            self.log.push(&batch.record(i));
+        }
+        self.track(batch);
+    }
+
+    /// Per-record tracking shared by the ingest paths: newest timestamp,
+    /// per-operator PoP-flag samples and latency sketches.
+    fn track(&mut self, batch: &RecordBatch) {
+        let timestamps = batch.timestamps();
+        let latencies = batch.latency_p5();
+        for ((&ts, &asn), &lat) in timestamps.iter().zip(batch.asns()).zip(latencies) {
+            if self.latest.is_none_or(|t| ts > t) {
+                self.latest = Some(ts);
+            }
+            if let Some(op) = self.index.get(asn) {
+                self.by_operator.entry(op).or_default().push((ts, lat));
+                self.sketches.entry(op).or_default().push(lat);
+            }
+        }
+    }
+
+    /// Merge another identifier (built over the *following* shard of the
+    /// stream) into this one. Merging per-shard identifiers in shard
+    /// order reproduces serial ingest exactly — state and snapshots are
+    /// byte-identical.
+    pub fn merge(&mut self, other: OnlineIdentifier) {
+        debug_assert_eq!(
+            self.window_secs, other.window_secs,
+            "merged identifiers must share a window"
+        );
+        self.stats = std::mem::take(&mut self.stats).merge(other.stats);
+        self.log.append(&other.log);
+        if let Some(ts) = other.latest {
+            if self.latest.is_none_or(|t| ts > t) {
+                self.latest = Some(ts);
+            }
+        }
+        for (op, mut samples) in other.by_operator {
+            self.by_operator.entry(op).or_default().append(&mut samples);
+        }
+        for (op, sketch) in other.sketches {
+            self.sketches.entry(op).or_default().merge(&sketch);
+        }
+    }
+
+    /// Records ingested so far (the replay log's length).
+    pub fn ingested(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The newest timestamp ingested.
+    pub fn latest(&self) -> Option<Timestamp> {
+        self.latest
+    }
+
+    /// Per-operator streaming latency sketches over every *mapped*
+    /// record (stage 1–2 attribution, before per-record filtering) —
+    /// the input to `analysis::latency_table_from_sketches`.
+    pub fn latency_sketches(&self) -> &BTreeMap<Operator, QuantileSketch> {
+        &self.sketches
+    }
+
+    /// Render the current state through the standard report path. The
+    /// report is byte-identical to [`Pipeline::run_streamed`] over the
+    /// same records (the whole stream, or the sliding window if one was
+    /// configured). `opts.replay_encoded` is moot here — snapshots
+    /// always replay the internal log.
+    pub fn snapshot(&self, opts: StreamOptions) -> StreamedReport {
+        let (stats, corpus) = match self.window_cutoff() {
+            None => (self.stats.clone(), self.log.clone().finish()),
+            Some(cutoff) => self.windowed_state(cutoff),
+        };
+        let stages = self.pipeline.derive_stages(&self.mapping, &stats);
+        let pass = accept_pass(&stages.table, corpus.chunks(REPLAY_CHUNK_LEN), opts);
+        let mut catalog: Vec<(Operator, u64)> = pass.counts.into_iter().collect();
+        catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        StreamedReport {
+            mapping: self.mapping.clone(),
+            profiles: stages.profiles,
+            strict: stages.strict,
+            thresholds: stages.thresholds,
+            default_threshold: stages.default_threshold,
+            records: stats.records,
+            catalog,
+            bitmap: pass.bitmap,
+            accepted: pass.dense,
+            latencies_by_operator: pass.latencies,
+        }
+    }
+
+    /// The oldest timestamp a windowed snapshot keeps, if a window is
+    /// configured and anything has been ingested.
+    fn window_cutoff(&self) -> Option<u64> {
+        let window = self.window_secs?;
+        let latest = self.latest?;
+        Some(latest.0.saturating_sub(window))
+    }
+
+    /// Rebuild statistics and replay log from the records at or after
+    /// `cutoff` — the sliding-window view of the stream.
+    fn windowed_state(&self, cutoff: u64) -> (CorpusStats, codec::EncodedCorpus) {
+        use sno_types::chunk::RecordChunks;
+        let full = self.log.clone().finish();
+        let mut enc = codec::Encoder::new();
+        let mut stats = CorpusStats::new();
+        let mut chunks = full.chunks(REPLAY_CHUNK_LEN);
+        while let Some(chunk) = chunks.next_chunk() {
+            let kept: Vec<NdtRecord> = chunk
+                .into_iter()
+                .filter(|r| r.timestamp.0 >= cutoff)
+                .collect();
+            if kept.is_empty() {
+                continue;
+            }
+            let batch = RecordBatch::from_records(&kept);
+            stats.observe_batch(&self.index, &batch, 0..batch.len());
+            enc.extend_records(&kept);
+        }
+        (stats, enc.finish())
+    }
+
+    /// Incrementally flagged PoP-style level shifts: per operator, the
+    /// daily-median latency series of every mapped record is replayed
+    /// through the online changepoint detector with the given
+    /// thresholds. Flags are sorted by operator, then day.
+    pub fn pop_flags(&self, min_shift_ms: f64, min_segment: usize) -> Vec<PopFlag> {
+        let mut flags = Vec::new();
+        for (&op, samples) in &self.by_operator {
+            let daily = daily_medians(samples);
+            if daily.len() < 2 * min_segment {
+                continue;
+            }
+            let mut detector = OnlineShiftDetector::new(min_shift_ms, min_segment);
+            for point in &daily {
+                detector.push(point.median);
+            }
+            for shift in detector.shifts() {
+                flags.push(PopFlag {
+                    operator: op,
+                    day: daily[shift.index].day,
+                    shift,
+                });
+            }
+        }
+        flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_types::chunk::{slice_chunks, RecordChunks};
+    use sno_types::{Asn, Ipv4, Mbps, Millis};
+
+    fn small_config() -> sno_synth::SynthConfig {
+        sno_synth::SynthConfig {
+            scale: 5e-5,
+            min_sessions: 40,
+            ..sno_synth::SynthConfig::test_corpus()
+        }
+    }
+
+    fn corpus() -> Vec<NdtRecord> {
+        sno_synth::MlabGenerator::new(small_config())
+            .generate()
+            .records
+    }
+
+    fn assert_reports_equal(a: &StreamedReport, b: &StreamedReport) {
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.thresholds, b.thresholds);
+        assert_eq!(a.default_threshold, b.default_threshold);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.latencies_by_operator, b.latencies_by_operator);
+        assert_eq!(a.strict.examined, b.strict.examined);
+        for i in 0..a.records {
+            assert_eq!(a.bitmap.get(i), b.bitmap.get(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_streamed_pipeline() {
+        let records = corpus();
+        let opts = StreamOptions {
+            dense_acceptance: true,
+            operator_latencies: true,
+            replay_encoded: false,
+        };
+        let batch_report = Pipeline::new().run_streamed(|| slice_chunks(&records, 512), opts);
+        let mut online = OnlineIdentifier::new(Pipeline::new());
+        let mut stream = slice_chunks(&records, 512);
+        while let Some(chunk) = stream.next_chunk() {
+            online.ingest(&chunk);
+        }
+        assert_eq!(online.ingested(), records.len());
+        assert_reports_equal(&online.snapshot(opts), &batch_report);
+    }
+
+    #[test]
+    fn batch_ingest_matches_row_ingest() {
+        let records = corpus();
+        let mut rows = OnlineIdentifier::new(Pipeline::new());
+        let mut batches = OnlineIdentifier::new(Pipeline::new());
+        for chunk in records.chunks(777) {
+            rows.ingest(chunk);
+            batches.ingest_batch(&RecordBatch::from_records(chunk));
+        }
+        let opts = StreamOptions::default();
+        assert_reports_equal(&rows.snapshot(opts), &batches.snapshot(opts));
+        assert_eq!(rows.latency_sketches(), batches.latency_sketches());
+        assert_eq!(rows.latest(), batches.latest());
+    }
+
+    #[test]
+    fn sharded_merge_matches_serial_ingest() {
+        let records = corpus();
+        let mut serial = OnlineIdentifier::new(Pipeline::new());
+        serial.ingest(&records);
+
+        let bounds = [0, records.len() / 3, records.len() / 2, records.len()];
+        let shards: Vec<OnlineIdentifier> = sno_types::par::shard_map(3, 2, |i| {
+            let mut shard = OnlineIdentifier::new(Pipeline::new());
+            shard.ingest(&records[bounds[i]..bounds[i + 1]]);
+            shard
+        });
+        let mut merged = OnlineIdentifier::new(Pipeline::new());
+        for shard in shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.ingested(), serial.ingested());
+        assert_eq!(merged.latency_sketches(), serial.latency_sketches());
+        let opts = StreamOptions {
+            dense_acceptance: true,
+            ..StreamOptions::default()
+        };
+        assert_reports_equal(&merged.snapshot(opts), &serial.snapshot(opts));
+    }
+
+    #[test]
+    fn window_drops_old_records() {
+        let records = corpus();
+        let latest = records.iter().map(|r| r.timestamp.0).max().unwrap();
+        let earliest = records.iter().map(|r| r.timestamp.0).min().unwrap();
+        let window = (latest - earliest) / 2;
+        let mut windowed = OnlineIdentifier::with_window(Pipeline::new(), window);
+        windowed.ingest(&records);
+        let report = windowed.snapshot(StreamOptions::default());
+        // The windowed snapshot equals a batch run over the retained
+        // suffix of the stream.
+        let cutoff = latest - window;
+        let kept: Vec<NdtRecord> = records
+            .iter()
+            .filter(|r| r.timestamp.0 >= cutoff)
+            .cloned()
+            .collect();
+        assert!(kept.len() < records.len(), "window must drop something");
+        let expect =
+            Pipeline::new().run_streamed(|| slice_chunks(&kept, 512), StreamOptions::default());
+        assert_reports_equal(&report, &expect);
+    }
+
+    #[test]
+    fn pop_flags_catch_a_level_shift() {
+        // A synthetic Starlink series: 60 days at 53 ms, 60 at 33 ms,
+        // ten sessions per day.
+        let mut records = Vec::new();
+        for day in 0..120u64 {
+            let ms = if day < 60 { 53.0 } else { 33.0 };
+            for s in 0..10u64 {
+                records.push(NdtRecord {
+                    timestamp: Timestamp(day * 86_400 + s * 600),
+                    client: Ipv4::new(98, 97, (day % 200) as u8, (s + 1) as u8),
+                    asn: Asn(14593),
+                    latency_p5: Millis(ms + s as f64 * 0.01),
+                    jitter_p95: Millis(12.0),
+                    retrans_fraction: 0.01,
+                    download: Mbps(100.0),
+                });
+            }
+        }
+        let mut online = OnlineIdentifier::new(Pipeline::new());
+        online.ingest(&records);
+        let flags = online.pop_flags(10.0, 10);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert_eq!(flags[0].operator, Operator::Starlink);
+        assert_eq!(flags[0].shift.index, 60);
+        assert_eq!(flags[0].day, UtcDay(60));
+        assert!((flags[0].shift.magnitude() - 20.0).abs() < 1.0);
+        // Below the detection floor: no flags.
+        assert!(online.pop_flags(30.0, 10).is_empty());
+    }
+
+    #[test]
+    fn empty_identifier_snapshot() {
+        let online = OnlineIdentifier::new(Pipeline::new());
+        assert!(online.is_empty());
+        assert_eq!(online.latest(), None);
+        let report = online.snapshot(StreamOptions::default());
+        assert_eq!(report.records, 0);
+        assert!(report.catalog.is_empty());
+        assert!(online.pop_flags(8.0, 8).is_empty());
+    }
+}

@@ -46,8 +46,9 @@ use sno_types::{Asn, Operator, OrbitClass, Prefix24, RecordBatch};
 use std::collections::BTreeMap;
 use std::ops::Range;
 
-/// Chunk length pass 2 decodes at when replaying an encoded corpus.
-const REPLAY_CHUNK_LEN: usize = 4096;
+/// Chunk length pass 2 decodes at when replaying an encoded corpus
+/// (shared with the online identifier's snapshot replay).
+pub(crate) const REPLAY_CHUNK_LEN: usize = 4096;
 
 /// Per-chunk accumulator for the statistics pass: everything stages
 /// 3–3c need, with the records themselves discarded.
@@ -335,17 +336,18 @@ impl Pipeline {
     }
 }
 
-/// What one accept pass over a chunked stream produced.
-struct AcceptPass {
-    counts: BTreeMap<Operator, u64>,
-    bitmap: AcceptBitmap,
-    dense: Option<Vec<Option<Operator>>>,
-    latencies: Option<BTreeMap<Operator, Vec<f64>>>,
+/// What one accept pass over a chunked stream produced (shared with the
+/// online identifier's snapshot path).
+pub(crate) struct AcceptPass {
+    pub(crate) counts: BTreeMap<Operator, u64>,
+    pub(crate) bitmap: AcceptBitmap,
+    pub(crate) dense: Option<Vec<Option<Operator>>>,
+    pub(crate) latencies: Option<BTreeMap<Operator, Vec<f64>>>,
 }
 
 /// Decide every record of a chunked stream through the per-ASN table,
 /// column-wise per chunk.
-fn accept_pass<C>(table: &AcceptTable, mut stream: C, opts: StreamOptions) -> AcceptPass
+pub(crate) fn accept_pass<C>(table: &AcceptTable, mut stream: C, opts: StreamOptions) -> AcceptPass
 where
     C: RecordChunks<Item = NdtRecord>,
 {

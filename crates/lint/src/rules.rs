@@ -38,8 +38,8 @@ pub const SOURCE_RULES: [(&str, &str); 5] = [
 
 /// Crates (by `crates/<dir>` name) whose output must be byte-identical
 /// across runs and thread counts; `unordered-iter` applies here.
-pub const DETERMINISTIC_CRATES: [&str; 7] = [
-    "types", "synth", "core", "atlas", "netsim", "stats", "orbit",
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
+    "types", "synth", "core", "atlas", "netsim", "stats", "orbit", "bgp",
 ];
 
 /// Identifiers that reach for ambient entropy.

@@ -1,5 +1,7 @@
 //! Empirical cumulative distribution functions.
 
+use crate::sketch::QuantileSketch;
+
 /// An empirical CDF over a one-dimensional sample.
 #[derive(Debug, Clone)]
 pub struct Ecdf {
@@ -14,6 +16,35 @@ impl Ecdf {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
+        Ecdf::from_sorted(sorted)
+    }
+
+    /// Build from an already-sorted sample without re-sorting — for
+    /// callers that sort once and derive several statistics from the
+    /// same samples. `None` on empty input.
+    pub fn from_sorted(sorted: Vec<f64>) -> Option<Ecdf> {
+        if sorted.is_empty() {
+            return None;
+        }
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "input must be sorted"
+        );
+        Some(Ecdf { sorted })
+    }
+
+    /// Expand a streaming [`QuantileSketch`] into the ECDF of its
+    /// weighted representatives (already sorted by construction). Step
+    /// positions carry the sketch's bounded relative error. `None` on an
+    /// empty sketch.
+    pub fn from_sketch(sketch: &QuantileSketch) -> Option<Ecdf> {
+        if sketch.is_empty() {
+            return None;
+        }
+        let mut sorted = Vec::with_capacity(sketch.count() as usize);
+        for (v, c) in sketch.weighted_values() {
+            sorted.extend(std::iter::repeat_n(v, c as usize));
+        }
         Some(Ecdf { sorted })
     }
 

@@ -12,13 +12,16 @@
 //! * [`timeseries`] — daily binning and daily-variation statistics
 //!   (Figure 4a);
 //! * [`changepoint`] — mean-shift segmentation used to detect Starlink
-//!   PoP reassignment events in RTT series (Figure 8b).
+//!   PoP reassignment events in RTT series (Figure 8b);
+//! * [`sketch`] — mergeable streaming sketches (quantiles, moments,
+//!   changepoints) for the online identification service.
 
 pub mod changepoint;
 pub mod ecdf;
 pub mod histogram;
 pub mod kde;
 pub mod quantile;
+pub mod sketch;
 pub mod summary;
 pub mod timeseries;
 
@@ -27,5 +30,6 @@ pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use kde::Kde;
 pub use quantile::{median, quantile, quantile_of_sorted};
+pub use sketch::{OnlineShiftDetector, QuantileSketch, RunningMoments};
 pub use summary::FiveNumber;
 pub use timeseries::{daily_medians, DailyPoint};

@@ -1,0 +1,524 @@
+//! Mergeable streaming sketches for incremental ingest.
+//!
+//! The batch analyses sort whole sample vectors before summarising them;
+//! an online identification service cannot afford to re-sort the world on
+//! every update. This module provides mergeable, *deterministic*
+//! replacements for the sort-based primitives:
+//!
+//! * [`QuantileSketch`] — a fixed-depth streaming quantile/ECDF sketch;
+//! * [`RunningMoments`] — Welford mean/variance with Chan's parallel
+//!   merge;
+//! * [`OnlineShiftDetector`] — an incremental front-end to
+//!   [`detect_mean_shifts`] that replays the buffered window, so online
+//!   changepoints match the batch detector exactly.
+//!
+//! # Determinism and the merge contract
+//!
+//! Classic GK/KLL compaction is *order-dependent*: the retained
+//! representatives depend on when compactions fire, so two shards merged
+//! in different orders end up with different states. We instead keep a
+//! *canonical* state that is a pure function of the input multiset: each
+//! sample is binned by truncating its IEEE-754 total-order key to the top
+//! [`KEPT_MANTISSA_BITS`] mantissa bits, and the sketch stores
+//! `bin → count` in a `BTreeMap` plus the exact count/min/max. Bin counts
+//! add under merge, and min/max via `total_cmp` are associative and
+//! commutative, so *any* shard partition merged in *any* order yields a
+//! state byte-identical to serial ingest — the property the online
+//! determinism suite pins.
+//!
+//! The price is a bounded relative error on interior quantiles
+//! ([`QuantileSketch::RELATIVE_ERROR`]); min and max are exact. Bins are
+//! exponent-aligned, so the depth is fixed: at most `2^KEPT_MANTISSA_BITS`
+//! bins per binade actually touched by the data, independent of the
+//! stream length.
+
+use crate::changepoint::{detect_mean_shifts, Shift};
+use std::collections::BTreeMap;
+
+/// Mantissa bits kept when binning samples. 12 bits give a worst-case
+/// relative quantile error of `2^-12` per bin at modest state size.
+const KEPT_MANTISSA_BITS: u32 = 12;
+
+/// Low bits of the total-order key dropped by binning.
+const BIN_SHIFT: u32 = 52 - KEPT_MANTISSA_BITS;
+
+/// Map an `f64` to a `u64` whose unsigned order matches
+/// `f64::total_cmp`: flip all bits of negatives, flip only the sign bit
+/// of non-negatives.
+fn ordered_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+/// Inverse of [`ordered_bits`].
+fn from_ordered(o: u64) -> f64 {
+    if o >> 63 == 1 {
+        f64::from_bits(o ^ (1 << 63))
+    } else {
+        f64::from_bits(!o)
+    }
+}
+
+/// The (lowest) representative value of a bin key.
+fn bin_value(key: u64) -> f64 {
+    from_ordered(key << BIN_SHIFT)
+}
+
+/// A mergeable streaming quantile sketch with deterministic,
+/// ingest-order-invariant state (see the module docs for the argument).
+///
+/// `NaN` inputs are rejected (debug assertion); everything else,
+/// including infinities and both zeros, keeps the total order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantileSketch {
+    bins: BTreeMap<u64, u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Worst-case relative error of [`quantile`](QuantileSketch::quantile)
+    /// for interior quantiles: one bin width, `2^-(KEPT_MANTISSA_BITS)`
+    /// of the sample magnitude, doubled for interpolation slack.
+    pub const RELATIVE_ERROR: f64 = 2.0 / (1u64 << KEPT_MANTISSA_BITS) as f64;
+
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::default()
+    }
+
+    /// Ingest one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "sketch input must not be NaN");
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            if x.total_cmp(&self.min).is_lt() {
+                self.min = x;
+            }
+            if x.total_cmp(&self.max).is_gt() {
+                self.max = x;
+            }
+        }
+        self.count += 1;
+        *self.bins.entry(ordered_bits(x) >> BIN_SHIFT).or_insert(0) += 1;
+    }
+
+    /// Merge another sketch into this one. Commutative and associative:
+    /// any shard partition of a stream, merged in any order, reproduces
+    /// the serial-ingest state exactly.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if other.min.total_cmp(&self.min).is_lt() {
+            self.min = other.min;
+        }
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        for (&key, &c) in &other.bins {
+            *self.bins.entry(key).or_insert(0) += c;
+        }
+    }
+
+    /// Number of samples ingested.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum of the ingested samples.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum of the ingested samples.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The sample value at `rank` (0-based) up to bin resolution; exact
+    /// at the extreme ranks.
+    fn value_at_rank(&self, rank: u64) -> f64 {
+        if rank == 0 {
+            return self.min;
+        }
+        if rank + 1 >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (&key, &c) in &self.bins {
+            seen += c;
+            if rank < seen {
+                return bin_value(key);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate `q`-quantile with the same Hyndman–Fan type-7
+    /// interpolation as [`quantile_of_sorted`]; `None` on an empty sketch
+    /// or `q` outside `[0, 1]`. Within
+    /// [`RELATIVE_ERROR`](QuantileSketch::RELATIVE_ERROR) of the exact
+    /// quantile; exact at `q = 0` and `q = 1`.
+    ///
+    /// [`quantile_of_sorted`]: crate::quantile::quantile_of_sorted
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let pos = q * (self.count - 1) as f64;
+        let lo = pos.floor() as u64;
+        let hi = pos.ceil() as u64;
+        let frac = pos - pos.floor();
+        let a = self.value_at_rank(lo);
+        let b = self.value_at_rank(hi);
+        Some(a + (b - a) * frac)
+    }
+
+    /// Ascending `(representative value, count)` pairs — the weighted
+    /// sample the sketch retains, e.g. for expansion into an
+    /// [`Ecdf`](crate::Ecdf).
+    pub fn weighted_values(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins.iter().map(|(&k, &c)| (bin_value(k), c))
+    }
+}
+
+impl Extend<f64> for QuantileSketch {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+}
+
+/// Mergeable running mean/variance: Welford's update for single samples,
+/// Chan's pairwise formula for merges.
+///
+/// Unlike [`QuantileSketch`], the state is floating-point accumulation,
+/// so merge order changes results only at rounding level (~1e-12
+/// relative) — near-equal, not byte-identical, across shardings.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// An empty accumulator.
+    pub fn new() -> RunningMoments {
+        RunningMoments::default()
+    }
+
+    /// Ingest one sample (Welford's update).
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "moments input must not be NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another accumulator into this one (Chan et al.'s parallel
+    /// combination of partial means and M2s).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let (n1, n2) = (self.count as f64, other.count as f64);
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.count += other.count;
+    }
+
+    /// Number of samples ingested.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the ingested samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (`None` below two samples).
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+impl Extend<f64> for RunningMoments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+}
+
+/// Incremental front-end to [`detect_mean_shifts`]: buffers the series as
+/// it arrives and replays the batch detector over the buffered window on
+/// demand, so online results match batch results on the same window *by
+/// construction* rather than by a separate (and separately buggy)
+/// online algorithm.
+///
+/// [`evict_to`](OnlineShiftDetector::evict_to) bounds memory by dropping
+/// the oldest samples; reported shift indices stay global (indices into
+/// the full pushed series) via an eviction offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineShiftDetector {
+    min_shift: f64,
+    min_segment: usize,
+    window: Vec<f64>,
+    evicted: usize,
+}
+
+impl OnlineShiftDetector {
+    /// A detector with the same thresholds as
+    /// [`detect_mean_shifts`]`(_, min_shift, min_segment)`.
+    pub fn new(min_shift: f64, min_segment: usize) -> OnlineShiftDetector {
+        assert!(min_segment >= 1, "min_segment must be at least 1");
+        OnlineShiftDetector {
+            min_shift,
+            min_segment,
+            window: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Append one sample to the window.
+    pub fn push(&mut self, x: f64) {
+        self.window.push(x);
+    }
+
+    /// Total samples pushed, including evicted ones.
+    pub fn len(&self) -> usize {
+        self.evicted + self.window.len()
+    }
+
+    /// Whether nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples currently buffered (the replay window).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Drop all but the most recent `keep` buffered samples, advancing
+    /// the global index offset so later shifts keep series-global
+    /// indices.
+    pub fn evict_to(&mut self, keep: usize) {
+        if self.window.len() > keep {
+            let drop = self.window.len() - keep;
+            self.window.drain(..drop);
+            self.evicted += drop;
+        }
+    }
+
+    /// Append another detector's window (its samples are taken to follow
+    /// this one's in arrival order). The other detector must not have
+    /// evicted samples.
+    pub fn merge(&mut self, other: &OnlineShiftDetector) {
+        debug_assert_eq!(other.evicted, 0, "cannot merge an evicted window");
+        self.window.extend_from_slice(&other.window);
+    }
+
+    /// Run [`detect_mean_shifts`] over the buffered window; indices are
+    /// global (offset by the evicted prefix). With no eviction this is
+    /// *exactly* the batch result on the full pushed series.
+    pub fn shifts(&self) -> Vec<Shift> {
+        detect_mean_shifts(&self.window, self.min_shift, self.min_segment)
+            .into_iter()
+            .map(|s| Shift {
+                index: s.index + self.evicted,
+                ..s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::quantile_of_sorted;
+    use sno_types::Rng;
+
+    fn sample(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.normal_with(40.0, 12.0)).collect()
+    }
+
+    #[test]
+    fn ordered_bits_roundtrip_and_order() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            2.5,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        for w in xs.windows(2) {
+            assert!(ordered_bits(w[0]) < ordered_bits(w[1]), "{w:?}");
+        }
+        for &x in &xs {
+            assert_eq!(from_ordered(ordered_bits(x)).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let mut s = QuantileSketch::new();
+        s.extend(sample(3, 500));
+        let data = sample(3, 500);
+        let exact_min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let exact_max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.min(), Some(exact_min));
+        assert_eq!(s.max(), Some(exact_max));
+        assert_eq!(s.count(), 500);
+    }
+
+    #[test]
+    fn quantiles_within_bound() {
+        let mut data = sample(11, 4096);
+        let mut s = QuantileSketch::new();
+        s.extend(data.iter().copied());
+        data.sort_by(f64::total_cmp);
+        let max_abs = data.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let exact = quantile_of_sorted(&data, q);
+            let approx = s.quantile(q).unwrap();
+            let bound = QuantileSketch::RELATIVE_ERROR * max_abs + 1e-12;
+            assert!(
+                (approx - exact).abs() <= bound,
+                "q={q}: approx {approx} exact {exact} bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_serial_exactly() {
+        let data = sample(42, 1000);
+        let mut serial = QuantileSketch::new();
+        serial.extend(data.iter().copied());
+        // Three uneven shards, merged out of order.
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut c = QuantileSketch::new();
+        a.extend(data[..100].iter().copied());
+        b.extend(data[100..700].iter().copied());
+        c.extend(data[700..].iter().copied());
+        let mut merged = QuantileSketch::new();
+        merged.merge(&c);
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn moments_match_two_pass() {
+        let data = sample(9, 333);
+        let mut m = RunningMoments::new();
+        m.extend(data.iter().copied());
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((m.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((m.variance().unwrap() - var).abs() < 1e-9);
+        assert_eq!(m.count(), 333);
+    }
+
+    #[test]
+    fn moments_merge_near_serial() {
+        let data = sample(10, 400);
+        let mut serial = RunningMoments::new();
+        serial.extend(data.iter().copied());
+        let mut left = RunningMoments::new();
+        let mut right = RunningMoments::new();
+        left.extend(data[..123].iter().copied());
+        right.extend(data[123..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.count(), serial.count());
+        assert!((left.mean().unwrap() - serial.mean().unwrap()).abs() < 1e-9);
+        assert!((left.variance().unwrap() - serial.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_shifts_match_batch() {
+        let mut series = vec![53.0; 100];
+        series.extend(vec![33.0; 80]);
+        let mut det = OnlineShiftDetector::new(10.0, 10);
+        for &x in &series {
+            det.push(x);
+        }
+        assert_eq!(det.shifts(), detect_mean_shifts(&series, 10.0, 10));
+    }
+
+    #[test]
+    fn eviction_keeps_global_indices() {
+        let mut series = vec![50.0; 60];
+        series.extend(vec![90.0; 60]);
+        let mut det = OnlineShiftDetector::new(10.0, 10);
+        for &x in &series[..40] {
+            det.push(x);
+        }
+        det.evict_to(20); // drop the first 20 samples
+        for &x in &series[40..] {
+            det.push(x);
+        }
+        let shifts = det.shifts();
+        assert_eq!(shifts.len(), 1);
+        assert_eq!(shifts[0].index, 60, "index stays series-global");
+        assert_eq!(det.len(), 120);
+        assert_eq!(det.window_len(), 100);
+    }
+}

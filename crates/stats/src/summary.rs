@@ -1,6 +1,7 @@
 //! Five-number summaries (boxplot statistics).
 
 use crate::quantile::quantile_of_sorted;
+use crate::sketch::QuantileSketch;
 
 /// The statistics a boxplot displays: min / q1 / median / q3 / max, plus
 /// the count and the Tukey whisker positions.
@@ -22,13 +23,41 @@ impl FiveNumber {
         }
         let mut sorted = data.to_vec();
         sorted.sort_by(f64::total_cmp);
+        FiveNumber::from_sorted(&sorted)
+    }
+
+    /// Summarise already-sorted `data` without re-sorting — for callers
+    /// that sort once and derive several statistics from the same
+    /// samples. `None` on empty input.
+    pub fn from_sorted(sorted: &[f64]) -> Option<FiveNumber> {
+        if sorted.is_empty() {
+            return None;
+        }
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "input must be sorted"
+        );
         Some(FiveNumber {
             count: sorted.len(),
             min: sorted[0],
-            q1: quantile_of_sorted(&sorted, 0.25),
-            median: quantile_of_sorted(&sorted, 0.5),
-            q3: quantile_of_sorted(&sorted, 0.75),
+            q1: quantile_of_sorted(sorted, 0.25),
+            median: quantile_of_sorted(sorted, 0.5),
+            q3: quantile_of_sorted(sorted, 0.75),
             max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Summarise a streaming [`QuantileSketch`]: count, min and max are
+    /// exact; the quartiles carry the sketch's bounded relative error.
+    /// `None` on an empty sketch.
+    pub fn from_sketch(sketch: &QuantileSketch) -> Option<FiveNumber> {
+        Some(FiveNumber {
+            count: sketch.count() as usize,
+            min: sketch.min()?,
+            q1: sketch.quantile(0.25)?,
+            median: sketch.quantile(0.5)?,
+            q3: sketch.quantile(0.75)?,
+            max: sketch.max()?,
         })
     }
 

@@ -8,7 +8,15 @@
 //! Figure 13: Starlink's peering explodes across the globe, HughesNet
 //! stays put, Viasat expands out of the US, and Marlink swaps its tier-1
 //! from legacy Level3 (AS3549) to Cogent (AS174).
+//!
+//! The edge list is generated through the [`RecordChunks`] streaming
+//! contract: [`edge_chunks`] yields the graph one bounded chunk at a
+//! time from independent per-provider / per-profile shards, and
+//! [`snapshot_for`] folds those chunks through a sorted-merge
+//! accumulator instead of materializing the raw (pre-dedup) edge list.
+//! Chunk length and thread count never change the resulting snapshot.
 
+use sno_types::chunk::{self, RecordChunks};
 use sno_types::records::{AsInfo, BgpSnapshot, CountryCode};
 use sno_types::{Asn, Date, Operator};
 
@@ -294,9 +302,132 @@ pub fn snapshots() -> Vec<BgpSnapshot> {
     sno_types::par::shard_map(YEARS.len(), 0, |i| snapshot_for(YEARS[i]))
 }
 
+/// Delivery granularity for [`snapshot_for`]'s internal edge stream.
+const EDGE_CHUNK_LEN: usize = 256;
+
 /// Build the snapshot captured on `year`-01-01.
+///
+/// Runs the chunked build serially; [`snapshots`] already parallelizes
+/// across years on the worker pool.
 pub fn snapshot_for(year: i32) -> BgpSnapshot {
-    let mut edges: Vec<(Asn, Asn)> = Vec::new();
+    snapshot_for_chunked(year, EDGE_CHUNK_LEN, 1)
+}
+
+/// Build the `year`-01-01 snapshot by draining [`edge_chunks`] through a
+/// sorted-merge accumulator. Peak edge memory is the deduped accumulator
+/// plus one chunk — the raw concatenated edge list is never held. The
+/// result is identical for every `chunk_len >= 1` and thread count.
+pub fn snapshot_for_chunked(year: i32, chunk_len: usize, threads: usize) -> BgpSnapshot {
+    let edges = edge_chunks(year, chunk_len, threads).fold_chunks(Vec::new(), merge_sorted_dedup);
+    BgpSnapshot {
+        date: Date::new(year, 1, 1),
+        edges,
+        info: info_table(),
+    }
+}
+
+/// Total shard count of the edge stream: one per provider (stub
+/// ballast), one for the tier-1 mesh, one per SNO registry profile.
+fn edge_shard_count() -> usize {
+    PROVIDERS.len() + SMALL_ISPS.len() + 1 + sno_registry::PROFILES.len()
+}
+
+/// The provider at position `i` of the `PROVIDERS ++ SMALL_ISPS` chain.
+fn provider_at(i: usize) -> &'static Provider {
+    if i < PROVIDERS.len() {
+        &PROVIDERS[i]
+    } else {
+        &SMALL_ISPS[i - PROVIDERS.len()]
+    }
+}
+
+/// First private-range stub ASN of provider `i`: 64512 plus the block
+/// widths of every earlier provider. A pure function of the index, so
+/// each provider shard is independently computable.
+fn stub_base_for(i: usize) -> u32 {
+    let mut base = 64_512u32;
+    for p in PROVIDERS.iter().chain(SMALL_ISPS).take(i) {
+        base += p.stubs.max(1);
+    }
+    base
+}
+
+/// Edges emitted by one shard of the stream (see [`edge_shard_count`]).
+fn edge_shard(year: i32, shard: usize) -> Vec<(Asn, Asn)> {
+    let providers = PROVIDERS.len() + SMALL_ISPS.len();
+    if shard < providers {
+        // Stub ballast hanging off one provider.
+        let p = provider_at(shard);
+        let base = stub_base_for(shard);
+        (0..p.stubs).map(|s| edge(p.asn, base + s)).collect()
+    } else if shard == providers {
+        // The tier-1 full mesh.
+        let mut edges = Vec::new();
+        for (i, a) in TIER1_ASNS.iter().enumerate() {
+            for b in &TIER1_ASNS[i + 1..] {
+                edges.push(edge(*a, *b));
+            }
+        }
+        edges
+    } else {
+        // One SNO's peerings for this year.
+        let profile = &sno_registry::PROFILES[shard - providers - 1];
+        let asn = primary_asn(profile.operator);
+        peers_or_default(profile.operator, year, profile.country)
+            .into_iter()
+            .map(|peer| edge(asn, peer))
+            .collect()
+    }
+}
+
+/// Stream the peering graph of `year` as chunks of at most `chunk_len`
+/// edges, producing up to `threads` shards at a time (`0` = auto). The
+/// concatenated stream is the same edge sequence for every chunk length
+/// and thread count; it is *not* deduplicated — fold it through
+/// [`merge_sorted_dedup`] (as [`snapshot_for_chunked`] does) to recover
+/// the snapshot's canonical sorted edge list.
+pub fn edge_chunks(
+    year: i32,
+    chunk_len: usize,
+    threads: usize,
+) -> impl RecordChunks<Item = (Asn, Asn)> {
+    chunk::sharded(edge_shard_count(), threads, chunk_len, move |s| {
+        edge_shard(year, s)
+    })
+}
+
+/// Fold step for the streamed snapshot build: sort-dedup the incoming
+/// chunk, then merge two sorted deduped runs into one. Equivalent to
+/// sort + dedup over the concatenation, without ever holding it.
+fn merge_sorted_dedup(acc: Vec<(Asn, Asn)>, mut next: Vec<(Asn, Asn)>) -> Vec<(Asn, Asn)> {
+    next.sort_unstable();
+    next.dedup();
+    if acc.is_empty() {
+        return next;
+    }
+    let mut merged = Vec::with_capacity(acc.len() + next.len());
+    let (mut i, mut j) = (0, 0);
+    while i < acc.len() || j < next.len() {
+        let take_acc = j >= next.len() || (i < acc.len() && acc[i] <= next[j]);
+        let item = if take_acc {
+            let v = acc[i];
+            i += 1;
+            v
+        } else {
+            let v = next[j];
+            j += 1;
+            v
+        };
+        if merged.last() != Some(&item) {
+            merged.push(item);
+        }
+    }
+    merged
+}
+
+/// The AS metadata table (year-independent): providers interleaved with
+/// their stub blocks, then the SNO profiles, deduplicated by ASN.
+fn info_table() -> Vec<AsInfo> {
     let mut info: Vec<AsInfo> = Vec::new();
     let push_info = |asn: u32, name: &str, country: &str, info: &mut Vec<AsInfo>| {
         if !info.iter().any(|i| i.asn == Asn(asn)) {
@@ -307,42 +438,23 @@ pub fn snapshot_for(year: i32) -> BgpSnapshot {
             });
         }
     };
-
-    // Providers, their stub ballast, and the tier-1 mesh.
-    let mut stub_base = 64_512u32;
-    for p in PROVIDERS.iter().chain(SMALL_ISPS) {
+    for (i, p) in PROVIDERS.iter().chain(SMALL_ISPS).enumerate() {
         push_info(p.asn, p.name, p.country, &mut info);
+        let base = stub_base_for(i);
         for s in 0..p.stubs {
-            let stub = stub_base + s;
-            edges.push(edge(p.asn, stub));
+            let stub = base + s;
             push_info(stub, &format!("Stub-{stub}"), p.country, &mut info);
         }
-        stub_base += p.stubs.max(1);
     }
-    for (i, a) in TIER1_ASNS.iter().enumerate() {
-        for b in &TIER1_ASNS[i + 1..] {
-            edges.push(edge(*a, *b));
-        }
-    }
-
-    // SNO peerings for this year.
     for profile in sno_registry::PROFILES {
-        let op = profile.operator;
-        let peers = peers_or_default(op, year, profile.country);
-        let asn = primary_asn(op);
-        push_info(asn, profile.org, profile.country, &mut info);
-        for peer in peers {
-            edges.push(edge(asn, peer));
-        }
+        push_info(
+            primary_asn(profile.operator),
+            profile.org,
+            profile.country,
+            &mut info,
+        );
     }
-
-    edges.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
-    edges.dedup();
-    BgpSnapshot {
-        date: Date::new(year, 1, 1),
-        edges,
-        info,
-    }
+    info
 }
 
 /// Peers for operators with explicit tables, or a home-country default.
@@ -475,6 +587,46 @@ mod tests {
             for &(a, b) in &snap.edges {
                 assert!(snap.info_for(a).is_some(), "{a} missing info");
                 assert!(snap.info_for(b).is_some(), "{b} missing info");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_build_matches_materialized_at_any_chunk_and_threads() {
+        for year in [2021, 2023] {
+            // Reference: materialize every shard serially, then one
+            // global sort + dedup — the pre-streaming construction.
+            let mut reference: Vec<(Asn, Asn)> = (0..edge_shard_count())
+                .flat_map(|s| edge_shard(year, s))
+                .collect();
+            reference.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+            reference.dedup();
+
+            let baseline = snapshot_for(year);
+            assert_eq!(baseline.edges, reference, "year {year} baseline");
+            for chunk_len in [1, 64, 1 << 20] {
+                for threads in [1, 2, 8] {
+                    let snap = snapshot_for_chunked(year, chunk_len, threads);
+                    assert_eq!(
+                        snap.edges, reference,
+                        "year {year} chunk {chunk_len} threads {threads}"
+                    );
+                    assert_eq!(snap.info, baseline.info);
+                    assert_eq!(snap.date, baseline.date);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_stream_is_chunk_and_thread_invariant() {
+        let serial: Vec<(Asn, Asn)> = (0..edge_shard_count())
+            .flat_map(|s| edge_shard(2022, s))
+            .collect();
+        for chunk_len in [1, 7, 512] {
+            for threads in [1, 2, 8] {
+                let got = edge_chunks(2022, chunk_len, threads).collect_records();
+                assert_eq!(got, serial, "chunk {chunk_len} threads {threads}");
             }
         }
     }

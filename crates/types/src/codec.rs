@@ -253,6 +253,14 @@ impl Encoder {
         }
     }
 
+    /// Append every frame of another encoder, in order — how sharded
+    /// online ingest merges per-shard replay logs. Byte-wise this equals
+    /// having pushed the other encoder's records after this one's.
+    pub fn append(&mut self, other: &Encoder) {
+        self.bytes.extend_from_slice(&other.bytes[HEADER_LEN..]);
+        self.count += other.count;
+    }
+
     /// Records encoded so far.
     pub fn len(&self) -> usize {
         self.count as usize
@@ -391,6 +399,27 @@ mod tests {
             enc.extend_records(half);
         }
         assert_eq!(enc.len(), records.len());
+        assert_eq!(enc.finish(), encode_records(&records));
+    }
+
+    #[test]
+    fn appended_encoders_match_serial() {
+        let records = sample(31);
+        let mut serial = Encoder::new();
+        serial.extend_records(&records);
+
+        let mut left = Encoder::new();
+        let mut right = Encoder::new();
+        left.extend_records(&records[..11]);
+        right.extend_records(&records[11..]);
+        left.append(&right);
+        assert_eq!(left.len(), records.len());
+        assert_eq!(left.finish(), serial.finish());
+
+        // Appending an empty shard is a no-op.
+        let mut enc = Encoder::new();
+        enc.extend_records(&records);
+        enc.append(&Encoder::new());
         assert_eq!(enc.finish(), encode_records(&records));
     }
 

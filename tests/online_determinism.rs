@@ -1,0 +1,145 @@
+//! The online identification service's correctness anchor: an
+//! [`OnlineIdentifier`] fed the corpus in arrival order must produce
+//! verdicts — and a rendered report — byte-identical to the batch
+//! streamed pipeline, at every chunk length × thread count, whether the
+//! state was built serially or sharded and merged. The same contract is
+//! pinned one layer down for the mergeable sketches.
+
+use sno_bench::streamed_report_text;
+use sno_dissect::core::pipeline::Pipeline;
+use sno_dissect::core::stream::{StreamOptions, StreamedReport};
+use sno_dissect::core::OnlineIdentifier;
+use sno_dissect::stats::QuantileSketch;
+use sno_dissect::synth::{MlabGenerator, SynthConfig};
+use sno_dissect::types::chunk::RecordChunks;
+use sno_dissect::types::par;
+
+/// A chunk length larger than any corpus here: one chunk per stream.
+const WHOLE: usize = 1 << 30;
+
+/// The small-but-sharded corpus of `tests/par_determinism.rs`.
+fn cfg(seed: u64, threads: usize) -> SynthConfig {
+    SynthConfig {
+        seed,
+        threads,
+        scale: 5e-5,
+        min_sessions: 40,
+        ..SynthConfig::test_corpus()
+    }
+}
+
+/// The snapshot options every comparison here runs under.
+fn opts() -> StreamOptions {
+    StreamOptions {
+        operator_latencies: true,
+        ..StreamOptions::default()
+    }
+}
+
+/// Assert two streamed reports agree on every field the report path
+/// exposes, including the per-record acceptance bits.
+fn assert_reports_identical(got: &StreamedReport, want: &StreamedReport, label: &str) {
+    assert_eq!(got.records, want.records, "{label}: record count");
+    assert_eq!(got.catalog, want.catalog, "{label}: catalog");
+    assert_eq!(got.thresholds, want.thresholds, "{label}: thresholds");
+    assert_eq!(
+        got.default_threshold, want.default_threshold,
+        "{label}: default threshold"
+    );
+    assert_eq!(
+        got.latencies_by_operator, want.latencies_by_operator,
+        "{label}: per-operator latencies"
+    );
+    assert_eq!(got.bitmap.len(), want.bitmap.len(), "{label}: bitmap len");
+    for i in 0..want.bitmap.len() {
+        assert_eq!(got.bitmap.get(i), want.bitmap.get(i), "{label}: bit {i}");
+    }
+}
+
+#[test]
+fn online_verdicts_match_batch_across_chunk_thread_and_seed_matrix() {
+    for seed in [0x5A7E_1117u64, 7, 42] {
+        let baseline_gen = MlabGenerator::new(cfg(seed, 1));
+        let batch =
+            Pipeline::with_threads(1).run_streamed(|| baseline_gen.generate_chunks(1024), opts());
+        let batch_text = streamed_report_text(&batch, cfg(seed, 1).scale);
+        for chunk in [1024usize, WHOLE] {
+            for threads in [1usize, 2, 8] {
+                let generator = MlabGenerator::new(cfg(seed, threads));
+                let mut online = OnlineIdentifier::new(Pipeline::with_threads(threads));
+                let mut stream = generator.generate_chunks(chunk);
+                while let Some(records) = stream.next_chunk() {
+                    online.ingest(&records);
+                }
+                let snapshot = online.snapshot(opts());
+                let label = format!("seed {seed} chunk {chunk} threads {threads}");
+                assert_reports_identical(&snapshot, &batch, &label);
+                assert_eq!(
+                    streamed_report_text(&snapshot, cfg(seed, threads).scale),
+                    batch_text,
+                    "{label}: rendered report"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_identifiers_merged_in_order_match_serial_ingest() {
+    let corpus = MlabGenerator::new(cfg(7, 0)).generate();
+    let mut serial = OnlineIdentifier::new(Pipeline::with_threads(1));
+    serial.ingest(&corpus.records);
+    let want = serial.snapshot(opts());
+    let want_text = streamed_report_text(&want, cfg(7, 0).scale);
+
+    // Fixed shard boundaries (uneven on purpose); only the build-side
+    // thread count varies. Shards build on the worker pool via `par`,
+    // then merge left-to-right in shard order.
+    let n = corpus.records.len();
+    let bounds = [0, n / 5, n / 2, (3 * n) / 4, n];
+    for threads in [1usize, 2, 8] {
+        let mut shards = par::shard_map(bounds.len() - 1, threads, |s| {
+            let mut shard = OnlineIdentifier::new(Pipeline::with_threads(1));
+            shard.ingest(&corpus.records[bounds[s]..bounds[s + 1]]);
+            shard
+        });
+        let mut merged = shards.remove(0);
+        for shard in shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.ingested(), n, "threads {threads}: ingested");
+        let got = merged.snapshot(opts());
+        let label = format!("sharded threads {threads}");
+        assert_reports_identical(&got, &want, &label);
+        assert_eq!(
+            streamed_report_text(&got, cfg(7, 0).scale),
+            want_text,
+            "{label}: rendered report"
+        );
+    }
+}
+
+#[test]
+fn sketch_shard_merge_is_byte_identical_to_serial_ingest() {
+    // The sketch-level half of the anchor: merging per-shard sketches
+    // built on the worker pool must reproduce the serial sketch state
+    // exactly (not approximately) at every thread count.
+    let corpus = MlabGenerator::new(cfg(0x5A7E_1117, 0)).generate();
+    let latencies: Vec<f64> = corpus.records.iter().map(|r| r.latency_p5.0).collect();
+    let mut serial = QuantileSketch::new();
+    serial.extend(latencies.iter().copied());
+
+    let ranges = par::shard_ranges(latencies.len(), 512);
+    for threads in [1usize, 2, 8] {
+        let shards = par::shard_map(ranges.len(), threads, |i| {
+            let mut s = QuantileSketch::new();
+            s.extend(latencies[ranges[i].clone()].iter().copied());
+            s
+        });
+        let mut merged = QuantileSketch::new();
+        for shard in shards {
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, serial, "threads {threads}");
+    }
+}
