@@ -80,13 +80,18 @@ pub fn detect_all_pop_changes(
     )
 }
 
-/// [`detect_all_pop_changes`] over a chunked traceroute stream: only the
-/// per-probe RTT series are ever resident, not the traceroute records.
-/// The series builder is order-insensitive (stable per-series timestamp
-/// sort), so the result is byte-identical to the materialized call.
-pub fn detect_all_pop_changes_streamed<C>(
+/// [`detect_all_pop_changes`] over chunked traceroute *and* SSLCert
+/// streams: only the per-probe RTT series and per-probe cert histories
+/// are ever resident, never a record corpus. The series builder is
+/// order-insensitive (stable per-series timestamp sort) and cert
+/// bucketing preserves each probe's arrival order, so the result is
+/// byte-identical to the materialized call for any stream whose
+/// per-probe cert subsequences match the materialized corpus (the
+/// synthesizer's chunked and sorted forms both deliver each probe's
+/// certs chronologically).
+pub fn detect_all_pop_changes_streamed<C, D>(
     stream: C,
-    sslcerts: &[SslCertRecord],
+    sslcerts: D,
     resolve: impl Fn(Ipv4) -> Option<String> + Sync,
     min_shift_ms: f64,
     min_segment: usize,
@@ -94,15 +99,36 @@ pub fn detect_all_pop_changes_streamed<C>(
 ) -> Vec<PopChange>
 where
     C: RecordChunks<Item = TracerouteRecord>,
+    D: RecordChunks<Item = SslCertRecord>,
 {
-    detect_all_pop_changes_in_series(
+    detect_in_buckets(
         &pop_rtt_series_from_chunks(stream),
-        sslcerts,
+        &cert_buckets_from_chunks(sslcerts),
         resolve,
         min_shift_ms,
         min_segment,
         threads,
     )
+}
+
+/// Bucket a materialized cert corpus per probe, preserving order.
+fn cert_buckets(sslcerts: &[SslCertRecord]) -> BTreeMap<ProbeId, Vec<SslCertRecord>> {
+    let mut certs: BTreeMap<ProbeId, Vec<SslCertRecord>> = BTreeMap::new();
+    for s in sslcerts {
+        certs.entry(s.probe).or_default().push(*s);
+    }
+    certs
+}
+
+/// Bucket a chunked cert stream per probe without materializing it.
+pub fn cert_buckets_from_chunks<D>(stream: D) -> BTreeMap<ProbeId, Vec<SslCertRecord>>
+where
+    D: RecordChunks<Item = SslCertRecord>,
+{
+    stream.fold_records(BTreeMap::new(), |mut certs: BTreeMap<_, Vec<_>>, s| {
+        certs.entry(s.probe).or_default().push(s);
+        certs
+    })
 }
 
 /// The shared core of the all-probe detectors: per-probe segmentations
@@ -116,10 +142,26 @@ pub fn detect_all_pop_changes_in_series(
     min_segment: usize,
     threads: usize,
 ) -> Vec<PopChange> {
-    let mut certs: BTreeMap<ProbeId, Vec<SslCertRecord>> = BTreeMap::new();
-    for s in sslcerts {
-        certs.entry(s.probe).or_default().push(*s);
-    }
+    detect_in_buckets(
+        series,
+        &cert_buckets(sslcerts),
+        resolve,
+        min_shift_ms,
+        min_segment,
+        threads,
+    )
+}
+
+/// Innermost core: RTT series and cert histories already bucketed per
+/// probe.
+fn detect_in_buckets(
+    series: &BTreeMap<ProbeId, Vec<(Timestamp, f64)>>,
+    certs: &BTreeMap<ProbeId, Vec<SslCertRecord>>,
+    resolve: impl Fn(Ipv4) -> Option<String> + Sync,
+    min_shift_ms: f64,
+    min_segment: usize,
+    threads: usize,
+) -> Vec<PopChange> {
     let probes: Vec<&ProbeId> = series.keys().collect();
     let per_probe = par::shard_map(probes.len(), threads, |i| {
         let probe = *probes[i];
@@ -381,7 +423,7 @@ mod tests {
             let gen = AtlasGenerator::new(config);
             let got = detect_all_pop_changes_streamed(
                 gen.traceroute_chunks(chunk_len),
-                &gen.sslcerts(),
+                gen.sslcert_chunks(chunk_len),
                 sno_synth::atlas::reverse_dns,
                 8.0,
                 8,

@@ -10,6 +10,11 @@
 //! repro --chunk 4096    # stream the streamable experiments through
 //!                       # chunked generation (bounded memory; output
 //!                       # is byte-identical at every chunk length)
+//! repro --progress 500000
+//!                       # stderr heartbeat every N records through the
+//!                       # streamed pipeline (liveness for paper-scale
+//!                       # runs; record counts, never wall-clock, so
+//!                       # output stays deterministic)
 //! repro --online        # drive the corpus chunk-by-chunk through the
 //!                       # incremental OnlineIdentifier and print its
 //!                       # snapshot through the shared report renderer
@@ -58,11 +63,17 @@ const NOISE_FLOOR_MS: f64 = 2.0;
 /// budget pins the benches whose wall time is itself a deliverable.
 const BUDGETS: &[(&str, &str, f64)] = &[("experiments", "fig4a", 100.0)];
 
-/// Groups `--bench-diff` never compares relatively: their values are
-/// not wall times (throughput is higher-is-better, so a 20% *speedup*
-/// would trip the regression check), and calibration exists only to
-/// estimate machine drift.
-const DIFF_SKIP_GROUPS: &[&str] = &["throughput", "calibration"];
+/// Groups `--bench-diff` never compares relatively: calibration exists
+/// only to estimate machine drift.
+const DIFF_SKIP_GROUPS: &[&str] = &["calibration"];
+
+/// Groups whose values are throughputs (sessions/second), not wall
+/// times: higher is better, so they regress *downward*. A slower
+/// machine depresses throughput by the drift factor, so the gated ratio
+/// is `(new/old) × drift` — the mirror image of the wall-time
+/// correction — and the noise floor (a wall-time threshold in ms) does
+/// not apply.
+const THROUGHPUT_GROUPS: &[&str] = &["throughput"];
 
 /// Groups whose values are machine-independent (megabytes, not wall
 /// time): compared raw, never drift-corrected.
@@ -171,9 +182,9 @@ fn run_bench_mode(config: SynthConfig, chunk: Option<usize>, out_path: &str) {
     let pipeline_group = group.finish();
 
     // Sessions/second through each pipeline path, derived from the
-    // medians just measured. Not wall times — `--bench-diff` skips the
-    // group (higher is better there); it lives in the snapshot so the
-    // trajectory records absolute capacity, not just relative drift.
+    // medians just measured. Not wall times — higher is better, so
+    // `--bench-diff` gates this group in the opposite direction: it
+    // fails when a drift-corrected rate drops more than the limit.
     let sessions = records.len() as f64;
     let mut throughput: Vec<BenchResult> = pipeline_group
         .results
@@ -330,29 +341,37 @@ fn run_bench_diff(old_path: &str, new_path: &str) -> ! {
         let Some(base) = old.iter().find(|o| o.group == b.group && o.name == b.name) else {
             continue;
         };
-        if base.median_ms < NOISE_FLOOR_MS || b.median_ms < NOISE_FLOOR_MS {
+        let throughput = THROUGHPUT_GROUPS.contains(&b.group.as_str());
+        if !throughput && (base.median_ms < NOISE_FLOOR_MS || b.median_ms < NOISE_FLOOR_MS) {
             skipped += 1;
             continue;
         }
         compared += 1;
         let raw = b.median_ms / base.median_ms;
-        let corrected = match drift {
+        // `slowdown` > 1 is worse, whatever the units: wall times divide
+        // the drift out, throughputs multiply it in and invert (higher
+        // is better), raw groups compare as-is.
+        let slowdown = match drift {
+            Some(d) if throughput => 1.0 / (raw * d),
             Some(d) if !RAW_GROUPS.contains(&b.group.as_str()) => raw / d,
+            _ if throughput => 1.0 / raw,
             _ => raw,
         };
-        let change = corrected - 1.0;
+        let change = slowdown - 1.0;
+        let units = if throughput { "sessions/s" } else { "ms" };
         println!(
-            "{}/{:<32} {:>10.4} -> {:>10.4} ms  (raw {:+.1}%, gated {:+.1}%)",
+            "{}/{:<32} {:>10.4} -> {:>10.4} {units}  (raw {:+.1}%, gated {:+.1}% {})",
             b.group,
             b.name,
             base.median_ms,
             b.median_ms,
             (raw - 1.0) * 100.0,
             change * 100.0,
+            if throughput { "slower" } else { "change" },
         );
         if change > REGRESSION_LIMIT {
             regressions.push(format!(
-                "{}/{}: {:.4} -> {:.4} ms ({:+.1}% gated change)",
+                "{}/{}: {:.4} -> {:.4} {units} ({:+.1}% gated regression)",
                 b.group,
                 b.name,
                 base.median_ms,
@@ -551,10 +570,11 @@ fn ingest_corpus(
 /// With `--verify-batch`, also run the batch streamed pipeline over the
 /// same corpus and exit non-zero unless the online verdicts match
 /// field-for-field and the two reports render byte-identically.
-fn run_online(config: SynthConfig, chunk: Option<usize>, verify: bool) -> ! {
+fn run_online(config: SynthConfig, chunk: Option<usize>, verify: bool, progress: usize) -> ! {
     let chunk_len = chunk.unwrap_or(sno_bench::context::DEFAULT_CHUNK_LEN);
     let opts = StreamOptions {
         operator_latencies: true,
+        progress_every: progress,
         ..StreamOptions::default()
     };
     let generator = MlabGenerator::new(config.clone());
@@ -730,9 +750,21 @@ fn main() {
         chunk = Some(value);
         args.drain(pos..=pos + 1);
     }
+    let mut progress = 0usize;
+    if let Some(pos) = args.iter().position(|a| a == "--progress") {
+        let value = args
+            .get(pos + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--progress needs a record count, e.g. --progress 500000 (0 = silent)");
+                std::process::exit(2);
+            });
+        progress = value;
+        args.drain(pos..=pos + 1);
+    }
 
     if online {
-        run_online(config, chunk, verify_batch);
+        run_online(config, chunk, verify_batch, progress);
     }
 
     if bench {
@@ -743,7 +775,8 @@ fn main() {
     let ctx = match chunk {
         Some(c) => ReproContext::with_chunk(config, c),
         None => ReproContext::with_config(config),
-    };
+    }
+    .with_progress(progress);
     let selected: Vec<&str> = if args.is_empty() {
         EXPERIMENTS.iter().map(|(id, ..)| *id).collect()
     } else {

@@ -57,6 +57,7 @@ pub fn fig4a_config(base: &SynthConfig) -> SynthConfig {
 pub struct ReproContext {
     config: SynthConfig,
     chunk: Option<usize>,
+    progress_every: usize,
     mlab: OnceLock<MlabCorpus>,
     report: OnceLock<PipelineReport>,
     streamed: OnceLock<StreamedReport>,
@@ -76,6 +77,7 @@ impl ReproContext {
         ReproContext {
             config,
             chunk: None,
+            progress_every: 0,
             mlab: OnceLock::new(),
             report: OnceLock::new(),
             streamed: OnceLock::new(),
@@ -91,6 +93,15 @@ impl ReproContext {
             chunk: Some(chunk.max(1)),
             ..ReproContext::with_config(config)
         }
+    }
+
+    /// Emit a stderr heartbeat every `every` records inside the streamed
+    /// pipeline (0 = silent). Record counts, never wall-clock: paper-scale
+    /// runs take minutes and CI logs need liveness, but output stays
+    /// deterministic.
+    pub fn with_progress(mut self, every: usize) -> ReproContext {
+        self.progress_every = every;
+        self
     }
 
     /// The generator configuration in use.
@@ -140,6 +151,7 @@ impl ReproContext {
                 // constant-memory CI gate, so pass 2 regenerates.
                 StreamOptions {
                     operator_latencies: true,
+                    progress_every: self.progress_every,
                     ..StreamOptions::default()
                 },
             )

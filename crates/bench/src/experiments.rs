@@ -9,6 +9,7 @@
 use crate::context::ReproContext;
 use sno_core::analysis;
 use sno_core::validate::AsnVerdict;
+use sno_types::chunk::RecordChunks as _;
 use sno_types::records::CountryCode;
 use sno_types::{Asn, Operator, OrbitClass, Prefix24, Rng};
 use std::fmt::Write as _;
@@ -48,6 +49,11 @@ pub const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("fig12", "Figure 12: more BGP peering views", fig12),
     ("fig13", "Figure 13: peering evolution 2021-2023", fig13),
     ("fig14", "Figure 14: Prolific census scores", fig14),
+    (
+        "paths",
+        "Path model: per-SNO link ground truth feeding Fig. 3c",
+        paths,
+    ),
     (
         "coverage",
         "Section 4: coverage-inference validation",
@@ -618,12 +624,12 @@ fn pop_change_text(changes: &[sno_atlas::PopChange], probes: &[sno_atlas::ProbeI
 
 fn fig8b(ctx: &ReproContext) -> String {
     if ctx.chunk().is_some() {
-        // Chunked traceroute stream: only the per-probe RTT series are
-        // ever resident, never the traceroute corpus.
+        // Chunked traceroute + SSLCert streams: only the per-probe RTT
+        // series and cert histories are ever resident, never a corpus.
         let generator = sno_synth::AtlasGenerator::new(ctx.config().clone());
         let changes = sno_atlas::detect_all_pop_changes_streamed(
             generator.traceroute_chunks(ctx.chunk_len()),
-            &generator.sslcerts(),
+            generator.sslcert_chunks(ctx.chunk_len()),
             sno_synth::atlas::reverse_dns,
             8.0,
             8,
@@ -846,15 +852,26 @@ fn fig13(_ctx: &ReproContext) -> String {
 }
 
 fn fig14(ctx: &ReproContext) -> String {
-    let responses = sno_synth::census_responses(ctx.config().seed);
+    // Score histograms accumulate record-by-record, so the chunked form
+    // folds the stream into the same tallies the materialized corpus
+    // yields — byte-identical output either way.
+    let mut tallies: std::collections::BTreeMap<Operator, [usize; 5]> =
+        std::collections::BTreeMap::new();
+    let mut tally = |r: &sno_types::records::CensusResponse| {
+        tallies.entry(r.operator).or_insert([0usize; 5])[usize::from(r.score) - 1] += 1;
+    };
+    if ctx.chunk().is_some() {
+        sno_synth::census_chunks(ctx.config().seed, ctx.chunk_len())
+            .fold_records((), |(), r| tally(&r));
+    } else {
+        for r in sno_synth::census_responses(ctx.config().seed) {
+            tally(&r);
+        }
+    }
     let labels = ["very poor", "poor", "ok", "good", "very good"];
     let mut out = String::new();
     for op in [Operator::Starlink, Operator::Hughes, Operator::Viasat] {
-        let of_op: Vec<_> = responses.iter().filter(|r| r.operator == op).collect();
-        let mut counts = [0usize; 5];
-        for r in &of_op {
-            counts[usize::from(r.score) - 1] += 1;
-        }
+        let counts = tallies.get(&op).copied().unwrap_or_default();
         let cells: Vec<String> = labels
             .iter()
             .zip(counts)
@@ -864,13 +881,79 @@ fn fig14(ctx: &ReproContext) -> String {
             out,
             "{:<10} n={:<3} {}",
             op.name(),
-            of_op.len(),
+            counts.iter().sum::<usize>(),
             cells.join(", ")
         );
     }
     let _ = writeln!(
         out,
         "(paper: 1 of 20 Starlink users says poor; 'ok' is the ceiling for HughesNet (55%) and Viasat (18%))"
+    );
+    out
+}
+
+/// The injected link-level ground truth behind the NDT corpus: base RTT
+/// and bottleneck rate per operator, straight from the path model with
+/// no TCP dynamics on top. What Fig. 3c's access-latency bands must
+/// re-detect through the pipeline.
+fn paths(ctx: &ReproContext) -> String {
+    use sno_synth::paths::{PathSample, PathSampler};
+    const OPS: [Operator; 5] = [
+        Operator::Starlink,
+        Operator::Oneweb,
+        Operator::O3b,
+        Operator::Viasat,
+        Operator::Hughes,
+    ];
+    let sampler = PathSampler::new(ctx.config().clone());
+    // Per-operator buckets fill in stream order; the chunked stream is
+    // the exact concatenation of the per-operator corpora, so both
+    // branches build identical buckets and render identical text.
+    let mut rtts: std::collections::BTreeMap<Operator, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut rates: std::collections::BTreeMap<Operator, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut take = |s: &PathSample| {
+        rtts.entry(s.operator).or_default().push(s.base_rtt_ms);
+        rates.entry(s.operator).or_default().push(s.rate_mbps);
+    };
+    if ctx.chunk().is_some() {
+        sampler
+            .sample_chunks(&OPS, ctx.chunk_len())
+            .fold_records((), |(), s| take(&s));
+    } else {
+        for op in OPS {
+            for s in sampler.samples_for(op) {
+                take(&s);
+            }
+        }
+    }
+    let mut out = String::new();
+    for op in OPS {
+        let Some(summary) = rtts.get(&op).and_then(|v| sno_stats::FiveNumber::of(v)) else {
+            let _ = writeln!(out, "{:<10} n=0   (no coverage at this scale)", op.name());
+            continue;
+        };
+        let rate = rates
+            .get(&op)
+            .and_then(|v| sno_stats::median(v))
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{:<10} n={:<6} base RTT q1 {:>6.1} / med {:>6.1} / q3 {:>6.1} ms (min {:.1}, max {:.1})  med rate {:>6.1} Mbps",
+            op.name(),
+            summary.count,
+            summary.q1,
+            summary.median,
+            summary.q3,
+            summary.min,
+            summary.max,
+            rate
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(ground truth before TCP dynamics; paper Fig. 3c bands: LEO tens of ms, MEO ~150-300 ms, GEO >=600 ms)"
     );
     out
 }
@@ -1064,7 +1147,7 @@ mod tests {
     #[test]
     fn streamed_context_output_is_byte_identical() {
         let chunked = ReproContext::with_chunk(SynthConfig::test_corpus(), 512);
-        for id in ["table1", "fig1", "fig3c", "fig8b"] {
+        for id in ["table1", "fig1", "fig3c", "fig8b", "fig14", "paths"] {
             let streamed = run_experiment(&chunked, id).unwrap();
             let materialized = run_experiment(ctx(), id).unwrap();
             assert_eq!(streamed, materialized, "{id}");

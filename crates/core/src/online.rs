@@ -189,7 +189,12 @@ impl OnlineIdentifier {
             Some(cutoff) => self.windowed_state(cutoff),
         };
         let stages = self.pipeline.derive_stages(&self.mapping, &stats);
-        let pass = accept_pass(&stages.table, corpus.chunks(REPLAY_CHUNK_LEN), opts);
+        let pass = accept_pass(
+            &stages.table,
+            corpus.chunks(REPLAY_CHUNK_LEN),
+            opts,
+            self.pipeline.threads,
+        );
         let mut catalog: Vec<(Operator, u64)> = pass.counts.into_iter().collect();
         catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         StreamedReport {
@@ -303,7 +308,7 @@ mod tests {
         let opts = StreamOptions {
             dense_acceptance: true,
             operator_latencies: true,
-            replay_encoded: false,
+            ..StreamOptions::default()
         };
         let batch_report = Pipeline::new().run_streamed(|| slice_chunks(&records, 512), opts);
         let mut online = OnlineIdentifier::new(Pipeline::new());

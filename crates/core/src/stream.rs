@@ -180,6 +180,11 @@ pub struct StreamOptions {
     /// generation once — off by default so the constant-memory
     /// guarantee holds; benchmarks and bounded corpora opt in.
     pub replay_encoded: bool,
+    /// Emit a heartbeat line to stderr every this many records per pass
+    /// (`0` = silent). Heartbeats are record-count based — never
+    /// wall-clock — so they cannot perturb determinism; they make a
+    /// multi-minute `--scale 1` run observable.
+    pub progress_every: usize,
 }
 
 /// A compact per-record acceptance map: one bit per record, in stream
@@ -226,6 +231,29 @@ impl AcceptBitmap {
     /// Accepted records.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Append `other`'s bits after this bitmap's, preserving order —
+    /// the merge step when per-chunk bitmaps fold in chunk order. The
+    /// result is bit-for-bit what pushing `other`'s bits one at a time
+    /// would build, including at non-word-aligned boundaries.
+    pub fn append(&mut self, other: &AcceptBitmap) {
+        let shift = self.len % 64;
+        if shift == 0 {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            return;
+        }
+        for (i, &w) in other.words.iter().enumerate() {
+            // sno-lint: allow(unwrap-in-lib): len % 64 != 0 implies a last word exists
+            *self.words.last_mut().expect("shift > 0 implies words") |= w << shift;
+            // The high `shift` bits overflow into a fresh word — but
+            // only when `other` actually has bits past this boundary.
+            if i * 64 + (64 - shift) < other.len {
+                self.words.push(w >> (64 - shift));
+            }
+        }
+        self.len += other.len;
     }
 }
 
@@ -292,31 +320,59 @@ impl Pipeline {
 
         // Pass 1: columnarize each chunk and fold it into the
         // statistics accumulator, optionally encoding the stream for
-        // replay.
-        let mut stats = CorpusStats::new();
-        let mut encoder = opts.replay_encoded.then(codec::Encoder::new);
-        let mut stream = source();
-        while let Some(chunk) = stream.next_chunk() {
-            let batch = RecordBatch::from_records(&chunk);
-            stats.observe_batch(&index, &batch, 0..batch.len());
-            if let Some(enc) = encoder.as_mut() {
-                enc.extend_records(&chunk);
-            }
-        }
-        drop(stream);
+        // replay. Chunks are mapped to per-chunk partials on the worker
+        // pool and merged in chunk order on this thread, so every
+        // bucket holds its samples in record order — byte-identical to
+        // the serial fold at any thread count.
+        let mut progress = Progress::new(opts.progress_every, "stats pass");
+        let (stats, encoder) = chunk::par_fold_chunks(
+            source(),
+            self.threads,
+            (
+                CorpusStats::new(),
+                opts.replay_encoded.then(codec::Encoder::new),
+            ),
+            |chunk| {
+                let batch = RecordBatch::from_records(chunk);
+                let mut part = CorpusStats::new();
+                part.observe_batch(&index, &batch, 0..batch.len());
+                let encoded = opts.replay_encoded.then(|| {
+                    let mut enc = codec::Encoder::new();
+                    enc.extend_records(chunk);
+                    enc
+                });
+                (part, encoded)
+            },
+            |(stats, mut encoder), (part, part_enc)| {
+                progress.advance(part.records);
+                if let (Some(enc), Some(part_enc)) = (encoder.as_mut(), part_enc.as_ref()) {
+                    enc.append(part_enc);
+                }
+                (stats.merge(part), encoder)
+            },
+        );
 
         // Stages 3–3c over the accumulated buckets, folded into the
-        // per-ASN decision table.
+        // per-ASN decision table. The buckets (one f64 per record) are
+        // the dominant resident set at paper scale — release them
+        // before pass 2 runs.
         let stages = self.derive_stages(&mapping, &stats);
+        let total_records = stats.records;
+        drop(stats);
 
         // Pass 2: decide each record — replaying the encoded bytes, or
         // re-streaming the source.
         let encoded = encoder.map(codec::Encoder::finish);
         let pass = match &encoded {
-            Some(corpus) => accept_pass(&stages.table, corpus.chunks(REPLAY_CHUNK_LEN), opts),
-            None => accept_pass(&stages.table, source(), opts),
+            Some(corpus) => accept_pass(
+                &stages.table,
+                corpus.chunks(REPLAY_CHUNK_LEN),
+                opts,
+                self.threads,
+            ),
+            None => accept_pass(&stages.table, source(), opts, self.threads),
         };
-        debug_assert_eq!(pass.bitmap.len(), stats.records, "source must re-stream");
+        debug_assert_eq!(pass.bitmap.len(), total_records, "source must re-stream");
 
         let mut catalog: Vec<(Operator, u64)> = pass.counts.into_iter().collect();
         catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -327,11 +383,42 @@ impl Pipeline {
             strict: stages.strict,
             thresholds: stages.thresholds,
             default_threshold: stages.default_threshold,
-            records: stats.records,
+            records: total_records,
             catalog,
             bitmap: pass.bitmap,
             accepted: pass.dense,
             latencies_by_operator: pass.latencies,
+        }
+    }
+}
+
+/// Record-count heartbeat state for one streaming pass: prints to
+/// stderr every `every` records (never wall-clock, so the lint's
+/// determinism rules hold), silent when `every == 0`.
+struct Progress {
+    every: usize,
+    label: &'static str,
+    done: usize,
+}
+
+impl Progress {
+    fn new(every: usize, label: &'static str) -> Progress {
+        Progress {
+            every,
+            label,
+            done: 0,
+        }
+    }
+
+    fn advance(&mut self, records: usize) {
+        if self.every == 0 {
+            self.done += records;
+            return;
+        }
+        let before = self.done / self.every;
+        self.done += records;
+        if self.done / self.every > before {
+            eprintln!("    [{}] {} records", self.label, self.done);
         }
     }
 }
@@ -345,40 +432,80 @@ pub(crate) struct AcceptPass {
     pub(crate) latencies: Option<BTreeMap<Operator, Vec<f64>>>,
 }
 
-/// Decide every record of a chunked stream through the per-ASN table,
-/// column-wise per chunk.
-pub(crate) fn accept_pass<C>(table: &AcceptTable, mut stream: C, opts: StreamOptions) -> AcceptPass
-where
-    C: RecordChunks<Item = NdtRecord>,
-{
-    let mut counts: BTreeMap<Operator, u64> = BTreeMap::new();
-    let mut bitmap = AcceptBitmap::new();
-    let mut dense = opts.dense_acceptance.then(Vec::new);
-    let mut latencies = opts
-        .operator_latencies
-        .then(BTreeMap::<Operator, Vec<f64>>::new);
-    while let Some(chunk) = stream.next_chunk() {
-        let batch = RecordBatch::from_records(&chunk);
-        for (&asn, &lat) in batch.asns().iter().zip(batch.latency_p5()) {
-            let decision = table.decide(asn, lat);
-            bitmap.push(decision.is_some());
-            if let Some(op) = decision {
-                *counts.entry(op).or_default() += 1;
-                if let Some(by_op) = latencies.as_mut() {
-                    by_op.entry(op).or_default().push(lat);
-                }
-            }
-            if let Some(dense) = dense.as_mut() {
-                dense.push(decision);
-            }
+impl AcceptPass {
+    fn empty(opts: StreamOptions) -> AcceptPass {
+        AcceptPass {
+            counts: BTreeMap::new(),
+            bitmap: AcceptBitmap::new(),
+            dense: opts.dense_acceptance.then(Vec::new),
+            latencies: opts
+                .operator_latencies
+                .then(BTreeMap::<Operator, Vec<f64>>::new),
         }
     }
-    AcceptPass {
-        counts,
-        bitmap,
-        dense,
-        latencies,
+
+    /// Merge `other` (the later chunk) after `self`, preserving record
+    /// order in the bitmap, dense vector, and per-operator samples.
+    fn merge(mut self, other: AcceptPass) -> AcceptPass {
+        for (op, n) in other.counts {
+            *self.counts.entry(op).or_default() += n;
+        }
+        self.bitmap.append(&other.bitmap);
+        if let (Some(dense), Some(mut other)) = (self.dense.as_mut(), other.dense) {
+            dense.append(&mut other);
+        }
+        if let (Some(by_op), Some(other)) = (self.latencies.as_mut(), other.latencies) {
+            for (op, mut samples) in other {
+                by_op.entry(op).or_default().append(&mut samples);
+            }
+        }
+        self
     }
+}
+
+/// Decide every record of a chunked stream through the per-ASN table,
+/// column-wise per chunk. Chunks are decided on the worker pool and the
+/// per-chunk partials merge in chunk order, so counts, bitmap, dense
+/// vector, and per-operator samples are byte-identical to a serial pass
+/// at every thread count.
+pub(crate) fn accept_pass<C>(
+    table: &AcceptTable,
+    stream: C,
+    opts: StreamOptions,
+    threads: usize,
+) -> AcceptPass
+where
+    C: RecordChunks<Item = NdtRecord>,
+    C::Item: Sync,
+{
+    let mut progress = Progress::new(opts.progress_every, "accept pass");
+    chunk::par_fold_chunks(
+        stream,
+        threads,
+        AcceptPass::empty(opts),
+        |chunk| {
+            let batch = RecordBatch::from_records(chunk);
+            let mut part = AcceptPass::empty(opts);
+            for (&asn, &lat) in batch.asns().iter().zip(batch.latency_p5()) {
+                let decision = table.decide(asn, lat);
+                part.bitmap.push(decision.is_some());
+                if let Some(op) = decision {
+                    *part.counts.entry(op).or_default() += 1;
+                    if let Some(by_op) = part.latencies.as_mut() {
+                        by_op.entry(op).or_default().push(lat);
+                    }
+                }
+                if let Some(dense) = part.dense.as_mut() {
+                    dense.push(decision);
+                }
+            }
+            part
+        },
+        |acc, part| {
+            progress.advance(part.bitmap.len());
+            acc.merge(part)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -409,6 +536,45 @@ mod tests {
         }
         assert!(!bitmap.get(pattern.len()));
         assert_eq!(bitmap.count_ones(), pattern.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn bitmap_append_matches_bitwise_push_at_any_alignment() {
+        let pattern: Vec<bool> = (0..300).map(|i| i % 3 == 0 || i % 11 == 0).collect();
+        // Split the pattern at every alignment class and a few long
+        // tails; appending the halves must equal pushing every bit.
+        for split in [0, 1, 5, 63, 64, 65, 128, 200, 300] {
+            let mut left = AcceptBitmap::new();
+            for &bit in &pattern[..split] {
+                left.push(bit);
+            }
+            let mut right = AcceptBitmap::new();
+            for &bit in &pattern[split..] {
+                right.push(bit);
+            }
+            left.append(&right);
+            assert_eq!(left.len(), pattern.len(), "split {split}");
+            for (i, &bit) in pattern.iter().enumerate() {
+                assert_eq!(left.get(i), bit, "split {split} bit {i}");
+            }
+            assert_eq!(
+                left.count_ones(),
+                pattern.iter().filter(|&&b| b).count(),
+                "split {split}"
+            );
+        }
+        // Repeated small appends (the per-chunk merge shape).
+        let mut acc = AcceptBitmap::new();
+        for piece in pattern.chunks(7) {
+            let mut part = AcceptBitmap::new();
+            for &bit in piece {
+                part.push(bit);
+            }
+            acc.append(&part);
+        }
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(acc.get(i), bit, "chunked bit {i}");
+        }
     }
 
     #[test]
@@ -447,7 +613,7 @@ mod tests {
         let opts_base = StreamOptions {
             dense_acceptance: true,
             operator_latencies: true,
-            replay_encoded: false,
+            ..StreamOptions::default()
         };
         let restreamed =
             Pipeline::new().run_streamed(|| slice_chunks(&corpus.records, 512), opts_base);

@@ -34,7 +34,7 @@ pub const ATLAS_END: Date = Date {
 };
 
 /// One deployed probe.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbeSpec {
     /// Probe identifier.
     pub id: ProbeId,
@@ -316,42 +316,16 @@ impl AtlasGenerator {
 
     /// Build the 67-probe deployment (deterministic; no measurements).
     pub fn probes(&self) -> Vec<ProbeSpec> {
-        let mut probes = Vec::new();
-        let mut next_id = 1u32;
-        for &(country, count, (year, month), _) in DEPLOYMENT {
-            let sites = country_sites(country);
-            for i in 0..count {
-                let id = ProbeId(next_id);
-                next_id += 1;
-                let (location, state) = if country == "US" {
-                    let state = US_PROBE_STATES[i as usize];
-                    // sno-lint: allow(unwrap-in-lib): US_PROBE_STATES lists valid state codes only
-                    let s = sno_geo::world::us_state(state).expect("known state");
-                    // Spread probes within the state deterministically.
-                    let jitter = (f64::from(id.0 % 7) - 3.0) * 0.35;
-                    (
-                        GeoPoint::new(
-                            (s.point.lat + jitter).clamp(-89.0, 89.0),
-                            s.point.lon + jitter,
-                        ),
-                        Some(state),
-                    )
-                } else {
-                    (sites[i as usize % sites.len()], None)
-                };
-                let start = Date::new(year, month, 3);
-                let pop_schedule = schedule_for(country, i, location, start);
-                probes.push(ProbeSpec {
-                    id,
-                    country: CountryCode::new(country),
-                    state,
-                    location,
-                    start,
-                    pop_schedule,
-                });
-            }
-        }
-        probes
+        (0..DEPLOYMENT.len()).flat_map(row_probes).collect()
+    }
+
+    /// Stream the deployment one country-row shard at a time, delivered
+    /// in chunks of at most `chunk_len` probes. Concatenated, the stream
+    /// is exactly [`AtlasGenerator::probes`]: probe ids are fixed by the
+    /// deployment table (per-row base id + index), so no shard depends
+    /// on another, on `chunk_len`, or on `config.threads`.
+    pub fn probe_chunks(&self, chunk_len: usize) -> impl RecordChunks<Item = ProbeSpec> {
+        chunk::sharded(DEPLOYMENT.len(), self.config.threads, chunk_len, row_probes)
     }
 
     /// Generate the full corpus (probes + traceroutes + SSLCerts).
@@ -442,6 +416,25 @@ impl AtlasGenerator {
         }
         sslcerts.sort_by_key(|s| (s.timestamp, s.probe.0));
         sslcerts
+    }
+
+    /// Stream the SSLCert corpus one probe-shard at a time, delivered
+    /// in chunks of at most `chunk_len` records.
+    ///
+    /// Like [`AtlasGenerator::traceroute_chunks`], the stream yields
+    /// each probe's certs in chronological order with probes in id
+    /// order — **not** the global `(timestamp, probe)` interleaving of
+    /// [`AtlasGenerator::sslcerts`]. Consumers that bucket per probe
+    /// (the PoP-history/attribution path) see identical per-probe
+    /// sequences either way, because the global sort is stable and each
+    /// probe's schedule is already chronological. Certs draw no
+    /// randomness, so the shards are trivially independent.
+    pub fn sslcert_chunks(&self, chunk_len: usize) -> impl RecordChunks<Item = SslCertRecord> + '_ {
+        let probes = self.probes();
+        let end_day = ATLAS_END.to_day();
+        chunk::sharded(probes.len(), self.config.threads, chunk_len, move |i| {
+            self.cert_batch(&probes[i], end_day)
+        })
     }
 
     /// All measurements of one probe.
@@ -668,6 +661,47 @@ pub fn root_addr(root: RootServer) -> Ipv4 {
         RootServer::M => Ipv4::new(202, 12, 27, 33),
         RootServer::L => Ipv4::new(199, 7, 83, 42),
     }
+}
+
+/// Build the probes of one [`DEPLOYMENT`] row. Ids are sequential
+/// across the whole table (row base + index within the row), so rows
+/// are independent shards producing exactly the probes the serial loop
+/// assigned.
+fn row_probes(row: usize) -> Vec<ProbeSpec> {
+    let (country, count, (year, month), _) = DEPLOYMENT[row];
+    let base: u32 = 1 + DEPLOYMENT[..row].iter().map(|&(_, c, _, _)| c).sum::<u32>();
+    let sites = country_sites(country);
+    let mut probes = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let id = ProbeId(base + i);
+        let (location, state) = if country == "US" {
+            let state = US_PROBE_STATES[i as usize];
+            // sno-lint: allow(unwrap-in-lib): US_PROBE_STATES lists valid state codes only
+            let s = sno_geo::world::us_state(state).expect("known state");
+            // Spread probes within the state deterministically.
+            let jitter = (f64::from(id.0 % 7) - 3.0) * 0.35;
+            (
+                GeoPoint::new(
+                    (s.point.lat + jitter).clamp(-89.0, 89.0),
+                    s.point.lon + jitter,
+                ),
+                Some(state),
+            )
+        } else {
+            (sites[i as usize % sites.len()], None)
+        };
+        let start = Date::new(year, month, 3);
+        let pop_schedule = schedule_for(country, i, location, start);
+        probes.push(ProbeSpec {
+            id,
+            country: CountryCode::new(country),
+            state,
+            location,
+            start,
+            pop_schedule,
+        });
+    }
+    probes
 }
 
 /// The PoP schedule for probe `i` of `country`, starting at `start`.

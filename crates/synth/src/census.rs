@@ -6,6 +6,7 @@
 //! while "ok" is the *highest* score anyone gives HughesNet (55 % of its
 //! answers) or Viasat (18 %).
 
+use sno_types::chunk::{self, RecordChunks};
 use sno_types::records::CensusResponse;
 use sno_types::{Operator, Rng, TesterId};
 
@@ -40,9 +41,29 @@ pub fn census_responses(seed: u64) -> Vec<CensusResponse> {
     out
 }
 
+/// Stream the census responses in chunks of at most `chunk_len`
+/// records, concatenating to exactly [`census_responses`].
+///
+/// The corpus is 56 records with a *global* shuffle, so it is one shard
+/// — the point of the chunked form is the uniform [`RecordChunks`]
+/// contract (experiments fold chunks instead of holding a `Vec`), not
+/// memory relief this tiny corpus never needed.
+pub fn census_chunks(seed: u64, chunk_len: usize) -> impl RecordChunks<Item = CensusResponse> {
+    chunk::sharded(1, 1, chunk_len, move |_| census_responses(seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chunked_delivery_matches_materialized() {
+        let serial = census_responses(3);
+        for chunk_len in [1usize, 7, 56, 4096] {
+            let got = census_chunks(3, chunk_len).collect_records();
+            assert_eq!(got, serial, "chunk_len {chunk_len}");
+        }
+    }
 
     #[test]
     fn fifty_six_testers() {

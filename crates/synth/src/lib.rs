@@ -29,7 +29,7 @@ pub mod paths;
 
 pub use atlas::{AtlasCorpus, AtlasGenerator, ProbeSpec};
 pub use bgp::snapshots;
-pub use census::census_responses;
+pub use census::{census_chunks, census_responses};
 pub use config::SynthConfig;
 pub use mlab::{MlabCorpus, MlabGenerator};
 pub use paths::ClientPath;

@@ -8,8 +8,7 @@
 //! through the split-connection model.
 
 use crate::config::SynthConfig;
-use crate::paths::ClientPath;
-use sno_geo::GeoPoint;
+use crate::paths::{scatter, ClientPath};
 use sno_netsim::pep::PepMode;
 use sno_netsim::tcp::{TcpConfig, TcpFlow};
 use sno_registry::prefixes::{allocation_for, PrefixSpec};
@@ -44,6 +43,19 @@ impl MlabGenerator {
     /// Create a generator.
     pub fn new(config: SynthConfig) -> MlabGenerator {
         MlabGenerator { config }
+    }
+
+    /// Total sessions [`MlabGenerator::generate`] (and
+    /// [`MlabGenerator::generate_chunks`]) targets: the sum of the
+    /// scaled per-operator counts. Sparse-coverage shards can come in
+    /// slightly under their target via the rejection budget, so treat
+    /// this as the progress ceiling, not an exact count.
+    pub fn session_count(&self) -> u64 {
+        PROFILES
+            .iter()
+            .filter(|p| p.mlab_tests > 0)
+            .map(|p| self.config.scaled_sessions(p.mlab_tests))
+            .sum()
     }
 
     /// Generate records for every Table-1 operator.
@@ -298,26 +310,6 @@ impl MlabGenerator {
         }
         out
     }
-}
-
-/// Scatter a client around a home point by roughly `scatter_km`.
-fn scatter(home: GeoPoint, scatter_km: f64, rng: &mut Rng) -> GeoPoint {
-    // Convert a km-scale displacement to degrees (approximate; fine for
-    // placing subscribers).
-    let dlat = rng.normal_with(0.0, scatter_km / 111.0 / 2.0);
-    let lat = (home.lat + dlat).clamp(-65.0, 66.0); // stay in service belts
-    let dlon = rng.normal_with(
-        0.0,
-        scatter_km / 111.0 / 2.0 / lat.to_radians().cos().max(0.2),
-    );
-    let mut lon = home.lon + dlon;
-    while lon > 180.0 {
-        lon -= 360.0;
-    }
-    while lon < -180.0 {
-        lon += 360.0;
-    }
-    GeoPoint::new(lat, lon)
 }
 
 /// Convenience: all records of a fresh default corpus (used by examples).

@@ -9,7 +9,7 @@
 //! shape* from any other — only its latency profile differs, which is
 //! the paper's whole identification problem.
 
-use crate::config::{link_quality, LinkQuality};
+use crate::config::{link_quality, LinkQuality, SynthConfig};
 use sno_geo::{haversine_km, GeoPoint};
 use sno_netsim::path::PathDynamics;
 use sno_netsim::terrestrial::terrestrial_rtt;
@@ -18,7 +18,12 @@ use sno_orbit::geostationary::GeoSlot;
 use sno_orbit::meo::O3B_RING;
 use sno_orbit::shell::{ONEWEB_SHELL, STARLINK_SHELL};
 use sno_registry::assets::{egress_of, geo_slots_of, service_plan_of};
-use sno_types::{LinkKind, Operator, OrbitClass, Rng, UtcDay};
+use sno_registry::prefixes::{allocation_for, PrefixSpec};
+use sno_registry::profile::profile_of;
+use sno_types::chunk::{self, RecordChunks};
+use sno_types::par;
+use sno_types::time::SECS_PER_DAY;
+use sno_types::{Asn, LinkKind, Operator, OrbitClass, Rng, UtcDay};
 
 /// Metro areas hosting NDT measurement servers. The client's flow exits
 /// the operator's network at its egress and rides ordinary transit to
@@ -352,6 +357,201 @@ impl ClientPath {
     /// The bottleneck rate chosen for this session.
     pub fn rate_mbps(&self) -> f64 {
         self.rate_mbps
+    }
+}
+
+/// Scatter a client around a home point by roughly `scatter_km`.
+pub fn scatter(home: GeoPoint, scatter_km: f64, rng: &mut Rng) -> GeoPoint {
+    // Convert a km-scale displacement to degrees (approximate; fine for
+    // placing subscribers).
+    let dlat = rng.normal_with(0.0, scatter_km / 111.0 / 2.0);
+    let lat = (home.lat + dlat).clamp(-65.0, 66.0); // stay in service belts
+    let dlon = rng.normal_with(
+        0.0,
+        scatter_km / 111.0 / 2.0 / lat.to_radians().cos().max(0.2),
+    );
+    let mut lon = home.lon + dlon;
+    while lon > 180.0 {
+        lon -= 360.0;
+    }
+    while lon < -180.0 {
+        lon += 360.0;
+    }
+    GeoPoint::new(lat, lon)
+}
+
+/// One session's ground-truth link characterization: what the path
+/// itself offers at session start, before any TCP dynamics. This is the
+/// corpus the path-model validation experiment consumes — the injected
+/// access-latency ground truth the identification pipeline must
+/// re-detect through the NDT reductions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSample {
+    /// The operator whose network the session rides.
+    pub operator: Operator,
+    /// Ground-truth link kind for the drawn prefix.
+    pub kind: LinkKind,
+    /// Base RTT at session start (propagation + scheduling + backhaul +
+    /// cross-traffic), ms.
+    pub base_rtt_ms: f64,
+    /// The session's bottleneck rate, Mbps.
+    pub rate_mbps: f64,
+}
+
+/// Generates [`PathSample`] corpora: one sample per would-be session,
+/// drawn from the operator's prefix plan exactly like the NDT generator
+/// draws its sessions, but reduced to the link-level ground truth.
+///
+/// Samples are generated in fixed-size shards, each from its own RNG
+/// substream (`"paths"` / operator index / shard), so the materialized
+/// and chunked paths are byte-identical at every `config.threads`
+/// setting and chunk length.
+pub struct PathSampler {
+    config: SynthConfig,
+}
+
+impl PathSampler {
+    /// Create a sampler.
+    pub fn new(config: SynthConfig) -> PathSampler {
+        PathSampler { config }
+    }
+
+    /// How many samples [`PathSampler::samples_for`] targets for `op`
+    /// (the same scaled session count the NDT generator uses). Sparse
+    /// coverage can come in slightly under via the rejection budget.
+    pub fn sample_count(&self, op: Operator) -> usize {
+        self.config.scaled_sessions(profile_of(op).mlab_tests) as usize
+    }
+
+    /// Materialize every sample for one operator.
+    pub fn samples_for(&self, op: Operator) -> Vec<PathSample> {
+        let n = self.sample_count(op);
+        if n == 0 {
+            return Vec::new();
+        }
+        let (table, weights, op_rng) = self.op_inputs(op);
+        par::shard_map_chunks(
+            n,
+            par::DEFAULT_CHUNK,
+            self.config.threads,
+            |shard, range| {
+                let mut rng = op_rng.substream_shard(shard);
+                self.sample_batch(op, &table, &weights, range.len(), &mut rng)
+            },
+        )
+    }
+
+    /// Stream the concatenated samples of the listed operators, in list
+    /// order — exactly the concatenation of [`PathSampler::samples_for`]
+    /// per operator — delivered in chunks of at most `chunk_len`
+    /// records, without materializing any operator's corpus.
+    pub fn sample_chunks<'a>(
+        &'a self,
+        ops: &[Operator],
+        chunk_len: usize,
+    ) -> impl RecordChunks<Item = PathSample> + 'a {
+        struct OpPlan {
+            op: Operator,
+            table: Vec<(Asn, PrefixSpec)>,
+            weights: Vec<f64>,
+            rng: Rng,
+            ranges: Vec<std::ops::Range<usize>>,
+        }
+        let mut plans: Vec<OpPlan> = Vec::new();
+        let mut shard_index: Vec<(usize, usize)> = Vec::new();
+        for &op in ops {
+            let n = self.sample_count(op);
+            if n == 0 {
+                continue;
+            }
+            let (table, weights, rng) = self.op_inputs(op);
+            let ranges = par::shard_ranges(n, par::DEFAULT_CHUNK);
+            for shard in 0..ranges.len() {
+                shard_index.push((plans.len(), shard));
+            }
+            plans.push(OpPlan {
+                op,
+                table,
+                weights,
+                rng,
+                ranges,
+            });
+        }
+        chunk::sharded(
+            shard_index.len(),
+            self.config.threads,
+            chunk_len,
+            move |global| {
+                let (plan_idx, shard) = shard_index[global];
+                let plan = &plans[plan_idx];
+                let mut rng = plan.rng.substream_shard(shard);
+                self.sample_batch(
+                    plan.op,
+                    &plan.table,
+                    &plan.weights,
+                    plan.ranges[shard].len(),
+                    &mut rng,
+                )
+            },
+        )
+    }
+
+    /// The per-operator inputs: the flattened weighted prefix table and
+    /// the operator's RNG substream root (its own `"paths"` label, so
+    /// the NDT corpus and the path samples never share draws).
+    fn op_inputs(&self, op: Operator) -> (Vec<(Asn, PrefixSpec)>, Vec<f64>, Rng) {
+        let allocation = allocation_for(op);
+        let mut table: Vec<(Asn, PrefixSpec)> = Vec::new();
+        for (asn, specs) in &allocation {
+            for spec in specs {
+                table.push((*asn, *spec));
+            }
+        }
+        let weights: Vec<f64> = table.iter().map(|(_, s)| s.weight).collect();
+        let rng = Rng::new(self.config.seed)
+            .substream_named("paths")
+            .substream(op.index() as u64);
+        (table, weights, rng)
+    }
+
+    /// Up to `count` samples for one shard, with the NDT generator's
+    /// `4 × count` rejection budget for sparse coverage.
+    fn sample_batch(
+        &self,
+        op: Operator,
+        table: &[(Asn, PrefixSpec)],
+        weights: &[f64],
+        count: usize,
+        rng: &mut Rng,
+    ) -> Vec<PathSample> {
+        let start_day = self.config.mlab_start.to_day();
+        let end_day = self.config.mlab_end.to_day();
+        let span_days = (end_day - start_day) as u64;
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count * 4 {
+            attempts += 1;
+            let (_, spec) = table[rng.choose_weighted(weights)];
+            let day = UtcDay(start_day.0 + rng.below(span_days) as u32);
+            let sec_of_day = rng.below(SECS_PER_DAY);
+            let kind = spec.kind;
+            let client = scatter(spec.home, spec.scatter_km, rng);
+            let Some(path) = ClientPath::for_session(op, kind, client, day, self.config.seed, rng)
+            else {
+                continue; // out of coverage; resample
+            };
+            let orbital_t = (u64::from(day.0) * SECS_PER_DAY + sec_of_day) as f64;
+            let Some(base_rtt_ms) = path.base_rtt_ms(orbital_t) else {
+                continue; // outage at session start
+            };
+            out.push(PathSample {
+                operator: op,
+                kind,
+                base_rtt_ms,
+                rate_mbps: path.rate_mbps(),
+            });
+        }
+        out
     }
 }
 

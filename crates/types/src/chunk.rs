@@ -197,6 +197,53 @@ where
     }
 }
 
+/// Fold a chunked stream through a parallel per-chunk `map`, merging
+/// the partial results **in chunk order** on the calling thread.
+///
+/// Chunks are pulled in waves (two per worker, mirroring
+/// [`sharded`]'s wave size), mapped on the [`par`] pool, and folded
+/// left-to-right — so any accumulator whose merge appends per-key
+/// samples sees them in exactly the order a serial
+/// [`RecordChunks::fold_chunks`] pass would produce, at every thread
+/// count. Peak memory is one wave of chunks plus one wave of partials,
+/// never the whole stream.
+pub fn par_fold_chunks<C, Part, Acc, M, G>(
+    mut stream: C,
+    threads: usize,
+    init: Acc,
+    map: M,
+    mut fold: G,
+) -> Acc
+where
+    C: RecordChunks,
+    C::Item: Sync,
+    Part: Send,
+    M: Fn(&[C::Item]) -> Part + Sync,
+    G: FnMut(Acc, Part) -> Acc,
+{
+    let wave_len = par::resolve_threads(threads).max(1) * 2;
+    let mut acc = init;
+    loop {
+        let mut wave: Vec<Vec<C::Item>> = Vec::with_capacity(wave_len);
+        while wave.len() < wave_len {
+            match stream.next_chunk() {
+                Some(chunk) => wave.push(chunk),
+                None => break,
+            }
+        }
+        let exhausted = wave.len() < wave_len;
+        if !wave.is_empty() {
+            let parts = par::shard_map(wave.len(), threads, |i| map(&wave[i]));
+            for part in parts {
+                acc = fold(acc, part);
+            }
+        }
+        if exhausted {
+            return acc;
+        }
+    }
+}
+
 /// Parallel in-shard-order accumulation over `0..len`: build one
 /// accumulator per shard (boundaries from [`par::shard_ranges`], so
 /// thread-count independent) and merge them left-to-right in shard
@@ -284,6 +331,40 @@ mod tests {
         let sum = slice_chunks(&items, 3).fold_records(0u64, |acc, x| acc + x);
         assert_eq!(sum, 55);
         assert_eq!(slice_chunks(&items, 4).count_records(), 10);
+    }
+
+    #[test]
+    fn par_fold_chunks_preserves_chunk_order() {
+        // Identity map: the folded concatenation must equal the serial
+        // stream at every thread count, even with ragged chunks.
+        let serial: Vec<usize> = (0..37).flat_map(ragged).collect();
+        for threads in [1, 2, 8] {
+            for chunk_len in [1, 3, 64] {
+                let got = par_fold_chunks(
+                    sharded(37, 1, chunk_len, ragged),
+                    threads,
+                    Vec::new(),
+                    |chunk: &[usize]| chunk.to_vec(),
+                    |mut acc, part| {
+                        acc.extend(part);
+                        acc
+                    },
+                );
+                assert_eq!(got, serial, "threads {threads} chunk {chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_fold_chunks_empty_stream_returns_init() {
+        let got = par_fold_chunks(
+            sharded(0, 2, 8, |_| -> Vec<u32> { unreachable!() }),
+            4,
+            41u64,
+            |chunk: &[u32]| chunk.len() as u64,
+            |acc, part| acc + part,
+        );
+        assert_eq!(got, 41);
     }
 
     #[test]

@@ -51,18 +51,24 @@ fn experiment_text_identical_streamed_and_materialized() {
 
 #[test]
 fn streamed_pipeline_identical_across_chunk_and_thread_matrix() {
+    // Both passes of the streamed pipeline run chunk-parallel now, so
+    // this matrix also pins the parallel fold: partials must merge in
+    // chunk order at every thread count (bitmap bits, dense verdicts,
+    // and per-operator latency sample order included).
     let corpus = MlabGenerator::new(cfg(7, 0)).generate();
     let materialized = Pipeline::with_threads(1).run(&corpus.records);
+    let opts = StreamOptions {
+        dense_acceptance: true,
+        operator_latencies: true,
+        ..StreamOptions::default()
+    };
+    let serial_gen = MlabGenerator::new(cfg(7, 1));
+    let serial = Pipeline::with_threads(1).run_streamed(|| serial_gen.generate_chunks(WHOLE), opts);
     for chunk in [1usize, 1024, WHOLE] {
         for threads in [1usize, 2, 8] {
             let generator = MlabGenerator::new(cfg(7, threads));
-            let streamed = Pipeline::with_threads(threads).run_streamed(
-                || generator.generate_chunks(chunk),
-                StreamOptions {
-                    dense_acceptance: true,
-                    ..StreamOptions::default()
-                },
-            );
+            let streamed = Pipeline::with_threads(threads)
+                .run_streamed(|| generator.generate_chunks(chunk), opts);
             let label = format!("chunk {chunk} threads {threads}");
             assert_eq!(streamed.records, corpus.records.len(), "{label}");
             assert_eq!(streamed.catalog, materialized.catalog, "{label}");
@@ -76,6 +82,17 @@ fn streamed_pipeline_identical_across_chunk_and_thread_matrix() {
                 Some(materialized.accepted.as_slice()),
                 "{label}"
             );
+            assert_eq!(
+                streamed.latencies_by_operator, serial.latencies_by_operator,
+                "{label}"
+            );
+            let bits: Vec<bool> = (0..streamed.bitmap.len())
+                .map(|i| streamed.bitmap.get(i))
+                .collect();
+            let serial_bits: Vec<bool> = (0..serial.bitmap.len())
+                .map(|i| serial.bitmap.get(i))
+                .collect();
+            assert_eq!(bits, serial_bits, "{label}");
         }
     }
 }
@@ -144,6 +161,73 @@ fn atlas_series_identical_streamed_and_materialized() {
             let generator = AtlasGenerator::new(cfg(1, threads));
             let streamed = pop_rtt_series_from_chunks(generator.traceroute_chunks(chunk));
             assert_eq!(streamed, series, "chunk {chunk} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn probes_identical_streamed_and_materialized() {
+    let serial = AtlasGenerator::new(cfg(3, 1)).probes();
+    for chunk in [1usize, 1024, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let got = AtlasGenerator::new(cfg(3, threads))
+                .probe_chunks(chunk)
+                .collect_records();
+            assert_eq!(got, serial, "chunk {chunk} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn sslcerts_identical_streamed_and_materialized() {
+    // The chunked stream is per-probe chronological in probe-id order;
+    // `sslcerts()` interleaves globally with a *stable* sort by
+    // (timestamp, probe). The same stable sort over the chunked records
+    // must reproduce it exactly — which also proves every per-probe
+    // subsequence matches, the property the PoP-change detector needs.
+    let serial = AtlasGenerator::new(cfg(3, 1)).sslcerts();
+    for chunk in [1usize, 1024, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let mut got = AtlasGenerator::new(cfg(3, threads))
+                .sslcert_chunks(chunk)
+                .collect_records();
+            got.sort_by_key(|s| (s.timestamp, s.probe.0));
+            assert_eq!(got, serial, "chunk {chunk} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn census_identical_streamed_and_materialized() {
+    let serial = sno_dissect::synth::census_responses(11);
+    for chunk in [1usize, 7, WHOLE] {
+        let got = sno_dissect::synth::census_chunks(11, chunk).collect_records();
+        assert_eq!(got, serial, "chunk {chunk}");
+    }
+}
+
+#[test]
+fn path_samples_identical_streamed_and_materialized() {
+    use sno_dissect::synth::paths::PathSampler;
+    use sno_dissect::types::Operator;
+    let ops = [
+        Operator::Starlink,
+        Operator::Oneweb,
+        Operator::O3b,
+        Operator::Viasat,
+        Operator::Hughes,
+    ];
+    let serial_sampler = PathSampler::new(cfg(5, 1));
+    let serial: Vec<_> = ops
+        .iter()
+        .flat_map(|&op| serial_sampler.samples_for(op))
+        .collect();
+    assert!(!serial.is_empty());
+    for chunk in [1usize, 1024, WHOLE] {
+        for threads in [1usize, 2, 8] {
+            let sampler = PathSampler::new(cfg(5, threads));
+            let got = sampler.sample_chunks(&ops, chunk).collect_records();
+            assert_eq!(got, serial, "chunk {chunk} threads {threads}");
         }
     }
 }
