@@ -53,9 +53,16 @@ run fmt cargo fmt --check
 run clippy cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Lint gate: the in-tree determinism & hermeticity pass (sno-lint).
-# Fails on any diagnostic not excused by a justified allow pragma and
-# prints the replay line; see README "CI gates" for the rule table.
-run lint cargo run --release --offline -p sno-bench --bin repro -- --lint
+# Fails on any diagnostic not excused by a justified allow pragma, and
+# ratchets the justified-suppression ledger: the machine-readable report
+# lands in target/lint-report.json (gitignored) and its per-rule counts
+# are diffed against the committed tests/corpora/lint_baseline.json —
+# any increase fails the stage and prints the delta. Shrinking a count
+# is fine; re-bless by regenerating the baseline with `sno-lint --json`.
+run lint bash -c \
+    'cargo run --release --offline -p sno-lint --bin sno-lint -- \
+         --json --baseline tests/corpora/lint_baseline.json \
+         > target/lint-report.json'
 
 # Perf gate: diff the two newest committed BENCH_N.json trajectory
 # snapshots and fail on >20% median regressions (repro --bench-diff),

@@ -108,6 +108,7 @@ pub fn streamed_report_text(report: &sno_core::StreamedReport, scale: f64) -> St
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn table1(ctx: &ReproContext) -> String {
     let catalog = if ctx.chunk().is_some() {
         &ctx.streamed().catalog
@@ -117,6 +118,7 @@ fn table1(ctx: &ReproContext) -> String {
     catalog_table(catalog, ctx.config().scale)
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn table2(ctx: &ReproContext) -> String {
     let rows = sno_atlas::country_summary(&ctx.atlas().traceroutes, &ctx.probe_infos());
     let mut out = String::new();
@@ -140,6 +142,7 @@ fn table2(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn table3(_ctx: &ReproContext) -> String {
     let mapping = sno_core::map_asns();
     let mut out = String::new();
@@ -193,6 +196,7 @@ fn census_text(
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig1(ctx: &ReproContext) -> String {
     if ctx.chunk().is_some() {
         let report = ctx.streamed();
@@ -217,6 +221,7 @@ fn fig1(ctx: &ReproContext) -> String {
     }
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig2(ctx: &ReproContext) -> String {
     let report = ctx.report();
     let interesting: &[(u32, &str)] = &[
@@ -242,6 +247,7 @@ fn fig2(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig3a(ctx: &ReproContext) -> String {
     let strict = &ctx.report().strict;
     let mut out = String::new();
@@ -274,6 +280,7 @@ fn fig3a(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig3b(ctx: &ReproContext) -> String {
     let corpus = ctx.mlab();
     let mut out = String::new();
@@ -325,6 +332,7 @@ fn fig3b(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig3c(ctx: &ReproContext) -> String {
     let table = if ctx.chunk().is_some() {
         // The streamed accept pass collected the samples already; no
@@ -390,6 +398,7 @@ fn fig4a_row(
     )
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig4a(ctx: &ReproContext) -> String {
     // The figure's corpus and acceptance are cached on the context
     // (chunked generation into a columnar batch, columnar pipeline at
@@ -419,6 +428,7 @@ fn fig4a(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig4b(ctx: &ReproContext) -> String {
     let j = analysis::jitter_by_orbit(&ctx.mlab().records, ctx.report());
     let mut out = String::new();
@@ -438,6 +448,7 @@ fn fig4b(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig4c(ctx: &ReproContext) -> String {
     let groups = analysis::retransmissions(&ctx.mlab().records, ctx.report());
     let mut out = String::new();
@@ -523,6 +534,7 @@ fn country_table(rows: Vec<(CountryCode, sno_stats::FiveNumber)>) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig6a(ctx: &ReproContext) -> String {
     let rows = sno_atlas::pop_rtt_by_country(&ctx.atlas().traceroutes, &ctx.probe_infos());
     format!(
@@ -531,6 +543,7 @@ fn fig6a(ctx: &ReproContext) -> String {
     )
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig6b(ctx: &ReproContext) -> String {
     let rows = sno_atlas::root_rtt_by_country(&ctx.atlas().traceroutes, &ctx.probe_infos());
     format!(
@@ -539,6 +552,7 @@ fn fig6b(ctx: &ReproContext) -> String {
     )
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig6c(ctx: &ReproContext) -> String {
     let rows = sno_atlas::hops_by_country(&ctx.atlas().traceroutes, &ctx.probe_infos());
     format!(
@@ -547,6 +561,7 @@ fn fig6c(ctx: &ReproContext) -> String {
     )
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig7(ctx: &ReproContext) -> String {
     let atlas = ctx.atlas();
     let mut out = String::new();
@@ -573,6 +588,7 @@ fn fig7(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig8a(ctx: &ReproContext) -> String {
     let rows = sno_atlas::pop_rtt_by_state(&ctx.atlas().traceroutes, &ctx.probe_infos());
     let mut out = String::new();
@@ -622,6 +638,7 @@ fn pop_change_text(changes: &[sno_atlas::PopChange], probes: &[sno_atlas::ProbeI
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig8b(ctx: &ReproContext) -> String {
     if ctx.chunk().is_some() {
         // Chunked traceroute + SSLCert streams: only the per-probe RTT
@@ -659,6 +676,7 @@ fn fig8b(ctx: &ReproContext) -> String {
     }
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig9(ctx: &ReproContext) -> String {
     let mut rng = Rng::new(ctx.config().seed).substream_named("apps-speedtest");
     let panel = sno_apps::panel(ctx.config().seed);
@@ -706,6 +724,7 @@ fn fig9(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig10a(ctx: &ReproContext) -> String {
     let mut rng = Rng::new(ctx.config().seed).substream_named("apps-cdn");
     let panel = sno_apps::panel(ctx.config().seed);
@@ -737,6 +756,7 @@ fn fig10a(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig10b(ctx: &ReproContext) -> String {
     let mut rng = Rng::new(ctx.config().seed).substream_named("apps-web");
     let panel = sno_apps::panel(ctx.config().seed);
@@ -767,6 +787,7 @@ fn fig10b(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig10c(ctx: &ReproContext) -> String {
     let mut rng = Rng::new(ctx.config().seed).substream_named("apps-dns");
     let panel = sno_apps::panel(ctx.config().seed);
@@ -789,6 +810,7 @@ fn fig10c(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig11(ctx: &ReproContext) -> String {
     let mut rng = Rng::new(ctx.config().seed).substream_named("apps-video");
     let panel = sno_apps::panel(ctx.config().seed);
@@ -825,6 +847,7 @@ fn fig11(ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig13(_ctx: &ReproContext) -> String {
     let snaps = sno_synth::bgp::snapshots();
     let mut out = String::new();
@@ -851,6 +874,7 @@ fn fig13(_ctx: &ReproContext) -> String {
     out
 }
 
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn fig14(ctx: &ReproContext) -> String {
     // Score histograms accumulate record-by-record, so the chunked form
     // folds the stream into the same tallies the materialized corpus
@@ -896,6 +920,7 @@ fn fig14(ctx: &ReproContext) -> String {
 /// and bottleneck rate per operator, straight from the path model with
 /// no TCP dynamics on top. What Fig. 3c's access-latency bands must
 /// re-detect through the pipeline.
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn paths(ctx: &ReproContext) -> String {
     use sno_synth::paths::{PathSample, PathSampler};
     const OPS: [Operator; 5] = [
@@ -983,6 +1008,7 @@ fn coverage(_ctx: &ReproContext) -> String {
 /// The filtering ablation DESIGN.md calls out: how much traffic (and how
 /// much accuracy) does the relaxed stage add over strict-only retention?
 /// Ground truth comes from the generator, which the pipeline never sees.
+// sno-lint: allow(panic-reachable): repro entry point: reachable sites are leaf-justified invariants (length-guarded hot-path indexing, exhaustive table lookups); aborting beats publishing corrupt figures
 fn ablation_filter(ctx: &ReproContext) -> String {
     use sno_core::accuracy::{score, Confusion, Truth};
     let (corpus, raw) = sno_synth::MlabGenerator::new(ctx.config().clone()).generate_with_truth();

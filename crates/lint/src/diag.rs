@@ -77,7 +77,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,640 @@
+//! The workspace call graph and the flow-aware `panic-reachable` rule.
+//!
+//! Token-pattern rules see one line; the service-readiness invariant of
+//! DESIGN §7 — *no panic reachable from a pipeline entry point* — needs
+//! to see across functions. This module stitches the per-file item
+//! trees ([`crate::parse`]) into a cross-crate call graph and walks it.
+//!
+//! Resolution is deliberately **conservative in the over-approximating
+//! direction**: when a call is ambiguous (a bare method name that
+//! several workspace types define), every candidate gets an edge, so a
+//! reachable panic is never missed at the cost of occasional spurious
+//! edges. The opposite choice — guessing one receiver type — would make
+//! the safety claim "no panic reachable" quietly false. Calls that
+//! resolve to nothing inside the workspace (std, closures) get no edge:
+//! the graph only answers questions about workspace code.
+//!
+//! Everything is deterministic: files are processed in path order
+//! regardless of input order, node ids are stable functions of
+//! `(file, nesting path, name)`, and adjacency is sorted — so
+//! `sno-lint --graph-json` is byte-identical across runs and under
+//! file-order shuffling (property-tested in `tests/selftest.rs`).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::diag::{escape_json, Diagnostic};
+use crate::lexer::{Token, TokenKind};
+use crate::parse::ItemKind;
+use crate::rules::FileAnalysis;
+
+/// Files whose slice-indexing is treated as a panic site: the columnar
+/// hot path, where a stray `v[i]` aborts the whole batch. Everywhere
+/// else indexing is too common (and too often length-guarded) to flag.
+pub const HOT_PATH_FILES: [&str; 3] = [
+    "crates/types/src/batch.rs",
+    "crates/core/src/accept.rs",
+    "crates/core/src/stream.rs",
+];
+
+/// Macros whose expansion unconditionally panics.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Crates outside the service-reachability universe: dev tooling that
+/// is never linked into a pipeline or experiment binary (`check` is the
+/// property-test harness, `lint` is this linter). Including them would
+/// manufacture spurious reachable panics through the conservative
+/// method-name resolution.
+const GRAPH_EXCLUDED_CRATES: [&str; 2] = ["check", "lint"];
+
+/// Identifiers that are (or can head) expression keywords, never free
+/// functions — `if (x)` must not look like a call to `if`.
+const EXPR_KEYWORDS: [&str; 24] = [
+    "as", "async", "await", "break", "const", "continue", "crate", "else", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "move", "mut", "ref", "return", "unsafe", "use", "while",
+    "yield",
+];
+
+/// One function in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Stable id: `<path>::<nesting path>::<name>` (`#2`, `#3` … appended
+    /// on the rare collision, in path order, so ids stay unique).
+    pub id: String,
+    /// Workspace-relative `/`-separated path of the defining file.
+    pub file: String,
+    /// Index into the `FileAnalysis` slice the graph was built from.
+    pub file_idx: usize,
+    /// The function's own name.
+    pub name: String,
+    /// Self type of the enclosing `impl`/`trait` block, if any.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// Whether the function is `#[test]`/`#[cfg(test)]`-gated.
+    pub is_test: bool,
+    /// Token range of the body in the file's token stream.
+    pub body: Option<(usize, usize)>,
+    /// Callees (node indices), sorted by callee id, deduplicated.
+    pub calls: Vec<usize>,
+    /// Panic sites inside this function's own body, in source order.
+    pub panics: Vec<PanicSite>,
+}
+
+impl FnNode {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One panic site: what panics and where.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`,
+    /// `unimplemented!`, or `slice-index`.
+    pub what: &'static str,
+    pub line: u32,
+}
+
+/// The stable-sorted workspace call graph.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// Nodes sorted by id.
+    pub nodes: Vec<FnNode>,
+}
+
+/// Build the call graph over every `Lib`-kind file in `files`. Input
+/// order does not matter: files are processed in path order.
+pub fn build(files: &[FileAnalysis]) -> Graph {
+    let mut order: Vec<usize> = (0..files.len())
+        .filter(|&i| {
+            files[i].ctx.kind == crate::rules::FileKind::Lib
+                && !files[i]
+                    .ctx
+                    .crate_dir
+                    .as_deref()
+                    .is_some_and(|c| GRAPH_EXCLUDED_CRATES.contains(&c))
+        })
+        .collect();
+    order.sort_by(|&a, &b| files[a].path.cmp(&files[b].path));
+
+    // Pass 1: collect nodes.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut id_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for &fi in &order {
+        let fa = &files[fi];
+        collect_fns(
+            fa,
+            fi,
+            &fa.tree.root,
+            &mut Vec::new(),
+            None,
+            &mut nodes,
+            &mut id_counts,
+        );
+    }
+
+    // Resolution tables over non-test nodes (test code is never a call
+    // target of service code under `cfg(test)`).
+    let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut known_types: BTreeSet<&str> = BTreeSet::new();
+    for (idx, n) in nodes.iter().enumerate() {
+        if n.is_test {
+            continue;
+        }
+        match &n.self_ty {
+            Some(ty) => {
+                by_type_method.entry((ty, &n.name)).or_default().push(idx);
+                method_by_name.entry(&n.name).or_default().push(idx);
+                known_types.insert(ty);
+            }
+            None => free_by_name.entry(&n.name).or_default().push(idx),
+        }
+    }
+
+    // Pass 2: scan bodies for calls and panic sites.
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut panics: Vec<Vec<PanicSite>> = vec![Vec::new(); nodes.len()];
+    for idx in 0..nodes.len() {
+        if nodes[idx].is_test {
+            continue;
+        }
+        let Some((blo, bhi)) = nodes[idx].body else {
+            continue;
+        };
+        let fa = &files[nodes[idx].file_idx];
+        let toks = &fa.lexed.tokens;
+        let (blo, bhi) = (blo.min(toks.len()), bhi.min(toks.len()));
+        let hot_path = HOT_PATH_FILES.contains(&fa.path.as_str());
+        let mut callees: BTreeSet<usize> = BTreeSet::new();
+        let mut i = blo;
+        while i < bhi {
+            scan_token(
+                &ScanCtx {
+                    nodes: &nodes,
+                    by_type_method: &by_type_method,
+                    method_by_name: &method_by_name,
+                    free_by_name: &free_by_name,
+                    known_types: &known_types,
+                    files,
+                },
+                idx,
+                toks,
+                blo,
+                bhi,
+                i,
+                hot_path,
+                &mut callees,
+                &mut panics[idx],
+            );
+            i += 1;
+        }
+        let mut list: Vec<usize> = callees.into_iter().collect();
+        list.sort_by(|&a, &b| nodes[a].id.cmp(&nodes[b].id));
+        calls[idx] = list;
+    }
+    for (idx, (c, p)) in calls.into_iter().zip(panics).enumerate() {
+        nodes[idx].calls = c;
+        nodes[idx].panics = p;
+    }
+
+    // Final order: by id. Remap the adjacency through the permutation.
+    let mut perm: Vec<usize> = (0..nodes.len()).collect();
+    perm.sort_by(|&a, &b| nodes[a].id.cmp(&nodes[b].id));
+    let mut inverse = vec![0usize; nodes.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        inverse[old] = new;
+    }
+    let mut sorted: Vec<FnNode> = Vec::with_capacity(nodes.len());
+    for &old in &perm {
+        let mut n = nodes[old].clone();
+        n.calls = n.calls.iter().map(|&c| inverse[c]).collect();
+        n.calls.sort_unstable();
+        sorted.push(n);
+    }
+    Graph { nodes: sorted }
+}
+
+/// DFS item collection: record every `fn`, threading the module path
+/// and the enclosing impl/trait self type.
+fn collect_fns(
+    fa: &FileAnalysis,
+    file_idx: usize,
+    ids: &[usize],
+    nesting: &mut Vec<String>,
+    self_ty: Option<&str>,
+    nodes: &mut Vec<FnNode>,
+    id_counts: &mut BTreeMap<String, usize>,
+) {
+    for &id in ids {
+        let Some(it) = fa.tree.items.get(id) else {
+            continue;
+        };
+        match it.kind {
+            ItemKind::Fn => {
+                let mut base = fa.path.clone();
+                for seg in nesting.iter() {
+                    base.push_str("::");
+                    base.push_str(seg);
+                }
+                if let Some(ty) = self_ty {
+                    base.push_str("::");
+                    base.push_str(ty);
+                }
+                base.push_str("::");
+                base.push_str(&it.name);
+                let n = id_counts.entry(base.clone()).or_insert(0);
+                *n += 1;
+                let id_str = if *n == 1 { base } else { format!("{base}#{n}") };
+                nodes.push(FnNode {
+                    id: id_str,
+                    file: fa.path.clone(),
+                    file_idx,
+                    name: it.name.clone(),
+                    self_ty: self_ty.map(str::to_string),
+                    line: it.line,
+                    is_test: it.is_test,
+                    body: it.body,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            ItemKind::Mod => {
+                nesting.push(it.name.clone());
+                collect_fns(
+                    fa,
+                    file_idx,
+                    &it.children,
+                    nesting,
+                    self_ty,
+                    nodes,
+                    id_counts,
+                );
+                nesting.pop();
+            }
+            ItemKind::Impl | ItemKind::Trait => {
+                let ty = if it.name.is_empty() {
+                    None
+                } else {
+                    Some(it.name.as_str())
+                };
+                collect_fns(fa, file_idx, &it.children, nesting, ty, nodes, id_counts);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct ScanCtx<'a> {
+    nodes: &'a [FnNode],
+    by_type_method: &'a BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    method_by_name: &'a BTreeMap<&'a str, Vec<usize>>,
+    free_by_name: &'a BTreeMap<&'a str, Vec<usize>>,
+    known_types: &'a BTreeSet<&'a str>,
+    files: &'a [FileAnalysis],
+}
+
+/// Examine the token at `i` inside `caller`'s body for a call edge or a
+/// panic site.
+#[allow(clippy::too_many_arguments)]
+fn scan_token(
+    ctx: &ScanCtx<'_>,
+    caller: usize,
+    toks: &[Token],
+    blo: usize,
+    bhi: usize,
+    i: usize,
+    hot_path: bool,
+    callees: &mut BTreeSet<usize>,
+    panics: &mut Vec<PanicSite>,
+) {
+    // Slice indexing in the hot path: `expr[..]` — an opener whose
+    // previous token ends an expression. (`#[attr]`, `[T; N]` types,
+    // and array literals all have non-expression predecessors.)
+    if hot_path && toks[i].is_punct('[') && i > blo {
+        let prev = &toks[i - 1];
+        let indexes_expr = match &prev.kind {
+            TokenKind::Ident(name) => !EXPR_KEYWORDS.contains(&name.as_str()),
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        };
+        if indexes_expr {
+            panics.push(PanicSite {
+                what: "slice-index",
+                line: toks[i].line,
+            });
+        }
+    }
+
+    let Some(name) = toks[i].ident() else {
+        return;
+    };
+
+    // Panic macros: `panic!(..)` and friends.
+    if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) && PANIC_MACROS.contains(&name) {
+        let what = match name {
+            "panic" => "panic!",
+            "unreachable" => "unreachable!",
+            "todo" => "todo!",
+            _ => "unimplemented!",
+        };
+        panics.push(PanicSite {
+            what,
+            line: toks[i].line,
+        });
+        return;
+    }
+
+    // Call position: the name is followed by `(`, optionally via a
+    // turbofish `::<..>`.
+    let after = skip_turbofish(toks, i + 1, bhi);
+    if !toks.get(after).is_some_and(|t| t.is_punct('(')) {
+        return;
+    }
+
+    let prev_dot = i > blo && toks[i - 1].is_punct('.');
+    if prev_dot {
+        // `.unwrap()` / `.expect()` are panic sites, not edges.
+        if name == "unwrap" || name == "expect" {
+            panics.push(PanicSite {
+                what: if name == "unwrap" {
+                    ".unwrap()"
+                } else {
+                    ".expect()"
+                },
+                line: toks[i].line,
+            });
+            return;
+        }
+        // Method call: conservatively link every non-test workspace
+        // method with this name.
+        if let Some(cands) = ctx.method_by_name.get(name) {
+            callees.extend(cands.iter().copied());
+        }
+        return;
+    }
+
+    let prev_path = i >= blo + 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+    if prev_path {
+        // Qualified call `Qual::name(..)`: resolve through the
+        // qualifier. `<T as Trait>::f(..)` has `>` before `::` and gets
+        // no edge (resolving it needs full type information).
+        let Some(qual) = (i >= blo + 3).then(|| toks[i - 3].ident()).flatten() else {
+            return;
+        };
+        let fa = &ctx.files[ctx.nodes[caller].file_idx];
+        let ty = if qual == "Self" {
+            match &ctx.nodes[caller].self_ty {
+                Some(t) => t.clone(),
+                None => return,
+            }
+        } else {
+            // Map a `use` alias to the real type name it binds.
+            fa.tree
+                .uses
+                .iter()
+                .find(|u| u.alias == qual && u.alias != "*")
+                .and_then(|u| u.path.last())
+                .cloned()
+                .unwrap_or_else(|| qual.to_string())
+        };
+        if !ctx.known_types.contains(ty.as_str()) {
+            return; // std or external: outside the graph.
+        }
+        if let Some(cands) = ctx.by_type_method.get(&(ty.as_str(), name)) {
+            callees.extend(cands.iter().copied());
+        }
+        return;
+    }
+
+    // Bare call `name(..)`: a free function. Prefer same-file, then
+    // same-crate definitions; fall back to every match (conservative).
+    if EXPR_KEYWORDS.contains(&name) {
+        return;
+    }
+    let Some(cands) = ctx.free_by_name.get(name) else {
+        return;
+    };
+    let caller_file = &ctx.nodes[caller].file;
+    let caller_crate = crate_of(caller_file);
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| &ctx.nodes[c].file == caller_file)
+        .collect();
+    let picked = if !same_file.is_empty() {
+        same_file
+    } else {
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| crate_of(&ctx.nodes[c].file) == caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            same_crate
+        } else {
+            cands.clone()
+        }
+    };
+    callees.extend(picked);
+}
+
+/// `crates/<dir>/...` → `<dir>`; anything else → "".
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("")
+    } else {
+        ""
+    }
+}
+
+/// If `toks[j..]` starts a turbofish `::<..>`, return the index one
+/// past its closing `>`; otherwise return `j` unchanged.
+fn skip_turbofish(toks: &[Token], j: usize, hi: usize) -> usize {
+    if !(toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.is_punct('<')))
+    {
+        return j;
+    }
+    let mut depth = 0i64;
+    let mut k = j + 2;
+    while k < hi {
+        if toks[k].is_punct('<') {
+            depth += 1;
+        } else if toks[k].is_punct('>') {
+            // `->` inside fn-pointer types is not a closer.
+            if !(k > 0 && toks[k - 1].is_punct('-')) {
+                depth -= 1;
+                if depth <= 0 {
+                    return k + 1;
+                }
+            }
+        }
+        k += 1;
+    }
+    j
+}
+
+/// The service entry points (DESIGN §7): every `Pipeline::run*`,
+/// `OnlineIdentifier::{ingest*, snapshot, merge}`, and every experiment
+/// runner the `EXPERIMENTS` registry in `crates/bench/src/experiments.rs`
+/// references. Returns node indices, in node (id) order.
+pub fn entry_roots(g: &Graph, files: &[FileAnalysis]) -> Vec<usize> {
+    // Names referenced inside the EXPERIMENTS const.
+    let mut experiment_fns: BTreeSet<&str> = BTreeSet::new();
+    for fa in files {
+        if fa.path != "crates/bench/src/experiments.rs" {
+            continue;
+        }
+        for &id in &fa.tree.walk() {
+            let it = &fa.tree.items[id];
+            if it.kind == ItemKind::Const && it.name == "EXPERIMENTS" {
+                for t in fa
+                    .lexed
+                    .tokens
+                    .iter()
+                    .take(it.tok_hi.min(fa.lexed.tokens.len()))
+                    .skip(it.tok_lo)
+                {
+                    if let Some(n) = t.ident() {
+                        experiment_fns.insert(n);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut roots = Vec::new();
+    for (idx, n) in g.nodes.iter().enumerate() {
+        if n.is_test {
+            continue;
+        }
+        let is_root = match n.self_ty.as_deref() {
+            Some("Pipeline") => n.file.starts_with("crates/core/") && n.name.starts_with("run"),
+            Some("OnlineIdentifier") => {
+                n.file.starts_with("crates/core/")
+                    && (n.name.starts_with("ingest") || n.name == "snapshot" || n.name == "merge")
+            }
+            Some(_) => false,
+            None => {
+                n.file == "crates/bench/src/experiments.rs"
+                    && experiment_fns.contains(n.name.as_str())
+            }
+        };
+        if is_root {
+            roots.push(idx);
+        }
+    }
+    roots
+}
+
+/// The `panic-reachable` rule: one diagnostic per entry root from which
+/// any panic site is transitively reachable, anchored at the root's
+/// `fn` line so the justification pragma lives at the root.
+pub fn panic_reachable(g: &Graph, files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for root in entry_roots(g, files) {
+        // BFS in adjacency (id) order; parents give a shortest chain.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        seen.insert(root);
+        queue.push_back(root);
+        let mut bfs_order = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            bfs_order.push(u);
+            for &v in &g.nodes[u].calls {
+                if seen.insert(v) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut total = 0usize;
+        let mut nearest: Option<usize> = None;
+        for &u in &bfs_order {
+            let n = &g.nodes[u];
+            if !n.panics.is_empty() {
+                total += n.panics.len();
+                nearest.get_or_insert(u);
+            }
+        }
+        let Some(site_node) = nearest else {
+            continue;
+        };
+        let site = &g.nodes[site_node].panics[0];
+        let mut chain = vec![g.nodes[site_node].display()];
+        let mut cur = site_node;
+        while cur != root {
+            let Some(&p) = parent.get(&cur) else {
+                break;
+            };
+            chain.push(g.nodes[p].display());
+            cur = p;
+        }
+        chain.reverse();
+        let rootn = &g.nodes[root];
+        out.push(Diagnostic {
+            file: rootn.file.clone(),
+            line: rootn.line,
+            rule: "panic-reachable",
+            message: format!(
+                "{} panic site(s) reachable from entry point {}: nearest is {} at {}:{} via {}; remove the panics or justify at this root",
+                total,
+                rootn.display(),
+                site.what,
+                g.nodes[site_node].file,
+                site.line,
+                chain.join(" -> "),
+            ),
+        });
+    }
+    out
+}
+
+/// Render the graph as stable JSON (`sno-lint --graph-json`): nodes
+/// sorted by id, adjacency by callee id, one node per line so dumps
+/// diff cleanly.
+pub fn render_json(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": \"sno-lint-graph-v1\",\n");
+    out.push_str(&format!("  \"node_count\": {},\n", g.nodes.len()));
+    out.push_str("  \"nodes\": [");
+    for (i, n) in g.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"id\": \"{}\", ", escape_json(&n.id)));
+        out.push_str(&format!("\"file\": \"{}\", ", escape_json(&n.file)));
+        out.push_str(&format!("\"line\": {}, ", n.line));
+        out.push_str(&format!("\"test\": {}, ", n.is_test));
+        out.push_str("\"calls\": [");
+        for (k, &c) in n.calls.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape_json(&g.nodes[c].id)));
+        }
+        out.push_str("], \"panics\": [");
+        for (k, p) in n.panics.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}@{}\"", escape_json(p.what), p.line));
+        }
+        out.push_str("]}");
+    }
+    if !g.nodes.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

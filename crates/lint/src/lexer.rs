@@ -3,12 +3,14 @@
 //! The rules in this crate match *token* patterns, so the lexer's one
 //! job is to never confuse code with non-code: line and block comments
 //! (nested), string literals (with escapes), raw strings (any number of
-//! `#`s), byte and raw-byte strings, char literals, and lifetimes must
-//! all be recognised so that `"SystemTime::now"` inside a string or a
-//! pragma spelled inside a comment never count as code — and vice
-//! versa. It is byte-oriented, never panics on malformed input
-//! (unterminated literals simply run to end of file), and tracks the
-//! 1-based line of every token for diagnostics.
+//! `#`s), byte and raw-byte strings, char literals, lifetimes, raw
+//! identifiers (`r#type`), and a leading shebang line must all be
+//! recognised so that `"SystemTime::now"` inside a string or a pragma
+//! spelled inside a comment never count as code — and vice versa. It is
+//! byte-oriented, never panics on malformed input (unterminated
+//! literals simply run to end of file), and tracks both the 1-based
+//! line and the byte span of every token so the item parser
+//! ([`crate::parse`]) can recover source extents.
 
 /// What a token is. Contents are kept where a rule needs to look at
 /// them (identifiers, numeric and string literals).
@@ -30,12 +32,17 @@ pub enum TokenKind {
     Punct(char),
 }
 
-/// One significant token with its source line.
+/// One significant token with its source line and byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     pub kind: TokenKind,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte (raw identifiers include
+    /// their `r#` prefix).
+    pub lo: usize,
+    /// Byte offset one past the token's last byte.
+    pub hi: usize,
 }
 
 impl Token {
@@ -47,6 +54,14 @@ impl Token {
     /// Whether this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
+    }
+
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -97,6 +112,13 @@ struct Lexer<'a> {
 
 impl Lexer<'_> {
     fn run(mut self) -> Lexed {
+        // A leading shebang (`#!/usr/bin/env ...`) is not Rust tokens;
+        // skip to its newline. `#![inner_attr]` is real code and stays.
+        if self.b.starts_with(b"#!") && self.peek(2) != Some(b'[') {
+            while self.i < self.b.len() && self.b[self.i] != b'\n' {
+                self.i += 1;
+            }
+        }
         while self.i < self.b.len() {
             let c = self.b[self.i];
             match c {
@@ -112,14 +134,15 @@ impl Lexer<'_> {
                 b'\'' => self.char_or_lifetime(),
                 b'r' | b'b' => {
                     if !self.raw_or_byte_prefix() {
-                        self.ident();
+                        self.ident(self.i);
                     }
                 }
                 c if c.is_ascii_digit() => self.number(),
-                c if is_ident_start(c) => self.ident(),
+                c if is_ident_start(c) => self.ident(self.i),
                 c => {
-                    self.push_token(TokenKind::Punct(c as char));
+                    let lo = self.i;
                     self.i += 1;
+                    self.push_token(TokenKind::Punct(c as char), lo);
                 }
             }
         }
@@ -130,10 +153,17 @@ impl Lexer<'_> {
         self.b.get(self.i + ahead).copied()
     }
 
-    fn push_token(&mut self, kind: TokenKind) {
+    /// Push a token spanning `lo..self.i` on the current line.
+    fn push_token(&mut self, kind: TokenKind, lo: usize) {
+        self.push_token_at(kind, lo, self.line);
+    }
+
+    fn push_token_at(&mut self, kind: TokenKind, lo: usize, line: u32) {
         self.out.tokens.push(Token {
             kind,
-            line: self.line,
+            line,
+            lo,
+            hi: self.i.min(self.b.len()),
         });
         self.line_has_code = true;
     }
@@ -185,8 +215,8 @@ impl Lexer<'_> {
     }
 
     /// A `"`-delimited string starting at `self.i` (which must point at
-    /// the opening quote). `skip` bytes of prefix (e.g. the `b` of a
-    /// byte string) were already consumed by the caller via offset.
+    /// the opening quote). `prefix_start_back` bytes of prefix (e.g. the
+    /// `b` of a byte string) were already consumed by the caller.
     fn string(&mut self, prefix_start_back: usize) {
         let start = self.i - prefix_start_back;
         let line = self.line;
@@ -207,11 +237,7 @@ impl Lexer<'_> {
         }
         let end = self.i.min(self.b.len());
         let text = self.text(start, end);
-        self.out.tokens.push(Token {
-            kind: TokenKind::Str(text),
-            line,
-        });
-        self.line_has_code = true;
+        self.push_token_at(TokenKind::Str(text), start, line);
     }
 
     /// Raw string body: `self.i` points at the first `#` or the `"`.
@@ -251,17 +277,14 @@ impl Lexer<'_> {
         }
         let end = self.i.min(self.b.len());
         let text = self.text(start, end);
-        self.out.tokens.push(Token {
-            kind: TokenKind::Str(text),
-            line,
-        });
-        self.line_has_code = true;
+        self.push_token_at(TokenKind::Str(text), start, line);
     }
 
     /// Dispatch the `r`/`b` prefix forms: raw strings `r".."`/`r#".."#`,
     /// byte strings `b".."`, raw byte strings `br#".."#`, byte chars
-    /// `b'x'`, and raw identifiers `r#ident`. Returns false when the
-    /// `r`/`b` is just the start of an ordinary identifier.
+    /// `b'x'`, and raw identifiers `r#ident` (lexed as plain identifiers
+    /// without the prefix, spanning the whole `r#ident`). Returns false
+    /// when the `r`/`b` is just the start of an ordinary identifier.
     fn raw_or_byte_prefix(&mut self) -> bool {
         let start = self.i;
         let c = self.b[self.i];
@@ -270,10 +293,12 @@ impl Lexer<'_> {
                 Some(b'"') => {
                     self.i += 1;
                     self.raw_string(start);
-                    return true;
+                    true
                 }
                 Some(b'#') => {
-                    // r#".."# (any number of #s) or the raw identifier r#ident.
+                    // Count the #s after the `r`: `r##..#"` opens a raw
+                    // string; exactly one # followed by an identifier
+                    // start is the raw identifier `r#ident`.
                     let mut k = 1;
                     while self.peek(k) == Some(b'#') {
                         k += 1;
@@ -283,46 +308,47 @@ impl Lexer<'_> {
                         self.raw_string(start);
                         return true;
                     }
-                    if k == 1 {
+                    if k == 2 {
                         if let Some(c2) = self.peek(2) {
                             if is_ident_start(c2) {
                                 self.i += 2; // past r#
-                                self.ident();
+                                self.ident(start);
                                 return true;
                             }
                         }
                     }
-                    return false;
-                }
-                _ => return false,
-            }
-        }
-        // c == b'b'
-        match self.peek(1) {
-            Some(b'"') => {
-                self.i += 1;
-                self.string(1);
-                true
-            }
-            Some(b'\'') => {
-                self.i += 1;
-                self.byte_char(start);
-                true
-            }
-            Some(b'r') => {
-                let mut k = 2;
-                while self.peek(k) == Some(b'#') {
-                    k += 1;
-                }
-                if self.peek(k) == Some(b'"') {
-                    self.i += 2; // past br
-                    self.raw_string(start);
-                    true
-                } else {
                     false
                 }
+                _ => false,
             }
-            _ => false,
+        } else {
+            // c == b'b'
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.i += 1;
+                    self.string(1);
+                    true
+                }
+                Some(b'\'') => {
+                    self.i += 1;
+                    self.byte_char(start);
+                    true
+                }
+                Some(b'r') => {
+                    let mut k = 2;
+                    while self.peek(k) == Some(b'#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some(b'"') {
+                        self.i += 2; // past br
+                        self.raw_string(start);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            }
         }
     }
 
@@ -340,11 +366,7 @@ impl Lexer<'_> {
         }
         let end = self.i.min(self.b.len());
         let text = self.text(start, end);
-        self.out.tokens.push(Token {
-            kind: TokenKind::Char(text),
-            line,
-        });
-        self.line_has_code = true;
+        self.push_token_at(TokenKind::Char(text), start, line);
     }
 
     /// `'` starts either a char literal or a lifetime. The discriminator
@@ -371,10 +393,7 @@ impl Lexer<'_> {
                     self.i += 1;
                 }
                 let text = self.text(start, self.i);
-                self.out.tokens.push(Token {
-                    kind: TokenKind::Char(text),
-                    line,
-                });
+                self.push_token_at(TokenKind::Char(text), start, line);
             }
             Some(c) if is_ident_start(c) => {
                 let name_start = self.i;
@@ -385,16 +404,10 @@ impl Lexer<'_> {
                     // 'a' — char literal.
                     self.i += 1;
                     let text = self.text(start, self.i);
-                    self.out.tokens.push(Token {
-                        kind: TokenKind::Char(text),
-                        line,
-                    });
+                    self.push_token_at(TokenKind::Char(text), start, line);
                 } else {
                     let name = self.text(name_start, self.i);
-                    self.out.tokens.push(Token {
-                        kind: TokenKind::Lifetime(name),
-                        line,
-                    });
+                    self.push_token_at(TokenKind::Lifetime(name), start, line);
                 }
             }
             Some(_) => {
@@ -404,16 +417,10 @@ impl Lexer<'_> {
                     self.i += 1;
                 }
                 let text = self.text(start, self.i);
-                self.out.tokens.push(Token {
-                    kind: TokenKind::Char(text),
-                    line,
-                });
+                self.push_token_at(TokenKind::Char(text), start, line);
             }
             None => {
-                self.out.tokens.push(Token {
-                    kind: TokenKind::Punct('\''),
-                    line,
-                });
+                self.push_token_at(TokenKind::Punct('\''), start, line);
             }
         }
         self.line_has_code = true;
@@ -440,16 +447,18 @@ impl Lexer<'_> {
         } else {
             TokenKind::Int(text)
         };
-        self.push_token(kind);
+        self.push_token(kind, start);
     }
 
-    fn ident(&mut self) {
+    /// Lex an identifier whose token span starts at `lo` (which differs
+    /// from the first name byte only for raw identifiers).
+    fn ident(&mut self, lo: usize) {
         let start = self.i;
         while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
             self.i += 1;
         }
         let text = self.text(start, self.i);
-        self.push_token(TokenKind::Ident(text));
+        self.push_token(TokenKind::Ident(text), lo);
     }
 }
 

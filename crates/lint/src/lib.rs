@@ -5,19 +5,22 @@
 //! §7). Those promises rest on invariants `rustc` and clippy cannot
 //! see: no wall-clock reads in analysis code, no ambient entropy, no
 //! unordered iteration in the deterministic crates, self-documenting
-//! RNG substream labels, no panicking shortcuts in library code, and
-//! path-only dependencies so a clean checkout builds offline. This
-//! crate checks all of them mechanically, FoundationDB-style: the
-//! simulation gate is only trustworthy while the code stays inside the
-//! deterministic subset, so the subset is enforced, not hoped for.
+//! RNG substream labels, no panicking shortcuts in library code, no
+//! panic reachable from a service entry point, and path-only
+//! dependencies so a clean checkout builds offline. This crate checks
+//! all of them mechanically, FoundationDB-style: the simulation gate is
+//! only trustworthy while the code stays inside the deterministic
+//! subset, so the subset is enforced, not hoped for.
 //!
 //! Everything is hand-rolled and dependency-free — a lexer
-//! ([`lexer`]), a rule engine ([`rules`]), a manifest checker
+//! ([`lexer`]), an item parser ([`parse`]), a workspace call graph
+//! ([`graph`]), a rule engine ([`rules`]), a manifest checker
 //! ([`manifest`]), and per-line allow pragmas with mandatory
 //! justifications ([`pragma`]):
 //!
 //! ```text
 //! // sno-lint: allow(unwrap-in-lib): length checked two lines up
+//! // sno-lint: allow(unwrap-in-lib, panic-reachable): invariant held by caller
 //! ```
 //!
 //! Run it as `repro --lint [--json]`, the `sno-lint` binary, or
@@ -34,12 +37,15 @@
 //! ```
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod pragma;
 pub mod rules;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
@@ -50,6 +56,8 @@ pub use diag::Diagnostic;
 pub struct LintReport {
     /// All surviving diagnostics, sorted by `(file, line, rule)`.
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule count of diagnostics a justified pragma suppressed.
+    pub suppressed: BTreeMap<String, usize>,
     /// How many `.rs` files were scanned.
     pub sources_scanned: usize,
     /// How many `Cargo.toml` manifests were scanned.
@@ -74,20 +82,95 @@ impl LintReport {
         out
     }
 
-    /// JSON rendering, stable-sorted so reports are diffable.
-    pub fn render_json(&self) -> String {
-        diag::render_json(&self.diagnostics)
+    /// Per-rule diagnostic counts over the full stable rule set, so two
+    /// reports always have the same keys and diff cleanly.
+    pub fn rule_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts: BTreeMap<String, usize> = all_rules()
+            .into_iter()
+            .map(|r| (r.to_string(), 0))
+            .collect();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule.to_string()).or_insert(0) += 1;
+        }
+        counts
     }
+
+    /// Per-rule suppression counts over the full stable rule set.
+    pub fn suppressed_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts: BTreeMap<String, usize> = all_rules()
+            .into_iter()
+            .map(|r| (r.to_string(), 0))
+            .collect();
+        for (rule, n) in &self.suppressed {
+            *counts.entry(rule.clone()).or_insert(0) += n;
+        }
+        counts
+    }
+
+    /// JSON rendering, stable-sorted so reports are diffable. Includes
+    /// the per-rule diagnostic and pragma-suppression counts the CI
+    /// baseline gate compares.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"count\": {},\n", self.diagnostics.len()));
+        out.push_str(&render_count_map("rule_counts", &self.rule_counts()));
+        out.push_str(&render_count_map("suppressed", &self.suppressed_counts()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": \"{}\", ", diag::escape_json(&d.file)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"rule\": \"{}\", ", diag::escape_json(d.rule)));
+            out.push_str(&format!(
+                "\"message\": \"{}\"",
+                diag::escape_json(&d.message)
+            ));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Every rule id that can appear in a report: source rules, the
+/// manifest rule, and the two pragma meta-rules.
+fn all_rules() -> Vec<&'static str> {
+    let mut rules = rules::known_rules();
+    rules.push("bad-pragma");
+    rules.push("unused-pragma");
+    rules.sort_unstable();
+    rules
+}
+
+fn render_count_map(key: &str, counts: &BTreeMap<String, usize>) -> String {
+    let mut out = format!("  \"{key}\": {{");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", diag::escape_json(rule), n));
+    }
+    out.push_str("\n  },\n");
+    out
 }
 
 /// Lint every Rust source and manifest under `root`.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let files = walk::discover(root)?;
-    let mut diagnostics = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.sources.len());
     for rel in &files.sources {
         let text = std::fs::read_to_string(root.join(rel))?;
-        diagnostics.extend(rules::lint_source(&path_key(rel), &text));
+        sources.push((path_key(rel), text));
     }
+    let ws = rules::lint_files(&sources);
+    let mut diagnostics = ws.diagnostics;
     for rel in &files.manifests {
         let text = std::fs::read_to_string(root.join(rel))?;
         diagnostics.extend(manifest::lint_manifest(&path_key(rel), &text));
@@ -95,9 +178,91 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     diag::sort_stable(&mut diagnostics);
     Ok(LintReport {
         diagnostics,
+        suppressed: ws.suppressed,
         sources_scanned: files.sources.len(),
         manifests_scanned: files.manifests.len(),
     })
+}
+
+/// Build the workspace call graph under `root` and render it as stable
+/// JSON (`sno-lint --graph-json`).
+pub fn graph_workspace_json(root: &Path) -> io::Result<String> {
+    let files = walk::discover(root)?;
+    let mut analyses = Vec::with_capacity(files.sources.len());
+    for rel in &files.sources {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        analyses.push(rules::analyze(&path_key(rel), &text));
+    }
+    Ok(graph::render_json(&graph::build(&analyses)))
+}
+
+/// Extract the `"<section>": { "rule": count, .. }` map from a report
+/// JSON produced by [`LintReport::render_json`] (also the committed
+/// baseline format). Tolerant of whitespace; returns an empty map when
+/// the section is missing.
+pub fn parse_count_section(json: &str, section: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let needle = format!("\"{section}\"");
+    let Some(at) = json.find(&needle) else {
+        return out;
+    };
+    let rest = &json[at + needle.len()..];
+    let Some(open) = rest.find('{') else {
+        return out;
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return out;
+    };
+    let body = &rest[open + 1..open + close];
+    for entry in body.split(',') {
+        let mut halves = entry.splitn(2, ':');
+        let (Some(k), Some(v)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let k = k.trim().trim_matches('"');
+        if k.is_empty() {
+            continue;
+        }
+        if let Ok(n) = v.trim().parse::<usize>() {
+            out.insert(k.to_string(), n);
+        }
+    }
+    out
+}
+
+/// Compare a current report against a committed baseline. Returns the
+/// human-readable delta lines (one per changed rule) and whether any
+/// count **increased** — the condition the CI gate fails on.
+pub fn baseline_delta(current_json: &str, baseline_json: &str) -> (Vec<String>, bool) {
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    for section in ["rule_counts", "suppressed"] {
+        let cur = parse_count_section(current_json, section);
+        let base = parse_count_section(baseline_json, section);
+        let mut rules: Vec<&String> = cur.keys().chain(base.keys()).collect();
+        rules.sort();
+        rules.dedup();
+        for rule in rules {
+            let c = cur.get(rule).copied().unwrap_or(0);
+            let b = base.get(rule).copied().unwrap_or(0);
+            if c != b {
+                let label = if section == "suppressed" {
+                    "suppressed"
+                } else {
+                    "diagnostics"
+                };
+                lines.push(format!(
+                    "{rule} ({label}): baseline {b} -> current {c} ({}{})",
+                    if c > b { "+" } else { "" },
+                    c as i64 - b as i64
+                ));
+                if c > b {
+                    regressed = true;
+                }
+            }
+        }
+    }
+    (lines, regressed)
 }
 
 /// Normalise a relative path to `/`-separated form for diagnostics.

@@ -1,0 +1,699 @@
+//! The item indexer: a lightweight recursive parser over the lexer's
+//! token stream that recovers the item tree of one source file.
+//!
+//! The token-pattern rules of PR 4 could only see one line at a time;
+//! the flow-aware rules (`panic-reachable`, `rng-escape`,
+//! `float-fold-order`) need to know *which function* a token belongs
+//! to, whether that function is test-gated, and what the file imports.
+//! This parser recovers exactly that much structure — `mod` / `fn` /
+//! `impl` / `trait` / `use` / type definitions with byte spans,
+//! visibility, and `#[cfg(test)]` / `#[test]` attribution — and nothing
+//! more: bodies of functions are kept as raw token ranges for the call
+//! scanner, expressions are never parsed.
+//!
+//! Totality contract (property-tested in `tests/selftest.rs`): the
+//! parser never panics on any token stream, always terminates, and the
+//! byte spans it assigns are well-nested — children inside parents,
+//! siblings disjoint and in source order — so the spans plus the gaps
+//! between them form a partition of the file ([`span_partition`]).
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Mod,
+    Fn,
+    Impl,
+    Trait,
+    Use,
+    Struct,
+    Enum,
+    Union,
+    Const,
+    Static,
+    TypeAlias,
+    MacroDef,
+    ExternCrate,
+    ExternBlock,
+}
+
+/// One item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// The item's own name (`fn name`, `mod name`, …). For `impl`
+    /// blocks this is the self type's last path segment; empty when the
+    /// item is anonymous or the name was unparseable.
+    pub name: String,
+    /// Whether the item carries any `pub` qualifier.
+    pub is_pub: bool,
+    /// Whether the item is `#[test]`- or `#[cfg(test)]`-gated, directly
+    /// or by inheritance from an enclosing item.
+    pub is_test: bool,
+    /// 1-based line of the item's name (or introducing keyword).
+    pub line: u32,
+    /// Byte span: first byte of the leading attribute (or keyword) to
+    /// one past the terminating `;` / `}`.
+    pub lo: usize,
+    pub hi: usize,
+    /// Token index span covering the same extent (exclusive hi).
+    pub tok_lo: usize,
+    pub tok_hi: usize,
+    /// For items with a brace-delimited body whose *contents* matter to
+    /// a rule (`fn` bodies feed the call scanner): the token index range
+    /// strictly inside the braces.
+    pub body: Option<(usize, usize)>,
+    /// Child items (indices into [`ItemTree::items`]), in source order.
+    /// Populated for `mod` / `impl` / `trait` bodies.
+    pub children: Vec<usize>,
+}
+
+/// One `use` alias the file declares: `use a::b::c;` binds `c`,
+/// `use a::b as d;` binds `d`. Globs are recorded with alias `*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseAlias {
+    /// The name the import binds in this file.
+    pub alias: String,
+    /// Full path segments as written (`["a", "b", "c"]`).
+    pub path: Vec<String>,
+}
+
+/// The parsed file: a flat item arena plus the roots, in source order.
+#[derive(Debug, Clone, Default)]
+pub struct ItemTree {
+    pub items: Vec<Item>,
+    /// Top-level item indices, in source order.
+    pub root: Vec<usize>,
+    /// Every `use` alias in the file (any nesting level).
+    pub uses: Vec<UseAlias>,
+}
+
+impl ItemTree {
+    /// Walk every item depth-first in source order.
+    pub fn walk(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut stack: Vec<usize> = self.root.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &c in self.items[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Mark every token covered by a test-gated item. This is the
+    /// successor of the PR 4 attr-region heuristic: attribution now
+    /// follows the item tree, so a `#[cfg(test)]` on a `mod` covers
+    /// everything inside it and nothing after it.
+    pub fn test_mask(&self, token_count: usize) -> Vec<bool> {
+        let mut mask = vec![false; token_count];
+        for id in self.walk() {
+            let it = &self.items[id];
+            if it.is_test {
+                for m in mask
+                    .iter_mut()
+                    .take(it.tok_hi.min(token_count))
+                    .skip(it.tok_lo)
+                {
+                    *m = true;
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Nesting depth beyond which bodies are consumed without recursing
+/// (a backstop for pathological token soup; real code never gets here).
+const MAX_DEPTH: usize = 64;
+
+/// Parse the item tree of one lexed file. Total: never panics, and the
+/// resulting spans are well-nested (see module docs).
+pub fn parse(lexed: &Lexed) -> ItemTree {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        tree: ItemTree::default(),
+    };
+    let hi = lexed.tokens.len();
+    let root = p.parse_items(0, hi, false, 0);
+    p.tree.root = root;
+    p.tree
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    tree: ItemTree,
+}
+
+impl Parser<'_> {
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(|t| t.ident())
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Index one past the delimiter matching `open_c` at `open` (which
+    /// must point at an `open_c` token), clamped to `hi`. Unmatched
+    /// delimiters consume to `hi`.
+    fn after_matching(&self, open: usize, hi: usize, open_c: char, close_c: char) -> usize {
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < hi {
+            if self.toks[i].is_punct(open_c) {
+                depth += 1;
+            } else if self.toks[i].is_punct(close_c) {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    /// Scan from `pos` for an item terminator: one past a `;` at brace
+    /// depth 0, or one past the `}` closing the first brace opened at
+    /// depth 0. Returns `(end_exclusive, body_range)` where the body is
+    /// the token range strictly inside those braces, if any.
+    fn item_extent(&self, pos: usize, hi: usize) -> (usize, Option<(usize, usize)>) {
+        let mut i = pos;
+        let (mut paren, mut bracket) = (0i64, 0i64);
+        while i < hi {
+            let t = &self.toks[i];
+            match &t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(')') => {
+                    paren -= 1;
+                    if paren < 0 {
+                        return (i.max(pos + 1), None);
+                    }
+                }
+                TokenKind::Punct(']') => {
+                    bracket -= 1;
+                    if bracket < 0 {
+                        return (i.max(pos + 1), None);
+                    }
+                }
+                // `;` inside `[u8; 4]` or a paren group is not a
+                // terminator.
+                TokenKind::Punct(';') if paren == 0 && bracket == 0 => {
+                    return (i + 1, None);
+                }
+                TokenKind::Punct('{') if paren == 0 && bracket == 0 => {
+                    let end = self.after_matching(i, hi, '{', '}');
+                    let body_hi = if end > i + 1 { end - 1 } else { i + 1 };
+                    return (end, Some((i + 1, body_hi)));
+                }
+                // A stray closer means the item is malformed; stop
+                // before it so the enclosing level can resynchronise.
+                TokenKind::Punct('}') if paren == 0 && bracket == 0 => {
+                    return (i.max(pos + 1), None);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        (hi, None)
+    }
+
+    /// Parse the items in `toks[lo..hi]`, returning their indices in
+    /// source order. Tokens that do not start an item are skipped (they
+    /// become gap bytes in the partition).
+    fn parse_items(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        inherited_test: bool,
+        depth: usize,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut pos = lo;
+        while pos < hi {
+            match self.parse_item(pos, hi, inherited_test, depth) {
+                Some((id, end)) => {
+                    out.push(id);
+                    pos = end.max(pos + 1);
+                }
+                None => pos += 1,
+            }
+        }
+        out
+    }
+
+    /// Try to parse one item starting at `pos`. Returns the item index
+    /// and the exclusive token end, or `None` when `pos` does not start
+    /// an item.
+    fn parse_item(
+        &mut self,
+        pos: usize,
+        hi: usize,
+        inherited_test: bool,
+        depth: usize,
+    ) -> Option<(usize, usize)> {
+        let start = pos;
+        let mut i = pos;
+        let mut is_test = inherited_test;
+
+        // Leading outer attributes: `#[..]` (inner `#![..]` attributes
+        // never introduce an item; the caller skips them as gap).
+        while self.punct_at(i, '#') && self.punct_at(i + 1, '[') {
+            let end = self.after_matching(i + 1, hi, '[', ']');
+            // An unterminated attribute consumes to `hi`; keep the
+            // inspected slice well-formed (lo can pass a collapsed end).
+            let attr_lo = (i + 2).min(end);
+            if attr_is_test(&self.toks[attr_lo..end.saturating_sub(1).max(attr_lo)]) {
+                is_test = true;
+            }
+            i = end;
+        }
+
+        // Visibility: `pub`, `pub(crate)`, `pub(in a::b)`.
+        let mut is_pub = false;
+        if self.ident_at(i) == Some("pub") {
+            is_pub = true;
+            i += 1;
+            if self.punct_at(i, '(') {
+                i = self.after_matching(i, hi, '(', ')');
+            }
+        }
+
+        // Qualifiers that may precede `fn` (or, for `extern`, a block).
+        loop {
+            match self.ident_at(i) {
+                Some("default") | Some("async") | Some("unsafe") => i += 1,
+                Some("const") => {
+                    // `const fn` is a qualifier; `const NAME: T = ..` is
+                    // an item, handled by the dispatcher below.
+                    if matches!(
+                        self.ident_at(i + 1),
+                        Some("fn") | Some("unsafe") | Some("extern") | Some("async")
+                    ) {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some("extern") => {
+                    // `extern "C" fn` is a qualifier; `extern "C" {..}`
+                    // and `extern crate x;` are items.
+                    if matches!(
+                        self.toks.get(i + 1).map(|t| &t.kind),
+                        Some(TokenKind::Str(_))
+                    ) && !self.punct_at(i + 2, '{')
+                    {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let kw = self.ident_at(i)?;
+        let kw_line = self.toks[i].line;
+        let (kind, name, name_line, end, body, children) = match kw {
+            "mod" => {
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let name_line = self.toks.get(i + 1).map_or(kw_line, |t| t.line);
+                let (end, body) = self.item_extent(i, hi);
+                let children = match body {
+                    Some((blo, bhi)) if depth < MAX_DEPTH => {
+                        self.parse_items(blo, bhi, is_test, depth + 1)
+                    }
+                    _ => Vec::new(),
+                };
+                (ItemKind::Mod, name, name_line, end, None, children)
+            }
+            "fn" => {
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let name_line = self.toks.get(i + 1).map_or(kw_line, |t| t.line);
+                let (end, body) = self.item_extent(i, hi);
+                (ItemKind::Fn, name, name_line, end, body, Vec::new())
+            }
+            "impl" | "trait" => {
+                let is_trait = kw == "trait";
+                let (end, body) = self.item_extent(i, hi);
+                let header_hi = body.map_or(end, |(blo, _)| blo.saturating_sub(1));
+                let name = if is_trait {
+                    // `trait Name ...`
+                    self.ident_at(i + 1).unwrap_or_default().to_string()
+                } else {
+                    impl_self_type(&self.toks[(i + 1).min(header_hi)..header_hi])
+                };
+                let name_line = self.toks.get(i + 1).map_or(kw_line, |t| t.line);
+                let children = match body {
+                    Some((blo, bhi)) if depth < MAX_DEPTH => {
+                        self.parse_items(blo, bhi, is_test, depth + 1)
+                    }
+                    _ => Vec::new(),
+                };
+                let kind = if is_trait {
+                    ItemKind::Trait
+                } else {
+                    ItemKind::Impl
+                };
+                (kind, name, name_line, end, None, children)
+            }
+            "use" => {
+                let (end, _) = self.use_extent(i + 1, hi);
+                let mut aliases = Vec::new();
+                collect_use_aliases(
+                    &self.toks[(i + 1).min(end)..end],
+                    &mut Vec::new(),
+                    &mut aliases,
+                );
+                self.tree.uses.extend(aliases);
+                (ItemKind::Use, String::new(), kw_line, end, None, Vec::new())
+            }
+            "struct" | "enum" | "union" => {
+                // `union` is contextual: only a keyword when followed by
+                // a name (otherwise it is an ordinary identifier).
+                let name = self.ident_at(i + 1)?.to_string();
+                if kw == "union" && !(self.punct_at(i + 2, '{') || self.punct_at(i + 2, '<')) {
+                    return None;
+                }
+                let kind = match kw {
+                    "struct" => ItemKind::Struct,
+                    "enum" => ItemKind::Enum,
+                    _ => ItemKind::Union,
+                };
+                let name_line = self.toks.get(i + 1).map_or(kw_line, |t| t.line);
+                let (end, _) = self.item_extent(i, hi);
+                (kind, name, name_line, end, None, Vec::new())
+            }
+            "const" | "static" => {
+                let mut j = i + 1;
+                if self.ident_at(j) == Some("mut") {
+                    j += 1;
+                }
+                let name = self.ident_at(j).unwrap_or_default().to_string();
+                let name_line = self.toks.get(j).map_or(kw_line, |t| t.line);
+                let (end, body) = self.const_extent(i, hi);
+                let kind = if kw == "const" {
+                    ItemKind::Const
+                } else {
+                    ItemKind::Static
+                };
+                (kind, name, name_line, end, body, Vec::new())
+            }
+            "type" => {
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let name_line = self.toks.get(i + 1).map_or(kw_line, |t| t.line);
+                let (end, _) = self.const_extent(i, hi);
+                (ItemKind::TypeAlias, name, name_line, end, None, Vec::new())
+            }
+            "macro_rules" => {
+                // `macro_rules ! name { .. }`
+                if !self.punct_at(i + 1, '!') {
+                    return None;
+                }
+                let name = self.ident_at(i + 2).unwrap_or_default().to_string();
+                let name_line = self.toks.get(i + 2).map_or(kw_line, |t| t.line);
+                let (end, _) = self.item_extent(i + 3, hi);
+                (ItemKind::MacroDef, name, name_line, end, None, Vec::new())
+            }
+            "extern" => {
+                if self.ident_at(i + 1) == Some("crate") {
+                    let name = self.ident_at(i + 2).unwrap_or_default().to_string();
+                    let (end, _) = self.item_extent(i, hi);
+                    (ItemKind::ExternCrate, name, kw_line, end, None, Vec::new())
+                } else if matches!(
+                    self.toks.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Str(_))
+                ) && self.punct_at(i + 2, '{')
+                {
+                    let end = self.after_matching(i + 2, hi, '{', '}');
+                    (
+                        ItemKind::ExternBlock,
+                        String::new(),
+                        kw_line,
+                        end,
+                        None,
+                        Vec::new(),
+                    )
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        };
+
+        let end = end.clamp(start + 1, hi);
+        let last = end - 1; // end > start, both in bounds
+        let item = Item {
+            kind,
+            name,
+            is_pub,
+            is_test,
+            line: name_line,
+            lo: self.toks[start].lo,
+            hi: self.toks[last].hi.max(self.toks[start].lo),
+            tok_lo: start,
+            tok_hi: end,
+            body,
+            children,
+        };
+        self.tree.items.push(item);
+        Some((self.tree.items.len() - 1, end))
+    }
+
+    /// Extent of a `use` tree starting after the `use` keyword: one past
+    /// the `;` at brace depth 0 (use-groups nest braces).
+    fn use_extent(&self, pos: usize, hi: usize) -> (usize, ()) {
+        let mut depth = 0i64;
+        let mut i = pos;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                if depth == 0 {
+                    return (i.max(pos + 1), ());
+                }
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                return (i + 1, ());
+            }
+            i += 1;
+        }
+        (hi, ())
+    }
+
+    /// Extent of a `const` / `static` / `type` item: one past the `;`
+    /// at brace depth 0 (initializers may contain blocks and struct
+    /// literals). Returns the token range inside any top-level braces so
+    /// the call scanner can look inside table initializers.
+    fn const_extent(&self, pos: usize, hi: usize) -> (usize, Option<(usize, usize)>) {
+        let mut depth = 0i64;
+        let mut i = pos;
+        let mut body: Option<(usize, usize)> = None;
+        let mut open = 0usize;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_punct('{') {
+                if depth == 0 {
+                    open = i + 1;
+                }
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 && body.is_none() {
+                    body = Some((open, i));
+                }
+                if depth < 0 {
+                    return (i.max(pos + 1), body);
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                return (i + 1, body);
+            }
+            i += 1;
+        }
+        (hi, body)
+    }
+}
+
+/// The self type of an `impl` header: the last path-segment identifier
+/// at angle-bracket depth 0, taken after `for` when the impl is a trait
+/// impl (`impl<T> Trait for Type<T>` → `Type`).
+fn impl_self_type(header: &[Token]) -> String {
+    let mut depth = 0i64;
+    let mut last_at_top: Option<&str> = None;
+    let mut prev_minus = false;
+    for t in header {
+        match &t.kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') if !prev_minus => depth -= 1,
+            TokenKind::Ident(name) if depth <= 0 => {
+                if name == "for" {
+                    last_at_top = None;
+                } else if name != "dyn" && name != "where" {
+                    last_at_top = Some(name);
+                }
+                if name == "where" {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        prev_minus = t.is_punct('-');
+    }
+    last_at_top.unwrap_or_default().to_string()
+}
+
+/// Whether attribute tokens (the part inside `#[..]`) gate on test:
+/// `test`, `cfg(test)`, `cfg(all(test, ..))` — but not `cfg(not(test))`.
+pub(crate) fn attr_is_test(attr: &[Token]) -> bool {
+    let mut stack: Vec<String> = Vec::new();
+    let mut prev_ident: Option<&str> = None;
+    for t in attr {
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                if name == "test" && !stack.iter().any(|s| s == "not") {
+                    return true;
+                }
+                prev_ident = Some(name);
+            }
+            TokenKind::Punct('(') => {
+                stack.push(prev_ident.unwrap_or_default().to_string());
+                prev_ident = None;
+            }
+            TokenKind::Punct(')') => {
+                stack.pop();
+                prev_ident = None;
+            }
+            _ => prev_ident = None,
+        }
+    }
+    false
+}
+
+/// Collect the aliases a `use` tree binds. `toks` is the token range
+/// after the `use` keyword, `prefix` the path accumulated so far.
+fn collect_use_aliases(toks: &[Token], prefix: &mut Vec<String>, out: &mut Vec<UseAlias>) {
+    let depth_before = prefix.len();
+    let mut segments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokenKind::Ident(name) if name == "as" => {
+                // `path as alias`
+                if let Some(alias) = toks.get(i + 1).and_then(|t| t.ident()) {
+                    let mut path = prefix.clone();
+                    path.extend(segments.iter().cloned());
+                    out.push(UseAlias {
+                        alias: alias.to_string(),
+                        path,
+                    });
+                    segments.clear();
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenKind::Ident(name) => {
+                segments.push(name.clone());
+                i += 1;
+            }
+            TokenKind::Punct('{') => {
+                // Group: recurse over the inside with the accumulated
+                // prefix, then skip past the matching brace.
+                let mut depth = 1i64;
+                let mut j = i + 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                let inner_hi = if depth == 0 { j - 1 } else { j };
+                prefix.append(&mut segments);
+                collect_use_aliases(&toks[i + 1..inner_hi], prefix, out);
+                prefix.truncate(depth_before);
+                i = j;
+            }
+            TokenKind::Punct('*') => {
+                let mut path = prefix.clone();
+                path.extend(segments.iter().cloned());
+                out.push(UseAlias {
+                    alias: "*".to_string(),
+                    path,
+                });
+                segments.clear();
+                i += 1;
+            }
+            TokenKind::Punct(',') | TokenKind::Punct(';') => {
+                if let Some(last) = segments.last() {
+                    let mut path = prefix.clone();
+                    path.extend(segments.iter().cloned());
+                    out.push(UseAlias {
+                        alias: last.clone(),
+                        path,
+                    });
+                }
+                segments.clear();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(last) = segments.last() {
+        let mut path = prefix.clone();
+        path.extend(segments.iter().cloned());
+        out.push(UseAlias {
+            alias: last.clone(),
+            path,
+        });
+    }
+}
+
+/// The byte partition the item tree induces over a file of `len` bytes:
+/// `(lo, hi, inside_item)` segments in source order. Returns `None` if
+/// any span is inconsistent (out of order, overlapping, or outside its
+/// parent) — the parser never produces such trees, and the property
+/// tests assert it.
+pub fn span_partition(tree: &ItemTree, len: usize) -> Option<Vec<(usize, usize, bool)>> {
+    let mut out = Vec::new();
+    if !partition_level(tree, &tree.root, 0, len, false, &mut out) {
+        return None;
+    }
+    Some(out)
+}
+
+fn partition_level(
+    tree: &ItemTree,
+    ids: &[usize],
+    lo: usize,
+    hi: usize,
+    inside: bool,
+    out: &mut Vec<(usize, usize, bool)>,
+) -> bool {
+    let mut pos = lo;
+    for &id in ids {
+        let Some(it) = tree.items.get(id) else {
+            return false;
+        };
+        if it.lo < pos || it.hi < it.lo || it.hi > hi {
+            return false;
+        }
+        if it.lo > pos {
+            out.push((pos, it.lo, inside));
+        }
+        if !partition_level(tree, &it.children, it.lo, it.hi, true, out) {
+            return false;
+        }
+        pos = it.hi;
+    }
+    if hi > pos {
+        out.push((pos, hi, inside));
+    }
+    true
+}

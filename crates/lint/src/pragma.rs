@@ -4,14 +4,18 @@
 //!
 //! ```text
 //! // sno-lint: allow(<rule>): <justification>
+//! // sno-lint: allow(<rule-a>, <rule-b>): <justification>
 //! ```
 //!
 //! A pragma that is the only thing on its line suppresses matching
 //! diagnostics on the **next** line; a trailing pragma suppresses its
-//! **own** line. The justification is mandatory — an allow without a
-//! reason is itself a diagnostic (`bad-pragma`), as is an allow naming
-//! an unknown rule, so suppressions stay auditable. Unused pragmas are
-//! reported too (`unused-pragma`): when the code a pragma excused is
+//! **own** line. A pragma may name several comma-separated rules when
+//! one line trips more than one rule — each listed rule is tracked
+//! independently, so a rule that suppresses nothing is still reported
+//! as `unused-pragma` even when its siblings fire. The justification is
+//! mandatory — an allow without a reason is itself a diagnostic
+//! (`bad-pragma`), as is an allow naming an unknown rule, so
+//! suppressions stay auditable. When the code a pragma excused is
 //! fixed, the pragma must go.
 
 use crate::lexer::Comment;
@@ -26,8 +30,8 @@ pub struct Pragma {
     pub line: u32,
     /// Line whose diagnostics it suppresses.
     pub target_line: u32,
-    /// The rule it suppresses.
-    pub rule: String,
+    /// The rules it suppresses (one or more, in written order).
+    pub rules: Vec<String>,
     /// Why the violation is acceptable (never empty).
     pub justification: String,
 }
@@ -49,10 +53,10 @@ pub fn extract(comments: &[Comment]) -> (Vec<Pragma>, Vec<BadPragma>) {
             continue;
         };
         match parse_body(body) {
-            Ok((rule, justification)) => pragmas.push(Pragma {
+            Ok((rules, justification)) => pragmas.push(Pragma {
                 line: c.line,
                 target_line: if c.own_line { c.line + 1 } else { c.line },
-                rule,
+                rules,
                 justification,
             }),
             Err(message) => bad.push(BadPragma {
@@ -77,32 +81,40 @@ fn pragma_body(text: &str) -> Option<&str> {
     rest.trim_start().strip_prefix(MARKER)
 }
 
-/// Parse `allow(<rule>): <justification>` after the marker.
-fn parse_body(body: &str) -> Result<(String, String), String> {
+/// Parse `allow(<rule>[, <rule> ..]): <justification>` after the marker.
+fn parse_body(body: &str) -> Result<(Vec<String>, String), String> {
     let body = body.trim();
     let Some(rest) = body.strip_prefix("allow(") else {
         return Err(format!(
-            "pragma must read `{MARKER} allow(<rule>): <justification>`, got `{MARKER} {body}`"
+            "pragma must read `{MARKER} allow(<rule>[, <rule>]): <justification>`, got `{MARKER} {body}`"
         ));
     };
     let Some(close) = rest.find(')') else {
-        return Err("pragma is missing the closing `)` after the rule name".to_string());
+        return Err("pragma is missing the closing `)` after the rule list".to_string());
     };
-    let rule = rest[..close].trim();
-    if rule.is_empty() {
+    let list = rest[..close].trim();
+    if list.is_empty() {
         return Err("pragma names no rule inside allow(..)".to_string());
+    }
+    let mut rules = Vec::new();
+    for part in list.split(',') {
+        let rule = part.trim();
+        if rule.is_empty() {
+            return Err(format!("allow({list}) has an empty entry in its rule list"));
+        }
+        rules.push(rule.to_string());
     }
     let after = rest[close + 1..].trim_start();
     let Some(justification) = after.strip_prefix(':') else {
         return Err(format!(
-            "allow({rule}) needs `: <justification>` — say why the violation is acceptable"
+            "allow({list}) needs `: <justification>` — say why the violation is acceptable"
         ));
     };
     let justification = justification.trim();
     if justification.is_empty() {
         return Err(format!(
-            "allow({rule}) has an empty justification — say why the violation is acceptable"
+            "allow({list}) has an empty justification — say why the violation is acceptable"
         ));
     }
-    Ok((rule.to_string(), justification.to_string()))
+    Ok((rules, justification.to_string()))
 }

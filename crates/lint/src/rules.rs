@@ -1,19 +1,26 @@
-//! The rule engine: token-pattern rules over one source file, pragma
-//! application, and the `#[cfg(test)]` region mask.
+//! The rule engine: token-pattern and flow-aware rules, pragma
+//! application, and the item-tree test mask.
 //!
 //! Each rule protects one invariant the repo's determinism story rests
 //! on (README "Determinism", DESIGN §7). Rules match token patterns —
 //! never raw text — so strings, comments, and doc examples can mention
 //! `SystemTime::now` freely, and `unwrap_or_else` never trips the
-//! `unwrap` matcher.
+//! `unwrap` matcher. Since PR 9 the single-file rules run over the item
+//! tree recovered by [`crate::parse`] (test attribution follows real
+//! item nesting), and the workspace-level `panic-reachable` rule runs
+//! over the call graph in [`crate::graph`].
+
+use std::collections::BTreeMap;
 
 use crate::diag::Diagnostic;
-use crate::lexer::{lex, Token, TokenKind};
+use crate::graph;
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::parse::{self, ItemKind, ItemTree};
 use crate::pragma;
 
 /// The source-level rules, with one-line summaries (the manifest rule
 /// lives in [`crate::manifest`]). Order here is documentation order.
-pub const SOURCE_RULES: [(&str, &str); 5] = [
+pub const SOURCE_RULES: [(&str, &str); 8] = [
     (
         "wall-clock",
         "no SystemTime::now/Instant::now outside bench code: analysis must be a pure function of its inputs",
@@ -34,10 +41,23 @@ pub const SOURCE_RULES: [(&str, &str); 5] = [
         "unwrap-in-lib",
         "no .unwrap()/.expect() in library code: return Result or justify the invariant with a pragma",
     ),
+    (
+        "panic-reachable",
+        "no panic site transitively reachable from a pipeline/online/experiment entry point unless justified at the root",
+    ),
+    (
+        "rng-escape",
+        "no Rng threaded across shard boundaries: a fn taking both an Rng and a shard/chunk index must take a per-shard substream instead",
+    ),
+    (
+        "float-fold-order",
+        "no f64 +=/sum() in par_fold_chunks/shard_reduce merge callbacks unless shard-order merging is justified; prefer chunk::accumulate",
+    ),
 ];
 
 /// Crates (by `crates/<dir>` name) whose output must be byte-identical
-/// across runs and thread counts; `unordered-iter` applies here.
+/// across runs and thread counts; `unordered-iter` and
+/// `float-fold-order` apply here.
 pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "types", "synth", "core", "atlas", "netsim", "stats", "orbit", "bgp",
 ];
@@ -51,6 +71,22 @@ const AMBIENT_RNG_IDENTS: [&str; 6] = [
     "getrandom",
     "RandomState",
 ];
+
+/// Parameter names that carry a shard or chunk *index* (not a length or
+/// granularity — `chunk_len` is a delivery knob, `shard` is an
+/// identity).
+const SHARD_INDEX_PARAMS: [&str; 6] = [
+    "shard",
+    "shard_idx",
+    "shard_index",
+    "chunk",
+    "chunk_idx",
+    "chunk_index",
+];
+
+/// Parallel helpers whose **last closure argument** merges per-shard
+/// partials on the calling thread (`float-fold-order` watches these).
+const MERGE_CALLBACK_FNS: [&str; 2] = ["par_fold_chunks", "shard_reduce"];
 
 /// Every rule id a pragma may name.
 pub fn known_rules() -> Vec<&'static str> {
@@ -97,47 +133,116 @@ pub fn classify(path: &str) -> FileCtx {
     FileCtx { crate_dir, kind }
 }
 
+/// One source file, lexed and item-parsed, ready for rules and the
+/// call graph.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    pub ctx: FileCtx,
+    pub lexed: Lexed,
+    pub tree: ItemTree,
+}
+
+/// Lex and parse one file.
+pub fn analyze(path: &str, src: &str) -> FileAnalysis {
+    let lexed = lex(src);
+    let tree = parse::parse(&lexed);
+    FileAnalysis {
+        path: path.to_string(),
+        ctx: classify(path),
+        lexed,
+        tree,
+    }
+}
+
+/// The outcome of linting a set of files together.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// Surviving diagnostics, stable-sorted by `(file, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule count of diagnostics suppressed by a justified pragma —
+    /// the ledger the CI baseline gate ratchets (a tree with zero
+    /// diagnostics can still grow sloppier by accumulating allows).
+    pub suppressed: BTreeMap<String, usize>,
+}
+
 /// Lint one source file, stable-sorted by `(file, line, rule)`. `path`
 /// is the workspace-relative path used both for diagnostics and for
-/// rule scoping.
+/// rule scoping. Flow-aware rules see only this file — for cross-file
+/// reachability, lint the whole set through [`lint_files`].
 pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let ctx = classify(path);
-    let in_test_region = test_region_mask(&lexed.tokens);
-    let (pragmas, bad_pragmas) = pragma::extract(&lexed.comments);
+    lint_files(&[(path.to_string(), src.to_string())]).diagnostics
+}
 
-    let mut raw = Vec::new();
-    rule_wall_clock(path, &ctx, &lexed.tokens, &in_test_region, &mut raw);
-    rule_ambient_rng(path, &lexed.tokens, &mut raw);
-    rule_unordered_iter(path, &ctx, &lexed.tokens, &mut raw);
-    rule_unlabelled_substream(path, &ctx, &lexed.tokens, &in_test_region, &mut raw);
-    rule_unwrap_in_lib(path, &ctx, &lexed.tokens, &in_test_region, &mut raw);
+/// Lint a set of files as one workspace: per-file token rules, the
+/// cross-file call-graph rules, then pragma application per file.
+pub fn lint_files(files: &[(String, String)]) -> WorkspaceLint {
+    let analyses: Vec<FileAnalysis> = files.iter().map(|(p, s)| analyze(p, s)).collect();
+    let g = graph::build(&analyses);
+    let mut graph_diags = graph::panic_reachable(&g, &analyses);
 
-    let mut out = apply_pragmas(path, raw, &pragmas, &bad_pragmas);
-    crate::diag::sort_stable(&mut out);
+    let mut out = WorkspaceLint::default();
+    for fa in &analyses {
+        let in_test = fa.tree.test_mask(fa.lexed.tokens.len());
+        let mut raw = Vec::new();
+        rule_wall_clock(&fa.path, &fa.ctx, &fa.lexed.tokens, &in_test, &mut raw);
+        rule_ambient_rng(&fa.path, &fa.lexed.tokens, &mut raw);
+        rule_unordered_iter(&fa.path, &fa.ctx, &fa.lexed.tokens, &mut raw);
+        rule_unlabelled_substream(&fa.path, &fa.ctx, &fa.lexed.tokens, &in_test, &mut raw);
+        rule_unwrap_in_lib(&fa.path, &fa.ctx, &fa.lexed.tokens, &in_test, &mut raw);
+        rule_rng_escape(fa, &mut raw);
+        rule_float_fold_order(fa, &in_test, &mut raw);
+        let mut rest = Vec::new();
+        for d in graph_diags.drain(..) {
+            if d.file == fa.path {
+                raw.push(d);
+            } else {
+                rest.push(d);
+            }
+        }
+        graph_diags = rest;
+        let (pragmas, bad_pragmas) = pragma::extract(&fa.lexed.comments);
+        let kept = apply_pragmas(&fa.path, raw, &pragmas, &bad_pragmas, &mut out.suppressed);
+        out.diagnostics.extend(kept);
+    }
+    // Diagnostics for files outside the analyzed set cannot exist (the
+    // graph only anchors at nodes of analyzed files), but never drop
+    // them silently if the invariant breaks.
+    out.diagnostics.extend(graph_diags);
+    crate::diag::sort_stable(&mut out.diagnostics);
     out
 }
 
 /// Suppress diagnostics covered by a pragma on their line; report
-/// malformed, unknown-rule, and unused pragmas.
+/// malformed, unknown-rule, and per-listed-rule unused pragmas. Each
+/// suppression is tallied into `suppressed` by rule.
 fn apply_pragmas(
     path: &str,
     raw: Vec<Diagnostic>,
     pragmas: &[pragma::Pragma],
     bad: &[pragma::BadPragma],
+    suppressed: &mut BTreeMap<String, usize>,
 ) -> Vec<Diagnostic> {
     let known = known_rules();
-    let mut used = vec![false; pragmas.len()];
+    let mut used: Vec<Vec<bool>> = pragmas.iter().map(|p| vec![false; p.rules.len()]).collect();
     let mut out = Vec::new();
     for d in raw {
-        let suppressed = pragmas.iter().enumerate().any(|(i, p)| {
-            let hit = p.target_line == d.line && p.rule == d.rule;
-            if hit {
-                used[i] = true;
+        let mut hit = false;
+        for (i, p) in pragmas.iter().enumerate() {
+            if p.target_line != d.line {
+                continue;
             }
-            hit
-        });
-        if !suppressed {
+            for (r, rule) in p.rules.iter().enumerate() {
+                if rule == d.rule {
+                    used[i][r] = true;
+                    hit = true;
+                }
+            }
+        }
+        if hit {
+            *suppressed.entry(d.rule.to_string()).or_insert(0) += 1;
+        } else {
             out.push(d);
         }
     }
@@ -145,126 +250,28 @@ fn apply_pragmas(
         out.push(diag(path, b.line, "bad-pragma", b.message.clone()));
     }
     for (i, p) in pragmas.iter().enumerate() {
-        if !known.contains(&p.rule.as_str()) {
-            out.push(diag(
-                path,
-                p.line,
-                "bad-pragma",
-                format!("allow({}) names an unknown rule", p.rule),
-            ));
-        } else if !used[i] {
-            out.push(diag(
-                path,
-                p.line,
-                "unused-pragma",
-                format!(
-                    "allow({}) suppresses nothing on line {}; remove it",
-                    p.rule, p.target_line
-                ),
-            ));
+        for (r, rule) in p.rules.iter().enumerate() {
+            if !known.contains(&rule.as_str()) {
+                out.push(diag(
+                    path,
+                    p.line,
+                    "bad-pragma",
+                    format!("allow({rule}) names an unknown rule"),
+                ));
+            } else if !used[i][r] {
+                out.push(diag(
+                    path,
+                    p.line,
+                    "unused-pragma",
+                    format!(
+                        "allow({rule}) suppresses nothing on line {}; remove it",
+                        p.target_line
+                    ),
+                ));
+            }
         }
     }
     out
-}
-
-/// Mark every token inside a `#[test]`- or `#[cfg(test)]`-gated item.
-/// Test-only code answers to the test suites, not the determinism
-/// rules, so most rules skip these regions.
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            let attr_end = matching_bracket(tokens, i + 1);
-            if attr_is_test(&tokens[i + 2..attr_end]) {
-                // Skip any further attributes, then the whole item.
-                let mut j = attr_end + 1;
-                while tokens.get(j).is_some_and(|t| t.is_punct('#'))
-                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
-                {
-                    j = matching_bracket(tokens, j + 1) + 1;
-                }
-                let item_end = item_end(tokens, j);
-                for m in mask.iter_mut().take(item_end + 1).skip(i) {
-                    *m = true;
-                }
-                i = item_end + 1;
-                continue;
-            }
-            i = attr_end + 1;
-            continue;
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Index of the `]` matching the `[` at `open` (or the last token if
-/// the file is truncated mid-attribute).
-fn matching_bracket(tokens: &[Token], open: usize) -> usize {
-    let mut depth = 0i32;
-    for (j, t) in tokens.iter().enumerate().skip(open) {
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                return j;
-            }
-        }
-    }
-    tokens.len().saturating_sub(1)
-}
-
-/// Whether attribute tokens (the part inside `#[..]`) gate on test:
-/// `test`, `cfg(test)`, `cfg(all(test, ..))` — but not `cfg(not(test))`.
-fn attr_is_test(attr: &[Token]) -> bool {
-    let mut stack: Vec<String> = Vec::new();
-    let mut prev_ident: Option<&str> = None;
-    for t in attr {
-        match &t.kind {
-            TokenKind::Ident(name) => {
-                if name == "test" && !stack.iter().any(|s| s == "not") {
-                    return true;
-                }
-                prev_ident = Some(name);
-            }
-            TokenKind::Punct('(') => {
-                stack.push(prev_ident.unwrap_or_default().to_string());
-                prev_ident = None;
-            }
-            TokenKind::Punct(')') => {
-                stack.pop();
-                prev_ident = None;
-            }
-            _ => prev_ident = None,
-        }
-    }
-    false
-}
-
-/// Index where the item starting at `start` ends: the `;` of a
-/// semicolon-terminated item or the `}` closing its outermost brace.
-fn item_end(tokens: &[Token], start: usize) -> usize {
-    let (mut brace, mut bracket, mut paren) = (0i32, 0i32, 0i32);
-    for (j, t) in tokens.iter().enumerate().skip(start) {
-        match t.kind {
-            TokenKind::Punct('{') => brace += 1,
-            TokenKind::Punct('}') => {
-                brace -= 1;
-                if brace <= 0 {
-                    return j;
-                }
-            }
-            TokenKind::Punct('[') => bracket += 1,
-            TokenKind::Punct(']') => bracket -= 1,
-            TokenKind::Punct('(') => paren += 1,
-            TokenKind::Punct(')') => paren -= 1,
-            TokenKind::Punct(';') if brace == 0 && bracket == 0 && paren == 0 => return j,
-            _ => {}
-        }
-    }
-    tokens.len().saturating_sub(1)
 }
 
 /// `tokens[i]` is the method name of a `.name(..)` call.
@@ -439,6 +446,281 @@ fn rule_unwrap_in_lib(
             }
         }
     }
+}
+
+/// `rng-escape`: a function that takes both an `Rng` (by `&mut` or by
+/// value) and a shard/chunk **index** is threading one RNG stream
+/// across shard boundaries — the stream's state then depends on shard
+/// execution order, which is exactly what the substream discipline
+/// (PR 2/PR 5) exists to prevent. The caller should derive a per-shard
+/// substream (`rng.substream_shard(shard)`) and pass that instead, at
+/// which point the shard index parameter disappears from the callee.
+fn rule_rng_escape(fa: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    if fa.ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &fa.lexed.tokens;
+    for id in fa.tree.walk() {
+        let it = &fa.tree.items[id];
+        if it.kind != ItemKind::Fn || it.is_test {
+            continue;
+        }
+        let sig_hi = it.body.map_or(it.tok_hi, |(blo, _)| blo).min(toks.len());
+        let sig = &toks[it.tok_lo.min(sig_hi)..sig_hi];
+        let Some(params) = param_list(sig) else {
+            continue;
+        };
+        let mut has_rng = false;
+        let mut shard_param: Option<&str> = None;
+        for (name, ty) in &params {
+            if ty.iter().any(|t| t.is_ident("Rng")) {
+                has_rng = true;
+            }
+            if SHARD_INDEX_PARAMS.contains(&name.as_str()) || name.ends_with("_shard") {
+                shard_param = Some(name);
+            }
+        }
+        if has_rng {
+            if let Some(sp) = shard_param {
+                out.push(diag(
+                    &fa.path,
+                    it.line,
+                    "rng-escape",
+                    format!(
+                        "fn {} takes an Rng alongside shard index `{sp}`; derive a per-shard substream (rng.substream_shard({sp})) at the call site instead",
+                        it.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The `(name, type tokens)` of each parameter in a fn signature, or
+/// `None` when no parameter list is found. Parses `a: T, mut b: U` at
+/// paren depth 1; patterns more complex than `(mut)? name` yield the
+/// last identifier before the `:`.
+fn param_list(sig: &[Token]) -> Option<Vec<(String, Vec<Token>)>> {
+    let open = sig.iter().position(|t| t.is_punct('('))?;
+    let mut depth = 0i64;
+    let mut close = open;
+    for (j, t) in sig.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                close = j;
+                break;
+            }
+        }
+    }
+    if close == open {
+        return None;
+    }
+    let mut params = Vec::new();
+    let inner = &sig[open + 1..close];
+    // Split on commas at depth 0 relative to the parameter list.
+    let (mut p, mut b, mut a) = (0i64, 0i64, 0i64);
+    let mut start = 0usize;
+    let mut cuts = Vec::new();
+    for (j, t) in inner.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct('(') => p += 1,
+            TokenKind::Punct(')') => p -= 1,
+            TokenKind::Punct('[') => b += 1,
+            TokenKind::Punct(']') => b -= 1,
+            TokenKind::Punct('<') => a += 1,
+            TokenKind::Punct('>') if !(j > 0 && inner[j - 1].is_punct('-')) => a -= 1,
+            TokenKind::Punct(',') if p == 0 && b == 0 && a <= 0 => {
+                cuts.push((start, j));
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    cuts.push((start, inner.len()));
+    for (lo, hi) in cuts {
+        let part = &inner[lo.min(hi)..hi];
+        let Some(colon) = part.iter().position(|t| t.is_punct(':')) else {
+            continue; // `self`, `&mut self` — no type annotation.
+        };
+        let name = part[..colon]
+            .iter()
+            .rev()
+            .find_map(|t| t.ident())
+            .unwrap_or_default()
+            .to_string();
+        params.push((name, part[colon + 1..].to_vec()));
+    }
+    Some(params)
+}
+
+/// `float-fold-order`: floating-point addition is not associative, so
+/// an f64 `+=`/`.sum()` in the *merge* callback of a parallel helper is
+/// only deterministic if partials arrive in shard order. The blessed
+/// helpers (`chunk::accumulate`, and the helpers' own in-order fold
+/// loops) guarantee that; a hand-rolled merge must either move to
+/// `accumulate` or justify that its fold runs in shard order.
+fn rule_float_fold_order(fa: &FileAnalysis, in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    if fa.ctx.kind != FileKind::Lib {
+        return;
+    }
+    let Some(crate_dir) = fa.ctx.crate_dir.as_deref() else {
+        return;
+    };
+    if !DETERMINISTIC_CRATES.contains(&crate_dir) {
+        return;
+    }
+    let toks = &fa.lexed.tokens;
+    for i in 0..toks.len() {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        if !MERGE_CALLBACK_FNS.contains(&name) {
+            continue;
+        }
+        // Skip the helper's own definition (`fn par_fold_chunks(..)`).
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let open = i + 1;
+        let close = matching_paren(toks, open);
+        let closures = closure_args(toks, open, close);
+        let Some(&(line, blo, bhi)) = closures.last() else {
+            continue;
+        };
+        if closures.len() < 2 {
+            continue; // no separate map + merge: not the pattern.
+        }
+        let body = &toks[blo.min(bhi)..bhi.min(toks.len())];
+        let accumulates = body
+            .windows(2)
+            .any(|w| w[0].is_punct('+') && w[1].is_punct('=') && w[0].hi == w[1].lo)
+            || (blo..bhi.min(toks.len())).any(|j| is_method_call(toks, j, "sum"));
+        if !accumulates {
+            continue;
+        }
+        let float_evidence = toks[open..close.min(toks.len())].iter().any(|t| {
+            matches!(&t.kind, TokenKind::Float(_)) || t.is_ident("f64") || t.is_ident("f32")
+        });
+        if float_evidence {
+            out.push(diag(
+                &fa.path,
+                line,
+                "float-fold-order",
+                format!(
+                    "float accumulation in the {name} merge callback is order-sensitive; merge in shard order via chunk::accumulate or justify",
+                ),
+            ));
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (or `tokens.len()` when
+/// unterminated).
+fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// The closure arguments of a call: `(start_line, body_lo, body_hi)`
+/// for each `|..| ..` at argument level between `open` and `close`.
+fn closure_args(tokens: &[Token], open: usize, close: usize) -> Vec<(u32, usize, usize)> {
+    let mut out = Vec::new();
+    let (mut p, mut b, mut br) = (0i64, 0i64, 0i64);
+    let mut j = open + 1;
+    let close = close.min(tokens.len());
+    while j < close {
+        let t = &tokens[j];
+        match &t.kind {
+            TokenKind::Punct('(') => p += 1,
+            TokenKind::Punct(')') => p -= 1,
+            TokenKind::Punct('[') => b += 1,
+            TokenKind::Punct(']') => b -= 1,
+            TokenKind::Punct('{') => br += 1,
+            TokenKind::Punct('}') => br -= 1,
+            TokenKind::Punct('|') if p == 0 && b == 0 && br == 0 => {
+                let starts_closure =
+                    j == open + 1 || tokens[j - 1].is_punct(',') || tokens[j - 1].is_ident("move");
+                if starts_closure {
+                    let line = t.line;
+                    // Find the closing `|` of the parameter list.
+                    let (mut pp, mut pb) = (0i64, 0i64);
+                    let mut k = j + 1;
+                    while k < close {
+                        match &tokens[k].kind {
+                            TokenKind::Punct('(') => pp += 1,
+                            TokenKind::Punct(')') => pp -= 1,
+                            TokenKind::Punct('[') => pb += 1,
+                            TokenKind::Punct(']') => pb -= 1,
+                            TokenKind::Punct('|') if pp == 0 && pb == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let body_lo = k + 1;
+                    // Body: a block to its matching brace, else to the
+                    // `,` at argument level or the call's `)`.
+                    let body_hi = if tokens.get(body_lo).is_some_and(|t| t.is_punct('{')) {
+                        let mut d = 0i64;
+                        let mut m = body_lo;
+                        while m < close {
+                            if tokens[m].is_punct('{') {
+                                d += 1;
+                            } else if tokens[m].is_punct('}') {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            m += 1;
+                        }
+                        (m + 1).min(close)
+                    } else {
+                        let (mut dp, mut db, mut dbr) = (0i64, 0i64, 0i64);
+                        let mut m = body_lo;
+                        while m < close {
+                            match &tokens[m].kind {
+                                TokenKind::Punct('(') => dp += 1,
+                                TokenKind::Punct(')') => dp -= 1,
+                                TokenKind::Punct('[') => db += 1,
+                                TokenKind::Punct(']') => db -= 1,
+                                TokenKind::Punct('{') => dbr += 1,
+                                TokenKind::Punct('}') => dbr -= 1,
+                                TokenKind::Punct(',') if dp == 0 && db == 0 && dbr == 0 => break,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        m
+                    };
+                    out.push((line, body_lo, body_hi));
+                    j = body_hi;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
 }
 
 fn diag(file: &str, line: u32, rule: &'static str, message: String) -> Diagnostic {

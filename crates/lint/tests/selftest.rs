@@ -7,8 +7,9 @@
 use sno_check::prelude::*;
 use sno_lint::lexer::{lex, TokenKind};
 use sno_lint::manifest::lint_manifest;
-use sno_lint::rules::lint_source;
-use sno_lint::{pragma, Diagnostic};
+use sno_lint::parse::{self, ItemKind};
+use sno_lint::rules::{analyze, lint_source};
+use sno_lint::{graph, pragma, Diagnostic};
 
 /// Rules fired by `lint_source`, in report order.
 fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
@@ -122,6 +123,52 @@ fn lexer_tracks_lines_and_never_panics_on_unterminated() {
         let lexed = lex(src);
         assert!(!lexed.tokens.iter().any(|t| t.is_ident("open")));
     }
+}
+
+#[test]
+fn lexer_raw_identifiers_are_single_tokens() {
+    // `r#type` is one identifier whose span covers the whole `r#type`
+    // spelling; the `#` must never surface as punctuation between an
+    // `r` ident and a keyword.
+    let lexed = lex("struct r#type { r#fn: u8 } fn r#match() {}");
+    for name in ["type", "fn", "match"] {
+        // The bare `fn` keyword also lexes as an ident named "fn", so
+        // pick out the raw spelling by its span: `r#name` is two bytes
+        // longer than `name`.
+        let raw: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident(name) && t.hi - t.lo == name.len() + 2)
+            .collect();
+        assert_eq!(raw.len(), 1, "r#{name} should lex as one ident");
+    }
+    // No `#` survives as punctuation: both hashes belong to raw idents.
+    assert!(!lexed.tokens.iter().any(|t| t.is_punct('#')));
+    // `r#"…"#` with a quote after the hashes is still a raw string.
+    let lexed = lex(r###"let s = r#"not an ident"#;"###);
+    assert!(!lexed.tokens.iter().any(|t| t.is_ident("not")));
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str(_)))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn lexer_skips_leading_shebang_only() {
+    let lexed = lex("#!/usr/bin/env sno\nfn main() {}\n");
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("main")));
+    assert!(!lexed.tokens.iter().any(|t| t.is_ident("env")));
+    assert_eq!(lexed.tokens[0].line, 2, "tokens start after the shebang");
+    // An inner attribute `#![…]` is not a shebang and must still lex.
+    let attr = lex("#![allow(dead_code)]\nfn f() {}\n");
+    assert!(attr.tokens.iter().any(|t| t.is_ident("allow")));
+    // Rules see code after a shebang as usual.
+    let src = "#!/usr/bin/env sno\nfn f() { let t = Instant::now(); }\n";
+    assert_eq!(rules_of(&lint_source("src/main.rs", src)), ["wall-clock"]);
 }
 
 #[test]
@@ -411,6 +458,287 @@ fn doc_comments_do_not_carry_pragmas() {
     );
 }
 
+#[test]
+fn multi_rule_pragma_suppresses_each_listed_rule() {
+    let src = concat!(
+        "fn f(v: &[u8]) -> u8 {\n",
+        "    // sno-lint: allow(unwrap-in-lib, wall-clock): fixture exercising both rules at once\n",
+        "    let _t = Instant::now(); *v.first().unwrap()\n",
+        "}\n",
+    );
+    assert_eq!(lint_source("crates/core/src/x.rs", src), []);
+}
+
+#[test]
+fn multi_rule_pragma_tracks_unused_rules_independently() {
+    // Only the unwrap fires: the wall-clock half of the pragma is dead
+    // weight and must be reported as such, without disturbing the half
+    // that did suppress something.
+    let src = concat!(
+        "fn f(v: &[u8]) -> u8 {\n",
+        "    // sno-lint: allow(unwrap-in-lib, wall-clock): only the unwrap fires\n",
+        "    *v.first().unwrap()\n",
+        "}\n",
+    );
+    let diags = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["unused-pragma"]);
+    assert!(diags[0].message.contains("allow(wall-clock)"));
+    assert!(!diags[0].message.contains("unwrap-in-lib"));
+}
+
+#[test]
+fn multi_rule_pragma_with_unknown_member_still_suppresses_known() {
+    let src = concat!(
+        "fn f(v: &[u8]) -> u8 {\n",
+        "    // sno-lint: allow(unwrap-in-lib, no-such-rule): half right\n",
+        "    *v.first().unwrap()\n",
+        "}\n",
+    );
+    let diags = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&diags), ["bad-pragma"]);
+    assert!(diags[0].message.contains("no-such-rule"));
+}
+
+// ---------------------------------------------------------------------
+// Item parser (PR 9)
+// ---------------------------------------------------------------------
+
+#[test]
+fn parser_indexes_items_with_nesting_and_test_attribution() {
+    let src = concat!(
+        "pub fn top() {}\n",
+        "mod inner {\n",
+        "    struct Widget;\n",
+        "    impl Widget {\n",
+        "        pub(crate) fn method(&self) {}\n",
+        "    }\n",
+        "}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn t() {}\n",
+        "}\n",
+    );
+    let lexed = lex(src);
+    let tree = parse::parse(&lexed);
+    let find = |name: &str| {
+        tree.walk()
+            .into_iter()
+            .map(|id| &tree.items[id])
+            .find(|it| it.name == name)
+            .unwrap_or_else(|| panic!("item {name} not indexed"))
+    };
+    let top = find("top");
+    assert_eq!(top.kind, ItemKind::Fn);
+    assert!(top.is_pub && !top.is_test);
+    assert_eq!(top.line, 1);
+    let method = find("method");
+    assert_eq!(method.kind, ItemKind::Fn);
+    assert!(method.is_pub && !method.is_test, "pub(crate) counts as pub");
+    assert_eq!(find("Widget").kind, ItemKind::Struct);
+    assert!(find("tests").is_test, "#[cfg(test)] mod is a test region");
+    assert!(find("t").is_test, "items inherit the enclosing test region");
+}
+
+/// Alphabet for parser property tests: enough to spell `fn`, `mod`,
+/// `impl`, attributes, braces, and string/comment introducers, so
+/// generated soup regularly forms partial items.
+const PARSER_ALPHABET: &str = "fn modimpluse tcfg#[]{}();!\"'/*r\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total and its spans partition the file: walking
+    /// the item tree yields well-nested spans that tile `0..len` with
+    /// no gap and no overlap, whatever soup comes in.
+    #[test]
+    fn parser_spans_partition_every_byte(src in prop::string::string(PARSER_ALPHABET, 0..120)) {
+        let lexed = lex(&src);
+        let tree = parse::parse(&lexed);
+        let parts = parse::span_partition(&tree, src.len());
+        let parts = parts.expect("item spans must be consistent");
+        let mut at = 0usize;
+        for &(lo, hi, _inside) in &parts {
+            prop_assert_eq!(lo, at, "gap or overlap at byte {}", at);
+            prop_assert!(hi >= lo);
+            at = hi;
+        }
+        prop_assert_eq!(at, src.len(), "partition must reach the end");
+    }
+
+    /// Full-file analysis (lex + parse + every rule) is total on soup
+    /// from the parser alphabet too, wherever the file sits.
+    #[test]
+    fn analyze_never_panics(
+        src in prop::string::string(PARSER_ALPHABET, 0..120),
+        pick in 0..3usize,
+    ) {
+        let path = ["crates/core/src/x.rs", "crates/bench/src/experiments.rs", "src/main.rs"][pick];
+        let _ = lint_source(path, &src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Call graph (PR 9)
+// ---------------------------------------------------------------------
+
+/// Fixture files for graph tests, analysed in the order given.
+fn graph_fixture(order: &[usize]) -> String {
+    let files = [
+        ("crates/core/src/a.rs", "pub fn alpha() { beta(); }\n"),
+        (
+            "crates/core/src/b.rs",
+            "pub fn beta() { gamma(); }\npub fn gamma() {}\n",
+        ),
+        (
+            "crates/synth/src/c.rs",
+            "pub struct Gen;\nimpl Gen {\n    pub fn emit(&self) { beta(); }\n}\n",
+        ),
+    ];
+    let analysed: Vec<_> = order
+        .iter()
+        .map(|&i| analyze(files[i].0, files[i].1))
+        .collect();
+    graph::render_json(&graph::build(&analysed))
+}
+
+#[test]
+fn graph_json_is_deterministic_and_file_order_independent() {
+    let canonical = graph_fixture(&[0, 1, 2]);
+    assert_eq!(canonical, graph_fixture(&[0, 1, 2]), "two runs differ");
+    assert_eq!(canonical, graph_fixture(&[2, 1, 0]), "reversal leaks in");
+    assert_eq!(canonical, graph_fixture(&[1, 2, 0]), "rotation leaks in");
+    assert!(canonical.contains("\"version\": \"sno-lint-graph-v1\""));
+    assert!(canonical.contains("crates/core/src/a.rs::alpha"));
+    // The method call resolves by name: Gen::emit -> beta.
+    assert!(canonical.contains("Gen"));
+}
+
+#[test]
+fn workspace_graph_json_is_byte_identical_across_runs() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let a = sno_lint::graph_workspace_json(&root).expect("graph scan");
+    let b = sno_lint::graph_workspace_json(&root).expect("graph scan");
+    assert_eq!(a, b);
+    assert!(a.contains("\"version\": \"sno-lint-graph-v1\""));
+    assert!(a.contains("Pipeline"), "service entry types must appear");
+}
+
+// ---------------------------------------------------------------------
+// Flow-aware rules (PR 9): each fires on bad, stays silent on good
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule_panic_reachable_fires_at_the_root() {
+    let bad = concat!(
+        "pub struct Pipeline;\n",
+        "impl Pipeline {\n",
+        "    pub fn run(&self) { helper(); }\n",
+        "}\n",
+        "fn helper() { inner(); }\n",
+        "fn inner() { panic!(\"boom\"); }\n",
+    );
+    let diags = lint_source("crates/core/src/probe.rs", bad);
+    assert_eq!(rules_of(&diags), ["panic-reachable"]);
+    assert_eq!(diags[0].line, 3, "anchored at the entry point's fn line");
+    assert!(diags[0]
+        .message
+        .contains("Pipeline::run -> helper -> inner"));
+    assert!(diags[0].message.contains("panic!"));
+}
+
+#[test]
+fn rule_panic_reachable_ignores_unreachable_panics() {
+    // The panic exists but no entry point can reach it; `helper` has no
+    // callers among the roots.
+    let good = concat!(
+        "pub struct Pipeline;\n",
+        "impl Pipeline {\n",
+        "    pub fn run(&self) {}\n",
+        "}\n",
+        "fn orphan() { panic!(\"never reached from a root\"); }\n",
+    );
+    assert_eq!(lint_source("crates/core/src/probe.rs", good), []);
+}
+
+#[test]
+fn rule_panic_reachable_justified_at_the_root() {
+    let src = concat!(
+        "pub struct Pipeline;\n",
+        "impl Pipeline {\n",
+        "    // sno-lint: allow(panic-reachable): fixture invariant is validated upstream\n",
+        "    pub fn run(&self) { inner(); }\n",
+        "}\n",
+        "fn inner() { panic!(\"boom\"); }\n",
+    );
+    assert_eq!(lint_source("crates/core/src/probe.rs", src), []);
+}
+
+#[test]
+fn rule_rng_escape_fires_on_shard_index_params() {
+    let bad = "pub fn jitter(rng: &mut Rng, shard: usize) -> u64 { rng.next_u64() }";
+    let diags = lint_source("crates/synth/src/x.rs", bad);
+    assert_eq!(rules_of(&diags), ["rng-escape"]);
+    assert!(diags[0].message.contains("substream_shard(shard)"));
+    // Suffix form and reversed parameter order both count.
+    let bad2 = "fn fill(mlab_shard: usize, r: Rng) {}";
+    assert_eq!(
+        rules_of(&lint_source("crates/synth/src/x.rs", bad2)),
+        ["rng-escape"]
+    );
+    // A chunk *length* is a delivery knob, not an identity; and a shard
+    // index without an Rng is the normal sharded-map shape.
+    for good in [
+        "pub fn gen(rng: &mut Rng, chunk_len: usize) {}",
+        "pub fn slice(shard: usize, len: usize) {}",
+        "pub fn derive(rng: &Rng) -> Rng { rng.substream_named(\"x\") }",
+    ] {
+        assert_eq!(lint_source("crates/synth/src/x.rs", good), [], "{good}");
+    }
+    // Tests may wire fixtures however they like.
+    assert_eq!(lint_source("crates/synth/tests/x.rs", bad), []);
+}
+
+#[test]
+fn rule_float_fold_order_fires_on_merge_callbacks() {
+    let bad = concat!(
+        "pub fn collect(stream: Stream, threads: usize) -> f64 {\n",
+        "    par_fold_chunks(stream, threads, 0.0,\n",
+        "        |chunk| chunk.len() as f64,\n",
+        "        |mut acc, part| { acc += part; acc })\n",
+        "}\n",
+    );
+    let diags = lint_source("crates/core/src/x.rs", bad);
+    assert_eq!(rules_of(&diags), ["float-fold-order"]);
+    assert_eq!(diags[0].line, 4, "anchored at the merge closure");
+    // `.sum()` in the merge counts too.
+    let bad_sum = concat!(
+        "pub fn total(n: usize, t: usize) -> f64 {\n",
+        "    shard_reduce(n, t, |i| i as f64, 0.0, |acc: f64, p| [acc, p].iter().sum())\n",
+        "}\n",
+    );
+    assert_eq!(
+        rules_of(&lint_source("crates/core/src/x.rs", bad_sum)),
+        ["float-fold-order"]
+    );
+    // The blessed shape merges through an in-order accumulator.
+    let good = concat!(
+        "pub fn collect(stream: Stream, threads: usize) -> Stats {\n",
+        "    par_fold_chunks(stream, threads, Stats::default(),\n",
+        "        |chunk| Stats::of(chunk),\n",
+        "        |mut acc, part| { acc.merge(part); acc })\n",
+        "}\n",
+    );
+    assert_eq!(lint_source("crates/core/src/x.rs", good), []);
+    // A single closure is a plain fold, not a map + merge pair.
+    let single = "pub fn f(s: S, t: usize) -> f64 { par_fold_chunks(s, t, 0.0, |acc: f64| acc) }";
+    assert_eq!(lint_source("crates/core/src/x.rs", single), []);
+    // Dev-tool crates may fold floats however they like.
+    assert_eq!(lint_source("crates/check/src/x.rs", bad), []);
+}
+
 // ---------------------------------------------------------------------
 // Report plumbing
 // ---------------------------------------------------------------------
@@ -433,6 +761,62 @@ fn diagnostics_sort_stably_and_render_json() {
     assert!(json.contains("\"count\": 3"));
     assert!(json.contains("\"rule\": \"wall-clock\""));
     assert!(json.contains("\"file\": \"crates/core/src/x.rs\""));
+}
+
+#[test]
+fn baseline_delta_ratchets_upward_only() {
+    let base = concat!(
+        "{\n",
+        "  \"rule_counts\": {\"wall-clock\": 1, \"unwrap-in-lib\": 2},\n",
+        "  \"suppressed\": {\"panic-reachable\": 3}\n",
+        "}\n",
+    );
+    // Any count increase — diagnostics or justified suppressions — is a
+    // regression; the ratchet only turns one way.
+    let worse = concat!(
+        "{\n",
+        "  \"rule_counts\": {\"wall-clock\": 2, \"unwrap-in-lib\": 2},\n",
+        "  \"suppressed\": {\"panic-reachable\": 3}\n",
+        "}\n",
+    );
+    let (delta, regressed) = sno_lint::baseline_delta(worse, base);
+    assert!(regressed);
+    assert!(delta
+        .iter()
+        .any(|l| l.contains("wall-clock") && l.contains("+1")));
+    let more_suppressed = concat!(
+        "{\n",
+        "  \"rule_counts\": {\"wall-clock\": 1, \"unwrap-in-lib\": 2},\n",
+        "  \"suppressed\": {\"panic-reachable\": 4}\n",
+        "}\n",
+    );
+    let (_, regressed) = sno_lint::baseline_delta(more_suppressed, base);
+    assert!(
+        regressed,
+        "new justified suppressions also turn the ratchet"
+    );
+    // Shrinking a count prints the delta but passes.
+    let better = concat!(
+        "{\n",
+        "  \"rule_counts\": {\"wall-clock\": 0, \"unwrap-in-lib\": 2},\n",
+        "  \"suppressed\": {\"panic-reachable\": 3}\n",
+        "}\n",
+    );
+    let (delta, regressed) = sno_lint::baseline_delta(better, base);
+    assert!(!regressed);
+    assert_eq!(delta.len(), 1);
+    // Identical reports produce no delta at all.
+    let (delta, regressed) = sno_lint::baseline_delta(base, base);
+    assert!(delta.is_empty() && !regressed);
+    // A rule unknown to the baseline counts from zero.
+    let new_rule = concat!(
+        "{\n",
+        "  \"rule_counts\": {\"wall-clock\": 1, \"unwrap-in-lib\": 2, \"brand-new\": 1},\n",
+        "  \"suppressed\": {\"panic-reachable\": 3}\n",
+        "}\n",
+    );
+    let (_, regressed) = sno_lint::baseline_delta(new_rule, base);
+    assert!(regressed);
 }
 
 #[test]

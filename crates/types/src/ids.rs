@@ -179,13 +179,11 @@ impl Operator {
         }
     }
 
-    /// A stable small integer for indexing per-operator arrays.
+    /// A stable small integer for indexing per-operator arrays. `ALL`
+    /// lists the variants in declaration order (pinned by test), so the
+    /// discriminant is the position.
     pub fn index(self) -> usize {
-        Operator::ALL
-            .iter()
-            .position(|&op| op == self)
-            // sno-lint: allow(unwrap-in-lib): ALL enumerates every Operator variant by construction
-            .expect("operator present in ALL")
+        self as usize
     }
 }
 

@@ -100,15 +100,9 @@ where
         }
     });
     drop(tx);
-    let mut slots: Vec<Option<T>> = (0..shards).map(|_| None).collect();
-    for (i, value) in rx {
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        // sno-lint: allow(unwrap-in-lib): the scoped pool sends exactly one result per shard before join
-        .map(|s| s.expect("shard_map: missing shard result"))
-        .collect()
+    let mut results: Vec<(usize, T)> = rx.into_iter().collect();
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, value)| value).collect()
 }
 
 /// [`shard_map`] followed by an **in-shard-order** fold. The fold runs

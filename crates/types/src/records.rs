@@ -30,10 +30,11 @@ impl CountryCode {
         CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
     }
 
-    /// The code as a string slice.
+    /// The code as a string slice. The constructor asserts both bytes
+    /// are ASCII letters; a corrupted value degrades to `"??"` instead
+    /// of aborting the pipeline.
     pub fn as_str(&self) -> &str {
-        // sno-lint: allow(unwrap-in-lib): the constructor asserts both bytes are ASCII letters
-        std::str::from_utf8(&self.0).expect("ascii by construction")
+        std::str::from_utf8(&self.0).unwrap_or("??")
     }
 }
 
