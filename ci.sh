@@ -87,6 +87,12 @@ fi
 # incremental OnlineIdentifier, then run the batch streamed pipeline
 # over the same corpus and fail on any verdict mismatch (acceptance
 # bits, catalog, thresholds, per-operator latencies, rendered report).
+# Also snapshots again after compact() and fails if the compacted log
+# diverges from the batch run. The steady-state snapshot latency itself
+# is budgeted in the perf gate above: BUDGETS in repro.rs caps
+# online_snapshot_steady (the incremental, post-warm-up snapshot) at an
+# absolute ceiling, so snapshot() silently regressing back to
+# O(corpus) full replay fails CI even without a baseline to diff.
 run online-gate cargo run --release --offline -p sno-bench --bin repro -- \
     --online --verify-batch --scale 2e-3
 

@@ -61,7 +61,13 @@ const NOISE_FLOOR_MS: f64 = 2.0;
 /// by `--bench-diff` alongside the relative gate. Relative diffs ratchet
 /// slowly — ten successive "only 19% worse" runs compound to 5×; a
 /// budget pins the benches whose wall time is itself a deliverable.
-const BUDGETS: &[(&str, &str, f64)] = &[("experiments", "fig4a", 100.0)];
+const BUDGETS: &[(&str, &str, f64)] = &[
+    ("experiments", "fig4a", 100.0),
+    // A steady-state snapshot must stay O(frames since the last one) —
+    // at the bench corpus that is near-zero work plus report assembly,
+    // so the budget is deliberately tight relative to full replay.
+    ("online", "online_snapshot_steady", 25.0),
+];
 
 /// Groups `--bench-diff` never compares relatively: calibration exists
 /// only to estimate machine drift.
@@ -199,22 +205,46 @@ fn run_bench_mode(config: SynthConfig, chunk: Option<usize>, out_path: &str) {
     report.push(pipeline_group);
 
     // The online identification service: end-to-end chunked ingest into
-    // a fresh identifier, and snapshot latency on the fully-loaded state
-    // (what a monitoring poll pays per report).
+    // a fresh identifier, full-replay snapshot latency on the loaded
+    // state (the pre-incremental reference), and steady-state snapshot
+    // latency — what a monitoring poll pays per report once the accept
+    // state is warm. The steady/full ratio is the incremental payoff.
     let mut group = bench_group("online");
     group.sample_size(5).warm_up_ms(50.0).sample_budget_ms(50.0);
     group.bench_function("online_ingest", |b| {
-        b.iter(|| std::hint::black_box(ingest_corpus(&generator, config.threads, chunk_len).0))
+        b.iter(|| std::hint::black_box(ingest_corpus(&generator, config.threads, chunk_len, 0).0))
     });
-    let (loaded, _) = ingest_corpus(&generator, config.threads, chunk_len);
+    let (loaded, _) = ingest_corpus(&generator, config.threads, chunk_len, 0);
     let online_opts = StreamOptions {
         operator_latencies: true,
         ..StreamOptions::default()
     };
     group.bench_function("online_snapshot", |b| {
-        b.iter(|| std::hint::black_box(loaded.snapshot(online_opts)))
+        b.iter(|| std::hint::black_box(loaded.snapshot_full(online_opts)))
+    });
+    let mut steady = loaded.clone();
+    let _ = steady.snapshot(online_opts);
+    group.bench_function("online_snapshot_steady", |b| {
+        b.iter(|| std::hint::black_box(steady.snapshot(online_opts)))
     });
     let online_group = group.finish();
+
+    // Resident-log gauge: bytes held for replay after a snapshot-then-
+    // compact cycle vs the uncompacted log (machine-independent, so it
+    // rides in the raw-compared memory group).
+    let mut compacted = loaded.clone();
+    let _ = compacted.snapshot(online_opts);
+    compacted.compact();
+    for (name, bytes) in [
+        ("online_log_mb", loaded.resident_log_bytes()),
+        ("online_log_compacted_mb", compacted.resident_log_bytes()),
+    ] {
+        mem_results.push(BenchResult {
+            name: name.to_string(),
+            iters_per_sample: 1,
+            sample_ms: vec![bytes as f64 / (1024.0 * 1024.0)],
+        });
+    }
     if let Some(ms) = online_group
         .results
         .iter()
@@ -549,18 +579,27 @@ fn run_lint(json: bool) -> ! {
 }
 
 /// Ingest the whole NDT stream into a fresh [`OnlineIdentifier`],
-/// returning it plus the number of chunks delivered.
+/// returning it plus the number of chunks delivered. `progress_every`
+/// emits a stderr heartbeat each time that many records have been
+/// absorbed (0 = silent) — record counts, never wall-clock, matching
+/// the batch streamed path's `StreamOptions::progress_every`.
 fn ingest_corpus(
     generator: &MlabGenerator,
     threads: usize,
     chunk_len: usize,
+    progress_every: usize,
 ) -> (OnlineIdentifier, usize) {
     let mut online = OnlineIdentifier::new(Pipeline::with_threads(threads));
     let mut stream = generator.generate_chunks(chunk_len);
     let mut chunks = 0usize;
+    let mut milestones = 0usize;
     while let Some(records) = stream.next_chunk() {
         online.ingest(&records);
         chunks += 1;
+        if progress_every > 0 && online.ingested() / progress_every > milestones {
+            milestones = online.ingested() / progress_every;
+            eprintln!("    [online ingest] {} records", online.ingested());
+        }
     }
     (online, chunks)
 }
@@ -578,12 +617,19 @@ fn run_online(config: SynthConfig, chunk: Option<usize>, verify: bool, progress:
         ..StreamOptions::default()
     };
     let generator = MlabGenerator::new(config.clone());
-    let (online, chunks) = ingest_corpus(&generator, config.threads, chunk_len);
+    let (mut online, chunks) = ingest_corpus(&generator, config.threads, chunk_len, progress);
+    let resident_before = online.resident_log_bytes();
     let snapshot = online.snapshot(opts);
+    online.compact();
     let text = streamed_report_text(&snapshot, config.scale);
     println!(
         "==== online: {} sessions ingested in {chunks} chunks of <= {chunk_len} ====",
         online.ingested()
+    );
+    println!(
+        "resident log: {resident_before} bytes ingested -> {} bytes after snapshot+compact (epoch {})",
+        online.resident_log_bytes(),
+        online.accept_epoch()
     );
     print!("{text}");
     if !verify {
@@ -622,6 +668,12 @@ fn run_online(config: SynthConfig, chunk: Option<usize>, verify: bool, progress:
     let batch_text = streamed_report_text(&batch, config.scale);
     if text != batch_text {
         mismatches.push("rendered reports are not byte-identical".to_string());
+    }
+    // The compacted identifier must keep answering byte-identically
+    // from its folded state (the resident log is gone by now).
+    let recompacted = online.snapshot(opts);
+    if streamed_report_text(&recompacted, config.scale) != batch_text {
+        mismatches.push("post-compaction snapshot diverges from the batch run".to_string());
     }
     if mismatches.is_empty() {
         println!("verify-batch: online == batch (verdicts and rendered report byte-identical)");

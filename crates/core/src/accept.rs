@@ -14,6 +14,7 @@
 
 use crate::asn_map::AsnMapping;
 use crate::prefix_filter::MEO_FLOOR_MS;
+use crate::stream::{AcceptPass, StreamOptions};
 use crate::validate::AsnVerdict;
 use sno_types::{AccessKind, Asn, Operator, OrbitClass};
 use std::collections::BTreeMap;
@@ -90,7 +91,14 @@ enum AsnRule {
 
 /// The per-ASN accept table: stage 4's decision logic with everything
 /// but the latency comparison precomputed.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every rule bit-for-bit (thresholds included) —
+/// the incremental path uses it as the *epoch trigger*: as long as the
+/// table derived from the updated statistics equals the one acceptance
+/// state was built under, previously decided records would decide the
+/// same way today, so the state stays valid and only new frames need
+/// deciding.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceptTable {
     asns: Vec<Asn>,
     rules: Vec<AsnRule>,
@@ -143,6 +151,168 @@ impl AcceptTable {
             AsnRule::AboveExclusive(op, floor) => (latency_ms > floor).then_some(op),
             AsnRule::AtLeast(op, threshold) => (latency_ms >= threshold).then_some(op),
         }
+    }
+}
+
+/// Persistent acceptance state for the incremental online path.
+///
+/// Pass 2 of the streamed pipeline decides every record against the
+/// [`AcceptTable`] derived from pass-1 statistics; replaying it per
+/// snapshot costs O(corpus). `AcceptState` keeps the pass-2 outputs
+/// (per-operator counts, [`AcceptBitmap`], optional dense vector and
+/// per-operator samples) *across* snapshots, together with the exact
+/// table they were decided under, so a snapshot only has to:
+///
+/// 1. re-derive the table from the updated statistics;
+/// 2. if it equals the stored table ([`AcceptState::compatible`]),
+///    absorb just the frames appended since `decided` — O(delta);
+/// 3. otherwise bump the epoch ([`AcceptState::reset`]) and re-decide
+///    the whole stream — the *bounded re-replay*: compacted frames
+///    replay from their retained `(asn)` slots plus the cumulative
+///    per-ASN latency buckets ([`AcceptState::replay_compacted`]),
+///    resident frames through the normal chunked accept pass.
+///
+/// Because every row decision goes through
+/// [`AcceptPass::decide_into`] in stream order, the state after any
+/// schedule of steps 2–3 is byte-identical to one serial accept pass
+/// over the full stream — the invariant the online determinism suite
+/// pins.
+#[derive(Debug, Clone, Default)]
+pub struct AcceptState {
+    /// Bumps every time the table shifted and the stream was re-decided.
+    epoch: u64,
+    /// The table the current pass state was decided under; `None` until
+    /// the first snapshot (or after an invalidating merge).
+    table: Option<AcceptTable>,
+    /// The accept-pass outputs accumulated so far.
+    pass: Option<AcceptPass>,
+    /// Pass options the state was built under (dense vector and
+    /// per-operator samples are shape-changing, so a flip invalidates).
+    opts: StreamOptions,
+    /// Frames decided so far — a high-water index into the record
+    /// stream (compacted frames included).
+    decided: usize,
+}
+
+impl AcceptState {
+    /// A state that has decided nothing (first snapshot re-derives).
+    pub fn new() -> AcceptState {
+        AcceptState::default()
+    }
+
+    /// How many times the accept table shifted under this state,
+    /// forcing a full re-decide. Starts at 0; the first snapshot
+    /// always counts one.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Frames decided so far (high-water index into the stream).
+    pub fn decided(&self) -> usize {
+        self.decided
+    }
+
+    /// Can the current state absorb new frames under `table`, or must
+    /// the stream be re-decided? True iff the freshly derived table
+    /// equals the stored one and the pass shape (dense / latencies)
+    /// matches.
+    pub(crate) fn compatible(&self, table: &AcceptTable, opts: StreamOptions) -> bool {
+        self.table.as_ref() == Some(table)
+            && self.opts.dense_acceptance == opts.dense_acceptance
+            && self.opts.operator_latencies == opts.operator_latencies
+    }
+
+    /// Start a new epoch under `table`: drop all decisions, keep the
+    /// epoch counter monotone. The caller replays the stream from
+    /// frame 0 afterwards.
+    pub(crate) fn reset(&mut self, table: AcceptTable, opts: StreamOptions) {
+        self.epoch += 1;
+        self.pass = Some(AcceptPass::empty(opts));
+        self.table = Some(table);
+        self.opts = opts;
+        self.decided = 0;
+    }
+
+    /// Forget the table (e.g. after a merge of differently-tabled
+    /// shards): the next snapshot re-derives and re-decides.
+    pub(crate) fn invalidate(&mut self) {
+        self.table = None;
+        self.pass = None;
+        self.decided = 0;
+    }
+
+    /// Absorb an accept pass over `frames` stream frames appended after
+    /// the `decided` high-water mark.
+    pub(crate) fn absorb(&mut self, pass: AcceptPass, frames: usize) {
+        match self.pass.as_mut() {
+            Some(acc) => acc.absorb(pass),
+            None => self.pass = Some(pass),
+        }
+        self.decided += frames;
+    }
+
+    /// Re-decide compacted frames from their retained ASN slots. The
+    /// per-ASN latency buckets (`by_asn`) are cumulative and in record
+    /// order, and the compacted slots are exactly the first
+    /// `slots.len()` frames of the stream — so walking the slots with a
+    /// per-ASN cursor replays the exact `(asn, latency)` sequence those
+    /// frames carried, and `decide_into` rebuilds byte-identical pass
+    /// state. Must run right after [`AcceptState::reset`], before any
+    /// resident frames are absorbed.
+    pub(crate) fn replay_compacted(&mut self, slots: &[u32], by_asn: &BTreeMap<Asn, Vec<f64>>) {
+        let (Some(table), Some(pass)) = (self.table.as_ref(), self.pass.as_mut()) else {
+            return;
+        };
+        debug_assert_eq!(self.decided, 0, "compacted frames replay first");
+        let mut cursors: BTreeMap<Asn, usize> = BTreeMap::new();
+        for &raw in slots {
+            let asn = Asn(raw);
+            let cursor = cursors.entry(asn).or_insert(0);
+            // The bucket always covers the cursor by the compaction
+            // invariant; NAN (which every rule rejects) keeps the walk
+            // total if it ever does not.
+            let lat = by_asn
+                .get(&asn)
+                .and_then(|lats| lats.get(*cursor))
+                .copied()
+                .unwrap_or(f64::NAN);
+            debug_assert!(lat.is_finite(), "compacted slot past its ASN bucket");
+            *cursor += 1;
+            pass.decide_into(table, asn, lat);
+        }
+        self.decided = slots.len();
+    }
+
+    /// Merge a shard's state after this one (stream order: `self`'s
+    /// frames precede `other`'s). Both shards must have been decided
+    /// under the same table and pass shape, and both must be fully
+    /// caught up with their streams — then concatenating the passes is
+    /// exactly the serial pass over the concatenated stream. Returns
+    /// `false` (and invalidates) when the tables differ, so the next
+    /// snapshot re-derives from the merged statistics.
+    pub(crate) fn merge(&mut self, other: AcceptState) -> bool {
+        let same_table = match (&self.table, &other.table) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        if !same_table
+            || self.opts.dense_acceptance != other.opts.dense_acceptance
+            || self.opts.operator_latencies != other.opts.operator_latencies
+        {
+            self.invalidate();
+            return false;
+        }
+        if let (Some(acc), Some(part)) = (self.pass.as_mut(), other.pass) {
+            acc.absorb(part);
+        }
+        self.decided += other.decided;
+        self.epoch = self.epoch.max(other.epoch);
+        true
+    }
+
+    /// The accumulated pass outputs (None until the first snapshot).
+    pub(crate) fn pass(&self) -> Option<&AcceptPass> {
+        self.pass.as_ref()
     }
 }
 

@@ -1,5 +1,5 @@
 //! The online identification service: incremental ingest with
-//! snapshot-on-demand reporting.
+//! snapshot-on-demand reporting in O(delta), not O(corpus).
 //!
 //! The batch pipelines ([`Pipeline::run`] and [`Pipeline::run_streamed`])
 //! assume the corpus is complete before stage 3 runs. A continuously
@@ -19,27 +19,52 @@
 //!   `CorpusStats::merge` appends buckets, the replay logs concatenate
 //!   byte-wise, and the [`QuantileSketch`]es are ingest-order-invariant
 //!   by construction. This is what lets `sno_types::par` shard the ingest
-//!   across threads without changing a single output byte.
-//! * **Snapshot** — [`OnlineIdentifier::snapshot`] derives stages 3–3c
-//!   from the accumulated statistics (the KDE validation and latency
-//!   filters over the current window) and replays the log through the
-//!   shared accept pass, producing a [`StreamedReport`] byte-identical to
-//!   [`Pipeline::run_streamed`] over the same records — online verdicts
-//!   *are* batch verdicts, pinned by `tests/online_determinism.rs`.
+//!   across threads without changing a single output byte. The absorbed
+//!   shard must be *raw* — never compacted or evicted — because its
+//!   frames land in the middle of the merged stream, where dropped bytes
+//!   could no longer be re-decided on an epoch bump (merge-then-compact
+//!   is sound; compact-then-merge is not — see DESIGN §7).
+//! * **Snapshot** — [`OnlineIdentifier::snapshot`] re-derives stages
+//!   3–3c through a memoizing [`StageCache`] (only buckets that grew
+//!   since the last snapshot are re-evaluated) and compares the
+//!   resulting [`AcceptTable`](crate::accept::AcceptTable) with the one
+//!   the persistent [`AcceptState`] was decided under. *Unchanged* →
+//!   only the frames appended since the last snapshot replay through
+//!   the accept pass (O(delta)). *Shifted* → the *epoch* bumps and the
+//!   whole stream is re-decided: compacted frames from their retained
+//!   ASN slots plus the cumulative per-ASN latency buckets, resident
+//!   frames from the log (the bounded re-replay).
+//!   Either way the report is byte-identical to [`Pipeline::run_streamed`]
+//!   over the same records — online verdicts *are* batch verdicts,
+//!   pinned by `tests/online_determinism.rs` across interleaved
+//!   ingest/snapshot/merge/compact schedules.
+//! * **Compaction** — [`OnlineIdentifier::compact`] drops the decided
+//!   prefix of the replay log, retaining only each dropped frame's ASN
+//!   (4 bytes instead of 52). An accept decision is a function of
+//!   `(asn, latency_p5)` alone, and the cumulative per-ASN buckets
+//!   already hold every latency in record order — so an epoch bump can
+//!   replay compacted frames exactly, via per-ASN cursors into the
+//!   buckets. Resident log size stays bounded by the frames ingested
+//!   since the last `compact()`.
 //!
 //! With a sliding window ([`OnlineIdentifier::with_window`]), snapshots
-//! first drop records older than `window_secs` behind the newest
-//! timestamp seen, re-deriving the statistics from the retained log —
-//! the unwindowed default keeps the whole stream and therefore matches
-//! the batch report exactly.
+//! first *evict* the leading run of frames older than `window_secs`
+//! behind the newest timestamp seen — sound because the cutoff only
+//! moves forward, so an expired frame can never re-enter a later
+//! window — then re-derive statistics from the retained log. The
+//! unwindowed default keeps the whole stream (resident or compacted)
+//! and therefore matches the batch report exactly.
 
-use crate::accept::AsnOps;
+use crate::accept::{AcceptState, AsnOps};
 use crate::asn_map::{map_asns, AsnMapping};
-use crate::pipeline::Pipeline;
-use crate::stream::{accept_pass, CorpusStats, StreamOptions, StreamedReport, REPLAY_CHUNK_LEN};
+use crate::pipeline::{Pipeline, StageCache};
+use crate::stream::{
+    accept_pass, AcceptBitmap, CorpusStats, StreamOptions, StreamedReport, REPLAY_CHUNK_LEN,
+};
+use crate::validate::{profile_from_sketch, AsnProfile};
 use sno_stats::{daily_medians, OnlineShiftDetector, QuantileSketch, Shift};
 use sno_types::records::NdtRecord;
-use sno_types::{codec, Operator, RecordBatch, Timestamp, UtcDay};
+use sno_types::{codec, Asn, Operator, RecordBatch, Timestamp, UtcDay};
 use std::collections::BTreeMap;
 
 /// An incrementally flagged PoP-style level shift in one operator's
@@ -62,11 +87,28 @@ pub struct OnlineIdentifier {
     mapping: AsnMapping,
     index: AsnOps,
     stats: CorpusStats,
+    /// Bumped on every statistics mutation — the stage cache's
+    /// whole-derivation key.
+    stats_rev: u64,
     log: codec::Encoder,
+    /// Records ingested over the identifier's lifetime (the log shrinks
+    /// under compaction and eviction, so this is tracked explicitly).
+    ingested: usize,
+    /// ASNs of compacted frames, in stream order (unwindowed only): all
+    /// an epoch-bump replay needs, since the cumulative per-ASN buckets
+    /// hold the latencies.
+    compacted_slots: Vec<u32>,
+    /// Frames dropped by windowed eviction (windowed only).
+    evicted: usize,
     window_secs: Option<u64>,
     latest: Option<Timestamp>,
     by_operator: BTreeMap<Operator, Vec<(Timestamp, f64)>>,
     sketches: BTreeMap<Operator, QuantileSketch>,
+    /// Per-ASN latency sketches for buffer-free verdict validation,
+    /// when [`OnlineIdentifier::track_asn_sketches`] opted in.
+    asn_sketches: Option<BTreeMap<Asn, QuantileSketch>>,
+    cache: StageCache,
+    accept: AcceptState,
 }
 
 impl OnlineIdentifier {
@@ -80,11 +122,18 @@ impl OnlineIdentifier {
             mapping,
             index,
             stats: CorpusStats::new(),
+            stats_rev: 0,
             log: codec::Encoder::new(),
+            ingested: 0,
+            compacted_slots: Vec::new(),
+            evicted: 0,
             window_secs: None,
             latest: None,
             by_operator: BTreeMap::new(),
             sketches: BTreeMap::new(),
+            asn_sketches: None,
+            cache: StageCache::default(),
+            accept: AcceptState::new(),
         }
     }
 
@@ -98,23 +147,44 @@ impl OnlineIdentifier {
         }
     }
 
+    /// Also maintain per-ASN latency sketches at ingest — the input to
+    /// [`OnlineIdentifier::sketch_profiles`]. Call before the first
+    /// ingest (records already absorbed are not back-filled).
+    pub fn track_asn_sketches(&mut self) {
+        if self.asn_sketches.is_none() {
+            self.asn_sketches = Some(BTreeMap::new());
+        }
+    }
+
     /// Ingest one chunk of records in arrival order.
     // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn ingest(&mut self, records: &[NdtRecord]) {
         let batch = RecordBatch::from_records(records);
-        self.stats
-            .observe_batch(&self.index, &batch, 0..batch.len());
+        if self.window_secs.is_none() {
+            self.stats
+                .observe_batch(&self.index, &batch, 0..batch.len());
+            self.stats_rev += 1;
+        }
         self.log.extend_records(records);
+        self.ingested += records.len();
         self.track(&batch);
     }
 
     /// Ingest one columnar batch in arrival order.
     // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn ingest_batch(&mut self, batch: &RecordBatch) {
-        self.stats.observe_batch(&self.index, batch, 0..batch.len());
+        // A windowed identifier never reads the cumulative statistics
+        // (every snapshot re-derives from the retained log), so it
+        // skips accumulating them — the buckets would otherwise grow
+        // with the whole stream, defeating the window's memory bound.
+        if self.window_secs.is_none() {
+            self.stats.observe_batch(&self.index, batch, 0..batch.len());
+            self.stats_rev += 1;
+        }
         for i in 0..batch.len() {
             self.log.push(&batch.record(i));
         }
+        self.ingested += batch.len();
         self.track(batch);
     }
 
@@ -130,6 +200,9 @@ impl OnlineIdentifier {
             if let Some(op) = self.index.get(asn) {
                 self.by_operator.entry(op).or_default().push((ts, lat));
                 self.sketches.entry(op).or_default().push(lat);
+                if let Some(by_asn) = self.asn_sketches.as_mut() {
+                    by_asn.entry(asn).or_default().push(lat);
+                }
             }
         }
     }
@@ -138,14 +211,28 @@ impl OnlineIdentifier {
     /// stream) into this one. Merging per-shard identifiers in shard
     /// order reproduces serial ingest exactly — state and snapshots are
     /// byte-identical.
+    ///
+    /// The absorbed shard must be raw: never compacted, never evicted.
+    /// Its frames land in the middle of the merged stream, where an
+    /// epoch bump must still be able to re-decide them from the log —
+    /// so compact (and evict) only the accumulating side, *after* the
+    /// merge. `self` may already be compacted: its decided prefix stays
+    /// a prefix of the merged stream, so its accept state stays valid.
     // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
     pub fn merge(&mut self, other: OnlineIdentifier) {
         debug_assert_eq!(
             self.window_secs, other.window_secs,
             "merged identifiers must share a window"
         );
+        debug_assert!(
+            other.compacted_slots.is_empty() && other.evicted == 0,
+            "merge absorbs raw shards; compact/evict only the accumulating side"
+        );
+        let caught_up = self.accept.decided() == self.ingested;
         self.stats = std::mem::take(&mut self.stats).merge(other.stats);
+        self.stats_rev += 1;
         self.log.append(&other.log);
+        self.ingested += other.ingested;
         if let Some(ts) = other.latest {
             if self.latest.is_none_or(|t| ts > t) {
                 self.latest = Some(ts);
@@ -157,16 +244,53 @@ impl OnlineIdentifier {
         for (op, sketch) in other.sketches {
             self.sketches.entry(op).or_default().merge(&sketch);
         }
+        if let (Some(mine), Some(theirs)) = (self.asn_sketches.as_mut(), other.asn_sketches) {
+            for (asn, sketch) in theirs {
+                mine.entry(asn).or_default().merge(&sketch);
+            }
+        }
+        if other.accept.decided() > 0 {
+            // Both sides have decided frames. Concatenating the accept
+            // passes equals the serial pass only when self was fully
+            // caught up (no undecided gap between the two decided runs)
+            // and both decided under the same table — otherwise the
+            // next snapshot re-decides from scratch.
+            if !caught_up {
+                self.accept.invalidate();
+            } else {
+                let _ = self.accept.merge(other.accept);
+            }
+        }
+        // other.accept.decided() == 0: the shard contributes fresh
+        // frames only; self's decided prefix is still a stream prefix.
     }
 
-    /// Records ingested so far (the replay log's length).
+    /// Records ingested over the identifier's lifetime (compacted and
+    /// evicted frames included).
     pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// Frames currently resident in the replay log.
+    pub fn resident_frames(&self) -> usize {
         self.log.len()
+    }
+
+    /// Bytes held by the replay log plus the compacted-slot store — the
+    /// gauge the compaction bound is asserted on.
+    pub fn resident_log_bytes(&self) -> usize {
+        self.log.byte_len() + self.compacted_slots.len() * std::mem::size_of::<u32>()
+    }
+
+    /// How many times the accept table shifted under a snapshot,
+    /// forcing a full re-decide (0 until the first snapshot).
+    pub fn accept_epoch(&self) -> u64 {
+        self.accept.epoch()
     }
 
     /// True when nothing has been ingested.
     pub fn is_empty(&self) -> bool {
-        self.log.is_empty()
+        self.ingested == 0
     }
 
     /// The newest timestamp ingested.
@@ -181,21 +305,218 @@ impl OnlineIdentifier {
         &self.sketches
     }
 
+    /// Per-ASN profiles validated against the streaming sketches
+    /// instead of retained latency buffers — `None` unless
+    /// [`OnlineIdentifier::track_asn_sketches`] was enabled. Verdicts
+    /// agree with the buffer-backed KDE stage up to the sketch's bin
+    /// resolution (see `validate::profile_from_sketch`).
+    pub fn sketch_profiles(&self) -> Option<Vec<AsnProfile>> {
+        let by_asn = self.asn_sketches.as_ref()?;
+        let empty = QuantileSketch::default();
+        Some(
+            self.mapping
+                .mapping
+                .iter()
+                .flat_map(|(&op, asns)| asns.iter().map(move |&asn| (op, asn)))
+                .map(|(op, asn)| {
+                    let sketch = by_asn.get(&asn).unwrap_or(&empty);
+                    profile_from_sketch(op, asn, sketch, self.pipeline.bands)
+                })
+                .collect(),
+        )
+    }
+
     /// Render the current state through the standard report path. The
     /// report is byte-identical to [`Pipeline::run_streamed`] over the
     /// same records (the whole stream, or the sliding window if one was
     /// configured). `opts.replay_encoded` is moot here — snapshots
     /// always replay the internal log.
+    ///
+    /// Unwindowed, the cost is O(frames since the last snapshot) while
+    /// the derived accept table is stable, and O(stream) on the rare
+    /// epoch bump. Windowed, expired frames are evicted first and the
+    /// retained window replays in full.
     // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
-    pub fn snapshot(&self, opts: StreamOptions) -> StreamedReport {
-        let (stats, corpus) = match self.window_cutoff() {
-            None => (self.stats.clone(), self.log.clone().finish()),
-            Some(cutoff) => self.windowed_state(cutoff),
+    pub fn snapshot(&mut self, opts: StreamOptions) -> StreamedReport {
+        match self.window_cutoff() {
+            Some(cutoff) => self.windowed_snapshot(cutoff, opts),
+            None => self.incremental_snapshot(opts),
+        }
+    }
+
+    /// The unwindowed path: maintain the persistent accept state,
+    /// deciding only what the current epoch has not decided yet.
+    fn incremental_snapshot(&mut self, opts: StreamOptions) -> StreamedReport {
+        let stages = self
+            .cache
+            .derive(&self.pipeline, &self.mapping, &self.stats, self.stats_rev);
+        if !self.accept.compatible(&stages.table, opts) {
+            // Epoch bump: the table shifted (or this is the first
+            // snapshot / the pass shape changed) — re-decide the whole
+            // stream. Compacted frames replay from their ASN slots,
+            // resident frames from the log.
+            self.accept.reset(stages.table.clone(), opts);
+            self.accept
+                .replay_compacted(&self.compacted_slots, &self.stats.by_asn);
+            let pass = accept_pass(
+                &stages.table,
+                self.log.chunks(REPLAY_CHUNK_LEN),
+                opts,
+                self.pipeline.threads,
+            );
+            let frames = pass.bitmap.len();
+            self.accept.absorb(pass, frames);
+        } else if self.accept.decided() < self.ingested {
+            // O(delta): only the frames appended since the last
+            // snapshot. `decided` indexes the whole stream; the log
+            // starts at frame `compacted_slots.len()`.
+            let from = self.accept.decided() - self.compacted_slots.len();
+            let pass = accept_pass(
+                &stages.table,
+                self.log.tail_chunks(from, REPLAY_CHUNK_LEN),
+                opts,
+                self.pipeline.threads,
+            );
+            let frames = pass.bitmap.len();
+            self.accept.absorb(pass, frames);
+        }
+        debug_assert_eq!(self.accept.decided(), self.ingested);
+
+        let (counts, bitmap, dense, latencies) = match self.accept.pass() {
+            Some(pass) => (
+                pass.counts.clone(),
+                pass.bitmap.clone(),
+                pass.dense.clone(),
+                pass.latencies.clone(),
+            ),
+            None => (BTreeMap::new(), AcceptBitmap::new(), None, None),
         };
+        let mut catalog: Vec<(Operator, u64)> = counts.into_iter().collect();
+        catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        StreamedReport {
+            mapping: self.mapping.clone(),
+            profiles: stages.profiles,
+            strict: stages.strict,
+            thresholds: stages.thresholds,
+            default_threshold: stages.default_threshold,
+            records: self.ingested,
+            catalog,
+            bitmap,
+            accepted: dense,
+            latencies_by_operator: latencies,
+        }
+    }
+
+    /// The full-replay reference snapshot: re-derive every stage from
+    /// scratch and replay the entire resident log, ignoring (and not
+    /// touching) the persistent accept state — what `snapshot()` cost
+    /// before incremental acceptance, minus the log clone. Kept as the
+    /// oracle the incremental path is tested and benchmarked against.
+    /// Unwindowed, uncompacted identifiers only: the whole stream must
+    /// still be resident.
+    // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
+    pub fn snapshot_full(&self, opts: StreamOptions) -> StreamedReport {
+        debug_assert!(
+            self.window_secs.is_none() && self.compacted_slots.is_empty(),
+            "snapshot_full replays the resident log; use snapshot() after compaction/windowing"
+        );
+        let stages = self.pipeline.derive_stages(&self.mapping, &self.stats);
+        let pass = accept_pass(
+            &stages.table,
+            self.log.chunks(REPLAY_CHUNK_LEN),
+            opts,
+            self.pipeline.threads,
+        );
+        let mut catalog: Vec<(Operator, u64)> = pass.counts.into_iter().collect();
+        catalog.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        StreamedReport {
+            mapping: self.mapping.clone(),
+            profiles: stages.profiles,
+            strict: stages.strict,
+            thresholds: stages.thresholds,
+            default_threshold: stages.default_threshold,
+            records: self.ingested,
+            catalog,
+            bitmap: pass.bitmap,
+            accepted: pass.dense,
+            latencies_by_operator: pass.latencies,
+        }
+    }
+
+    /// Fold the decided prefix of the replay log into the persistent
+    /// accept state and drop its frames, keeping only their ASN slots.
+    /// Bounds the resident log to the frames ingested since the last
+    /// snapshot-then-compact, at 4 bytes per compacted frame. No-op for
+    /// windowed identifiers (they evict instead) and before the first
+    /// snapshot (nothing is decided yet).
+    // sno-lint: allow(panic-reachable): identification is total over validated batches; remaining reachable sites are leaf-justified length invariants in the columnar hot path
+    pub fn compact(&mut self) {
+        use sno_types::chunk::RecordChunks;
+        if self.window_secs.is_some() {
+            return;
+        }
+        let decided_resident = self
+            .accept
+            .decided()
+            .saturating_sub(self.compacted_slots.len());
+        if decided_resident == 0 {
+            return;
+        }
+        let mut remaining = decided_resident;
+        let mut chunks = self.log.chunks(REPLAY_CHUNK_LEN);
+        while remaining > 0 {
+            let Some(chunk) = chunks.next_chunk() else {
+                break;
+            };
+            for rec in chunk.iter().take(remaining) {
+                self.compacted_slots.push(rec.asn.0);
+            }
+            remaining = remaining.saturating_sub(chunk.len());
+        }
+        self.log.drop_front(decided_resident);
+    }
+
+    /// The oldest timestamp a windowed snapshot keeps, if a window is
+    /// configured and anything has been ingested.
+    fn window_cutoff(&self) -> Option<u64> {
+        let window = self.window_secs?;
+        let latest = self.latest?;
+        Some(latest.0.saturating_sub(window))
+    }
+
+    /// The windowed path: evict the expired leading run of the log,
+    /// then re-derive statistics over the retained window and replay
+    /// it. Eviction is sound because `latest` (hence the cutoff) only
+    /// moves forward: a frame older than today's cutoff is older than
+    /// every future cutoff too, so dropping it can never change a later
+    /// snapshot. Out-of-order stragglers *behind* newer frames are
+    /// filtered per snapshot and evicted once the run ahead of them
+    /// expires.
+    fn windowed_snapshot(&mut self, cutoff: u64, opts: StreamOptions) -> StreamedReport {
+        use sno_types::chunk::RecordChunks;
+        self.evict(cutoff);
+        // Rebuild the window's statistics and record set from the
+        // retained log, filtering the stragglers eviction could not
+        // reach (no clone of the encoder — chunks borrow its bytes).
+        let mut stats = CorpusStats::new();
+        let mut kept: Vec<NdtRecord> = Vec::new();
+        let mut chunks = self.log.chunks(REPLAY_CHUNK_LEN);
+        while let Some(chunk) = chunks.next_chunk() {
+            let in_window: Vec<NdtRecord> = chunk
+                .into_iter()
+                .filter(|r| r.timestamp.0 >= cutoff)
+                .collect();
+            if in_window.is_empty() {
+                continue;
+            }
+            let batch = RecordBatch::from_records(&in_window);
+            stats.observe_batch(&self.index, &batch, 0..batch.len());
+            kept.extend(in_window);
+        }
         let stages = self.pipeline.derive_stages(&self.mapping, &stats);
         let pass = accept_pass(
             &stages.table,
-            corpus.chunks(REPLAY_CHUNK_LEN),
+            sno_types::chunk::slice_chunks(&kept, REPLAY_CHUNK_LEN),
             opts,
             self.pipeline.threads,
         );
@@ -215,35 +536,24 @@ impl OnlineIdentifier {
         }
     }
 
-    /// The oldest timestamp a windowed snapshot keeps, if a window is
-    /// configured and anything has been ingested.
-    fn window_cutoff(&self) -> Option<u64> {
-        let window = self.window_secs?;
-        let latest = self.latest?;
-        Some(latest.0.saturating_sub(window))
-    }
-
-    /// Rebuild statistics and replay log from the records at or after
-    /// `cutoff` — the sliding-window view of the stream.
-    fn windowed_state(&self, cutoff: u64) -> (CorpusStats, codec::EncodedCorpus) {
+    /// Drop the leading run of frames older than `cutoff` from the
+    /// replay log (windowed identifiers only).
+    fn evict(&mut self, cutoff: u64) {
         use sno_types::chunk::RecordChunks;
-        let full = self.log.clone().finish();
-        let mut enc = codec::Encoder::new();
-        let mut stats = CorpusStats::new();
-        let mut chunks = full.chunks(REPLAY_CHUNK_LEN);
-        while let Some(chunk) = chunks.next_chunk() {
-            let kept: Vec<NdtRecord> = chunk
-                .into_iter()
-                .filter(|r| r.timestamp.0 >= cutoff)
-                .collect();
-            if kept.is_empty() {
-                continue;
+        let mut expired = 0usize;
+        let mut chunks = self.log.chunks(REPLAY_CHUNK_LEN);
+        'scan: while let Some(chunk) = chunks.next_chunk() {
+            for rec in &chunk {
+                if rec.timestamp.0 >= cutoff {
+                    break 'scan;
+                }
+                expired += 1;
             }
-            let batch = RecordBatch::from_records(&kept);
-            stats.observe_batch(&self.index, &batch, 0..batch.len());
-            enc.extend_records(&kept);
         }
-        (stats, enc.finish())
+        if expired > 0 {
+            self.log.drop_front(expired);
+            self.evicted += expired;
+        }
     }
 
     /// Incrementally flagged PoP-style level shifts: per operator, the
@@ -321,7 +631,64 @@ mod tests {
             online.ingest(&chunk);
         }
         assert_eq!(online.ingested(), records.len());
+        assert_reports_equal(&online.snapshot_full(opts), &batch_report);
         assert_reports_equal(&online.snapshot(opts), &batch_report);
+    }
+
+    #[test]
+    fn repeated_snapshots_are_stable_and_tail_incremental() {
+        let records = corpus();
+        let opts = StreamOptions::default();
+        let mut online = OnlineIdentifier::new(Pipeline::new());
+        let (head, tail) = records.split_at(records.len() / 2);
+        online.ingest(head);
+        let first = online.snapshot(opts);
+        assert_eq!(online.accept_epoch(), 1, "first snapshot opens epoch 1");
+        // Unchanged corpus: the snapshot is answered from state alone.
+        let again = online.snapshot(opts);
+        assert_reports_equal(&first, &again);
+        assert_eq!(online.accept_epoch(), 1);
+        // Growing the corpus re-decides either just the tail (epoch
+        // stable) or everything (epoch bump) — both must equal batch.
+        online.ingest(tail);
+        let full = online.snapshot(opts);
+        let expect = Pipeline::new().run_streamed(|| slice_chunks(&records, 512), opts);
+        assert_reports_equal(&full, &expect);
+    }
+
+    #[test]
+    fn compaction_preserves_snapshots_and_bounds_the_log() {
+        let records = corpus();
+        let opts = StreamOptions::default();
+        let expect = Pipeline::new().run_streamed(|| slice_chunks(&records, 512), opts);
+
+        let mut online = OnlineIdentifier::new(Pipeline::new());
+        let step = records.len() / 4 + 1;
+        for chunk in records.chunks(step) {
+            online.ingest(chunk);
+            online.snapshot(opts);
+            online.compact();
+            // Everything decided is compacted away: the resident log
+            // holds only the not-yet-snapshotted suffix (here: nothing).
+            assert_eq!(online.resident_frames(), 0);
+        }
+        // Compacted slots cost 4 bytes/frame vs 52 resident.
+        assert!(online.resident_log_bytes() < records.len() * 52 / 10);
+        let report = online.snapshot(opts);
+        assert_reports_equal(&report, &expect);
+        assert_eq!(report.records, records.len());
+    }
+
+    #[test]
+    fn compact_before_any_snapshot_is_a_noop() {
+        let records = corpus();
+        let mut online = OnlineIdentifier::new(Pipeline::new());
+        online.ingest(&records);
+        online.compact();
+        assert_eq!(online.resident_frames(), records.len());
+        let expect =
+            Pipeline::new().run_streamed(|| slice_chunks(&records, 512), StreamOptions::default());
+        assert_reports_equal(&online.snapshot(StreamOptions::default()), &expect);
     }
 
     #[test]
@@ -365,6 +732,25 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_snapshotted_and_compacted_identifier() {
+        let records = corpus();
+        let opts = StreamOptions::default();
+        let (head, tail) = records.split_at(records.len() / 2);
+        // Accumulating side: snapshot + compact before the merge.
+        let mut acc = OnlineIdentifier::new(Pipeline::new());
+        acc.ingest(head);
+        acc.snapshot(opts);
+        acc.compact();
+        // Raw shard arrives and merges in.
+        let mut shard = OnlineIdentifier::new(Pipeline::new());
+        shard.ingest(tail);
+        acc.merge(shard);
+        assert_eq!(acc.ingested(), records.len());
+        let expect = Pipeline::new().run_streamed(|| slice_chunks(&records, 512), opts);
+        assert_reports_equal(&acc.snapshot(opts), &expect);
+    }
+
+    #[test]
     fn window_drops_old_records() {
         let records = corpus();
         let latest = records.iter().map(|r| r.timestamp.0).max().unwrap();
@@ -385,6 +771,50 @@ mod tests {
         let expect =
             Pipeline::new().run_streamed(|| slice_chunks(&kept, 512), StreamOptions::default());
         assert_reports_equal(&report, &expect);
+    }
+
+    #[test]
+    fn windowed_eviction_bounds_the_resident_log() {
+        // Time-ordered records: after a snapshot, everything older than
+        // the cutoff must have left the log, not just the report.
+        let mut records = corpus();
+        records.sort_by_key(|r| r.timestamp.0);
+        let latest = records.last().unwrap().timestamp.0;
+        let earliest = records[0].timestamp.0;
+        let window = (latest - earliest) / 4;
+        let cutoff = latest - window;
+        let in_window = records.iter().filter(|r| r.timestamp.0 >= cutoff).count();
+        let mut windowed = OnlineIdentifier::with_window(Pipeline::new(), window);
+        for chunk in records.chunks(512) {
+            windowed.ingest(chunk);
+        }
+        assert_eq!(windowed.resident_frames(), records.len());
+        windowed.snapshot(StreamOptions::default());
+        assert_eq!(windowed.resident_frames(), in_window);
+        assert_eq!(windowed.ingested(), records.len());
+        assert!(windowed.resident_log_bytes() < records.len() * 52);
+    }
+
+    #[test]
+    fn sketch_profiles_cover_the_curated_pairs() {
+        let records = corpus();
+        let mut online = OnlineIdentifier::new(Pipeline::new());
+        assert!(online.sketch_profiles().is_none(), "opt-in only");
+        online.track_asn_sketches();
+        online.ingest(&records);
+        let sketched = online.sketch_profiles().expect("tracking enabled");
+        let report = online.snapshot(StreamOptions::default());
+        assert_eq!(sketched.len(), report.profiles.len());
+        let mut disagreements = 0usize;
+        for (s, k) in sketched.iter().zip(&report.profiles) {
+            assert_eq!((s.operator, s.asn), (k.operator, k.asn));
+            assert_eq!(s.tests, k.tests, "{:?}/{:?}", s.operator, s.asn);
+            if std::mem::discriminant(&s.verdict) != std::mem::discriminant(&k.verdict) {
+                disagreements += 1;
+            }
+        }
+        // Sketch-backed verdicts may wobble only at band boundaries.
+        assert!(disagreements <= 2, "{disagreements} verdicts disagree");
     }
 
     #[test]
@@ -420,7 +850,7 @@ mod tests {
 
     #[test]
     fn empty_identifier_snapshot() {
-        let online = OnlineIdentifier::new(Pipeline::new());
+        let mut online = OnlineIdentifier::new(Pipeline::new());
         assert!(online.is_empty());
         assert_eq!(online.latest(), None);
         let report = online.snapshot(StreamOptions::default());

@@ -3,13 +3,14 @@
 use crate::accept::AcceptTable;
 use crate::asn_map::{map_asns, AsnMapping};
 use crate::prefix_filter::{
-    relaxed_thresholds, strict_filter_from_buckets, StrictOutcome, MEO_FLOOR_MS,
+    collect_strict, outlier_set, relaxed_thresholds, strict_eval_bucket,
+    strict_filter_from_buckets, BucketOutcome, PrefixEntry, StrictOutcome, MEO_FLOOR_MS,
 };
 use crate::stream::CorpusStats;
-use crate::validate::{profiles_from_buckets, AsnProfile, AsnVerdict, LatencyBands};
+use crate::validate::{profile_one, profiles_from_buckets, AsnProfile, AsnVerdict, LatencyBands};
 use sno_types::records::NdtRecord;
-use sno_types::{par, AccessKind, Operator, OrbitClass, RecordBatch};
-use std::collections::BTreeMap;
+use sno_types::{par, AccessKind, Asn, Operator, OrbitClass, Prefix24, RecordBatch};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The configured pipeline.
 ///
@@ -82,12 +83,155 @@ impl PipelineReport {
 }
 
 /// The stage 3–3c outputs plus the per-ASN accept table they determine.
+#[derive(Debug, Clone)]
 pub(crate) struct DerivedStages {
     pub profiles: Vec<AsnProfile>,
     pub strict: StrictOutcome,
     pub thresholds: BTreeMap<Operator, f64>,
     pub default_threshold: f64,
     pub table: AcceptTable,
+}
+
+/// Incremental stage 3–3c derivation for the online path.
+///
+/// [`Pipeline::derive_stages`] recomputes every KDE profile and every
+/// strict prefix bucket from scratch; at snapshot cadence that is the
+/// O(corpus) cost the incremental identifier is built to avoid. The
+/// cache exploits that both stages decompose into pure per-bucket
+/// evaluations over *append-only* buckets:
+///
+/// - a per-ASN profile depends only on that ASN's latency bucket, so an
+///   unchanged sample count means an unchanged profile;
+/// - a strict `/24` outcome depends only on that bucket's samples and
+///   the outlier-ASN set, so it is keyed on `(sample count, outlier
+///   revision)`;
+/// - relaxed thresholds and the accept table are cheap folds over the
+///   above and are recomputed every call.
+///
+/// The whole derivation is additionally memoized on the caller's
+/// statistics revision, making snapshots of an unchanged corpus O(1).
+/// Results are byte-identical to [`Pipeline::derive_stages`] — same
+/// bucket order, same per-bucket evaluation — pinned by the test below.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StageCache {
+    /// Statistics revision the cached `stages` were derived at.
+    rev: Option<u64>,
+    stages: Option<DerivedStages>,
+    /// `(operator, asn)` → (bucket length at profile time, profile).
+    profile_memo: BTreeMap<(Operator, Asn), (usize, AsnProfile)>,
+    /// `(operator, /24)` → (bucket length, outlier revision, outcome).
+    strict_memo: BTreeMap<(Operator, Prefix24), (usize, u64, BucketOutcome)>,
+    /// Bumped whenever the outlier-ASN set shifts (invalidates every
+    /// strict-bucket memo entry at once).
+    outlier_rev: u64,
+    outliers: BTreeSet<Asn>,
+}
+
+impl StageCache {
+    /// Stages 3–3c over `stats`, reusing every per-bucket result whose
+    /// inputs did not change since the previous call. `rev` is the
+    /// caller's statistics revision (bump it on every mutation).
+    pub(crate) fn derive(
+        &mut self,
+        pipeline: &Pipeline,
+        mapping: &AsnMapping,
+        stats: &CorpusStats,
+        rev: u64,
+    ) -> DerivedStages {
+        if self.rev == Some(rev) {
+            if let Some(stages) = &self.stages {
+                return stages.clone();
+            }
+        }
+
+        // Stage 3: per-(operator, ASN) profiles. Buckets only append,
+        // so an unchanged sample count implies an unchanged bucket, and
+        // profile_one is a pure function of the bucket.
+        let pairs: Vec<(Operator, Asn)> = mapping
+            .mapping
+            .iter()
+            .flat_map(|(&op, asns)| asns.iter().map(move |&asn| (op, asn)))
+            .collect();
+        let bucket_len = |asn: Asn| stats.by_asn.get(&asn).map_or(0, Vec::len);
+        let mut profiles: Vec<Option<AsnProfile>> = pairs
+            .iter()
+            .map(|&(op, asn)| {
+                self.profile_memo
+                    .get(&(op, asn))
+                    .and_then(|(len, p)| (*len == bucket_len(asn)).then(|| p.clone()))
+            })
+            .collect();
+        let missing: Vec<usize> = profiles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.is_none().then_some(i))
+            .collect();
+        let fresh = par::shard_map(missing.len(), pipeline.threads, |k| {
+            let (op, asn) = pairs[missing[k]];
+            let latencies = stats.by_asn.get(&asn).map(Vec::as_slice).unwrap_or(&[]);
+            profile_one(op, asn, latencies, pipeline.bands)
+        });
+        for (profile, &i) in fresh.into_iter().zip(&missing) {
+            let (op, asn) = pairs[i];
+            self.profile_memo
+                .insert((op, asn), (bucket_len(asn), profile.clone()));
+            profiles[i] = Some(profile);
+        }
+        let profiles: Vec<AsnProfile> = profiles.into_iter().flatten().collect();
+        let verdict_of: BTreeMap<_, _> = profiles
+            .iter()
+            .map(|p| (p.asn, p.verdict.clone()))
+            .collect();
+
+        // Stage 3b: strict prefix filter, memoized per bucket. An
+        // outcome can change only when its bucket grows or the outlier
+        // set shifts.
+        let outliers = outlier_set(&profiles);
+        if outliers != self.outliers {
+            self.outlier_rev += 1;
+            self.outliers = outliers.clone();
+        }
+        let entries: Vec<PrefixEntry> = stats.by_prefix.iter().collect();
+        let mut outcomes: Vec<Option<BucketOutcome>> = entries
+            .iter()
+            .map(|(key, samples)| {
+                self.strict_memo.get(key).and_then(|(len, orev, out)| {
+                    (*len == samples.len() && *orev == self.outlier_rev).then(|| out.clone())
+                })
+            })
+            .collect();
+        let missing: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.is_none().then_some(i))
+            .collect();
+        let fresh = par::shard_map(missing.len(), pipeline.threads, |k| {
+            let (&(op, prefix), samples) = entries[missing[k]];
+            strict_eval_bucket(op, prefix, samples, &outliers)
+        });
+        for (outcome, &i) in fresh.into_iter().zip(&missing) {
+            let (&key, samples) = entries[i];
+            self.strict_memo
+                .insert(key, (samples.len(), self.outlier_rev, outcome.clone()));
+            outcomes[i] = Some(outcome);
+        }
+        let outcomes: Vec<BucketOutcome> = outcomes.into_iter().flatten().collect();
+        let strict = collect_strict(&outcomes);
+
+        // Stage 3c + accept table: cheap folds, recomputed every call.
+        let (thresholds, default_threshold) = relaxed_thresholds(&strict);
+        let table = AcceptTable::build(mapping, &verdict_of, &thresholds, default_threshold);
+        let stages = DerivedStages {
+            profiles,
+            strict,
+            thresholds,
+            default_threshold,
+            table,
+        };
+        self.rev = Some(rev);
+        self.stages = Some(stages.clone());
+        stages
+    }
 }
 
 impl Pipeline {
@@ -342,6 +486,51 @@ mod tests {
         for i in idx {
             assert_eq!(report.accepted[i], Some(Operator::Starlink));
             assert!(i < corpus.records.len());
+        }
+    }
+
+    #[test]
+    fn stage_cache_matches_fresh_derivation_at_every_step() {
+        let corpus = MlabGenerator::new(SynthConfig {
+            scale: 5e-5,
+            min_sessions: 40,
+            ..SynthConfig::test_corpus()
+        })
+        .generate();
+        let mapping = map_asns();
+        let pipeline = Pipeline::new();
+        let mut cache = StageCache::default();
+        let mut stats = CorpusStats::new();
+        let mut rev = 0u64;
+        let step = corpus.records.len() / 5 + 1;
+        for chunk in corpus.records.chunks(step) {
+            for rec in chunk {
+                stats.observe(&mapping, rec);
+            }
+            rev += 1;
+            let cached = cache.derive(&pipeline, &mapping, &stats, rev);
+            let fresh = pipeline.derive_stages(&mapping, &stats);
+            assert_eq!(cached.table, fresh.table);
+            assert_eq!(cached.thresholds, fresh.thresholds);
+            assert_eq!(
+                cached.default_threshold.to_bits(),
+                fresh.default_threshold.to_bits()
+            );
+            assert_eq!(
+                format!("{:?}", cached.profiles),
+                format!("{:?}", fresh.profiles)
+            );
+            assert_eq!(
+                format!("{:?}", cached.strict),
+                format!("{:?}", fresh.strict)
+            );
+            // Unchanged revision: the whole-derivation memo answers.
+            let again = cache.derive(&pipeline, &mapping, &stats, rev);
+            assert_eq!(again.table, cached.table);
+            assert_eq!(
+                format!("{:?}", again.strict),
+                format!("{:?}", cached.strict)
+            );
         }
     }
 

@@ -74,6 +74,102 @@ fn floor_of(access: AccessKind) -> f64 {
     }
 }
 
+/// How the strict stage ruled on one `(operator, /24)` bucket.
+///
+/// A bucket's outcome depends only on its own samples and the current
+/// outlier-ASN set, which makes it a unit of memoization for the
+/// incremental pipeline: buckets are append-only, so an unchanged
+/// `(sample count, outlier set)` pair implies an unchanged outcome.
+#[derive(Debug, Clone)]
+pub(crate) enum BucketOutcome {
+    /// Every sample came from an outlier ASN; the bucket was never
+    /// examined.
+    Empty,
+    /// Fewer than [`STRICT_MIN_TESTS`] non-outlier samples.
+    Thin,
+    /// At least one sample at or below the regime floor.
+    Band,
+    /// Survived the strict filter.
+    Retained(PrefixStat),
+}
+
+/// Evaluate the strict filter on a single `(operator, /24)` bucket.
+pub(crate) fn strict_eval_bucket(
+    op: Operator,
+    prefix: Prefix24,
+    samples: &[(Asn, f64)],
+    outlier_asns: &BTreeSet<Asn>,
+) -> BucketOutcome {
+    let latencies: Vec<f64> = samples
+        .iter()
+        .filter(|(asn, _)| !outlier_asns.contains(asn))
+        .map(|&(_, l)| l)
+        .collect();
+    if latencies.is_empty() {
+        return BucketOutcome::Empty;
+    }
+    if latencies.len() < STRICT_MIN_TESTS {
+        return BucketOutcome::Thin;
+    }
+    let floor = floor_of(sno_registry::sources::access_of(op));
+    if latencies.iter().all(|&l| l > floor) {
+        let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+        match FiveNumber::of(&latencies) {
+            Some(summary) => BucketOutcome::Retained(PrefixStat {
+                operator: op,
+                prefix,
+                tests: latencies.len(),
+                min_latency_ms: min,
+                summary,
+            }),
+            // Unsummarisable means empty, which the thin-prefix gate
+            // already counts.
+            None => BucketOutcome::Thin,
+        }
+    } else {
+        BucketOutcome::Band
+    }
+}
+
+/// One borrowed `(key, samples)` entry of a per-`(operator, /24)`
+/// bucket map, as sharded by the strict filter and its stage cache.
+pub(crate) type PrefixEntry<'a> = (&'a (Operator, Prefix24), &'a Vec<(Asn, f64)>);
+
+/// Fold per-bucket outcomes (in bucket order) into a [`StrictOutcome`].
+pub(crate) fn collect_strict<'a>(
+    outcomes: impl IntoIterator<Item = &'a BucketOutcome>,
+) -> StrictOutcome {
+    let mut retained = Vec::new();
+    let mut examined = 0usize;
+    let mut rejected_band = 0usize;
+    let mut rejected_thin = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            BucketOutcome::Empty => continue,
+            BucketOutcome::Thin => rejected_thin += 1,
+            BucketOutcome::Band => rejected_band += 1,
+            BucketOutcome::Retained(stat) => retained.push(stat.clone()),
+        }
+        examined += 1;
+    }
+    StrictOutcome {
+        retained,
+        examined,
+        rejected_band,
+        rejected_thin,
+    }
+}
+
+/// The outlier-ASN set a profile pass implies (the strict stage drops
+/// samples originating from these ASNs).
+pub(crate) fn outlier_set(profiles: &[AsnProfile]) -> BTreeSet<Asn> {
+    profiles
+        .iter()
+        .filter(|p| matches!(p.verdict, AsnVerdict::Outlier(_)))
+        .map(|p| p.asn)
+        .collect()
+}
+
 /// Run the strict per-prefix filter over non-LEO operators.
 pub fn strict_filter(
     mapping: &AsnMapping,
@@ -124,69 +220,16 @@ pub fn strict_filter_from_buckets(
     by_prefix: &BTreeMap<(Operator, Prefix24), Vec<(Asn, f64)>>,
     threads: usize,
 ) -> StrictOutcome {
-    let outlier_asns: BTreeSet<_> = profiles
-        .iter()
-        .filter(|p| matches!(p.verdict, AsnVerdict::Outlier(_)))
-        .map(|p| p.asn)
-        .collect();
-
-    let buckets: Vec<((Operator, Prefix24), Vec<f64>)> = by_prefix
-        .iter()
-        .filter_map(|(&key, samples)| {
-            let latencies: Vec<f64> = samples
-                .iter()
-                .filter(|(asn, _)| !outlier_asns.contains(asn))
-                .map(|&(_, l)| l)
-                .collect();
-            (!latencies.is_empty()).then_some((key, latencies))
-        })
-        .collect();
-    let examined = buckets.len();
-    let ranges = par::shard_ranges(buckets.len(), par::DEFAULT_CHUNK);
+    let outlier_asns = outlier_set(profiles);
+    let entries: Vec<PrefixEntry> = by_prefix.iter().collect();
+    let ranges = par::shard_ranges(entries.len(), par::DEFAULT_CHUNK);
     let parts = par::shard_map(ranges.len(), threads, |s| {
-        let mut retained = Vec::new();
-        let mut rejected_band = 0usize;
-        let mut rejected_thin = 0usize;
-        for ((op, prefix), latencies) in &buckets[ranges[s].clone()] {
-            if latencies.len() < STRICT_MIN_TESTS {
-                rejected_thin += 1;
-                continue;
-            }
-            let floor = floor_of(sno_registry::sources::access_of(*op));
-            if latencies.iter().all(|&l| l > floor) {
-                let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
-                match FiveNumber::of(latencies) {
-                    Some(summary) => retained.push(PrefixStat {
-                        operator: *op,
-                        prefix: *prefix,
-                        tests: latencies.len(),
-                        min_latency_ms: min,
-                        summary,
-                    }),
-                    // Unsummarisable means empty, which the thin-prefix
-                    // gate already counts.
-                    None => rejected_thin += 1,
-                }
-            } else {
-                rejected_band += 1;
-            }
-        }
-        (retained, rejected_band, rejected_thin)
+        entries[ranges[s].clone()]
+            .iter()
+            .map(|(&(op, prefix), samples)| strict_eval_bucket(op, prefix, samples, &outlier_asns))
+            .collect::<Vec<_>>()
     });
-    let mut retained = Vec::new();
-    let mut rejected_band = 0;
-    let mut rejected_thin = 0;
-    for (part, band, thin) in parts {
-        retained.extend(part);
-        rejected_band += band;
-        rejected_thin += thin;
-    }
-    StrictOutcome {
-        retained,
-        examined,
-        rejected_band,
-        rejected_thin,
-    }
+    collect_strict(parts.iter().flatten())
 }
 
 /// Per-operator relaxed thresholds plus the default for operators the

@@ -429,6 +429,7 @@ impl Progress {
 
 /// What one accept pass over a chunked stream produced (shared with the
 /// online identifier's snapshot path).
+#[derive(Debug, Clone)]
 pub(crate) struct AcceptPass {
     pub(crate) counts: BTreeMap<Operator, u64>,
     pub(crate) bitmap: AcceptBitmap,
@@ -437,7 +438,7 @@ pub(crate) struct AcceptPass {
 }
 
 impl AcceptPass {
-    fn empty(opts: StreamOptions) -> AcceptPass {
+    pub(crate) fn empty(opts: StreamOptions) -> AcceptPass {
         AcceptPass {
             counts: BTreeMap::new(),
             bitmap: AcceptBitmap::new(),
@@ -448,9 +449,9 @@ impl AcceptPass {
         }
     }
 
-    /// Merge `other` (the later chunk) after `self`, preserving record
+    /// Fold `other` (the later chunk) in after `self`, preserving record
     /// order in the bitmap, dense vector, and per-operator samples.
-    fn merge(mut self, other: AcceptPass) -> AcceptPass {
+    pub(crate) fn absorb(&mut self, other: AcceptPass) {
         for (op, n) in other.counts {
             *self.counts.entry(op).or_default() += n;
         }
@@ -463,6 +464,29 @@ impl AcceptPass {
                 by_op.entry(op).or_default().append(&mut samples);
             }
         }
+    }
+
+    /// Decide one record into this pass — the row body of
+    /// [`accept_pass`], shared with the compacted-slot replay so both
+    /// build byte-identical state.
+    pub(crate) fn decide_into(&mut self, table: &AcceptTable, asn: Asn, lat: f64) {
+        let decision = table.decide(asn, lat);
+        self.bitmap.push(decision.is_some());
+        if let Some(op) = decision {
+            *self.counts.entry(op).or_default() += 1;
+            if let Some(by_op) = self.latencies.as_mut() {
+                by_op.entry(op).or_default().push(lat);
+            }
+        }
+        if let Some(dense) = self.dense.as_mut() {
+            dense.push(decision);
+        }
+    }
+
+    /// Merge `other` (the later chunk) after `self` by value (the
+    /// fold-step shape).
+    fn merge(mut self, other: AcceptPass) -> AcceptPass {
+        self.absorb(other);
         self
     }
 }
@@ -491,17 +515,7 @@ where
             let batch = RecordBatch::from_records(chunk);
             let mut part = AcceptPass::empty(opts);
             for (&asn, &lat) in batch.asns().iter().zip(batch.latency_p5()) {
-                let decision = table.decide(asn, lat);
-                part.bitmap.push(decision.is_some());
-                if let Some(op) = decision {
-                    *part.counts.entry(op).or_default() += 1;
-                    if let Some(by_op) = part.latencies.as_mut() {
-                        by_op.entry(op).or_default().push(lat);
-                    }
-                }
-                if let Some(dense) = part.dense.as_mut() {
-                    dense.push(decision);
-                }
+                part.decide_into(table, asn, lat);
             }
             part
         },

@@ -13,7 +13,7 @@
 
 use crate::asn_map::AsnMapping;
 use sno_registry::sources::access_of;
-use sno_stats::Kde;
+use sno_stats::{Kde, QuantileSketch};
 use sno_types::par;
 use sno_types::records::NdtRecord;
 use sno_types::{AccessKind, Asn, Operator, OrbitClass};
@@ -185,7 +185,7 @@ pub fn profile_one(
         .sum();
     let modes = kde.modes_on_grid(0.0, 1_200.0, 400, 0.2);
 
-    let verdict = judge(access, terrestrial_mass, expected_mass, &kde, bands);
+    let verdict = judge(access, expected_mass, |lo, hi| kde.mass_in(lo, hi), bands);
     AsnProfile {
         operator,
         asn,
@@ -197,11 +197,67 @@ pub fn profile_one(
     }
 }
 
+/// Validate one ASN from its streaming latency sketch instead of a
+/// retained sample buffer — the online service's buffer-free verdict
+/// path. Band masses come from [`QuantileSketch::mass_in`], whose
+/// per-boundary error is one sketch bin (~0.05% relative), so verdicts
+/// agree with [`profile_one`] except for samples landing *exactly* on a
+/// band edge at bin resolution. `modes` is reported as `0`: the sketch
+/// retains no density estimate, and no verdict rule reads the mode
+/// count — it is descriptive output only.
+pub fn profile_from_sketch(
+    operator: Operator,
+    asn: Asn,
+    sketch: &QuantileSketch,
+    bands: LatencyBands,
+) -> AsnProfile {
+    let tests = sketch.count() as usize;
+    if tests < MIN_TESTS_FOR_VERDICT {
+        return AsnProfile {
+            operator,
+            asn,
+            tests,
+            terrestrial_mass: 0.0,
+            expected_mass: 0.0,
+            modes: 0,
+            verdict: AsnVerdict::Insufficient,
+        };
+    }
+    let access = access_of(operator);
+    let terrestrial_mass = sketch.mass_in(0.0, bands.terrestrial_max);
+    let expected_mass: f64 = access
+        .orbits()
+        .iter()
+        .map(|&orbit| {
+            let (lo, hi) = bands.band(orbit);
+            sketch.mass_in(lo, hi)
+        })
+        .sum();
+    let verdict = judge(
+        access,
+        expected_mass,
+        |lo, hi| sketch.mass_in(lo, hi),
+        bands,
+    );
+    AsnProfile {
+        operator,
+        asn,
+        tests,
+        terrestrial_mass,
+        expected_mass,
+        modes: 0,
+        verdict,
+    }
+}
+
+/// The verdict rules, abstracted over the band-mass query so the
+/// KDE-backed ([`profile_one`]) and sketch-backed
+/// ([`profile_from_sketch`]) paths share one rule set: given the same
+/// masses, they return the same verdict by construction.
 fn judge(
     access: AccessKind,
-    terrestrial_mass: f64,
     expected_mass: f64,
-    kde: &Kde,
+    mass_in: impl Fn(f64, f64) -> f64,
     bands: LatencyBands,
 ) -> AsnVerdict {
     // A mapping whose traffic is mostly terrestrial is not satellite
@@ -215,16 +271,15 @@ fn judge(
         .map(|&o| bands.band(o).0)
         .fold(f64::INFINITY, f64::min);
     let floor = bands.terrestrial_max.min(lowest_lo);
-    if kde.mass_in(0.0, floor) > 0.5 {
+    if mass_in(0.0, floor) > 0.5 {
         return AsnVerdict::Outlier("terrestrial latency profile");
     }
-    let _ = terrestrial_mass;
     // Hybrid MEO+GEO access must actually show both modes.
     if access == AccessKind::MeoGeo {
         let (mlo, mhi) = bands.meo;
         let (glo, ghi) = bands.geo;
-        let meo_mass = kde.mass_in(mlo, mhi);
-        let geo_mass = kde.mass_in(glo, ghi);
+        let meo_mass = mass_in(mlo, mhi);
+        let geo_mass = mass_in(glo, ghi);
         if meo_mass < 0.10 || geo_mass < 0.10 {
             return AsnVerdict::Outlier("expected bimodal MEO+GEO profile missing");
         }
@@ -339,6 +394,89 @@ mod tests {
         let lat = vec![600.0; 10];
         let p = profile_one(Operator::Kacific, Asn(135409), &lat, bands());
         assert_eq!(p.verdict, AsnVerdict::Insufficient);
+    }
+
+    #[test]
+    fn sketch_profiles_agree_with_kde_profiles() {
+        // The sketch-backed path must reproduce the KDE verdicts on
+        // every synthetic profile shape: clean LEO, terrestrial
+        // corporate, unimodal hybrid, genuine hybrid, GEO+terrestrial
+        // mix, and thin samples.
+        let cases: Vec<(Operator, Asn, Vec<f64>)> = vec![
+            (
+                Operator::Starlink,
+                Asn(14593),
+                sample(|r| r.normal_with(56.0, 8.0).max(25.0), 500, 1),
+            ),
+            (
+                Operator::Starlink,
+                Asn(27277),
+                sample(|r| r.normal_with(18.0, 5.0).max(3.0), 300, 2),
+            ),
+            (
+                Operator::Ses,
+                Asn(201554),
+                sample(|r| r.normal_with(650.0, 40.0), 300, 4),
+            ),
+            (
+                Operator::Ses,
+                Asn(12684),
+                sample(
+                    |r| {
+                        if r.chance(0.45) {
+                            r.normal_with(280.0, 30.0)
+                        } else {
+                            r.normal_with(680.0, 50.0)
+                        }
+                    },
+                    600,
+                    5,
+                ),
+            ),
+            (
+                Operator::Telalaska,
+                Asn(10538),
+                sample(
+                    |r| {
+                        if r.chance(0.35) {
+                            r.normal_with(30.0, 8.0).max(5.0)
+                        } else {
+                            r.normal_with(680.0, 50.0)
+                        }
+                    },
+                    600,
+                    6,
+                ),
+            ),
+            (Operator::Kacific, Asn(135409), vec![600.0; 10]),
+        ];
+        for (op, asn, latencies) in cases {
+            let kde = profile_one(op, asn, &latencies, bands());
+            let mut sketch = sno_stats::QuantileSketch::new();
+            sketch.extend(latencies.iter().copied());
+            let sk = profile_from_sketch(op, asn, &sketch, bands());
+            assert_eq!(sk.tests, kde.tests, "{op:?}/{asn:?}");
+            assert_eq!(
+                std::mem::discriminant(&sk.verdict),
+                std::mem::discriminant(&kde.verdict),
+                "{op:?}/{asn:?}: sketch {:?} vs kde {:?}",
+                sk.verdict,
+                kde.verdict
+            );
+            // Band masses agree to sketch-bin resolution.
+            assert!(
+                (sk.expected_mass - kde.expected_mass).abs() < 0.01,
+                "{op:?}/{asn:?}: expected mass {} vs {}",
+                sk.expected_mass,
+                kde.expected_mass
+            );
+            assert!(
+                (sk.terrestrial_mass - kde.terrestrial_mass).abs() < 0.01,
+                "{op:?}/{asn:?}: terrestrial mass {} vs {}",
+                sk.terrestrial_mass,
+                kde.terrestrial_mass
+            );
+        }
     }
 
     #[test]

@@ -483,7 +483,7 @@ fn skip_turbofish(toks: &[Token], j: usize, hi: usize) -> usize {
 }
 
 /// The service entry points (DESIGN §7): every `Pipeline::run*`,
-/// `OnlineIdentifier::{ingest*, snapshot, merge}`, and every experiment
+/// `OnlineIdentifier::{ingest*, snapshot*, merge, compact}`, and every experiment
 /// runner the `EXPERIMENTS` registry in `crates/bench/src/experiments.rs`
 /// references. Returns node indices, in node (id) order.
 pub fn entry_roots(g: &Graph, files: &[FileAnalysis]) -> Vec<usize> {
@@ -520,7 +520,10 @@ pub fn entry_roots(g: &Graph, files: &[FileAnalysis]) -> Vec<usize> {
             Some("Pipeline") => n.file.starts_with("crates/core/") && n.name.starts_with("run"),
             Some("OnlineIdentifier") => {
                 n.file.starts_with("crates/core/")
-                    && (n.name.starts_with("ingest") || n.name == "snapshot" || n.name == "merge")
+                    && (n.name.starts_with("ingest")
+                        || n.name.starts_with("snapshot")
+                        || n.name == "merge"
+                        || n.name == "compact")
             }
             Some(_) => false,
             None => {

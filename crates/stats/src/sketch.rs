@@ -198,6 +198,24 @@ impl QuantileSketch {
     pub fn weighted_values(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.bins.iter().map(|(&k, &c)| (bin_value(k), c))
     }
+
+    /// Fraction of ingested samples in `[lo, hi)` — the sketch-backed
+    /// analogue of `Kde::mass_in`, which is likewise the *empirical*
+    /// band mass of the sample. Counts whole bins whose key range
+    /// starts inside `[lo, hi)`, so samples within one bin width
+    /// (relative [`RELATIVE_ERROR`](QuantileSketch::RELATIVE_ERROR)) of
+    /// either boundary may land on the wrong side; everything else is
+    /// exact. Returns `0.0` on an empty sketch or an empty interval.
+    pub fn mass_in(&self, lo: f64, hi: f64) -> f64 {
+        // `partial_cmp` so a NaN bound (incomparable) also yields 0.0.
+        if self.count == 0 || lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
+            return 0.0;
+        }
+        let lo_key = ordered_bits(lo) >> BIN_SHIFT;
+        let hi_key = ordered_bits(hi) >> BIN_SHIFT;
+        let in_band: u64 = self.bins.range(lo_key..hi_key).map(|(_, &c)| c).sum();
+        in_band as f64 / self.count as f64
+    }
 }
 
 impl Extend<f64> for QuantileSketch {
@@ -380,6 +398,48 @@ mod tests {
     fn sample(seed: u64, n: usize) -> Vec<f64> {
         let mut rng = Rng::new(seed);
         (0..n).map(|_| rng.normal_with(40.0, 12.0)).collect()
+    }
+
+    #[test]
+    fn mass_in_tracks_empirical_band_mass() {
+        let xs = sample(0x5A7E, 4_000);
+        let mut sketch = QuantileSketch::new();
+        sketch.extend(xs.iter().copied());
+        for (lo, hi) in [(0.0, 35.0), (35.0, 300.0), (0.0, 100.0), (40.0, 60.0)] {
+            let exact =
+                xs.iter().filter(|&&x| (lo..hi).contains(&x)).count() as f64 / xs.len() as f64;
+            let approx = sketch.mass_in(lo, hi);
+            // Only samples within one bin of a boundary can stray.
+            assert!(
+                (approx - exact).abs() < 0.01,
+                "[{lo}, {hi}): sketch {approx} vs exact {exact}"
+            );
+        }
+        // Whole-range mass is exactly 1; empty and inverted bands are 0.
+        assert_eq!(sketch.mass_in(f64::NEG_INFINITY, f64::INFINITY), 1.0);
+        assert_eq!(sketch.mass_in(500.0, 400.0), 0.0);
+        assert_eq!(QuantileSketch::new().mass_in(0.0, 100.0), 0.0);
+        // Disjoint bands partition the total mass exactly (bin counts
+        // are integers, so the halves always sum to 1).
+        let split = 40.0;
+        let a = sketch.mass_in(f64::NEG_INFINITY, split);
+        let b = sketch.mass_in(split, f64::INFINITY);
+        assert!((a + b - 1.0).abs() < 1e-12, "{a} + {b}");
+    }
+
+    #[test]
+    fn mass_in_merges_like_sample_union() {
+        let xs = sample(7, 1_000);
+        let mut whole = QuantileSketch::new();
+        whole.extend(xs.iter().copied());
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        left.extend(xs[..400].iter().copied());
+        right.extend(xs[400..].iter().copied());
+        left.merge(&right);
+        for (lo, hi) in [(0.0, 35.0), (20.0, 60.0), (60.0, 1_000.0)] {
+            assert_eq!(left.mass_in(lo, hi), whole.mass_in(lo, hi), "[{lo},{hi})");
+        }
     }
 
     #[test]

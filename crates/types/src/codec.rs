@@ -271,6 +271,54 @@ impl Encoder {
         self.count == 0
     }
 
+    /// Resident wire bytes (header included) — the replay log's memory
+    /// footprint, what compaction is bounding.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Stream the frames encoded so far in chunks of at most
+    /// `chunk_len`, without sealing or cloning the buffer. Frames are
+    /// fixed-size, so the un-patched header count is irrelevant to
+    /// decoding — the stream simply runs to the end of the buffer.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn chunks(&self, chunk_len: usize) -> DecodeChunks<'_> {
+        self.tail_chunks(0, chunk_len)
+    }
+
+    /// Stream only the frames at index `from` and later (0-based, in
+    /// push order) — how an incremental snapshot replays just the
+    /// frames appended since its high-water mark. `from` past the end
+    /// yields an empty stream. Fixed-size frames make the seek a
+    /// constant-time offset computation.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn tail_chunks(&self, from: usize, chunk_len: usize) -> DecodeChunks<'_> {
+        assert!(chunk_len > 0, "tail_chunks: chunk_len must be positive");
+        let start = from.min(self.count as usize);
+        DecodeChunks {
+            bytes: &self.bytes,
+            offset: HEADER_LEN + start * FRAME_LEN,
+            chunk_len,
+        }
+    }
+
+    /// Drop the first `n` frames (truncation-safe compaction): the
+    /// remaining frames keep their relative order and re-validate as a
+    /// well-formed corpus, byte-identical to re-encoding the surviving
+    /// suffix. Dropping more frames than exist clears the log.
+    pub fn drop_front(&mut self, n: usize) {
+        let n = n.min(self.count as usize);
+        if n == 0 {
+            return;
+        }
+        self.bytes.drain(HEADER_LEN..HEADER_LEN + n * FRAME_LEN);
+        self.count -= n as u64;
+    }
+
     /// Patch the header count and seal the corpus.
     pub fn finish(mut self) -> EncodedCorpus {
         self.bytes[8..16].copy_from_slice(&self.count.to_le_bytes());
@@ -421,6 +469,77 @@ mod tests {
         enc.extend_records(&records);
         enc.append(&Encoder::new());
         assert_eq!(enc.finish(), encode_records(&records));
+    }
+
+    #[test]
+    fn encoder_chunks_match_sealed_corpus_without_cloning() {
+        let records = sample(90);
+        let mut enc = Encoder::new();
+        enc.extend_records(&records);
+        for chunk_len in [1usize, 7, 90, 4096] {
+            assert_eq!(
+                enc.chunks(chunk_len).collect_records(),
+                records,
+                "chunk_len {chunk_len}"
+            );
+        }
+        // Un-sealed iteration leaves the encoder usable.
+        assert_eq!(enc.len(), records.len());
+        assert_eq!(enc.finish(), encode_records(&records));
+    }
+
+    #[test]
+    fn tail_chunks_decode_the_suffix_at_any_offset() {
+        let records = sample(61);
+        let mut enc = Encoder::new();
+        enc.extend_records(&records);
+        for from in [0usize, 1, 13, 60, 61, 99] {
+            for chunk_len in [1usize, 8, 4096] {
+                let tail = enc.tail_chunks(from, chunk_len).collect_records();
+                let want = &records[from.min(records.len())..];
+                assert_eq!(tail, want, "from {from} chunk_len {chunk_len}");
+            }
+        }
+        assert!(enc.tail_chunks(61, 16).next_chunk().is_none());
+    }
+
+    #[test]
+    fn drop_front_equals_reencoding_the_suffix() {
+        let records = sample(37);
+        for n in [0usize, 1, 17, 36, 37, 50] {
+            let mut enc = Encoder::new();
+            enc.extend_records(&records);
+            enc.drop_front(n);
+            let kept = &records[n.min(records.len())..];
+            assert_eq!(enc.len(), kept.len(), "n {n}");
+            assert_eq!(enc.chunks(8).collect_records(), kept, "n {n}");
+            // The compacted log seals into a corpus that validates and
+            // byte-equals a fresh encoding of the surviving suffix.
+            let sealed = enc.finish();
+            assert_eq!(sealed, encode_records(kept), "n {n}");
+            assert_eq!(
+                EncodedCorpus::from_bytes(sealed.bytes().to_vec()),
+                Ok(sealed),
+                "n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_front_then_push_keeps_framing() {
+        let records = sample(20);
+        let mut enc = Encoder::new();
+        enc.extend_records(&records[..12]);
+        let before = enc.byte_len();
+        enc.drop_front(5);
+        assert_eq!(before - enc.byte_len(), 5 * FRAME_LEN);
+        for rec in &records[12..] {
+            enc.push(rec);
+        }
+        let mut want: Vec<NdtRecord> = records[5..12].to_vec();
+        want.extend_from_slice(&records[12..]);
+        assert_eq!(enc.chunks(4096).collect_records(), want);
+        assert_eq!(enc.finish(), encode_records(&want));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use sno_dissect::core::stream::{StreamOptions, StreamedReport};
 use sno_dissect::core::OnlineIdentifier;
 use sno_dissect::stats::QuantileSketch;
 use sno_dissect::synth::{MlabGenerator, SynthConfig};
-use sno_dissect::types::chunk::RecordChunks;
+use sno_dissect::types::chunk::{slice_chunks, RecordChunks};
 use sno_dissect::types::par;
 
 /// A chunk length larger than any corpus here: one chunk per stream.
@@ -116,6 +116,214 @@ fn sharded_identifiers_merged_in_order_match_serial_ingest() {
             want_text,
             "{label}: rendered report"
         );
+    }
+}
+
+#[test]
+fn interleaved_snapshot_compact_schedules_match_batch() {
+    // The incremental anchor: whatever cadence snapshots and compactions
+    // interleave at, every snapshot answers exactly like the batch
+    // streamed pipeline over everything ingested so far.
+    let corpus = MlabGenerator::new(cfg(42, 0)).generate();
+    let records = &corpus.records;
+    let batch = Pipeline::with_threads(1).run_streamed(|| slice_chunks(records, 1024), opts());
+    let batch_text = streamed_report_text(&batch, cfg(42, 0).scale);
+
+    for (chunk_len, snap_every, compact_every) in [
+        (97usize, 1usize, 1usize), // snapshot+compact on every chunk
+        (512, 2, 1),               // snapshot every 2nd chunk, compact each time
+        (256, 3, 2),               // sparser compaction than snapshots
+        (1024, 1, 0),              // snapshot every chunk, never compact
+    ] {
+        for threads in [1usize, 4] {
+            let mut online = OnlineIdentifier::new(Pipeline::with_threads(threads));
+            let mut snapshots = 0usize;
+            for (i, chunk) in records.chunks(chunk_len).enumerate() {
+                online.ingest(chunk);
+                if (i + 1) % snap_every == 0 {
+                    let _ = online.snapshot(opts());
+                    snapshots += 1;
+                    if compact_every > 0 && snapshots.is_multiple_of(compact_every) {
+                        online.compact();
+                    }
+                }
+            }
+            let got = online.snapshot(opts());
+            let label = format!(
+                "chunk {chunk_len} snap {snap_every} compact {compact_every} threads {threads}"
+            );
+            assert_reports_identical(&got, &batch, &label);
+            assert_eq!(
+                streamed_report_text(&got, cfg(42, 0).scale),
+                batch_text,
+                "{label}: rendered report"
+            );
+            if compact_every > 0 {
+                // Fold everything decided so far and make sure the
+                // compacted representation both bounds the log and still
+                // answers identically.
+                online.compact();
+                assert_eq!(online.resident_frames(), 0, "{label}: frames after compact");
+                assert!(
+                    online.resident_log_bytes() < records.len() * 52 / 4,
+                    "{label}: compaction left {} resident bytes for {} records",
+                    online.resident_log_bytes(),
+                    records.len()
+                );
+                assert_reports_identical(&online.snapshot(opts()), &batch, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_then_compact_schedules_match_serial_ingest() {
+    // Merge-then-compact determinism: a raw shard may arrive after the
+    // accumulating side has already snapshotted *and* compacted, and a
+    // further compact + epoch replay over the merged stream must still
+    // answer byte-identically. (Compact-then-merge of the *shard* is
+    // forbidden by the merge contract — its frames could no longer be
+    // re-decided mid-stream.)
+    let corpus = MlabGenerator::new(cfg(7, 0)).generate();
+    let records = &corpus.records;
+    let n = records.len();
+    let mut serial = OnlineIdentifier::new(Pipeline::with_threads(1));
+    serial.ingest(records);
+    let want = serial.snapshot(opts());
+    let want_text = streamed_report_text(&want, cfg(7, 0).scale);
+
+    for split in [n / 4, n / 2, (3 * n) / 4] {
+        let mut acc = OnlineIdentifier::new(Pipeline::with_threads(1));
+        acc.ingest(&records[..split]);
+        let _ = acc.snapshot(opts());
+        acc.compact();
+        let mut shard = OnlineIdentifier::new(Pipeline::with_threads(1));
+        shard.ingest(&records[split..]);
+        acc.merge(shard);
+        assert_eq!(acc.ingested(), n, "split {split}: ingested");
+        let got = acc.snapshot(opts());
+        let label = format!("merge after compact, split {split}");
+        assert_reports_identical(&got, &want, &label);
+        // Compact the merged stream too and force another answer from
+        // fully folded state.
+        acc.compact();
+        let again = acc.snapshot(opts());
+        assert_reports_identical(&again, &want, &label);
+        assert_eq!(
+            streamed_report_text(&again, cfg(7, 0).scale),
+            want_text,
+            "{label}: rendered report"
+        );
+    }
+}
+
+#[test]
+fn windowed_eviction_keeps_resident_log_within_the_window() {
+    // Time-ordered arrivals: after every snapshot, the resident log
+    // holds exactly the in-window suffix (no epoch slack needed for
+    // ordered streams) while reports keep matching a batch run over
+    // the same window.
+    let mut records = MlabGenerator::new(cfg(7, 0)).generate().records;
+    records.sort_by_key(|r| r.timestamp.0);
+    let span = records.last().unwrap().timestamp.0 - records[0].timestamp.0;
+    let window = span / 3;
+    let mut online = OnlineIdentifier::with_window(Pipeline::with_threads(1), window);
+    for chunk in records.chunks(257) {
+        online.ingest(chunk);
+        let report = online.snapshot(opts());
+        let latest = online.latest().unwrap().0;
+        let cutoff = latest.saturating_sub(window);
+        let in_window = records
+            .iter()
+            .filter(|r| r.timestamp.0 >= cutoff && r.timestamp.0 <= latest)
+            .count();
+        assert_eq!(
+            online.resident_frames(),
+            in_window,
+            "cutoff {cutoff}: resident vs window"
+        );
+        assert_eq!(report.records, in_window, "cutoff {cutoff}: report records");
+    }
+    // And the final windowed report equals a batch run over the window.
+    let cutoff = online.latest().unwrap().0.saturating_sub(window);
+    let kept: Vec<_> = records
+        .iter()
+        .filter(|r| r.timestamp.0 >= cutoff)
+        .cloned()
+        .collect();
+    let want = Pipeline::with_threads(1).run_streamed(|| slice_chunks(&kept, 1024), opts());
+    assert_reports_identical(&online.snapshot(opts()), &want, "final window");
+}
+
+mod schedule_properties {
+    use super::*;
+    use sno_check::prelude::*;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static Vec<sno_dissect::types::records::NdtRecord> {
+        static FIXTURE: OnceLock<Vec<sno_dissect::types::records::NdtRecord>> = OnceLock::new();
+        FIXTURE.get_or_init(|| MlabGenerator::new(cfg(7, 0)).generate().records)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Any interleaving of (ingest batch sizes × snapshot cadence ×
+        /// compaction × window length) answers exactly like a fresh
+        /// identifier that ingested everything in one go — the
+        /// incremental state machine never leaks into the reports.
+        #[test]
+        fn arbitrary_schedules_match_fresh_full_replay(
+            batch_sizes in prop::collection::vec(1usize..600, 1..5),
+            cadence in 1usize..4,
+            compact in any::<bool>(),
+            window_divisor in 0u64..5,
+        ) {
+            let records = fixture();
+            let span = records.iter().map(|r| r.timestamp.0).max().unwrap()
+                - records.iter().map(|r| r.timestamp.0).min().unwrap();
+            // Divisors 0/1 mean "unwindowed"; 2..5 pick a window length.
+            let window = (window_divisor >= 2).then(|| span / window_divisor);
+            let build = || match window {
+                Some(w) => OnlineIdentifier::with_window(Pipeline::with_threads(1), w),
+                None => OnlineIdentifier::new(Pipeline::with_threads(1)),
+            };
+
+            let mut online = build();
+            let mut offset = 0usize;
+            let mut step = 0usize;
+            while offset < records.len() {
+                let len = batch_sizes[step % batch_sizes.len()].min(records.len() - offset);
+                online.ingest(&records[offset..offset + len]);
+                offset += len;
+                step += 1;
+                if step.is_multiple_of(cadence) {
+                    let _ = online.snapshot(opts());
+                    if compact {
+                        online.compact();
+                    }
+                }
+            }
+            let got = online.snapshot(opts());
+
+            let mut fresh = build();
+            fresh.ingest(records);
+            let want = fresh.snapshot(opts());
+
+            prop_assert_eq!(got.records, want.records);
+            prop_assert_eq!(&got.catalog, &want.catalog);
+            prop_assert_eq!(&got.thresholds, &want.thresholds);
+            prop_assert_eq!(got.default_threshold, want.default_threshold);
+            prop_assert_eq!(&got.latencies_by_operator, &want.latencies_by_operator);
+            prop_assert_eq!(got.bitmap.len(), want.bitmap.len());
+            for i in 0..want.bitmap.len() {
+                prop_assert_eq!(got.bitmap.get(i), want.bitmap.get(i), "bit {}", i);
+            }
+            prop_assert_eq!(
+                streamed_report_text(&got, cfg(7, 0).scale),
+                streamed_report_text(&want, cfg(7, 0).scale)
+            );
+        }
     }
 }
 
